@@ -1,0 +1,116 @@
+// Ablation bench (DESIGN.md design choices): quantifies the compiler
+// techniques the paper's §6 outlook says knowledge compilation lives on —
+// component decomposition and component caching in the top-down compiler,
+// and vtree choice for the bottom-up SDD compiler.
+
+#include <cstdio>
+#include <set>
+
+#include "base/random.h"
+#include "base/timer.h"
+#include "compiler/ddnnf_compiler.h"
+#include "nnf/queries.h"
+#include "sdd/compile.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace {
+
+using namespace tbc;
+
+Cnf RandomCnf(size_t n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  Cnf cnf(n);
+  for (size_t i = 0; i < m; ++i) {
+    std::set<Var> vars;
+    while (vars.size() < 3) vars.insert(static_cast<Var>(rng.Below(n)));
+    Clause c;
+    for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+    cnf.AddClause(c);
+  }
+  return cnf;
+}
+
+// Two loosely coupled halves: decomposition-friendly.
+Cnf StructuredCnf(size_t half, uint64_t seed) {
+  Rng rng(seed);
+  Cnf cnf(2 * half);
+  for (int side = 0; side < 2; ++side) {
+    for (size_t i = 0; i < 3 * half; ++i) {
+      std::set<Var> vars;
+      while (vars.size() < 3) {
+        vars.insert(static_cast<Var>(side * half + rng.Below(half)));
+      }
+      Clause c;
+      for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+      cnf.AddClause(c);
+    }
+  }
+  // One bridging clause.
+  cnf.AddClause({Pos(0), Neg(static_cast<Var>(half)),
+                 Pos(static_cast<Var>(2 * half - 1))});
+  return cnf;
+}
+
+void RunDdnnfAblation(const char* name, const Cnf& cnf) {
+  std::printf("\n%s (%zu vars, %zu clauses):\n", name, cnf.num_vars(),
+              cnf.num_clauses());
+  std::printf("%-22s %-11s %-11s %-11s %-9s %-10s\n", "configuration",
+              "decisions", "cache hits", "edges", "time(ms)", "count");
+  for (int mask = 0; mask < 4; ++mask) {
+    const bool comps = mask & 1;
+    const bool cache = mask & 2;
+    DdnnfCompiler compiler({.use_components = comps, .use_cache = cache});
+    NnfManager mgr;
+    Timer t;
+    const NnfId root = compiler.Compile(cnf, mgr);
+    const double ms = t.Millis();
+    char label[32];
+    std::snprintf(label, sizeof(label), "components=%d cache=%d", comps, cache);
+    std::printf("%-22s %-11llu %-11llu %-11zu %-9.1f %s\n", label,
+                static_cast<unsigned long long>(compiler.stats().decisions),
+                static_cast<unsigned long long>(compiler.stats().cache_hits),
+                mgr.CircuitSize(root), ms,
+                ModelCount(mgr, root, cnf.num_vars()).ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: what makes knowledge compilers fast ===\n");
+
+  RunDdnnfAblation("random 3-CNF", RandomCnf(26, 78, 5));
+  RunDdnnfAblation("structured two-component CNF", StructuredCnf(14, 6));
+
+  std::printf("\nSDD vtree ablation (same formula, different vtrees):\n");
+  std::printf("%-24s %-12s %-12s %-10s\n", "vtree", "sdd size", "nodes",
+              "time(ms)");
+  Cnf cnf = StructuredCnf(8, 9);
+  struct Shape {
+    const char* name;
+    Vtree vtree;
+  };
+  const size_t n = cnf.num_vars();
+  std::vector<Var> interleaved;
+  for (size_t i = 0; i < n / 2; ++i) {
+    interleaved.push_back(static_cast<Var>(i));
+    interleaved.push_back(static_cast<Var>(n / 2 + i));
+  }
+  Shape shapes[] = {
+      {"balanced (identity)", Vtree::Balanced(Vtree::IdentityOrder(n))},
+      {"right-linear", Vtree::RightLinear(Vtree::IdentityOrder(n))},
+      {"balanced (interleaved)", Vtree::Balanced(interleaved)},
+  };
+  for (Shape& s : shapes) {
+    SddManager mgr(std::move(s.vtree));
+    Timer t;
+    const SddId f = CompileCnf(mgr, cnf);
+    std::printf("%-24s %-12zu %-12zu %-10.1f\n", s.name, mgr.Size(f),
+                mgr.NumDecisionNodes(f), t.Millis());
+  }
+  std::printf("\npaper shape: decomposition + caching cut the search "
+              "exponentially on decomposable inputs; SDD size is highly "
+              "vtree-sensitive (linear to exponential).\n");
+  return 0;
+}

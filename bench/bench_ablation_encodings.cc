@@ -1,0 +1,80 @@
+// Encoding ablation (paper §2.2's closing claim): refined reductions that
+// exploit 0/1 parameters "can be critical for the efficient computation of
+// weighted model counts", and reduction-based approaches are state of the
+// art "when the Bayesian network has an abundance of 0/1 probabilities".
+// Networks with growing determinism are encoded both ways and compiled;
+// the refined encoding's circuits shrink dramatically as determinism grows.
+
+#include <cstdio>
+
+#include "base/random.h"
+#include "base/timer.h"
+#include "bayes/network.h"
+#include "bayes/varelim.h"
+#include "bayes/wmc_encoding.h"
+#include "compiler/ddnnf_compiler.h"
+#include "nnf/queries.h"
+
+namespace {
+
+using namespace tbc;
+
+// Chain-with-fanin network where a fraction of CPT rows is deterministic.
+BayesianNetwork DeterministicNetwork(size_t n, double det_fraction,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  BayesianNetwork net;
+  for (size_t v = 0; v < n; ++v) {
+    std::vector<BnVar> parents;
+    if (v >= 1) parents.push_back(static_cast<BnVar>(v - 1));
+    if (v >= 3 && rng.Flip(0.5)) parents.push_back(static_cast<BnVar>(v - 3));
+    const size_t rows = 1ull << parents.size();
+    std::vector<double> cpt(rows);
+    for (double& p : cpt) {
+      p = rng.Flip(det_fraction) ? (rng.Flip(0.5) ? 0.0 : 1.0)
+                                 : 0.05 + 0.9 * rng.Uniform();
+    }
+    net.AddBinary("x" + std::to_string(v), parents, cpt);
+  }
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: exploiting 0/1 parameters in the encoding ===\n\n");
+  std::printf("%-8s %-10s %-10s %-12s %-12s %-10s %-12s\n", "det%",
+              "plain vars", "ref vars", "plain edges", "ref edges", "ratio",
+              "agree");
+  for (double det : {0.0, 0.3, 0.6, 0.9}) {
+    const BayesianNetwork net = DeterministicNetwork(12, det, 17);
+    WmcEncoding plain(net);
+    WmcEncoding refined(net, {.exploit_determinism = true});
+
+    NnfManager m1, m2;
+    DdnnfCompiler c1, c2;
+    const NnfId f1 = c1.Compile(plain.cnf(), m1);
+    const NnfId f2 = c2.Compile(refined.cnf(), m2);
+
+    // Agreement on all single-variable marginals.
+    VariableElimination ve(net);
+    bool agree = true;
+    for (BnVar v = 0; v < net.num_vars(); ++v) {
+      BnInstantiation e(net.num_vars(), kUnobserved);
+      e[v] = 1;
+      const double expected = ve.ProbEvidence(e);
+      agree &= std::abs(Wmc(m1, f1, plain.WeightsWithEvidence(e)) - expected) < 1e-9;
+      agree &= std::abs(Wmc(m2, f2, refined.WeightsWithEvidence(e)) - expected) < 1e-9;
+    }
+
+    std::printf("%-8.0f %-10zu %-10zu %-12zu %-12zu %-10.2f %-12s\n",
+                det * 100, plain.num_bool_vars(), refined.num_bool_vars(),
+                m1.CircuitSize(f1), m2.CircuitSize(f2),
+                static_cast<double>(m1.CircuitSize(f1)) /
+                    static_cast<double>(std::max<size_t>(1, m2.CircuitSize(f2))),
+                agree ? "yes" : "NO");
+  }
+  std::printf("\npaper shape: the refined reduction wins, and its advantage "
+              "grows with the fraction of 0/1 parameters.\n");
+  return 0;
+}

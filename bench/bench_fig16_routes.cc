@@ -1,0 +1,73 @@
+// Figure 16: encoding routes using circuits. Grid route spaces are
+// compiled with the Simpath frontier algorithm; satisfying assignments are
+// verified to be exactly the valid (connected, simple) routes, counts are
+// cross-checked against DFS enumeration, and a PSDD is trained on
+// synthetic GPS traces.
+
+#include <cstdio>
+
+#include "base/timer.h"
+#include "psdd/psdd.h"
+#include "spaces/graph.h"
+#include "spaces/routes.h"
+
+int main() {
+  using namespace tbc;
+  std::printf("=== Fig 16: route spaces on grids ===\n\n");
+
+  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s\n", "grid", "edges",
+              "routes(DD)", "routes(DFS)", "obdd nodes", "compile(ms)");
+  for (size_t n : {2, 3, 4, 5}) {
+    Graph g = Graph::Grid(n, n);
+    const GraphNode s = 0, t = static_cast<GraphNode>(g.num_nodes() - 1);
+    Timer timer;
+    ObddManager mgr(Vtree::IdentityOrder(g.num_edges()));
+    const ObddId f = CompileSimplePaths(mgr, g, s, t);
+    const double ms = timer.Millis();
+    const uint64_t dd_count = mgr.ModelCount(f).ToU64();
+    const uint64_t dfs_count = n <= 5 ? g.CountSimplePaths(s, t) : 0;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%zux%zu", n, n);
+    std::printf("%-8s %-8zu %-12llu %-12llu %-12zu %-12.2f\n", label,
+                g.num_edges(), static_cast<unsigned long long>(dd_count),
+                static_cast<unsigned long long>(dfs_count), mgr.Size(f), ms);
+  }
+
+  // Fig 16's red/orange check: valid vs invalid assignments.
+  std::printf("\nvalidity of assignments (Fig 16's red vs orange):\n");
+  Graph g = Graph::Grid(3, 3);
+  ObddManager mgr(Vtree::IdentityOrder(g.num_edges()));
+  const ObddId f = CompileSimplePaths(mgr, g, 0, 8);
+  size_t valid = 0, invalid = 0, mismatches = 0;
+  for (int bits = 0; bits < (1 << 12); ++bits) {
+    Assignment a(12);
+    for (Var v = 0; v < 12; ++v) a[v] = (bits >> v) & 1;
+    const bool circuit_says = mgr.Evaluate(f, a);
+    const bool really_path = g.IsSimplePath(a, 0, 8);
+    mismatches += circuit_says != really_path;
+    (circuit_says ? valid : invalid)++;
+  }
+  std::printf("  4096 edge assignments: %zu valid routes, %zu invalid, "
+              "%zu circuit/oracle mismatches\n",
+              valid, invalid, mismatches);
+
+  // Learning a route distribution (the [16] use case).
+  std::printf("\nPSDD over 4x4 routes trained on 300 synthetic GPS traces:\n");
+  Graph g4 = Graph::Grid(4, 4);
+  RouteSpace space(g4, 0, 15);
+  Rng rng(11);
+  std::vector<Assignment> gps;
+  const Assignment commute = space.RandomRoute(rng);
+  for (int i = 0; i < 300; ++i) {
+    gps.push_back(i % 4 == 0 ? space.RandomRoute(rng) : commute);
+  }
+  Psdd psdd = space.MakePsdd();
+  psdd.LearnParameters(gps, {}, 0.5);
+  std::printf("  Pr(commute route) = %.3f (75%% of traces)\n",
+              psdd.Probability(commute));
+  std::printf("  Pr(all-streets assignment) = %.3f (invalid -> 0)\n",
+              psdd.Probability(Assignment(g4.num_edges(), true)));
+  std::printf("\npaper shape: satisfying inputs = valid connected routes; "
+              "invalid edge sets excluded by construction.\n");
+  return 0;
+}

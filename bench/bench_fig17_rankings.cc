@@ -1,0 +1,69 @@
+// Figure 17: encoding rankings (total orderings) with n^2 position
+// variables. The permutation constraint is compiled to an SDD (counts =
+// n!), Fig 17's invalid assignment (an item in two positions) is rejected,
+// and a preference distribution is learned from Mallows-sampled rankings
+// (the dedicated baseline family the paper cites).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "base/timer.h"
+#include "psdd/psdd.h"
+#include "spaces/rankings.h"
+
+int main() {
+  using namespace tbc;
+  std::printf("=== Fig 17: ranking spaces ===\n\n");
+
+  std::printf("%-4s %-8s %-14s %-12s %-12s\n", "n", "vars", "rankings",
+              "sdd size", "compile(ms)");
+  for (size_t n : {2, 3, 4, 5, 6}) {
+    Timer t;
+    RankingSpace space(n);
+    const double ms = t.Millis();
+    std::printf("%-4zu %-8zu %-14llu %-12zu %-12.2f\n", n, space.num_vars(),
+                static_cast<unsigned long long>(space.NumRankings()),
+                space.sdd().Size(space.base()), ms);
+  }
+  std::printf("(expected rankings: n! = 2, 6, 24, 120, 720)\n\n");
+
+  // Fig 17's invalid case.
+  RankingSpace s4(4);
+  Assignment valid = s4.Encode({1, 0, 3, 2});
+  Assignment bad = valid;
+  bad[s4.VarOf(2, 0)] = true;  // item 2 appears in two positions
+  std::printf("valid ranking accepted: %d; item-in-two-positions rejected: %d\n\n",
+              s4.sdd().Evaluate(s4.base(), valid),
+              !s4.sdd().Evaluate(s4.base(), bad));
+
+  // Learning preferences from Mallows data (paper [17]'s task).
+  std::printf("learning a preference distribution (n=4, Mallows phi=0.4):\n");
+  RankingSpace space(4);
+  Rng rng(23);
+  const std::vector<uint32_t> center = {2, 0, 3, 1};
+  std::vector<Assignment> data;
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back(space.Encode(space.SampleMallows(center, 0.4, rng)));
+  }
+  Psdd psdd = space.MakePsdd();
+  psdd.LearnParameters(data, {}, 0.5);
+
+  // Probability should decay with Kendall-tau distance from the center.
+  std::map<size_t, std::pair<double, int>> by_distance;
+  std::vector<uint32_t> perm = {0, 1, 2, 3};
+  std::sort(perm.begin(), perm.end());
+  do {
+    const size_t d = RankingSpace::KendallTau(perm, center);
+    by_distance[d].first += psdd.Probability(space.Encode(perm));
+    by_distance[d].second += 1;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  std::printf("%-18s %-14s %-10s\n", "kendall distance", "avg learned Pr",
+              "#rankings");
+  for (const auto& [d, acc] : by_distance) {
+    std::printf("%-18zu %-14.5f %-10d\n", d, acc.first / acc.second, acc.second);
+  }
+  std::printf("\npaper shape: learned probability decays with distance from "
+              "the central ranking, matching the Mallows generator.\n");
+  return 0;
+}

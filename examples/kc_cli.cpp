@@ -1,0 +1,168 @@
+// kc_cli: a miniature knowledge compiler in the spirit of c2d / the SDD
+// library's command-line tools. Reads a DIMACS CNF, compiles it to the
+// requested tractable language, reports statistics and counts, and can
+// write circuit/vtree files and draw uniform samples.
+//
+// Usage:
+//   kc_cli FILE.cnf [--target=ddnnf|sdd|obdd] [--vtree=balanced|right|random]
+//          [--force-order] [--minimize=N] [--samples=N]
+//          [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/timer.h"
+#include "compiler/ddnnf_compiler.h"
+#include "nnf/io.h"
+#include "nnf/queries.h"
+#include "obdd/obdd.h"
+#include "obdd/ordering.h"
+#include "sdd/compile.h"
+#include "sdd/io.h"
+#include "sdd/minimize.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace {
+
+std::string ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+const char* Arg(int argc, char** argv, const char* name) {
+  const size_t len = std::strlen(name);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+bool Flag(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tbc;
+  if (argc < 2) {
+    std::printf(
+        "usage: kc_cli FILE.cnf [--target=ddnnf|sdd|obdd]\n"
+        "              [--vtree=balanced|right|random] [--force-order]\n"
+        "              [--minimize=N] [--samples=N]\n"
+        "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n");
+    return 2;
+  }
+  const std::string text = ReadFile(argv[1]);
+  if (text.empty()) {
+    std::fprintf(stderr, "kc_cli: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  auto parsed = Cnf::ParseDimacs(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "kc_cli: %s\n", parsed.status().message().c_str());
+    return 1;
+  }
+  const Cnf cnf = std::move(parsed).value();
+  std::printf("c input: %zu vars, %zu clauses\n", cnf.num_vars(),
+              cnf.num_clauses());
+
+  const char* target_arg = Arg(argc, argv, "--target");
+  const std::string target = target_arg != nullptr ? target_arg : "ddnnf";
+  const char* samples_arg = Arg(argc, argv, "--samples");
+  const size_t samples = samples_arg != nullptr ? std::strtoull(samples_arg, nullptr, 10) : 0;
+
+  std::vector<Var> order = Flag(argc, argv, "--force-order")
+                               ? ForceOrder(cnf, 20)
+                               : Vtree::IdentityOrder(cnf.num_vars());
+
+  Timer timer;
+  if (target == "ddnnf") {
+    NnfManager mgr;
+    DdnnfCompiler compiler;
+    const NnfId root = compiler.Compile(cnf, mgr);
+    std::printf("c compiled Decision-DNNF: %zu edges, %zu nodes in %.2f ms\n",
+                mgr.CircuitSize(root), mgr.NumNodesBelow(root), timer.Millis());
+    std::printf("c decisions: %llu, cache hits: %llu\n",
+                static_cast<unsigned long long>(compiler.stats().decisions),
+                static_cast<unsigned long long>(compiler.stats().cache_hits));
+    std::printf("s %s\n", IsSatDnnf(mgr, root) ? "SATISFIABLE" : "UNSATISFIABLE");
+    std::printf("c models: %s\n",
+                ModelCount(mgr, root, cnf.num_vars()).ToString().c_str());
+    if (const char* out = Arg(argc, argv, "--write-nnf")) {
+      WriteFile(out, WriteNnf(mgr, root, cnf.num_vars()));
+      std::printf("c wrote %s\n", out);
+    }
+    Rng rng(2026);
+    for (size_t i = 0; i < samples && IsSatDnnf(mgr, root); ++i) {
+      const Assignment x = SampleModelDnnf(mgr, root, cnf.num_vars(), rng);
+      std::printf("v");
+      for (Var v = 0; v < cnf.num_vars(); ++v) {
+        std::printf(" %d", Lit(v, x[v]).ToDimacs());
+      }
+      std::printf(" 0\n");
+    }
+  } else if (target == "sdd") {
+    const char* shape_arg = Arg(argc, argv, "--vtree");
+    const std::string shape = shape_arg != nullptr ? shape_arg : "balanced";
+    Rng rng(1);
+    Vtree vt = shape == "right"    ? Vtree::RightLinear(order)
+               : shape == "random" ? Vtree::Random(order, rng)
+                                   : Vtree::Balanced(order);
+    if (const char* budget = Arg(argc, argv, "--minimize")) {
+      const MinimizeResult r =
+          MinimizeVtree(cnf, vt, std::strtoull(budget, nullptr, 10), 7);
+      std::printf("c vtree search: size %zu -> %zu in %zu iterations\n",
+                  r.initial_size, r.size, r.iterations);
+      vt = r.vtree;
+    }
+    SddManager mgr(vt);
+    const SddId f = CompileCnf(mgr, cnf);
+    std::printf("c compiled SDD: %zu elements, %zu decision nodes in %.2f ms\n",
+                mgr.Size(f), mgr.NumDecisionNodes(f), timer.Millis());
+    std::printf("s %s\n", f != mgr.False() ? "SATISFIABLE" : "UNSATISFIABLE");
+    std::printf("c models: %s\n", mgr.ModelCount(f).ToString().c_str());
+    if (const char* out = Arg(argc, argv, "--write-sdd")) {
+      WriteFile(out, WriteSdd(mgr, f));
+      std::printf("c wrote %s\n", out);
+    }
+    if (const char* out = Arg(argc, argv, "--write-vtree")) {
+      WriteFile(out, mgr.vtree().ToFileString());
+      std::printf("c wrote %s\n", out);
+    }
+  } else if (target == "obdd") {
+    ObddManager mgr(order);
+    const ObddId f = mgr.CompileCnf(cnf);
+    std::printf("c compiled OBDD: %zu nodes in %.2f ms\n", mgr.Size(f),
+                timer.Millis());
+    std::printf("s %s\n", f != mgr.False() ? "SATISFIABLE" : "UNSATISFIABLE");
+    std::printf("c models: %s\n", mgr.ModelCount(f).ToString().c_str());
+    if (const char* out = Arg(argc, argv, "--write-nnf")) {
+      NnfManager nnf;
+      WriteFile(out, WriteNnf(nnf, mgr.ToNnf(f, nnf), cnf.num_vars()));
+      std::printf("c wrote %s\n", out);
+    }
+  } else {
+    std::fprintf(stderr, "kc_cli: unknown target %s\n", target.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Role 1 walkthrough (paper §2, Fig 2): the medical Bayesian network with
+// condition c and tests T1/T2, queried through the circuit pipeline —
+// encode to CNF [Darwiche 2002], compile once, answer MPE / MAR / MAP /
+// SDP (the NP / PP / NP^PP / PP^PP ladder) with passes over the circuit.
+
+#include <cstdio>
+
+#include "bayes/circuit_inference.h"
+#include "bayes/network.h"
+#include "bayes/varelim.h"
+
+int main() {
+  using namespace tbc;
+
+  // Structure of Fig 2; CPT values are ours (the figure's are an image —
+  // see DESIGN.md substitutions).
+  BayesianNetwork net;
+  const BnVar sex = net.AddBinary("sex", {}, {0.55});
+  const BnVar c = net.AddBinary("c", {sex}, {0.05, 0.15});
+  const BnVar t1 = net.AddBinary("T1", {c}, {0.10, 0.85});
+  const BnVar t2 = net.AddBinary("T2", {c}, {0.20, 0.75});
+  net.AddBinary("AGREE", {t1, t2}, {0.95, 0.05, 0.05, 0.95});
+
+  CompiledBayesNet circuit(net);
+  VariableElimination baseline(net);
+  std::printf("compiled circuit edges: %zu\n\n", circuit.CircuitSize());
+
+  BnInstantiation none(5, kUnobserved);
+
+  std::printf("== MAR (PP): marginals of every variable ==\n");
+  auto marginals = circuit.AllMarginals(none);
+  for (BnVar v = 0; v < net.num_vars(); ++v) {
+    std::printf("  Pr(%s=1) = %.4f   (VE baseline %.4f)\n",
+                net.name(v).c_str(), marginals[v][1],
+                baseline.Marginal(v, 1, none));
+  }
+
+  std::printf("\n== MPE (NP): most probable joint instantiation ==\n");
+  auto mpe = circuit.Mpe(none);
+  std::printf("  ");
+  for (BnVar v = 0; v < net.num_vars(); ++v) {
+    std::printf("%s=%d ", net.name(v).c_str(), mpe.instantiation[v]);
+  }
+  std::printf(" Pr = %.5f\n", mpe.probability);
+
+  std::printf("\n== MAP (NP^PP) over {sex, c} given T1=1 ==\n");
+  BnInstantiation t1_pos(5, kUnobserved);
+  t1_pos[t1] = 1;
+  auto map = circuit.Map({sex, c}, t1_pos);
+  std::printf("  argmax: sex=%d c=%d, Pr(y, e) = %.5f\n", map.values[0],
+              map.values[1], map.probability);
+
+  std::printf("\n== SDP (PP^PP): will the treatment decision stick? ==\n");
+  // Decision: operate iff Pr(c | evidence) >= 0.9 (currently negative).
+  const double threshold = 0.9;
+  std::printf("  Pr(c) = %.4f -> current decision: %s\n",
+              circuit.Posterior(c, 1, none),
+              circuit.Posterior(c, 1, none) >= threshold ? "operate" : "wait");
+  const double sdp = circuit.Sdp(c, 1, threshold, {t1, t2}, none);
+  std::printf("  probability the decision survives observing T1, T2: %.4f\n",
+              sdp);
+  std::printf("  (same-decision probability; VE baseline %.4f)\n",
+              baseline.Sdp(c, 1, threshold, {t1, t2}, none));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: the compile-then-query workflow behind all three roles
+// (paper Fig 1): encode a problem as a Boolean formula, compile it into a
+// tractable circuit, then answer hard queries with linear-time passes.
+
+#include <cstdio>
+
+#include "compiler/ddnnf_compiler.h"
+#include "core/kc_map.h"
+#include "core/solvers.h"
+#include "nnf/queries.h"
+#include "sdd/compile.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+int main() {
+  using namespace tbc;
+
+  // The paper's running example (Figs 9, 13): course prerequisites
+  //   (P ∨ L) ∧ (A ⇒ P) ∧ (K ⇒ (A ∨ L))
+  // over A(=AI), K(=knowledge representation), L(=logic), P(=probability).
+  Cnf constraint(4);
+  constraint.AddClauseDimacs({4, 3});      // P ∨ L
+  constraint.AddClauseDimacs({-1, 4});     // A ⇒ P
+  constraint.AddClauseDimacs({-2, 1, 3});  // K ⇒ (A ∨ L)
+
+  std::printf("== Compile to Decision-DNNF (top-down compiler) ==\n");
+  NnfManager nnf;
+  DdnnfCompiler compiler;
+  const NnfId ddnnf = compiler.Compile(constraint, nnf);
+  std::printf("circuit edges: %zu, decisions: %llu, cache hits: %llu\n",
+              nnf.CircuitSize(ddnnf),
+              static_cast<unsigned long long>(compiler.stats().decisions),
+              static_cast<unsigned long long>(compiler.stats().cache_hits));
+  std::printf("satisfiable (NP query, linear on DNNF): %s\n",
+              IsSatDnnf(nnf, ddnnf) ? "yes" : "no");
+  std::printf("model count (PP query, linear on d-DNNF): %s of 16\n",
+              ModelCount(nnf, ddnnf, 4).ToString().c_str());
+
+  std::printf("\n== Compile to SDD (bottom-up, vtree ((L K) (P A))) ==\n");
+  SddManager sdd(Vtree::Balanced({2, 1, 3, 0}));
+  const SddId s = CompileCnf(sdd, constraint);
+  std::printf("SDD size (elements): %zu, model count: %s\n", sdd.Size(s),
+              sdd.ModelCount(s).ToString().c_str());
+
+  // Weighted model counting: weight each course by enrollment appetite.
+  WeightMap w(4);
+  w.Set(Pos(0), 0.3);  // A
+  w.Set(Neg(0), 0.7);
+  w.Set(Pos(3), 0.8);  // P
+  w.Set(Neg(3), 0.2);
+  std::printf("WMC with biased A and P: %.6f\n", sdd.Wmc(s, w));
+
+  // Polytime transformations (the SDD's signature capability).
+  const SddId with_ai = sdd.Condition(s, Pos(0));
+  std::printf("models after conditioning on A: %s\n",
+              sdd.ModelCount(with_ai).ToString().c_str());
+  const SddId negated = sdd.Negate(s);
+  std::printf("models of the negation: %s (9 + %s = 16)\n",
+              sdd.ModelCount(negated).ToString().c_str(),
+              sdd.ModelCount(negated).ToString().c_str());
+
+  std::printf("\n== Knowledge compilation map picks the language ==\n");
+  const kc::Language lang = kc::CheapestLanguageFor(
+      {kc::Query::kModelCount, kc::Query::kEquivalence});
+  std::printf("cheapest language for {CT, EQ}: %s\n", kc::ToString(lang).c_str());
+
+  std::printf("\n== Complexity-ladder solvers (Fig 3) ==\n");
+  std::printf("SAT: %d  MAJSAT: %d  E-MAJSAT over {A,K}: %d  MAJMAJSAT: %d\n",
+              CircuitSolvers::DecideSat(constraint),
+              CircuitSolvers::DecideMajSat(constraint),
+              CircuitSolvers::DecideEMajSat(constraint, {0, 1}),
+              CircuitSolvers::DecideMajMajSat(constraint, {0, 1}));
+  return 0;
+}

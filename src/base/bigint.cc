@@ -1,0 +1,134 @@
+#include "base/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace tbc {
+
+BigUint::BigUint(uint64_t value) {
+  if (value != 0) limbs_.push_back(value);
+}
+
+BigUint BigUint::PowerOfTwo(unsigned k) {
+  BigUint r;
+  r.limbs_.assign(k / 64 + 1, 0);
+  r.limbs_.back() = 1ull << (k % 64);
+  return r;
+}
+
+void BigUint::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  unsigned __int128 carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    unsigned __int128 sum = carry + limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    limbs_[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint64_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& other) {
+  TBC_CHECK_MSG(*this >= other, "BigUint subtraction underflow");
+  unsigned __int128 borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    unsigned __int128 sub = borrow;
+    if (i < other.limbs_.size()) sub += other.limbs_[i];
+    if (static_cast<unsigned __int128>(limbs_[i]) >= sub) {
+      limbs_[i] = static_cast<uint64_t>(limbs_[i] - sub);
+      borrow = 0;
+    } else {
+      limbs_[i] = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(1) << 64) + limbs_[i] - sub);
+      borrow = 1;
+    }
+  }
+  TBC_DCHECK(borrow == 0);
+  Trim();
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& other) {
+  if (IsZero() || other.IsZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<uint64_t> result(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    unsigned __int128 carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(limbs_[i]) * other.limbs_[j] +
+          result[i + j] + carry;
+      result[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      unsigned __int128 cur = carry + result[k];
+      result[k] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+      ++k;
+    }
+  }
+  limbs_ = std::move(result);
+  Trim();
+  return *this;
+}
+
+int BigUint::Compare(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+double BigUint::ToDouble() const {
+  double result = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    result = result * 0x1.0p64 + static_cast<double>(limbs_[i]);
+  }
+  return result;
+}
+
+uint64_t BigUint::ToU64() const {
+  TBC_CHECK_MSG(FitsU64(), "BigUint does not fit in uint64_t");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::string BigUint::ToString() const {
+  if (IsZero()) return "0";
+  // Repeated division by 10^19 (largest power of ten in a limb).
+  constexpr uint64_t kChunk = 10000000000000000000ull;  // 10^19
+  std::vector<uint64_t> digits;  // base-10^19 digits, little-endian
+  std::vector<uint64_t> work = limbs_;
+  while (!work.empty()) {
+    unsigned __int128 rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      unsigned __int128 cur = (rem << 64) | work[i];
+      work[i] = static_cast<uint64_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    digits.push_back(static_cast<uint64_t>(rem));
+  }
+  std::string out = std::to_string(digits.back());
+  for (size_t i = digits.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(digits[i]);
+    out += std::string(19 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+}  // namespace tbc

@@ -1,0 +1,37 @@
+#ifndef TBC_BASE_CHECK_H_
+#define TBC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Assertion macros for programming errors. The library does not use
+// exceptions: invariant violations abort with a source location, and
+// fallible operations return tbc::Result<T> (see base/result.h).
+
+#define TBC_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TBC_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define TBC_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TBC_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define TBC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define TBC_DCHECK(cond) TBC_CHECK(cond)
+#endif
+
+#endif  // TBC_BASE_CHECK_H_

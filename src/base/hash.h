@@ -1,0 +1,25 @@
+#ifndef TBC_BASE_HASH_H_
+#define TBC_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tbc {
+
+/// Mixes a new value into a running hash (boost-style combine with a
+/// 64-bit golden-ratio constant).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Finalizer for integer keys (splitmix64 mix) — good avalanche behaviour
+/// for pointer- and index-based hash table keys.
+inline uint64_t HashU64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace tbc
+
+#endif  // TBC_BASE_HASH_H_

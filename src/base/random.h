@@ -1,0 +1,48 @@
+#ifndef TBC_BASE_RANDOM_H_
+#define TBC_BASE_RANDOM_H_
+
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace tbc {
+
+/// Deterministic 64-bit PRNG (splitmix64). Every randomized component in the
+/// library takes an explicit seed so that experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).
+  uint64_t Below(uint64_t bound) {
+    TBC_DCHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    TBC_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with success probability p.
+  bool Flip(double p) { return Uniform() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_BASE_RANDOM_H_

@@ -1,0 +1,72 @@
+#ifndef TBC_BASE_RESULT_H_
+#define TBC_BASE_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/check.h"
+
+namespace tbc {
+
+/// Lightweight status type for fallible operations (parsing, file IO,
+/// user-supplied model validation). Library code never throws.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status carrying a human-readable message.
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// A value-or-error, used as the return type of fallible factories.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in factories.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {
+    TBC_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; aborts if this result holds an error.
+  const T& value() const& {
+    TBC_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    TBC_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    TBC_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_BASE_RESULT_H_

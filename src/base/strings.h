@@ -1,0 +1,24 @@
+#ifndef TBC_BASE_STRINGS_H_
+#define TBC_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tbc {
+
+/// Splits on any run of whitespace; no empty tokens are produced.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Splits on a single separator character; empty fields are kept.
+std::vector<std::string> SplitChar(std::string_view text, char sep);
+
+/// Removes leading and trailing whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace tbc
+
+#endif  // TBC_BASE_STRINGS_H_

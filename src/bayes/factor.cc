@@ -1,0 +1,158 @@
+#include "bayes/factor.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace tbc {
+
+Factor::Factor(std::vector<BnVar> vars, std::vector<uint32_t> cards)
+    : vars_(std::move(vars)), cards_(std::move(cards)) {
+  TBC_CHECK(vars_.size() == cards_.size());
+  size_t size = 1;
+  for (uint32_t c : cards_) size *= c;
+  values_.assign(size, 1.0);
+}
+
+Factor Factor::FromCpt(const BayesianNetwork& net, BnVar v) {
+  std::vector<BnVar> vars = net.parents(v);
+  vars.push_back(v);
+  std::vector<uint32_t> cards;
+  for (BnVar u : vars) cards.push_back(net.cardinality(u));
+  Factor f(std::move(vars), std::move(cards));
+  // CPT layout matches the factor layout (parents..., var; last fastest).
+  for (size_t i = 0; i < f.values_.size(); ++i) {
+    f.values_[i] = net.cpt(v)[i];
+  }
+  return f;
+}
+
+size_t Factor::FlatIndex(const BnInstantiation& inst) const {
+  size_t index = 0;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    TBC_DCHECK(inst[vars_[i]] != kUnobserved);
+    index = index * cards_[i] + static_cast<size_t>(inst[vars_[i]]);
+  }
+  return index;
+}
+
+double Factor::At(const BnInstantiation& inst) const {
+  return values_[FlatIndex(inst)];
+}
+
+void Factor::Set(const BnInstantiation& inst, double value) {
+  values_[FlatIndex(inst)] = value;
+}
+
+std::vector<int> Factor::Decode(size_t flat_index) const {
+  std::vector<int> values(vars_.size());
+  for (size_t i = vars_.size(); i-- > 0;) {
+    values[i] = static_cast<int>(flat_index % cards_[i]);
+    flat_index /= cards_[i];
+  }
+  return values;
+}
+
+Factor Factor::Multiply(const Factor& a, const Factor& b) {
+  std::vector<BnVar> vars = a.vars_;
+  std::vector<uint32_t> cards = a.cards_;
+  for (size_t i = 0; i < b.vars_.size(); ++i) {
+    if (std::find(vars.begin(), vars.end(), b.vars_[i]) == vars.end()) {
+      vars.push_back(b.vars_[i]);
+      cards.push_back(b.cards_[i]);
+    }
+  }
+  Factor out(vars, cards);
+  // Iterate the output table, projecting onto each input's scope.
+  BnInstantiation inst;
+  BnVar max_var = 0;
+  for (BnVar v : vars) max_var = std::max(max_var, v);
+  inst.assign(max_var + 1, kUnobserved);
+  for (size_t i = 0; i < out.values_.size(); ++i) {
+    std::vector<int> vals = out.Decode(i);
+    for (size_t k = 0; k < vars.size(); ++k) inst[vars[k]] = vals[k];
+    out.values_[i] = a.At(inst) * b.At(inst);
+  }
+  return out;
+}
+
+Factor Factor::SumOut(BnVar v) const {
+  const auto it = std::find(vars_.begin(), vars_.end(), v);
+  TBC_CHECK(it != vars_.end());
+  const size_t pos = static_cast<size_t>(it - vars_.begin());
+  std::vector<BnVar> vars = vars_;
+  std::vector<uint32_t> cards = cards_;
+  const uint32_t card = cards[pos];
+  vars.erase(vars.begin() + pos);
+  cards.erase(cards.begin() + pos);
+  Factor out(vars, cards);
+  std::fill(out.values_.begin(), out.values_.end(), 0.0);
+  BnInstantiation inst;
+  BnVar max_var = v;
+  for (BnVar u : vars_) max_var = std::max(max_var, u);
+  inst.assign(max_var + 1, kUnobserved);
+  for (size_t i = 0; i < out.values_.size(); ++i) {
+    std::vector<int> vals = out.Decode(i);
+    for (size_t k = 0; k < vars.size(); ++k) inst[vars[k]] = vals[k];
+    double sum = 0.0;
+    for (uint32_t x = 0; x < card; ++x) {
+      inst[v] = static_cast<int>(x);
+      sum += At(inst);
+    }
+    out.values_[i] = sum;
+  }
+  return out;
+}
+
+Factor Factor::MaxOut(BnVar v) const {
+  const auto it = std::find(vars_.begin(), vars_.end(), v);
+  TBC_CHECK(it != vars_.end());
+  const size_t pos = static_cast<size_t>(it - vars_.begin());
+  std::vector<BnVar> vars = vars_;
+  std::vector<uint32_t> cards = cards_;
+  const uint32_t card = cards[pos];
+  vars.erase(vars.begin() + pos);
+  cards.erase(cards.begin() + pos);
+  Factor out(vars, cards);
+  BnInstantiation inst;
+  BnVar max_var = v;
+  for (BnVar u : vars_) max_var = std::max(max_var, u);
+  inst.assign(max_var + 1, kUnobserved);
+  for (size_t i = 0; i < out.values_.size(); ++i) {
+    std::vector<int> vals = out.Decode(i);
+    for (size_t k = 0; k < vars.size(); ++k) inst[vars[k]] = vals[k];
+    double best = 0.0;
+    for (uint32_t x = 0; x < card; ++x) {
+      inst[v] = static_cast<int>(x);
+      best = std::max(best, At(inst));
+    }
+    out.values_[i] = best;
+  }
+  return out;
+}
+
+Factor Factor::Restrict(BnVar v, int value) const {
+  const auto it = std::find(vars_.begin(), vars_.end(), v);
+  if (it == vars_.end()) return *this;
+  Factor out = *this;
+  for (size_t i = 0; i < out.values_.size(); ++i) {
+    std::vector<int> vals = out.Decode(i);
+    const size_t pos = static_cast<size_t>(it - vars_.begin());
+    if (vals[pos] != value) out.values_[i] = 0.0;
+  }
+  return out;
+}
+
+double Factor::Total() const {
+  double t = 0.0;
+  for (double v : values_) t += v;
+  return t;
+}
+
+double Factor::Max() const {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace tbc

@@ -1,0 +1,60 @@
+#ifndef TBC_BAYES_FACTOR_H_
+#define TBC_BAYES_FACTOR_H_
+
+#include <vector>
+
+#include "bayes/network.h"
+
+namespace tbc {
+
+/// A factor: a nonnegative table over a subset of network variables.
+/// The building block of variable elimination (the library's dedicated
+/// baseline for BN inference, against which the circuit-based reductions
+/// of paper §2.2 are validated and benchmarked).
+class Factor {
+ public:
+  /// Factor over `vars` (with the given cardinalities), initialized to 1.
+  Factor(std::vector<BnVar> vars, std::vector<uint32_t> cards);
+
+  /// CPT of a network variable as a factor over {parents..., var}.
+  static Factor FromCpt(const BayesianNetwork& net, BnVar v);
+
+  const std::vector<BnVar>& vars() const { return vars_; }
+  size_t table_size() const { return values_.size(); }
+
+  /// Entry access via a per-network instantiation (values for this
+  /// factor's vars must be set).
+  double At(const BnInstantiation& inst) const;
+  void Set(const BnInstantiation& inst, double value);
+
+  /// Raw table access (mixed-radix over vars(), last var fastest).
+  double value(size_t flat_index) const { return values_[flat_index]; }
+  /// Decodes a flat index into per-variable values (parallel to vars()).
+  std::vector<int> Decode(size_t flat_index) const;
+
+  /// Pointwise product over the union of scopes.
+  static Factor Multiply(const Factor& a, const Factor& b);
+
+  /// Sums out / maximizes out a variable (must be in scope).
+  Factor SumOut(BnVar v) const;
+  Factor MaxOut(BnVar v) const;
+
+  /// Zeroes out entries incompatible with `value` of `v` (evidence).
+  Factor Restrict(BnVar v, int value) const;
+
+  /// Sum of all entries.
+  double Total() const;
+  /// Maximum entry.
+  double Max() const;
+
+ private:
+  size_t FlatIndex(const BnInstantiation& inst) const;
+
+  std::vector<BnVar> vars_;
+  std::vector<uint32_t> cards_;
+  std::vector<double> values_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_BAYES_FACTOR_H_

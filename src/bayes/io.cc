@@ -1,0 +1,90 @@
+#include "bayes/io.h"
+
+#include <cstdio>
+
+#include "base/strings.h"
+
+namespace tbc {
+
+std::string WriteNetwork(const BayesianNetwork& net) {
+  std::string out = "net " + std::to_string(net.num_vars()) + "\n";
+  char buffer[64];
+  for (BnVar v = 0; v < net.num_vars(); ++v) {
+    out += "var " + net.name(v) + " " + std::to_string(net.cardinality(v)) +
+           " " + std::to_string(net.parents(v).size());
+    for (BnVar p : net.parents(v)) out += " " + std::to_string(p);
+    out += "\ncpt " + std::to_string(v);
+    for (double theta : net.cpt(v)) {
+      std::snprintf(buffer, sizeof(buffer), " %.17g", theta);
+      out += buffer;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<BayesianNetwork> ParseNetwork(const std::string& text) {
+  BayesianNetwork net;
+  // Pending declaration awaiting its CPT.
+  std::string pending_name;
+  uint32_t pending_card = 0;
+  std::vector<BnVar> pending_parents;
+  bool have_pending = false;
+  bool saw_header = false;
+
+  for (const std::string& raw : SplitChar(text, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tok = SplitWhitespace(line);
+    if (tok[0] == "net") {
+      saw_header = true;
+    } else if (tok[0] == "var") {
+      if (!saw_header) return Status::Error("missing net header");
+      if (have_pending) return Status::Error("var without cpt: " + pending_name);
+      if (tok.size() < 4) return Status::Error("bad var line: " + raw);
+      pending_name = tok[1];
+      pending_card = static_cast<uint32_t>(std::stoul(tok[2]));
+      const size_t num_parents = std::stoul(tok[3]);
+      if (tok.size() != 4 + num_parents) {
+        return Status::Error("bad parent list: " + raw);
+      }
+      pending_parents.clear();
+      for (size_t i = 0; i < num_parents; ++i) {
+        const BnVar p = static_cast<BnVar>(std::stoul(tok[4 + i]));
+        if (p >= net.num_vars()) {
+          return Status::Error("parent declared after child: " + raw);
+        }
+        pending_parents.push_back(p);
+      }
+      have_pending = true;
+    } else if (tok[0] == "cpt") {
+      if (!have_pending) return Status::Error("cpt without var: " + raw);
+      size_t rows = 1;
+      for (BnVar p : pending_parents) rows *= net.cardinality(p);
+      const size_t expected = rows * pending_card + 2;
+      if (tok.size() != expected) {
+        return Status::Error("cpt size mismatch: " + raw);
+      }
+      std::vector<double> cpt;
+      for (size_t i = 2; i < tok.size(); ++i) cpt.push_back(std::stod(tok[i]));
+      // Validate rows sum to ~1 before handing to the aborting builder.
+      for (size_t r = 0; r < rows; ++r) {
+        double sum = 0.0;
+        for (uint32_t k = 0; k < pending_card; ++k) sum += cpt[r * pending_card + k];
+        if (sum < 1.0 - 1e-6 || sum > 1.0 + 1e-6) {
+          return Status::Error("cpt row does not sum to 1: " + raw);
+        }
+      }
+      net.AddVariable(pending_name, pending_card, pending_parents, std::move(cpt));
+      have_pending = false;
+    } else {
+      return Status::Error("unknown line: " + raw);
+    }
+  }
+  if (!saw_header) return Status::Error("missing net header");
+  if (have_pending) return Status::Error("var without cpt: " + pending_name);
+  if (net.num_vars() == 0) return Status::Error("empty network");
+  return net;
+}
+
+}  // namespace tbc

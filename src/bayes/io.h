@@ -1,0 +1,24 @@
+#ifndef TBC_BAYES_IO_H_
+#define TBC_BAYES_IO_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "bayes/network.h"
+
+namespace tbc {
+
+/// Serializes a Bayesian network in a simple line-oriented text format:
+///   net <num_vars>
+///   var <name> <cardinality> <num_parents> <parent_index...>
+///   cpt <var_index> <row_major_values...>
+/// Variables appear in topological (declaration) order; CPT rows follow
+/// the layout of BayesianNetwork::AddVariable.
+std::string WriteNetwork(const BayesianNetwork& net);
+
+/// Parses the format above (comments start with '#').
+Result<BayesianNetwork> ParseNetwork(const std::string& text);
+
+}  // namespace tbc
+
+#endif  // TBC_BAYES_IO_H_

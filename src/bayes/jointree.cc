@@ -1,0 +1,229 @@
+#include "bayes/jointree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/check.h"
+
+namespace tbc {
+
+namespace {
+
+// Number of fill-in edges needed to make v's neighborhood a clique.
+size_t FillCount(const std::vector<std::set<BnVar>>& adj, BnVar v) {
+  size_t fill = 0;
+  for (BnVar a : adj[v]) {
+    for (BnVar b : adj[v]) {
+      if (a < b && adj[a].find(b) == adj[a].end()) ++fill;
+    }
+  }
+  return fill;
+}
+
+}  // namespace
+
+Jointree::Jointree(const BayesianNetwork& net) : net_(net) {
+  const size_t n = net.num_vars();
+  // Moral graph.
+  std::vector<std::set<BnVar>> adj(n);
+  auto connect = [&](BnVar a, BnVar b) {
+    if (a == b) return;
+    adj[a].insert(b);
+    adj[b].insert(a);
+  };
+  for (BnVar v = 0; v < n; ++v) {
+    for (BnVar p : net.parents(v)) {
+      connect(v, p);
+      for (BnVar q : net.parents(v)) connect(p, q);
+    }
+  }
+
+  // Min-fill elimination; each elimination yields a clique.
+  std::vector<int8_t> eliminated(n, 0);
+  for (size_t step = 0; step < n; ++step) {
+    BnVar best = static_cast<BnVar>(-1);
+    size_t best_fill = SIZE_MAX;
+    for (BnVar v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      const size_t fill = FillCount(adj, v);
+      if (fill < best_fill) {
+        best_fill = fill;
+        best = v;
+      }
+    }
+    // One clique per eliminated variable (possibly non-maximal): the
+    // maximum spanning tree over these is guaranteed to satisfy the
+    // running intersection property.
+    std::vector<BnVar> clique = {best};
+    for (BnVar u : adj[best]) clique.push_back(u);
+    std::sort(clique.begin(), clique.end());
+    cliques_.push_back(clique);
+    // Connect neighbors, remove best.
+    for (BnVar a : adj[best]) {
+      for (BnVar b : adj[best]) connect(a, b);
+    }
+    for (BnVar a : adj[best]) adj[a].erase(best);
+    adj[best].clear();
+    eliminated[best] = 1;
+  }
+
+  // Maximum-spanning clique tree over separator sizes (Prim).
+  const size_t k = cliques_.size();
+  tree_.assign(k, {});
+  std::vector<int8_t> in_tree(k, 0);
+  in_tree[0] = 1;
+  for (size_t added = 1; added < k; ++added) {
+    size_t best_i = 0, best_j = 0;
+    int best_weight = -1;
+    for (size_t i = 0; i < k; ++i) {
+      if (!in_tree[i]) continue;
+      for (size_t j = 0; j < k; ++j) {
+        if (in_tree[j]) continue;
+        std::vector<BnVar> sep;
+        std::set_intersection(cliques_[i].begin(), cliques_[i].end(),
+                              cliques_[j].begin(), cliques_[j].end(),
+                              std::back_inserter(sep));
+        if (static_cast<int>(sep.size()) > best_weight) {
+          best_weight = static_cast<int>(sep.size());
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    std::vector<BnVar> sep;
+    std::set_intersection(cliques_[best_i].begin(), cliques_[best_i].end(),
+                          cliques_[best_j].begin(), cliques_[best_j].end(),
+                          std::back_inserter(sep));
+    tree_[best_i].push_back({best_j, sep});
+    tree_[best_j].push_back({best_i, sep});
+    in_tree[best_j] = 1;
+  }
+
+  // Assign each variable's CPT to a clique containing its family, and
+  // record a home clique per variable.
+  cpt_assignment_.assign(k, {});
+  home_clique_.assign(n, 0);
+  for (BnVar v = 0; v < n; ++v) {
+    std::vector<BnVar> family = net.parents(v);
+    family.push_back(v);
+    std::sort(family.begin(), family.end());
+    bool placed = false;
+    for (size_t c = 0; c < k && !placed; ++c) {
+      if (std::includes(cliques_[c].begin(), cliques_[c].end(), family.begin(),
+                        family.end())) {
+        cpt_assignment_[c].push_back(v);
+        placed = true;
+      }
+    }
+    TBC_CHECK_MSG(placed, "family not covered by any clique");
+    for (size_t c = 0; c < k; ++c) {
+      if (std::binary_search(cliques_[c].begin(), cliques_[c].end(), v)) {
+        home_clique_[v] = c;
+        break;
+      }
+    }
+  }
+}
+
+size_t Jointree::max_clique_size() const {
+  size_t m = 0;
+  for (const auto& c : cliques_) m = std::max(m, c.size());
+  return m;
+}
+
+Factor Jointree::InitialPotential(size_t clique,
+                                  const BnInstantiation& evidence) const {
+  std::vector<uint32_t> cards;
+  for (BnVar v : cliques_[clique]) cards.push_back(net_.cardinality(v));
+  Factor potential(cliques_[clique], cards);
+  for (BnVar v : cpt_assignment_[clique]) {
+    potential = Factor::Multiply(potential, Factor::FromCpt(net_, v));
+  }
+  for (BnVar v : cliques_[clique]) {
+    if (v < evidence.size() && evidence[v] != kUnobserved) {
+      potential = potential.Restrict(v, evidence[v]);
+    }
+  }
+  return potential;
+}
+
+Factor Jointree::MessageTo(size_t from, size_t to,
+                           const BnInstantiation& evidence,
+                           std::vector<std::vector<Factor>>& messages,
+                           std::vector<std::vector<int8_t>>& ready) const {
+  if (ready[from][to]) return messages[from][to];
+  Factor f = InitialPotential(from, evidence);
+  for (const Edge& e : tree_[from]) {
+    if (e.neighbor == to) continue;
+    f = Factor::Multiply(f, MessageTo(e.neighbor, from, evidence, messages, ready));
+  }
+  // Marginalize down to the separator.
+  const Edge* edge = nullptr;
+  for (const Edge& e : tree_[from]) {
+    if (e.neighbor == to) edge = &e;
+  }
+  TBC_DCHECK(edge != nullptr);
+  for (BnVar v : cliques_[from]) {
+    if (!std::binary_search(edge->separator.begin(), edge->separator.end(), v)) {
+      f = f.SumOut(v);
+    }
+  }
+  messages[from][to] = f;
+  ready[from][to] = 1;
+  return f;
+}
+
+std::vector<Factor> Jointree::Calibrate(const BnInstantiation& evidence) const {
+  const size_t k = cliques_.size();
+  std::vector<std::vector<Factor>> messages(
+      k, std::vector<Factor>(k, Factor({}, {})));
+  std::vector<std::vector<int8_t>> ready(k, std::vector<int8_t>(k, 0));
+  std::vector<Factor> beliefs;
+  beliefs.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    Factor b = InitialPotential(c, evidence);
+    for (const Edge& e : tree_[c]) {
+      b = Factor::Multiply(b, MessageTo(e.neighbor, c, evidence, messages, ready));
+    }
+    beliefs.push_back(std::move(b));
+  }
+  return beliefs;
+}
+
+double Jointree::ProbEvidence(const BnInstantiation& evidence) const {
+  return Calibrate(evidence)[0].Total();
+}
+
+double Jointree::Marginal(BnVar v, int value,
+                          const BnInstantiation& evidence) const {
+  const std::vector<Factor> beliefs = Calibrate(evidence);
+  Factor f = beliefs[home_clique_[v]];
+  for (BnVar u : cliques_[home_clique_[v]]) {
+    if (u != v) f = f.SumOut(u);
+  }
+  BnInstantiation inst(net_.num_vars(), kUnobserved);
+  inst[v] = value;
+  // Evidence on v itself zeroes out other values already (restriction).
+  return f.At(inst);
+}
+
+std::vector<std::vector<double>> Jointree::AllMarginals(
+    const BnInstantiation& evidence) const {
+  const std::vector<Factor> beliefs = Calibrate(evidence);
+  std::vector<std::vector<double>> out(net_.num_vars());
+  for (BnVar v = 0; v < net_.num_vars(); ++v) {
+    Factor f = beliefs[home_clique_[v]];
+    for (BnVar u : cliques_[home_clique_[v]]) {
+      if (u != v) f = f.SumOut(u);
+    }
+    out[v].resize(net_.cardinality(v));
+    BnInstantiation inst(net_.num_vars(), kUnobserved);
+    for (uint32_t x = 0; x < net_.cardinality(v); ++x) {
+      inst[v] = static_cast<int>(x);
+      out[v][x] = f.At(inst);
+    }
+  }
+  return out;
+}
+
+}  // namespace tbc

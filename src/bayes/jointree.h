@@ -1,0 +1,59 @@
+#ifndef TBC_BAYES_JOINTREE_H_
+#define TBC_BAYES_JOINTREE_H_
+
+#include <vector>
+
+#include "bayes/factor.h"
+#include "bayes/network.h"
+
+namespace tbc {
+
+/// Jointree (junction/clique tree) inference — the other classical
+/// dedicated BN algorithm the paper's "long tradition of dedicated
+/// algorithms" refers to ([Darwiche 2009, Ch. 6-7]). Structure is built
+/// once (moralize → min-fill triangulation → maximum-spanning clique
+/// tree); each query calibrates the tree with two message-passing sweeps.
+/// Serves, with variable elimination, as an independent baseline for the
+/// circuit pipeline.
+class Jointree {
+ public:
+  explicit Jointree(const BayesianNetwork& net);
+
+  size_t num_cliques() const { return cliques_.size(); }
+  /// Largest clique cardinality (treewidth + 1 under the found order).
+  size_t max_clique_size() const;
+
+  /// Pr(evidence).
+  double ProbEvidence(const BnInstantiation& evidence) const;
+
+  /// Unnormalized marginal Pr(v = value, evidence).
+  double Marginal(BnVar v, int value, const BnInstantiation& evidence) const;
+
+  /// All marginals Pr(v = x, evidence) from ONE calibration (the jointree
+  /// counterpart of the circuit differential pass); result[v][x].
+  std::vector<std::vector<double>> AllMarginals(
+      const BnInstantiation& evidence) const;
+
+ private:
+  struct Edge {
+    size_t neighbor;
+    std::vector<BnVar> separator;
+  };
+
+  // Calibrated clique beliefs under the evidence.
+  std::vector<Factor> Calibrate(const BnInstantiation& evidence) const;
+  Factor InitialPotential(size_t clique, const BnInstantiation& evidence) const;
+  Factor MessageTo(size_t from, size_t to, const BnInstantiation& evidence,
+                   std::vector<std::vector<Factor>>& messages,
+                   std::vector<std::vector<int8_t>>& ready) const;
+
+  const BayesianNetwork& net_;
+  std::vector<std::vector<BnVar>> cliques_;
+  std::vector<std::vector<Edge>> tree_;            // adjacency with separators
+  std::vector<std::vector<BnVar>> cpt_assignment_; // clique -> owned CPT vars
+  std::vector<size_t> home_clique_;                // var -> a clique containing it
+};
+
+}  // namespace tbc
+
+#endif  // TBC_BAYES_JOINTREE_H_

@@ -1,0 +1,90 @@
+#ifndef TBC_BAYES_NETWORK_H_
+#define TBC_BAYES_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/random.h"
+#include "base/result.h"
+
+namespace tbc {
+
+/// Index of a network variable.
+using BnVar = uint32_t;
+
+/// A full or partial instantiation of network variables: value index per
+/// variable, or kUnobserved.
+constexpr int kUnobserved = -1;
+using BnInstantiation = std::vector<int>;
+
+/// A discrete Bayesian network (paper §2, Figs 2 and 4).
+///
+/// A directed acyclic graph over discrete variables; each variable carries
+/// one conditional distribution per instantiation of its parents. The
+/// network induces the unique joint distribution
+///   Pr(x) = Π_X θ_{x | u}   (product of the compatible CPT entries),
+/// the factorization illustrated in Fig 4. Variables may have any
+/// cardinality; parents must be added before children (so variable order
+/// is topological by construction).
+class BayesianNetwork {
+ public:
+  /// Adds a variable with the given parents and CPT and returns its index.
+  /// `cpt` is laid out row-major: for each parent instantiation (mixed-radix
+  /// counter over `parents` in the given order, last parent fastest), the
+  /// distribution over this variable's `cardinality` values. Each row must
+  /// sum to ~1. Aborts on malformed input (sizes, non-topological parents).
+  BnVar AddVariable(std::string name, uint32_t cardinality,
+                    std::vector<BnVar> parents, std::vector<double> cpt);
+
+  /// Convenience for binary variables: `cpt_true[j]` = Pr(var=1 | j-th
+  /// parent instantiation).
+  BnVar AddBinary(std::string name, std::vector<BnVar> parents,
+                  std::vector<double> cpt_true);
+
+  size_t num_vars() const { return cards_.size(); }
+  uint32_t cardinality(BnVar v) const { return cards_[v]; }
+  const std::string& name(BnVar v) const { return names_[v]; }
+  const std::vector<BnVar>& parents(BnVar v) const { return parents_[v]; }
+  const std::vector<double>& cpt(BnVar v) const { return cpts_[v]; }
+
+  /// Index of variable by name; aborts if absent.
+  BnVar VarByName(const std::string& name) const;
+
+  /// The CPT entry θ_{v=value | parent values taken from inst}.
+  double Theta(BnVar v, const BnInstantiation& inst, int value) const;
+
+  /// Joint probability Pr(inst) of a complete instantiation.
+  double JointProbability(const BnInstantiation& inst) const;
+
+  /// Number of complete instantiations (Π cardinalities); aborts if > 2^40.
+  uint64_t NumInstantiations() const;
+  /// Decodes the i-th complete instantiation (mixed-radix, var 0 slowest).
+  BnInstantiation InstantiationAt(uint64_t index) const;
+
+  /// Brute-force marginal Pr(v = value, evidence) (test oracle).
+  double MarginalBruteForce(BnVar v, int value,
+                            const BnInstantiation& evidence) const;
+
+  /// Forward (ancestral) sampling: draws a complete instantiation from the
+  /// joint distribution (variables are topologically ordered by
+  /// construction, so one left-to-right pass suffices).
+  BnInstantiation Sample(Rng& rng) const;
+
+  /// Random binary network: each variable picks up to `max_parents`
+  /// parents among its predecessors; CPT entries uniform in (0.05, 0.95).
+  static BayesianNetwork RandomBinary(size_t num_vars, size_t max_parents,
+                                      uint64_t seed);
+
+ private:
+  size_t ParentConfigIndex(BnVar v, const BnInstantiation& inst) const;
+
+  std::vector<std::string> names_;
+  std::vector<uint32_t> cards_;
+  std::vector<std::vector<BnVar>> parents_;
+  std::vector<std::vector<double>> cpts_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_BAYES_NETWORK_H_

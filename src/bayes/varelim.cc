@@ -1,0 +1,153 @@
+#include "bayes/varelim.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace tbc {
+
+Factor VariableElimination::Eliminate(const BnInstantiation& evidence,
+                                      const std::vector<BnVar>& keep,
+                                      bool maximize_rest) const {
+  std::vector<Factor> factors;
+  factors.reserve(net_.num_vars());
+  for (BnVar v = 0; v < net_.num_vars(); ++v) {
+    Factor f = Factor::FromCpt(net_, v);
+    const std::vector<BnVar> scope = f.vars();  // copy: f is reassigned below
+    for (BnVar u : scope) {
+      if (u < evidence.size() && evidence[u] != kUnobserved) {
+        f = f.Restrict(u, evidence[u]);
+      }
+    }
+    factors.push_back(std::move(f));
+  }
+  auto kept = [&](BnVar v) {
+    return std::find(keep.begin(), keep.end(), v) != keep.end();
+  };
+  for (BnVar v = 0; v < net_.num_vars(); ++v) {
+    if (kept(v)) continue;
+    // Multiply all factors mentioning v, then eliminate v.
+    Factor product({}, {});
+    bool found = false;
+    std::vector<Factor> rest;
+    for (Factor& f : factors) {
+      const bool mentions =
+          std::find(f.vars().begin(), f.vars().end(), v) != f.vars().end();
+      if (mentions) {
+        product = found ? Factor::Multiply(product, f) : std::move(f);
+        found = true;
+      } else {
+        rest.push_back(std::move(f));
+      }
+    }
+    if (found) {
+      rest.push_back(maximize_rest ? product.MaxOut(v) : product.SumOut(v));
+    }
+    factors = std::move(rest);
+  }
+  Factor result({}, {});
+  for (const Factor& f : factors) result = Factor::Multiply(result, f);
+  return result;
+}
+
+double VariableElimination::ProbEvidence(const BnInstantiation& evidence) const {
+  return Eliminate(evidence, {}, /*maximize_rest=*/false).Total();
+}
+
+double VariableElimination::Marginal(BnVar v, int value,
+                                     const BnInstantiation& evidence) const {
+  Factor f = Eliminate(evidence, {v}, /*maximize_rest=*/false);
+  // If v itself carries evidence, the factor is already restricted.
+  BnInstantiation inst(net_.num_vars(), kUnobserved);
+  inst[v] = value;
+  return f.At(inst);
+}
+
+double VariableElimination::Posterior(BnVar v, int value,
+                                      const BnInstantiation& evidence) const {
+  const double pe = ProbEvidence(evidence);
+  TBC_CHECK_MSG(pe > 0.0, "zero-probability evidence");
+  return Marginal(v, value, evidence) / pe;
+}
+
+double VariableElimination::MpeValue(const BnInstantiation& evidence) const {
+  return Eliminate(evidence, {}, /*maximize_rest=*/true).Max();
+}
+
+BnInstantiation VariableElimination::Mpe(const BnInstantiation& evidence) const {
+  BnInstantiation current = evidence;
+  current.resize(net_.num_vars(), kUnobserved);
+  for (BnVar v = 0; v < net_.num_vars(); ++v) {
+    if (current[v] != kUnobserved) continue;
+    double best = -1.0;
+    int best_value = 0;
+    for (int x = 0; x < static_cast<int>(net_.cardinality(v)); ++x) {
+      current[v] = x;
+      const double val = MpeValue(current);
+      if (val > best) {
+        best = val;
+        best_value = x;
+      }
+    }
+    current[v] = best_value;
+  }
+  return current;
+}
+
+double VariableElimination::Map(const std::vector<BnVar>& map_vars,
+                                const BnInstantiation& evidence,
+                                std::vector<int>* argmax) const {
+  // Sum out everything outside map_vars, then maximize the joint factor.
+  Factor f = Eliminate(evidence, map_vars, /*maximize_rest=*/false);
+  double best = -1.0;
+  size_t best_index = 0;
+  for (size_t i = 0; i < f.table_size(); ++i) {
+    if (f.value(i) > best) {
+      best = f.value(i);
+      best_index = i;
+    }
+  }
+  if (argmax != nullptr) {
+    // Factor scope order may differ from map_vars order; remap.
+    const std::vector<int> vals = f.Decode(best_index);
+    argmax->assign(map_vars.size(), 0);
+    for (size_t k = 0; k < map_vars.size(); ++k) {
+      for (size_t j = 0; j < f.vars().size(); ++j) {
+        if (f.vars()[j] == map_vars[k]) (*argmax)[k] = vals[j];
+      }
+    }
+  }
+  return best;
+}
+
+double VariableElimination::Sdp(BnVar decision_var, int d_value,
+                                double threshold,
+                                const std::vector<BnVar>& observables,
+                                const BnInstantiation& evidence) const {
+  const double pe = ProbEvidence(evidence);
+  TBC_CHECK_MSG(pe > 0.0, "zero-probability evidence");
+  const bool current_decision =
+      Marginal(decision_var, d_value, evidence) / pe >= threshold;
+
+  // Enumerate instantiations y of the observables.
+  uint64_t num_y = 1;
+  for (BnVar v : observables) num_y *= net_.cardinality(v);
+  double sdp = 0.0;
+  for (uint64_t code = 0; code < num_y; ++code) {
+    BnInstantiation with_y = evidence;
+    with_y.resize(net_.num_vars(), kUnobserved);
+    uint64_t rest = code;
+    for (size_t k = observables.size(); k-- > 0;) {
+      with_y[observables[k]] = static_cast<int>(rest % net_.cardinality(observables[k]));
+      rest /= net_.cardinality(observables[k]);
+    }
+    const double pye = ProbEvidence(with_y);
+    if (pye <= 0.0) continue;
+    const bool decision =
+        Marginal(decision_var, d_value, with_y) / pye >= threshold;
+    if (decision == current_decision) sdp += pye / pe;
+  }
+  return sdp;
+}
+
+}  // namespace tbc

@@ -1,0 +1,60 @@
+#ifndef TBC_BAYES_VARELIM_H_
+#define TBC_BAYES_VARELIM_H_
+
+#include <vector>
+
+#include "bayes/factor.h"
+#include "bayes/network.h"
+
+namespace tbc {
+
+/// Variable elimination: the classical dedicated inference algorithm for
+/// Bayesian networks (paper §2: "there is a long tradition of developing
+/// dedicated algorithms"). Serves as the library's baseline against which
+/// the circuit-based reductions (WMC on compiled circuits) are validated
+/// and compared.
+class VariableElimination {
+ public:
+  explicit VariableElimination(const BayesianNetwork& net) : net_(net) {}
+
+  /// Pr(evidence): probability of a partial instantiation.
+  double ProbEvidence(const BnInstantiation& evidence) const;
+
+  /// Pr(v = value, evidence) — unnormalized marginal (MAR).
+  double Marginal(BnVar v, int value, const BnInstantiation& evidence) const;
+
+  /// Pr(v = value | evidence); aborts if Pr(evidence) == 0.
+  double Posterior(BnVar v, int value, const BnInstantiation& evidence) const;
+
+  /// max_x Pr(x, evidence): the MPE value (D-MPE's optimization version).
+  double MpeValue(const BnInstantiation& evidence) const;
+
+  /// The MPE instantiation itself (completes the evidence).
+  BnInstantiation Mpe(const BnInstantiation& evidence) const;
+
+  /// max_y Pr(y, evidence) over instantiations y of map_vars, summing out
+  /// all other variables: the MAP query (NP^PP). Returns the value and the
+  /// maximizing values (parallel to map_vars).
+  double Map(const std::vector<BnVar>& map_vars, const BnInstantiation& evidence,
+             std::vector<int>* argmax) const;
+
+  /// Same-decision probability [Darwiche & Choi 2010] (PP^PP): the
+  /// probability that the threshold decision [Pr(d = d_value | e) >= T]
+  /// keeps its current truth value after also observing the variables Y.
+  ///   SDP = Σ_y Pr(y | e) · [ [Pr(d|y,e) >= T] == [Pr(d|e) >= T] ].
+  double Sdp(BnVar decision_var, int d_value, double threshold,
+             const std::vector<BnVar>& observables,
+             const BnInstantiation& evidence) const;
+
+ private:
+  // Multiplies all CPT factors restricted to evidence, then eliminates the
+  // variables in `eliminate` by sum (or max when in `maximize`).
+  Factor Eliminate(const BnInstantiation& evidence,
+                   const std::vector<BnVar>& keep, bool maximize_rest) const;
+
+  const BayesianNetwork& net_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_BAYES_VARELIM_H_

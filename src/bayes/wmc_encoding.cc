@@ -1,0 +1,129 @@
+#include "bayes/wmc_encoding.h"
+
+#include "base/check.h"
+
+namespace tbc {
+
+WmcEncoding::WmcEncoding(const BayesianNetwork& net, Options options)
+    : net_(net) {
+  constexpr double kEps = 1e-12;
+  auto deterministic = [&](double theta) {
+    return options.exploit_determinism && (theta < kEps || theta > 1.0 - kEps);
+  };
+  // Allocate indicator variables.
+  Var next = 0;
+  indicator_base_.resize(net.num_vars());
+  for (BnVar v = 0; v < net.num_vars(); ++v) {
+    indicator_base_[v] = next;
+    next += net.cardinality(v);
+  }
+  // Parameter variables are allocated per non-deterministic CPT entry.
+  std::vector<std::vector<Var>> param_var(net.num_vars());
+  for (BnVar v = 0; v < net.num_vars(); ++v) {
+    param_var[v].assign(net.cpt(v).size(), kInvalidVar);
+    for (size_t i = 0; i < net.cpt(v).size(); ++i) {
+      if (!deterministic(net.cpt(v)[i])) param_var[v][i] = next++;
+    }
+  }
+  cnf_.EnsureVars(next);
+  weights_ = WeightMap(next);
+
+  // Exactly-one clauses over each variable's indicators.
+  for (BnVar v = 0; v < net.num_vars(); ++v) {
+    Clause at_least;
+    for (uint32_t x = 0; x < net.cardinality(v); ++x) {
+      at_least.push_back(Pos(IndicatorVar(v, static_cast<int>(x))));
+    }
+    cnf_.AddClause(at_least);
+    for (uint32_t x = 0; x < net.cardinality(v); ++x) {
+      for (uint32_t y = x + 1; y < net.cardinality(v); ++y) {
+        cnf_.AddClause({Neg(IndicatorVar(v, static_cast<int>(x))),
+                        Neg(IndicatorVar(v, static_cast<int>(y)))});
+      }
+    }
+  }
+
+  // Parameter clauses: λ_u ∧ λ_x  ⇔  P. Enumerate CPT rows via a
+  // mixed-radix counter over the parents.
+  for (BnVar v = 0; v < net.num_vars(); ++v) {
+    const auto& parents = net.parents(v);
+    size_t rows = 1;
+    for (BnVar p : parents) rows *= net.cardinality(p);
+    for (size_t row = 0; row < rows; ++row) {
+      // Decode the row into parent values (last parent fastest).
+      std::vector<int> pvals(parents.size());
+      size_t rest = row;
+      for (size_t k = parents.size(); k-- > 0;) {
+        pvals[k] = static_cast<int>(rest % net.cardinality(parents[k]));
+        rest /= net.cardinality(parents[k]);
+      }
+      for (uint32_t x = 0; x < net.cardinality(v); ++x) {
+        const size_t entry = row * net.cardinality(v) + x;
+        const double theta = net.cpt(v)[entry];
+        const Var p_var = param_var[v][entry];
+        if (p_var == kInvalidVar) {
+          // Deterministic entry (refined reduction): θ = 1 contributes a
+          // weight of 1 and needs nothing; θ = 0 forbids the instantiation.
+          if (theta < 0.5) {
+            Clause forbid;
+            for (size_t k = 0; k < parents.size(); ++k) {
+              forbid.push_back(Neg(IndicatorVar(parents[k], pvals[k])));
+            }
+            forbid.push_back(Neg(IndicatorVar(v, static_cast<int>(x))));
+            cnf_.AddClause(forbid);
+          }
+          continue;
+        }
+        weights_.Set(Pos(p_var), theta);
+        // (λ_u1 ∧ ... ∧ λ_x) -> P.
+        Clause imp{Pos(p_var)};
+        for (size_t k = 0; k < parents.size(); ++k) {
+          imp.push_back(Neg(IndicatorVar(parents[k], pvals[k])));
+        }
+        imp.push_back(Neg(IndicatorVar(v, static_cast<int>(x))));
+        cnf_.AddClause(imp);
+        // P -> each conjunct.
+        for (size_t k = 0; k < parents.size(); ++k) {
+          cnf_.AddClause({Neg(p_var), Pos(IndicatorVar(parents[k], pvals[k]))});
+        }
+        cnf_.AddClause({Neg(p_var), Pos(IndicatorVar(v, static_cast<int>(x)))});
+      }
+    }
+  }
+}
+
+std::vector<Var> WmcEncoding::IndicatorVars(BnVar v) const {
+  std::vector<Var> out;
+  for (uint32_t x = 0; x < net_.cardinality(v); ++x) {
+    out.push_back(IndicatorVar(v, static_cast<int>(x)));
+  }
+  return out;
+}
+
+WeightMap WmcEncoding::WeightsWithEvidence(const BnInstantiation& evidence) const {
+  WeightMap w = weights_;
+  for (BnVar v = 0; v < net_.num_vars() && v < evidence.size(); ++v) {
+    if (evidence[v] == kUnobserved) continue;
+    for (uint32_t x = 0; x < net_.cardinality(v); ++x) {
+      if (static_cast<int>(x) != evidence[v]) {
+        w.Set(Pos(IndicatorVar(v, static_cast<int>(x))), 0.0);
+      }
+    }
+  }
+  return w;
+}
+
+BnInstantiation WmcEncoding::DecodeModel(const Assignment& model) const {
+  BnInstantiation inst(net_.num_vars(), kUnobserved);
+  for (BnVar v = 0; v < net_.num_vars(); ++v) {
+    for (uint32_t x = 0; x < net_.cardinality(v); ++x) {
+      if (model[IndicatorVar(v, static_cast<int>(x))]) {
+        TBC_DCHECK(inst[v] == kUnobserved);
+        inst[v] = static_cast<int>(x);
+      }
+    }
+  }
+  return inst;
+}
+
+}  // namespace tbc

@@ -1,0 +1,67 @@
+#ifndef TBC_BAYES_WMC_ENCODING_H_
+#define TBC_BAYES_WMC_ENCODING_H_
+
+#include <vector>
+
+#include "bayes/network.h"
+#include "logic/cnf.h"
+
+namespace tbc {
+
+/// The core MAR -> WMC reduction [Darwiche 2002] (paper §2.2, Fig 4).
+///
+/// For each network variable X and value x there is a Boolean *indicator*
+/// variable λ_{X=x} (exactly-one per network variable), and for each CPT
+/// entry θ_{x|u} a Boolean *parameter* variable P_{x|u} with the clauses of
+///   λ_{u1} ∧ ... ∧ λ_{uk} ∧ λ_x  ⇔  P_{x|u}.
+/// The resulting CNF Δ has exactly one model per network instantiation
+/// (display (1) in the paper), and with weights
+///   W(λ) = W(¬λ) = W(¬P) = 1,  W(P_{x|u}) = θ_{x|u}
+/// the weight of that model is the instantiation's probability. Hence
+/// Pr(α) = WMC(Δ ∧ α) for any event α over the indicators, and evidence is
+/// asserted by zeroing the weights of contradicted indicators.
+class WmcEncoding {
+ public:
+  struct Options {
+    /// The refined reduction of §2.2's closing discussion ([Chavira &
+    /// Darwiche 2008]): deterministic CPT entries get no parameter
+    /// variable at all — θ = 0 becomes a hard clause forbidding the
+    /// instantiation, θ = 1 disappears entirely. "Can be critical for the
+    /// efficient computation of weighted model counts" when the network
+    /// has an abundance of 0/1 parameters; bench_ablation_encodings
+    /// quantifies it.
+    bool exploit_determinism = false;
+  };
+
+  /// Builds the encoding of `net` (classic reduction).
+  explicit WmcEncoding(const BayesianNetwork& net) : WmcEncoding(net, Options()) {}
+  WmcEncoding(const BayesianNetwork& net, Options options);
+
+  const Cnf& cnf() const { return cnf_; }
+  /// Weights with no evidence.
+  const WeightMap& weights() const { return weights_; }
+  size_t num_bool_vars() const { return cnf_.num_vars(); }
+
+  /// Boolean indicator variable for network variable v taking `value`.
+  Var IndicatorVar(BnVar v, int value) const {
+    return indicator_base_[v] + static_cast<Var>(value);
+  }
+  /// All indicator variables of network variable v.
+  std::vector<Var> IndicatorVars(BnVar v) const;
+
+  /// Weights with evidence asserted (contradicted indicators get weight 0).
+  WeightMap WeightsWithEvidence(const BnInstantiation& evidence) const;
+
+  /// Decodes a Boolean model of the encoding into a network instantiation.
+  BnInstantiation DecodeModel(const Assignment& model) const;
+
+ private:
+  const BayesianNetwork& net_;
+  Cnf cnf_;
+  WeightMap weights_{0};
+  std::vector<Var> indicator_base_;  // per network variable
+};
+
+}  // namespace tbc
+
+#endif  // TBC_BAYES_WMC_ENCODING_H_

@@ -1,0 +1,91 @@
+#include "compiler/ddnnf_compiler.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "compiler/subproblem.h"
+
+namespace tbc {
+
+namespace {
+
+using compiler_internal::BcpOutcome;
+using compiler_internal::CacheKey;
+using compiler_internal::Canonicalize;
+using compiler_internal::Clauses;
+using compiler_internal::ConditionClauses;
+using compiler_internal::PickBranchVar;
+using compiler_internal::Propagate;
+using compiler_internal::SplitComponents;
+
+class Compilation {
+ public:
+  Compilation(const DdnnfOptions& options, NnfManager& mgr, DdnnfStats& stats)
+      : options_(options), mgr_(mgr), stats_(stats) {}
+
+  NnfId CompileClauses(Clauses clauses) {
+    Canonicalize(clauses);
+    std::vector<Lit> implied;
+    Clauses remaining;
+    if (Propagate(std::move(clauses), &implied, &remaining) ==
+        BcpOutcome::kConflict) {
+      return mgr_.False();
+    }
+    std::vector<NnfId> conjuncts;
+    for (Lit l : implied) conjuncts.push_back(mgr_.Literal(l));
+    if (!remaining.empty()) {
+      if (options_.use_components) {
+        std::vector<Clauses> components = SplitComponents(remaining);
+        if (components.size() > 1) ++stats_.components_split;
+        for (Clauses& comp : components) {
+          conjuncts.push_back(CompileComponent(std::move(comp)));
+        }
+      } else {
+        conjuncts.push_back(CompileComponent(std::move(remaining)));
+      }
+    }
+    return mgr_.And(std::move(conjuncts));
+  }
+
+ private:
+  // Compiles a single component (no unit clauses after propagation).
+  NnfId CompileComponent(Clauses clauses) {
+    Canonicalize(clauses);
+    std::string key;
+    if (options_.use_cache) {
+      key = CacheKey(clauses);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++stats_.cache_hits;
+        return it->second;
+      }
+    }
+    ++stats_.decisions;
+    const Var v = PickBranchVar(clauses);
+    TBC_DCHECK(v != kInvalidVar);
+    const NnfId hi = CompileClauses(ConditionClauses(clauses, Pos(v)));
+    const NnfId lo = CompileClauses(ConditionClauses(clauses, Neg(v)));
+    const NnfId result = mgr_.Decision(v, hi, lo);
+    if (options_.use_cache) cache_[key] = result;
+    return result;
+  }
+
+  const DdnnfOptions& options_;
+  NnfManager& mgr_;
+  DdnnfStats& stats_;
+  std::unordered_map<std::string, NnfId> cache_;
+};
+
+}  // namespace
+
+NnfId DdnnfCompiler::Compile(const Cnf& cnf, NnfManager& mgr) {
+  stats_ = DdnnfStats();
+  Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
+  Compilation run(options_, mgr, stats_);
+  return run.CompileClauses(std::move(clauses));
+}
+
+}  // namespace tbc

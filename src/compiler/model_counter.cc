@@ -1,0 +1,188 @@
+#include "compiler/model_counter.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "compiler/subproblem.h"
+
+namespace tbc {
+
+namespace {
+
+using compiler_internal::BcpOutcome;
+using compiler_internal::CacheKey;
+using compiler_internal::Canonicalize;
+using compiler_internal::Clauses;
+using compiler_internal::ConditionClauses;
+using compiler_internal::CountVars;
+using compiler_internal::PickBranchVar;
+using compiler_internal::Propagate;
+using compiler_internal::SplitComponents;
+
+// Exact counting: Count(clauses) is the model count over exactly the
+// variables appearing in `clauses`. Free variables that drop out along the
+// way are re-multiplied by the caller via 2^gap.
+class CountRun {
+ public:
+  explicit CountRun(ModelCounter::Stats& stats) : stats_(stats) {}
+
+  BigUint CountClauses(Clauses clauses) {
+    Canonicalize(clauses);
+    const size_t vars_before = CountVars(clauses);
+    std::vector<Lit> implied;
+    Clauses remaining;
+    if (Propagate(std::move(clauses), &implied, &remaining) ==
+        BcpOutcome::kConflict) {
+      return BigUint(0);
+    }
+    // Variables fixed by propagation contribute factor 1; variables that
+    // vanished entirely (satisfied clauses) are free.
+    const size_t vars_after = CountVars(remaining);
+    const unsigned freed = static_cast<unsigned>(vars_before - implied.size() -
+                                                 vars_after);
+    BigUint result = BigUint::PowerOfTwo(freed);
+    for (Clauses& comp : SplitComponents(remaining)) {
+      result *= CountComponent(std::move(comp));
+    }
+    return result;
+  }
+
+ private:
+  BigUint CountComponent(Clauses clauses) {
+    Canonicalize(clauses);
+    const std::string key = CacheKey(clauses);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+    ++stats_.decisions;
+    const Var v = PickBranchVar(clauses);
+    TBC_DCHECK(v != kInvalidVar);
+    const size_t nv = CountVars(clauses);
+    BigUint total(0);
+    for (bool sign : {false, true}) {
+      Clauses sub = ConditionClauses(clauses, Lit(v, sign));
+      const size_t sub_vars = CountVars(sub);
+      BigUint c = CountClauses(std::move(sub));
+      // The branch fixes v; variables of the component absent from the
+      // subproblem are free.
+      c *= BigUint::PowerOfTwo(static_cast<unsigned>(nv - 1 - sub_vars));
+      total += c;
+    }
+    cache_.emplace(key, total);
+    return total;
+  }
+
+  ModelCounter::Stats& stats_;
+  std::unordered_map<std::string, BigUint> cache_;
+};
+
+// Weighted variant; identical structure with per-literal weights.
+class WmcRun {
+ public:
+  WmcRun(const WeightMap& weights, ModelCounter::Stats& stats)
+      : weights_(weights), stats_(stats) {}
+
+  double WmcClauses(Clauses clauses) {
+    Canonicalize(clauses);
+    std::unordered_map<Var, int> seen_before;
+    for (const auto& c : clauses) {
+      for (Lit l : c) seen_before[l.var()] = 1;
+    }
+    std::vector<Lit> implied;
+    Clauses remaining;
+    if (Propagate(std::move(clauses), &implied, &remaining) ==
+        BcpOutcome::kConflict) {
+      return 0.0;
+    }
+    double result = 1.0;
+    for (Lit l : implied) {
+      result *= weights_[l];
+      seen_before.erase(l.var());
+    }
+    for (const auto& c : remaining) {
+      for (Lit l : c) seen_before.erase(l.var());
+    }
+    // Variables that vanished are free: factor (W(x)+W(¬x)).
+    for (const auto& [v, unused] : seen_before) {
+      result *= weights_[Pos(v)] + weights_[Neg(v)];
+    }
+    for (Clauses& comp : SplitComponents(remaining)) {
+      result *= WmcComponent(std::move(comp));
+    }
+    return result;
+  }
+
+ private:
+  double WmcComponent(Clauses clauses) {
+    Canonicalize(clauses);
+    const std::string key = CacheKey(clauses);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+    ++stats_.decisions;
+    const Var v = PickBranchVar(clauses);
+    TBC_DCHECK(v != kInvalidVar);
+    std::unordered_map<Var, int> comp_vars;
+    for (const auto& c : clauses) {
+      for (Lit l : c) comp_vars[l.var()] = 1;
+    }
+    double total = 0.0;
+    for (bool sign : {false, true}) {
+      const Lit branch(v, sign);
+      Clauses sub = ConditionClauses(clauses, branch);
+      double w = weights_[branch] * WmcClauses(sub);
+      // Component variables absent from the subproblem are free.
+      std::unordered_map<Var, int> sub_vars;
+      for (const auto& c : sub) {
+        for (Lit l : c) sub_vars[l.var()] = 1;
+      }
+      for (const auto& [u, unused] : comp_vars) {
+        if (u != v && sub_vars.find(u) == sub_vars.end()) {
+          w *= weights_[Pos(u)] + weights_[Neg(u)];
+        }
+      }
+      total += w;
+    }
+    cache_.emplace(key, total);
+    return total;
+  }
+
+  const WeightMap& weights_;
+  ModelCounter::Stats& stats_;
+  std::unordered_map<std::string, double> cache_;
+};
+
+}  // namespace
+
+BigUint ModelCounter::Count(const Cnf& cnf) {
+  stats_ = Stats();
+  Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
+  const size_t mentioned = CountVars(clauses);
+  CountRun run(stats_);
+  BigUint c = run.CountClauses(std::move(clauses));
+  return c * BigUint::PowerOfTwo(static_cast<unsigned>(cnf.num_vars() - mentioned));
+}
+
+double ModelCounter::Wmc(const Cnf& cnf, const WeightMap& weights) {
+  stats_ = Stats();
+  Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
+  std::unordered_map<Var, int> mentioned;
+  for (const auto& c : clauses) {
+    for (Lit l : c) mentioned[l.var()] = 1;
+  }
+  WmcRun run(weights, stats_);
+  double w = run.WmcClauses(std::move(clauses));
+  for (Var v = 0; v < cnf.num_vars(); ++v) {
+    if (mentioned.find(v) == mentioned.end()) {
+      w *= weights[Pos(v)] + weights[Neg(v)];
+    }
+  }
+  return w;
+}
+
+}  // namespace tbc

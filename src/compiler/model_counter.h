@@ -1,0 +1,35 @@
+#ifndef TBC_COMPILER_MODEL_COUNTER_H_
+#define TBC_COMPILER_MODEL_COUNTER_H_
+
+#include "base/bigint.h"
+#include "logic/cnf.h"
+
+namespace tbc {
+
+/// Exact #SAT / WMC by exhaustive DPLL with component caching — the
+/// sharpSAT architecture (paper §2.1, footnote 3). Shares its search
+/// skeleton with DdnnfCompiler: keeping the trace of this search yields a
+/// Decision-DNNF [Huang & Darwiche 2007], which is exactly what
+/// DdnnfCompiler does. This direct counter skips circuit construction.
+class ModelCounter {
+ public:
+  struct Stats {
+    uint64_t decisions = 0;
+    uint64_t cache_hits = 0;
+  };
+
+  /// Exact model count over cnf.num_vars() variables.
+  BigUint Count(const Cnf& cnf);
+
+  /// Exact weighted model count (weights sized to cnf.num_vars()).
+  double Wmc(const Cnf& cnf, const WeightMap& weights);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Stats stats_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_COMPILER_MODEL_COUNTER_H_

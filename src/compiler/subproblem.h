@@ -1,0 +1,164 @@
+#ifndef TBC_COMPILER_SUBPROBLEM_H_
+#define TBC_COMPILER_SUBPROBLEM_H_
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "logic/lit.h"
+
+namespace tbc::compiler_internal {
+
+/// A subproblem of exhaustive DPLL: a set of reduced clauses (no satisfied
+/// clauses, no false literals). Shared by the Decision-DNNF compiler and
+/// the model counter — the paper's point that a model counter's trace *is*
+/// a d-DNNF [Huang & Darwiche 2007] shows up here as the two using the
+/// same search skeleton.
+using Clauses = std::vector<std::vector<Lit>>;
+
+inline void Canonicalize(Clauses& clauses) {
+  for (auto& c : clauses) std::sort(c.begin(), c.end());
+  std::sort(clauses.begin(), clauses.end());
+  clauses.erase(std::unique(clauses.begin(), clauses.end()), clauses.end());
+}
+
+inline std::string CacheKey(const Clauses& clauses) {
+  std::string key;
+  key.reserve(clauses.size() * 8);
+  for (const auto& c : clauses) {
+    for (Lit l : c) {
+      const uint32_t code = l.code();
+      key.append(reinterpret_cast<const char*>(&code), sizeof(code));
+    }
+    const uint32_t sep = static_cast<uint32_t>(-1);
+    key.append(reinterpret_cast<const char*>(&sep), sizeof(sep));
+  }
+  return key;
+}
+
+enum class BcpOutcome { kOk, kConflict };
+
+/// Exhaustive unit propagation: consumes unit clauses into `implied`,
+/// reduces the rest into `remaining`.
+inline BcpOutcome Propagate(Clauses clauses, std::vector<Lit>* implied,
+                            Clauses* remaining) {
+  implied->clear();
+  std::unordered_map<Var, bool> value;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    Clauses next;
+    next.reserve(clauses.size());
+    for (auto& c : clauses) {
+      std::vector<Lit> reduced;
+      bool satisfied = false;
+      for (Lit l : c) {
+        auto it = value.find(l.var());
+        if (it == value.end()) {
+          reduced.push_back(l);
+        } else if (it->second == l.positive()) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (reduced.empty()) return BcpOutcome::kConflict;
+      if (reduced.size() == 1) {
+        const Lit u = reduced[0];
+        if (value.find(u.var()) == value.end()) {
+          value[u.var()] = u.positive();
+          implied->push_back(u);
+          changed = true;
+        }
+        continue;
+      }
+      next.push_back(std::move(reduced));
+    }
+    clauses = std::move(next);
+  }
+  *remaining = std::move(clauses);
+  return BcpOutcome::kOk;
+}
+
+/// Splits clauses into variable-connected components (union-find on vars).
+inline std::vector<Clauses> SplitComponents(const Clauses& clauses) {
+  std::unordered_map<Var, Var> parent;
+  std::function<Var(Var)> find = [&](Var v) -> Var {
+    auto it = parent.find(v);
+    if (it == parent.end() || it->second == v) {
+      parent[v] = v;
+      return v;
+    }
+    return parent[v] = find(it->second);
+  };
+  for (const auto& c : clauses) {
+    for (size_t i = 1; i < c.size(); ++i) {
+      parent[find(c[0].var())] = find(c[i].var());
+    }
+  }
+  std::unordered_map<Var, size_t> comp_index;
+  std::vector<Clauses> components;
+  for (const auto& c : clauses) {
+    const Var root = find(c[0].var());
+    auto it = comp_index.find(root);
+    if (it == comp_index.end()) {
+      it = comp_index.emplace(root, components.size()).first;
+      components.emplace_back();
+    }
+    components[it->second].push_back(c);
+  }
+  return components;
+}
+
+/// Most frequently occurring variable (ties broken by smaller index so the
+/// search is deterministic).
+inline Var PickBranchVar(const Clauses& clauses) {
+  std::unordered_map<Var, size_t> occurrences;
+  for (const auto& c : clauses) {
+    for (Lit l : c) ++occurrences[l.var()];
+  }
+  Var best = kInvalidVar;
+  size_t best_count = 0;
+  for (const auto& [v, count] : occurrences) {
+    if (count > best_count || (count == best_count && v < best)) {
+      best = v;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+/// Conditions clauses on a literal (no propagation).
+inline Clauses ConditionClauses(const Clauses& clauses, Lit l) {
+  Clauses out;
+  out.reserve(clauses.size());
+  for (const auto& c : clauses) {
+    std::vector<Lit> reduced;
+    bool satisfied = false;
+    for (Lit x : c) {
+      if (x == l) {
+        satisfied = true;
+        break;
+      }
+      if (x != ~l) reduced.push_back(x);
+    }
+    if (!satisfied) out.push_back(std::move(reduced));
+  }
+  return out;
+}
+
+/// Number of distinct variables appearing in the clauses.
+inline size_t CountVars(const Clauses& clauses) {
+  std::unordered_set<Var> vars;
+  for (const auto& c : clauses) {
+    for (Lit l : c) vars.insert(l.var());
+  }
+  return vars.size();
+}
+
+}  // namespace tbc::compiler_internal
+
+#endif  // TBC_COMPILER_SUBPROBLEM_H_

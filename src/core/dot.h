@@ -1,0 +1,35 @@
+#ifndef TBC_CORE_DOT_H_
+#define TBC_CORE_DOT_H_
+
+#include <string>
+
+#include "nnf/nnf.h"
+#include "obdd/obdd.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+
+/// Graphviz DOT exports for every circuit type — the visualizations the
+/// paper's figures draw by hand (`dot -Tpdf` renders them). Variables can
+/// be labeled through `names` (index = Var); empty uses x<i>.
+
+std::string DotVtree(const Vtree& vtree,
+                     const std::vector<std::string>& names = {});
+
+/// OBDD in the classic style: solid high edge, dashed low edge.
+std::string DotObdd(const ObddManager& mgr, ObddId f,
+                    const std::vector<std::string>& names = {});
+
+/// SDD in the paper's Fig 9/13 style: decision nodes as boxes of
+/// (prime | sub) element pairs.
+std::string DotSdd(const SddManager& mgr, SddId f,
+                   const std::vector<std::string>& names = {});
+
+/// NNF circuit with and/or/literal node shapes.
+std::string DotNnf(const NnfManager& mgr, NnfId root,
+                   const std::vector<std::string>& names = {});
+
+}  // namespace tbc
+
+#endif  // TBC_CORE_DOT_H_

@@ -1,0 +1,191 @@
+#include "core/kc_map.h"
+
+#include "base/check.h"
+
+namespace tbc {
+namespace kc {
+
+namespace {
+
+// Row-per-language query support, following Darwiche & Marquis 2002
+// (Table 7) and Darwiche 2011 for SDD. Column order matches enum Query.
+struct QueryRow {
+  Language lang;
+  bool co, va, ce, im, eq, se, ct, me;
+};
+constexpr QueryRow kQueryTable[] = {
+    //                        CO     VA     CE     IM     EQ     SE     CT     ME
+    {Language::kNnf,          false, false, false, false, false, false, false, false},
+    {Language::kDnnf,         true,  false, true,  false, false, false, false, true},
+    {Language::kDDnnf,        true,  true,  true,  true,  false, false, true,  true},
+    {Language::kDecisionDnnf, true,  true,  true,  true,  false, false, true,  true},
+    {Language::kSdd,          true,  true,  true,  true,  true,  false, true,  true},
+    {Language::kObdd,         true,  true,  true,  true,  true,  true,  true,  true},
+    {Language::kCnf,          false, true,  false, true,  false, false, false, false},
+    {Language::kDnf,          true,  false, true,  false, false, false, false, true},
+    {Language::kPi,           true,  true,  true,  true,  true,  true,  false, true},
+    {Language::kIp,           true,  true,  true,  true,  true,  true,  false, true},
+};
+
+struct TransRow {
+  Language lang;
+  bool cd, fo, sfo, andc, andbc, orc, orbc, notc;
+};
+constexpr TransRow kTransTable[] = {
+    //                        CD     FO     SFO    ∧C     ∧BC    ∨C     ∨BC    ¬C
+    {Language::kNnf,          true,  false, false, true,  true,  true,  true,  true},
+    {Language::kDnnf,         true,  true,  true,  false, false, true,  true,  false},
+    {Language::kDDnnf,        true,  false, false, false, false, false, false, false},
+    {Language::kDecisionDnnf, true,  false, false, false, false, false, false, false},
+    {Language::kSdd,          true,  false, true,  false, true,  false, true,  true},
+    {Language::kObdd,         true,  false, true,  false, true,  false, true,  true},
+    {Language::kCnf,          true,  false, true,  true,  true,  false, true,  false},
+    {Language::kDnf,          true,  true,  true,  false, true,  true,  true,  false},
+    {Language::kPi,           true,  true,  true,  false, false, false, false, false},
+    {Language::kIp,           true,  false, false, false, false, false, false, false},
+};
+
+}  // namespace
+
+bool SupportsQuery(Language lang, Query query) {
+  for (const QueryRow& row : kQueryTable) {
+    if (row.lang != lang) continue;
+    switch (query) {
+      case Query::kConsistency:
+        return row.co;
+      case Query::kValidity:
+        return row.va;
+      case Query::kClausalEntail:
+        return row.ce;
+      case Query::kImplicant:
+        return row.im;
+      case Query::kEquivalence:
+        return row.eq;
+      case Query::kSentenceEntail:
+        return row.se;
+      case Query::kModelCount:
+        return row.ct;
+      case Query::kModelEnum:
+        return row.me;
+    }
+  }
+  TBC_CHECK_MSG(false, "unknown language");
+  return false;
+}
+
+bool SupportsTransformation(Language lang, Transformation t) {
+  for (const TransRow& row : kTransTable) {
+    if (row.lang != lang) continue;
+    switch (t) {
+      case Transformation::kCondition:
+        return row.cd;
+      case Transformation::kForget:
+        return row.fo;
+      case Transformation::kSingletonForget:
+        return row.sfo;
+      case Transformation::kConjoin:
+        return row.andc;
+      case Transformation::kConjoinBounded:
+        return row.andbc;
+      case Transformation::kDisjoin:
+        return row.orc;
+      case Transformation::kDisjoinBounded:
+        return row.orbc;
+      case Transformation::kNegate:
+        return row.notc;
+    }
+  }
+  TBC_CHECK_MSG(false, "unknown language");
+  return false;
+}
+
+std::string ToString(Language lang) {
+  switch (lang) {
+    case Language::kNnf:
+      return "NNF";
+    case Language::kDnnf:
+      return "DNNF";
+    case Language::kDDnnf:
+      return "d-DNNF";
+    case Language::kDecisionDnnf:
+      return "Decision-DNNF";
+    case Language::kSdd:
+      return "SDD";
+    case Language::kObdd:
+      return "OBDD";
+    case Language::kCnf:
+      return "CNF";
+    case Language::kDnf:
+      return "DNF";
+    case Language::kPi:
+      return "PI";
+    case Language::kIp:
+      return "IP";
+  }
+  return "?";
+}
+
+std::string ToString(Query query) {
+  switch (query) {
+    case Query::kConsistency:
+      return "CO";
+    case Query::kValidity:
+      return "VA";
+    case Query::kClausalEntail:
+      return "CE";
+    case Query::kImplicant:
+      return "IM";
+    case Query::kEquivalence:
+      return "EQ";
+    case Query::kSentenceEntail:
+      return "SE";
+    case Query::kModelCount:
+      return "CT";
+    case Query::kModelEnum:
+      return "ME";
+  }
+  return "?";
+}
+
+std::string ToString(Transformation t) {
+  switch (t) {
+    case Transformation::kCondition:
+      return "CD";
+    case Transformation::kForget:
+      return "FO";
+    case Transformation::kSingletonForget:
+      return "SFO";
+    case Transformation::kConjoin:
+      return "AND-C";
+    case Transformation::kConjoinBounded:
+      return "AND-BC";
+    case Transformation::kDisjoin:
+      return "OR-C";
+    case Transformation::kDisjoinBounded:
+      return "OR-BC";
+    case Transformation::kNegate:
+      return "NOT-C";
+  }
+  return "?";
+}
+
+std::vector<Language> AllLanguages() {
+  return {Language::kNnf, Language::kDnnf,  Language::kDDnnf,
+          Language::kDecisionDnnf, Language::kSdd, Language::kObdd,
+          Language::kCnf, Language::kDnf,   Language::kPi,
+          Language::kIp};
+}
+
+Language CheapestLanguageFor(const std::vector<Query>& queries) {
+  // Succinctness chain of Fig 12: NNF ⊇ DNNF ⊇ d-DNNF ⊇ SDD ⊇ OBDD.
+  for (Language lang : {Language::kNnf, Language::kDnnf, Language::kDDnnf,
+                        Language::kSdd, Language::kObdd}) {
+    bool ok = true;
+    for (Query q : queries) ok &= SupportsQuery(lang, q);
+    if (ok) return lang;
+  }
+  return Language::kObdd;
+}
+
+}  // namespace kc
+}  // namespace tbc

@@ -1,0 +1,71 @@
+#ifndef TBC_CORE_KC_MAP_H_
+#define TBC_CORE_KC_MAP_H_
+
+#include <string>
+#include <vector>
+
+namespace tbc {
+
+/// The knowledge compilation map [Darwiche & Marquis 2002] (paper §3,
+/// Fig 12): which queries and transformations each circuit language
+/// supports in polytime. Encoded as data so tools can pick the cheapest
+/// language supporting the queries they need, and so the taxonomy the
+/// paper surveys is executable documentation.
+namespace kc {
+
+enum class Language {
+  kNnf,           // negation normal form (no properties)
+  kDnnf,          // decomposable
+  kDDnnf,         // decomposable + deterministic
+  kDecisionDnnf,  // decomposable + decision (what the compiler emits)
+  kSdd,           // structured decomposability + strong determinism
+  kObdd,          // ordered binary decision diagram
+  kCnf,
+  kDnf,
+  kPi,  // prime implicates
+  kIp,  // prime implicants
+};
+
+enum class Query {
+  kConsistency,     // CO: satisfiability
+  kValidity,        // VA
+  kClausalEntail,   // CE: does the circuit entail a clause?
+  kImplicant,       // IM: is a term an implicant?
+  kEquivalence,     // EQ
+  kSentenceEntail,  // SE: circuit-to-circuit entailment
+  kModelCount,      // CT
+  kModelEnum,       // ME: enumerate models with polynomial delay
+};
+
+enum class Transformation {
+  kCondition,     // CD: conditioning on a literal
+  kForget,        // FO: existential quantification of a set of variables
+  kSingletonForget,  // SFO
+  kConjoin,       // ∧C: conjoin a set
+  kConjoinBounded,   // ∧BC: conjoin two
+  kDisjoin,       // ∨C
+  kDisjoinBounded,   // ∨BC
+  kNegate,        // ¬C
+};
+
+/// True iff the language supports the query in polytime (entries follow
+/// [Darwiche & Marquis 2002], Tables 7-8, with SDD per [Darwiche 2011]).
+bool SupportsQuery(Language lang, Query query);
+bool SupportsTransformation(Language lang, Transformation t);
+
+std::string ToString(Language lang);
+std::string ToString(Query query);
+std::string ToString(Transformation t);
+
+/// All languages, most succinct first along the NNF chain of Fig 12.
+std::vector<Language> AllLanguages();
+
+/// The cheapest (most succinct) circuit language in the NNF ⊃ DNNF ⊃
+/// d-DNNF ⊃ SDD ⊃ OBDD chain supporting all given queries; Fig 12's
+/// succinctness ordering drives the choice.
+Language CheapestLanguageFor(const std::vector<Query>& queries);
+
+}  // namespace kc
+}  // namespace tbc
+
+#endif  // TBC_CORE_KC_MAP_H_

@@ -1,0 +1,50 @@
+#ifndef TBC_CORE_SOLVERS_H_
+#define TBC_CORE_SOLVERS_H_
+
+#include <vector>
+
+#include "base/bigint.h"
+#include "logic/cnf.h"
+
+namespace tbc {
+
+/// "Logic as a basis for computation" (paper §2-§3, Figs 1 and 3): the
+/// prototypical complete problems of NP ⊆ PP ⊆ NP^PP ⊆ PP^PP, solved
+/// systematically by compiling the formula into a tractable circuit of the
+/// right type and running a polytime query on it:
+///   SAT        — Decision-DNNF + linear satisfiability check      (NP)
+///   MAJSAT/#SAT/WMC — Decision-DNNF + linear (weighted) counting  (PP)
+///   E-MAJSAT   — SDD over a constrained vtree + max-sum pass      (NP^PP)
+///   MAJMAJSAT  — compile once, then one linear counting pass per
+///                majority-variable instantiation                  (PP^PP)
+/// The MAJMAJSAT inner loop is exponential in |y| (the fully polytime
+/// circuit algorithm of [Oztok, Choi & Darwiche 2016] is future work);
+/// compilation is still the dominant cost it amortizes.
+class CircuitSolvers {
+ public:
+  /// SAT: is there an input x with Δ(x) = 1?
+  static bool DecideSat(const Cnf& cnf);
+
+  /// #SAT: the number of such inputs (model counting).
+  static BigUint CountSat(const Cnf& cnf);
+
+  /// WMC: Σ_x Π_i W(x_i) over models (paper §2.1).
+  static double WeightedModelCount(const Cnf& cnf, const WeightMap& weights);
+
+  /// MAJSAT: do the majority of inputs satisfy Δ (count·2 > 2^n)?
+  static bool DecideMajSat(const Cnf& cnf);
+
+  /// E-MAJSAT: is there an input y (over y_vars) such that the majority of
+  /// inputs z (the remaining variables) satisfy Δ(y, z)?
+  static bool DecideEMajSat(const Cnf& cnf, const std::vector<Var>& y_vars);
+  /// The witnessing maximum: max_y #{z : Δ(y, z) = 1}.
+  static BigUint MaxCountOverY(const Cnf& cnf, const std::vector<Var>& y_vars);
+
+  /// MAJMAJSAT: do the majority of inputs y have a majority of z with
+  /// Δ(y, z) = 1?
+  static bool DecideMajMajSat(const Cnf& cnf, const std::vector<Var>& y_vars);
+};
+
+}  // namespace tbc
+
+#endif  // TBC_CORE_SOLVERS_H_

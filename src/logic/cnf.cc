@@ -1,0 +1,131 @@
+#include "logic/cnf.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace tbc {
+
+void Cnf::AddClause(Clause clause) {
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  // Tautology check: sorted order puts x (code 2v) right before ~x (2v+1).
+  for (size_t i = 0; i + 1 < clause.size(); ++i) {
+    if (clause[i].var() == clause[i + 1].var()) return;
+  }
+  for (Lit l : clause) EnsureVars(l.var() + 1);
+  clauses_.push_back(std::move(clause));
+}
+
+void Cnf::AddClauseDimacs(const std::vector<int>& dimacs_lits) {
+  Clause c;
+  c.reserve(dimacs_lits.size());
+  for (int d : dimacs_lits) c.push_back(Lit::FromDimacs(d));
+  AddClause(std::move(c));
+}
+
+bool Cnf::Evaluate(const Assignment& assignment) const {
+  for (const Clause& c : clauses_) {
+    bool sat = false;
+    for (Lit l : c) {
+      if (Eval(l, assignment)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Cnf Cnf::Condition(Lit l) const {
+  Cnf out(num_vars_);
+  for (const Clause& c : clauses_) {
+    bool satisfied = false;
+    Clause reduced;
+    for (Lit x : c) {
+      if (x == l) {
+        satisfied = true;
+        break;
+      }
+      if (x != ~l) reduced.push_back(x);
+    }
+    if (!satisfied) out.clauses_.push_back(std::move(reduced));
+  }
+  return out;
+}
+
+Cnf Cnf::Conjoin(const Cnf& a, const Cnf& b) {
+  Cnf out(std::max(a.num_vars_, b.num_vars_));
+  out.clauses_ = a.clauses_;
+  out.clauses_.insert(out.clauses_.end(), b.clauses_.begin(), b.clauses_.end());
+  return out;
+}
+
+bool Cnf::HasEmptyClause() const {
+  for (const Clause& c : clauses_) {
+    if (c.empty()) return true;
+  }
+  return false;
+}
+
+uint64_t Cnf::CountModelsBruteForce() const {
+  TBC_CHECK_MSG(num_vars_ <= 30, "brute-force count limited to 30 variables");
+  uint64_t count = 0;
+  Assignment a(num_vars_, false);
+  const uint64_t total = 1ull << num_vars_;
+  for (uint64_t bits = 0; bits < total; ++bits) {
+    for (size_t v = 0; v < num_vars_; ++v) a[v] = (bits >> v) & 1u;
+    if (Evaluate(a)) ++count;
+  }
+  return count;
+}
+
+Result<Cnf> Cnf::ParseDimacs(const std::string& text) {
+  Cnf cnf;
+  bool saw_header = false;
+  size_t declared_vars = 0;
+  std::vector<int> pending;
+  for (const std::string& line : SplitChar(text, '\n')) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == 'c' || stripped[0] == '%') continue;
+    if (stripped[0] == 'p') {
+      std::vector<std::string> tok = SplitWhitespace(stripped);
+      if (tok.size() < 4 || tok[1] != "cnf") {
+        return Status::Error("bad DIMACS header: " + line);
+      }
+      declared_vars = std::strtoull(tok[2].c_str(), nullptr, 10);
+      saw_header = true;
+      continue;
+    }
+    for (const std::string& tok : SplitWhitespace(stripped)) {
+      char* end = nullptr;
+      long v = std::strtol(tok.c_str(), &end, 10);
+      if (end == tok.c_str() || *end != '\0') {
+        return Status::Error("bad DIMACS token: " + tok);
+      }
+      if (v == 0) {
+        cnf.AddClauseDimacs(pending);
+        pending.clear();
+      } else {
+        pending.push_back(static_cast<int>(v));
+      }
+    }
+  }
+  if (!pending.empty()) cnf.AddClauseDimacs(pending);
+  if (!saw_header) return Status::Error("missing DIMACS header");
+  cnf.EnsureVars(declared_vars);
+  return cnf;
+}
+
+std::string Cnf::ToDimacs() const {
+  std::string out = "p cnf " + std::to_string(num_vars_) + " " +
+                    std::to_string(clauses_.size()) + "\n";
+  for (const Clause& c : clauses_) {
+    for (Lit l : c) out += std::to_string(l.ToDimacs()) + " ";
+    out += "0\n";
+  }
+  return out;
+}
+
+}  // namespace tbc

@@ -1,0 +1,101 @@
+#include "logic/simplify.h"
+
+#include <algorithm>
+#include <set>
+
+namespace tbc {
+
+PreprocessResult Preprocess(const Cnf& cnf) {
+  PreprocessResult result;
+  result.simplified = Cnf(cnf.num_vars());
+
+  // Unit propagation to fixpoint on a working copy.
+  std::vector<Clause> clauses(cnf.clauses().begin(), cnf.clauses().end());
+  std::vector<int8_t> value(cnf.num_vars(), -1);  // -1 unset, 0/1 assigned
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Clause> next;
+    next.reserve(clauses.size());
+    for (const Clause& c : clauses) {
+      Clause reduced;
+      bool satisfied = false;
+      for (Lit l : c) {
+        const int8_t v = value[l.var()];
+        if (v == -1) {
+          reduced.push_back(l);
+        } else if ((v == 1) == l.positive()) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (reduced.empty()) {
+        result.unsat = true;
+        return result;
+      }
+      if (reduced.size() == 1) {
+        const Lit u = reduced[0];
+        if (value[u.var()] == -1) {
+          value[u.var()] = u.positive() ? 1 : 0;
+          result.units.push_back(u);
+          changed = true;
+        }
+        continue;
+      }
+      next.push_back(std::move(reduced));
+    }
+    clauses = std::move(next);
+  }
+
+  // Canonicalize, deduplicate.
+  for (Clause& c : clauses) std::sort(c.begin(), c.end());
+  std::sort(clauses.begin(), clauses.end());
+  clauses.erase(std::unique(clauses.begin(), clauses.end()), clauses.end());
+
+  // Subsumption: drop any clause with a (strict or equal) subset clause.
+  // Clauses are processed shortest-first so subsumers are kept.
+  std::stable_sort(clauses.begin(), clauses.end(),
+                   [](const Clause& a, const Clause& b) {
+                     return a.size() < b.size();
+                   });
+  std::vector<Clause> kept;
+  for (const Clause& c : clauses) {
+    bool subsumed = false;
+    for (const Clause& k : kept) {
+      if (std::includes(c.begin(), c.end(), k.begin(), k.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(c);
+  }
+  for (Clause& c : kept) result.simplified.AddClause(std::move(c));
+  return result;
+}
+
+std::vector<Lit> PureLiterals(const Cnf& cnf) {
+  std::vector<int8_t> seen_pos(cnf.num_vars(), 0), seen_neg(cnf.num_vars(), 0);
+  for (const Clause& c : cnf.clauses()) {
+    for (Lit l : c) (l.positive() ? seen_pos : seen_neg)[l.var()] = 1;
+  }
+  std::vector<Lit> pure;
+  for (Var v = 0; v < cnf.num_vars(); ++v) {
+    if (seen_pos[v] && !seen_neg[v]) pure.push_back(Pos(v));
+    if (seen_neg[v] && !seen_pos[v]) pure.push_back(Neg(v));
+  }
+  return pure;
+}
+
+Cnf Reassemble(const PreprocessResult& result) {
+  Cnf out = result.simplified;
+  if (result.unsat) {
+    out.AddClause({Pos(0)});
+    out.AddClause({Neg(0)});
+    return out;
+  }
+  for (Lit u : result.units) out.AddClause({u});
+  return out;
+}
+
+}  // namespace tbc

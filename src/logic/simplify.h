@@ -1,0 +1,40 @@
+#ifndef TBC_LOGIC_SIMPLIFY_H_
+#define TBC_LOGIC_SIMPLIFY_H_
+
+#include <vector>
+
+#include "logic/cnf.h"
+
+namespace tbc {
+
+/// Result of equivalence-preserving CNF preprocessing:
+///   original  ≡  simplified ∧ (unit clauses for every literal in units).
+/// Model counts are preserved once the units are conjoined back, which is
+/// what the compilers and counters need.
+struct PreprocessResult {
+  Cnf simplified;
+  std::vector<Lit> units;  // literals fixed by unit propagation
+  bool unsat = false;      // conflict during propagation
+};
+
+/// Preprocesses a CNF with the equivalence-preserving pipeline every real
+/// knowledge compiler runs before search: unit propagation to fixpoint,
+/// duplicate-clause removal, and clause subsumption (a clause is dropped
+/// when a subset clause exists). Pure-literal elimination is deliberately
+/// NOT applied here — it preserves satisfiability but not equivalence or
+/// model counts.
+PreprocessResult Preprocess(const Cnf& cnf);
+
+/// Pure literals of the CNF (appearing with only one polarity).
+/// Assigning them preserves satisfiability but not the model count;
+/// exposed for SAT-only pipelines.
+std::vector<Lit> PureLiterals(const Cnf& cnf);
+
+/// Reassembles an equivalent CNF from a preprocess result (simplified
+/// clauses plus one unit clause per fixed literal) — the round-trip used
+/// in tests and by callers needing a single formula again.
+Cnf Reassemble(const PreprocessResult& result);
+
+}  // namespace tbc
+
+#endif  // TBC_LOGIC_SIMPLIFY_H_

@@ -1,0 +1,97 @@
+#include "nnf/io.h"
+
+#include <unordered_map>
+
+#include "base/strings.h"
+
+namespace tbc {
+
+std::string WriteNnf(NnfManager& mgr, NnfId root, size_t num_vars) {
+  const std::vector<NnfId> order = mgr.TopologicalOrder(root);
+  std::unordered_map<NnfId, size_t> line_of;
+  size_t num_edges = 0;
+  std::string body;
+  for (NnfId n : order) {
+    const size_t line = line_of.size();
+    line_of.emplace(n, line);
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+        body += "O 0 0\n";
+        break;
+      case NnfManager::Kind::kTrue:
+        body += "A 0\n";
+        break;
+      case NnfManager::Kind::kLiteral:
+        body += "L " + std::to_string(mgr.lit(n).ToDimacs()) + "\n";
+        break;
+      case NnfManager::Kind::kAnd: {
+        body += "A " + std::to_string(mgr.children(n).size());
+        for (NnfId c : mgr.children(n)) {
+          body += " " + std::to_string(line_of.at(c));
+          ++num_edges;
+        }
+        body += "\n";
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        body += "O 0 " + std::to_string(mgr.children(n).size());
+        for (NnfId c : mgr.children(n)) {
+          body += " " + std::to_string(line_of.at(c));
+          ++num_edges;
+        }
+        body += "\n";
+        break;
+      }
+    }
+  }
+  return "nnf " + std::to_string(order.size()) + " " + std::to_string(num_edges) +
+         " " + std::to_string(num_vars) + "\n" + body;
+}
+
+Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text) {
+  std::vector<NnfId> node_of_line;
+  bool saw_header = false;
+  for (const std::string& raw : SplitChar(text, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == 'c') continue;
+    std::vector<std::string> tok = SplitWhitespace(line);
+    if (tok[0] == "nnf") {
+      if (tok.size() < 4) return Status::Error("bad nnf header");
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) return Status::Error("missing nnf header");
+    if (tok[0] == "L") {
+      if (tok.size() != 2) return Status::Error("bad L line");
+      node_of_line.push_back(mgr.Literal(Lit::FromDimacs(std::atoi(tok[1].c_str()))));
+    } else if (tok[0] == "A") {
+      if (tok.size() < 2) return Status::Error("bad A line");
+      const size_t count = std::strtoull(tok[1].c_str(), nullptr, 10);
+      if (tok.size() != 2 + count) return Status::Error("bad A arity");
+      std::vector<NnfId> kids;
+      for (size_t i = 0; i < count; ++i) {
+        const size_t ref = std::strtoull(tok[2 + i].c_str(), nullptr, 10);
+        if (ref >= node_of_line.size()) return Status::Error("forward reference");
+        kids.push_back(node_of_line[ref]);
+      }
+      node_of_line.push_back(mgr.And(std::move(kids)));
+    } else if (tok[0] == "O") {
+      if (tok.size() < 3) return Status::Error("bad O line");
+      const size_t count = std::strtoull(tok[2].c_str(), nullptr, 10);
+      if (tok.size() != 3 + count) return Status::Error("bad O arity");
+      std::vector<NnfId> kids;
+      for (size_t i = 0; i < count; ++i) {
+        const size_t ref = std::strtoull(tok[3 + i].c_str(), nullptr, 10);
+        if (ref >= node_of_line.size()) return Status::Error("forward reference");
+        kids.push_back(node_of_line[ref]);
+      }
+      node_of_line.push_back(mgr.Or(std::move(kids)));
+    } else {
+      return Status::Error("unknown nnf line: " + std::string(line));
+    }
+  }
+  if (node_of_line.empty()) return Status::Error("empty nnf file");
+  return node_of_line.back();
+}
+
+}  // namespace tbc

@@ -1,0 +1,24 @@
+#ifndef TBC_NNF_IO_H_
+#define TBC_NNF_IO_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "nnf/nnf.h"
+
+namespace tbc {
+
+/// Serializes the circuit at `root` in the c2d `.nnf` exchange format:
+///   nnf <num_nodes> <num_edges> <num_vars>
+///   L <dimacs_lit>            (literal node)
+///   A <c> <id...>             (and node with c children)
+///   O <j> <c> <id...>         (or node; j = decision variable or 0)
+/// Constants are emitted as `A 0` (true) and `O 0 0` (false), as c2d does.
+std::string WriteNnf(NnfManager& mgr, NnfId root, size_t num_vars);
+
+/// Parses the c2d `.nnf` format into `mgr`; returns the root node.
+Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text);
+
+}  // namespace tbc
+
+#endif  // TBC_NNF_IO_H_

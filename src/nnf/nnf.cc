@@ -1,0 +1,204 @@
+#include "nnf/nnf.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/hash.h"
+
+namespace tbc {
+
+NnfManager::NnfManager() {
+  nodes_.push_back({Kind::kFalse, 0, {}});  // id 0
+  nodes_.push_back({Kind::kTrue, 0, {}});   // id 1
+}
+
+NnfId NnfManager::Intern(Node node) {
+  uint64_t h = HashCombine(0, static_cast<size_t>(node.kind));
+  h = HashCombine(h, node.payload);
+  for (NnfId c : node.children) h = HashCombine(h, c);
+  for (NnfId id : index_[h]) {
+    const Node& n = nodes_[id];
+    if (n.kind == node.kind && n.payload == node.payload &&
+        n.children == node.children) {
+      return id;
+    }
+  }
+  const NnfId id = static_cast<NnfId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  index_[h].push_back(id);
+  return id;
+}
+
+NnfId NnfManager::Literal(Lit l) {
+  TBC_DCHECK(l.valid());
+  num_vars_ = std::max(num_vars_, static_cast<size_t>(l.var()) + 1);
+  return Intern({Kind::kLiteral, l.code(), {}});
+}
+
+NnfId NnfManager::And(std::vector<NnfId> children) {
+  std::vector<NnfId> kids;
+  kids.reserve(children.size());
+  for (NnfId c : children) {
+    if (c == False()) return False();
+    if (c == True()) continue;
+    if (kind(c) == Kind::kAnd) {
+      for (NnfId g : nodes_[c].children) kids.push_back(g);
+    } else {
+      kids.push_back(c);
+    }
+  }
+  std::sort(kids.begin(), kids.end());
+  kids.erase(std::unique(kids.begin(), kids.end()), kids.end());
+  if (kids.empty()) return True();
+  if (kids.size() == 1) return kids[0];
+  return Intern({Kind::kAnd, 0, std::move(kids)});
+}
+
+NnfId NnfManager::Or(std::vector<NnfId> children) {
+  std::vector<NnfId> kids;
+  kids.reserve(children.size());
+  for (NnfId c : children) {
+    if (c == True()) return True();
+    if (c == False()) continue;
+    if (kind(c) == Kind::kOr) {
+      for (NnfId g : nodes_[c].children) kids.push_back(g);
+    } else {
+      kids.push_back(c);
+    }
+  }
+  std::sort(kids.begin(), kids.end());
+  kids.erase(std::unique(kids.begin(), kids.end()), kids.end());
+  if (kids.empty()) return False();
+  if (kids.size() == 1) return kids[0];
+  return Intern({Kind::kOr, 0, std::move(kids)});
+}
+
+NnfId NnfManager::Decision(Var v, NnfId hi, NnfId lo) {
+  if (hi == lo) return hi;
+  return Or(And(Literal(Pos(v)), hi), And(Literal(Neg(v)), lo));
+}
+
+std::vector<NnfId> NnfManager::TopologicalOrder(NnfId root) const {
+  // Node ids grow children-before-parents by construction, so collecting
+  // the reachable set and sorting by id is a topological order.
+  std::vector<NnfId> order;
+  std::vector<int8_t> seen(nodes_.size(), 0);
+  std::vector<NnfId> stack = {root};
+  while (!stack.empty()) {
+    NnfId cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = 1;
+    order.push_back(cur);
+    for (NnfId c : nodes_[cur].children) stack.push_back(c);
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+size_t NnfManager::CircuitSize(NnfId root) const {
+  size_t edges = 0;
+  for (NnfId n : TopologicalOrder(root)) edges += nodes_[n].children.size();
+  return edges;
+}
+
+size_t NnfManager::NumNodesBelow(NnfId root) const {
+  return TopologicalOrder(root).size();
+}
+
+bool NnfManager::Evaluate(NnfId root, const Assignment& assignment) const {
+  std::vector<int8_t> value(nodes_.size(), -1);
+  for (NnfId n : TopologicalOrder(root)) {
+    const Node& node = nodes_[n];
+    switch (node.kind) {
+      case Kind::kFalse:
+        value[n] = 0;
+        break;
+      case Kind::kTrue:
+        value[n] = 1;
+        break;
+      case Kind::kLiteral:
+        value[n] = Eval(Lit::FromCode(node.payload), assignment) ? 1 : 0;
+        break;
+      case Kind::kAnd: {
+        int8_t v = 1;
+        for (NnfId c : node.children) v = static_cast<int8_t>(v & value[c]);
+        value[n] = v;
+        break;
+      }
+      case Kind::kOr: {
+        int8_t v = 0;
+        for (NnfId c : node.children) v = static_cast<int8_t>(v | value[c]);
+        value[n] = v;
+        break;
+      }
+    }
+  }
+  return value[root] == 1;
+}
+
+NnfId NnfManager::Condition(NnfId root, Lit l) {
+  std::unordered_map<NnfId, NnfId> memo;
+  const std::vector<NnfId> order = TopologicalOrder(root);
+  for (NnfId n : order) {
+    const Node node = nodes_[n];  // copy: And/Or below may reallocate nodes_
+    NnfId result = kInvalidNnf;
+    switch (node.kind) {
+      case Kind::kFalse:
+      case Kind::kTrue:
+        result = n;
+        break;
+      case Kind::kLiteral: {
+        const Lit x = Lit::FromCode(node.payload);
+        result = x == l ? True() : (x == ~l ? False() : n);
+        break;
+      }
+      case Kind::kAnd:
+      case Kind::kOr: {
+        std::vector<NnfId> kids;
+        kids.reserve(node.children.size());
+        for (NnfId c : node.children) kids.push_back(memo.at(c));
+        result = node.kind == Kind::kAnd ? And(std::move(kids)) : Or(std::move(kids));
+        break;
+      }
+    }
+    memo[n] = result;
+  }
+  return memo.at(root);
+}
+
+const std::vector<uint64_t>& NnfManager::VarSet(NnfId root) {
+  if (varset_ready_.size() < nodes_.size()) {
+    varset_ready_.resize(nodes_.size(), 0);
+    varset_cache_.resize(nodes_.size());
+  }
+  const size_t words = (num_vars_ + 63) / 64;
+  if (varset_ready_[root] && varset_cache_[root].size() == words) {
+    return varset_cache_[root];
+  }
+  for (NnfId n : TopologicalOrder(root)) {
+    if (varset_ready_[n] && varset_cache_[n].size() == words) continue;
+    std::vector<uint64_t> set(words, 0);
+    const Node& node = nodes_[n];
+    if (node.kind == Kind::kLiteral) {
+      const Var v = Lit::FromCode(node.payload).var();
+      set[v / 64] |= 1ull << (v % 64);
+    } else {
+      for (NnfId c : node.children) {
+        const std::vector<uint64_t>& cs = varset_cache_[c];
+        for (size_t w = 0; w < words; ++w) set[w] |= cs[w];
+      }
+    }
+    varset_cache_[n] = std::move(set);
+    varset_ready_[n] = 1;
+  }
+  return varset_cache_[root];
+}
+
+size_t NnfManager::NumVarsBelow(NnfId root) {
+  size_t count = 0;
+  for (uint64_t w : VarSet(root)) count += static_cast<size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+}  // namespace tbc

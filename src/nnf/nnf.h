@@ -1,0 +1,103 @@
+#ifndef TBC_NNF_NNF_H_
+#define TBC_NNF_NNF_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/lit.h"
+
+namespace tbc {
+
+/// Node index within an NnfManager.
+using NnfId = uint32_t;
+constexpr NnfId kInvalidNnf = static_cast<NnfId>(-1);
+
+/// A store of circuits in Negation Normal Form (paper §3, Fig 5).
+///
+/// NNF circuits have and-gates, or-gates, literal inputs and the constants
+/// ⊤/⊥; inverters may only feed from variables (i.e. negation appears only
+/// at literals). NNF itself is not tractable; tractability comes from the
+/// properties a circuit satisfies by construction:
+///   - decomposability (DNNF): and-gate inputs share no variables — unlocks
+///     linear-time SAT (class NP);
+///   - + determinism (d-DNNF): or-gate inputs are pairwise inconsistent —
+///     unlocks linear-time (weighted) model counting (class PP);
+///   - smoothness: or-gate inputs mention the same variables (enforceable,
+///     see Smooth() in nnf/properties.h; the counting queries here handle
+///     non-smooth circuits by gap factors instead).
+///
+/// The manager hash-conses nodes, so circuits are DAGs with sharing. It is
+/// the common target language: the top-down compiler emits Decision-DNNF
+/// into it, and OBDD/SDD circuits export to it.
+class NnfManager {
+ public:
+  enum class Kind : uint8_t { kFalse, kTrue, kLiteral, kAnd, kOr };
+
+  NnfManager();
+
+  NnfId False() const { return 0; }
+  NnfId True() const { return 1; }
+  NnfId Literal(Lit l);
+
+  /// And/Or over children. Constants are simplified away; single-child
+  /// gates collapse; nested same-kind gates are flattened; children are
+  /// deduplicated. Note: `Or(x, ~x)` is NOT simplified to true (it is a
+  /// legitimate deterministic or-gate).
+  NnfId And(std::vector<NnfId> children);
+  NnfId Or(std::vector<NnfId> children);
+  NnfId And(NnfId a, NnfId b) { return And(std::vector<NnfId>{a, b}); }
+  NnfId Or(NnfId a, NnfId b) { return Or(std::vector<NnfId>{a, b}); }
+
+  /// Decision gate (x ∧ hi) ∨ (¬x ∧ lo): the OBDD multiplexer of Fig 11.
+  NnfId Decision(Var v, NnfId hi, NnfId lo);
+
+  Kind kind(NnfId n) const { return nodes_[n].kind; }
+  Lit lit(NnfId n) const { return Lit::FromCode(nodes_[n].payload); }
+  const std::vector<NnfId>& children(NnfId n) const { return nodes_[n].children; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Number of variables (max mentioned var + 1).
+  size_t num_vars() const { return num_vars_; }
+
+  /// Number of edges in the DAG reachable from `root` (the standard circuit
+  /// size measure used by the paper, e.g. the 8.9M figure for Fig 22).
+  size_t CircuitSize(NnfId root) const;
+  /// Number of nodes reachable from `root`.
+  size_t NumNodesBelow(NnfId root) const;
+
+  /// Truth value of the subcircuit under a complete assignment.
+  bool Evaluate(NnfId root, const Assignment& assignment) const;
+
+  /// Circuit for root|lit (conditioning): occurrences of lit become ⊤ and
+  /// of ~lit become ⊥, then gates simplify. Result is in this manager.
+  NnfId Condition(NnfId root, Lit l);
+
+  /// Set of variables in the subcircuit at `root`, as a bitset of
+  /// ceil(num_vars/64) words. Computed once per node and cached.
+  const std::vector<uint64_t>& VarSet(NnfId root);
+  /// Number of distinct variables below `root`.
+  size_t NumVarsBelow(NnfId root);
+
+  /// Nodes reachable from root, children before parents.
+  std::vector<NnfId> TopologicalOrder(NnfId root) const;
+
+ private:
+  struct Node {
+    Kind kind;
+    uint32_t payload = 0;  // literal code for kLiteral
+    std::vector<NnfId> children;
+  };
+
+  NnfId Intern(Node node);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<uint64_t, std::vector<NnfId>> index_;
+  std::vector<std::vector<uint64_t>> varset_cache_;  // parallel to nodes_
+  std::vector<int8_t> varset_ready_;
+  size_t num_vars_ = 0;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_NNF_NNF_H_

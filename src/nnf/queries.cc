@@ -1,0 +1,634 @@
+#include "nnf/queries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "nnf/properties.h"
+
+namespace tbc {
+
+namespace {
+
+// Variables present in `big` but not in `small`.
+std::vector<Var> MissingVars(const std::vector<uint64_t>& big,
+                             const std::vector<uint64_t>& small) {
+  std::vector<Var> out;
+  for (size_t w = 0; w < big.size(); ++w) {
+    uint64_t diff = big[w] & ~(w < small.size() ? small[w] : 0);
+    while (diff != 0) {
+      out.push_back(static_cast<Var>(64 * w + __builtin_ctzll(diff)));
+      diff &= diff - 1;
+    }
+  }
+  return out;
+}
+
+size_t PopCount(const std::vector<uint64_t>& set) {
+  size_t c = 0;
+  for (uint64_t w : set) c += static_cast<size_t>(__builtin_popcountll(w));
+  return c;
+}
+
+}  // namespace
+
+bool IsSatDnnf(NnfManager& mgr, NnfId root) {
+  std::vector<int8_t> sat(mgr.num_nodes(), 0);
+  for (NnfId n : mgr.TopologicalOrder(root)) {
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+        sat[n] = 0;
+        break;
+      case NnfManager::Kind::kTrue:
+      case NnfManager::Kind::kLiteral:
+        sat[n] = 1;
+        break;
+      case NnfManager::Kind::kAnd: {
+        int8_t v = 1;
+        for (NnfId c : mgr.children(n)) v = static_cast<int8_t>(v & sat[c]);
+        sat[n] = v;
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        int8_t v = 0;
+        for (NnfId c : mgr.children(n)) v = static_cast<int8_t>(v | sat[c]);
+        sat[n] = v;
+        break;
+      }
+    }
+  }
+  return sat[root] == 1;
+}
+
+BigUint ModelCount(NnfManager& mgr, NnfId root, size_t num_vars) {
+  mgr.VarSet(root);
+  std::unordered_map<NnfId, BigUint> count;
+  for (NnfId n : mgr.TopologicalOrder(root)) {
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+        count[n] = BigUint(0);
+        break;
+      case NnfManager::Kind::kTrue:
+      case NnfManager::Kind::kLiteral:
+        count[n] = BigUint(1);
+        break;
+      case NnfManager::Kind::kAnd: {
+        BigUint prod(1);
+        for (NnfId c : mgr.children(n)) prod *= count.at(c);
+        count[n] = std::move(prod);
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        const size_t nv = PopCount(mgr.VarSet(n));
+        BigUint sum(0);
+        for (NnfId c : mgr.children(n)) {
+          const size_t cv = PopCount(mgr.VarSet(c));
+          // Gap factor: each variable of the gate missing from this input
+          // is free, doubling the input's count.
+          sum += count.at(c) * BigUint::PowerOfTwo(static_cast<unsigned>(nv - cv));
+        }
+        count[n] = std::move(sum);
+        break;
+      }
+    }
+  }
+  const size_t root_vars = PopCount(mgr.VarSet(root));
+  TBC_CHECK_MSG(root_vars <= num_vars, "num_vars smaller than circuit variables");
+  return count.at(root) * BigUint::PowerOfTwo(static_cast<unsigned>(num_vars - root_vars));
+}
+
+double Wmc(NnfManager& mgr, NnfId root, const WeightMap& weights) {
+  mgr.VarSet(root);
+  std::unordered_map<NnfId, double> value;
+  auto gap_factor = [&](const std::vector<uint64_t>& big,
+                        const std::vector<uint64_t>& small) {
+    double f = 1.0;
+    for (Var v : MissingVars(big, small)) f *= weights[Pos(v)] + weights[Neg(v)];
+    return f;
+  };
+  for (NnfId n : mgr.TopologicalOrder(root)) {
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+        value[n] = 0.0;
+        break;
+      case NnfManager::Kind::kTrue:
+        value[n] = 1.0;
+        break;
+      case NnfManager::Kind::kLiteral:
+        value[n] = weights[mgr.lit(n)];
+        break;
+      case NnfManager::Kind::kAnd: {
+        double prod = 1.0;
+        for (NnfId c : mgr.children(n)) prod *= value.at(c);
+        value[n] = prod;
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        double sum = 0.0;
+        for (NnfId c : mgr.children(n)) {
+          sum += value.at(c) * gap_factor(mgr.VarSet(n), mgr.VarSet(c));
+        }
+        value[n] = sum;
+        break;
+      }
+    }
+  }
+  // Variables outside the circuit contribute (W(x)+W(¬x)) each.
+  double result = value.at(root);
+  std::vector<uint64_t> all((weights.num_vars() + 63) / 64, 0);
+  for (size_t v = 0; v < weights.num_vars(); ++v) all[v / 64] |= 1ull << (v % 64);
+  result *= gap_factor(all, mgr.VarSet(root));
+  return result;
+}
+
+std::vector<double> MarginalWmc(NnfManager& mgr, NnfId root,
+                                const WeightMap& weights) {
+  const size_t num_vars = weights.num_vars();
+  const NnfId smooth = Smooth(mgr, root, num_vars);
+  const std::vector<NnfId> order = mgr.TopologicalOrder(smooth);
+
+  // Upward pass: WMC value of every node.
+  std::unordered_map<NnfId, double> value;
+  for (NnfId n : order) {
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+        value[n] = 0.0;
+        break;
+      case NnfManager::Kind::kTrue:
+        value[n] = 1.0;
+        break;
+      case NnfManager::Kind::kLiteral:
+        value[n] = weights[mgr.lit(n)];
+        break;
+      case NnfManager::Kind::kAnd: {
+        double prod = 1.0;
+        for (NnfId c : mgr.children(n)) prod *= value.at(c);
+        value[n] = prod;
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        double sum = 0.0;
+        for (NnfId c : mgr.children(n)) sum += value.at(c);
+        value[n] = sum;
+        break;
+      }
+    }
+  }
+
+  // Downward pass: partial derivatives [Darwiche 2003].
+  std::unordered_map<NnfId, double> deriv;
+  for (NnfId n : order) deriv[n] = 0.0;
+  deriv[smooth] = 1.0;
+  for (size_t i = order.size(); i-- > 0;) {
+    const NnfId n = order[i];
+    const double dn = deriv.at(n);
+    if (dn == 0.0) continue;
+    if (mgr.kind(n) == NnfManager::Kind::kOr) {
+      for (NnfId c : mgr.children(n)) deriv[c] += dn;
+    } else if (mgr.kind(n) == NnfManager::Kind::kAnd) {
+      // d/dc = dn * Π_{c'≠c} v(c'); handle zero factors explicitly.
+      const auto& kids = mgr.children(n);
+      size_t zeros = 0;
+      double prod_nonzero = 1.0;
+      for (NnfId c : kids) {
+        if (value.at(c) == 0.0) {
+          ++zeros;
+        } else {
+          prod_nonzero *= value.at(c);
+        }
+      }
+      if (zeros == 0) {
+        for (NnfId c : kids) deriv[c] += dn * prod_nonzero / value.at(c);
+      } else if (zeros == 1) {
+        for (NnfId c : kids) {
+          if (value.at(c) == 0.0) deriv[c] += dn * prod_nonzero;
+        }
+      }
+    }
+  }
+
+  std::vector<double> marginal(2 * num_vars, 0.0);
+  for (NnfId n : order) {
+    if (mgr.kind(n) == NnfManager::Kind::kLiteral) {
+      const Lit l = mgr.lit(n);
+      marginal[l.code()] += deriv.at(n) * weights[l];
+    }
+  }
+  return marginal;
+}
+
+size_t MinCardinality(NnfManager& mgr, NnfId root) {
+  constexpr size_t kInf = std::numeric_limits<size_t>::max();
+  std::unordered_map<NnfId, size_t> card;
+  for (NnfId n : mgr.TopologicalOrder(root)) {
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+        card[n] = kInf;
+        break;
+      case NnfManager::Kind::kTrue:
+        card[n] = 0;
+        break;
+      case NnfManager::Kind::kLiteral:
+        card[n] = mgr.lit(n).positive() ? 1 : 0;
+        break;
+      case NnfManager::Kind::kAnd: {
+        size_t sum = 0;
+        for (NnfId c : mgr.children(n)) {
+          if (card.at(c) == kInf) {
+            sum = kInf;
+            break;
+          }
+          sum += card.at(c);
+        }
+        card[n] = sum;
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        size_t best = kInf;
+        // Missing variables can always be set false (cardinality 0), so no
+        // gap correction is needed for minimization.
+        for (NnfId c : mgr.children(n)) best = std::min(best, card.at(c));
+        card[n] = best;
+        break;
+      }
+    }
+  }
+  return card.at(root);
+}
+
+MpeResult MaxWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
+                 size_t num_vars) {
+  mgr.VarSet(root);
+  auto best_lit_weight = [&](Var v) {
+    return std::max(weights[Pos(v)], weights[Neg(v)]);
+  };
+  auto gap_max = [&](const std::vector<uint64_t>& big,
+                     const std::vector<uint64_t>& small) {
+    double f = 1.0;
+    for (Var v : MissingVars(big, small)) f *= best_lit_weight(v);
+    return f;
+  };
+
+  std::unordered_map<NnfId, double> value;
+  const std::vector<NnfId> order = mgr.TopologicalOrder(root);
+  for (NnfId n : order) {
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+        value[n] = -1.0;  // sentinel: unsatisfiable branch
+        break;
+      case NnfManager::Kind::kTrue:
+        value[n] = 1.0;
+        break;
+      case NnfManager::Kind::kLiteral:
+        value[n] = weights[mgr.lit(n)];
+        break;
+      case NnfManager::Kind::kAnd: {
+        double prod = 1.0;
+        for (NnfId c : mgr.children(n)) {
+          if (value.at(c) < 0.0) {
+            prod = -1.0;
+            break;
+          }
+          prod *= value.at(c);
+        }
+        value[n] = prod;
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        double best = -1.0;
+        for (NnfId c : mgr.children(n)) {
+          if (value.at(c) < 0.0) continue;
+          best = std::max(best, value.at(c) * gap_max(mgr.VarSet(n), mgr.VarSet(c)));
+        }
+        value[n] = best;
+        break;
+      }
+    }
+  }
+  TBC_CHECK_MSG(value.at(root) >= 0.0, "MaxWmc on unsatisfiable circuit");
+
+  MpeResult result;
+  result.assignment.assign(num_vars, false);
+  std::vector<int8_t> assigned(num_vars, 0);
+  auto set_var = [&](Var v, bool val) {
+    result.assignment[v] = val;
+    assigned[v] = 1;
+  };
+  auto set_free_max = [&](const std::vector<Var>& vars) {
+    for (Var v : vars) set_var(v, weights[Pos(v)] >= weights[Neg(v)]);
+  };
+
+  // Traceback.
+  std::vector<NnfId> stack = {root};
+  while (!stack.empty()) {
+    const NnfId n = stack.back();
+    stack.pop_back();
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+      case NnfManager::Kind::kTrue:
+        break;
+      case NnfManager::Kind::kLiteral:
+        set_var(mgr.lit(n).var(), mgr.lit(n).positive());
+        break;
+      case NnfManager::Kind::kAnd:
+        for (NnfId c : mgr.children(n)) stack.push_back(c);
+        break;
+      case NnfManager::Kind::kOr: {
+        NnfId best_child = kInvalidNnf;
+        double best = -1.0;
+        for (NnfId c : mgr.children(n)) {
+          if (value.at(c) < 0.0) continue;
+          const double v = value.at(c) * gap_max(mgr.VarSet(n), mgr.VarSet(c));
+          if (v > best) {
+            best = v;
+            best_child = c;
+          }
+        }
+        TBC_DCHECK(best_child != kInvalidNnf);
+        set_free_max(MissingVars(mgr.VarSet(n), mgr.VarSet(best_child)));
+        stack.push_back(best_child);
+        break;
+      }
+    }
+  }
+  // Variables never mentioned along the chosen path.
+  std::vector<Var> leftover;
+  for (Var v = 0; v < num_vars; ++v) {
+    if (!assigned[v]) leftover.push_back(v);
+  }
+  set_free_max(leftover);
+
+  double w = 1.0;
+  for (Var v = 0; v < num_vars; ++v) {
+    w *= weights[Lit(v, result.assignment[v])];
+  }
+  result.weight = w;
+  return result;
+}
+
+Assignment SampleModelDnnf(NnfManager& mgr, NnfId root, size_t num_vars,
+                           Rng& rng) {
+  TBC_CHECK_MSG(IsSatDnnf(mgr, root), "cannot sample an unsatisfiable circuit");
+  mgr.VarSet(root);
+  // Counting pass (same recurrence as ModelCount).
+  std::unordered_map<NnfId, BigUint> count;
+  for (NnfId n : mgr.TopologicalOrder(root)) {
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+        count[n] = BigUint(0);
+        break;
+      case NnfManager::Kind::kTrue:
+      case NnfManager::Kind::kLiteral:
+        count[n] = BigUint(1);
+        break;
+      case NnfManager::Kind::kAnd: {
+        BigUint prod(1);
+        for (NnfId c : mgr.children(n)) prod *= count.at(c);
+        count[n] = std::move(prod);
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        const size_t nv = PopCount(mgr.VarSet(n));
+        BigUint sum(0);
+        for (NnfId c : mgr.children(n)) {
+          sum += count.at(c) *
+                 BigUint::PowerOfTwo(static_cast<unsigned>(nv - PopCount(mgr.VarSet(c))));
+        }
+        count[n] = std::move(sum);
+        break;
+      }
+    }
+  }
+
+  Assignment x(num_vars, false);
+  std::vector<int8_t> assigned(num_vars, 0);
+  auto set_free = [&](const std::vector<Var>& vars) {
+    for (Var v : vars) {
+      x[v] = rng.Flip(0.5);
+      assigned[v] = 1;
+    }
+  };
+  // Descent. Branch probabilities use double ratios of the exact counts;
+  // the bias is bounded by double rounding (~1e-16 relative).
+  std::vector<NnfId> stack = {root};
+  while (!stack.empty()) {
+    const NnfId n = stack.back();
+    stack.pop_back();
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+      case NnfManager::Kind::kTrue:
+        break;
+      case NnfManager::Kind::kLiteral: {
+        const Lit l = mgr.lit(n);
+        x[l.var()] = l.positive();
+        assigned[l.var()] = 1;
+        break;
+      }
+      case NnfManager::Kind::kAnd:
+        for (NnfId c : mgr.children(n)) stack.push_back(c);
+        break;
+      case NnfManager::Kind::kOr: {
+        const size_t nv = PopCount(mgr.VarSet(n));
+        double u = rng.Uniform() * count.at(n).ToDouble();
+        NnfId chosen = kInvalidNnf;
+        for (NnfId c : mgr.children(n)) {
+          const double w =
+              count.at(c).ToDouble() *
+              std::ldexp(1.0, static_cast<int>(nv - PopCount(mgr.VarSet(c))));
+          if (u < w || c == mgr.children(n).back()) {
+            chosen = c;
+            break;
+          }
+          u -= w;
+        }
+        // Pick only children with nonzero count (⊥ children have w = 0 and
+        // can only be reached via the fallback; skip them).
+        if (count.at(chosen).IsZero()) {
+          for (NnfId c : mgr.children(n)) {
+            if (!count.at(c).IsZero()) chosen = c;
+          }
+        }
+        set_free(MissingVars(mgr.VarSet(n), mgr.VarSet(chosen)));
+        stack.push_back(chosen);
+        break;
+      }
+    }
+  }
+  // Variables outside the circuit.
+  std::vector<Var> leftover;
+  for (Var v = 0; v < num_vars; ++v) {
+    if (!assigned[v]) leftover.push_back(v);
+  }
+  set_free(leftover);
+  return x;
+}
+
+bool EntailsClause(NnfManager& mgr, NnfId root, const Clause& clause) {
+  // root ⊨ clause  iff  root ∧ ¬clause is unsatisfiable.
+  NnfId conditioned = root;
+  for (Lit l : clause) conditioned = mgr.Condition(conditioned, ~l);
+  return !IsSatDnnf(mgr, conditioned);
+}
+
+NnfId Forget(NnfManager& mgr, NnfId root, const std::vector<Var>& vars) {
+  std::vector<uint64_t> forget_set((mgr.num_vars() + 63) / 64, 0);
+  for (Var v : vars) forget_set[v / 64] |= 1ull << (v % 64);
+  std::unordered_map<NnfId, NnfId> memo;
+  for (NnfId n : mgr.TopologicalOrder(root)) {
+    NnfId result = kInvalidNnf;
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+      case NnfManager::Kind::kTrue:
+        result = n;
+        break;
+      case NnfManager::Kind::kLiteral: {
+        const Var v = mgr.lit(n).var();
+        const bool forgotten = (forget_set[v / 64] >> (v % 64)) & 1;
+        result = forgotten ? mgr.True() : n;
+        break;
+      }
+      case NnfManager::Kind::kAnd:
+      case NnfManager::Kind::kOr: {
+        const std::vector<NnfId> kids_src = mgr.children(n);  // copy
+        std::vector<NnfId> kids;
+        kids.reserve(kids_src.size());
+        for (NnfId c : kids_src) kids.push_back(memo.at(c));
+        result = mgr.kind(n) == NnfManager::Kind::kAnd ? mgr.And(std::move(kids))
+                                                       : mgr.Or(std::move(kids));
+        break;
+      }
+    }
+    memo[n] = result;
+  }
+  return memo.at(root);
+}
+
+MaxSumResult MaxSumWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
+                       const std::vector<Var>& max_vars) {
+  mgr.VarSet(root);
+  std::vector<uint64_t> max_set((mgr.num_vars() + 63) / 64, 0);
+  for (Var v : max_vars) max_set[v / 64] |= 1ull << (v % 64);
+  auto touches_max = [&](NnfId n) {
+    const std::vector<uint64_t>& vs = mgr.VarSet(n);
+    for (size_t w = 0; w < vs.size() && w < max_set.size(); ++w) {
+      if ((vs[w] & max_set[w]) != 0) return true;
+    }
+    return false;
+  };
+
+  const std::vector<NnfId> order = mgr.TopologicalOrder(root);
+  std::unordered_map<NnfId, double> value;
+  for (NnfId n : order) {
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+        value[n] = 0.0;
+        break;
+      case NnfManager::Kind::kTrue:
+        value[n] = 1.0;
+        break;
+      case NnfManager::Kind::kLiteral:
+        value[n] = weights[mgr.lit(n)];
+        break;
+      case NnfManager::Kind::kAnd: {
+        double prod = 1.0;
+        for (NnfId c : mgr.children(n)) prod *= value.at(c);
+        value[n] = prod;
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        double best = 0.0;
+        if (touches_max(n)) {
+          best = -1.0;
+          for (NnfId c : mgr.children(n)) best = std::max(best, value.at(c));
+        } else {
+          for (NnfId c : mgr.children(n)) best += value.at(c);
+        }
+        value[n] = best;
+        break;
+      }
+    }
+  }
+
+  // Traceback: descend argmax branches of max-or gates, collecting max-var
+  // literals along the chosen paths.
+  MaxSumResult result;
+  result.value = value.at(root);
+  std::vector<NnfId> stack = {root};
+  std::vector<int8_t> chosen(2 * mgr.num_vars(), 0);
+  while (!stack.empty()) {
+    const NnfId n = stack.back();
+    stack.pop_back();
+    if (!touches_max(n)) continue;
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse:
+      case NnfManager::Kind::kTrue:
+        break;
+      case NnfManager::Kind::kLiteral: {
+        const Lit l = mgr.lit(n);
+        if (!chosen[l.code()]) {
+          chosen[l.code()] = 1;
+          result.max_assignment.push_back(l);
+        }
+        break;
+      }
+      case NnfManager::Kind::kAnd:
+        for (NnfId c : mgr.children(n)) stack.push_back(c);
+        break;
+      case NnfManager::Kind::kOr: {
+        NnfId best_child = kInvalidNnf;
+        double best = -1.0;
+        for (NnfId c : mgr.children(n)) {
+          if (value.at(c) > best) {
+            best = value.at(c);
+            best_child = c;
+          }
+        }
+        if (best_child != kInvalidNnf) stack.push_back(best_child);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+void EnumerateModelsDnnf(NnfManager& mgr, NnfId root, size_t num_vars,
+                         const std::function<void(const Assignment&)>& on_model) {
+  TBC_CHECK_MSG(num_vars <= 22, "model enumeration oracle limited to 22 vars");
+  const std::vector<NnfId> order = mgr.TopologicalOrder(root);
+  std::vector<int8_t> value(mgr.num_nodes(), 0);
+  Assignment a(num_vars, false);
+  const uint64_t total = 1ull << num_vars;
+  for (uint64_t bits = 0; bits < total; ++bits) {
+    for (size_t v = 0; v < num_vars; ++v) a[v] = (bits >> v) & 1u;
+    for (NnfId n : order) {
+      switch (mgr.kind(n)) {
+        case NnfManager::Kind::kFalse:
+          value[n] = 0;
+          break;
+        case NnfManager::Kind::kTrue:
+          value[n] = 1;
+          break;
+        case NnfManager::Kind::kLiteral:
+          value[n] = Eval(mgr.lit(n), a) ? 1 : 0;
+          break;
+        case NnfManager::Kind::kAnd: {
+          int8_t v = 1;
+          for (NnfId c : mgr.children(n)) v = static_cast<int8_t>(v & value[c]);
+          value[n] = v;
+          break;
+        }
+        case NnfManager::Kind::kOr: {
+          int8_t v = 0;
+          for (NnfId c : mgr.children(n)) v = static_cast<int8_t>(v | value[c]);
+          value[n] = v;
+          break;
+        }
+      }
+    }
+    if (value[root] == 1) on_model(a);
+  }
+}
+
+}  // namespace tbc

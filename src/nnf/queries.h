@@ -1,0 +1,99 @@
+#ifndef TBC_NNF_QUERIES_H_
+#define TBC_NNF_QUERIES_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/random.h"
+#include "logic/cnf.h"
+#include "nnf/nnf.h"
+
+namespace tbc {
+
+/// Polytime queries on tractable NNF circuits (paper §3).
+///
+/// Preconditions are by construction, not re-checked: IsSatDnnf requires
+/// decomposability; the counting queries require decomposability AND
+/// determinism (d-DNNF). None require smoothness — or-gate inputs that miss
+/// variables are handled with gap factors, the multiplicative correction
+/// 2^(#missing) (or Π(W(x)+W(¬x)) for WMC), which is exactly what explicit
+/// smoothing would contribute.
+
+/// Linear-time satisfiability of a DNNF circuit (unlocks class NP): a
+/// DNNF is satisfiable iff ⊥ does not propagate to the root.
+bool IsSatDnnf(NnfManager& mgr, NnfId root);
+
+/// Exact model count of a d-DNNF over variables 0..num_vars-1 (paper Fig 8;
+/// unlocks class PP via MAJSAT). Linear in circuit size.
+BigUint ModelCount(NnfManager& mgr, NnfId root, size_t num_vars);
+
+/// Weighted model count with per-literal weights (paper §2.1, WMC).
+double Wmc(NnfManager& mgr, NnfId root, const WeightMap& weights);
+
+/// All marginal weighted model counts in one bottom-up + top-down pass
+/// [Darwiche 2001, 2003]: returns m with m[l.code()] = WMC(Δ ∧ l) for every
+/// literal l over 0..num_vars-1. The circuit is smoothed internally.
+std::vector<double> MarginalWmc(NnfManager& mgr, NnfId root,
+                                const WeightMap& weights);
+
+/// Minimum number of positive literals over models (minimum cardinality);
+/// returns SIZE_MAX if unsatisfiable. Variables not mentioned count 0.
+size_t MinCardinality(NnfManager& mgr, NnfId root);
+
+/// Most probable explanation on a d-DNNF: the maximizing assignment and its
+/// weight, maximizing Π W(literal) over complete assignments consistent
+/// with the circuit. Requires satisfiable circuit.
+struct MpeResult {
+  double weight = 0.0;
+  Assignment assignment;
+};
+MpeResult MaxWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
+                 size_t num_vars);
+
+/// Enumerates all models over 0..num_vars-1 (test oracle; d-DNNF).
+void EnumerateModelsDnnf(NnfManager& mgr, NnfId root, size_t num_vars,
+                         const std::function<void(const Assignment&)>& on_model);
+
+/// Draws a uniform random model of a satisfiable d-DNNF over variables
+/// 0..num_vars-1 (paper §3: "utilization of tractable circuits for uniform
+/// sampling" [Sharma et al. 2018]). One counting pass plus one top-down
+/// descent choosing or-inputs with probability proportional to their
+/// (gap-adjusted) model counts; free variables are fair coin flips.
+Assignment SampleModelDnnf(NnfManager& mgr, NnfId root, size_t num_vars,
+                           Rng& rng);
+
+/// Clausal entailment (the CE query of the KC map): does the DNNF entail
+/// the clause? Decided in linear time by conditioning on the clause's
+/// negation and checking satisfiability.
+bool EntailsClause(NnfManager& mgr, NnfId root, const Clause& clause);
+
+/// Forgetting (the FO transformation): ∃vars. root, polytime on DNNF —
+/// both literals of each forgotten variable are replaced by ⊤, which is
+/// sound exactly because and-gates are decomposable. The result is a DNNF
+/// (determinism is generally lost).
+NnfId Forget(NnfManager& mgr, NnfId root, const std::vector<Var>& vars);
+
+/// Constrained max-sum query:  max_y Σ_z W(y, z)  over models of the
+/// circuit, where y ranges over `max_vars` and z over the rest.
+///
+/// This solves MAP / E-MAJSAT (classes NP^PP) in one linear pass, and is
+/// correct when the circuit is structured by a vtree *constrained* for the
+/// split z|y (paper Fig 10b, [Oztok, Choi & Darwiche 2016]): every or-gate
+/// touching a max variable must be a decision on max variables only (then
+/// max over its inputs is exact), and no and-gate may multiply two inputs
+/// that both mention max variables mixed with sums in between. Circuits
+/// exported from an SDD over Vtree::Constrained(y, z) and then smoothed
+/// satisfy this. The circuit MUST be smooth over all num_vars variables
+/// (call Smooth() first); this is checked only lightly.
+struct MaxSumResult {
+  double value = 0.0;
+  /// Chosen literals for the max variables.
+  std::vector<Lit> max_assignment;
+};
+MaxSumResult MaxSumWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
+                       const std::vector<Var>& max_vars);
+
+}  // namespace tbc
+
+#endif  // TBC_NNF_QUERIES_H_

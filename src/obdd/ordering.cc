@@ -1,0 +1,68 @@
+#include "obdd/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace tbc {
+
+std::vector<Var> ForceOrder(const Cnf& cnf, size_t iterations) {
+  const size_t n = cnf.num_vars();
+  std::vector<double> position(n);
+  for (size_t v = 0; v < n; ++v) position[v] = static_cast<double>(v);
+
+  std::vector<double> new_position(n);
+  std::vector<size_t> degree(n);
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    std::fill(new_position.begin(), new_position.end(), 0.0);
+    std::fill(degree.begin(), degree.end(), 0);
+    for (const Clause& c : cnf.clauses()) {
+      if (c.empty()) continue;
+      double cog = 0.0;
+      for (Lit l : c) cog += position[l.var()];
+      cog /= static_cast<double>(c.size());
+      for (Lit l : c) {
+        new_position[l.var()] += cog;
+        ++degree[l.var()];
+      }
+    }
+    for (size_t v = 0; v < n; ++v) {
+      position[v] = degree[v] > 0
+                        ? new_position[v] / static_cast<double>(degree[v])
+                        : position[v];
+    }
+    // Re-rank to integer positions (stable: ties keep previous order).
+    std::vector<Var> ranked(n);
+    std::iota(ranked.begin(), ranked.end(), 0);
+    std::stable_sort(ranked.begin(), ranked.end(), [&](Var a, Var b) {
+      return position[a] < position[b];
+    });
+    for (size_t i = 0; i < n; ++i) position[ranked[i]] = static_cast<double>(i);
+  }
+
+  std::vector<Var> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](Var a, Var b) {
+    return position[a] < position[b];
+  });
+  return order;
+}
+
+size_t TotalSpan(const Cnf& cnf, const std::vector<Var>& order) {
+  std::vector<size_t> pos(cnf.num_vars(), 0);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  size_t span = 0;
+  for (const Clause& c : cnf.clauses()) {
+    if (c.empty()) continue;
+    size_t lo = SIZE_MAX, hi = 0;
+    for (Lit l : c) {
+      lo = std::min(lo, pos[l.var()]);
+      hi = std::max(hi, pos[l.var()]);
+    }
+    span += hi - lo;
+  }
+  return span;
+}
+
+}  // namespace tbc

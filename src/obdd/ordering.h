@@ -1,0 +1,24 @@
+#ifndef TBC_OBDD_ORDERING_H_
+#define TBC_OBDD_ORDERING_H_
+
+#include <vector>
+
+#include "logic/cnf.h"
+
+namespace tbc {
+
+/// FORCE static variable-ordering heuristic [Aloul, Markov & Sakallah]:
+/// iteratively moves every variable to the center of gravity of its
+/// clauses, shrinking clause spans. Good spans mean related variables sit
+/// close together, which is what keeps OBDDs (and right-linear-vtree SDDs)
+/// small — the practical lever behind the paper's observation that circuit
+/// size ranges from linear to exponential with the order.
+std::vector<Var> ForceOrder(const Cnf& cnf, size_t iterations);
+
+/// Total clause span (Σ over clauses of max position − min position) under
+/// an order — the objective FORCE descends on.
+size_t TotalSpan(const Cnf& cnf, const std::vector<Var>& order);
+
+}  // namespace tbc
+
+#endif  // TBC_OBDD_ORDERING_H_

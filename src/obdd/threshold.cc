@@ -1,0 +1,60 @@
+#include "obdd/threshold.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "base/hash.h"
+
+namespace tbc {
+
+ObddId CompileThreshold(ObddManager& mgr, const std::vector<Var>& vars,
+                        const std::vector<int64_t>& weights, int64_t threshold) {
+  TBC_CHECK(vars.size() == weights.size());
+  // Test variables in manager order so the result is an ordered BDD.
+  std::vector<size_t> idx(vars.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return mgr.LevelOf(vars[a]) < mgr.LevelOf(vars[b]);
+  });
+
+  // Suffix bounds for early termination: after choosing the first i
+  // variables with partial sum s, the final sum lies in
+  // [s + suffix_min[i], s + suffix_max[i]].
+  const size_t n = idx.size();
+  std::vector<int64_t> suffix_min(n + 1, 0), suffix_max(n + 1, 0);
+  for (size_t i = n; i-- > 0;) {
+    const int64_t w = weights[idx[i]];
+    suffix_min[i] = suffix_min[i + 1] + std::min<int64_t>(w, 0);
+    suffix_max[i] = suffix_max[i + 1] + std::max<int64_t>(w, 0);
+  }
+
+  struct Key {
+    size_t i;
+    int64_t sum;
+    bool operator==(const Key& o) const { return i == o.i && sum == o.sum; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashU64(k.i * 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(k.sum));
+    }
+  };
+  std::unordered_map<Key, ObddId, KeyHash> memo;
+
+  std::function<ObddId(size_t, int64_t)> rec = [&](size_t i, int64_t sum) -> ObddId {
+    if (sum + suffix_min[i] >= threshold) return mgr.True();
+    if (sum + suffix_max[i] < threshold) return mgr.False();
+    TBC_DCHECK(i < n);
+    const Key key{i, sum};
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    const ObddId lo = rec(i + 1, sum);
+    const ObddId hi = rec(i + 1, sum + weights[idx[i]]);
+    const ObddId r = mgr.MakeNode(vars[idx[i]], lo, hi);
+    memo.emplace(key, r);
+    return r;
+  };
+  return rec(0, 0);
+}
+
+}  // namespace tbc

@@ -1,0 +1,28 @@
+#ifndef TBC_OBDD_THRESHOLD_H_
+#define TBC_OBDD_THRESHOLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obdd/obdd.h"
+
+namespace tbc {
+
+/// Compiles the linear threshold function  Σ_i weights[i]·x_{vars[i]} ≥
+/// threshold  into an OBDD.
+///
+/// Linear threshold functions are the building block for compiling numeric
+/// classifiers into circuits (paper §5): a naive Bayes decision is a
+/// threshold test on summed log-odds [Chan & Darwiche 2003], and each
+/// neuron of a binarized neural network computes a step of this form
+/// [Shi et al. 2020]. The compilation is the interval-based dynamic
+/// program: two partial sums reaching the same variable with the same
+/// achievable outcome produce the same subgraph, so the result is reduced.
+///
+/// `weights` is parallel to `vars`; variables are tested in manager order.
+ObddId CompileThreshold(ObddManager& mgr, const std::vector<Var>& vars,
+                        const std::vector<int64_t>& weights, int64_t threshold);
+
+}  // namespace tbc
+
+#endif  // TBC_OBDD_THRESHOLD_H_

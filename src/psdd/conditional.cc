@@ -1,0 +1,101 @@
+#include "psdd/conditional.h"
+
+#include "base/check.h"
+
+namespace tbc {
+
+size_t ConditionalPsdd::AddBranch(SddId guard, SddId child_base) {
+  TBC_CHECK(child_mgr_ != nullptr);
+  branches_.push_back({guard, Psdd(*child_mgr_, child_base)});
+  return branches_.size() - 1;
+}
+
+size_t ConditionalPsdd::SelectBranch(const Assignment& assignment) const {
+  if (parent_mgr_ == nullptr) {
+    TBC_CHECK(branches_.size() == 1);
+    return 0;
+  }
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    if (parent_mgr_->Evaluate(branches_[i].guard, assignment)) return i;
+  }
+  return SIZE_MAX;
+}
+
+double ConditionalPsdd::Conditional(const Assignment& x) const {
+  const size_t branch = SelectBranch(x);
+  if (branch == SIZE_MAX) return 0.0;
+  return branches_[branch].distribution.Probability(x);
+}
+
+void ConditionalPsdd::LearnParameters(const std::vector<Assignment>& data,
+                                      const std::vector<double>& weights,
+                                      double laplace) {
+  std::vector<std::vector<Assignment>> routed(branches_.size());
+  std::vector<std::vector<double>> routed_weights(branches_.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const size_t branch = SelectBranch(data[i]);
+    if (branch == SIZE_MAX) continue;
+    routed[branch].push_back(data[i]);
+    routed_weights[branch].push_back(weights.empty() ? 1.0 : weights[i]);
+  }
+  for (size_t b = 0; b < branches_.size(); ++b) {
+    branches_[b].distribution.LearnParameters(routed[b], routed_weights[b],
+                                              laplace);
+  }
+}
+
+void ConditionalPsdd::SampleChildren(Assignment& x, Rng& rng) const {
+  const size_t branch = SelectBranch(x);
+  TBC_CHECK_MSG(branch != SIZE_MAX, "parent state outside every guard");
+  const Assignment child = branches_[branch].distribution.Sample(rng);
+  // Copy values of the child manager's variables into x.
+  const Vtree& vt = branches_[branch].distribution.vtree();
+  for (Var v : vt.VarsBelow(vt.root())) {
+    if (x.size() <= v) x.resize(v + 1, false);
+    x[v] = child[v];
+  }
+}
+
+bool ConditionalPsdd::GuardsAreDisjoint() const {
+  if (parent_mgr_ == nullptr) return branches_.size() <= 1;
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    for (size_t j = i + 1; j < branches_.size(); ++j) {
+      if (parent_mgr_->Conjoin(branches_[i].guard, branches_[j].guard) !=
+          parent_mgr_->False()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+size_t StructuredBayesNet::AddCluster(
+    std::string name, std::vector<Var> vars, std::vector<size_t> parents,
+    std::unique_ptr<ConditionalPsdd> conditional) {
+  for (size_t p : parents) TBC_CHECK(p < clusters_.size());
+  clusters_.push_back(
+      {std::move(name), std::move(vars), std::move(parents), std::move(conditional)});
+  return clusters_.size() - 1;
+}
+
+double StructuredBayesNet::JointProbability(const Assignment& x) const {
+  double p = 1.0;
+  for (const Cluster& c : clusters_) p *= c.conditional->Conditional(x);
+  return p;
+}
+
+Assignment StructuredBayesNet::Sample(size_t num_global_vars, Rng& rng) const {
+  Assignment x(num_global_vars, false);
+  for (const Cluster& c : clusters_) c.conditional->SampleChildren(x, rng);
+  return x;
+}
+
+void StructuredBayesNet::LearnParameters(const std::vector<Assignment>& data,
+                                         const std::vector<double>& weights,
+                                         double laplace) {
+  for (Cluster& c : clusters_) {
+    c.conditional->LearnParameters(data, weights, laplace);
+  }
+}
+
+}  // namespace tbc

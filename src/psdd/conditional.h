@@ -1,0 +1,111 @@
+#ifndef TBC_PSDD_CONDITIONAL_H_
+#define TBC_PSDD_CONDITIONAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psdd/psdd.h"
+
+namespace tbc {
+
+/// Conditional PSDD [Shen, Choi & Darwiche 2018] (paper §4.2, Figs 21/24).
+///
+/// Represents a family of distributions over *child* variables X selected
+/// by the state of *parent* variables P: evaluating the parent state picks
+/// one distribution (Fig 24's "selecting conditional distributions"). The
+/// paper's circuit form is an SDD over the parents (yellow in Fig 21)
+/// feeding a multi-rooted PSDD (green); we represent the same object
+/// explicitly as a partition of the parent space — a list of branches
+/// (guard SDD over parents, PSDD over children). Branch guards must be
+/// mutually exclusive; parent states outside every guard have undefined
+/// conditionals (zero).
+class ConditionalPsdd {
+ public:
+  /// `parent_mgr` may be null for root clusters (single unconditional
+  /// branch). Managers use global variable ids.
+  ConditionalPsdd(SddManager* parent_mgr, SddManager* child_mgr)
+      : parent_mgr_(parent_mgr), child_mgr_(child_mgr) {}
+
+  /// Adds a branch: when `guard` holds of the parents, the children follow
+  /// a PSDD with base `child_base`. Returns the branch index.
+  size_t AddBranch(SddId guard, SddId child_base);
+
+  size_t num_branches() const { return branches_.size(); }
+  Psdd& distribution(size_t branch) { return branches_[branch].distribution; }
+  const Psdd& distribution(size_t branch) const {
+    return branches_[branch].distribution;
+  }
+  SddId guard(size_t branch) const { return branches_[branch].guard; }
+
+  /// Index of the branch whose guard is satisfied by the (global)
+  /// assignment; SIZE_MAX if none.
+  size_t SelectBranch(const Assignment& assignment) const;
+
+  /// Pr(child values of x | parent values of x); 0 outside every guard.
+  double Conditional(const Assignment& x) const;
+
+  /// Maximum-likelihood parameters from complete (global) examples:
+  /// each row is routed to its branch and counted there.
+  void LearnParameters(const std::vector<Assignment>& data,
+                       const std::vector<double>& weights, double laplace);
+
+  /// Samples child variables into `x` given the parent values already in
+  /// `x`. Aborts if no guard matches.
+  void SampleChildren(Assignment& x, Rng& rng) const;
+
+  /// True iff guards are pairwise mutually exclusive (validation; the
+  /// check is pairwise-conjoin-is-false on the parent manager).
+  bool GuardsAreDisjoint() const;
+
+ private:
+  struct Branch {
+    SddId guard;
+    Psdd distribution;
+  };
+  SddManager* parent_mgr_;
+  SddManager* child_mgr_;
+  std::vector<Branch> branches_;
+};
+
+/// Structured Bayesian network [Shen et al. 2018] (paper Fig 19): a
+/// cluster DAG where each node holds a set of variables quantified by a
+/// conditional PSDD given its parent clusters' variables.
+class StructuredBayesNet {
+ public:
+  /// Adds a cluster; `parents` are indices of earlier clusters. Returns the
+  /// cluster index. The conditional's child manager must cover `vars`.
+  size_t AddCluster(std::string name, std::vector<Var> vars,
+                    std::vector<size_t> parents,
+                    std::unique_ptr<ConditionalPsdd> conditional);
+
+  size_t num_clusters() const { return clusters_.size(); }
+  ConditionalPsdd& conditional(size_t i) { return *clusters_[i].conditional; }
+  const std::vector<Var>& cluster_vars(size_t i) const {
+    return clusters_[i].vars;
+  }
+
+  /// Pr(x) = Π_clusters Pr(cluster vars | parent vars) — the SBN chain
+  /// rule over the cluster DAG.
+  double JointProbability(const Assignment& x) const;
+
+  /// Topological forward sampling.
+  Assignment Sample(size_t num_global_vars, Rng& rng) const;
+
+  /// Learns every conditional from complete global data.
+  void LearnParameters(const std::vector<Assignment>& data,
+                       const std::vector<double>& weights, double laplace);
+
+ private:
+  struct Cluster {
+    std::string name;
+    std::vector<Var> vars;
+    std::vector<size_t> parents;
+    std::unique_ptr<ConditionalPsdd> conditional;
+  };
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_PSDD_CONDITIONAL_H_

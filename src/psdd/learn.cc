@@ -1,0 +1,46 @@
+#include "psdd/learn.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace tbc {
+
+double WeightedData::TotalWeight() const {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  return total;
+}
+
+WeightedData WeightedData::FromCounts(
+    const std::vector<std::pair<Assignment, double>>& rows) {
+  WeightedData data;
+  for (const auto& [assignment, count] : rows) {
+    data.examples.push_back(assignment);
+    data.weights.push_back(count);
+  }
+  return data;
+}
+
+Psdd LearnPsdd(SddManager& mgr, SddId constraint, const WeightedData& data,
+               double laplace) {
+  Psdd psdd(mgr, constraint);
+  psdd.LearnParameters(data.examples, data.weights, laplace);
+  return psdd;
+}
+
+double EmpiricalKl(const WeightedData& data, const Psdd& psdd) {
+  const double total = data.TotalWeight();
+  TBC_CHECK(total > 0.0);
+  double kl = 0.0;
+  for (size_t i = 0; i < data.examples.size(); ++i) {
+    const double p = data.weights[i] / total;
+    if (p <= 0.0) continue;
+    const double q = psdd.Probability(data.examples[i]);
+    TBC_CHECK_MSG(q > 0.0, "PSDD assigns zero probability to a data row");
+    kl += p * std::log(p / q);
+  }
+  return kl;
+}
+
+}  // namespace tbc

@@ -1,0 +1,161 @@
+#ifndef TBC_PSDD_PSDD_H_
+#define TBC_PSDD_PSDD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/random.h"
+#include "base/result.h"
+#include "sdd/sdd.h"
+
+namespace tbc {
+
+/// Node index within a Psdd.
+using PsddId = uint32_t;
+constexpr PsddId kInvalidPsdd = static_cast<PsddId>(-1);
+
+/// Evidence over variables: kTrue/kFalse observed, kUnknown unobserved.
+enum class Obs : int8_t { kFalse = 0, kTrue = 1, kUnknown = -1 };
+using PsddEvidence = std::vector<Obs>;
+
+/// Probabilistic Sentential Decision Diagram [Kisa et al. 2014]
+/// (paper §4, Figs 13-14).
+///
+/// A PSDD induces a probability distribution over the satisfying inputs of
+/// an SDD (its *base*): each or-gate input carries a local probability, the
+/// local distributions are independent, and together they are guaranteed to
+/// form a normalized distribution over the base's models (Fig 13). The
+/// structure here is the SDD *normalized* for its vtree: every variable of
+/// a node's vtree appears in the node's subcircuit, with pass-through nodes
+/// inserted where the (trimmed) SDD skipped vtree nodes, and a ⊤-leaf over
+/// variable X carrying the Bernoulli parameter Pr(X=1).
+///
+/// Supported, all linear in PSDD size: probability of a complete input,
+/// probability of evidence (MAR), all-variable marginals, MPE, sampling,
+/// maximum-likelihood learning from complete data (paper Fig 15), and
+/// PSDD multiplication [Shen, Choi & Darwiche 2016].
+class Psdd {
+ public:
+  /// Builds the PSDD structure for the SDD `base` (must not be ⊥), with
+  /// uniform parameters at every node.
+  Psdd(SddManager& sdd, SddId base);
+
+  const Vtree& vtree() const { return sdd_->vtree(); }
+  size_t num_vars() const { return sdd_->num_vars(); }
+  PsddId root() const { return root_; }
+
+  /// PSDD size (number of elements over decision nodes) and node count.
+  size_t Size() const;
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Pr(x) of a complete input; 0 for inputs outside the base (Fig 14).
+  double Probability(const Assignment& x) const;
+
+  /// Pr(e) of partial evidence (MAR query; linear time).
+  double ProbabilityEvidence(const PsddEvidence& e) const;
+
+  /// Marginals Pr(X=1, e) for every variable X, in one up+down pass;
+  /// normalized by Pr(e) when `normalized`.
+  std::vector<double> Marginals(const PsddEvidence& e, bool normalized) const;
+
+  /// MPE completing the evidence: argmax_x Pr(x, e) with its probability.
+  struct Mpe {
+    double probability = 0.0;
+    Assignment assignment;
+  };
+  Mpe MostProbable(const PsddEvidence& e) const;
+
+  /// Draws a sample from the distribution.
+  Assignment Sample(Rng& rng) const;
+
+  /// Maximum-likelihood parameters from complete data [Kisa et al. 2014]:
+  /// one descent per example accumulating activation counts, then
+  /// normalize; `laplace` is the add-α pseudo-count (0 = pure ML).
+  /// `weights[i]` repeats data[i] that many times (empty = all 1).
+  void LearnParameters(const std::vector<Assignment>& data,
+                       const std::vector<double>& weights, double laplace);
+
+  /// Log-likelihood of complete data under current parameters.
+  double LogLikelihood(const std::vector<Assignment>& data) const;
+
+  /// EM parameter learning from *incomplete* data (paper §4.1; [Choi, Van
+  /// den Broeck & Darwiche 2015] extends Fig 15's learning to incomplete
+  /// examples). Each E-step computes expected element activations with the
+  /// same up+down differential pass as Marginals(); the M-step normalizes.
+  /// On complete data one iteration reproduces LearnParameters exactly.
+  /// Returns the final weighted log-likelihood; never decreases per
+  /// iteration (the EM guarantee, asserted in tests).
+  double LearnParametersEm(const std::vector<PsddEvidence>& data,
+                           const std::vector<double>& weights, double laplace,
+                           size_t iterations);
+
+  /// Serializes all parameters, one line per parameterized node in
+  /// structural (id) order — two PSDDs built from the same base on the
+  /// same manager can exchange parameters (e.g. persisting a learned
+  /// model). Format: "P <node_id> <theta...>".
+  std::string SerializeParameters() const;
+  /// Loads parameters written by SerializeParameters; fails on structural
+  /// mismatch or non-distributions.
+  Status LoadParameters(const std::string& text);
+
+  /// Exact KL divergence KL(this || other) for two PSDDs with the *same
+  /// structure* (both built from the same base on the same manager; only
+  /// parameters differ). Decomposes into per-node local divergences
+  /// weighted by this-distribution context probabilities — linear time,
+  /// no enumeration. Aborts on structural mismatch.
+  double KlDivergence(const Psdd& other) const;
+
+  /// Product distribution Pr(x) ∝ this(x) · other(x) [Shen et al. 2016].
+  /// Both PSDDs must share the same manager/vtree. Returns the new PSDD and
+  /// writes the normalization constant Σ_x this(x)·other(x) if requested.
+  Psdd Multiply(const Psdd& other, double* normalization_constant) const;
+
+  // --- structure access (tests, serialization, conditional PSDDs) ---
+  enum class Kind : uint8_t { kLiteral, kTop, kDecision };
+  Kind kind(PsddId n) const { return nodes_[n].kind; }
+  Lit literal(PsddId n) const { return Lit::FromCode(nodes_[n].lit_code); }
+  /// Bernoulli Pr(X=1) of a ⊤-leaf.
+  double theta_true(PsddId n) const { return nodes_[n].theta_true; }
+  VtreeId vtree_node(PsddId n) const { return nodes_[n].vtree; }
+  struct Element {
+    PsddId prime;
+    PsddId sub;
+    double theta;
+  };
+  const std::vector<Element>& elements(PsddId n) const {
+    return nodes_[n].elements;
+  }
+
+ private:
+  struct Node {
+    Kind kind;
+    VtreeId vtree;
+    uint32_t lit_code = 0;     // kLiteral
+    double theta_true = 0.5;   // kTop
+    std::vector<Element> elements;  // kDecision
+    // Learning scratch: activation counts.
+    double count_true = 0.0;   // kTop
+    double count_total = 0.0;
+    std::vector<double> element_counts;
+  };
+
+  // Builds the normalized structure for SDD node `f` at vtree node `v`.
+  PsddId Build(VtreeId v, SddId f);
+
+  // Value pass: value[n] = Pr_n(e restricted to n's vtree vars).
+  std::vector<double> ValuePass(const PsddEvidence& e) const;
+
+  // Learning descent for one weighted example.
+  void CountExample(PsddId n, const Assignment& x, double weight);
+
+  SddManager* sdd_;
+  std::vector<Node> nodes_;
+  PsddId root_ = kInvalidPsdd;
+  // Memo for Build: key (vtree, sdd node).
+  std::unordered_map<uint64_t, PsddId> build_memo_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_PSDD_PSDD_H_

@@ -1,0 +1,61 @@
+#include "sat/enumerate.h"
+
+#include "sat/solver.h"
+
+namespace tbc {
+
+bool EnumerateModels(const Cnf& cnf, uint64_t max_models,
+                     const std::function<void(const Assignment&)>& on_model) {
+  SatSolver solver;
+  solver.AddCnf(cnf);
+  uint64_t found = 0;
+  while (solver.Solve() == SatSolver::Outcome::kSat) {
+    if (found == max_models) return false;
+    Assignment model = solver.model();
+    model.resize(cnf.num_vars(), false);
+    on_model(model);
+    ++found;
+    // Block this model.
+    Clause blocker;
+    blocker.reserve(cnf.num_vars());
+    for (Var v = 0; v < cnf.num_vars(); ++v) {
+      blocker.push_back(model[v] ? Neg(v) : Pos(v));
+    }
+    if (blocker.empty()) return true;  // zero-variable CNF has one model
+    solver.AddClause(blocker);
+  }
+  return true;
+}
+
+uint64_t CountModelsUpTo(const Cnf& cnf, uint64_t cap) {
+  uint64_t count = 0;
+  EnumerateModels(cnf, cap, [&](const Assignment&) { ++count; });
+  return count;
+}
+
+bool AreEquivalent(const Cnf& a, const Cnf& b) {
+  // a and b are equivalent iff (a ∧ ¬b) and (¬a ∧ b) are both unsatisfiable.
+  // ¬CNF is encoded with one selector variable per clause: selector s_i is
+  // true iff clause i is falsified; ¬b  ≡  some s_i.
+  const size_t n = std::max(a.num_vars(), b.num_vars());
+  auto check_one_direction = [n](const Cnf& pos, const Cnf& neg) {
+    SatSolver solver;
+    Cnf padded = pos;
+    padded.EnsureVars(n);
+    solver.AddCnf(padded);
+    solver.EnsureVars(n + neg.num_clauses());
+    Clause some_falsified;
+    for (size_t i = 0; i < neg.num_clauses(); ++i) {
+      const Var s = static_cast<Var>(n + i);
+      some_falsified.push_back(Pos(s));
+      // s_i -> every literal of clause i is false.
+      for (Lit l : neg.clause(i)) solver.AddClause({Neg(s), ~l});
+    }
+    if (some_falsified.empty()) return true;  // neg has no clauses: ¬true unsat
+    solver.AddClause(some_falsified);
+    return solver.Solve() == SatSolver::Outcome::kUnsat;
+  };
+  return check_one_direction(a, b) && check_one_direction(b, a);
+}
+
+}  // namespace tbc

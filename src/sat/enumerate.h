@@ -1,0 +1,30 @@
+#ifndef TBC_SAT_ENUMERATE_H_
+#define TBC_SAT_ENUMERATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "logic/cnf.h"
+#include "logic/lit.h"
+
+namespace tbc {
+
+/// Enumerates models of `cnf` over its variables, invoking `on_model` for
+/// each. Stops early (returning false) if more than `max_models` models
+/// exist; returns true if enumeration was exhaustive. Uses a CDCL solver
+/// with blocking clauses, so it is usable well beyond brute-force limits
+/// when the model count is small.
+bool EnumerateModels(const Cnf& cnf, uint64_t max_models,
+                     const std::function<void(const Assignment&)>& on_model);
+
+/// Counts models with a cap; returns min(#models, cap).
+uint64_t CountModelsUpTo(const Cnf& cnf, uint64_t cap);
+
+/// True iff the two CNFs (over max(num_vars) variables) are logically
+/// equivalent. Decided with two SAT calls on the XOR of the formulas.
+bool AreEquivalent(const Cnf& a, const Cnf& b);
+
+}  // namespace tbc
+
+#endif  // TBC_SAT_ENUMERATE_H_

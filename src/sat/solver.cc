@@ -1,0 +1,294 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace tbc {
+
+void SatSolver::EnsureVars(size_t n) {
+  while (assign_.size() < n) {
+    assign_.push_back(kUndef);
+    phase_.push_back(kFalse);
+    reason_.push_back(-1);
+    level_.push_back(0);
+    activity_.push_back(0.0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+  }
+}
+
+void SatSolver::AddCnf(const Cnf& cnf) {
+  EnsureVars(cnf.num_vars());
+  for (const Clause& c : cnf.clauses()) AddClause(c);
+}
+
+void SatSolver::AddClause(const Clause& clause) {
+  TBC_CHECK_MSG(trail_lims_.empty(), "AddClause only at decision level 0");
+  Clause c = clause;
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  for (size_t i = 0; i + 1 < c.size(); ++i) {
+    if (c[i].var() == c[i + 1].var()) return;  // tautology
+  }
+  for (Lit l : c) EnsureVars(l.var() + 1);
+  // Remove literals already false at level 0; drop clause if some lit true.
+  Clause reduced;
+  for (Lit l : c) {
+    int8_t v = Value(l);
+    if (v == kTrue) return;
+    if (v == kUndef) reduced.push_back(l);
+  }
+  if (reduced.empty()) {
+    found_empty_clause_ = true;
+    return;
+  }
+  if (reduced.size() == 1) {
+    Enqueue(reduced[0], -1);
+    if (Propagate() != -1) found_empty_clause_ = true;
+    return;
+  }
+  AttachClause(std::move(reduced), /*learnt=*/false);
+}
+
+uint32_t SatSolver::AttachClause(Clause c, bool learnt) {
+  (void)learnt;
+  const uint32_t idx = static_cast<uint32_t>(clauses_.size());
+  watches_[c[0].code()].push_back({idx});
+  watches_[c[1].code()].push_back({idx});
+  clauses_.push_back(std::move(c));
+  return idx;
+}
+
+void SatSolver::Enqueue(Lit l, int32_t reason) {
+  TBC_DCHECK(Value(l) == kUndef);
+  assign_[l.var()] = l.positive() ? kTrue : kFalse;
+  reason_[l.var()] = reason;
+  level_[l.var()] = static_cast<int32_t>(trail_lims_.size());
+  trail_.push_back(l);
+}
+
+int32_t SatSolver::Propagate() {
+  while (prop_head_ < trail_.size()) {
+    const Lit p = trail_[prop_head_++];
+    // Clauses watching ~p must find a new watch or propagate/conflict.
+    std::vector<Watcher>& ws = watches_[(~p).code()];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      const uint32_t ci = ws[i].clause;
+      Clause& c = clauses_[ci];
+      // Ensure c[0] is the other watch.
+      if (c[0] == ~p) std::swap(c[0], c[1]);
+      TBC_DCHECK(c[1] == ~p);
+      if (Value(c[0]) == kTrue) {
+        ws[keep++] = ws[i];
+        continue;
+      }
+      // Look for a replacement watch.
+      bool found = false;
+      for (size_t k = 2; k < c.size(); ++k) {
+        if (Value(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[c[1].code()].push_back({ci});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;  // watcher moved; drop from this list
+      // Clause is unit or conflicting.
+      ws[keep++] = ws[i];
+      if (Value(c[0]) == kFalse) {
+        // Conflict: keep remaining watchers and report.
+        for (size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        prop_head_ = trail_.size();
+        return static_cast<int32_t>(ci);
+      }
+      Enqueue(c[0], static_cast<int32_t>(ci));
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::BumpVar(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::DecayActivities() { var_inc_ /= 0.95; }
+
+void SatSolver::Analyze(int32_t conflict, Clause* learnt, int* backjump_level) {
+  learnt->clear();
+  learnt->push_back(Lit());  // slot for the asserting literal
+  std::vector<int8_t> seen(assign_.size(), 0);
+  int counter = 0;
+  size_t trail_index = trail_.size();
+  Lit p;  // invalid initially
+  int32_t reason_clause = conflict;
+  const int current_level = static_cast<int>(trail_lims_.size());
+
+  do {
+    TBC_DCHECK(reason_clause != -1);
+    const Clause& c = clauses_[reason_clause];
+    // Skip c[0] on non-first iterations: it is the propagated literal p.
+    for (size_t i = (p.valid() ? 1u : 0u); i < c.size(); ++i) {
+      const Lit q = c[i];
+      if (seen[q.var()] || level_[q.var()] == 0) continue;
+      seen[q.var()] = 1;
+      BumpVar(q.var());
+      if (level_[q.var()] == current_level) {
+        ++counter;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    // Find next literal on the trail to resolve on.
+    while (!seen[trail_[trail_index - 1].var()]) --trail_index;
+    p = trail_[--trail_index];
+    seen[p.var()] = 0;
+    reason_clause = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  (*learnt)[0] = ~p;
+
+  // Backjump level = max level among the other literals.
+  int bj = 0;
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    bj = std::max(bj, static_cast<int>(level_[(*learnt)[i].var()]));
+  }
+  *backjump_level = bj;
+  // Move a literal of the backjump level into watch position 1.
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    if (level_[(*learnt)[i].var()] == bj) {
+      std::swap((*learnt)[1], (*learnt)[i]);
+      break;
+    }
+  }
+}
+
+void SatSolver::Backtrack(int target_level) {
+  if (static_cast<int>(trail_lims_.size()) <= target_level) return;
+  const size_t lim = trail_lims_[target_level];
+  for (size_t i = trail_.size(); i-- > lim;) {
+    const Var v = trail_[i].var();
+    phase_[v] = assign_[v];
+    assign_[v] = kUndef;
+    reason_[v] = -1;
+  }
+  trail_.resize(lim);
+  trail_lims_.resize(target_level);
+  prop_head_ = lim;
+}
+
+Var SatSolver::PickBranchVar() {
+  Var best = kInvalidVar;
+  double best_act = -1.0;
+  for (Var v = 0; v < assign_.size(); ++v) {
+    if (assign_[v] == kUndef && activity_[v] > best_act) {
+      best = v;
+      best_act = activity_[v];
+    }
+  }
+  return best;
+}
+
+uint64_t SatSolver::Luby(uint64_t i) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  uint64_t k = 1;
+  while ((1ull << (k + 1)) - 1 <= i) ++k;
+  while ((1ull << k) - 1 != i + 1) {
+    i -= (1ull << k) - 1;
+    k = 1;
+    while ((1ull << (k + 1)) - 1 <= i) ++k;
+  }
+  return 1ull << (k - 1);
+}
+
+SatSolver::Outcome SatSolver::SolveAssuming(const std::vector<Lit>& assumptions) {
+  if (found_empty_clause_) return Outcome::kUnsat;
+  Backtrack(0);
+  if (Propagate() != -1) {
+    found_empty_clause_ = true;
+    return Outcome::kUnsat;
+  }
+
+  uint64_t restart_round = 0;
+  uint64_t conflict_budget = 32 * Luby(restart_round);
+  uint64_t conflicts_this_round = 0;
+
+  while (true) {
+    const int32_t conflict = Propagate();
+    if (conflict != -1) {
+      ++conflicts_;
+      ++conflicts_this_round;
+      if (trail_lims_.size() <= assumptions.size()) {
+        // Conflict at or below the assumption levels: unsat under them.
+        Backtrack(0);
+        return Outcome::kUnsat;
+      }
+      Clause learnt;
+      int backjump = 0;
+      Analyze(conflict, &learnt, &backjump);
+      // Never backjump into the middle of assumption levels without
+      // re-deciding them; jumping to an assumption level is fine since the
+      // asserting literal is enqueued below.
+      Backtrack(backjump);
+      if (learnt.size() == 1) {
+        if (static_cast<int>(trail_lims_.size()) > 0) Backtrack(0);
+        if (Value(learnt[0]) == kFalse) return Outcome::kUnsat;
+        if (Value(learnt[0]) == kUndef) Enqueue(learnt[0], -1);
+      } else {
+        const uint32_t ci = AttachClause(learnt, /*learnt=*/true);
+        Enqueue(clauses_[ci][0], static_cast<int32_t>(ci));
+      }
+      DecayActivities();
+      continue;
+    }
+
+    if (conflicts_this_round >= conflict_budget && trail_lims_.size() > assumptions.size()) {
+      // Restart (keep assumption decisions by backtracking to their level).
+      Backtrack(static_cast<int>(assumptions.size()));
+      ++restart_round;
+      conflict_budget = 32 * Luby(restart_round);
+      conflicts_this_round = 0;
+      continue;
+    }
+
+    // Apply pending assumptions as decisions.
+    if (trail_lims_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lims_.size()];
+      if (a.var() >= num_vars()) EnsureVars(a.var() + 1);
+      if (Value(a) == kFalse) {
+        Backtrack(0);
+        return Outcome::kUnsat;
+      }
+      trail_lims_.push_back(trail_.size());
+      if (Value(a) == kUndef) Enqueue(a, -1);
+      continue;
+    }
+
+    const Var v = PickBranchVar();
+    if (v == kInvalidVar) {
+      // All variables assigned: model found.
+      model_.assign(num_vars(), false);
+      for (Var u = 0; u < num_vars(); ++u) model_[u] = assign_[u] == kTrue;
+      Backtrack(0);
+      return Outcome::kSat;
+    }
+    trail_lims_.push_back(trail_.size());
+    Enqueue(Lit(v, phase_[v] == kTrue), -1);
+  }
+}
+
+bool IsSatisfiable(const Cnf& cnf) {
+  SatSolver solver;
+  solver.AddCnf(cnf);
+  return solver.Solve() == SatSolver::Outcome::kSat;
+}
+
+}  // namespace tbc

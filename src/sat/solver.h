@@ -1,0 +1,94 @@
+#ifndef TBC_SAT_SOLVER_H_
+#define TBC_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/cnf.h"
+#include "logic/lit.h"
+
+namespace tbc {
+
+/// CDCL SAT solver (conflict-driven clause learning).
+///
+/// Implements the standard modern architecture: two-watched-literal
+/// propagation, first-UIP conflict analysis with clause learning, VSIDS-style
+/// variable activities with phase saving, and Luby restarts. Used as the
+/// NP-oracle substrate throughout the library (equivalence and property
+/// checking, implicant minimization) and as a correctness baseline for the
+/// knowledge compilers.
+class SatSolver {
+ public:
+  enum class Outcome { kSat, kUnsat };
+
+  SatSolver() = default;
+
+  /// Adds the clauses of `cnf` (callable multiple times; variables grow).
+  void AddCnf(const Cnf& cnf);
+  /// Adds one clause.
+  void AddClause(const Clause& clause);
+  /// Declares at least n variables.
+  void EnsureVars(size_t n);
+
+  size_t num_vars() const { return assign_.size(); }
+
+  /// Decides satisfiability. May be called repeatedly (clauses persist).
+  Outcome Solve() { return SolveAssuming({}); }
+
+  /// Decides satisfiability under the given assumption literals.
+  Outcome SolveAssuming(const std::vector<Lit>& assumptions);
+
+  /// After kSat: the satisfying assignment (complete over all variables).
+  const Assignment& model() const { return model_; }
+
+  /// Total number of conflicts encountered (statistics).
+  uint64_t num_conflicts() const { return conflicts_; }
+
+ private:
+  // Truth value codes for assign_: 0 unassigned, 1 true, 2 false.
+  static constexpr int8_t kUndef = 0, kTrue = 1, kFalse = 2;
+
+  struct Watcher {
+    uint32_t clause;  // index into clauses_
+  };
+
+  int8_t Value(Lit l) const {
+    int8_t v = assign_[l.var()];
+    if (v == kUndef) return kUndef;
+    return (v == kTrue) == l.positive() ? kTrue : kFalse;
+  }
+
+  void Enqueue(Lit l, int32_t reason);
+  // Returns the index of a conflicting clause, or -1.
+  int32_t Propagate();
+  // First-UIP analysis; fills learnt clause and backjump level.
+  void Analyze(int32_t conflict, Clause* learnt, int* backjump_level);
+  void Backtrack(int level);
+  void BumpVar(Var v);
+  void DecayActivities();
+  Var PickBranchVar();
+  uint32_t AttachClause(Clause c, bool learnt);
+  static uint64_t Luby(uint64_t i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code()
+  std::vector<int8_t> assign_;                 // per var
+  std::vector<int8_t> phase_;                  // saved phase per var
+  std::vector<int32_t> reason_;                // clause index or -1, per var
+  std::vector<int32_t> level_;                 // decision level, per var
+  std::vector<double> activity_;               // per var
+  std::vector<Lit> trail_;
+  std::vector<size_t> trail_lims_;             // trail size at each level
+  size_t prop_head_ = 0;
+  double var_inc_ = 1.0;
+  uint64_t conflicts_ = 0;
+  bool found_empty_clause_ = false;
+  Assignment model_;
+};
+
+/// Convenience: decides satisfiability of a CNF.
+bool IsSatisfiable(const Cnf& cnf);
+
+}  // namespace tbc
+
+#endif  // TBC_SAT_SOLVER_H_

@@ -1,0 +1,82 @@
+#include "sdd/compile.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+namespace tbc {
+
+SddId CompileClause(SddManager& mgr, const Clause& clause) {
+  SddId acc = mgr.False();
+  for (Lit l : clause) acc = mgr.Disjoin(acc, mgr.LiteralNode(l));
+  return acc;
+}
+
+SddId CompileCube(SddManager& mgr, const std::vector<Lit>& cube) {
+  SddId acc = mgr.True();
+  for (Lit l : cube) acc = mgr.Conjoin(acc, mgr.LiteralNode(l));
+  return acc;
+}
+
+SddId CompileCnf(SddManager& mgr, const Cnf& cnf) {
+  const Vtree& vt = mgr.vtree();
+  std::vector<size_t> idx(cnf.num_clauses());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto max_pos = [&](size_t i) {
+    uint32_t m = 0;
+    for (Lit l : cnf.clause(i)) {
+      m = std::max(m, vt.position(vt.LeafOfVar(l.var())));
+    }
+    return m;
+  };
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return max_pos(a) < max_pos(b); });
+  SddId acc = mgr.True();
+  for (size_t i : idx) {
+    acc = mgr.Conjoin(acc, CompileClause(mgr, cnf.clause(i)));
+    if (acc == mgr.False()) break;
+  }
+  return acc;
+}
+
+SddId CompileFormula(SddManager& mgr, const FormulaStore& store, FormulaId f) {
+  std::unordered_map<FormulaId, SddId> memo;
+  std::function<SddId(FormulaId)> rec = [&](FormulaId g) -> SddId {
+    auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    SddId r = mgr.False();
+    switch (store.kind(g)) {
+      case FormulaStore::Kind::kFalse:
+        r = mgr.False();
+        break;
+      case FormulaStore::Kind::kTrue:
+        r = mgr.True();
+        break;
+      case FormulaStore::Kind::kVar:
+        r = mgr.LiteralNode(Pos(store.var(g)));
+        break;
+      case FormulaStore::Kind::kNot:
+        r = mgr.Negate(rec(store.child(g, 0)));
+        break;
+      case FormulaStore::Kind::kAnd: {
+        r = mgr.True();
+        for (size_t i = 0; i < store.num_children(g); ++i) {
+          r = mgr.Conjoin(r, rec(store.child(g, i)));
+        }
+        break;
+      }
+      case FormulaStore::Kind::kOr: {
+        r = mgr.False();
+        for (size_t i = 0; i < store.num_children(g); ++i) {
+          r = mgr.Disjoin(r, rec(store.child(g, i)));
+        }
+        break;
+      }
+    }
+    memo.emplace(g, r);
+    return r;
+  };
+  return rec(f);
+}
+
+}  // namespace tbc

@@ -1,0 +1,25 @@
+#ifndef TBC_SDD_COMPILE_H_
+#define TBC_SDD_COMPILE_H_
+
+#include "logic/cnf.h"
+#include "logic/formula.h"
+#include "sdd/sdd.h"
+
+namespace tbc {
+
+/// Bottom-up CNF -> SDD compilation: clause SDDs are conjoined in an order
+/// that keeps intermediate results local to the vtree (clauses sorted by
+/// the highest vtree position they touch). This is the classic compilation
+/// mode of the SDD library [Darwiche 2011; Choi & Darwiche 2013].
+SddId CompileCnf(SddManager& mgr, const Cnf& cnf);
+
+/// Clause (disjunction of literals) and cube (conjunction of literals).
+SddId CompileClause(SddManager& mgr, const Clause& clause);
+SddId CompileCube(SddManager& mgr, const std::vector<Lit>& cube);
+
+/// Bottom-up formula AST -> SDD compilation.
+SddId CompileFormula(SddManager& mgr, const FormulaStore& store, FormulaId f);
+
+}  // namespace tbc
+
+#endif  // TBC_SDD_COMPILE_H_

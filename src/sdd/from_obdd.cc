@@ -1,0 +1,26 @@
+#include "sdd/from_obdd.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace tbc {
+
+SddId ObddToSdd(const ObddManager& obdd, ObddId f, SddManager& sdd) {
+  std::unordered_map<ObddId, SddId> memo;
+  std::function<SddId(ObddId)> rec = [&](ObddId g) -> SddId {
+    if (g == obdd.False()) return sdd.False();
+    if (g == obdd.True()) return sdd.True();
+    auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    const Var v = obdd.var(g);
+    const SddId hi = rec(obdd.hi(g));
+    const SddId lo = rec(obdd.lo(g));
+    const SddId r = sdd.Disjoin(sdd.Conjoin(sdd.LiteralNode(Pos(v)), hi),
+                                sdd.Conjoin(sdd.LiteralNode(Neg(v)), lo));
+    memo.emplace(g, r);
+    return r;
+  };
+  return rec(f);
+}
+
+}  // namespace tbc

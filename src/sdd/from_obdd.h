@@ -1,0 +1,17 @@
+#ifndef TBC_SDD_FROM_OBDD_H_
+#define TBC_SDD_FROM_OBDD_H_
+
+#include "obdd/obdd.h"
+#include "sdd/sdd.h"
+
+namespace tbc {
+
+/// Imports an OBDD into an SDD manager. With a right-linear vtree over the
+/// OBDD's variable order this is the exact OBDD⊂SDD correspondence of
+/// paper Fig 10(c)/11 (every OBDD is an SDD); other vtrees re-structure
+/// the function via apply.
+SddId ObddToSdd(const ObddManager& obdd, ObddId f, SddManager& sdd);
+
+}  // namespace tbc
+
+#endif  // TBC_SDD_FROM_OBDD_H_

@@ -1,0 +1,99 @@
+#include "sdd/io.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "base/strings.h"
+
+namespace tbc {
+
+std::string WriteSdd(const SddManager& mgr, SddId f) {
+  std::unordered_map<SddId, uint32_t> file_id;
+  std::string body;
+  uint32_t next = 0;
+  std::function<uint32_t(SddId)> emit = [&](SddId g) -> uint32_t {
+    auto it = file_id.find(g);
+    if (it != file_id.end()) return it->second;
+    uint32_t id;
+    if (mgr.IsConstant(g)) {
+      id = next++;
+      body += std::string(g == mgr.True() ? "T " : "F ") + std::to_string(id) + "\n";
+    } else if (mgr.IsLiteral(g)) {
+      id = next++;
+      body += "L " + std::to_string(id) + " " +
+              std::to_string(mgr.vtree().position(mgr.vtree_node(g))) + " " +
+              std::to_string(mgr.literal(g).ToDimacs()) + "\n";
+    } else {
+      std::string elems;
+      size_t k = 0;
+      for (const auto& [p, s] : mgr.elements(g)) {
+        const uint32_t pid = emit(p);
+        const uint32_t sid = emit(s);
+        elems += " " + std::to_string(pid) + " " + std::to_string(sid);
+        ++k;
+      }
+      id = next++;
+      body += "D " + std::to_string(id) + " " +
+              std::to_string(mgr.vtree().position(mgr.vtree_node(g))) + " " +
+              std::to_string(k) + elems + "\n";
+    }
+    file_id.emplace(g, id);
+    return id;
+  };
+  emit(f);
+  return "sdd " + std::to_string(next) + "\n" + body;
+}
+
+Result<SddId> ReadSdd(SddManager& mgr, const std::string& text) {
+  // Map in-order vtree positions back to vtree nodes.
+  std::unordered_map<uint32_t, VtreeId> vtree_at;
+  for (VtreeId v = 0; v < mgr.vtree().num_nodes(); ++v) {
+    vtree_at[mgr.vtree().position(v)] = v;
+  }
+  std::unordered_map<uint32_t, SddId> node_of;
+  bool saw_header = false;
+  SddId last = kInvalidSdd;
+  for (const std::string& raw : SplitChar(text, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == 'c') continue;
+    const std::vector<std::string> tok = SplitWhitespace(line);
+    if (tok[0] == "sdd") {
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) return Status::Error("missing sdd header");
+    if (tok[0] == "F" || tok[0] == "T") {
+      if (tok.size() != 2) return Status::Error("bad constant line");
+      last = tok[0] == "T" ? mgr.True() : mgr.False();
+      node_of[static_cast<uint32_t>(std::stoul(tok[1]))] = last;
+    } else if (tok[0] == "L") {
+      if (tok.size() != 4) return Status::Error("bad literal line");
+      last = mgr.LiteralNode(Lit::FromDimacs(std::atoi(tok[3].c_str())));
+      node_of[static_cast<uint32_t>(std::stoul(tok[1]))] = last;
+    } else if (tok[0] == "D") {
+      if (tok.size() < 4) return Status::Error("bad decision line");
+      const uint32_t pos = static_cast<uint32_t>(std::stoul(tok[2]));
+      auto vit = vtree_at.find(pos);
+      if (vit == vtree_at.end()) return Status::Error("unknown vtree position");
+      const size_t k = std::stoul(tok[3]);
+      if (tok.size() != 4 + 2 * k) return Status::Error("bad decision arity");
+      std::vector<std::pair<SddId, SddId>> elements;
+      for (size_t i = 0; i < k; ++i) {
+        auto pit = node_of.find(static_cast<uint32_t>(std::stoul(tok[4 + 2 * i])));
+        auto sit = node_of.find(static_cast<uint32_t>(std::stoul(tok[5 + 2 * i])));
+        if (pit == node_of.end() || sit == node_of.end()) {
+          return Status::Error("sdd forward reference");
+        }
+        elements.push_back({pit->second, sit->second});
+      }
+      last = mgr.MakeDecision(vit->second, std::move(elements));
+      node_of[static_cast<uint32_t>(std::stoul(tok[1]))] = last;
+    } else {
+      return Status::Error("unknown sdd line: " + std::string(line));
+    }
+  }
+  if (last == kInvalidSdd) return Status::Error("empty sdd file");
+  return last;
+}
+
+}  // namespace tbc

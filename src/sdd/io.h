@@ -1,0 +1,29 @@
+#ifndef TBC_SDD_IO_H_
+#define TBC_SDD_IO_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "sdd/sdd.h"
+
+namespace tbc {
+
+/// Serializes an SDD in the SDD-library exchange format:
+///   sdd <count>
+///   F <id>                          (constant ⊥)
+///   T <id>                          (constant ⊤)
+///   L <id> <vtree_pos> <dimacs_lit>
+///   D <id> <vtree_pos> <k> <p1> <s1> ... <pk> <sk>
+/// Node ids are emission-order; vtree_pos is the in-order position of the
+/// node's vtree node (pair the file with Vtree::ToFileString()). The last
+/// line defines the root.
+std::string WriteSdd(const SddManager& mgr, SddId f);
+
+/// Parses the format above into `mgr` (whose vtree must match the one the
+/// file was written against). Elements are re-canonicalized on the way in,
+/// so the resulting node is the manager's canonical form of the function.
+Result<SddId> ReadSdd(SddManager& mgr, const std::string& text);
+
+}  // namespace tbc
+
+#endif  // TBC_SDD_IO_H_

@@ -1,0 +1,150 @@
+#include "sdd/minimize.h"
+
+#include <functional>
+#include <memory>
+
+#include "base/check.h"
+#include "sdd/compile.h"
+#include "sdd/sdd.h"
+
+namespace tbc {
+
+namespace {
+
+// Mutable tree mirror used for surgery.
+struct TreeNode {
+  Var var = kInvalidVar;
+  std::unique_ptr<TreeNode> left, right;
+  bool IsLeaf() const { return var != kInvalidVar; }
+};
+
+std::unique_ptr<TreeNode> Clone(const Vtree& vt, VtreeId v) {
+  auto node = std::make_unique<TreeNode>();
+  if (vt.IsLeaf(v)) {
+    node->var = vt.var(v);
+  } else {
+    node->left = Clone(vt, vt.left(v));
+    node->right = Clone(vt, vt.right(v));
+  }
+  return node;
+}
+
+// Rebuilds a Vtree from the mutable mirror.
+Vtree Rebuild(const TreeNode& root) {
+  // Serialize to the file format and parse back — reuses the validated
+  // construction path.
+  std::string body;
+  uint32_t next = 0;
+  std::function<uint32_t(const TreeNode&)> emit = [&](const TreeNode& n) -> uint32_t {
+    if (n.IsLeaf()) {
+      const uint32_t id = next++;
+      body += "L " + std::to_string(id) + " " + std::to_string(n.var + 1) + "\n";
+      return id;
+    }
+    const uint32_t l = emit(*n.left);
+    const uint32_t r = emit(*n.right);
+    const uint32_t id = next++;
+    body += "I " + std::to_string(id) + " " + std::to_string(l) + " " +
+            std::to_string(r) + "\n";
+    return id;
+  };
+  emit(root);
+  auto parsed = Vtree::Parse("vtree " + std::to_string(next) + "\n" + body);
+  TBC_CHECK(parsed.ok());
+  return std::move(parsed).value();
+}
+
+// Finds the mirror node corresponding to a vtree node by in-order position.
+TreeNode* FindByPosition(TreeNode* node, uint32_t target, uint32_t& next) {
+  if (node->IsLeaf()) {
+    return next++ == target ? node : nullptr;
+  }
+  TreeNode* found = FindByPosition(node->left.get(), target, next);
+  if (found != nullptr) return found;
+  if (next++ == target) return node;
+  return FindByPosition(node->right.get(), target, next);
+}
+
+enum class Op { kRotateRight, kRotateLeft, kSwap };
+
+Vtree Apply(const Vtree& vt, VtreeId at, Op op) {
+  std::unique_ptr<TreeNode> root = Clone(vt, vt.root());
+  uint32_t next = 0;
+  TreeNode* node = FindByPosition(root.get(), vt.position(at), next);
+  TBC_CHECK(node != nullptr);
+  switch (op) {
+    case Op::kRotateRight: {
+      // (l=(a,b), c) -> (a, (b,c)).
+      if (node->IsLeaf() || node->left->IsLeaf()) return vt;
+      auto l = std::move(node->left);
+      auto a = std::move(l->left);
+      auto b = std::move(l->right);
+      auto c = std::move(node->right);
+      l->left = std::move(b);
+      l->right = std::move(c);
+      node->left = std::move(a);
+      node->right = std::move(l);
+      break;
+    }
+    case Op::kRotateLeft: {
+      // (a, r=(b,c)) -> ((a,b), c).
+      if (node->IsLeaf() || node->right->IsLeaf()) return vt;
+      auto r = std::move(node->right);
+      auto a = std::move(node->left);
+      auto b = std::move(r->left);
+      auto c = std::move(r->right);
+      r->left = std::move(a);
+      r->right = std::move(b);
+      node->left = std::move(r);
+      node->right = std::move(c);
+      break;
+    }
+    case Op::kSwap: {
+      if (node->IsLeaf()) return vt;
+      std::swap(node->left, node->right);
+      break;
+    }
+  }
+  return Rebuild(*root);
+}
+
+size_t SddSizeUnder(const Cnf& cnf, const Vtree& vt) {
+  SddManager mgr(vt);
+  const SddId f = CompileCnf(mgr, cnf);
+  // "+1" keeps constants comparable (⊥/⊤ have size 0).
+  return mgr.Size(f) + 1;
+}
+
+}  // namespace
+
+Vtree RotateRight(const Vtree& vtree, VtreeId at) {
+  return Apply(vtree, at, Op::kRotateRight);
+}
+Vtree RotateLeft(const Vtree& vtree, VtreeId at) {
+  return Apply(vtree, at, Op::kRotateLeft);
+}
+Vtree SwapChildren(const Vtree& vtree, VtreeId at) {
+  return Apply(vtree, at, Op::kSwap);
+}
+
+MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
+                             size_t budget, uint64_t seed) {
+  Rng rng(seed);
+  MinimizeResult result{initial, 0, 0, 0};
+  result.initial_size = SddSizeUnder(cnf, initial);
+  result.size = result.initial_size;
+  for (size_t i = 0; i < budget; ++i) {
+    const VtreeId at = static_cast<VtreeId>(rng.Below(result.vtree.num_nodes()));
+    const Op op = static_cast<Op>(rng.Below(3));
+    Vtree candidate = Apply(result.vtree, at, op);
+    const size_t size = SddSizeUnder(cnf, candidate);
+    ++result.iterations;
+    if (size <= result.size) {  // accept sideways moves to escape plateaus
+      result.size = size;
+      result.vtree = std::move(candidate);
+    }
+  }
+  return result;
+}
+
+}  // namespace tbc

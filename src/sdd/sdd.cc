@@ -1,0 +1,300 @@
+#include "sdd/sdd.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "nnf/queries.h"
+
+namespace tbc {
+
+size_t SddManager::OpKeyHash::operator()(const OpKey& k) const {
+  return HashU64(k.fg ^ (static_cast<uint64_t>(k.tag) * 0x9e3779b97f4a7c15ull));
+}
+
+SddManager::SddManager(Vtree vtree) : vtree_(std::move(vtree)) {
+  // Constants occupy ids 0 (⊥) and 1 (⊤).
+  nodes_.push_back({kInvalidVtree, 0, {}, 1});
+  nodes_.push_back({kInvalidVtree, 0, {}, 0});
+}
+
+SddId SddManager::Intern(Node node) {
+  uint64_t h = HashCombine(0, node.vtree);
+  h = HashCombine(h, node.lit_code);
+  for (const auto& [p, s] : node.elements) h = HashCombine(HashCombine(h, p), s);
+  for (SddId id : unique_[h]) {
+    const Node& n = nodes_[id];
+    if (n.vtree == node.vtree && n.lit_code == node.lit_code &&
+        n.elements == node.elements) {
+      return id;
+    }
+  }
+  const SddId id = static_cast<SddId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  unique_[h].push_back(id);
+  return id;
+}
+
+SddId SddManager::LiteralNode(Lit l) {
+  TBC_CHECK(l.var() < num_vars());
+  Node n;
+  n.vtree = vtree_.LeafOfVar(l.var());
+  n.lit_code = l.code();
+  return Intern(std::move(n));
+}
+
+SddId SddManager::MakeDecision(VtreeId v,
+                               std::vector<std::pair<SddId, SddId>> elements) {
+  // Drop ⊥ primes.
+  std::erase_if(elements, [](const auto& e) { return e.first == 0; });
+  TBC_CHECK_MSG(!elements.empty(), "decision node with empty partition");
+  // Compress: disjoin primes that share a sub.
+  std::sort(elements.begin(), elements.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::vector<std::pair<SddId, SddId>> compressed;
+  for (const auto& [p, s] : elements) {
+    if (!compressed.empty() && compressed.back().second == s) {
+      compressed.back().first = Disjoin(compressed.back().first, p);
+    } else {
+      compressed.push_back({p, s});
+    }
+  }
+  // Trimming rule 1: {(⊤, s)} -> s.
+  if (compressed.size() == 1) {
+    TBC_DCHECK(compressed[0].first == True());
+    return compressed[0].second;
+  }
+  // Trimming rule 2: {(p, ⊤), (¬p, ⊥)} -> p.
+  if (compressed.size() == 2) {
+    // After sorting by sub, compressed[0].second < compressed[1].second.
+    if (compressed[0].second == False() && compressed[1].second == True()) {
+      return compressed[1].first;
+    }
+  }
+  std::sort(compressed.begin(), compressed.end());
+  Node n;
+  n.vtree = v;
+  n.elements = std::move(compressed);
+  return Intern(std::move(n));
+}
+
+SddId SddManager::Negate(SddId f) {
+  if (nodes_[f].negation != kInvalidSdd) return nodes_[f].negation;
+  SddId result;
+  if (IsLiteral(f)) {
+    result = LiteralNode(~literal(f));
+  } else {
+    std::vector<std::pair<SddId, SddId>> elements = nodes_[f].elements;
+    for (auto& [p, s] : elements) s = Negate(s);
+    result = MakeDecision(nodes_[f].vtree, std::move(elements));
+  }
+  nodes_[f].negation = result;
+  nodes_[result].negation = f;
+  return result;
+}
+
+std::vector<std::pair<SddId, SddId>> SddManager::NormalizeTo(VtreeId v, SddId g) {
+  TBC_DCHECK(!IsConstant(g));
+  const VtreeId vg = nodes_[g].vtree;
+  if (vtree_.IsAncestorOrSelf(vtree_.left(v), vg)) {
+    return {{g, True()}, {Negate(g), False()}};
+  }
+  TBC_DCHECK(vtree_.IsAncestorOrSelf(vtree_.right(v), vg));
+  return {{True(), g}};
+}
+
+SddId SddManager::Apply(Op op, SddId f, SddId g) {
+  // Terminal cases.
+  if (f == g) return f;
+  if (op == Op::kAnd) {
+    if (f == False() || g == False()) return False();
+    if (f == True()) return g;
+    if (g == True()) return f;
+    if (nodes_[f].negation == g) return False();
+  } else {
+    if (f == True() || g == True()) return True();
+    if (f == False()) return g;
+    if (g == False()) return f;
+    if (nodes_[f].negation == g) return True();
+  }
+  if (f > g) std::swap(f, g);
+  const OpKey key{f | (static_cast<uint64_t>(g) << 32), static_cast<uint32_t>(op)};
+  auto it = op_cache_.find(key);
+  if (it != op_cache_.end()) return it->second;
+
+  const VtreeId vf = nodes_[f].vtree;
+  const VtreeId vg = nodes_[g].vtree;
+  SddId result;
+  if (vf == vg && vtree_.IsLeaf(vf)) {
+    // Same-variable literals; equal/complement handled above, so this is
+    // x op ¬x.
+    result = op == Op::kAnd ? False() : True();
+  } else {
+    VtreeId v;
+    std::vector<std::pair<SddId, SddId>> ef, eg;
+    if (vf == vg) {
+      v = vf;
+      ef = nodes_[f].elements;
+      eg = nodes_[g].elements;
+    } else if (vtree_.IsAncestorOrSelf(vf, vg)) {
+      v = vf;
+      ef = nodes_[f].elements;
+      eg = NormalizeTo(v, g);
+    } else if (vtree_.IsAncestorOrSelf(vg, vf)) {
+      v = vg;
+      ef = NormalizeTo(v, f);
+      eg = nodes_[g].elements;
+    } else {
+      v = vtree_.Lca(vf, vg);
+      ef = NormalizeTo(v, f);
+      eg = NormalizeTo(v, g);
+    }
+    // Cross product of the two partitions.
+    std::vector<std::pair<SddId, SddId>> elements;
+    elements.reserve(ef.size() * eg.size());
+    for (const auto& [p1, s1] : ef) {
+      for (const auto& [p2, s2] : eg) {
+        const SddId p = Apply(Op::kAnd, p1, p2);
+        if (p == False()) continue;
+        elements.push_back({p, Apply(op, s1, s2)});
+      }
+    }
+    result = MakeDecision(v, std::move(elements));
+  }
+  op_cache_[key] = result;
+  return result;
+}
+
+SddId SddManager::Conjoin(SddId f, SddId g) { return Apply(Op::kAnd, f, g); }
+SddId SddManager::Disjoin(SddId f, SddId g) { return Apply(Op::kOr, f, g); }
+
+SddId SddManager::Condition(SddId f, Lit l) {
+  if (IsConstant(f)) return f;
+  if (IsLiteral(f)) {
+    const Lit x = literal(f);
+    if (x == l) return True();
+    if (x == ~l) return False();
+    return f;
+  }
+  const VtreeId v = nodes_[f].vtree;
+  const VtreeId leaf = vtree_.LeafOfVar(l.var());
+  if (!vtree_.IsAncestorOrSelf(v, leaf)) return f;
+  const OpKey key{f, 2u + l.code()};
+  auto it = op_cache_.find(key);
+  if (it != op_cache_.end()) return it->second;
+  std::vector<std::pair<SddId, SddId>> elements = nodes_[f].elements;
+  if (vtree_.IsAncestorOrSelf(vtree_.left(v), leaf)) {
+    for (auto& [p, s] : elements) p = Condition(p, l);
+  } else {
+    for (auto& [p, s] : elements) s = Condition(s, l);
+  }
+  const SddId result = MakeDecision(v, std::move(elements));
+  op_cache_[key] = result;
+  return result;
+}
+
+bool SddManager::Evaluate(SddId f, const Assignment& assignment) const {
+  std::unordered_map<SddId, bool> memo;
+  std::function<bool(SddId)> rec = [&](SddId g) -> bool {
+    if (g == False()) return false;
+    if (g == True()) return true;
+    if (IsLiteral(g)) return Eval(literal(g), assignment);
+    auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    bool value = false;
+    for (const auto& [p, s] : nodes_[g].elements) {
+      if (rec(p)) {
+        value = rec(s);  // exactly one prime is high
+        break;
+      }
+    }
+    memo.emplace(g, value);
+    return value;
+  };
+  return rec(f);
+}
+
+size_t SddManager::Size(SddId f) const {
+  size_t size = 0;
+  std::unordered_map<SddId, bool> seen;
+  std::vector<SddId> stack = {f};
+  while (!stack.empty()) {
+    const SddId g = stack.back();
+    stack.pop_back();
+    if (seen[g]) continue;
+    seen[g] = true;
+    if (!IsConstant(g) && !nodes_[g].elements.empty()) {
+      size += nodes_[g].elements.size();
+      for (const auto& [p, s] : nodes_[g].elements) {
+        stack.push_back(p);
+        stack.push_back(s);
+      }
+    }
+  }
+  return size;
+}
+
+size_t SddManager::NumDecisionNodes(SddId f) const {
+  size_t count = 0;
+  std::unordered_map<SddId, bool> seen;
+  std::vector<SddId> stack = {f};
+  while (!stack.empty()) {
+    const SddId g = stack.back();
+    stack.pop_back();
+    if (seen[g]) continue;
+    seen[g] = true;
+    if (IsDecision(g)) {
+      ++count;
+      for (const auto& [p, s] : nodes_[g].elements) {
+        stack.push_back(p);
+        stack.push_back(s);
+      }
+    }
+  }
+  return count;
+}
+
+NnfId SddManager::ToNnf(SddId f, NnfManager& nnf) const {
+  std::unordered_map<SddId, NnfId> memo;
+  std::function<NnfId(SddId)> rec = [&](SddId g) -> NnfId {
+    if (g == False()) return nnf.False();
+    if (g == True()) return nnf.True();
+    auto it = memo.find(g);
+    if (it != memo.end()) return it->second;
+    NnfId result;
+    if (IsLiteral(g)) {
+      result = nnf.Literal(literal(g));
+    } else {
+      std::vector<NnfId> parts;
+      for (const auto& [p, s] : nodes_[g].elements) {
+        parts.push_back(nnf.And(rec(p), rec(s)));
+      }
+      result = nnf.Or(std::move(parts));
+    }
+    memo.emplace(g, result);
+    return result;
+  };
+  return rec(f);
+}
+
+BigUint SddManager::ModelCount(SddId f) {
+  if (f == False()) return BigUint(0);
+  NnfManager nnf;
+  const NnfId root = ToNnf(f, nnf);
+  return tbc::ModelCount(nnf, root, num_vars());
+}
+
+double SddManager::Wmc(SddId f, const WeightMap& weights) {
+  if (f == False()) return 0.0;
+  NnfManager nnf;
+  const NnfId root = ToNnf(f, nnf);
+  if (root == nnf.True()) {
+    double r = 1.0;
+    for (Var v = 0; v < num_vars(); ++v) r *= weights[Pos(v)] + weights[Neg(v)];
+    return r;
+  }
+  return tbc::Wmc(nnf, root, weights);
+}
+
+}  // namespace tbc

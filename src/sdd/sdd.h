@@ -1,0 +1,131 @@
+#ifndef TBC_SDD_SDD_H_
+#define TBC_SDD_SDD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/bigint.h"
+#include "logic/lit.h"
+#include "nnf/nnf.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+
+/// Node index within an SddManager. 0 and 1 are the constants ⊥ and ⊤.
+using SddId = uint32_t;
+constexpr SddId kInvalidSdd = static_cast<SddId>(-1);
+
+/// Sentential Decision Diagram package [Darwiche 2011] (paper §3, Fig 9).
+///
+/// An SDD is structured by a vtree. A decision node respecting internal
+/// vtree node v is a set of elements {(p_i, s_i)}: the *primes* p_i are
+/// SDDs over v's left variables forming a partition (mutually exclusive,
+/// exhaustive, non-false — the strong determinism of Fig 9), and the *subs*
+/// s_i are SDDs over v's right variables. The node denotes ∨_i (p_i ∧ s_i),
+/// a multiplexer that passes exactly one sub.
+///
+/// The manager maintains *compressed* (distinct subs) and *trimmed* nodes
+/// with hash consing, so SDDs are canonical for the vtree [Darwiche 2011]:
+/// equivalent formulas get the identical node. Apply (∧/∨) runs in
+/// O(|f|·|g|); negation and conditioning are linear. With a right-linear
+/// vtree the manager builds exactly OBDDs (Fig 10c/11).
+class SddManager {
+ public:
+  explicit SddManager(Vtree vtree);
+
+  const Vtree& vtree() const { return vtree_; }
+  size_t num_vars() const { return vtree_.num_vars(); }
+
+  SddId False() const { return 0; }
+  SddId True() const { return 1; }
+  SddId LiteralNode(Lit l);
+
+  /// f ∧ g and f ∨ g (polytime apply).
+  SddId Conjoin(SddId f, SddId g);
+  SddId Disjoin(SddId f, SddId g);
+  /// ¬f (linear time).
+  SddId Negate(SddId f);
+  /// f | l (conditioning, linear time).
+  SddId Condition(SddId f, Lit l);
+  /// ∃v. f = f|v ∨ f|¬v.
+  SddId Exists(SddId f, Var v) {
+    return Disjoin(Condition(f, Pos(v)), Condition(f, Neg(v)));
+  }
+
+  bool IsConstant(SddId f) const { return f <= 1; }
+  bool IsLiteral(SddId f) const {
+    return !IsConstant(f) && nodes_[f].elements.empty();
+  }
+  bool IsDecision(SddId f) const {
+    return !IsConstant(f) && !nodes_[f].elements.empty();
+  }
+  Lit literal(SddId f) const { return Lit::FromCode(nodes_[f].lit_code); }
+  /// Vtree node the SDD node respects (leaf for literals; invalid for ⊤/⊥).
+  VtreeId vtree_node(SddId f) const {
+    return IsConstant(f) ? kInvalidVtree : nodes_[f].vtree;
+  }
+  /// Elements (prime, sub) of a decision node.
+  const std::vector<std::pair<SddId, SddId>>& elements(SddId f) const {
+    return nodes_[f].elements;
+  }
+
+  /// Truth value under a complete assignment.
+  bool Evaluate(SddId f, const Assignment& assignment) const;
+  /// SDD size: total number of elements over reachable decision nodes (the
+  /// size measure reported throughout the paper).
+  size_t Size(SddId f) const;
+  /// Reachable decision-node count.
+  size_t NumDecisionNodes(SddId f) const;
+
+  /// Exact model count over all vtree variables.
+  BigUint ModelCount(SddId f);
+  /// Weighted model count over all vtree variables.
+  double Wmc(SddId f, const WeightMap& weights);
+
+  /// Exports as d-DNNF (structured decomposable, deterministic).
+  NnfId ToNnf(SddId f, NnfManager& nnf) const;
+
+  /// Total nodes ever created (statistics).
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Builds a canonical decision node respecting vtree node v from raw
+  /// elements (primes must partition ⊤ over v's left vars). Compresses
+  /// equal subs, drops ⊥ primes, applies trimming rules. Exposed for the
+  /// structured-space compilers; most callers want Conjoin/Disjoin.
+  SddId MakeDecision(VtreeId v, std::vector<std::pair<SddId, SddId>> elements);
+
+ private:
+  struct Node {
+    VtreeId vtree;
+    uint32_t lit_code = static_cast<uint32_t>(-1);  // for literal nodes
+    std::vector<std::pair<SddId, SddId>> elements;  // for decision nodes
+    SddId negation = kInvalidSdd;                   // cached lazily
+  };
+  enum class Op : uint8_t { kAnd, kOr };
+
+  struct OpKey {
+    uint64_t fg;
+    uint32_t tag;
+    bool operator==(const OpKey& o) const { return fg == o.fg && tag == o.tag; }
+  };
+  struct OpKeyHash {
+    size_t operator()(const OpKey& k) const;
+  };
+
+  SddId Intern(Node node);
+  SddId Apply(Op op, SddId f, SddId g);
+  // Expresses g (whose vtree is inside a subtree of v) as a decision node
+  // normalized for v.
+  std::vector<std::pair<SddId, SddId>> NormalizeTo(VtreeId v, SddId g);
+
+  Vtree vtree_;
+  std::vector<Node> nodes_;
+  std::unordered_map<uint64_t, std::vector<SddId>> unique_;
+  std::unordered_map<OpKey, SddId, OpKeyHash> op_cache_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_SDD_SDD_H_

@@ -1,0 +1,97 @@
+#include "spaces/graph.h"
+
+#include "base/check.h"
+
+namespace tbc {
+
+Graph Graph::Grid(size_t rows, size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](size_t r, size_t c) {
+    return static_cast<GraphNode>(r * cols + c);
+  };
+  // Row-interleaved edge order (each row's horizontals, then the verticals
+  // leaving it): keeps the Simpath frontier one row wide, which is what
+  // makes route compilation polynomial on grids.
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c + 1 < cols; ++c) g.AddEdge(id(r, c), id(r, c + 1));
+    if (r + 1 < rows) {
+      for (size_t c = 0; c < cols; ++c) g.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+uint32_t Graph::AddEdge(GraphNode u, GraphNode v) {
+  TBC_CHECK(u < num_nodes() && v < num_nodes() && u != v);
+  const uint32_t e = static_cast<uint32_t>(edges_.size());
+  edges_.push_back({u, v});
+  adjacency_[u].push_back(e);
+  adjacency_[v].push_back(e);
+  return e;
+}
+
+void Graph::EnumerateSimplePaths(
+    GraphNode s, GraphNode t,
+    const std::function<void(const std::vector<uint32_t>&)>& on_path) const {
+  std::vector<int8_t> visited(num_nodes(), 0);
+  std::vector<uint32_t> path;
+  std::function<void(GraphNode)> dfs = [&](GraphNode u) {
+    if (u == t) {
+      on_path(path);
+      return;
+    }
+    visited[u] = 1;
+    for (uint32_t e : adjacency_[u]) {
+      const GraphNode w = edges_[e].first == u ? edges_[e].second : edges_[e].first;
+      if (visited[w]) continue;
+      path.push_back(e);
+      dfs(w);
+      path.pop_back();
+    }
+    visited[u] = 0;
+  };
+  dfs(s);
+}
+
+uint64_t Graph::CountSimplePaths(GraphNode s, GraphNode t) const {
+  uint64_t count = 0;
+  EnumerateSimplePaths(s, t, [&](const std::vector<uint32_t>&) { ++count; });
+  return count;
+}
+
+bool Graph::IsSimplePath(const Assignment& edges, GraphNode s, GraphNode t) const {
+  TBC_CHECK(edges.size() >= num_edges());
+  // Degree constraints: s and t have degree 1, others 0 or 2.
+  std::vector<uint32_t> degree(num_nodes(), 0);
+  size_t used = 0;
+  for (uint32_t e = 0; e < num_edges(); ++e) {
+    if (!edges[e]) continue;
+    ++degree[edges_[e].first];
+    ++degree[edges_[e].second];
+    ++used;
+  }
+  if (degree[s] != 1 || degree[t] != 1) return false;
+  for (GraphNode v = 0; v < num_nodes(); ++v) {
+    if (v != s && v != t && degree[v] != 0 && degree[v] != 2) return false;
+  }
+  // Connectivity: walk from s along used edges; must consume all of them.
+  size_t walked = 0;
+  GraphNode cur = s;
+  uint32_t prev_edge = static_cast<uint32_t>(-1);
+  while (cur != t) {
+    uint32_t next = static_cast<uint32_t>(-1);
+    for (uint32_t e : adjacency_[cur]) {
+      if (edges[e] && e != prev_edge) {
+        next = e;
+        break;
+      }
+    }
+    if (next == static_cast<uint32_t>(-1)) return false;
+    cur = edges_[next].first == cur ? edges_[next].second : edges_[next].first;
+    prev_edge = next;
+    ++walked;
+  }
+  return walked == used;
+}
+
+}  // namespace tbc

@@ -1,0 +1,57 @@
+#ifndef TBC_SPACES_GRAPH_H_
+#define TBC_SPACES_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "logic/lit.h"
+
+namespace tbc {
+
+/// Graph node index.
+using GraphNode = uint32_t;
+
+/// An undirected graph whose edges carry ids 0..m-1; edge i is Boolean
+/// variable i in the route encodings (paper §4.1, Fig 16: "represent each
+/// edge i in the map by a Boolean variable E_i").
+class Graph {
+ public:
+  explicit Graph(size_t num_nodes) : adjacency_(num_nodes) {}
+
+  /// Grid graph with rows×cols nodes; node (r, c) has index r*cols + c.
+  /// Edges: all horizontal then vertical, row-major.
+  static Graph Grid(size_t rows, size_t cols);
+
+  /// Adds an undirected edge; returns its id (= its Boolean variable).
+  uint32_t AddEdge(GraphNode u, GraphNode v);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  GraphNode edge_u(uint32_t e) const { return edges_[e].first; }
+  GraphNode edge_v(uint32_t e) const { return edges_[e].second; }
+  /// Edge ids incident to a node.
+  const std::vector<uint32_t>& incident(GraphNode v) const {
+    return adjacency_[v];
+  }
+
+  /// Number of simple paths from s to t (DFS oracle; exponential).
+  uint64_t CountSimplePaths(GraphNode s, GraphNode t) const;
+
+  /// Invokes `on_path` with the edge-id set of every simple s-t path.
+  void EnumerateSimplePaths(
+      GraphNode s, GraphNode t,
+      const std::function<void(const std::vector<uint32_t>&)>& on_path) const;
+
+  /// True iff the assignment over edge variables is a valid simple s-t
+  /// path (the Fig 16 validity check: connected, no cycles, degree-correct).
+  bool IsSimplePath(const Assignment& edges, GraphNode s, GraphNode t) const;
+
+ private:
+  std::vector<std::pair<GraphNode, GraphNode>> edges_;
+  std::vector<std::vector<uint32_t>> adjacency_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_SPACES_GRAPH_H_

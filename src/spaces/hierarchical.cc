@@ -1,0 +1,186 @@
+#include "spaces/hierarchical.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <set>
+
+#include "base/check.h"
+#include "obdd/obdd.h"
+#include "spaces/routes.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+
+HierarchicalMap::HierarchicalMap(size_t rows, size_t cols, size_t block)
+    : rows_(rows),
+      cols_(cols),
+      block_(block),
+      region_rows_(rows / block),
+      region_cols_(cols / block),
+      grid_(Graph::Grid(rows, cols)) {
+  TBC_CHECK_MSG(rows % block == 0 && cols % block == 0,
+                "block must divide grid dimensions");
+}
+
+size_t HierarchicalMap::RegionOf(GraphNode v) const {
+  const size_t r = v / cols_;
+  const size_t c = v % cols_;
+  return (r / block_) * region_cols_ + (c / block_);
+}
+
+std::vector<uint32_t> HierarchicalMap::LocalEdges(size_t r) const {
+  std::vector<uint32_t> out;
+  for (uint32_t e = 0; e < grid_.num_edges(); ++e) {
+    if (RegionOf(grid_.edge_u(e)) == r && RegionOf(grid_.edge_v(e)) == r) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> HierarchicalMap::CrossingEdges() const {
+  std::vector<uint32_t> out;
+  for (uint32_t e = 0; e < grid_.num_edges(); ++e) {
+    if (RegionOf(grid_.edge_u(e)) != RegionOf(grid_.edge_v(e))) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<GraphNode> HierarchicalMap::BoundaryVertices(size_t r) const {
+  std::set<GraphNode> out;
+  for (uint32_t e : CrossingEdges()) {
+    if (RegionOf(grid_.edge_u(e)) == r) out.insert(grid_.edge_u(e));
+    if (RegionOf(grid_.edge_v(e)) == r) out.insert(grid_.edge_v(e));
+  }
+  return {out.begin(), out.end()};
+}
+
+HierarchicalMap::RegionGraph HierarchicalMap::SubgraphOf(size_t r) const {
+  RegionGraph rg{Graph(block_ * block_), {}, {}};
+  rg.local_of_global.assign(grid_.num_nodes(), kInvalidVar);
+  for (GraphNode v = 0; v < grid_.num_nodes(); ++v) {
+    if (RegionOf(v) == r) {
+      rg.local_of_global[v] = static_cast<GraphNode>(rg.global_of_local.size());
+      rg.global_of_local.push_back(v);
+    }
+  }
+  for (uint32_t e : LocalEdges(r)) {
+    rg.graph.AddEdge(rg.local_of_global[grid_.edge_u(e)],
+                     rg.local_of_global[grid_.edge_v(e)]);
+  }
+  return rg;
+}
+
+uint64_t HierarchicalMap::SegmentCount(size_t r, GraphNode a, GraphNode b) const {
+  if (a == b) return 1;
+  const RegionGraph rg = SubgraphOf(r);
+  return rg.graph.CountSimplePaths(rg.local_of_global[a], rg.local_of_global[b]);
+}
+
+HierarchicalMap::CompilationStats HierarchicalMap::Compile(GraphNode s,
+                                                           GraphNode t) const {
+  CompilationStats stats;
+
+  // --- Flat compilation.
+  {
+    ObddManager mgr(Vtree::IdentityOrder(grid_.num_edges()));
+    const ObddId f = CompileSimplePaths(mgr, grid_, s, t);
+    stats.flat_nodes = mgr.Size(f);
+    stats.flat_routes = mgr.ModelCount(f).ToU64();
+  }
+
+  // --- Region graph (super-nodes = regions, one super-edge per adjacent
+  // region pair) and its top-level route circuit.
+  std::map<std::pair<size_t, size_t>, std::vector<uint32_t>> crossings;
+  for (uint32_t e : CrossingEdges()) {
+    size_t r1 = RegionOf(grid_.edge_u(e));
+    size_t r2 = RegionOf(grid_.edge_v(e));
+    if (r1 > r2) std::swap(r1, r2);
+    crossings[{r1, r2}].push_back(e);
+  }
+  Graph region_graph(num_regions());
+  for (const auto& [pair, unused] : crossings) {
+    region_graph.AddEdge(static_cast<GraphNode>(pair.first),
+                         static_cast<GraphNode>(pair.second));
+  }
+  const size_t rs = RegionOf(s);
+  const size_t rt = RegionOf(t);
+  if (rs != rt) {
+    ObddManager mgr(Vtree::IdentityOrder(region_graph.num_edges()));
+    const ObddId f =
+        CompileSimplePaths(mgr, region_graph, static_cast<GraphNode>(rs),
+                           static_cast<GraphNode>(rt));
+    stats.top_level_nodes = mgr.Size(f);
+  } else {
+    stats.top_level_nodes = 1;
+  }
+
+  // --- Per-region conditional segment circuits: one per (entry, exit)
+  // boundary pair (plus s/t anchors in their regions).
+  for (size_t r = 0; r < num_regions(); ++r) {
+    std::vector<GraphNode> anchors = BoundaryVertices(r);
+    if (r == rs && std::find(anchors.begin(), anchors.end(), s) == anchors.end()) {
+      anchors.push_back(s);
+    }
+    if (r == rt && std::find(anchors.begin(), anchors.end(), t) == anchors.end()) {
+      anchors.push_back(t);
+    }
+    const RegionGraph rg = SubgraphOf(r);
+    for (size_t i = 0; i < anchors.size(); ++i) {
+      for (size_t j = i + 1; j < anchors.size(); ++j) {
+        ObddManager mgr(Vtree::IdentityOrder(rg.graph.num_edges()));
+        const ObddId f =
+            CompileSimplePaths(mgr, rg.graph, rg.local_of_global[anchors[i]],
+                               rg.local_of_global[anchors[j]]);
+        stats.region_nodes += mgr.Size(f);
+      }
+    }
+  }
+  stats.hier_nodes = stats.top_level_nodes + stats.region_nodes;
+
+  // --- Hierarchical route count: routes that enter each region at most
+  // once. DFS over region sequences with concrete crossing-edge choices.
+  // Precomputed subgraphs and memoized segment counts keep the recursion
+  // cheap on larger grids.
+  const std::vector<uint32_t> crossing_edges = CrossingEdges();
+  std::vector<RegionGraph> subgraphs;
+  subgraphs.reserve(num_regions());
+  for (size_t r = 0; r < num_regions(); ++r) subgraphs.push_back(SubgraphOf(r));
+  std::map<std::tuple<size_t, GraphNode, GraphNode>, uint64_t> seg_memo;
+  auto segment = [&](size_t r, GraphNode a, GraphNode b) -> uint64_t {
+    if (a == b) return 1;
+    const auto key = std::make_tuple(r, std::min(a, b), std::max(a, b));
+    auto it = seg_memo.find(key);
+    if (it != seg_memo.end()) return it->second;
+    const RegionGraph& rg = subgraphs[r];
+    const uint64_t n = rg.graph.CountSimplePaths(rg.local_of_global[a],
+                                                 rg.local_of_global[b]);
+    seg_memo.emplace(key, n);
+    return n;
+  };
+  std::vector<int8_t> visited(num_regions(), 0);
+  std::function<uint64_t(size_t, GraphNode)> count = [&](size_t r,
+                                                         GraphNode entry) -> uint64_t {
+    visited[r] = 1;
+    uint64_t total = 0;
+    if (r == rt) total += segment(r, entry, t);
+    for (uint32_t e : crossing_edges) {
+      GraphNode a = grid_.edge_u(e), b = grid_.edge_v(e);
+      if (RegionOf(b) == r) std::swap(a, b);
+      if (RegionOf(a) != r) continue;
+      const size_t nr = RegionOf(b);
+      if (visited[nr]) continue;
+      const uint64_t segs = segment(r, entry, a);
+      if (segs == 0) continue;
+      total += segs * count(nr, b);
+    }
+    visited[r] = 0;
+    return total;
+  };
+  stats.hier_routes = count(rs, s);
+  return stats;
+}
+
+}  // namespace tbc

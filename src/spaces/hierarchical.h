@@ -1,0 +1,74 @@
+#ifndef TBC_SPACES_HIERARCHICAL_H_
+#define TBC_SPACES_HIERARCHICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spaces/graph.h"
+
+namespace tbc {
+
+/// Hierarchical maps (paper §4.2, Figs 18-20 and 22; [Choi, Shen &
+/// Darwiche 2017; Shen et al. 2019]).
+///
+/// A grid map is partitioned into square regions (the Westside /
+/// Santa Monica / Culver City nesting of Fig 18). Once the crossing edges
+/// used to enter and exit a region are fixed, navigation inside the region
+/// is independent of the rest of the map (Fig 20's conditional space), so
+/// the hierarchical representation compiles one small circuit per region
+/// per (entry, exit) boundary pair plus one top-level circuit over region
+/// crossings — instead of one monolithic circuit over the whole map. The
+/// modeled route space is the paper line's hierarchical semantics: routes
+/// that enter each region at most once.
+class HierarchicalMap {
+ public:
+  /// rows×cols grid partitioned into block×block regions (block must
+  /// divide both rows and cols).
+  HierarchicalMap(size_t rows, size_t cols, size_t block);
+
+  const Graph& grid() const { return grid_; }
+  size_t num_regions() const { return region_rows_ * region_cols_; }
+  size_t RegionOf(GraphNode v) const;
+
+  /// Edge ids fully inside region r, and edges crossing regions.
+  std::vector<uint32_t> LocalEdges(size_t r) const;
+  std::vector<uint32_t> CrossingEdges() const;
+  /// Boundary vertices of region r (incident to a crossing edge).
+  std::vector<GraphNode> BoundaryVertices(size_t r) const;
+
+  struct CompilationStats {
+    // Flat compilation: one Simpath OBDD over the whole grid.
+    size_t flat_nodes = 0;
+    uint64_t flat_routes = 0;
+    // Hierarchical compilation: top-level region-graph OBDD plus one
+    // segment OBDD per region per needed (entry, exit) pair.
+    size_t top_level_nodes = 0;
+    size_t region_nodes = 0;  // Σ segment circuit nodes
+    size_t hier_nodes = 0;    // top_level_nodes + region_nodes
+    uint64_t hier_routes = 0; // routes entering each region at most once
+  };
+  /// Compiles both representations for s-t routes and reports sizes and
+  /// counts (the Fig 22 scaling experiment's measurement).
+  CompilationStats Compile(GraphNode s, GraphNode t) const;
+
+ private:
+  // Region subgraph with local vertex ids; mapping kept for queries.
+  struct RegionGraph {
+    Graph graph;
+    std::vector<GraphNode> local_of_global;  // -1 if outside
+    std::vector<GraphNode> global_of_local;
+  };
+  RegionGraph SubgraphOf(size_t r) const;
+
+  // Number of simple a-b paths inside region r (a == b counts as 1: the
+  // pass-through/endpoint case).
+  uint64_t SegmentCount(size_t r, GraphNode a, GraphNode b) const;
+
+  size_t rows_, cols_, block_;
+  size_t region_rows_, region_cols_;
+  Graph grid_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_SPACES_HIERARCHICAL_H_

@@ -1,0 +1,92 @@
+#include "spaces/rankings.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "sdd/compile.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+
+RankingSpace::RankingSpace(size_t n) : n_(n), constraint_(n * n) {
+  TBC_CHECK(n >= 1);
+  // Exactly-one position per item (rows) and item per position (columns).
+  for (size_t i = 0; i < n_; ++i) {
+    Clause row, col;
+    for (size_t j = 0; j < n_; ++j) {
+      row.push_back(Pos(VarOf(i, j)));
+      col.push_back(Pos(VarOf(j, i)));
+      for (size_t k = j + 1; k < n_; ++k) {
+        constraint_.AddClause({Neg(VarOf(i, j)), Neg(VarOf(i, k))});
+        constraint_.AddClause({Neg(VarOf(j, i)), Neg(VarOf(k, i))});
+      }
+    }
+    constraint_.AddClause(row);
+    constraint_.AddClause(col);
+  }
+  sdd_ = std::make_unique<SddManager>(
+      Vtree::RightLinear(Vtree::IdentityOrder(num_vars())));
+  base_ = CompileCnf(*sdd_, constraint_);
+}
+
+uint64_t RankingSpace::NumRankings() { return sdd_->ModelCount(base_).ToU64(); }
+
+Assignment RankingSpace::Encode(const std::vector<uint32_t>& perm) const {
+  TBC_CHECK(perm.size() == n_);
+  Assignment x(num_vars(), false);
+  for (size_t pos = 0; pos < n_; ++pos) x[VarOf(perm[pos], pos)] = true;
+  return x;
+}
+
+std::vector<uint32_t> RankingSpace::Decode(const Assignment& x) const {
+  std::vector<uint32_t> perm(n_, static_cast<uint32_t>(-1));
+  for (size_t item = 0; item < n_; ++item) {
+    for (size_t pos = 0; pos < n_; ++pos) {
+      if (x[VarOf(item, pos)]) perm[pos] = static_cast<uint32_t>(item);
+    }
+  }
+  return perm;
+}
+
+std::vector<uint32_t> RankingSpace::SampleMallows(
+    const std::vector<uint32_t>& sigma, double phi, Rng& rng) const {
+  TBC_CHECK(sigma.size() == n_);
+  TBC_CHECK(phi > 0.0 && phi <= 1.0);
+  // Repeated-insertion sampling: insert sigma's items in order; item k
+  // goes to position j (0-based from the front of the current prefix of
+  // length k) with probability phi^(k-j) / Σ_i phi^(k-i).
+  std::vector<uint32_t> out;
+  for (size_t k = 0; k < n_; ++k) {
+    double z = 0.0;
+    for (size_t j = 0; j <= k; ++j) z += std::pow(phi, static_cast<double>(k - j));
+    double u = rng.Uniform() * z;
+    size_t pos = k;
+    for (size_t j = 0; j <= k; ++j) {
+      const double w = std::pow(phi, static_cast<double>(k - j));
+      if (u < w) {
+        pos = j;
+        break;
+      }
+      u -= w;
+    }
+    out.insert(out.begin() + static_cast<ptrdiff_t>(pos), sigma[k]);
+  }
+  return out;
+}
+
+size_t RankingSpace::KendallTau(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  TBC_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  std::vector<size_t> pos_b(n);
+  for (size_t p = 0; p < n; ++p) pos_b[b[p]] = p;
+  size_t discordant = 0;
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t q = p + 1; q < n; ++q) {
+      if (pos_b[a[p]] > pos_b[a[q]]) ++discordant;
+    }
+  }
+  return discordant;
+}
+
+}  // namespace tbc

@@ -1,0 +1,67 @@
+#ifndef TBC_SPACES_RANKINGS_H_
+#define TBC_SPACES_RANKINGS_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/random.h"
+#include "logic/cnf.h"
+#include "psdd/psdd.h"
+#include "sdd/sdd.h"
+
+namespace tbc {
+
+/// Rankings (total orderings) of n items as a structured space
+/// (paper §4.1, Fig 17 and [Choi, Van den Broeck & Darwiche 2015]).
+///
+/// Encoding: n² Boolean variables A_ij with A_ij true iff item i is in
+/// position j; variable id = i*n + j. Valid rankings are the assignments
+/// where every item has exactly one position and every position exactly
+/// one item (the orange assignment of Fig 17, with item 2 in two
+/// positions, is excluded).
+class RankingSpace {
+ public:
+  explicit RankingSpace(size_t n);
+
+  size_t n() const { return n_; }
+  size_t num_vars() const { return n_ * n_; }
+  Var VarOf(size_t item, size_t position) const {
+    return static_cast<Var>(item * n_ + position);
+  }
+
+  /// The permutation constraint as CNF.
+  const Cnf& constraint() const { return constraint_; }
+
+  SddManager& sdd() { return *sdd_; }
+  SddId base() const { return base_; }
+  /// Number of valid rankings (should be n!).
+  uint64_t NumRankings();
+
+  /// PSDD over the ranking space (uniform parameters).
+  Psdd MakePsdd() { return Psdd(*sdd_, base_); }
+
+  /// Encodes a permutation (perm[position] = item) as an assignment.
+  Assignment Encode(const std::vector<uint32_t>& perm) const;
+  /// Decodes an assignment back to perm[position] = item.
+  std::vector<uint32_t> Decode(const Assignment& x) const;
+
+  /// Samples from the Mallows distribution with center `sigma` and
+  /// dispersion phi in (0, 1] (phi = 1 is uniform) — the classical ranking
+  /// model [Mallows 1957] the paper cites as the dedicated baseline.
+  std::vector<uint32_t> SampleMallows(const std::vector<uint32_t>& sigma,
+                                      double phi, Rng& rng) const;
+
+  /// Kendall-tau distance between two rankings (perm[position] = item).
+  static size_t KendallTau(const std::vector<uint32_t>& a,
+                           const std::vector<uint32_t>& b);
+
+ private:
+  size_t n_;
+  Cnf constraint_;
+  std::unique_ptr<SddManager> sdd_;
+  SddId base_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_SPACES_RANKINGS_H_

@@ -1,0 +1,174 @@
+#include "spaces/routes.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "sdd/from_obdd.h"
+
+namespace tbc {
+
+namespace {
+
+// Simpath frontier DP. `mate` is the classic mate array over ALL vertices:
+//   mate[v] == v          — v touched by no chosen edge (degree 0)
+//   mate[v] == kInternal  — v saturated (degree 2, or terminal absorbed)
+//   mate[v] == w          — v is an endpoint of a fragment ending at w.
+// Two states are equivalent iff they agree on `done` and on the mate
+// entries of the current frontier (mate values may name non-frontier
+// vertices — e.g. a terminal that exited with an open fragment — and those
+// ids are part of the canonical key through the frontier entries).
+constexpr GraphNode kInternal = static_cast<GraphNode>(-2);
+
+struct Frontier {
+  std::vector<GraphNode> mate;
+  bool done = false;
+};
+
+class SimpathCompiler {
+ public:
+  SimpathCompiler(ObddManager& mgr, const Graph& g, GraphNode s, GraphNode t)
+      : mgr_(mgr), graph_(g), s_(s), t_(t) {
+    first_edge_.assign(g.num_nodes(), static_cast<uint32_t>(-1));
+    last_edge_.assign(g.num_nodes(), 0);
+    for (uint32_t e = 0; e < g.num_edges(); ++e) {
+      for (GraphNode v : {g.edge_u(e), g.edge_v(e)}) {
+        if (first_edge_[v] == static_cast<uint32_t>(-1)) first_edge_[v] = e;
+        last_edge_[v] = e;
+      }
+    }
+    // frontier_[i]: vertices live while deciding edge i (touched by an
+    // earlier edge, still incident to edge i or later).
+    frontier_.resize(g.num_edges());
+    for (GraphNode v = 0; v < g.num_nodes(); ++v) {
+      if (first_edge_[v] == static_cast<uint32_t>(-1)) continue;
+      for (uint32_t e = first_edge_[v] + 1; e <= last_edge_[v]; ++e) {
+        frontier_[e].push_back(v);
+      }
+    }
+  }
+
+  ObddId Compile() {
+    Frontier init;
+    init.mate.resize(graph_.num_nodes());
+    for (GraphNode v = 0; v < graph_.num_nodes(); ++v) init.mate[v] = v;
+    return Rec(0, init);
+  }
+
+ private:
+  std::string Key(uint32_t i, const Frontier& f) const {
+    std::string key;
+    key.push_back(f.done ? 1 : 0);
+    for (GraphNode v : frontier_[i]) {
+      key.append(reinterpret_cast<const char*>(&f.mate[v]), sizeof(GraphNode));
+    }
+    return key;
+  }
+
+  // Exit checks for endpoints of edge `e` leaving the frontier.
+  bool ProcessExits(uint32_t e, const Frontier& f) const {
+    for (GraphNode v : {graph_.edge_u(e), graph_.edge_v(e)}) {
+      if (last_edge_[v] != e) continue;
+      const GraphNode m = f.mate[v];
+      if (v == s_ || v == t_) {
+        // Terminals need final degree exactly 1: either absorbed into the
+        // completed path, or left as an open fragment endpoint (to be
+        // closed later through its partner).
+        if (f.done) {
+          if (m != kInternal) return false;
+        } else {
+          if (m == v || m == kInternal) return false;
+        }
+      } else {
+        // Ordinary vertices: degree 0 (untouched) or 2 (internal).
+        if (m != v && m != kInternal) return false;
+      }
+    }
+    return true;
+  }
+
+  ObddId Rec(uint32_t i, const Frontier& f) {
+    if (i == graph_.num_edges()) return f.done ? mgr_.True() : mgr_.False();
+    const std::string key =
+        Key(i, f) + std::string(reinterpret_cast<const char*>(&i), sizeof(i));
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    const GraphNode u = graph_.edge_u(i);
+    const GraphNode v = graph_.edge_v(i);
+
+    // Low branch: edge absent.
+    const ObddId lo = ProcessExits(i, f) ? Rec(i + 1, f) : mgr_.False();
+
+    // High branch: edge taken.
+    ObddId hi = mgr_.False();
+    const GraphNode mu = f.mate[u];
+    const GraphNode mv = f.mate[v];
+    bool valid = !f.done && mu != kInternal && mv != kInternal && mu != v;
+    if (valid) {
+      Frontier g = f;
+      const GraphNode a = mu, b = mv;  // endpoints of the merged fragment
+      g.mate[u] = kInternal;
+      g.mate[v] = kInternal;
+      if ((a == s_ && b == t_) || (a == t_ && b == s_)) {
+        g.done = true;
+        g.mate[a] = kInternal;
+        g.mate[b] = kInternal;
+      } else {
+        g.mate[a] = b;
+        g.mate[b] = a;
+      }
+      hi = ProcessExits(i, g) ? Rec(i + 1, g) : mgr_.False();
+    }
+
+    const ObddId result = mgr_.MakeNode(static_cast<Var>(i), lo, hi);
+    memo_.emplace(key, result);
+    return result;
+  }
+
+  ObddManager& mgr_;
+  const Graph& graph_;
+  GraphNode s_, t_;
+  std::vector<uint32_t> first_edge_, last_edge_;
+  std::vector<std::vector<GraphNode>> frontier_;
+  std::unordered_map<std::string, ObddId> memo_;
+};
+
+}  // namespace
+
+ObddId CompileSimplePaths(ObddManager& mgr, const Graph& graph, GraphNode s,
+                          GraphNode t) {
+  TBC_CHECK(s != t);
+  TBC_CHECK(mgr.num_vars() >= graph.num_edges());
+  SimpathCompiler compiler(mgr, graph, s, t);
+  return compiler.Compile();
+}
+
+RouteSpace::RouteSpace(const Graph& graph, GraphNode s, GraphNode t)
+    : graph_(graph), s_(s), t_(t) {
+  ObddManager obdd(Vtree::IdentityOrder(graph_.num_edges()));
+  const ObddId f = CompileSimplePaths(obdd, graph_, s, t);
+  TBC_CHECK_MSG(f != obdd.False(), "no route from s to t");
+  sdd_ = std::make_unique<SddManager>(
+      Vtree::RightLinear(Vtree::IdentityOrder(graph_.num_edges())));
+  base_ = ObddToSdd(obdd, f, *sdd_);
+}
+
+uint64_t RouteSpace::NumRoutes() { return sdd_->ModelCount(base_).ToU64(); }
+
+Assignment RouteSpace::RandomRoute(Rng& rng) const {
+  // Uniform over routes: pick the k-th path in DFS enumeration order.
+  const uint64_t total = graph_.CountSimplePaths(s_, t_);
+  TBC_CHECK(total > 0);
+  const uint64_t target = rng.Below(total);
+  Assignment chosen(graph_.num_edges(), false);
+  uint64_t index = 0;
+  graph_.EnumerateSimplePaths(s_, t_, [&](const std::vector<uint32_t>& path) {
+    if (index++ == target) {
+      for (uint32_t e : path) chosen[e] = true;
+    }
+  });
+  return chosen;
+}
+
+}  // namespace tbc

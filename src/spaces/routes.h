@@ -1,0 +1,57 @@
+#ifndef TBC_SPACES_ROUTES_H_
+#define TBC_SPACES_ROUTES_H_
+
+#include <memory>
+
+#include "obdd/obdd.h"
+#include "psdd/psdd.h"
+#include "sdd/sdd.h"
+#include "spaces/graph.h"
+
+namespace tbc {
+
+/// Compiles the set of simple s-t routes of a graph into an OBDD over its
+/// edge variables (paper §4.1, Fig 16).
+///
+/// This is the Simpath frontier algorithm (Knuth; used for SDD route
+/// compilation by [Nishino et al. 2017] and the paper's route/hierarchical
+/// map line [14, 16, 79]): edges are decided in order, and states that
+/// agree on the *frontier* — the partial-path fragments still visible to
+/// undecided edges, tracked as a mate array — are merged, so the result is
+/// polynomial in practice on grids. The OBDD's satisfying assignments are
+/// exactly the edge sets forming a simple path from s to t (the red
+/// assignment of Fig 16 satisfies it, the orange one does not).
+/// `mgr` must use the identity order over the graph's edge ids.
+ObddId CompileSimplePaths(ObddManager& mgr, const Graph& graph, GraphNode s,
+                          GraphNode t);
+
+/// A route probability space: the compiled route OBDD re-expressed as an
+/// SDD (right-linear vtree, the Fig 10c correspondence) ready for PSDD
+/// parameter learning from GPS-style route data (paper §4.1).
+class RouteSpace {
+ public:
+  RouteSpace(const Graph& graph, GraphNode s, GraphNode t);
+
+  const Graph& graph() const { return graph_; }
+  SddManager& sdd() { return *sdd_; }
+  SddId base() const { return base_; }
+  /// Number of valid routes.
+  uint64_t NumRoutes();
+
+  /// A PSDD over the route space with uniform parameters, ready to learn.
+  Psdd MakePsdd() { return Psdd(*sdd_, base_); }
+
+  /// Draws a route uniformly at random (rejection-free, via the DFS
+  /// enumeration index); used to synthesize GPS-style datasets.
+  Assignment RandomRoute(Rng& rng) const;
+
+ private:
+  Graph graph_;
+  GraphNode s_, t_;
+  std::unique_ptr<SddManager> sdd_;
+  SddId base_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_SPACES_ROUTES_H_

@@ -1,0 +1,263 @@
+#include "vtree/vtree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <unordered_map>
+
+#include "base/check.h"
+
+namespace tbc {
+
+VtreeId Vtree::AddLeaf(Var v) {
+  Node n;
+  n.var = v;
+  n.num_vars_below = 1;
+  nodes_.push_back(n);
+  if (leaf_of_var_.size() <= v) leaf_of_var_.resize(v + 1, kInvalidVtree);
+  TBC_CHECK_MSG(leaf_of_var_[v] == kInvalidVtree, "variable appears twice in vtree");
+  leaf_of_var_[v] = static_cast<VtreeId>(nodes_.size() - 1);
+  return leaf_of_var_[v];
+}
+
+VtreeId Vtree::AddInternal(VtreeId l, VtreeId r) {
+  Node n;
+  n.left = l;
+  n.right = r;
+  n.num_vars_below = nodes_[l].num_vars_below + nodes_[r].num_vars_below;
+  nodes_.push_back(n);
+  const VtreeId id = static_cast<VtreeId>(nodes_.size() - 1);
+  nodes_[l].parent = id;
+  nodes_[r].parent = id;
+  return id;
+}
+
+void Vtree::Finalize() {
+  // Assign in-order positions iteratively.
+  uint32_t next = 0;
+  std::vector<std::pair<VtreeId, int>> stack = {{root_, 0}};
+  while (!stack.empty()) {
+    auto& [v, state] = stack.back();
+    if (IsLeaf(v)) {
+      nodes_[v].position = next++;
+      stack.pop_back();
+    } else if (state == 0) {
+      state = 1;
+      stack.push_back({nodes_[v].left, 0});
+    } else if (state == 1) {
+      nodes_[v].position = next++;
+      state = 2;
+      stack.push_back({nodes_[v].right, 0});
+    } else {
+      stack.pop_back();
+    }
+  }
+}
+
+Vtree Vtree::RightLinear(const std::vector<Var>& order) {
+  TBC_CHECK(!order.empty());
+  Vtree t;
+  VtreeId acc = t.AddLeaf(order.back());
+  for (size_t i = order.size() - 1; i-- > 0;) {
+    acc = t.AddInternal(t.AddLeaf(order[i]), acc);
+  }
+  t.root_ = acc;
+  t.Finalize();
+  return t;
+}
+
+Vtree Vtree::LeftLinear(const std::vector<Var>& order) {
+  TBC_CHECK(!order.empty());
+  Vtree t;
+  VtreeId acc = t.AddLeaf(order.front());
+  for (size_t i = 1; i < order.size(); ++i) {
+    acc = t.AddInternal(acc, t.AddLeaf(order[i]));
+  }
+  t.root_ = acc;
+  t.Finalize();
+  return t;
+}
+
+VtreeId Vtree::BuildBalanced(const std::vector<Var>& order, size_t lo, size_t hi) {
+  if (hi - lo == 1) return AddLeaf(order[lo]);
+  const size_t mid = lo + (hi - lo + 1) / 2;
+  const VtreeId l = BuildBalanced(order, lo, mid);
+  const VtreeId r = BuildBalanced(order, mid, hi);
+  return AddInternal(l, r);
+}
+
+Vtree Vtree::Balanced(const std::vector<Var>& order) {
+  TBC_CHECK(!order.empty());
+  Vtree t;
+  t.root_ = t.BuildBalanced(order, 0, order.size());
+  t.Finalize();
+  return t;
+}
+
+Vtree Vtree::Constrained(const std::vector<Var>& top, const std::vector<Var>& bottom) {
+  TBC_CHECK(!bottom.empty());
+  Vtree t;
+  VtreeId acc = t.BuildBalanced(bottom, 0, bottom.size());
+  for (size_t i = top.size(); i-- > 0;) {
+    acc = t.AddInternal(t.AddLeaf(top[i]), acc);
+  }
+  t.root_ = acc;
+  t.Finalize();
+  return t;
+}
+
+std::vector<Var> Vtree::IdentityOrder(size_t n) {
+  std::vector<Var> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<Var>(i);
+  return order;
+}
+
+bool Vtree::IsAncestorOrSelf(VtreeId a, VtreeId b) const {
+  // Walk up from b; vtrees are shallow enough that this beats precomputing
+  // Euler tours at our scales.
+  for (VtreeId v = b; v != kInvalidVtree; v = nodes_[v].parent) {
+    if (v == a) return true;
+  }
+  return false;
+}
+
+VtreeId Vtree::Lca(VtreeId a, VtreeId b) const {
+  uint32_t da = Depth(a), db = Depth(b);
+  while (da > db) {
+    a = nodes_[a].parent;
+    --da;
+  }
+  while (db > da) {
+    b = nodes_[b].parent;
+    --db;
+  }
+  while (a != b) {
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+  }
+  return a;
+}
+
+uint32_t Vtree::Depth(VtreeId v) const {
+  uint32_t d = 0;
+  while (nodes_[v].parent != kInvalidVtree) {
+    v = nodes_[v].parent;
+    ++d;
+  }
+  return d;
+}
+
+std::vector<Var> Vtree::VarsBelow(VtreeId v) const {
+  std::vector<Var> out;
+  std::vector<VtreeId> stack = {v};
+  while (!stack.empty()) {
+    VtreeId cur = stack.back();
+    stack.pop_back();
+    if (IsLeaf(cur)) {
+      out.push_back(nodes_[cur].var);
+    } else {
+      stack.push_back(nodes_[cur].right);
+      stack.push_back(nodes_[cur].left);
+    }
+  }
+  return out;
+}
+
+std::string Vtree::ToString(VtreeId v) const {
+  if (IsLeaf(v)) return std::to_string(nodes_[v].var);
+  return "(" + ToString(nodes_[v].left) + " " + ToString(nodes_[v].right) + ")";
+}
+
+std::string Vtree::ToFileString() const {
+  // Emit children before parents so the root is the final line; ids are
+  // renumbered to emission order as the SDD-library format expects.
+  std::string out = "vtree " + std::to_string(nodes_.size()) + "\n";
+  std::vector<uint32_t> file_id(nodes_.size(), 0);
+  uint32_t next = 0;
+  std::vector<std::pair<VtreeId, int>> stack = {{root_, 0}};
+  while (!stack.empty()) {
+    auto& [v, state] = stack.back();
+    if (IsLeaf(v)) {
+      file_id[v] = next++;
+      out += "L " + std::to_string(file_id[v]) + " " +
+             std::to_string(nodes_[v].var + 1) + "\n";
+      stack.pop_back();
+    } else if (state == 0) {
+      state = 1;
+      stack.push_back({nodes_[v].left, 0});
+    } else if (state == 1) {
+      state = 2;
+      stack.push_back({nodes_[v].right, 0});
+    } else {
+      file_id[v] = next++;
+      out += "I " + std::to_string(file_id[v]) + " " +
+             std::to_string(file_id[nodes_[v].left]) + " " +
+             std::to_string(file_id[nodes_[v].right]) + "\n";
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+Result<Vtree> Vtree::Parse(const std::string& text) {
+  Vtree t;
+  std::unordered_map<uint32_t, VtreeId> node_of_file_id;
+  bool saw_header = false;
+  VtreeId last = kInvalidVtree;
+  size_t line_start = 0;
+  while (line_start <= text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    const std::string line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (line.empty() || line[0] == 'c') continue;
+    char kind = 0;
+    long a = 0, b = 0, c = 0;
+    if (std::sscanf(line.c_str(), "%c %ld %ld %ld", &kind, &a, &b, &c) < 1) {
+      continue;
+    }
+    if (kind == 'v') {
+      saw_header = true;
+    } else if (kind == 'L') {
+      if (b < 1) return Status::Error("bad vtree leaf line: " + line);
+      last = t.AddLeaf(static_cast<Var>(b - 1));
+      node_of_file_id[static_cast<uint32_t>(a)] = last;
+    } else if (kind == 'I') {
+      auto lit = node_of_file_id.find(static_cast<uint32_t>(b));
+      auto rit = node_of_file_id.find(static_cast<uint32_t>(c));
+      if (lit == node_of_file_id.end() || rit == node_of_file_id.end()) {
+        return Status::Error("vtree forward reference: " + line);
+      }
+      last = t.AddInternal(lit->second, rit->second);
+      node_of_file_id[static_cast<uint32_t>(a)] = last;
+    } else {
+      return Status::Error("unknown vtree line: " + line);
+    }
+  }
+  if (!saw_header) return Status::Error("missing vtree header");
+  if (last == kInvalidVtree) return Status::Error("empty vtree");
+  t.root_ = last;
+  t.Finalize();
+  return t;
+}
+
+Vtree Vtree::Random(std::vector<Var> vars, Rng& rng) {
+  TBC_CHECK(!vars.empty());
+  // Shuffle, then build with uniform random split points.
+  for (size_t i = vars.size(); i > 1; --i) {
+    std::swap(vars[i - 1], vars[rng.Below(i)]);
+  }
+  Vtree t;
+  std::function<VtreeId(size_t, size_t)> build = [&](size_t lo, size_t hi) -> VtreeId {
+    if (hi - lo == 1) return t.AddLeaf(vars[lo]);
+    const size_t mid = lo + 1 + rng.Below(hi - lo - 1);
+    const VtreeId l = build(lo, mid);
+    const VtreeId r = build(mid, hi);
+    return t.AddInternal(l, r);
+  };
+  t.root_ = build(0, vars.size());
+  t.Finalize();
+  return t;
+}
+
+}  // namespace tbc

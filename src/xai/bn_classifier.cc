@@ -1,0 +1,42 @@
+#include "xai/bn_classifier.h"
+
+#include "base/check.h"
+#include "bayes/varelim.h"
+
+namespace tbc {
+
+BnClassifier::BnClassifier(const BayesianNetwork& net, BnVar class_var,
+                           std::vector<BnVar> features, double threshold)
+    : net_(net),
+      class_var_(class_var),
+      features_(std::move(features)),
+      threshold_(threshold) {
+  TBC_CHECK(net.cardinality(class_var_) == 2);
+  for (BnVar f : features_) {
+    TBC_CHECK(net.cardinality(f) == 2);
+    TBC_CHECK(f != class_var_);
+  }
+}
+
+double BnClassifier::Posterior(const Assignment& e) const {
+  BnInstantiation evidence(net_.num_vars(), kUnobserved);
+  for (size_t i = 0; i < features_.size(); ++i) {
+    evidence[features_[i]] = e[i] ? 1 : 0;
+  }
+  VariableElimination ve(net_);
+  return ve.Posterior(class_var_, 1, evidence);
+}
+
+bool BnClassifier::Classify(const Assignment& e) const {
+  return Posterior(e) >= threshold_;
+}
+
+BooleanClassifier BnClassifier::AsBooleanClassifier() const {
+  return {num_features(), [this](const Assignment& e) { return Classify(e); }};
+}
+
+ObddId BnClassifier::CompileToObdd(ObddManager& mgr) const {
+  return CompileBruteForce(AsBooleanClassifier(), mgr);
+}
+
+}  // namespace tbc

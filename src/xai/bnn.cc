@@ -1,0 +1,182 @@
+#include "xai/bnn.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "obdd/threshold.h"
+
+namespace tbc {
+
+BinarizedNeuralNet::BinarizedNeuralNet(size_t num_inputs, size_t num_hidden,
+                                       uint64_t seed)
+    : num_inputs_(num_inputs) {
+  Rng rng(seed);
+  hidden_weights_.assign(num_hidden, std::vector<int64_t>(num_inputs, 0));
+  hidden_bias_.assign(num_hidden, 0);
+  output_weights_.assign(num_hidden, 0);
+  for (size_t h = 0; h < num_hidden; ++h) {
+    for (size_t i = 0; i < num_inputs; ++i) {
+      hidden_weights_[h][i] = rng.Range(-3, 3);
+    }
+    hidden_bias_[h] = rng.Range(-3, 3);
+    output_weights_[h] = rng.Range(-3, 3);
+  }
+  output_bias_ = rng.Range(-3, 3);
+}
+
+BinarizedNeuralNet BinarizedNeuralNet::Convolutional(size_t width,
+                                                     size_t height,
+                                                     size_t patch,
+                                                     size_t num_hidden,
+                                                     uint64_t seed) {
+  TBC_CHECK(patch <= width && patch <= height);
+  BinarizedNeuralNet net(width * height, num_hidden, seed);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (size_t h = 0; h < num_hidden; ++h) {
+    const size_t r0 = rng.Below(height - patch + 1);
+    const size_t c0 = rng.Below(width - patch + 1);
+    for (size_t r = 0; r < height; ++r) {
+      for (size_t c = 0; c < width; ++c) {
+        const bool inside = r >= r0 && r < r0 + patch && c >= c0 && c < c0 + patch;
+        if (!inside) net.hidden_weights_[h][r * width + c] = 0;
+      }
+    }
+  }
+  return net;
+}
+
+std::vector<bool> BinarizedNeuralNet::HiddenActivations(const Assignment& x) const {
+  std::vector<bool> h(num_hidden());
+  for (size_t j = 0; j < num_hidden(); ++j) {
+    int64_t sum = hidden_bias_[j];
+    for (size_t i = 0; i < num_inputs_; ++i) {
+      if (x[i]) sum += hidden_weights_[j][i];
+    }
+    h[j] = sum >= 0;
+  }
+  return h;
+}
+
+bool BinarizedNeuralNet::Classify(const Assignment& x) const {
+  const std::vector<bool> h = HiddenActivations(x);
+  int64_t sum = output_bias_;
+  for (size_t j = 0; j < num_hidden(); ++j) {
+    if (h[j]) sum += output_weights_[j];
+  }
+  return sum >= 0;
+}
+
+BooleanClassifier BinarizedNeuralNet::AsBooleanClassifier() const {
+  return {num_inputs_, [this](const Assignment& x) { return Classify(x); }};
+}
+
+void BinarizedNeuralNet::Train(const std::vector<Assignment>& data,
+                               const std::vector<bool>& labels, size_t epochs) {
+  TBC_CHECK(data.size() == labels.size());
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      const bool predicted = Classify(data[i]);
+      if (predicted == labels[i]) continue;
+      const int64_t delta = labels[i] ? 1 : -1;
+      const std::vector<bool> h = HiddenActivations(data[i]);
+      for (size_t j = 0; j < num_hidden(); ++j) {
+        if (h[j]) output_weights_[j] += delta;
+      }
+      output_bias_ += delta;
+    }
+  }
+}
+
+double BinarizedNeuralNet::Accuracy(const std::vector<Assignment>& data,
+                                    const std::vector<bool>& labels) const {
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    correct += Classify(data[i]) == labels[i];
+  }
+  return data.empty() ? 0.0 : static_cast<double>(correct) / data.size();
+}
+
+ObddId BinarizedNeuralNet::CompileNeuron(ObddManager& mgr, size_t h) const {
+  // Zero-weight inputs (outside the receptive field) are dropped: the
+  // neuron circuit then only mentions its support.
+  std::vector<Var> vars;
+  std::vector<int64_t> weights;
+  for (size_t i = 0; i < num_inputs_; ++i) {
+    if (hidden_weights_[h][i] != 0) {
+      vars.push_back(static_cast<Var>(i));
+      weights.push_back(hidden_weights_[h][i]);
+    }
+  }
+  return CompileThreshold(mgr, vars, weights, -hidden_bias_[h]);
+}
+
+ObddId BinarizedNeuralNet::CompileToObdd(ObddManager& mgr) const {
+  // Compile each hidden neuron, then compose the output threshold over the
+  // neuron circuits: DP on (neuron index, partial output sum).
+  std::vector<ObddId> neuron(num_hidden());
+  for (size_t j = 0; j < num_hidden(); ++j) neuron[j] = CompileNeuron(mgr, j);
+
+  std::vector<int64_t> suffix_min(num_hidden() + 1, 0),
+      suffix_max(num_hidden() + 1, 0);
+  for (size_t j = num_hidden(); j-- > 0;) {
+    suffix_min[j] = suffix_min[j + 1] + std::min<int64_t>(output_weights_[j], 0);
+    suffix_max[j] = suffix_max[j + 1] + std::max<int64_t>(output_weights_[j], 0);
+  }
+  struct Key {
+    size_t j;
+    int64_t sum;
+    bool operator==(const Key& o) const { return j == o.j && sum == o.sum; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashU64(k.j * 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(k.sum));
+    }
+  };
+  std::unordered_map<Key, ObddId, KeyHash> memo;
+  std::function<ObddId(size_t, int64_t)> rec = [&](size_t j, int64_t sum) -> ObddId {
+    if (sum + suffix_min[j] >= 0) return mgr.True();
+    if (sum + suffix_max[j] < 0) return mgr.False();
+    const Key key{j, sum};
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    const ObddId with = rec(j + 1, sum + output_weights_[j]);
+    const ObddId without = rec(j + 1, sum);
+    const ObddId r = mgr.Ite(neuron[j], with, without);
+    memo.emplace(key, r);
+    return r;
+  };
+  return rec(0, output_bias_);
+}
+
+DigitDataset MakeDigitDataset(size_t width, size_t height, size_t per_class,
+                              double noise, uint64_t seed) {
+  Rng rng(seed);
+  DigitDataset out;
+  auto at = [&](size_t r, size_t c) { return r * width + c; };
+  // Templates.
+  Assignment ring(width * height, false);
+  for (size_t r = 0; r < height; ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      const bool border = r == 0 || c == 0 || r + 1 == height || c + 1 == width;
+      ring[at(r, c)] = border;
+    }
+  }
+  Assignment stroke(width * height, false);
+  for (size_t r = 0; r < height; ++r) stroke[at(r, width / 2)] = true;
+
+  for (size_t i = 0; i < per_class; ++i) {
+    for (bool label : {false, true}) {
+      Assignment img = label ? stroke : ring;
+      for (size_t p = 0; p < img.size(); ++p) {
+        if (rng.Flip(noise)) img[p] = !img[p];
+      }
+      out.images.push_back(std::move(img));
+      out.labels.push_back(label);
+    }
+  }
+  return out;
+}
+
+}  // namespace tbc

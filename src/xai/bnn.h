@@ -1,0 +1,82 @@
+#ifndef TBC_XAI_BNN_H_
+#define TBC_XAI_BNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.h"
+#include "obdd/obdd.h"
+#include "xai/compile.h"
+
+namespace tbc {
+
+/// Binarized neural network with step activations (paper §5.1-5.2,
+/// Figs 28-29; [Choi, Shi, Shih & Darwiche 2019; Shi et al. 2020]).
+///
+/// One hidden layer of linear-threshold neurons over binary inputs and a
+/// linear-threshold output neuron — every unit computes [Σ wᵢxᵢ + b ≥ 0],
+/// so the network's decision function is Boolean and exactly compilable:
+/// each neuron becomes an OBDD via the threshold dynamic program, and the
+/// output composes them. Training keeps the (seed-dependent) random hidden
+/// layer fixed and fits the output neuron with integer perceptron updates,
+/// reproducing the Fig 29 setup of equal-architecture nets whose different
+/// seeds yield similar accuracies but very different compiled circuits.
+class BinarizedNeuralNet {
+ public:
+  /// Random network: hidden weights/biases uniform in [-3, 3].
+  BinarizedNeuralNet(size_t num_inputs, size_t num_hidden, uint64_t seed);
+
+  /// CNN-like network on a width×height image: each hidden neuron has a
+  /// patch×patch receptive field at a random position and nonzero weights
+  /// only inside it — the convolutional locality that keeps the paper's
+  /// CNN compilations tractable [Shi et al. 2020].
+  static BinarizedNeuralNet Convolutional(size_t width, size_t height,
+                                          size_t patch, size_t num_hidden,
+                                          uint64_t seed);
+
+  size_t num_inputs() const { return num_inputs_; }
+  size_t num_hidden() const { return hidden_weights_.size(); }
+
+  /// Hidden activations for an input.
+  std::vector<bool> HiddenActivations(const Assignment& x) const;
+  /// Network decision.
+  bool Classify(const Assignment& x) const;
+  BooleanClassifier AsBooleanClassifier() const;
+
+  /// Perceptron training of the output neuron on the hidden features.
+  void Train(const std::vector<Assignment>& data,
+             const std::vector<bool>& labels, size_t epochs);
+
+  /// Fraction of examples classified correctly.
+  double Accuracy(const std::vector<Assignment>& data,
+                  const std::vector<bool>& labels) const;
+
+  /// Exact compilation of the decision function into an OBDD: per-neuron
+  /// threshold circuits composed through the output threshold.
+  ObddId CompileToObdd(ObddManager& mgr) const;
+
+  /// OBDD of hidden neuron h alone (per-neuron interpretability, §5.2:
+  /// "one also compiles each neuron into its own tractable circuit").
+  ObddId CompileNeuron(ObddManager& mgr, size_t h) const;
+
+ private:
+  size_t num_inputs_;
+  std::vector<std::vector<int64_t>> hidden_weights_;  // [hidden][input]
+  std::vector<int64_t> hidden_bias_;
+  std::vector<int64_t> output_weights_;  // [hidden]
+  int64_t output_bias_ = 0;
+};
+
+/// Synthetic two-class "digit-like" images (the stand-in for the paper's
+/// 16×16 USPS digits; see DESIGN.md substitutions): class 0 is a noisy
+/// ring, class 1 a noisy vertical stroke, on a width×height binary grid.
+struct DigitDataset {
+  std::vector<Assignment> images;
+  std::vector<bool> labels;  // true = digit "1"
+};
+DigitDataset MakeDigitDataset(size_t width, size_t height, size_t per_class,
+                              double noise, uint64_t seed);
+
+}  // namespace tbc
+
+#endif  // TBC_XAI_BNN_H_

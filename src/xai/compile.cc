@@ -1,0 +1,27 @@
+#include "xai/compile.h"
+
+#include "base/check.h"
+
+namespace tbc {
+
+ObddId CompileBruteForce(const BooleanClassifier& classifier, ObddManager& mgr) {
+  const size_t n = classifier.num_features;
+  TBC_CHECK_MSG(n <= 22, "brute-force compilation limited to 22 features");
+  TBC_CHECK(mgr.num_vars() >= n);
+  // Recursive Shannon expansion in the manager's variable order; the
+  // unique table reduces the result on the way up.
+  Assignment x(n, false);
+  std::function<ObddId(size_t)> rec = [&](size_t level) -> ObddId {
+    if (level == n) return classifier.classify(x) ? mgr.True() : mgr.False();
+    const Var v = mgr.order()[level];
+    x[v] = false;
+    const ObddId lo = rec(level + 1);
+    x[v] = true;
+    const ObddId hi = rec(level + 1);
+    x[v] = false;
+    return mgr.MakeNode(v, lo, hi);
+  };
+  return rec(0);
+}
+
+}  // namespace tbc

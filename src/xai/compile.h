@@ -1,0 +1,27 @@
+#ifndef TBC_XAI_COMPILE_H_
+#define TBC_XAI_COMPILE_H_
+
+#include <functional>
+
+#include "obdd/obdd.h"
+
+namespace tbc {
+
+/// A Boolean decision function over `num_features` binary features —
+/// the abstraction of paper §5 / Fig 23: a trained classifier (naive
+/// Bayes, random forest, neural network) viewed purely through its
+/// input-output behavior.
+struct BooleanClassifier {
+  size_t num_features = 0;
+  std::function<bool(const Assignment&)> classify;
+};
+
+/// Compiles any classifier into an OBDD by exhaustive evaluation
+/// (2^num_features calls; the universal baseline against which the
+/// dedicated compilers of naive_bayes.h / decision_tree.h / bnn.h are
+/// verified). Limited to 22 features.
+ObddId CompileBruteForce(const BooleanClassifier& classifier, ObddManager& mgr);
+
+}  // namespace tbc
+
+#endif  // TBC_XAI_COMPILE_H_

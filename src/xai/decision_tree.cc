@@ -1,0 +1,103 @@
+#include "xai/decision_tree.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "base/check.h"
+
+namespace tbc {
+
+DecisionTree DecisionTree::Leaf(bool label) {
+  DecisionTree t;
+  t.nodes_.push_back({kInvalidVar, label, -1, -1});
+  return t;
+}
+
+DecisionTree DecisionTree::Test(Var feature, DecisionTree lo, DecisionTree hi) {
+  DecisionTree t;
+  t.nodes_ = std::move(lo.nodes_);
+  const int32_t lo_root = static_cast<int32_t>(t.nodes_.size() - 1);
+  const int32_t offset = static_cast<int32_t>(t.nodes_.size());
+  for (Node n : hi.nodes_) {
+    if (n.lo >= 0) n.lo += offset;
+    if (n.hi >= 0) n.hi += offset;
+    t.nodes_.push_back(n);
+  }
+  const int32_t hi_root = static_cast<int32_t>(t.nodes_.size() - 1);
+  t.nodes_.push_back({feature, false, lo_root, hi_root});
+  return t;
+}
+
+DecisionTree DecisionTree::Random(size_t num_features, size_t depth, Rng& rng) {
+  if (depth == 0) return Leaf(rng.Flip(0.5));
+  const Var f = static_cast<Var>(rng.Below(num_features));
+  return Test(f, Random(num_features, depth - 1, rng),
+              Random(num_features, depth - 1, rng));
+}
+
+int32_t DecisionTree::Classify(int32_t node, const Assignment& x) const {
+  const Node& n = nodes_[node];
+  if (n.feature == kInvalidVar) return node;
+  return Classify(x[n.feature] ? n.hi : n.lo, x);
+}
+
+bool DecisionTree::Classify(const Assignment& x) const {
+  return nodes_[Classify(static_cast<int32_t>(nodes_.size() - 1), x)].label;
+}
+
+ObddId DecisionTree::CompileToObdd(ObddManager& mgr) const {
+  std::unordered_map<int32_t, ObddId> memo;
+  std::function<ObddId(int32_t)> rec = [&](int32_t i) -> ObddId {
+    auto it = memo.find(i);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[i];
+    ObddId r;
+    if (n.feature == kInvalidVar) {
+      r = n.label ? mgr.True() : mgr.False();
+    } else {
+      // if feature then hi else lo.
+      r = mgr.Ite(mgr.LiteralNode(Pos(n.feature)), rec(n.hi), rec(n.lo));
+    }
+    memo.emplace(i, r);
+    return r;
+  };
+  return rec(static_cast<int32_t>(nodes_.size() - 1));
+}
+
+RandomForest RandomForest::Random(size_t num_trees, size_t num_features,
+                                  size_t depth, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DecisionTree> trees;
+  trees.reserve(num_trees);
+  for (size_t i = 0; i < num_trees; ++i) {
+    trees.push_back(DecisionTree::Random(num_features, depth, rng));
+  }
+  return RandomForest(std::move(trees));
+}
+
+bool RandomForest::Classify(const Assignment& x) const {
+  size_t votes = 0;
+  for (const DecisionTree& t : trees_) votes += t.Classify(x);
+  return votes * 2 > trees_.size();
+}
+
+BooleanClassifier RandomForest::AsBooleanClassifier(size_t num_features) const {
+  return {num_features, [this](const Assignment& x) { return Classify(x); }};
+}
+
+ObddId RandomForest::CompileToObdd(ObddManager& mgr) const {
+  // Majority circuit over the tree functions: reach[j] after processing
+  // tree i holds "at least j of the first i trees vote positive".
+  const size_t k = trees_.size() / 2 + 1;  // strict majority
+  std::vector<ObddId> reach(k + 1, mgr.False());
+  reach[0] = mgr.True();
+  for (const DecisionTree& t : trees_) {
+    const ObddId vote = t.CompileToObdd(mgr);
+    for (size_t j = k; j >= 1; --j) {
+      reach[j] = mgr.Or(reach[j], mgr.And(reach[j - 1], vote));
+    }
+  }
+  return reach[k];
+}
+
+}  // namespace tbc

@@ -1,0 +1,69 @@
+#ifndef TBC_XAI_DECISION_TREE_H_
+#define TBC_XAI_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.h"
+#include "obdd/obdd.h"
+#include "xai/compile.h"
+
+namespace tbc {
+
+/// Binary decision tree over binary features.
+///
+/// Random forests "represent less of a challenge" for the paper's third
+/// role (§5): each tree encodes directly as a Boolean formula, trees are
+/// combined with a majority circuit, and the only remaining work is
+/// compiling the result into a tractable circuit. DecisionTree::CompileToObdd
+/// does the per-tree encoding; RandomForest::CompileToObdd adds the
+/// majority combination.
+class DecisionTree {
+ public:
+  /// Leaf returning `label`.
+  static DecisionTree Leaf(bool label);
+  /// Internal test on `feature`: false-branch `lo`, true-branch `hi`.
+  static DecisionTree Test(Var feature, DecisionTree lo, DecisionTree hi);
+  /// Random tree of the given depth over `num_features` features.
+  static DecisionTree Random(size_t num_features, size_t depth, Rng& rng);
+
+  bool Classify(const Assignment& x) const;
+  ObddId CompileToObdd(ObddManager& mgr) const;
+  size_t num_tree_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Var feature = kInvalidVar;  // kInvalidVar for leaves
+    bool label = false;
+    int32_t lo = -1, hi = -1;
+  };
+  int32_t Classify(int32_t node, const Assignment& x) const;
+
+  std::vector<Node> nodes_;  // root is nodes_.back()
+};
+
+/// Random forest with majority voting.
+class RandomForest {
+ public:
+  explicit RandomForest(std::vector<DecisionTree> trees)
+      : trees_(std::move(trees)) {}
+  /// `num_trees` random trees of the given depth (odd count recommended).
+  static RandomForest Random(size_t num_trees, size_t num_features,
+                             size_t depth, uint64_t seed);
+
+  size_t num_trees() const { return trees_.size(); }
+
+  /// Strict-majority vote of the trees.
+  bool Classify(const Assignment& x) const;
+  BooleanClassifier AsBooleanClassifier(size_t num_features) const;
+
+  /// Tree formulas combined through a majority circuit, compiled to OBDD.
+  ObddId CompileToObdd(ObddManager& mgr) const;
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_XAI_DECISION_TREE_H_

@@ -1,0 +1,84 @@
+#ifndef TBC_XAI_EXPLAIN_H_
+#define TBC_XAI_EXPLAIN_H_
+
+#include <vector>
+
+#include "base/random.h"
+#include "nnf/nnf.h"
+#include "obdd/obdd.h"
+#include "xai/compile.h"
+
+namespace tbc {
+
+/// A term: a conjunction of literals, sorted by variable.
+using Term = std::vector<Lit>;
+
+/// All prime implicants of f (paper §5.1, Fig 26), by the classical
+/// BDD recursion [Coudert & Madre]: at the top variable x with cofactors
+/// f0, f1 and consensus q = f0 ∧ f1,
+///   PI(f) = PI(q) ∪ {x·p : p ∈ PI(f1), p ⊭ q} ∪ {¬x·p : p ∈ PI(f0), p ⊭ q}.
+/// Output may be exponential; intended for analysis-scale functions.
+std::vector<Term> PrimeImplicants(ObddManager& mgr, ObddId f);
+
+/// Prime implicants by Quine-McCluskey over the truth table (test oracle;
+/// limited to 14 features).
+std::vector<Term> PrimeImplicantsQmc(const BooleanClassifier& classifier);
+
+/// Sufficient reasons (PI-explanations [Shih et al. 2018], "sufficient
+/// reasons" [Darwiche & Hirth 2020]) for the decision f(x): the prime
+/// implicants of f — of ¬f for negative decisions — compatible with x.
+/// Every returned term is a minimal set of instance characteristics that
+/// triggers the decision regardless of the other features (paper §5.1).
+std::vector<Term> SufficientReasons(ObddManager& mgr, ObddId f,
+                                    const Assignment& x);
+
+/// One sufficient reason by greedy minimization of the instance term
+/// (linear number of OBDD conditionings — usable when enumerating all
+/// reasons is infeasible, as with the Fig 28 network explanation).
+Term AnySufficientReason(ObddManager& mgr, ObddId f, const Assignment& x);
+
+/// The *complete reason* behind the decision f(x) [Darwiche & Hirth 2020]:
+/// a monotone circuit over the instance's characteristics whose implicants
+/// are exactly the supersets of sufficient reasons (paper Fig 27's reason
+/// circuits). Built in linear time from the OBDD by the consensus
+/// transform; emitted into `nnf`.
+NnfId ReasonCircuit(ObddManager& mgr, ObddId f, const Assignment& x,
+                    NnfManager& nnf);
+
+/// Evaluates the reason circuit with the characteristics of `excluded`
+/// variables withdrawn: true iff the decision is still supported by the
+/// remaining characteristics (the paper's counterfactual reading: "the
+/// decision would stick even if ..." ).
+bool ReasonHoldsWithout(NnfManager& nnf, NnfId reason, const Assignment& x,
+                        const std::vector<Var>& excluded);
+
+/// Anchor-style approximate explanation (paper §5.1 footnote 18): a
+/// model-agnostic explanation computed by sampling instead of compiling —
+/// greedily drops characteristics as long as `samples` random completions
+/// keep the decision. No symbolic abstraction required, but no guarantee.
+Term ApproximateReason(const BooleanClassifier& classifier, const Assignment& x,
+                       size_t samples, Rng& rng);
+
+/// Classifies an approximation against the exact sufficient reasons, per
+/// the paper's evaluation vocabulary [Ignatiev et al. 2019]: kExact if it
+/// IS a sufficient reason; kOptimistic if it is a strict subset of one
+/// (claims more generality than warranted); kPessimistic if a strict
+/// superset (includes irrelevant characteristics); kIncomparable otherwise.
+enum class ApproximationQuality { kExact, kOptimistic, kPessimistic, kIncomparable };
+ApproximationQuality ClassifyApproximation(const std::vector<Term>& exact_reasons,
+                                           const Term& approximation);
+
+/// Decision bias (paper §5.1): the decision on x is biased iff it would
+/// differ had only protected features changed — equivalently, iff every
+/// sufficient reason contains a protected feature.
+bool IsDecisionBiased(ObddManager& mgr, ObddId f, const Assignment& x,
+                      const std::vector<Var>& protected_vars);
+
+/// Classifier bias: some decision is biased — equivalently, the decision
+/// function depends on a protected feature.
+bool IsClassifierBiased(ObddManager& mgr, ObddId f,
+                        const std::vector<Var>& protected_vars);
+
+}  // namespace tbc
+
+#endif  // TBC_XAI_EXPLAIN_H_

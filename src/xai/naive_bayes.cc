@@ -1,0 +1,105 @@
+#include "xai/naive_bayes.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "obdd/threshold.h"
+
+namespace tbc {
+
+NaiveBayesClassifier::NaiveBayesClassifier(double prior,
+                                           std::vector<double> likelihood_true,
+                                           std::vector<double> likelihood_false,
+                                           double threshold)
+    : prior_(prior),
+      likelihood_true_(std::move(likelihood_true)),
+      likelihood_false_(std::move(likelihood_false)),
+      threshold_(threshold) {
+  TBC_CHECK(likelihood_true_.size() == likelihood_false_.size());
+  TBC_CHECK(prior_ > 0.0 && prior_ < 1.0);
+  TBC_CHECK(threshold_ > 0.0 && threshold_ < 1.0);
+  for (size_t i = 0; i < likelihood_true_.size(); ++i) {
+    TBC_CHECK(likelihood_true_[i] > 0.0 && likelihood_true_[i] < 1.0);
+    TBC_CHECK(likelihood_false_[i] > 0.0 && likelihood_false_[i] < 1.0);
+  }
+}
+
+NaiveBayesClassifier NaiveBayesClassifier::Fit(
+    const std::vector<Assignment>& features, const std::vector<bool>& labels,
+    double threshold, double laplace) {
+  TBC_CHECK(!features.empty() && features.size() == labels.size());
+  const size_t n = features[0].size();
+  double positives = 0.0;
+  std::vector<double> count_t(n, 0.0), count_f(n, 0.0);
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (labels[i]) ++positives;
+    for (size_t j = 0; j < n; ++j) {
+      if (features[i][j]) (labels[i] ? count_t[j] : count_f[j]) += 1.0;
+    }
+  }
+  const double negatives = static_cast<double>(features.size()) - positives;
+  std::vector<double> lt(n), lf(n);
+  for (size_t j = 0; j < n; ++j) {
+    lt[j] = (count_t[j] + laplace) / (positives + 2.0 * laplace);
+    lf[j] = (count_f[j] + laplace) / (negatives + 2.0 * laplace);
+  }
+  const double prior = (positives + laplace) /
+                       (static_cast<double>(features.size()) + 2.0 * laplace);
+  return NaiveBayesClassifier(prior, std::move(lt), std::move(lf), threshold);
+}
+
+double NaiveBayesClassifier::Posterior(const Assignment& e) const {
+  double log_odds = std::log(prior_) - std::log(1.0 - prior_);
+  for (size_t i = 0; i < num_features(); ++i) {
+    const double pt = e[i] ? likelihood_true_[i] : 1.0 - likelihood_true_[i];
+    const double pf = e[i] ? likelihood_false_[i] : 1.0 - likelihood_false_[i];
+    log_odds += std::log(pt) - std::log(pf);
+  }
+  const double odds = std::exp(log_odds);
+  return odds / (1.0 + odds);
+}
+
+bool NaiveBayesClassifier::Classify(const Assignment& e) const {
+  return Posterior(e) >= threshold_;
+}
+
+BooleanClassifier NaiveBayesClassifier::AsBooleanClassifier() const {
+  return {num_features(), [this](const Assignment& e) { return Classify(e); }};
+}
+
+ObddId NaiveBayesClassifier::CompileToOdd(ObddManager& mgr) const {
+  // Decision: log prior odds + Σ_i [e_i ? log(lt/lf) : log((1-lt)/(1-lf))]
+  //           >= log(T / (1-T)).
+  // Linearize with e_i ∈ {0,1}:  Σ_i (a_i - b_i)·e_i >= τ - prior - Σ b_i,
+  // then scale to integers (fixed point, 2^40).
+  const double scale = 0x1.0p40;
+  std::vector<Var> vars(num_features());
+  std::vector<int64_t> weights(num_features());
+  double base = std::log(prior_) - std::log(1.0 - prior_);
+  for (size_t i = 0; i < num_features(); ++i) {
+    const double a = std::log(likelihood_true_[i]) - std::log(likelihood_false_[i]);
+    const double b = std::log(1.0 - likelihood_true_[i]) -
+                     std::log(1.0 - likelihood_false_[i]);
+    vars[i] = static_cast<Var>(i);
+    weights[i] = std::llround((a - b) * scale);
+    base += b;
+  }
+  const double tau = std::log(threshold_) - std::log(1.0 - threshold_);
+  const int64_t rhs = std::llround((tau - base) * scale);
+  return CompileThreshold(mgr, vars, weights, rhs);
+}
+
+NaiveBayesClassifier NaiveBayesClassifier::Random(size_t num_features,
+                                                  double threshold,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> lt(num_features), lf(num_features);
+  for (size_t i = 0; i < num_features; ++i) {
+    lt[i] = 0.05 + 0.9 * rng.Uniform();
+    lf[i] = 0.05 + 0.9 * rng.Uniform();
+  }
+  const double prior = 0.2 + 0.6 * rng.Uniform();
+  return NaiveBayesClassifier(prior, std::move(lt), std::move(lf), threshold);
+}
+
+}  // namespace tbc

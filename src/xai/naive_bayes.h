@@ -1,0 +1,62 @@
+#ifndef TBC_XAI_NAIVE_BAYES_H_
+#define TBC_XAI_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "base/random.h"
+#include "obdd/obdd.h"
+#include "xai/compile.h"
+
+namespace tbc {
+
+/// Naive Bayes classifier with binary features (paper §5, Fig 25: class P
+/// with tests B, U, S).
+///
+/// Classifies instance e positively iff Pr(class | e) >= threshold. While
+/// the classifier is numeric and probabilistic, its decision function is
+/// Boolean, and CompileToOdd() extracts it as an Ordered Decision Diagram
+/// — an OBDD for binary features — exactly capturing the classifier's
+/// input-output behavior [Chan & Darwiche 2003]. The compilation reduces
+/// the log-odds test to an integer linear threshold function (fixed-point
+/// scaling by 2^40) compiled with the interval dynamic program.
+class NaiveBayesClassifier {
+ public:
+  /// prior = Pr(class=1); likelihood_true[i] = Pr(feature_i = 1 | class=1),
+  /// likelihood_false[i] = Pr(feature_i = 1 | class=0).
+  NaiveBayesClassifier(double prior, std::vector<double> likelihood_true,
+                       std::vector<double> likelihood_false, double threshold);
+
+  /// Maximum-likelihood fit (with Laplace smoothing) from labeled data.
+  static NaiveBayesClassifier Fit(const std::vector<Assignment>& features,
+                                  const std::vector<bool>& labels,
+                                  double threshold, double laplace);
+
+  size_t num_features() const { return likelihood_true_.size(); }
+
+  /// Posterior Pr(class = 1 | e).
+  double Posterior(const Assignment& e) const;
+
+  /// The threshold decision [Posterior(e) >= threshold].
+  bool Classify(const Assignment& e) const;
+
+  /// As an opaque decision function (for the generic tooling).
+  BooleanClassifier AsBooleanClassifier() const;
+
+  /// Compiles the decision function into an ODD/OBDD over the manager's
+  /// feature variables [Chan & Darwiche 2003].
+  ObddId CompileToOdd(ObddManager& mgr) const;
+
+  /// Random classifier for sweeps (parameters in (0.05, 0.95)).
+  static NaiveBayesClassifier Random(size_t num_features, double threshold,
+                                     uint64_t seed);
+
+ private:
+  double prior_;
+  std::vector<double> likelihood_true_;
+  std::vector<double> likelihood_false_;
+  double threshold_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_XAI_NAIVE_BAYES_H_

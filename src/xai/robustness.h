@@ -1,0 +1,36 @@
+#ifndef TBC_XAI_ROBUSTNESS_H_
+#define TBC_XAI_ROBUSTNESS_H_
+
+#include <vector>
+
+#include "base/bigint.h"
+#include "obdd/obdd.h"
+
+namespace tbc {
+
+/// Decision robustness [Shih, Choi & Darwiche 2018] (paper §5.2): the
+/// smallest number of feature flips that changes the decision on x.
+/// coNP-complete on black boxes; linear-time on the compiled OBDD (a
+/// shortest-path computation to the nearest opposite-decision instance).
+/// Returns SIZE_MAX when the classifier is constant (no flip ever works).
+size_t DecisionRobustness(ObddManager& mgr, ObddId f, const Assignment& x);
+
+/// Model robustness [Shi et al. 2020] (paper Fig 29): the average decision
+/// robustness over all 2^n instances, plus the full histogram the figure
+/// plots. Computed symbolically: Hamming-ball expansion of each decision
+/// region with model counting per level — all 2^n instances are covered
+/// without enumeration (the paper: "Figure 29 reports the robustness of
+/// 2^256 instances ... made possible by having captured the input-output
+/// behavior ... using tractable circuits").
+struct ModelRobustnessResult {
+  double average = 0.0;
+  size_t maximum = 0;
+  /// histogram[k] = number of instances with robustness exactly k (k >= 1;
+  /// index 0 unused).
+  std::vector<BigUint> histogram;
+};
+ModelRobustnessResult ModelRobustness(ObddManager& mgr, ObddId f);
+
+}  // namespace tbc
+
+#endif  // TBC_XAI_ROBUSTNESS_H_

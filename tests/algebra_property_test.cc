@@ -1,0 +1,193 @@
+// Parameterized Boolean-algebra property suite: the OBDD and SDD managers
+// must satisfy the algebraic laws on random functions — the canonicity
+// guarantee means each law is an exact node-identity, not just a semantic
+// equivalence. This pins down the apply/negate/condition/quantify kernels
+// far beyond example-based tests.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "base/random.h"
+#include "obdd/obdd.h"
+#include "sdd/compile.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+namespace {
+
+constexpr size_t kVars = 7;
+
+// Random function as an OBDD / SDD via random DNF-ish terms.
+template <typename Builder>
+auto RandomFunction(Builder&& literal_fn, auto&& and_fn, auto&& or_fn,
+                    Rng& rng) {
+  auto f = and_fn(literal_fn(Lit(0, true)), literal_fn(Lit(0, false)));  // ⊥
+  const int terms = 2 + static_cast<int>(rng.Below(4));
+  for (int t = 0; t < terms; ++t) {
+    auto cube = literal_fn(Lit(static_cast<Var>(rng.Below(kVars)), rng.Flip(0.5)));
+    const int lits = 1 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < lits; ++i) {
+      cube = and_fn(cube, literal_fn(Lit(static_cast<Var>(rng.Below(kVars)),
+                                         rng.Flip(0.5))));
+    }
+    f = or_fn(f, cube);
+  }
+  return f;
+}
+
+class ObddAlgebraTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  ObddAlgebraTest() : mgr_(Vtree::IdentityOrder(kVars)), rng_(GetParam() * 31 + 5) {
+    auto lit = [&](Lit l) { return mgr_.LiteralNode(l); };
+    auto land = [&](ObddId a, ObddId b) { return mgr_.And(a, b); };
+    auto lor = [&](ObddId a, ObddId b) { return mgr_.Or(a, b); };
+    f_ = RandomFunction(lit, land, lor, rng_);
+    g_ = RandomFunction(lit, land, lor, rng_);
+    h_ = RandomFunction(lit, land, lor, rng_);
+  }
+  ObddManager mgr_;
+  Rng rng_;
+  ObddId f_, g_, h_;
+};
+
+TEST_P(ObddAlgebraTest, BooleanLaws) {
+  // Commutativity / associativity / distributivity / absorption.
+  EXPECT_EQ(mgr_.And(f_, g_), mgr_.And(g_, f_));
+  EXPECT_EQ(mgr_.Or(f_, g_), mgr_.Or(g_, f_));
+  EXPECT_EQ(mgr_.And(f_, mgr_.And(g_, h_)), mgr_.And(mgr_.And(f_, g_), h_));
+  EXPECT_EQ(mgr_.Or(f_, mgr_.Or(g_, h_)), mgr_.Or(mgr_.Or(f_, g_), h_));
+  EXPECT_EQ(mgr_.And(f_, mgr_.Or(g_, h_)),
+            mgr_.Or(mgr_.And(f_, g_), mgr_.And(f_, h_)));
+  EXPECT_EQ(mgr_.Or(f_, mgr_.And(f_, g_)), f_);
+  EXPECT_EQ(mgr_.And(f_, mgr_.Or(f_, g_)), f_);
+}
+
+TEST_P(ObddAlgebraTest, NegationLaws) {
+  EXPECT_EQ(mgr_.Not(mgr_.Not(f_)), f_);
+  // De Morgan.
+  EXPECT_EQ(mgr_.Not(mgr_.And(f_, g_)), mgr_.Or(mgr_.Not(f_), mgr_.Not(g_)));
+  EXPECT_EQ(mgr_.Not(mgr_.Or(f_, g_)), mgr_.And(mgr_.Not(f_), mgr_.Not(g_)));
+  // Complements.
+  EXPECT_EQ(mgr_.And(f_, mgr_.Not(f_)), mgr_.False());
+  EXPECT_EQ(mgr_.Or(f_, mgr_.Not(f_)), mgr_.True());
+  // Xor identities.
+  EXPECT_EQ(mgr_.Xor(f_, mgr_.Not(f_)), mgr_.True());
+  EXPECT_EQ(mgr_.Xor(mgr_.Xor(f_, g_), g_), f_);
+}
+
+TEST_P(ObddAlgebraTest, ShannonExpansion) {
+  for (Var v = 0; v < kVars; ++v) {
+    const ObddId expansion =
+        mgr_.Or(mgr_.And(mgr_.LiteralNode(Pos(v)), mgr_.Restrict(f_, v, true)),
+                mgr_.And(mgr_.LiteralNode(Neg(v)), mgr_.Restrict(f_, v, false)));
+    ASSERT_EQ(expansion, f_) << "var " << v;
+  }
+}
+
+TEST_P(ObddAlgebraTest, QuantificationLaws) {
+  for (Var v : {Var(0), Var(3), Var(kVars - 1)}) {
+    // ∃v.f is implied by f; ∀v.f implies f.
+    EXPECT_EQ(mgr_.Implies(f_, mgr_.Exists(f_, v)), mgr_.True());
+    EXPECT_EQ(mgr_.Implies(mgr_.Forall(f_, v), f_), mgr_.True());
+    // Duality: ∀v.f = ¬∃v.¬f.
+    EXPECT_EQ(mgr_.Forall(f_, v), mgr_.Not(mgr_.Exists(mgr_.Not(f_), v)));
+    // ∃ distributes over ∨, ∀ over ∧.
+    EXPECT_EQ(mgr_.Exists(mgr_.Or(f_, g_), v),
+              mgr_.Or(mgr_.Exists(f_, v), mgr_.Exists(g_, v)));
+    EXPECT_EQ(mgr_.Forall(mgr_.And(f_, g_), v),
+              mgr_.And(mgr_.Forall(f_, v), mgr_.Forall(g_, v)));
+    // Quantified results no longer depend on v.
+    EXPECT_EQ(mgr_.Restrict(mgr_.Exists(f_, v), v, false),
+              mgr_.Restrict(mgr_.Exists(f_, v), v, true));
+  }
+}
+
+TEST_P(ObddAlgebraTest, CountingLaws) {
+  // Inclusion-exclusion on exact counts.
+  const BigUint cf = mgr_.ModelCount(f_);
+  const BigUint cg = mgr_.ModelCount(g_);
+  const BigUint cand = mgr_.ModelCount(mgr_.And(f_, g_));
+  const BigUint cor = mgr_.ModelCount(mgr_.Or(f_, g_));
+  EXPECT_EQ(cf + cg, cand + cor);
+  // Complement counts.
+  EXPECT_EQ(cf + mgr_.ModelCount(mgr_.Not(f_)),
+            BigUint::PowerOfTwo(kVars));
+  // Shannon counts: |f| = |f|v=0| + |f|v=1| (each over kVars-1 free vars,
+  // i.e. halving the full-space count of the restriction).
+  const BigUint c0 = mgr_.ModelCount(mgr_.Restrict(f_, 0, false));
+  const BigUint c1 = mgr_.ModelCount(mgr_.Restrict(f_, 0, true));
+  EXPECT_EQ(cf * BigUint(2), c0 + c1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObddAlgebraTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+class SddAlgebraTest : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {
+ protected:
+  SddAlgebraTest() : rng_(std::get<0>(GetParam()) * 57 + 3) {
+    const int shape = std::get<1>(GetParam());
+    Rng vrng(std::get<0>(GetParam()) + 100);
+    Vtree vt = shape == 0 ? Vtree::Balanced(Vtree::IdentityOrder(kVars))
+               : shape == 1
+                   ? Vtree::RightLinear(Vtree::IdentityOrder(kVars))
+                   : Vtree::Random(Vtree::IdentityOrder(kVars), vrng);
+    mgr_ = std::make_unique<SddManager>(std::move(vt));
+    auto lit = [&](Lit l) { return mgr_->LiteralNode(l); };
+    auto land = [&](SddId a, SddId b) { return mgr_->Conjoin(a, b); };
+    auto lor = [&](SddId a, SddId b) { return mgr_->Disjoin(a, b); };
+    f_ = RandomFunction(lit, land, lor, rng_);
+    g_ = RandomFunction(lit, land, lor, rng_);
+  }
+  Rng rng_;
+  std::unique_ptr<SddManager> mgr_;
+  SddId f_, g_;
+};
+
+TEST_P(SddAlgebraTest, CanonicityLaws) {
+  // Canonicity turns semantic laws into node identities across any vtree.
+  EXPECT_EQ(mgr_->Conjoin(f_, g_), mgr_->Conjoin(g_, f_));
+  EXPECT_EQ(mgr_->Disjoin(f_, g_), mgr_->Disjoin(g_, f_));
+  EXPECT_EQ(mgr_->Negate(mgr_->Negate(f_)), f_);
+  EXPECT_EQ(mgr_->Negate(mgr_->Conjoin(f_, g_)),
+            mgr_->Disjoin(mgr_->Negate(f_), mgr_->Negate(g_)));
+  EXPECT_EQ(mgr_->Conjoin(f_, mgr_->Negate(f_)), mgr_->False());
+  EXPECT_EQ(mgr_->Disjoin(f_, mgr_->Negate(f_)), mgr_->True());
+  EXPECT_EQ(mgr_->Disjoin(f_, mgr_->Conjoin(f_, g_)), f_);  // absorption
+}
+
+TEST_P(SddAlgebraTest, ConditioningLaws) {
+  for (Var v : {Var(0), Var(kVars / 2)}) {
+    // Shannon expansion as node identity.
+    const SddId expansion = mgr_->Disjoin(
+        mgr_->Conjoin(mgr_->LiteralNode(Pos(v)), mgr_->Condition(f_, Pos(v))),
+        mgr_->Conjoin(mgr_->LiteralNode(Neg(v)), mgr_->Condition(f_, Neg(v))));
+    ASSERT_EQ(expansion, f_) << "var " << v;
+    // Conditioning commutes with conjunction.
+    EXPECT_EQ(mgr_->Condition(mgr_->Conjoin(f_, g_), Pos(v)),
+              mgr_->Conjoin(mgr_->Condition(f_, Pos(v)),
+                            mgr_->Condition(g_, Pos(v))));
+  }
+}
+
+TEST_P(SddAlgebraTest, CountInclusionExclusion) {
+  const BigUint cf = mgr_->ModelCount(f_);
+  const BigUint cg = mgr_->ModelCount(g_);
+  EXPECT_EQ(cf + cg, mgr_->ModelCount(mgr_->Conjoin(f_, g_)) +
+                         mgr_->ModelCount(mgr_->Disjoin(f_, g_)));
+  EXPECT_EQ(cf + mgr_->ModelCount(mgr_->Negate(f_)), BigUint::PowerOfTwo(kVars));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndShapes, SddAlgebraTest,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 6),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, int>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_shape" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tbc

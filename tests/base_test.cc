@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "base/bigint.h"
+#include "base/random.h"
+#include "base/strings.h"
+
+namespace tbc {
+namespace {
+
+TEST(BigUintTest, ZeroAndSmallValues) {
+  BigUint zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.ToU64(), 0u);
+
+  BigUint five(5);
+  EXPECT_FALSE(five.IsZero());
+  EXPECT_EQ(five.ToString(), "5");
+  EXPECT_EQ(five.ToU64(), 5u);
+  EXPECT_DOUBLE_EQ(five.ToDouble(), 5.0);
+}
+
+TEST(BigUintTest, AdditionMatchesU64) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.Next() >> 2;
+    uint64_t b = rng.Next() >> 2;
+    EXPECT_EQ((BigUint(a) + BigUint(b)).ToU64(), a + b);
+  }
+}
+
+TEST(BigUintTest, MultiplicationMatchesU64) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.Next() >> 33;
+    uint64_t b = rng.Next() >> 33;
+    EXPECT_EQ((BigUint(a) * BigUint(b)).ToU64(), a * b);
+  }
+}
+
+TEST(BigUintTest, CarryAcrossLimbs) {
+  BigUint max64(~0ull);
+  BigUint sum = max64 + BigUint(1);
+  EXPECT_FALSE(sum.FitsU64());
+  EXPECT_EQ(sum.ToString(), "18446744073709551616");  // 2^64
+  EXPECT_EQ(sum, BigUint::PowerOfTwo(64));
+}
+
+TEST(BigUintTest, PowerOfTwoLarge) {
+  // 2^128 = 340282366920938463463374607431768211456.
+  EXPECT_EQ(BigUint::PowerOfTwo(128).ToString(),
+            "340282366920938463463374607431768211456");
+}
+
+TEST(BigUintTest, MultiplicationLarge) {
+  // (2^64)^2 = 2^128.
+  BigUint x = BigUint::PowerOfTwo(64);
+  EXPECT_EQ(x * x, BigUint::PowerOfTwo(128));
+  // Factorial of 25 exceeds 2^64.
+  BigUint fact(1);
+  for (uint64_t i = 2; i <= 25; ++i) fact *= BigUint(i);
+  EXPECT_EQ(fact.ToString(), "15511210043330985984000000");
+}
+
+TEST(BigUintTest, Subtraction) {
+  BigUint x = BigUint::PowerOfTwo(64);
+  EXPECT_EQ((x - BigUint(1)).ToString(), "18446744073709551615");
+  EXPECT_EQ(x - x, BigUint(0));
+}
+
+TEST(BigUintTest, Comparisons) {
+  EXPECT_LT(BigUint(3), BigUint(4));
+  EXPECT_GT(BigUint::PowerOfTwo(70), BigUint(~0ull));
+  EXPECT_LE(BigUint(4), BigUint(4));
+  EXPECT_NE(BigUint(0), BigUint(1));
+}
+
+TEST(BigUintTest, ToDoubleLarge) {
+  EXPECT_NEAR(BigUint::PowerOfTwo(100).ToDouble(), std::pow(2.0, 100), 1e15);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(13), 13u);
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  auto parts = SplitWhitespace("  a b\t c \n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, SplitChar) {
+  auto parts = SplitChar("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringsTest, StripAndJoin) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+}  // namespace
+}  // namespace tbc

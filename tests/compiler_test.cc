@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "base/random.h"
+#include "compiler/ddnnf_compiler.h"
+#include "compiler/model_counter.h"
+#include "nnf/properties.h"
+#include "nnf/queries.h"
+
+namespace tbc {
+namespace {
+
+Cnf RandomCnf(size_t n, size_t m, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  Cnf cnf(n);
+  for (size_t i = 0; i < m; ++i) {
+    std::set<Var> vars;
+    while (vars.size() < k) vars.insert(static_cast<Var>(rng.Below(n)));
+    Clause c;
+    for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+    cnf.AddClause(c);
+  }
+  return cnf;
+}
+
+TEST(DdnnfCompilerTest, TrivialInputs) {
+  NnfManager m;
+  DdnnfCompiler compiler;
+  Cnf empty(3);
+  EXPECT_EQ(compiler.Compile(empty, m), m.True());
+  Cnf contradiction(2);
+  contradiction.AddClauseDimacs({1});
+  contradiction.AddClauseDimacs({-1});
+  EXPECT_EQ(compiler.Compile(contradiction, m), m.False());
+  Cnf unit(2);
+  unit.AddClauseDimacs({-2});
+  NnfId f = compiler.Compile(unit, m);
+  EXPECT_EQ(f, m.Literal(Neg(1)));
+}
+
+TEST(DdnnfCompilerTest, OutputIsDecisionDnnf) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Cnf cnf = RandomCnf(10, 26, 3, seed);
+    NnfManager m;
+    DdnnfCompiler compiler;
+    NnfId root = compiler.Compile(cnf, m);
+    EXPECT_TRUE(IsDecomposable(m, root)) << "seed " << seed;
+    EXPECT_TRUE(IsDeterministicExhaustive(m, root, 10)) << "seed " << seed;
+  }
+}
+
+TEST(DdnnfCompilerTest, CountsMatchBruteForce) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Cnf cnf = RandomCnf(11, 30, 3, seed + 300);
+    NnfManager m;
+    DdnnfCompiler compiler;
+    NnfId root = compiler.Compile(cnf, m);
+    EXPECT_EQ(ModelCount(m, root, 11).ToU64(), cnf.CountModelsBruteForce())
+        << "seed " << seed;
+  }
+}
+
+TEST(DdnnfCompilerTest, EquivalentToInputFormula) {
+  Cnf cnf = RandomCnf(9, 20, 3, 17);
+  NnfManager m;
+  DdnnfCompiler compiler;
+  NnfId root = compiler.Compile(cnf, m);
+  for (int bits = 0; bits < (1 << 9); ++bits) {
+    Assignment a(9);
+    for (Var v = 0; v < 9; ++v) a[v] = (bits >> v) & 1;
+    ASSERT_EQ(m.Evaluate(root, a), cnf.Evaluate(a));
+  }
+}
+
+TEST(DdnnfCompilerTest, AblationsPreserveCorrectness) {
+  for (uint64_t seed = 40; seed < 48; ++seed) {
+    Cnf cnf = RandomCnf(10, 24, 3, seed);
+    const uint64_t expected = cnf.CountModelsBruteForce();
+    for (bool comps : {false, true}) {
+      for (bool cache : {false, true}) {
+        NnfManager m;
+        DdnnfCompiler compiler({.use_components = comps, .use_cache = cache});
+        NnfId root = compiler.Compile(cnf, m);
+        ASSERT_EQ(ModelCount(m, root, 10).ToU64(), expected)
+            << "seed " << seed << " comps " << comps << " cache " << cache;
+      }
+    }
+  }
+}
+
+TEST(DdnnfCompilerTest, ComponentsAndCacheReduceWork) {
+  // Two independent subformulas: decomposition should fire, and caching
+  // should hit on repeated components.
+  Cnf cnf(16);
+  Rng rng(3);
+  for (int half = 0; half < 2; ++half) {
+    for (int i = 0; i < 18; ++i) {
+      std::set<Var> vars;
+      while (vars.size() < 3) {
+        vars.insert(static_cast<Var>(8 * half + rng.Below(8)));
+      }
+      Clause c;
+      for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+      cnf.AddClause(c);
+    }
+  }
+  NnfManager m1, m2;
+  DdnnfCompiler with({.use_components = true, .use_cache = true});
+  DdnnfCompiler without({.use_components = false, .use_cache = false});
+  NnfId r1 = with.Compile(cnf, m1);
+  NnfId r2 = without.Compile(cnf, m2);
+  EXPECT_EQ(ModelCount(m1, r1, 16), ModelCount(m2, r2, 16));
+  EXPECT_GT(with.stats().components_split, 0u);
+  EXPECT_LE(with.stats().decisions, without.stats().decisions);
+}
+
+TEST(ModelCounterTest, MatchesBruteForce) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Cnf cnf = RandomCnf(12, 34, 3, seed + 900);
+    ModelCounter counter;
+    EXPECT_EQ(counter.Count(cnf).ToU64(), cnf.CountModelsBruteForce())
+        << "seed " << seed;
+  }
+}
+
+TEST(ModelCounterTest, FreeVariablesAndEmptyCnf) {
+  Cnf cnf(5);
+  cnf.AddClauseDimacs({1, 2});
+  ModelCounter counter;
+  EXPECT_EQ(counter.Count(cnf), BigUint(3 * 8));
+  Cnf empty(20);
+  EXPECT_EQ(counter.Count(empty), BigUint::PowerOfTwo(20));
+}
+
+TEST(ModelCounterTest, LargeStructuredInstance) {
+  // Chain of implications x0 -> x1 -> ... -> x39: models are the 41
+  // monotone step patterns... for implications models = prefixes of 0s then
+  // 1s? x_i -> x_{i+1}: models are exactly the up-sets: 41 models.
+  Cnf cnf(40);
+  for (int i = 0; i < 39; ++i) cnf.AddClauseDimacs({-(i + 1), i + 2});
+  ModelCounter counter;
+  EXPECT_EQ(counter.Count(cnf), BigUint(41));
+}
+
+TEST(ModelCounterTest, WmcMatchesBruteForce) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Cnf cnf = RandomCnf(9, 20, 3, seed + 100);
+    WeightMap w(9);
+    Rng rng(seed);
+    for (Var v = 0; v < 9; ++v) {
+      double p = rng.Uniform();
+      w.Set(Pos(v), p);
+      w.Set(Neg(v), 1.0 - p);
+    }
+    double brute = 0.0;
+    for (int bits = 0; bits < (1 << 9); ++bits) {
+      Assignment a(9);
+      for (Var v = 0; v < 9; ++v) a[v] = (bits >> v) & 1;
+      if (!cnf.Evaluate(a)) continue;
+      double term = 1.0;
+      for (Var v = 0; v < 9; ++v) term *= w[Lit(v, a[v])];
+      brute += term;
+    }
+    ModelCounter counter;
+    EXPECT_NEAR(counter.Wmc(cnf, w), brute, 1e-10) << "seed " << seed;
+  }
+}
+
+TEST(ModelCounterTest, WmcWithUnitWeightsEqualsCount) {
+  Cnf cnf = RandomCnf(10, 25, 3, 555);
+  ModelCounter counter;
+  WeightMap w(10);
+  EXPECT_NEAR(counter.Wmc(cnf, w), counter.Count(cnf).ToDouble(), 1e-6);
+}
+
+TEST(ModelCounterTest, CounterAgreesWithCompilerTrace) {
+  // The paper's point: a model counter's trace is a d-DNNF; both paths
+  // must agree on every instance.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Cnf cnf = RandomCnf(13, 36, 3, seed + 2000);
+    ModelCounter counter;
+    NnfManager m;
+    DdnnfCompiler compiler;
+    NnfId root = compiler.Compile(cnf, m);
+    EXPECT_EQ(counter.Count(cnf), ModelCount(m, root, 13)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tbc

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/random.h"
+#include "core/kc_map.h"
+#include "core/solvers.h"
+
+namespace tbc {
+namespace {
+
+Cnf RandomCnf(size_t n, size_t m, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  Cnf cnf(n);
+  for (size_t i = 0; i < m; ++i) {
+    std::set<Var> vars;
+    while (vars.size() < k) vars.insert(static_cast<Var>(rng.Below(n)));
+    Clause c;
+    for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+    cnf.AddClause(c);
+  }
+  return cnf;
+}
+
+// Brute-force E-MAJSAT / MAJMAJSAT oracles.
+uint64_t BruteMaxCountOverY(const Cnf& cnf, const std::vector<Var>& y_vars) {
+  std::vector<Var> z_vars;
+  for (Var v = 0; v < cnf.num_vars(); ++v) {
+    bool in_y = false;
+    for (Var y : y_vars) in_y |= y == v;
+    if (!in_y) z_vars.push_back(v);
+  }
+  uint64_t best = 0;
+  for (uint64_t yb = 0; yb < (1ull << y_vars.size()); ++yb) {
+    uint64_t count = 0;
+    for (uint64_t zb = 0; zb < (1ull << z_vars.size()); ++zb) {
+      Assignment a(cnf.num_vars());
+      for (size_t i = 0; i < y_vars.size(); ++i) a[y_vars[i]] = (yb >> i) & 1;
+      for (size_t i = 0; i < z_vars.size(); ++i) a[z_vars[i]] = (zb >> i) & 1;
+      count += cnf.Evaluate(a);
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+TEST(CircuitSolversTest, SatAndCount) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Cnf cnf = RandomCnf(10, 28, 3, seed);
+    const uint64_t brute = cnf.CountModelsBruteForce();
+    EXPECT_EQ(CircuitSolvers::DecideSat(cnf), brute > 0) << seed;
+    EXPECT_EQ(CircuitSolvers::CountSat(cnf).ToU64(), brute) << seed;
+    EXPECT_EQ(CircuitSolvers::DecideMajSat(cnf), 2 * brute > 1024) << seed;
+  }
+}
+
+TEST(CircuitSolversTest, WeightedModelCount) {
+  Cnf cnf = RandomCnf(8, 18, 3, 3);
+  WeightMap w(8);
+  Rng rng(3);
+  for (Var v = 0; v < 8; ++v) {
+    const double p = rng.Uniform();
+    w.Set(Pos(v), p);
+    w.Set(Neg(v), 1 - p);
+  }
+  double brute = 0.0;
+  for (int bits = 0; bits < 256; ++bits) {
+    Assignment a(8);
+    for (Var v = 0; v < 8; ++v) a[v] = (bits >> v) & 1;
+    if (!cnf.Evaluate(a)) continue;
+    double term = 1.0;
+    for (Var v = 0; v < 8; ++v) term *= w[Lit(v, a[v])];
+    brute += term;
+  }
+  EXPECT_NEAR(CircuitSolvers::WeightedModelCount(cnf, w), brute, 1e-10);
+}
+
+TEST(CircuitSolversTest, EMajSatMatchesBruteForce) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Cnf cnf = RandomCnf(9, 20, 3, seed + 30);
+    const std::vector<Var> y = {0, 2, 5};
+    const uint64_t brute = BruteMaxCountOverY(cnf, y);
+    EXPECT_EQ(CircuitSolvers::MaxCountOverY(cnf, y).ToU64(), brute)
+        << "seed " << seed;
+    EXPECT_EQ(CircuitSolvers::DecideEMajSat(cnf, y), 2 * brute > (1u << 6))
+        << "seed " << seed;
+  }
+}
+
+TEST(CircuitSolversTest, MajMajSatMatchesBruteForce) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Cnf cnf = RandomCnf(9, 18, 3, seed + 80);
+    const std::vector<Var> y = {1, 4, 7};
+    // Brute force.
+    uint64_t majority_y = 0;
+    for (uint64_t yb = 0; yb < 8; ++yb) {
+      uint64_t count = 0;
+      for (int bits = 0; bits < (1 << 9); ++bits) {
+        Assignment a(9);
+        for (Var v = 0; v < 9; ++v) a[v] = (bits >> v) & 1;
+        bool match = true;
+        for (size_t i = 0; i < y.size(); ++i) {
+          match &= a[y[i]] == (((yb >> i) & 1) != 0);
+        }
+        if (match && cnf.Evaluate(a)) ++count;
+      }
+      if (2 * count > (1u << 6)) ++majority_y;
+    }
+    EXPECT_EQ(CircuitSolvers::DecideMajMajSat(cnf, y), 2 * majority_y > 8)
+        << "seed " << seed;
+  }
+}
+
+TEST(KcMapTest, QuerySupportMatchesPaperClaims) {
+  using kc::Language;
+  using kc::Query;
+  // §3: "satisfiability of DNNF circuits can be decided in time linear".
+  EXPECT_TRUE(kc::SupportsQuery(Language::kDnnf, Query::kConsistency));
+  // NNF alone is intractable.
+  EXPECT_FALSE(kc::SupportsQuery(Language::kNnf, Query::kConsistency));
+  // §3: d-DNNF unlocks counting (PP).
+  EXPECT_TRUE(kc::SupportsQuery(Language::kDDnnf, Query::kModelCount));
+  EXPECT_FALSE(kc::SupportsQuery(Language::kDnnf, Query::kModelCount));
+  // SDDs are canonical -> equivalence check.
+  EXPECT_TRUE(kc::SupportsQuery(Language::kSdd, Query::kEquivalence));
+  EXPECT_FALSE(kc::SupportsQuery(Language::kDDnnf, Query::kEquivalence));
+}
+
+TEST(KcMapTest, TransformationSupportMatchesPaperClaims) {
+  using kc::Language;
+  using kc::Transformation;
+  // §3: "SDDs support polytime conjunction and disjunction ... negated in
+  // linear time"; general DNNF circuits cannot be conjoined in polytime.
+  EXPECT_TRUE(kc::SupportsTransformation(Language::kSdd,
+                                         Transformation::kConjoinBounded));
+  EXPECT_TRUE(kc::SupportsTransformation(Language::kSdd,
+                                         Transformation::kDisjoinBounded));
+  EXPECT_TRUE(kc::SupportsTransformation(Language::kSdd, Transformation::kNegate));
+  EXPECT_FALSE(kc::SupportsTransformation(Language::kDnnf,
+                                          Transformation::kConjoinBounded));
+  // Everything supports conditioning.
+  for (kc::Language lang : kc::AllLanguages()) {
+    EXPECT_TRUE(kc::SupportsTransformation(lang, Transformation::kCondition));
+  }
+}
+
+TEST(KcMapTest, CheapestLanguageRespectsSuccinctnessChain) {
+  using kc::Language;
+  using kc::Query;
+  EXPECT_EQ(kc::CheapestLanguageFor({}), Language::kNnf);
+  EXPECT_EQ(kc::CheapestLanguageFor({Query::kConsistency}), Language::kDnnf);
+  EXPECT_EQ(kc::CheapestLanguageFor({Query::kModelCount}), Language::kDDnnf);
+  EXPECT_EQ(kc::CheapestLanguageFor({Query::kEquivalence}), Language::kSdd);
+  EXPECT_EQ(kc::CheapestLanguageFor({Query::kSentenceEntail}), Language::kObdd);
+}
+
+TEST(KcMapTest, NamesAreStable) {
+  EXPECT_EQ(kc::ToString(kc::Language::kDecisionDnnf), "Decision-DNNF");
+  EXPECT_EQ(kc::ToString(kc::Query::kModelCount), "CT");
+  EXPECT_EQ(kc::ToString(kc::Transformation::kSingletonForget), "SFO");
+}
+
+}  // namespace
+}  // namespace tbc

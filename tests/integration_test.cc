@@ -1,0 +1,152 @@
+// End-to-end pipelines across the three roles: the scenarios a downstream
+// user strings together, exercised with assertions at every hand-off.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.h"
+#include "bayes/circuit_inference.h"
+#include "bayes/network.h"
+#include "psdd/learn.h"
+#include "sdd/compile.h"
+#include "spaces/graph.h"
+#include "spaces/routes.h"
+#include "vtree/vtree.h"
+#include "xai/explain.h"
+#include "xai/naive_bayes.h"
+#include "xai/robustness.h"
+
+namespace tbc {
+namespace {
+
+TEST(IntegrationTest, BayesNetToClassifierToExplanation) {
+  // Role 1 -> Role 3: a Bayesian network generates labeled data; a naive
+  // Bayes classifier is fit on it; the classifier is compiled and its
+  // decisions are explained and checked for bias.
+  BayesianNetwork net;
+  const BnVar disease = net.AddBinary("disease", {}, {0.3});
+  net.AddBinary("t1", {disease}, {0.1, 0.9});
+  net.AddBinary("t2", {disease}, {0.2, 0.8});
+  net.AddBinary("noise", {}, {0.5});  // independent of the disease
+
+  Rng rng(4);
+  std::vector<Assignment> features;
+  std::vector<bool> labels;
+  for (int i = 0; i < 3000; ++i) {
+    const BnInstantiation x = net.Sample(rng);
+    features.push_back({x[1] == 1, x[2] == 1, x[3] == 1});
+    labels.push_back(x[disease] == 1);
+  }
+  auto nb = NaiveBayesClassifier::Fit(features, labels, 0.5, 1.0);
+
+  ObddManager mgr(Vtree::IdentityOrder(3));
+  const ObddId odd = nb.CompileToOdd(mgr);
+  // Compilation is exact.
+  for (int bits = 0; bits < 8; ++bits) {
+    Assignment e = {(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0};
+    ASSERT_EQ(mgr.Evaluate(odd, e), nb.Classify(e));
+  }
+  // Both tests positive -> diseased; the decision must not hinge on the
+  // noise feature (a finite-sample classifier may retain a sliver of
+  // noise dependence elsewhere, but not on this clear-cut instance).
+  const Assignment both = {true, true, false};
+  EXPECT_TRUE(mgr.Evaluate(odd, both));
+  EXPECT_FALSE(IsDecisionBiased(mgr, odd, both, {2}));
+  const auto reasons = SufficientReasons(mgr, odd, both);
+  EXPECT_FALSE(reasons.empty());
+  bool some_reason_avoids_noise = false;
+  for (const Term& r : reasons) {
+    bool uses_noise = false;
+    for (Lit l : r) uses_noise |= l.var() == 2;
+    some_reason_avoids_noise |= !uses_noise;
+  }
+  EXPECT_TRUE(some_reason_avoids_noise);
+  // Decision robustness is finite and ≤ 2 (flipping both tests flips it).
+  const size_t rob = DecisionRobustness(mgr, odd, both);
+  EXPECT_LE(rob, 3u);
+  EXPECT_GE(rob, 1u);
+}
+
+TEST(IntegrationTest, CircuitBayesMatchesSampledFrequencies) {
+  // Role 1 loop closure: compiled-circuit marginals ≈ forward-sampling
+  // frequencies from the same network.
+  BayesianNetwork net = BayesianNetwork::RandomBinary(5, 2, 77);
+  CompiledBayesNet circuit(net);
+  Rng rng(9);
+  std::vector<double> freq(5, 0.0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const BnInstantiation x = net.Sample(rng);
+    for (BnVar v = 0; v < 5; ++v) freq[v] += x[v] == 1 ? 1.0 / n : 0.0;
+  }
+  const BnInstantiation none(5, kUnobserved);
+  for (BnVar v = 0; v < 5; ++v) {
+    EXPECT_NEAR(circuit.Marginal(v, 1, none), freq[v], 0.015) << "var " << v;
+  }
+}
+
+TEST(IntegrationTest, RoutePsddRoundTripThroughSerialization) {
+  // Role 2 persistence: learn a route distribution, persist parameters,
+  // reload into a fresh PSDD over the same base, and keep predicting.
+  Graph grid = Graph::Grid(3, 3);
+  RouteSpace space(grid, 0, 8);
+  Rng rng(15);
+  std::vector<Assignment> gps;
+  const Assignment favorite = space.RandomRoute(rng);
+  for (int i = 0; i < 120; ++i) {
+    gps.push_back(i % 3 == 0 ? space.RandomRoute(rng) : favorite);
+  }
+  Psdd trained = space.MakePsdd();
+  trained.LearnParameters(gps, {}, 0.2);
+  const std::string snapshot = trained.SerializeParameters();
+
+  Psdd restored = space.MakePsdd();
+  ASSERT_TRUE(restored.LoadParameters(snapshot).ok());
+  EXPECT_NEAR(restored.Probability(favorite), trained.Probability(favorite),
+              1e-15);
+  EXPECT_NEAR(restored.KlDivergence(trained), 0.0, 1e-14);
+  // The restored model still samples valid routes.
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_TRUE(grid.IsSimplePath(restored.Sample(rng), 0, 8));
+  }
+}
+
+TEST(IntegrationTest, KnowledgePlusDataBeatsDataAloneOffDistribution) {
+  // The representational claim of Role 2 (paper §4): symbolic knowledge
+  // "eliminates situations that are impossible", so a knowledge-aware
+  // model assigns zero mass off the constraint even with little data,
+  // while an unconstrained model leaks probability there.
+  Cnf constraint(4);
+  constraint.AddClauseDimacs({4, 3});
+  constraint.AddClauseDimacs({-1, 4});
+  constraint.AddClauseDimacs({-2, 1, 3});
+  SddManager with_knowledge(Vtree::Balanced({2, 1, 3, 0}));
+  const SddId base = CompileCnf(with_knowledge, constraint);
+  SddManager without_knowledge(Vtree::Balanced({2, 1, 3, 0}));
+
+  // Tiny dataset: 6 valid examples.
+  std::vector<Assignment> data = {
+      {false, false, true, false}, {false, false, false, true},
+      {true, false, false, true},  {false, true, true, true},
+      {false, false, true, true},  {true, true, true, true}};
+  Psdd knowledge_model(with_knowledge, base);
+  knowledge_model.LearnParameters(data, {}, 1.0);  // smoothed, small data
+  Psdd data_only(without_knowledge, without_knowledge.True());
+  data_only.LearnParameters(data, {}, 1.0);
+
+  double leaked = 0.0;
+  for (int bits = 0; bits < 16; ++bits) {
+    Assignment x(4);
+    for (Var v = 0; v < 4; ++v) x[v] = (bits >> v) & 1;
+    const bool valid = constraint.Evaluate(x);
+    if (!valid) {
+      EXPECT_EQ(knowledge_model.Probability(x), 0.0);
+      leaked += data_only.Probability(x);
+    }
+  }
+  EXPECT_GT(leaked, 0.05);  // the unconstrained model wastes real mass
+}
+
+}  // namespace
+}  // namespace tbc

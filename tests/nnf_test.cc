@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "base/random.h"
+#include "nnf/io.h"
+#include "nnf/nnf.h"
+#include "nnf/properties.h"
+#include "nnf/queries.h"
+
+namespace tbc {
+namespace {
+
+// Builds the paper's running-example d-DNNF over variables A=0, K=1, L=2,
+// P=3 (Figures 5-9 and 13): the compilation of the course constraint
+// (P∨L) ∧ (A⇒P) ∧ (K⇒(A∨L)), which has 9 of 16 satisfying inputs.
+// Structure follows Fig 9: a multiplexer with primes over {L,K} and subs
+// over {P,A}, per the vtree ((L K) (P A)) of Fig 10(a).
+NnfId BuildPaperCircuit(NnfManager& m) {
+  const Var kA = 0, kK = 1, kL = 2, kP = 3;
+  NnfId a = m.Literal(Pos(kA)), na = m.Literal(Neg(kA));
+  NnfId k = m.Literal(Pos(kK)), nk = m.Literal(Neg(kK));
+  NnfId l = m.Literal(Pos(kL)), nl = m.Literal(Neg(kL));
+  NnfId p = m.Literal(Pos(kP)), np = m.Literal(Neg(kP));
+
+  // Primes over {L, K}: L (smoothed), ¬L∧K, ¬L∧¬K.
+  NnfId p1 = m.And(l, m.Or(k, nk));
+  NnfId p2 = m.And(nl, k);
+  NnfId p3 = m.And(nl, nk);
+  // Subs over {P, A}: A⇒P (smoothed), A∧P, P (smoothed).
+  NnfId s1 = m.Or(m.And(a, p), m.And(na, m.Or(p, np)));
+  NnfId s2 = m.And(a, p);
+  NnfId s3 = m.And(p, m.Or(a, na));
+
+  return m.Or({m.And(p1, s1), m.And(p2, s2), m.And(p3, s3)});
+}
+
+// Brute-force count of (P∨L) ∧ (A⇒P) ∧ (K⇒(A∨L)).
+int PaperCircuitBruteCount() {
+  int count = 0;
+  for (int bits = 0; bits < 16; ++bits) {
+    bool a = bits & 1, k = bits & 2, l = bits & 4, p = bits & 8;
+    bool f = (p || l) && (!a || p) && (!k || a || l);
+    count += f;
+  }
+  return count;
+}
+
+TEST(NnfManagerTest, ConstantsAndSimplification) {
+  NnfManager m;
+  EXPECT_EQ(m.And(m.True(), m.False()), m.False());
+  EXPECT_EQ(m.Or(m.True(), m.False()), m.True());
+  NnfId x = m.Literal(Pos(0));
+  EXPECT_EQ(m.And(x, m.True()), x);
+  EXPECT_EQ(m.Or(x, m.False()), x);
+  EXPECT_EQ(m.And(x, x), x);
+  // Or(x, ~x) must NOT simplify: it is a smoothing gate.
+  NnfId nx = m.Literal(Neg(0));
+  NnfId triv = m.Or(x, nx);
+  EXPECT_NE(triv, m.True());
+  EXPECT_EQ(m.kind(triv), NnfManager::Kind::kOr);
+}
+
+TEST(NnfManagerTest, HashConsing) {
+  NnfManager m;
+  NnfId x = m.Literal(Pos(0)), y = m.Literal(Pos(1));
+  EXPECT_EQ(m.And(x, y), m.And(y, x));
+  EXPECT_EQ(m.Literal(Pos(0)), x);
+}
+
+TEST(NnfManagerTest, DecisionGate) {
+  NnfManager m;
+  NnfId hi = m.Literal(Pos(1)), lo = m.Literal(Neg(1));
+  NnfId d = m.Decision(0, hi, lo);  // x0 ? x1 : ~x1  == (x0 <-> x1)... no:
+  // d = (x0∧x1) ∨ (¬x0∧¬x1), which is x0 <-> x1.
+  EXPECT_TRUE(m.Evaluate(d, {true, true}));
+  EXPECT_TRUE(m.Evaluate(d, {false, false}));
+  EXPECT_FALSE(m.Evaluate(d, {true, false}));
+  EXPECT_EQ(m.Decision(0, hi, hi), hi);  // redundant decision collapses
+}
+
+TEST(NnfManagerTest, EvaluateAndCircuitSize) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  EXPECT_GT(m.CircuitSize(root), 10u);
+  // Spot-check a few inputs. Vars: A=0,K=1,L=2,P=3.
+  EXPECT_TRUE(m.Evaluate(root, {false, false, true, false}));   // L only
+  EXPECT_TRUE(m.Evaluate(root, {false, false, false, true}));   // P only
+  EXPECT_FALSE(m.Evaluate(root, {false, false, false, false}));
+  EXPECT_FALSE(m.Evaluate(root, {true, true, true, false}));    // A without P
+}
+
+TEST(NnfManagerTest, VarSets) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  EXPECT_EQ(m.NumVarsBelow(root), 4u);
+  NnfId x = m.Literal(Pos(2));
+  EXPECT_EQ(m.NumVarsBelow(x), 1u);
+}
+
+TEST(NnfPropertiesTest, PaperCircuitIsDecomposableDeterministicSmooth) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  EXPECT_TRUE(IsDecomposable(m, root));
+  EXPECT_TRUE(IsSmooth(m, root));
+  EXPECT_TRUE(IsDeterministicExhaustive(m, root, 4));
+}
+
+TEST(NnfPropertiesTest, DetectsNonDecomposable) {
+  NnfManager m;
+  NnfId bad = m.And(m.Literal(Pos(0)), m.Or(m.Literal(Neg(0)), m.Literal(Pos(1))));
+  EXPECT_FALSE(IsDecomposable(m, bad));
+}
+
+TEST(NnfPropertiesTest, DetectsNonDeterministic) {
+  NnfManager m;
+  NnfId bad = m.Or(m.Literal(Pos(0)), m.Literal(Pos(1)));  // both high at 11
+  EXPECT_FALSE(IsDeterministicExhaustive(m, bad, 2));
+}
+
+TEST(NnfPropertiesTest, SmoothingEnforcesSmoothness) {
+  NnfManager m;
+  // Non-smooth deterministic DNNF: x0 ∨ (¬x0 ∧ x1).
+  NnfId f = m.Or(m.Literal(Pos(0)), m.And(m.Literal(Neg(0)), m.Literal(Pos(1))));
+  EXPECT_FALSE(IsSmooth(m, f));
+  NnfId s = Smooth(m, f, 2);
+  EXPECT_TRUE(IsSmooth(m, s));
+  EXPECT_TRUE(IsDecomposable(m, s));
+  EXPECT_TRUE(IsDeterministicExhaustive(m, s, 2));
+  // Equivalent: same models.
+  for (int bits = 0; bits < 4; ++bits) {
+    Assignment a = {(bits & 1) != 0, (bits & 2) != 0};
+    EXPECT_EQ(m.Evaluate(f, a), m.Evaluate(s, a));
+  }
+}
+
+TEST(NnfPropertiesTest, DecisionProperty) {
+  NnfManager m;
+  NnfId d = m.Decision(0, m.Literal(Pos(1)), m.Literal(Neg(1)));
+  EXPECT_TRUE(IsDecision(m, d));
+  NnfId not_decision = m.Or(m.And(m.Literal(Pos(0)), m.Literal(Pos(1))),
+                            m.And(m.Literal(Pos(2)), m.Literal(Pos(3))));
+  EXPECT_FALSE(IsDecision(m, not_decision));
+}
+
+TEST(NnfQueriesTest, SatDnnf) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  EXPECT_TRUE(IsSatDnnf(m, root));
+  EXPECT_FALSE(IsSatDnnf(m, m.False()));
+  NnfId contradiction = m.And(m.Literal(Pos(0)), m.False());
+  EXPECT_FALSE(IsSatDnnf(m, contradiction));
+}
+
+TEST(NnfQueriesTest, ModelCountMatchesPaperFigure8) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  // Figure 8: the circuit has 9 satisfying inputs out of 16.
+  EXPECT_EQ(ModelCount(m, root, 4), BigUint(9));
+  EXPECT_EQ(PaperCircuitBruteCount(), 9);
+}
+
+TEST(NnfQueriesTest, ModelCountWithGapFactors) {
+  NnfManager m;
+  // Non-smooth: x0 ∨ (¬x0 ∧ x1) has 3 models over 2 vars, 6 over 3 vars.
+  NnfId f = m.Or(m.Literal(Pos(0)), m.And(m.Literal(Neg(0)), m.Literal(Pos(1))));
+  EXPECT_EQ(ModelCount(m, f, 2), BigUint(3));
+  EXPECT_EQ(ModelCount(m, f, 3), BigUint(6));
+}
+
+TEST(NnfQueriesTest, WmcUniformEqualsCount) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  WeightMap w(4);  // all ones
+  EXPECT_DOUBLE_EQ(Wmc(m, root, w), 9.0);
+  // Halving both literals of a variable halves the WMC.
+  w.Set(Pos(0), 0.5);
+  w.Set(Neg(0), 0.5);
+  EXPECT_DOUBLE_EQ(Wmc(m, root, w), 4.5);
+}
+
+TEST(NnfQueriesTest, WmcMatchesBruteForce) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  WeightMap w(4);
+  w.Set(Pos(0), 0.3);
+  w.Set(Neg(0), 0.7);
+  w.Set(Pos(1), 2.0);
+  w.Set(Neg(1), 0.25);
+  w.Set(Pos(3), 0.9);
+  w.Set(Neg(3), 0.1);
+  double brute = 0.0;
+  for (int bits = 0; bits < 16; ++bits) {
+    Assignment asg = {(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
+                      (bits & 8) != 0};
+    if (!m.Evaluate(root, asg)) continue;
+    double term = 1.0;
+    for (Var v = 0; v < 4; ++v) term *= w[Lit(v, asg[v])];
+    brute += term;
+  }
+  EXPECT_NEAR(Wmc(m, root, w), brute, 1e-12);
+}
+
+TEST(NnfQueriesTest, MarginalWmcMatchesConditionedWmc) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  WeightMap w(4);
+  w.Set(Pos(0), 0.6);
+  w.Set(Neg(0), 0.4);
+  w.Set(Pos(2), 1.5);
+  std::vector<double> marg = MarginalWmc(m, root, w);
+  for (Var v = 0; v < 4; ++v) {
+    for (bool sign : {true, false}) {
+      const Lit l(v, sign);
+      NnfId cond = m.Condition(root, l);
+      // WMC(Δ|l) * W(l) over remaining vars equals WMC(Δ ∧ l) except that
+      // Wmc() multiplies the free var v by (W(v)+W(¬v)); compute directly.
+      double brute = 0.0;
+      for (int bits = 0; bits < 16; ++bits) {
+        Assignment asg = {(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
+                          (bits & 8) != 0};
+        if (!Eval(l, asg) || !m.Evaluate(root, asg)) continue;
+        double term = 1.0;
+        for (Var u = 0; u < 4; ++u) term *= w[Lit(u, asg[u])];
+        brute += term;
+      }
+      EXPECT_NEAR(marg[l.code()], brute, 1e-12)
+          << "literal " << l.ToDimacs();
+      (void)cond;
+    }
+  }
+}
+
+TEST(NnfQueriesTest, MinCardinality) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  // Minimum positive literals among the 9 models: ¬L ∧ P ∧ ¬A ∧ (K free->0)
+  // gives exactly one positive literal (P).
+  EXPECT_EQ(MinCardinality(m, root), 1u);
+  EXPECT_EQ(MinCardinality(m, m.False()), SIZE_MAX);
+  EXPECT_EQ(MinCardinality(m, m.True()), 0u);
+}
+
+TEST(NnfQueriesTest, MaxWmcFindsMpe) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  WeightMap w(4);
+  w.Set(Pos(0), 0.9);
+  w.Set(Neg(0), 0.1);
+  w.Set(Pos(1), 0.2);
+  w.Set(Neg(1), 0.8);
+  w.Set(Pos(2), 0.7);
+  w.Set(Neg(2), 0.3);
+  w.Set(Pos(3), 0.6);
+  w.Set(Neg(3), 0.4);
+  MpeResult mpe = MaxWmc(m, root, w, 4);
+  // Brute-force the maximum.
+  double best = -1.0;
+  for (int bits = 0; bits < 16; ++bits) {
+    Assignment asg = {(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
+                      (bits & 8) != 0};
+    if (!m.Evaluate(root, asg)) continue;
+    double term = 1.0;
+    for (Var v = 0; v < 4; ++v) term *= w[Lit(v, asg[v])];
+    best = std::max(best, term);
+  }
+  EXPECT_NEAR(mpe.weight, best, 1e-12);
+  EXPECT_TRUE(m.Evaluate(root, mpe.assignment));
+}
+
+TEST(NnfQueriesTest, ConditionRestrictsModels) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  NnfId cond = m.Condition(root, Pos(2));  // L = true
+  // f|L = (A⇒P), K free: 6 models over {A,K,P}; L becomes free in the
+  // conditioned circuit, so over 4 variables the count doubles to 12.
+  EXPECT_EQ(ModelCount(m, cond, 4), BigUint(12));
+  // f|¬L = (K⇒A) ∧ (A⇒P) ∧ P = (K∧A∧P) ∨ (¬K∧P): 3 over {A,K,P} -> 6.
+  NnfId cond2 = m.Condition(root, Neg(2));
+  EXPECT_EQ(ModelCount(m, cond2, 4), BigUint(6));
+}
+
+TEST(NnfQueriesTest, EnumerateModelsMatchesEvaluate) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  std::set<Assignment> models;
+  EnumerateModelsDnnf(m, root, 4, [&](const Assignment& a) {
+    EXPECT_TRUE(m.Evaluate(root, a));
+    models.insert(a);
+  });
+  EXPECT_EQ(models.size(), 9u);
+}
+
+TEST(NnfIoTest, RoundTrip) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  std::string text = WriteNnf(m, root, 4);
+  NnfManager m2;
+  auto parsed = ReadNnf(m2, text);
+  ASSERT_TRUE(parsed.ok());
+  NnfId root2 = parsed.value();
+  for (int bits = 0; bits < 16; ++bits) {
+    Assignment a = {(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
+                    (bits & 8) != 0};
+    EXPECT_EQ(m.Evaluate(root, a), m2.Evaluate(root2, a));
+  }
+  EXPECT_EQ(ModelCount(m2, root2, 4), BigUint(9));
+}
+
+TEST(NnfIoTest, ParseErrors) {
+  NnfManager m;
+  EXPECT_FALSE(ReadNnf(m, "").ok());
+  EXPECT_FALSE(ReadNnf(m, "L 1\n").ok());                  // missing header
+  EXPECT_FALSE(ReadNnf(m, "nnf 1 0 1\nA 2 0 1\n").ok());   // forward ref
+  EXPECT_FALSE(ReadNnf(m, "nnf 1 0 1\nZ\n").ok());         // unknown line
+}
+
+TEST(NnfQueriesTest, UniformSamplingMatchesDistribution) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  Rng rng(77);
+  std::map<Assignment, int> counts;
+  const int trials = 18000;
+  for (int i = 0; i < trials; ++i) {
+    Assignment x = SampleModelDnnf(m, root, 4, rng);
+    EXPECT_TRUE(m.Evaluate(root, x));
+    ++counts[x];
+  }
+  EXPECT_EQ(counts.size(), 9u);  // all models eventually drawn
+  for (const auto& [x, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 1.0 / 9.0, 0.015);
+  }
+}
+
+TEST(NnfQueriesTest, SamplingWithNonSmoothCircuit) {
+  NnfManager m;
+  // x0 ∨ (¬x0 ∧ x1): 3 models over 2 vars; x0 branch has a free x1.
+  NnfId f = m.Or(m.Literal(Pos(0)), m.And(m.Literal(Neg(0)), m.Literal(Pos(1))));
+  Rng rng(3);
+  std::map<Assignment, int> counts;
+  for (int i = 0; i < 9000; ++i) ++counts[SampleModelDnnf(m, f, 2, rng)];
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [x, c] : counts) {
+    EXPECT_NEAR(c / 9000.0, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(NnfQueriesTest, ClausalEntailment) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);  // (P∨L) ∧ (A⇒P) ∧ (K⇒(A∨L))
+  // Every original clause is entailed.
+  EXPECT_TRUE(EntailsClause(m, root, {Pos(3), Pos(2)}));          // P ∨ L
+  EXPECT_TRUE(EntailsClause(m, root, {Neg(0), Pos(3)}));          // A ⇒ P
+  EXPECT_TRUE(EntailsClause(m, root, {Neg(1), Pos(0), Pos(2)}));  // K⇒(A∨L)
+  // Weaker clauses too; unrelated ones are not.
+  EXPECT_TRUE(EntailsClause(m, root, {Pos(3), Pos(2), Pos(1)}));
+  EXPECT_FALSE(EntailsClause(m, root, {Pos(0)}));
+  EXPECT_FALSE(EntailsClause(m, root, {Neg(3)}));
+}
+
+TEST(NnfQueriesTest, ForgetMatchesExistentialQuantification) {
+  NnfManager m;
+  NnfId root = BuildPaperCircuit(m);
+  // ∃A. f : an assignment over {K,L,P} is a model iff some extension is.
+  NnfId forgotten = Forget(m, root, {0});
+  for (int bits = 0; bits < 8; ++bits) {
+    Assignment klp = {false, (bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0};
+    bool expect = false;
+    for (bool a : {false, true}) {
+      Assignment full = klp;
+      full[0] = a;
+      expect |= m.Evaluate(root, full);
+    }
+    ASSERT_EQ(m.Evaluate(forgotten, klp), expect) << bits;
+  }
+  // Forgetting everything yields a satisfiable circuit equivalent to ⊤.
+  NnfId all_forgotten = Forget(m, root, {0, 1, 2, 3});
+  EXPECT_TRUE(IsSatDnnf(m, all_forgotten));
+  EXPECT_TRUE(m.Evaluate(all_forgotten, {false, false, false, false}));
+}
+
+TEST(NnfIoTest, ConstantsRoundTrip) {
+  NnfManager m;
+  std::string t = WriteNnf(m, m.True(), 0);
+  NnfManager m2;
+  auto r = ReadNnf(m2, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), m2.True());
+}
+
+}  // namespace
+}  // namespace tbc

@@ -1,0 +1,168 @@
+// Parameterized PSDD property suite: over random constraints, vtree
+// shapes and datasets, the PSDD invariants of paper §4 must hold —
+// normalization over the base, zero off the base, consistency of the
+// evidence/marginal/MPE/sampling/multiply machinery with brute force.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "base/random.h"
+#include "psdd/psdd.h"
+#include "sdd/compile.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+namespace {
+
+constexpr size_t kVars = 6;
+
+// Parameter: (seed, vtree shape 0..2).
+using PsddParam = std::tuple<uint64_t, int>;
+
+class PsddPropertyTest : public ::testing::TestWithParam<PsddParam> {
+ protected:
+  void SetUp() override {
+    const auto [seed, shape] = GetParam();
+    Rng rng(seed * 131 + 7);
+    // Random satisfiable CNF constraint.
+    Cnf cnf(kVars);
+    for (int tries = 0;; ++tries) {
+      Cnf candidate(kVars);
+      for (int i = 0; i < 8; ++i) {
+        std::set<Var> vars;
+        while (vars.size() < 3) vars.insert(static_cast<Var>(rng.Below(kVars)));
+        Clause c;
+        for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+        candidate.AddClause(c);
+      }
+      if (candidate.CountModelsBruteForce() > 0) {
+        cnf = candidate;
+        break;
+      }
+      ASSERT_LT(tries, 50);
+    }
+    constraint_ = cnf;
+    Rng vrng(seed + 1);
+    Vtree vt = shape == 0   ? Vtree::Balanced(Vtree::IdentityOrder(kVars))
+               : shape == 1 ? Vtree::RightLinear(Vtree::IdentityOrder(kVars))
+                            : Vtree::Random(Vtree::IdentityOrder(kVars), vrng);
+    mgr_ = std::make_unique<SddManager>(std::move(vt));
+    base_ = CompileCnf(*mgr_, constraint_);
+
+    // Learn from data sampled uniformly from the base.
+    psdd_ = std::make_unique<Psdd>(*mgr_, base_);
+    std::vector<Assignment> data;
+    Rng drng(seed + 2);
+    for (int i = 0; i < 80; ++i) data.push_back(psdd_->Sample(drng));
+    psdd_->LearnParameters(data, {}, 0.3);
+  }
+
+  Cnf constraint_{0};
+  std::unique_ptr<SddManager> mgr_;
+  SddId base_ = 0;
+  std::unique_ptr<Psdd> psdd_;
+};
+
+TEST_P(PsddPropertyTest, NormalizedOverBaseZeroOffBase) {
+  double total = 0.0;
+  for (int bits = 0; bits < (1 << kVars); ++bits) {
+    Assignment x(kVars);
+    for (Var v = 0; v < kVars; ++v) x[v] = (bits >> v) & 1;
+    const double p = psdd_->Probability(x);
+    if (!mgr_->Evaluate(base_, x)) {
+      ASSERT_EQ(p, 0.0);
+    } else {
+      ASSERT_GE(p, 0.0);
+    }
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(PsddPropertyTest, EvidenceMatchesSummation) {
+  Rng rng(std::get<0>(GetParam()) + 9);
+  for (int trial = 0; trial < 5; ++trial) {
+    PsddEvidence e(kVars, Obs::kUnknown);
+    for (Var v = 0; v < kVars; ++v) {
+      if (rng.Flip(0.4)) e[v] = rng.Flip(0.5) ? Obs::kTrue : Obs::kFalse;
+    }
+    double sum = 0.0;
+    for (int bits = 0; bits < (1 << kVars); ++bits) {
+      Assignment x(kVars);
+      bool match = true;
+      for (Var v = 0; v < kVars; ++v) {
+        x[v] = (bits >> v) & 1;
+        if (e[v] != Obs::kUnknown && (e[v] == Obs::kTrue) != x[v]) match = false;
+      }
+      if (match) sum += psdd_->Probability(x);
+    }
+    ASSERT_NEAR(psdd_->ProbabilityEvidence(e), sum, 1e-10) << "trial " << trial;
+  }
+}
+
+TEST_P(PsddPropertyTest, MarginalsMatchPerVariableEvidence) {
+  PsddEvidence none(kVars, Obs::kUnknown);
+  const std::vector<double> marg = psdd_->Marginals(none, /*normalized=*/true);
+  for (Var v = 0; v < kVars; ++v) {
+    PsddEvidence e(kVars, Obs::kUnknown);
+    e[v] = Obs::kTrue;
+    ASSERT_NEAR(marg[v], psdd_->ProbabilityEvidence(e), 1e-10) << "var " << v;
+  }
+}
+
+TEST_P(PsddPropertyTest, MpeIsTheArgmax) {
+  PsddEvidence none(kVars, Obs::kUnknown);
+  const auto mpe = psdd_->MostProbable(none);
+  double best = 0.0;
+  for (int bits = 0; bits < (1 << kVars); ++bits) {
+    Assignment x(kVars);
+    for (Var v = 0; v < kVars; ++v) x[v] = (bits >> v) & 1;
+    best = std::max(best, psdd_->Probability(x));
+  }
+  EXPECT_NEAR(mpe.probability, best, 1e-12);
+  EXPECT_NEAR(psdd_->Probability(mpe.assignment), best, 1e-12);
+}
+
+TEST_P(PsddPropertyTest, SamplesStayInBase) {
+  Rng rng(std::get<0>(GetParam()) + 77);
+  for (int i = 0; i < 50; ++i) {
+    const Assignment x = psdd_->Sample(rng);
+    ASSERT_TRUE(mgr_->Evaluate(base_, x));
+  }
+}
+
+TEST_P(PsddPropertyTest, SelfMultiplyIsSquaredRenormalized) {
+  double z = 0.0;
+  const Psdd squared = psdd_->Multiply(*psdd_, &z);
+  double z_brute = 0.0;
+  for (int bits = 0; bits < (1 << kVars); ++bits) {
+    Assignment x(kVars);
+    for (Var v = 0; v < kVars; ++v) x[v] = (bits >> v) & 1;
+    const double p = psdd_->Probability(x);
+    z_brute += p * p;
+  }
+  EXPECT_NEAR(z, z_brute, 1e-10);
+  for (int bits = 0; bits < (1 << kVars); ++bits) {
+    Assignment x(kVars);
+    for (Var v = 0; v < kVars; ++v) x[v] = (bits >> v) & 1;
+    const double p = psdd_->Probability(x);
+    ASSERT_NEAR(squared.Probability(x), p * p / z, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstraintSweep, PsddPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),  // seeds
+                       ::testing::Values(0, 1, 2)),       // vtree shapes
+    [](const ::testing::TestParamInfo<PsddParam>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_shape" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tbc

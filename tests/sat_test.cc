@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/random.h"
+#include "logic/cnf.h"
+#include "sat/enumerate.h"
+#include "sat/solver.h"
+
+namespace tbc {
+namespace {
+
+// Generates a random k-CNF over n variables with m clauses.
+Cnf RandomCnf(size_t n, size_t m, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  Cnf cnf(n);
+  for (size_t i = 0; i < m; ++i) {
+    std::set<Var> vars;
+    while (vars.size() < k) vars.insert(static_cast<Var>(rng.Below(n)));
+    Clause c;
+    for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+    cnf.AddClause(c);
+  }
+  return cnf;
+}
+
+TEST(SatSolverTest, TrivialCases) {
+  {
+    SatSolver s;  // empty CNF is satisfiable
+    EXPECT_EQ(s.Solve(), SatSolver::Outcome::kSat);
+  }
+  {
+    SatSolver s;
+    s.AddClause({Pos(0)});
+    s.AddClause({Neg(0)});
+    EXPECT_EQ(s.Solve(), SatSolver::Outcome::kUnsat);
+  }
+  {
+    SatSolver s;
+    s.AddClause({Pos(0), Pos(1)});
+    EXPECT_EQ(s.Solve(), SatSolver::Outcome::kSat);
+    EXPECT_TRUE(s.model()[0] || s.model()[1]);
+  }
+}
+
+TEST(SatSolverTest, UnitPropagationChain) {
+  SatSolver s;
+  // x0, x0->x1, x1->x2, x2->x3.
+  s.AddClause({Pos(0)});
+  s.AddClause({Neg(0), Pos(1)});
+  s.AddClause({Neg(1), Pos(2)});
+  s.AddClause({Neg(2), Pos(3)});
+  ASSERT_EQ(s.Solve(), SatSolver::Outcome::kSat);
+  for (Var v = 0; v < 4; ++v) EXPECT_TRUE(s.model()[v]);
+}
+
+TEST(SatSolverTest, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes: classic small UNSAT instance requiring real search.
+  const int pigeons = 4, holes = 3;
+  SatSolver s;
+  auto var = [&](int p, int h) { return static_cast<Var>(p * holes + h); };
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) c.push_back(Pos(var(p, h)));
+    s.AddClause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.AddClause({Neg(var(p1, h)), Neg(var(p2, h))});
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve(), SatSolver::Outcome::kUnsat);
+}
+
+TEST(SatSolverTest, ModelsSatisfyFormula) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Cnf cnf = RandomCnf(12, 40, 3, seed);
+    SatSolver s;
+    s.AddCnf(cnf);
+    if (s.Solve() == SatSolver::Outcome::kSat) {
+      EXPECT_TRUE(cnf.Evaluate(s.model())) << "seed " << seed;
+    } else {
+      EXPECT_EQ(cnf.CountModelsBruteForce(), 0u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SatSolverTest, AgreesWithBruteForceOnSatisfiability) {
+  for (uint64_t seed = 100; seed < 160; ++seed) {
+    Cnf cnf = RandomCnf(10, 44, 3, seed);  // near phase transition
+    bool brute = cnf.CountModelsBruteForce() > 0;
+    EXPECT_EQ(IsSatisfiable(cnf), brute) << "seed " << seed;
+  }
+}
+
+TEST(SatSolverTest, Assumptions) {
+  SatSolver s;
+  s.AddClause({Pos(0), Pos(1)});
+  s.AddClause({Neg(0), Pos(2)});
+  EXPECT_EQ(s.SolveAssuming({Neg(2)}), SatSolver::Outcome::kSat);
+  // ~x2 forces ~x0 forces x1.
+  EXPECT_FALSE(s.model()[0]);
+  EXPECT_TRUE(s.model()[1]);
+  EXPECT_EQ(s.SolveAssuming({Neg(1), Neg(0)}), SatSolver::Outcome::kUnsat);
+  // Solver remains usable after assumption-unsat.
+  EXPECT_EQ(s.Solve(), SatSolver::Outcome::kSat);
+}
+
+TEST(SatSolverTest, SolveIsRepeatable) {
+  Cnf cnf = RandomCnf(15, 50, 3, 7);
+  SatSolver s;
+  s.AddCnf(cnf);
+  auto first = s.Solve();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(s.Solve(), first);
+}
+
+TEST(EnumerateTest, CountsMatchBruteForce) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Cnf cnf = RandomCnf(8, 20, 3, seed + 500);
+    EXPECT_EQ(CountModelsUpTo(cnf, 1u << 9), cnf.CountModelsBruteForce())
+        << "seed " << seed;
+  }
+}
+
+TEST(EnumerateTest, ModelsAreDistinctAndSatisfying) {
+  Cnf cnf = RandomCnf(8, 12, 3, 3);
+  std::set<Assignment> seen;
+  bool exhaustive = EnumerateModels(cnf, 1u << 9, [&](const Assignment& m) {
+    EXPECT_TRUE(cnf.Evaluate(m));
+    EXPECT_TRUE(seen.insert(m).second) << "duplicate model";
+  });
+  EXPECT_TRUE(exhaustive);
+  EXPECT_EQ(seen.size(), cnf.CountModelsBruteForce());
+}
+
+TEST(EnumerateTest, CapStopsEarly) {
+  Cnf free(5);  // 32 models
+  EXPECT_EQ(CountModelsUpTo(free, 10), 10u);
+}
+
+TEST(EquivalenceTest, DetectsEquivalentAndDifferent) {
+  Cnf a(2);
+  a.AddClauseDimacs({1, 2});
+  Cnf b(2);  // same formula written differently: (x1|x2)&(x1|x2|x2)
+  b.AddClauseDimacs({2, 1});
+  b.AddClauseDimacs({1, 2, 2});
+  EXPECT_TRUE(AreEquivalent(a, b));
+
+  Cnf c(2);
+  c.AddClauseDimacs({1});
+  EXPECT_FALSE(AreEquivalent(a, c));
+
+  Cnf empty(2);  // true
+  Cnf taut(2);
+  EXPECT_TRUE(AreEquivalent(empty, taut));
+  Cnf contradiction(2);
+  contradiction.AddClauseDimacs({1});
+  contradiction.AddClauseDimacs({-1});
+  EXPECT_FALSE(AreEquivalent(empty, contradiction));
+}
+
+}  // namespace
+}  // namespace tbc

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "base/random.h"
+#include "logic/formula.h"
+#include "nnf/properties.h"
+#include "nnf/queries.h"
+#include "sdd/compile.h"
+#include "sdd/io.h"
+#include "sdd/minimize.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+namespace {
+
+Cnf RandomCnf(size_t n, size_t m, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  Cnf cnf(n);
+  for (size_t i = 0; i < m; ++i) {
+    std::set<Var> vars;
+    while (vars.size() < k) vars.insert(static_cast<Var>(rng.Below(n)));
+    Clause c;
+    for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+    cnf.AddClause(c);
+  }
+  return cnf;
+}
+
+// The paper's course constraint: (P∨L) ∧ (A⇒P) ∧ (K⇒(A∨L)), with
+// A=0, K=1, L=2, P=3 (9 of 16 models; Figures 9 and 13).
+Cnf CourseConstraint() {
+  Cnf cnf(4);
+  cnf.AddClauseDimacs({4, 3});       // P ∨ L
+  cnf.AddClauseDimacs({-1, 4});      // A ⇒ P
+  cnf.AddClauseDimacs({-2, 1, 3});   // K ⇒ (A ∨ L)
+  return cnf;
+}
+
+// The paper's Fig 10(a) vtree over A,K,L,P: ((L K) (P A)).
+Vtree PaperVtree() { return Vtree::Balanced({2, 1, 3, 0}); }
+
+TEST(SddTest, ConstantsAndLiterals) {
+  SddManager m(Vtree::Balanced({0, 1, 2}));
+  EXPECT_EQ(m.Conjoin(m.True(), m.False()), m.False());
+  EXPECT_EQ(m.Disjoin(m.True(), m.False()), m.True());
+  SddId x = m.LiteralNode(Pos(0));
+  EXPECT_TRUE(m.IsLiteral(x));
+  EXPECT_EQ(m.Negate(x), m.LiteralNode(Neg(0)));
+  EXPECT_EQ(m.Negate(m.Negate(x)), x);
+  EXPECT_EQ(m.Conjoin(x, m.Negate(x)), m.False());
+  EXPECT_EQ(m.Disjoin(x, m.Negate(x)), m.True());
+}
+
+TEST(SddTest, ApplyMatchesSemantics) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Cnf cnf = RandomCnf(8, 18, 3, seed + 10);
+    SddManager m(Vtree::Balanced(Vtree::IdentityOrder(8)));
+    SddId f = CompileCnf(m, cnf);
+    for (int bits = 0; bits < 256; ++bits) {
+      Assignment a(8);
+      for (Var v = 0; v < 8; ++v) a[v] = (bits >> v) & 1;
+      ASSERT_EQ(m.Evaluate(f, a), cnf.Evaluate(a)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SddTest, CanonicityEquivalentFormulasSameNode) {
+  SddManager m(Vtree::Balanced({0, 1, 2, 3}));
+  // (x0 ∧ x1) ∨ (x0 ∧ x2) == x0 ∧ (x1 ∨ x2).
+  SddId a = m.Disjoin(m.Conjoin(m.LiteralNode(Pos(0)), m.LiteralNode(Pos(1))),
+                      m.Conjoin(m.LiteralNode(Pos(0)), m.LiteralNode(Pos(2))));
+  SddId b = m.Conjoin(m.LiteralNode(Pos(0)),
+                      m.Disjoin(m.LiteralNode(Pos(1)), m.LiteralNode(Pos(2))));
+  EXPECT_EQ(a, b);
+  // De Morgan.
+  SddId c = m.Negate(m.Conjoin(m.LiteralNode(Pos(0)), m.LiteralNode(Pos(3))));
+  SddId d = m.Disjoin(m.LiteralNode(Neg(0)), m.LiteralNode(Neg(3)));
+  EXPECT_EQ(c, d);
+}
+
+TEST(SddTest, CourseConstraintHasNineModels) {
+  SddManager m(PaperVtree());
+  SddId f = CompileCnf(m, CourseConstraint());
+  EXPECT_EQ(m.ModelCount(f), BigUint(9));
+  EXPECT_GT(m.Size(f), 0u);
+}
+
+TEST(SddTest, ModelCountMatchesBruteForceAcrossVtrees) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Cnf cnf = RandomCnf(9, 22, 3, seed + 70);
+    const uint64_t expected = cnf.CountModelsBruteForce();
+    for (int shape = 0; shape < 3; ++shape) {
+      Vtree vt = shape == 0   ? Vtree::Balanced(Vtree::IdentityOrder(9))
+                 : shape == 1 ? Vtree::RightLinear(Vtree::IdentityOrder(9))
+                              : Vtree::LeftLinear(Vtree::IdentityOrder(9));
+      SddManager m(std::move(vt));
+      SddId f = CompileCnf(m, cnf);
+      ASSERT_EQ(m.ModelCount(f).ToU64(), expected)
+          << "seed " << seed << " shape " << shape;
+    }
+  }
+}
+
+TEST(SddTest, ExportedNnfIsDecomposableAndDeterministic) {
+  Cnf cnf = RandomCnf(8, 16, 3, 42);
+  SddManager m(Vtree::Balanced(Vtree::IdentityOrder(8)));
+  SddId f = CompileCnf(m, cnf);
+  NnfManager nnf;
+  NnfId root = m.ToNnf(f, nnf);
+  EXPECT_TRUE(IsDecomposable(nnf, root));
+  EXPECT_TRUE(IsDeterministicExhaustive(nnf, root, 8));
+}
+
+TEST(SddTest, ConditionMatchesCnfCondition) {
+  Cnf cnf = RandomCnf(8, 16, 3, 21);
+  SddManager m(Vtree::Balanced(Vtree::IdentityOrder(8)));
+  SddId f = CompileCnf(m, cnf);
+  for (Var v = 0; v < 8; ++v) {
+    for (bool sign : {false, true}) {
+      const Lit l(v, sign);
+      SddId cond = m.Condition(f, l);
+      Cnf cnf_cond = cnf.Condition(l);
+      for (int bits = 0; bits < 256; ++bits) {
+        Assignment a(8);
+        for (Var u = 0; u < 8; ++u) a[u] = (bits >> u) & 1;
+        ASSERT_EQ(m.Evaluate(cond, a), cnf_cond.Evaluate(a));
+      }
+    }
+  }
+}
+
+TEST(SddTest, ConditionThenDisjoinIsExists) {
+  SddManager m(Vtree::Balanced({0, 1, 2}));
+  SddId f = m.Conjoin(m.LiteralNode(Pos(0)), m.LiteralNode(Pos(1)));
+  EXPECT_EQ(m.Exists(f, 0), m.LiteralNode(Pos(1)));
+  EXPECT_EQ(m.Exists(m.Exists(f, 0), 1), m.True());
+}
+
+TEST(SddTest, WmcMatchesBruteForce) {
+  Cnf cnf = RandomCnf(7, 14, 3, 5);
+  SddManager m(Vtree::Balanced(Vtree::IdentityOrder(7)));
+  SddId f = CompileCnf(m, cnf);
+  WeightMap w(7);
+  Rng rng(11);
+  for (Var v = 0; v < 7; ++v) {
+    double p = rng.Uniform();
+    w.Set(Pos(v), p);
+    w.Set(Neg(v), 1.0 - p);
+  }
+  double brute = 0.0;
+  for (int bits = 0; bits < 128; ++bits) {
+    Assignment a(7);
+    for (Var v = 0; v < 7; ++v) a[v] = (bits >> v) & 1;
+    if (!cnf.Evaluate(a)) continue;
+    double term = 1.0;
+    for (Var v = 0; v < 7; ++v) term *= w[Lit(v, a[v])];
+    brute += term;
+  }
+  EXPECT_NEAR(m.Wmc(f, w), brute, 1e-12);
+}
+
+TEST(SddTest, RightLinearVtreeYieldsObddStructure) {
+  // With a right-linear vtree every decision node's primes are literals of
+  // a single variable (x, ¬x): the OBDD correspondence of Fig 10(c)/11.
+  Cnf cnf = RandomCnf(8, 16, 3, 31);
+  SddManager m(Vtree::RightLinear(Vtree::IdentityOrder(8)));
+  SddId f = CompileCnf(m, cnf);
+  std::set<SddId> seen;
+  std::vector<SddId> stack = {f};
+  while (!stack.empty()) {
+    SddId g = stack.back();
+    stack.pop_back();
+    if (!seen.insert(g).second || !m.IsDecision(g)) continue;
+    const auto& elems = m.elements(g);
+    EXPECT_LE(elems.size(), 2u);
+    for (const auto& [p, s] : elems) {
+      EXPECT_TRUE(m.IsLiteral(p) || m.IsConstant(p));
+      stack.push_back(s);
+    }
+  }
+}
+
+TEST(SddTest, CompileFormulaAgainstEvaluate) {
+  FormulaStore fs;
+  FormulaId a = fs.VarNode(0), b = fs.VarNode(1), c = fs.VarNode(2),
+            d = fs.VarNode(3);
+  FormulaId f = fs.Iff(fs.Xor(a, b), fs.Implies(c, d));
+  SddManager m(Vtree::Balanced({0, 1, 2, 3}));
+  SddId g = CompileFormula(m, fs, f);
+  for (int bits = 0; bits < 16; ++bits) {
+    Assignment asg(4);
+    for (Var v = 0; v < 4; ++v) asg[v] = (bits >> v) & 1;
+    EXPECT_EQ(m.Evaluate(g, asg), fs.Evaluate(f, asg));
+  }
+}
+
+TEST(SddTest, CubeAndClause) {
+  SddManager m(Vtree::Balanced({0, 1, 2}));
+  SddId cube = CompileCube(m, {Pos(0), Neg(2)});
+  EXPECT_EQ(m.ModelCount(cube), BigUint(2));
+  SddId clause = CompileClause(m, {Pos(0), Neg(2)});
+  EXPECT_EQ(m.ModelCount(clause), BigUint(6));
+  EXPECT_EQ(CompileClause(m, {}), m.False());
+  EXPECT_EQ(CompileCube(m, {}), m.True());
+}
+
+TEST(SddTest, SizeSensitiveToVtree) {
+  // (x0&x3) | (x1&x4) | (x2&x5): a vtree pairing (xi, xi+3) is much
+  // better than one separating the halves — the paper's point that SDD
+  // size ranges from linear to exponential with the vtree.
+  FormulaStore fs;
+  std::vector<FormulaId> terms;
+  for (Var i = 0; i < 3; ++i) {
+    terms.push_back(fs.And(fs.VarNode(i), fs.VarNode(i + 3)));
+  }
+  FormulaId f = fs.Or(terms);
+  SddManager good(Vtree::Balanced({0, 3, 1, 4, 2, 5}));
+  SddManager bad(Vtree::RightLinear({0, 1, 2, 3, 4, 5}));
+  SddId fg = CompileFormula(good, fs, f);
+  SddId fb = CompileFormula(bad, fs, f);
+  EXPECT_EQ(good.ModelCount(fg), bad.ModelCount(fb));
+  EXPECT_LT(good.Size(fg), bad.Size(fb));
+}
+
+TEST(SddTest, NegationIsInvolutionOnRandomFormulas) {
+  Cnf cnf = RandomCnf(8, 16, 3, 77);
+  SddManager m(Vtree::Balanced(Vtree::IdentityOrder(8)));
+  SddId f = CompileCnf(m, cnf);
+  SddId nf = m.Negate(f);
+  EXPECT_EQ(m.Negate(nf), f);
+  EXPECT_EQ(m.Conjoin(f, nf), m.False());
+  EXPECT_EQ(m.Disjoin(f, nf), m.True());
+  EXPECT_EQ((m.ModelCount(f) + m.ModelCount(nf)), BigUint(256));
+}
+
+TEST(SddTest, ApplyOnDifferentVtreeSubtrees) {
+  // Conjoin nodes living in disjoint subtrees (exercises the LCA path).
+  SddManager m(Vtree::Balanced({0, 1, 2, 3}));
+  SddId left = m.Conjoin(m.LiteralNode(Pos(0)), m.LiteralNode(Neg(1)));
+  SddId right = m.Disjoin(m.LiteralNode(Pos(2)), m.LiteralNode(Pos(3)));
+  SddId both = m.Conjoin(left, right);
+  EXPECT_EQ(m.ModelCount(both), BigUint(3));
+  SddId either = m.Disjoin(left, right);
+  EXPECT_EQ(m.ModelCount(either).ToU64(), 4u + 12u - 3u);
+}
+
+TEST(SddIoTest, RoundTripPreservesFunction) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Cnf cnf = RandomCnf(8, 18, 3, seed + 400);
+    SddManager m(Vtree::Balanced(Vtree::IdentityOrder(8)));
+    SddId f = CompileCnf(m, cnf);
+    const std::string text = WriteSdd(m, f);
+    auto parsed = ReadSdd(m, text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    // Canonicity: reading back into the same manager gives the same node.
+    EXPECT_EQ(parsed.value(), f) << "seed " << seed;
+  }
+}
+
+TEST(SddIoTest, RoundTripIntoFreshManager) {
+  Cnf cnf = RandomCnf(7, 16, 3, 77);
+  SddManager m1(Vtree::Balanced(Vtree::IdentityOrder(7)));
+  SddId f = CompileCnf(m1, cnf);
+  const std::string sdd_text = WriteSdd(m1, f);
+  const std::string vtree_text = m1.vtree().ToFileString();
+
+  auto vtree = Vtree::Parse(vtree_text);
+  ASSERT_TRUE(vtree.ok());
+  SddManager m2(std::move(vtree).value());
+  auto g = ReadSdd(m2, sdd_text);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(m2.ModelCount(g.value()).ToU64(), cnf.CountModelsBruteForce());
+  for (int bits = 0; bits < 128; ++bits) {
+    Assignment a(7);
+    for (Var v = 0; v < 7; ++v) a[v] = (bits >> v) & 1;
+    ASSERT_EQ(m2.Evaluate(g.value(), a), cnf.Evaluate(a));
+  }
+}
+
+TEST(SddIoTest, ConstantsAndErrors) {
+  SddManager m(Vtree::Balanced({0, 1}));
+  auto t = ReadSdd(m, WriteSdd(m, m.True()));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), m.True());
+  EXPECT_FALSE(ReadSdd(m, "").ok());
+  EXPECT_FALSE(ReadSdd(m, "L 0 0 1\n").ok());            // missing header
+  EXPECT_FALSE(ReadSdd(m, "sdd 1\nD 0 1 1 5 6\n").ok()); // forward refs
+  EXPECT_FALSE(ReadSdd(m, "sdd 1\nZ 0\n").ok());
+}
+
+TEST(SddMinimizeTest, VtreeOperationsPreserveVariables) {
+  Vtree t = Vtree::Balanced({0, 1, 2, 3, 4});
+  for (VtreeId v = 0; v < t.num_nodes(); ++v) {
+    for (Vtree changed : {RotateRight(t, v), RotateLeft(t, v), SwapChildren(t, v)}) {
+      std::vector<Var> below = changed.VarsBelow(changed.root());
+      std::sort(below.begin(), below.end());
+      EXPECT_EQ(below, Vtree::IdentityOrder(5));
+    }
+  }
+  // Concrete shapes.
+  Vtree b = Vtree::Balanced({0, 1, 2, 3});  // ((0 1) (2 3))
+  EXPECT_EQ(RotateRight(b, b.root()).ToString(), "(0 (1 (2 3)))");
+  EXPECT_EQ(RotateLeft(b, b.root()).ToString(), "(((0 1) 2) 3)");
+  EXPECT_EQ(SwapChildren(b, b.root()).ToString(), "((2 3) (0 1))");
+  // Rotations at leaves or with leaf pivot children are identity.
+  EXPECT_EQ(RotateRight(b, b.LeafOfVar(0)).ToString(), b.ToString());
+}
+
+TEST(SddMinimizeTest, SearchNeverIncreasesSizeAndPreservesSemantics) {
+  Cnf cnf = RandomCnf(10, 24, 3, 321);
+  const Vtree initial = Vtree::RightLinear(Vtree::IdentityOrder(10));
+  MinimizeResult r = MinimizeVtree(cnf, initial, /*budget=*/60, /*seed=*/5);
+  EXPECT_LE(r.size, r.initial_size);
+  EXPECT_EQ(r.iterations, 60u);
+  // The minimized vtree still compiles an equivalent function.
+  SddManager mgr(r.vtree);
+  const SddId f = CompileCnf(mgr, cnf);
+  EXPECT_EQ(mgr.ModelCount(f).ToU64(), cnf.CountModelsBruteForce());
+}
+
+TEST(SddMinimizeTest, FindsTheGoodVtreeForSeparableFunction) {
+  // XOR pairs across halves: x_i != x_{i+4} for i < 4. Under the
+  // right-linear identity vtree each pair spans the whole order (big SDD);
+  // vtrees pairing (x_i, x_{i+4}) are linear. Search must strictly improve.
+  Cnf cnf(8);
+  for (Var i = 0; i < 4; ++i) {
+    cnf.AddClause({Pos(i), Pos(i + 4)});
+    cnf.AddClause({Neg(i), Neg(i + 4)});
+  }
+  MinimizeResult r = MinimizeVtree(
+      cnf, Vtree::RightLinear(Vtree::IdentityOrder(8)), /*budget=*/200, 9);
+  EXPECT_LT(r.size, r.initial_size);
+  SddManager mgr(r.vtree);
+  EXPECT_EQ(mgr.ModelCount(CompileCnf(mgr, cnf)), BigUint(16));
+}
+
+TEST(SddTest, UnsatisfiableCnfCompilesToFalse) {
+  Cnf cnf(2);
+  cnf.AddClauseDimacs({1});
+  cnf.AddClauseDimacs({-1});
+  SddManager m(Vtree::Balanced({0, 1}));
+  EXPECT_EQ(CompileCnf(m, cnf), m.False());
+}
+
+}  // namespace
+}  // namespace tbc

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "psdd/learn.h"
+#include "spaces/graph.h"
+#include "spaces/hierarchical.h"
+#include "spaces/rankings.h"
+#include "spaces/routes.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+namespace {
+
+TEST(GraphTest, GridConstruction) {
+  Graph g = Graph::Grid(2, 3);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  // 2*(3-1) horizontal + 3*(2-1) vertical = 4 + 3.
+  EXPECT_EQ(g.num_edges(), 7u);
+}
+
+TEST(GraphTest, SimplePathOracles) {
+  Graph g = Graph::Grid(2, 2);
+  // Nodes 0 1 / 2 3; paths 0->3: (0-1-3) and (0-2-3).
+  EXPECT_EQ(g.CountSimplePaths(0, 3), 2u);
+  EXPECT_EQ(Graph::Grid(3, 3).CountSimplePaths(0, 8), 12u);
+
+  Assignment path(g.num_edges(), false);
+  // Edges of Grid(2,2), row-interleaved: 0:(0,1) 1:(0,2) 2:(1,3) 3:(2,3).
+  path[0] = path[2] = true;
+  EXPECT_TRUE(g.IsSimplePath(path, 0, 3));
+  path[1] = true;  // extra dangling edge
+  EXPECT_FALSE(g.IsSimplePath(path, 0, 3));
+}
+
+TEST(GraphTest, DisconnectedAssignmentRejected) {
+  // Fig 16's orange assignment: disconnected edges are not a route.
+  Graph g = Graph::Grid(3, 3);
+  Assignment bad(g.num_edges(), false);
+  bad[0] = true;                  // edge at top-left
+  bad[g.num_edges() - 1] = true;  // far-away edge
+  EXPECT_FALSE(g.IsSimplePath(bad, 0, 8));
+  EXPECT_FALSE(g.IsSimplePath(Assignment(g.num_edges(), false), 0, 8));
+}
+
+TEST(SimpathTest, ObddModelsAreExactlySimplePaths) {
+  for (auto [rows, cols] : {std::pair<size_t, size_t>{2, 2}, {2, 3}, {3, 3}}) {
+    Graph g = Graph::Grid(rows, cols);
+    const GraphNode s = 0, t = static_cast<GraphNode>(g.num_nodes() - 1);
+    ObddManager mgr(Vtree::IdentityOrder(g.num_edges()));
+    ObddId f = CompileSimplePaths(mgr, g, s, t);
+    EXPECT_EQ(mgr.ModelCount(f).ToU64(), g.CountSimplePaths(s, t))
+        << rows << "x" << cols;
+    // Every model is a simple path; checked exhaustively on the smaller
+    // grids via enumeration.
+    if (g.num_edges() <= 12) {
+      uint64_t models = 0;
+      mgr.EnumerateModels(f, [&](const Assignment& a) {
+        EXPECT_TRUE(g.IsSimplePath(a, s, t));
+        ++models;
+      });
+      EXPECT_EQ(models, g.CountSimplePaths(s, t));
+    }
+  }
+}
+
+TEST(SimpathTest, NonCornerTerminalsAndNoPath) {
+  Graph g = Graph::Grid(3, 3);
+  ObddManager mgr(Vtree::IdentityOrder(g.num_edges()));
+  // Center to edge-midpoint.
+  ObddId f = CompileSimplePaths(mgr, g, 4, 1);
+  EXPECT_EQ(mgr.ModelCount(f).ToU64(), g.CountSimplePaths(4, 1));
+
+  Graph disconnected(4);
+  disconnected.AddEdge(0, 1);
+  disconnected.AddEdge(2, 3);
+  ObddManager mgr2(Vtree::IdentityOrder(2));
+  EXPECT_EQ(CompileSimplePaths(mgr2, disconnected, 0, 3), mgr2.False());
+}
+
+TEST(SimpathTest, SingleEdgeAndTriangle) {
+  Graph single(2);
+  single.AddEdge(0, 1);
+  ObddManager m1(Vtree::IdentityOrder(1));
+  EXPECT_EQ(m1.ModelCount(CompileSimplePaths(m1, single, 0, 1)), BigUint(1));
+
+  Graph triangle(3);
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(0, 2);
+  ObddManager m2(Vtree::IdentityOrder(3));
+  // 0->2: direct, or via 1.
+  EXPECT_EQ(m2.ModelCount(CompileSimplePaths(m2, triangle, 0, 2)), BigUint(2));
+}
+
+TEST(RouteSpaceTest, PsddOverRoutesLearnsFromGpsData) {
+  Graph g = Graph::Grid(3, 3);
+  RouteSpace space(g, 0, 8);
+  EXPECT_EQ(space.NumRoutes(), 12u);
+
+  // Synthesize "GPS" data concentrated on two specific routes.
+  Rng rng(42);
+  std::vector<Assignment> routes;
+  g.EnumerateSimplePaths(0, 8, [&](const std::vector<uint32_t>& path) {
+    Assignment a(g.num_edges(), false);
+    for (uint32_t e : path) a[e] = true;
+    routes.push_back(a);
+  });
+  std::vector<Assignment> data;
+  for (int i = 0; i < 70; ++i) data.push_back(routes[0]);
+  for (int i = 0; i < 30; ++i) data.push_back(routes[1]);
+
+  Psdd psdd = space.MakePsdd();
+  psdd.LearnParameters(data, {}, 0.0);
+  // All probability mass on valid routes.
+  double mass = 0.0;
+  for (const Assignment& r : routes) mass += psdd.Probability(r);
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  // The trained routes dominate.
+  EXPECT_GT(psdd.Probability(routes[0]), psdd.Probability(routes[1]));
+  EXPECT_GT(psdd.Probability(routes[1]), psdd.Probability(routes[2]));
+  // Invalid edge sets have probability zero.
+  Assignment invalid(g.num_edges(), true);
+  EXPECT_EQ(psdd.Probability(invalid), 0.0);
+}
+
+TEST(RouteSpaceTest, RandomRouteIsValid) {
+  Graph g = Graph::Grid(3, 3);
+  RouteSpace space(g, 0, 8);
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(g.IsSimplePath(space.RandomRoute(rng), 0, 8));
+  }
+}
+
+TEST(RankingSpaceTest, CountsAreFactorials) {
+  EXPECT_EQ(RankingSpace(1).NumRankings(), 1u);
+  EXPECT_EQ(RankingSpace(2).NumRankings(), 2u);
+  EXPECT_EQ(RankingSpace(3).NumRankings(), 6u);
+  EXPECT_EQ(RankingSpace(4).NumRankings(), 24u);
+  EXPECT_EQ(RankingSpace(5).NumRankings(), 120u);
+}
+
+TEST(RankingSpaceTest, EncodeDecodeRoundTrip) {
+  RankingSpace space(4);
+  std::vector<uint32_t> perm = {2, 0, 3, 1};
+  Assignment x = space.Encode(perm);
+  EXPECT_TRUE(space.sdd().Evaluate(space.base(), x));
+  EXPECT_EQ(space.Decode(x), perm);
+  // Fig 17's invalid case: an item in two positions.
+  Assignment bad = x;
+  bad[space.VarOf(2, 1)] = true;
+  EXPECT_FALSE(space.sdd().Evaluate(space.base(), bad));
+}
+
+TEST(RankingSpaceTest, PsddLearnsPreferenceDistribution) {
+  RankingSpace space(3);
+  Rng rng(17);
+  const std::vector<uint32_t> center = {0, 1, 2};
+  std::vector<Assignment> data;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(space.Encode(space.SampleMallows(center, 0.3, rng)));
+  }
+  Psdd psdd = space.MakePsdd();
+  psdd.LearnParameters(data, {}, 0.5);
+  // The center ranking is most probable; reversal least probable.
+  const double p_center = psdd.Probability(space.Encode({0, 1, 2}));
+  const double p_reverse = psdd.Probability(space.Encode({2, 1, 0}));
+  EXPECT_GT(p_center, p_reverse);
+  // Distribution normalized over the 6 rankings.
+  double total = 0.0;
+  std::vector<uint32_t> perm = {0, 1, 2};
+  std::sort(perm.begin(), perm.end());
+  do {
+    total += psdd.Probability(space.Encode(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RankingSpaceTest, MallowsSamplerProperties) {
+  RankingSpace space(4);
+  Rng rng(3);
+  const std::vector<uint32_t> center = {3, 1, 0, 2};
+  // phi -> 0 concentrates on the center.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(space.SampleMallows(center, 1e-9, rng), center);
+  }
+  // Kendall tau: identity vs reversal of 4 items = 6.
+  EXPECT_EQ(RankingSpace::KendallTau({0, 1, 2, 3}, {3, 2, 1, 0}), 6u);
+  EXPECT_EQ(RankingSpace::KendallTau(center, center), 0u);
+}
+
+TEST(HierarchicalMapTest, RegionBookkeeping) {
+  HierarchicalMap map(4, 4, 2);
+  EXPECT_EQ(map.num_regions(), 4u);
+  EXPECT_EQ(map.RegionOf(0), 0u);
+  EXPECT_EQ(map.RegionOf(3), 1u);
+  EXPECT_EQ(map.RegionOf(15), 3u);
+  // 4x4 grid: 24 edges; each 2x2 region has 4 internal edges -> 16 local,
+  // 8 crossing.
+  EXPECT_EQ(map.CrossingEdges().size(), 8u);
+  size_t local = 0;
+  for (size_t r = 0; r < 4; ++r) local += map.LocalEdges(r).size();
+  EXPECT_EQ(local, 16u);
+  // Region 0 = nodes {0,1,4,5}; nodes 1, 4 and 5 touch crossing edges.
+  EXPECT_EQ(map.BoundaryVertices(0).size(), 3u);
+}
+
+TEST(HierarchicalMapTest, CompileStatsAreConsistent) {
+  HierarchicalMap map(4, 4, 2);
+  auto stats = map.Compile(0, 15);
+  EXPECT_GT(stats.flat_routes, 0u);
+  EXPECT_GT(stats.hier_routes, 0u);
+  // Hierarchical routes (region entered at most once) are a subset of all
+  // simple routes.
+  EXPECT_LE(stats.hier_routes, stats.flat_routes);
+  EXPECT_EQ(stats.hier_nodes, stats.top_level_nodes + stats.region_nodes);
+  EXPECT_GT(stats.top_level_nodes, 0u);
+}
+
+TEST(HierarchicalMapTest, HierarchicalCountMatchesRestrictedBruteForce) {
+  HierarchicalMap map(4, 4, 2);
+  const GraphNode s = 0, t = 15;
+  auto stats = map.Compile(s, t);
+  // Brute-force: count simple paths whose region sequence never revisits.
+  const Graph& g = map.grid();
+  uint64_t expected = 0;
+  g.EnumerateSimplePaths(s, t, [&](const std::vector<uint32_t>& path_edges) {
+    // Walk the path from s, tracking region changes.
+    Assignment on(g.num_edges(), false);
+    for (uint32_t e : path_edges) on[e] = true;
+    GraphNode cur = s;
+    uint32_t prev = static_cast<uint32_t>(-1);
+    std::vector<size_t> region_seq = {map.RegionOf(s)};
+    while (cur != t) {
+      for (uint32_t e : g.incident(cur)) {
+        if (on[e] && e != prev) {
+          cur = g.edge_u(e) == cur ? g.edge_v(e) : g.edge_u(e);
+          prev = e;
+          break;
+        }
+      }
+      if (map.RegionOf(cur) != region_seq.back()) {
+        region_seq.push_back(map.RegionOf(cur));
+      }
+    }
+    std::vector<size_t> sorted = region_seq;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end()) {
+      ++expected;
+    }
+  });
+  EXPECT_EQ(stats.hier_routes, expected);
+}
+
+}  // namespace
+}  // namespace tbc

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vtree/vtree.h"
+
+namespace tbc {
+namespace {
+
+TEST(VtreeTest, RightLinearShape) {
+  Vtree t = Vtree::RightLinear({0, 1, 2, 3});
+  EXPECT_EQ(t.ToString(), "(0 (1 (2 3)))");
+  EXPECT_EQ(t.num_vars(), 4u);
+  EXPECT_EQ(t.num_nodes(), 7u);
+  // Right-linear: every internal node's left child is a leaf.
+  for (VtreeId v = 0; v < t.num_nodes(); ++v) {
+    if (!t.IsLeaf(v)) {
+      EXPECT_TRUE(t.IsLeaf(t.left(v)));
+    }
+  }
+}
+
+TEST(VtreeTest, LeftLinearShape) {
+  Vtree t = Vtree::LeftLinear({0, 1, 2});
+  EXPECT_EQ(t.ToString(), "((0 1) 2)");
+}
+
+TEST(VtreeTest, BalancedShape) {
+  Vtree t = Vtree::Balanced({0, 1, 2, 3});
+  EXPECT_EQ(t.ToString(), "((0 1) (2 3))");
+  Vtree t5 = Vtree::Balanced({0, 1, 2, 3, 4});
+  EXPECT_EQ(t5.ToString(), "(((0 1) 2) (3 4))");
+}
+
+TEST(VtreeTest, SingleVariable) {
+  Vtree t = Vtree::Balanced({0});
+  EXPECT_EQ(t.ToString(), "0");
+  EXPECT_TRUE(t.IsLeaf(t.root()));
+}
+
+TEST(VtreeTest, ConstrainedPlacesBottomOnRightSpine) {
+  // Constrained vtree for bottom|top: Fig 10(b).
+  Vtree t = Vtree::Constrained({0, 1}, {2, 3});
+  EXPECT_EQ(t.ToString(), "(0 (1 (2 3)))");
+  // The node over {2,3} is reachable via right children only.
+  VtreeId u = t.right(t.right(t.root()));
+  std::vector<Var> below = t.VarsBelow(u);
+  std::sort(below.begin(), below.end());
+  EXPECT_EQ(below, (std::vector<Var>{2, 3}));
+}
+
+TEST(VtreeTest, PositionsAreInOrder) {
+  Vtree t = Vtree::Balanced({0, 1, 2, 3});
+  // In-order: 0, (01), 1, root, 2, (23), 3.
+  EXPECT_EQ(t.position(t.LeafOfVar(0)), 0u);
+  EXPECT_EQ(t.position(t.LeafOfVar(1)), 2u);
+  EXPECT_EQ(t.position(t.root()), 3u);
+  EXPECT_EQ(t.position(t.LeafOfVar(3)), 6u);
+}
+
+TEST(VtreeTest, AncestorAndLca) {
+  Vtree t = Vtree::Balanced({0, 1, 2, 3});
+  VtreeId l0 = t.LeafOfVar(0), l1 = t.LeafOfVar(1), l3 = t.LeafOfVar(3);
+  EXPECT_TRUE(t.IsAncestorOrSelf(t.root(), l0));
+  EXPECT_TRUE(t.IsAncestorOrSelf(l0, l0));
+  EXPECT_FALSE(t.IsAncestorOrSelf(l0, l1));
+  EXPECT_EQ(t.Lca(l0, l1), t.parent(l0));
+  EXPECT_EQ(t.Lca(l0, l3), t.root());
+  EXPECT_EQ(t.Lca(l0, l0), l0);
+}
+
+TEST(VtreeTest, VarsBelowAndCounts) {
+  Vtree t = Vtree::Balanced({0, 1, 2, 3, 4});
+  EXPECT_EQ(t.NumVarsBelow(t.root()), 5u);
+  std::vector<Var> all = t.VarsBelow(t.root());
+  EXPECT_EQ(all, (std::vector<Var>{0, 1, 2, 3, 4}));  // leaf order
+  EXPECT_EQ(t.NumVarsBelow(t.left(t.root())), 3u);
+}
+
+TEST(VtreeTest, DepthAndParents) {
+  Vtree t = Vtree::RightLinear({0, 1, 2});
+  EXPECT_EQ(t.Depth(t.root()), 0u);
+  EXPECT_EQ(t.Depth(t.LeafOfVar(0)), 1u);
+  EXPECT_EQ(t.Depth(t.LeafOfVar(2)), 2u);
+  EXPECT_EQ(t.parent(t.root()), kInvalidVtree);
+}
+
+TEST(VtreeTest, FileFormatRoundTrip) {
+  for (const Vtree& t :
+       {Vtree::Balanced({0, 1, 2, 3, 4}), Vtree::RightLinear({2, 0, 1}),
+        Vtree::Constrained({0, 1}, {2, 3, 4})}) {
+    auto parsed = Vtree::Parse(t.ToFileString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().ToString(), t.ToString());
+    EXPECT_EQ(parsed.value().num_vars(), t.num_vars());
+  }
+}
+
+TEST(VtreeTest, ParseErrors) {
+  EXPECT_FALSE(Vtree::Parse("").ok());
+  EXPECT_FALSE(Vtree::Parse("L 0 1\n").ok());                 // no header
+  EXPECT_FALSE(Vtree::Parse("vtree 3\nI 0 1 2\n").ok());      // forward ref
+  EXPECT_FALSE(Vtree::Parse("vtree 1\nL 0 0\n").ok());        // 0-based var
+  EXPECT_FALSE(Vtree::Parse("vtree 1\nX 0 1\n").ok());        // unknown line
+  // Comments are skipped.
+  auto ok = Vtree::Parse("c hello\nvtree 1\nL 0 3\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().ToString(), "2");
+}
+
+TEST(VtreeTest, RandomVtreesAreValid) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vtree t = Vtree::Random(Vtree::IdentityOrder(7), rng);
+    EXPECT_EQ(t.num_vars(), 7u);
+    EXPECT_EQ(t.num_nodes(), 13u);  // full binary tree: 2*7 - 1
+    std::vector<Var> below = t.VarsBelow(t.root());
+    std::sort(below.begin(), below.end());
+    EXPECT_EQ(below, Vtree::IdentityOrder(7));
+  }
+}
+
+TEST(VtreeTest, NonIdentityOrder) {
+  Vtree t = Vtree::RightLinear({2, 0, 1});
+  EXPECT_EQ(t.ToString(), "(2 (0 1))");
+  EXPECT_EQ(t.var(t.LeafOfVar(2)), 2u);
+  EXPECT_EQ(t.position(t.LeafOfVar(2)), 0u);
+}
+
+}  // namespace
+}  // namespace tbc
