@@ -208,12 +208,19 @@ bench/CMakeFiles/bench_fig18_hierarchical.dir/bench_fig18_hierarchical.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/base/bigint.h \
- /root/repo/src/logic/lit.h /root/repo/src/nnf/nnf.h \
- /root/repo/src/vtree/vtree.h /root/repo/src/sdd/compile.h \
- /root/repo/src/logic/cnf.h /root/repo/src/logic/formula.h \
- /root/repo/src/spaces/hierarchical.h /root/repo/src/spaces/graph.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/base/guard.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/logic/lit.h \
+ /root/repo/src/nnf/nnf.h /root/repo/src/vtree/vtree.h \
+ /root/repo/src/sdd/compile.h /root/repo/src/logic/cnf.h \
+ /root/repo/src/logic/formula.h /root/repo/src/spaces/hierarchical.h \
+ /root/repo/src/spaces/graph.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h

@@ -184,11 +184,33 @@ bench/CMakeFiles/bench_sec3_tractability.dir/bench_sec3_tractability.cc.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/base/random.h /root/repo/src/base/check.h \
- /root/repo/src/compiler/ddnnf_compiler.h /root/repo/src/logic/cnf.h \
- /root/repo/src/base/result.h /usr/include/c++/12/optional \
+ /root/repo/src/compiler/ddnnf_compiler.h /root/repo/src/base/guard.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/base/result.h \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/logic/lit.h /root/repo/src/nnf/nnf.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/logic/cnf.h /root/repo/src/logic/lit.h \
+ /root/repo/src/nnf/nnf.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/solvers.h \
  /root/repo/src/base/bigint.h /root/repo/src/nnf/queries.h \

@@ -198,14 +198,21 @@ examples/CMakeFiles/medical_diagnosis.dir/medical_diagnosis.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/bayes/network.h \
- /root/repo/src/base/random.h /root/repo/src/base/check.h \
- /root/repo/src/base/result.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/base/guard.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/base/result.h \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/bayes/wmc_encoding.h /root/repo/src/logic/cnf.h \
- /root/repo/src/logic/lit.h /root/repo/src/nnf/nnf.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/base/check.h /root/repo/src/bayes/network.h \
+ /root/repo/src/base/random.h /root/repo/src/bayes/wmc_encoding.h \
+ /root/repo/src/logic/cnf.h /root/repo/src/logic/lit.h \
+ /root/repo/src/nnf/nnf.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/dot.cc" "src/CMakeFiles/tbc_core.dir/core/dot.cc.o" "gcc" "src/CMakeFiles/tbc_core.dir/core/dot.cc.o.d"
   "/root/repo/src/core/kc_map.cc" "src/CMakeFiles/tbc_core.dir/core/kc_map.cc.o" "gcc" "src/CMakeFiles/tbc_core.dir/core/kc_map.cc.o.d"
+  "/root/repo/src/core/portfolio.cc" "src/CMakeFiles/tbc_core.dir/core/portfolio.cc.o" "gcc" "src/CMakeFiles/tbc_core.dir/core/portfolio.cc.o.d"
   "/root/repo/src/core/solvers.cc" "src/CMakeFiles/tbc_core.dir/core/solvers.cc.o" "gcc" "src/CMakeFiles/tbc_core.dir/core/solvers.cc.o.d"
   )
 

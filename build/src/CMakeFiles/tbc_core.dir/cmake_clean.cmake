@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/tbc_core.dir/core/dot.cc.o.d"
   "CMakeFiles/tbc_core.dir/core/kc_map.cc.o"
   "CMakeFiles/tbc_core.dir/core/kc_map.cc.o.d"
+  "CMakeFiles/tbc_core.dir/core/portfolio.cc.o"
+  "CMakeFiles/tbc_core.dir/core/portfolio.cc.o.d"
   "CMakeFiles/tbc_core.dir/core/solvers.cc.o"
   "CMakeFiles/tbc_core.dir/core/solvers.cc.o.d"
   "libtbc_core.a"

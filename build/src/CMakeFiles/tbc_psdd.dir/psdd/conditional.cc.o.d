@@ -208,5 +208,11 @@ src/CMakeFiles/tbc_psdd.dir/psdd/conditional.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/base/bigint.h \
- /root/repo/src/logic/lit.h /root/repo/src/nnf/nnf.h \
- /root/repo/src/vtree/vtree.h
+ /root/repo/src/base/guard.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/logic/lit.h \
+ /root/repo/src/nnf/nnf.h /root/repo/src/vtree/vtree.h

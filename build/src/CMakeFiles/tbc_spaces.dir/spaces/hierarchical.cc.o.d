@@ -223,4 +223,10 @@ src/CMakeFiles/tbc_spaces.dir/spaces/hierarchical.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/psdd/psdd.h \
  /root/repo/src/base/random.h /root/repo/src/sdd/sdd.h \
- /root/repo/src/vtree/vtree.h
+ /root/repo/src/base/guard.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/vtree/vtree.h

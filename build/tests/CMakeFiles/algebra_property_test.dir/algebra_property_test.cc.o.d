@@ -298,4 +298,6 @@ tests/CMakeFiles/algebra_property_test.dir/algebra_property_test.cc.o: \
  /root/repo/src/logic/cnf.h /root/repo/src/base/result.h \
  /root/repo/src/logic/lit.h /root/repo/src/logic/formula.h \
  /root/repo/src/nnf/nnf.h /root/repo/src/sdd/compile.h \
+ /root/repo/src/base/guard.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/sdd/sdd.h /root/repo/src/vtree/vtree.h

@@ -316,7 +316,9 @@ tests/CMakeFiles/bayes_test.dir/bayes_test.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/base/random.h \
  /root/repo/src/base/check.h /root/repo/src/bayes/circuit_inference.h \
- /root/repo/src/bayes/network.h /root/repo/src/base/result.h \
+ /root/repo/src/base/guard.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/base/result.h /root/repo/src/bayes/network.h \
  /root/repo/src/bayes/wmc_encoding.h /root/repo/src/logic/cnf.h \
  /root/repo/src/logic/lit.h /root/repo/src/nnf/nnf.h \
  /root/repo/src/bayes/jointree.h /root/repo/src/bayes/factor.h \

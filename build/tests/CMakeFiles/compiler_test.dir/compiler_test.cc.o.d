@@ -294,8 +294,10 @@ tests/CMakeFiles/compiler_test.dir/compiler_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/base/random.h /root/repo/src/base/check.h \
- /root/repo/src/compiler/ddnnf_compiler.h /root/repo/src/logic/cnf.h \
- /root/repo/src/base/result.h /root/repo/src/logic/lit.h \
+ /root/repo/src/compiler/ddnnf_compiler.h /root/repo/src/base/guard.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/base/result.h \
+ /root/repo/src/logic/cnf.h /root/repo/src/logic/lit.h \
  /root/repo/src/nnf/nnf.h /root/repo/src/compiler/model_counter.h \
  /root/repo/src/base/bigint.h /root/repo/src/nnf/properties.h \
  /root/repo/src/nnf/queries.h

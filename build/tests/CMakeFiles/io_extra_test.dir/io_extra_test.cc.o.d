@@ -296,6 +296,8 @@ tests/CMakeFiles/io_extra_test.dir/io_extra_test.cc.o: \
  /root/repo/src/bayes/io.h /root/repo/src/base/result.h \
  /root/repo/src/base/check.h /root/repo/src/bayes/network.h \
  /root/repo/src/base/random.h /root/repo/src/bayes/varelim.h \
+ /root/repo/src/base/guard.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/bayes/factor.h /root/repo/src/core/dot.h \
  /root/repo/src/nnf/nnf.h /root/repo/src/logic/lit.h \
  /root/repo/src/obdd/obdd.h /root/repo/src/base/bigint.h \

@@ -317,7 +317,9 @@ tests/CMakeFiles/psdd_property_test.dir/psdd_property_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/base/random.h \
  /root/repo/src/base/check.h /root/repo/src/psdd/psdd.h \
  /root/repo/src/base/result.h /root/repo/src/sdd/sdd.h \
- /root/repo/src/base/bigint.h /root/repo/src/logic/lit.h \
+ /root/repo/src/base/bigint.h /root/repo/src/base/guard.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/logic/lit.h \
  /root/repo/src/nnf/nnf.h /root/repo/src/vtree/vtree.h \
  /root/repo/src/sdd/compile.h /root/repo/src/logic/cnf.h \
  /root/repo/src/logic/formula.h

@@ -318,7 +318,9 @@ tests/CMakeFiles/psdd_test.dir/psdd_test.cc.o: \
  /root/repo/src/psdd/conditional.h /root/repo/src/psdd/psdd.h \
  /root/repo/src/base/random.h /root/repo/src/base/check.h \
  /root/repo/src/base/result.h /root/repo/src/sdd/sdd.h \
- /root/repo/src/base/bigint.h /root/repo/src/logic/lit.h \
+ /root/repo/src/base/bigint.h /root/repo/src/base/guard.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/logic/lit.h \
  /root/repo/src/nnf/nnf.h /root/repo/src/vtree/vtree.h \
  /root/repo/src/psdd/learn.h /root/repo/src/sdd/compile.h \
  /root/repo/src/logic/cnf.h /root/repo/src/logic/formula.h

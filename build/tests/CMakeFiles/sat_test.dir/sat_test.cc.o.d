@@ -296,4 +296,6 @@ tests/CMakeFiles/sat_test.dir/sat_test.cc.o: /root/repo/tests/sat_test.cc \
  /root/repo/src/base/random.h /root/repo/src/base/check.h \
  /root/repo/src/logic/cnf.h /root/repo/src/base/result.h \
  /root/repo/src/logic/lit.h /root/repo/src/sat/enumerate.h \
- /root/repo/src/sat/solver.h
+ /root/repo/src/sat/solver.h /root/repo/src/base/guard.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio

@@ -298,6 +298,8 @@ tests/CMakeFiles/sdd_test.dir/sdd_test.cc.o: /root/repo/tests/sdd_test.cc \
  /root/repo/src/base/result.h /root/repo/src/logic/lit.h \
  /root/repo/src/nnf/properties.h /root/repo/src/nnf/nnf.h \
  /root/repo/src/nnf/queries.h /root/repo/src/base/bigint.h \
- /root/repo/src/sdd/compile.h /root/repo/src/sdd/sdd.h \
+ /root/repo/src/sdd/compile.h /root/repo/src/base/guard.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/sdd/sdd.h \
  /root/repo/src/vtree/vtree.h /root/repo/src/sdd/io.h \
  /root/repo/src/sdd/minimize.h

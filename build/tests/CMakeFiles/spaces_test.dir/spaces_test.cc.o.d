@@ -298,8 +298,10 @@ tests/CMakeFiles/spaces_test.dir/spaces_test.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/psdd/learn.h \
+ /root/repo/src/base/guard.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/base/result.h /root/repo/src/base/check.h \
  /root/repo/src/psdd/psdd.h /root/repo/src/base/random.h \
- /root/repo/src/base/check.h /root/repo/src/base/result.h \
  /root/repo/src/sdd/sdd.h /root/repo/src/base/bigint.h \
  /root/repo/src/logic/lit.h /root/repo/src/nnf/nnf.h \
  /root/repo/src/vtree/vtree.h /root/repo/src/spaces/graph.h \

@@ -302,5 +302,7 @@ tests/CMakeFiles/xai_test.dir/xai_test.cc.o: /root/repo/tests/xai_test.cc \
  /root/repo/src/obdd/obdd.h /root/repo/src/base/bigint.h \
  /root/repo/src/logic/cnf.h /root/repo/src/logic/formula.h \
  /root/repo/src/nnf/nnf.h /root/repo/src/xai/compile.h \
+ /root/repo/src/base/guard.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/xai/decision_tree.h /root/repo/src/xai/explain.h \
  /root/repo/src/xai/naive_bayes.h /root/repo/src/xai/robustness.h

@@ -6,7 +6,12 @@
 // Usage:
 //   kc_cli FILE.cnf [--target=ddnnf|sdd|obdd] [--vtree=balanced|right|random]
 //          [--force-order] [--minimize=N] [--samples=N]
+//          [--timeout-ms=N] [--max-nodes=N]
 //          [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]
+//
+// With --timeout-ms/--max-nodes the compilation runs under a resource
+// guard; if the budget is exhausted the tool prints the typed refusal and
+// exits with code 3 (distinct from usage errors and bad input).
 
 #include <cstdio>
 #include <cstring>
@@ -14,6 +19,8 @@
 #include <sstream>
 #include <string>
 
+#include "base/guard.h"
+#include "base/strings.h"
 #include "base/timer.h"
 #include "compiler/ddnnf_compiler.h"
 #include "nnf/io.h"
@@ -68,6 +75,7 @@ int main(int argc, char** argv) {
         "usage: kc_cli FILE.cnf [--target=ddnnf|sdd|obdd]\n"
         "              [--vtree=balanced|right|random] [--force-order]\n"
         "              [--minimize=N] [--samples=N]\n"
+        "              [--timeout-ms=N] [--max-nodes=N]\n"
         "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n");
     return 2;
   }
@@ -94,11 +102,41 @@ int main(int argc, char** argv) {
                                ? ForceOrder(cnf, 20)
                                : Vtree::IdentityOrder(cnf.num_vars());
 
+  Budget budget;
+  if (const char* t = Arg(argc, argv, "--timeout-ms")) {
+    if (!ParseDouble(t, &budget.timeout_ms) || budget.timeout_ms < 0.0) {
+      std::fprintf(stderr, "kc_cli: --timeout-ms needs a number, got '%s'\n", t);
+      return 2;
+    }
+  }
+  if (const char* n = Arg(argc, argv, "--max-nodes")) {
+    if (!ParseUint64(n, &budget.max_nodes)) {
+      std::fprintf(stderr, "kc_cli: --max-nodes needs an integer, got '%s'\n", n);
+      return 2;
+    }
+  }
+  const bool governed = budget.timeout_ms > 0.0 || budget.max_nodes > 0;
+  Guard guard(budget);
+  // Typed refusal (deadline/budget): report and exit 3 so scripts can tell
+  // "ran out of resources" from "bad input" (1) and "bad usage" (2).
+  auto refuse = [](const Status& s) -> int {
+    std::fprintf(stderr, "kc_cli: refused [%s]: %s\n", StatusCodeName(s.code()),
+                 s.message().c_str());
+    return 3;
+  };
+
   Timer timer;
   if (target == "ddnnf") {
     NnfManager mgr;
     DdnnfCompiler compiler;
-    const NnfId root = compiler.Compile(cnf, mgr);
+    NnfId root = kInvalidNnf;
+    if (governed) {
+      auto compiled = compiler.CompileBounded(cnf, mgr, guard);
+      if (!compiled.ok()) return refuse(compiled.status());
+      root = *compiled;
+    } else {
+      root = compiler.Compile(cnf, mgr);
+    }
     std::printf("c compiled Decision-DNNF: %zu edges, %zu nodes in %.2f ms\n",
                 mgr.CircuitSize(root), mgr.NumNodesBelow(root), timer.Millis());
     std::printf("c decisions: %llu, cache hits: %llu\n",
@@ -127,15 +165,27 @@ int main(int argc, char** argv) {
     Vtree vt = shape == "right"    ? Vtree::RightLinear(order)
                : shape == "random" ? Vtree::Random(order, rng)
                                    : Vtree::Balanced(order);
-    if (const char* budget = Arg(argc, argv, "--minimize")) {
-      const MinimizeResult r =
-          MinimizeVtree(cnf, vt, std::strtoull(budget, nullptr, 10), 7);
+    if (const char* iters = Arg(argc, argv, "--minimize")) {
+      const MinimizeResult r = MinimizeVtree(
+          cnf, vt, std::strtoull(iters, nullptr, 10), 7, guard);
+      if (r.interrupted && r.size == 0) return refuse(r.interrupt_status);
+      if (r.interrupted) {
+        std::printf("c vtree search stopped early [%s]\n",
+                    StatusCodeName(r.interrupt_status.code()));
+      }
       std::printf("c vtree search: size %zu -> %zu in %zu iterations\n",
                   r.initial_size, r.size, r.iterations);
       vt = r.vtree;
     }
     SddManager mgr(vt);
-    const SddId f = CompileCnf(mgr, cnf);
+    SddId f = kInvalidSdd;
+    if (governed) {
+      auto compiled = CompileCnfBounded(mgr, cnf, guard);
+      if (!compiled.ok()) return refuse(compiled.status());
+      f = *compiled;
+    } else {
+      f = CompileCnf(mgr, cnf);
+    }
     std::printf("c compiled SDD: %zu elements, %zu decision nodes in %.2f ms\n",
                 mgr.Size(f), mgr.NumDecisionNodes(f), timer.Millis());
     std::printf("s %s\n", f != mgr.False() ? "SATISFIABLE" : "UNSATISFIABLE");
@@ -149,6 +199,10 @@ int main(int argc, char** argv) {
       std::printf("c wrote %s\n", out);
     }
   } else if (target == "obdd") {
+    if (governed) {
+      std::printf("c warning: --timeout-ms/--max-nodes are not yet wired "
+                  "into the OBDD compiler; running unbounded\n");
+    }
     ObddManager mgr(order);
     const ObddId f = mgr.CompileCnf(cnf);
     std::printf("c compiled OBDD: %zu nodes in %.2f ms\n", mgr.Size(f),

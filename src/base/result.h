@@ -1,6 +1,7 @@
 #ifndef TBC_BASE_RESULT_H_
 #define TBC_BASE_RESULT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -9,32 +10,86 @@
 
 namespace tbc {
 
+/// Machine-readable failure category. Callers branch on the code; the
+/// message is for humans. The crucial distinction for the compilers is
+/// between *semantic* answers ("unsatisfiable") and *refusals*
+/// (kDeadlineExceeded / kBudgetExceeded / kCancelled): a refusal means the
+/// operation gave up under its resource budget and may succeed with more.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidInput,       // malformed file, out-of-range argument
+  kDeadlineExceeded,   // wall-clock budget exhausted
+  kBudgetExceeded,     // node/memory/conflict budget exhausted
+  kCancelled,          // cooperative cancellation requested
+  kInternal,           // everything else
+};
+
+/// Name of a status code ("kOk", "kDeadlineExceeded", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "kOk";
+    case StatusCode::kInvalidInput: return "kInvalidInput";
+    case StatusCode::kDeadlineExceeded: return "kDeadlineExceeded";
+    case StatusCode::kBudgetExceeded: return "kBudgetExceeded";
+    case StatusCode::kCancelled: return "kCancelled";
+    case StatusCode::kInternal: return "kInternal";
+  }
+  return "kInternal";
+}
+
 /// Lightweight status type for fallible operations (parsing, file IO,
-/// user-supplied model validation). Library code never throws.
+/// user-supplied model validation, resource-governed compilation).
+/// Library code never throws.
 class Status {
  public:
   /// Constructs an OK status.
   Status() = default;
 
-  /// Constructs an error status carrying a human-readable message.
-  static Status Error(std::string message) {
+  /// Constructs an error status carrying a code and human-readable message.
+  static Status Error(StatusCode code, std::string message) {
     Status s;
+    s.code_ = code;
     s.message_ = std::move(message);
-    s.ok_ = false;
     return s;
+  }
+  /// Constructs a generic (kInternal) error status.
+  static Status Error(std::string message) {
+    return Error(StatusCode::kInternal, std::move(message));
   }
   static Status Ok() { return Status(); }
 
-  bool ok() const { return ok_; }
+  /// Typed convenience factories.
+  static Status InvalidInput(std::string message) {
+    return Error(StatusCode::kInvalidInput, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Error(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status BudgetExceeded(std::string message) {
+    return Error(StatusCode::kBudgetExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Error(StatusCode::kCancelled, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  /// True for the resource-refusal codes (deadline/budget/cancelled).
+  bool IsRefusal() const {
+    return code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kBudgetExceeded ||
+           code_ == StatusCode::kCancelled;
+  }
   /// Error message; empty for OK statuses.
   const std::string& message() const { return message_; }
 
  private:
-  bool ok_ = true;
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 
-/// A value-or-error, used as the return type of fallible factories.
+/// A value-or-error, used as the return type of fallible factories and of
+/// the resource-governed compilation entry points.
 template <typename T>
 class Result {
  public:
@@ -47,6 +102,8 @@ class Result {
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
+  /// Error code; kOk when this result holds a value.
+  StatusCode error_code() const { return status_.code(); }
 
   /// Value accessors; aborts if this result holds an error.
   const T& value() const& {
@@ -62,11 +119,52 @@ class Result {
     return std::move(*value_);
   }
 
+  /// The value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+  /// Pointer-style accessors, same abort-on-error contract as value().
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
  private:
   std::optional<T> value_;
   Status status_;
 };
 
 }  // namespace tbc
+
+/// Propagates an error Status (or the Status of a Result) to the caller.
+/// Usable in any function returning Status or Result<T>.
+#define TBC_RETURN_IF_ERROR(expr)                         \
+  do {                                                    \
+    ::tbc::Status tbc_status_ = ::tbc::internal_result::AsStatus(expr); \
+    if (!tbc_status_.ok()) return tbc_status_;            \
+  } while (0)
+
+/// Unwraps a Result<T> into `lhs`, propagating errors to the caller:
+///   TBC_ASSIGN_OR_RETURN(const Cnf cnf, Cnf::ParseDimacs(text));
+#define TBC_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  TBC_ASSIGN_OR_RETURN_IMPL_(TBC_RESULT_CONCAT_(tbc_result_, __LINE__), lhs, rexpr)
+
+#define TBC_RESULT_CONCAT_INNER_(a, b) a##b
+#define TBC_RESULT_CONCAT_(a, b) TBC_RESULT_CONCAT_INNER_(a, b)
+#define TBC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+namespace tbc::internal_result {
+inline Status AsStatus(Status s) { return s; }
+template <typename T>
+Status AsStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace tbc::internal_result
 
 #endif  // TBC_BASE_RESULT_H_

@@ -1,6 +1,10 @@
 #include "base/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
 
 namespace tbc {
 
@@ -43,6 +47,35 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
     out += parts[i];
   }
   return out;
+}
+
+bool ParseUint64(std::string_view token, uint64_t* out) {
+  if (token.empty()) return false;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool ParseInt(std::string_view token, int* out) {
+  if (token.empty()) return false;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool ParseDouble(std::string_view token, double* out) {
+  if (token.empty()) return false;
+  // strtod needs a terminated buffer; tokens are short, copy is cheap.
+  const std::string copy(token);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || errno == ERANGE) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace tbc

@@ -19,6 +19,13 @@ std::string_view StripWhitespace(std::string_view text);
 /// Joins with a separator.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// Strict numeric parsing for the file-format parsers: the whole token must
+/// be a valid number (no trailing junk, no empty token, no overflow).
+/// Returns false on malformed input instead of throwing or aborting.
+bool ParseUint64(std::string_view token, uint64_t* out);
+bool ParseInt(std::string_view token, int* out);
+bool ParseDouble(std::string_view token, double* out);
+
 }  // namespace tbc
 
 #endif  // TBC_BASE_STRINGS_H_

@@ -18,6 +18,20 @@ CompiledBayesNet::CompiledBayesNet(const BayesianNetwork& net)
   root_ = compiler.Compile(encoding_.cnf(), mgr_);
 }
 
+CompiledBayesNet::CompiledBayesNet(const BayesianNetwork& net, DeferCompileTag)
+    : net_(net), encoding_(net), root_(kInvalidNnf) {}
+
+Result<CompiledBayesNet> CompiledBayesNet::CompileBounded(
+    const BayesianNetwork& net, Guard& guard) {
+  if (net.num_vars() == 0) return Status::InvalidInput("empty network");
+  CompiledBayesNet compiled(net, DeferCompileTag{});
+  DdnnfCompiler compiler;
+  TBC_ASSIGN_OR_RETURN(
+      compiled.root_,
+      compiler.CompileBounded(compiled.encoding_.cnf(), compiled.mgr_, guard));
+  return compiled;
+}
+
 double CompiledBayesNet::ProbEvidence(const BnInstantiation& evidence) {
   return Wmc(mgr_, root_, encoding_.WeightsWithEvidence(evidence));
 }
@@ -36,6 +50,27 @@ double CompiledBayesNet::Posterior(BnVar v, int value,
                                    const BnInstantiation& evidence) {
   const double pe = ProbEvidence(evidence);
   TBC_CHECK_MSG(pe > 0.0, "zero-probability evidence");
+  return Marginal(v, value, evidence) / pe;
+}
+
+Result<double> CompiledBayesNet::PosteriorChecked(
+    BnVar v, int value, const BnInstantiation& evidence) {
+  if (v >= net_.num_vars()) {
+    return Status::InvalidInput("variable " + std::to_string(v) +
+                                " out of range");
+  }
+  if (value < 0 || value >= static_cast<int>(net_.cardinality(v))) {
+    return Status::InvalidInput("value " + std::to_string(value) +
+                                " out of range for variable " +
+                                std::to_string(v));
+  }
+  if (v < evidence.size() && evidence[v] != kUnobserved &&
+      evidence[v] != value) {
+    return Status::InvalidInput("query contradicts evidence on variable " +
+                                std::to_string(v));
+  }
+  const double pe = ProbEvidence(evidence);
+  if (pe <= 0.0) return Status::InvalidInput("zero-probability evidence");
   return Marginal(v, value, evidence) / pe;
 }
 

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "base/guard.h"
+#include "base/result.h"
 #include "bayes/network.h"
 #include "bayes/wmc_encoding.h"
 #include "nnf/nnf.h"
@@ -25,14 +27,26 @@ class CompiledBayesNet {
  public:
   explicit CompiledBayesNet(const BayesianNetwork& net);
 
+  /// Resource-governed construction: the one-time Decision-DNNF compile —
+  /// the only potentially exponential step of the pipeline — runs under
+  /// `guard`; a deadline/budget trip returns the guard's typed status
+  /// instead of compiling without bound.
+  static Result<CompiledBayesNet> CompileBounded(const BayesianNetwork& net,
+                                                 Guard& guard);
+
   /// Pr(evidence).
   double ProbEvidence(const BnInstantiation& evidence);
 
   /// Unnormalized marginal Pr(v = value, evidence).
   double Marginal(BnVar v, int value, const BnInstantiation& evidence);
 
-  /// Pr(v = value | evidence).
+  /// Pr(v = value | evidence); aborts if Pr(evidence) == 0.
   double Posterior(BnVar v, int value, const BnInstantiation& evidence);
+
+  /// Fallible variant: kInvalidInput (not an abort) when the evidence has
+  /// zero probability or contradicts v = value.
+  Result<double> PosteriorChecked(BnVar v, int value,
+                                  const BnInstantiation& evidence);
 
   /// All marginals Pr(v = x, evidence) in one differential pass;
   /// result[v][x].
@@ -69,6 +83,11 @@ class CompiledBayesNet {
   const WmcEncoding& encoding() const { return encoding_; }
 
  private:
+  // Builds the encoding but defers circuit compilation (CompileBounded
+  // runs it under a guard and fills root_ itself).
+  struct DeferCompileTag {};
+  CompiledBayesNet(const BayesianNetwork& net, DeferCompileTag);
+
   const BayesianNetwork& net_;
   WmcEncoding encoding_;
   NnfManager mgr_;

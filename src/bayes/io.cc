@@ -23,6 +23,14 @@ std::string WriteNetwork(const BayesianNetwork& net) {
   return out;
 }
 
+namespace {
+
+Status BadLine(size_t line_no, const std::string& what) {
+  return Status::InvalidInput("line " + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
 Result<BayesianNetwork> ParseNetwork(const std::string& text) {
   BayesianNetwork net;
   // Pending declaration awaiting its CPT.
@@ -32,58 +40,91 @@ Result<BayesianNetwork> ParseNetwork(const std::string& text) {
   bool have_pending = false;
   bool saw_header = false;
 
+  size_t line_no = 0;
   for (const std::string& raw : SplitChar(text, '\n')) {
+    ++line_no;
     std::string_view line = StripWhitespace(raw);
     if (line.empty() || line[0] == '#') continue;
     const std::vector<std::string> tok = SplitWhitespace(line);
     if (tok[0] == "net") {
       saw_header = true;
     } else if (tok[0] == "var") {
-      if (!saw_header) return Status::Error("missing net header");
-      if (have_pending) return Status::Error("var without cpt: " + pending_name);
-      if (tok.size() < 4) return Status::Error("bad var line: " + raw);
+      if (!saw_header) return BadLine(line_no, "var before net header");
+      if (have_pending) {
+        return BadLine(line_no, "var without cpt: " + pending_name);
+      }
+      if (tok.size() < 4) return BadLine(line_no, "bad var line: " + raw);
       pending_name = tok[1];
-      pending_card = static_cast<uint32_t>(std::stoul(tok[2]));
-      const size_t num_parents = std::stoul(tok[3]);
+      uint64_t card = 0;
+      if (!ParseUint64(tok[2], &card) || card < 2 || card > (1u << 20)) {
+        return BadLine(line_no, "bad cardinality '" + tok[2] + "'");
+      }
+      pending_card = static_cast<uint32_t>(card);
+      uint64_t num_parents = 0;
+      if (!ParseUint64(tok[3], &num_parents)) {
+        return BadLine(line_no, "bad parent count '" + tok[3] + "'");
+      }
       if (tok.size() != 4 + num_parents) {
-        return Status::Error("bad parent list: " + raw);
+        return BadLine(line_no, "parent list does not match declared count: " +
+                                    raw);
       }
       pending_parents.clear();
       for (size_t i = 0; i < num_parents; ++i) {
-        const BnVar p = static_cast<BnVar>(std::stoul(tok[4 + i]));
-        if (p >= net.num_vars()) {
-          return Status::Error("parent declared after child: " + raw);
+        uint64_t p = 0;
+        if (!ParseUint64(tok[4 + i], &p)) {
+          return BadLine(line_no, "bad parent index '" + tok[4 + i] + "'");
         }
-        pending_parents.push_back(p);
+        if (p >= net.num_vars()) {
+          return BadLine(line_no, "parent " + std::to_string(p) +
+                                      " not declared before child");
+        }
+        pending_parents.push_back(static_cast<BnVar>(p));
       }
       have_pending = true;
     } else if (tok[0] == "cpt") {
-      if (!have_pending) return Status::Error("cpt without var: " + raw);
-      size_t rows = 1;
-      for (BnVar p : pending_parents) rows *= net.cardinality(p);
+      if (!have_pending) return BadLine(line_no, "cpt without var: " + raw);
+      uint64_t rows = 1;
+      for (BnVar p : pending_parents) {
+        rows *= net.cardinality(p);
+        if (rows > (1u << 24)) {
+          return BadLine(line_no, "cpt too large (parent state space > 2^24)");
+        }
+      }
       const size_t expected = rows * pending_card + 2;
       if (tok.size() != expected) {
-        return Status::Error("cpt size mismatch: " + raw);
+        return BadLine(line_no, "cpt size mismatch: expected " +
+                                    std::to_string(expected - 2) +
+                                    " entries, got " +
+                                    std::to_string(tok.size() - 2));
       }
       std::vector<double> cpt;
-      for (size_t i = 2; i < tok.size(); ++i) cpt.push_back(std::stod(tok[i]));
+      for (size_t i = 2; i < tok.size(); ++i) {
+        double theta = 0.0;
+        if (!ParseDouble(tok[i], &theta) || theta < 0.0 || theta > 1.0) {
+          return BadLine(line_no, "bad probability '" + tok[i] + "'");
+        }
+        cpt.push_back(theta);
+      }
       // Validate rows sum to ~1 before handing to the aborting builder.
       for (size_t r = 0; r < rows; ++r) {
         double sum = 0.0;
         for (uint32_t k = 0; k < pending_card; ++k) sum += cpt[r * pending_card + k];
         if (sum < 1.0 - 1e-6 || sum > 1.0 + 1e-6) {
-          return Status::Error("cpt row does not sum to 1: " + raw);
+          return BadLine(line_no, "cpt row " + std::to_string(r) +
+                                      " does not sum to 1");
         }
       }
       net.AddVariable(pending_name, pending_card, pending_parents, std::move(cpt));
       have_pending = false;
     } else {
-      return Status::Error("unknown line: " + raw);
+      return BadLine(line_no, "unknown line: " + raw);
     }
   }
-  if (!saw_header) return Status::Error("missing net header");
-  if (have_pending) return Status::Error("var without cpt: " + pending_name);
-  if (net.num_vars() == 0) return Status::Error("empty network");
+  if (!saw_header) return Status::InvalidInput("missing net header");
+  if (have_pending) {
+    return Status::InvalidInput("var without cpt: " + pending_name);
+  }
+  if (net.num_vars() == 0) return Status::InvalidInput("empty network");
   return net;
 }
 

@@ -6,9 +6,35 @@
 
 namespace tbc {
 
+namespace {
+
+// Table size of Multiply(a, b) — the union scope's state space — computed
+// before the multiplication so budgets refuse before the blow-up, not after.
+uint64_t ProductTableSize(const Factor& a, const Factor& b,
+                          const BayesianNetwork& net) {
+  uint64_t size = 1;
+  std::vector<BnVar> scope = a.vars();
+  for (BnVar v : b.vars()) {
+    if (std::find(scope.begin(), scope.end(), v) == scope.end()) {
+      scope.push_back(v);
+    }
+  }
+  for (BnVar v : scope) size *= net.cardinality(v);
+  return size;
+}
+
+}  // namespace
+
 Factor VariableElimination::Eliminate(const BnInstantiation& evidence,
                                       const std::vector<BnVar>& keep,
                                       bool maximize_rest) const {
+  return EliminateBounded(evidence, keep, maximize_rest, Guard::Unlimited())
+      .value();
+}
+
+Result<Factor> VariableElimination::EliminateBounded(
+    const BnInstantiation& evidence, const std::vector<BnVar>& keep,
+    bool maximize_rest, Guard& guard) const {
   std::vector<Factor> factors;
   factors.reserve(net_.num_vars());
   for (BnVar v = 0; v < net_.num_vars(); ++v) {
@@ -26,6 +52,7 @@ Factor VariableElimination::Eliminate(const BnInstantiation& evidence,
   };
   for (BnVar v = 0; v < net_.num_vars(); ++v) {
     if (kept(v)) continue;
+    TBC_RETURN_IF_ERROR(guard.Check());
     // Multiply all factors mentioning v, then eliminate v.
     Factor product({}, {});
     bool found = false;
@@ -34,7 +61,13 @@ Factor VariableElimination::Eliminate(const BnInstantiation& evidence,
       const bool mentions =
           std::find(f.vars().begin(), f.vars().end(), v) != f.vars().end();
       if (mentions) {
-        product = found ? Factor::Multiply(product, f) : std::move(f);
+        if (found) {
+          TBC_RETURN_IF_ERROR(
+              guard.ChargeNodes(ProductTableSize(product, f, net_)));
+          product = Factor::Multiply(product, f);
+        } else {
+          product = std::move(f);
+        }
         found = true;
       } else {
         rest.push_back(std::move(f));
@@ -46,7 +79,10 @@ Factor VariableElimination::Eliminate(const BnInstantiation& evidence,
     factors = std::move(rest);
   }
   Factor result({}, {});
-  for (const Factor& f : factors) result = Factor::Multiply(result, f);
+  for (const Factor& f : factors) {
+    TBC_RETURN_IF_ERROR(guard.ChargeNodes(ProductTableSize(result, f, net_)));
+    result = Factor::Multiply(result, f);
+  }
   return result;
 }
 
@@ -68,6 +104,42 @@ double VariableElimination::Posterior(BnVar v, int value,
   const double pe = ProbEvidence(evidence);
   TBC_CHECK_MSG(pe > 0.0, "zero-probability evidence");
   return Marginal(v, value, evidence) / pe;
+}
+
+Result<double> VariableElimination::ProbEvidenceBounded(
+    const BnInstantiation& evidence, Guard& guard) const {
+  TBC_ASSIGN_OR_RETURN(Factor f, EliminateBounded(evidence, {},
+                                                  /*maximize_rest=*/false,
+                                                  guard));
+  return f.Total();
+}
+
+Result<double> VariableElimination::MarginalBounded(
+    BnVar v, int value, const BnInstantiation& evidence, Guard& guard) const {
+  if (v >= net_.num_vars()) {
+    return Status::InvalidInput("variable " + std::to_string(v) +
+                                " out of range");
+  }
+  if (value < 0 || value >= static_cast<int>(net_.cardinality(v))) {
+    return Status::InvalidInput("value " + std::to_string(value) +
+                                " out of range for variable " +
+                                std::to_string(v));
+  }
+  TBC_ASSIGN_OR_RETURN(Factor f, EliminateBounded(evidence, {v},
+                                                  /*maximize_rest=*/false,
+                                                  guard));
+  BnInstantiation inst(net_.num_vars(), kUnobserved);
+  inst[v] = value;
+  return f.At(inst);
+}
+
+Result<double> VariableElimination::PosteriorBounded(
+    BnVar v, int value, const BnInstantiation& evidence, Guard& guard) const {
+  TBC_ASSIGN_OR_RETURN(const double pe, ProbEvidenceBounded(evidence, guard));
+  if (pe <= 0.0) return Status::InvalidInput("zero-probability evidence");
+  TBC_ASSIGN_OR_RETURN(const double marginal,
+                       MarginalBounded(v, value, evidence, guard));
+  return marginal / pe;
 }
 
 double VariableElimination::MpeValue(const BnInstantiation& evidence) const {

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "base/guard.h"
+#include "base/result.h"
 #include "bayes/factor.h"
 #include "bayes/network.h"
 
@@ -25,6 +27,21 @@ class VariableElimination {
 
   /// Pr(v = value | evidence); aborts if Pr(evidence) == 0.
   double Posterior(BnVar v, int value, const BnInstantiation& evidence) const;
+
+  /// Resource-governed variants: intermediate factor tables are charged
+  /// against the guard's node budget (one unit per table entry produced),
+  /// and the deadline/cancellation is polled between eliminations — the
+  /// classical blow-up of variable elimination is its intermediate factor
+  /// width, which is exactly what the node budget caps.
+  Result<double> ProbEvidenceBounded(const BnInstantiation& evidence,
+                                     Guard& guard) const;
+  Result<double> MarginalBounded(BnVar v, int value,
+                                 const BnInstantiation& evidence,
+                                 Guard& guard) const;
+  /// kInvalidInput (not an abort) when Pr(evidence) == 0.
+  Result<double> PosteriorBounded(BnVar v, int value,
+                                  const BnInstantiation& evidence,
+                                  Guard& guard) const;
 
   /// max_x Pr(x, evidence): the MPE value (D-MPE's optimization version).
   double MpeValue(const BnInstantiation& evidence) const;
@@ -51,6 +68,12 @@ class VariableElimination {
   // variables in `eliminate` by sum (or max when in `maximize`).
   Factor Eliminate(const BnInstantiation& evidence,
                    const std::vector<BnVar>& keep, bool maximize_rest) const;
+
+  // Guarded core: every intermediate product's table size is charged
+  // before the multiplication runs.
+  Result<Factor> EliminateBounded(const BnInstantiation& evidence,
+                                  const std::vector<BnVar>& keep,
+                                  bool maximize_rest, Guard& guard) const;
 
   const BayesianNetwork& net_;
 };

@@ -23,10 +23,11 @@ using compiler_internal::SplitComponents;
 
 class Compilation {
  public:
-  Compilation(const DdnnfOptions& options, NnfManager& mgr, DdnnfStats& stats)
-      : options_(options), mgr_(mgr), stats_(stats) {}
+  Compilation(const DdnnfOptions& options, NnfManager& mgr, DdnnfStats& stats,
+              Guard& guard)
+      : options_(options), mgr_(mgr), stats_(stats), guard_(guard) {}
 
-  NnfId CompileClauses(Clauses clauses) {
+  Result<NnfId> CompileClauses(Clauses clauses) {
     Canonicalize(clauses);
     std::vector<Lit> implied;
     Clauses remaining;
@@ -41,10 +42,13 @@ class Compilation {
         std::vector<Clauses> components = SplitComponents(remaining);
         if (components.size() > 1) ++stats_.components_split;
         for (Clauses& comp : components) {
-          conjuncts.push_back(CompileComponent(std::move(comp)));
+          TBC_ASSIGN_OR_RETURN(const NnfId sub, CompileComponent(std::move(comp)));
+          conjuncts.push_back(sub);
         }
       } else {
-        conjuncts.push_back(CompileComponent(std::move(remaining)));
+        TBC_ASSIGN_OR_RETURN(const NnfId sub,
+                             CompileComponent(std::move(remaining)));
+        conjuncts.push_back(sub);
       }
     }
     return mgr_.And(std::move(conjuncts));
@@ -52,7 +56,7 @@ class Compilation {
 
  private:
   // Compiles a single component (no unit clauses after propagation).
-  NnfId CompileComponent(Clauses clauses) {
+  Result<NnfId> CompileComponent(Clauses clauses) {
     Canonicalize(clauses);
     std::string key;
     if (options_.use_cache) {
@@ -64,10 +68,17 @@ class Compilation {
       }
     }
     ++stats_.decisions;
+    // One decision = one created decision node (plus the two literal
+    // nodes): charge both budgets here, at the head of the exponential
+    // recursion, so a trip surfaces within one decision's work.
+    TBC_RETURN_IF_ERROR(guard_.ChargeDecision());
+    TBC_RETURN_IF_ERROR(guard_.ChargeNodes(1));
     const Var v = PickBranchVar(clauses);
     TBC_DCHECK(v != kInvalidVar);
-    const NnfId hi = CompileClauses(ConditionClauses(clauses, Pos(v)));
-    const NnfId lo = CompileClauses(ConditionClauses(clauses, Neg(v)));
+    TBC_ASSIGN_OR_RETURN(const NnfId hi,
+                         CompileClauses(ConditionClauses(clauses, Pos(v))));
+    TBC_ASSIGN_OR_RETURN(const NnfId lo,
+                         CompileClauses(ConditionClauses(clauses, Neg(v))));
     const NnfId result = mgr_.Decision(v, hi, lo);
     if (options_.use_cache) cache_[key] = result;
     return result;
@@ -76,15 +87,23 @@ class Compilation {
   const DdnnfOptions& options_;
   NnfManager& mgr_;
   DdnnfStats& stats_;
+  Guard& guard_;
   std::unordered_map<std::string, NnfId> cache_;
 };
 
 }  // namespace
 
 NnfId DdnnfCompiler::Compile(const Cnf& cnf, NnfManager& mgr) {
+  // The unlimited guard never trips, so the bounded path cannot refuse.
+  return CompileBounded(cnf, mgr, Guard::Unlimited()).value();
+}
+
+Result<NnfId> DdnnfCompiler::CompileBounded(const Cnf& cnf, NnfManager& mgr,
+                                            Guard& guard) {
   stats_ = DdnnfStats();
+  TBC_RETURN_IF_ERROR(guard.Check());
   Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
-  Compilation run(options_, mgr, stats_);
+  Compilation run(options_, mgr, stats_, guard);
   return run.CompileClauses(std::move(clauses));
 }
 

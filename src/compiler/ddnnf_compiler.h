@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "base/guard.h"
+#include "base/result.h"
 #include "logic/cnf.h"
 #include "nnf/nnf.h"
 
@@ -39,8 +41,16 @@ class DdnnfCompiler {
   explicit DdnnfCompiler(DdnnfOptions options = {}) : options_(options) {}
 
   /// Compiles `cnf` into `mgr`; returns the root. Free variables are left
-  /// unconstrained (the NNF counting queries apply gap factors).
+  /// unconstrained (the NNF counting queries apply gap factors). Unbounded:
+  /// worst-case exponential time and space.
   NnfId Compile(const Cnf& cnf, NnfManager& mgr);
+
+  /// Resource-governed compilation: decisions, created circuit nodes and
+  /// wall-clock are charged against `guard`. On a trip, returns the typed
+  /// refusal (kDeadlineExceeded / kBudgetExceeded / kCancelled); `mgr` stays
+  /// valid but may contain partial garbage nodes (callers that care should
+  /// compile into a scratch manager).
+  Result<NnfId> CompileBounded(const Cnf& cnf, NnfManager& mgr, Guard& guard);
 
   const DdnnfStats& stats() const { return stats_; }
 

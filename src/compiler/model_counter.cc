@@ -25,9 +25,10 @@ using compiler_internal::SplitComponents;
 // way are re-multiplied by the caller via 2^gap.
 class CountRun {
  public:
-  explicit CountRun(ModelCounter::Stats& stats) : stats_(stats) {}
+  CountRun(ModelCounter::Stats& stats, Guard& guard)
+      : stats_(stats), guard_(guard) {}
 
-  BigUint CountClauses(Clauses clauses) {
+  Result<BigUint> CountClauses(Clauses clauses) {
     Canonicalize(clauses);
     const size_t vars_before = CountVars(clauses);
     std::vector<Lit> implied;
@@ -43,13 +44,14 @@ class CountRun {
                                                  vars_after);
     BigUint result = BigUint::PowerOfTwo(freed);
     for (Clauses& comp : SplitComponents(remaining)) {
-      result *= CountComponent(std::move(comp));
+      TBC_ASSIGN_OR_RETURN(const BigUint sub, CountComponent(std::move(comp)));
+      result *= sub;
     }
     return result;
   }
 
  private:
-  BigUint CountComponent(Clauses clauses) {
+  Result<BigUint> CountComponent(Clauses clauses) {
     Canonicalize(clauses);
     const std::string key = CacheKey(clauses);
     auto it = cache_.find(key);
@@ -58,6 +60,11 @@ class CountRun {
       return it->second;
     }
     ++stats_.decisions;
+    // Each decision adds one cache entry: charge it as a node so memory
+    // budgets bound the cache, and the decision so search budgets bound
+    // the exhaustive DPLL itself.
+    TBC_RETURN_IF_ERROR(guard_.ChargeDecision());
+    TBC_RETURN_IF_ERROR(guard_.ChargeNodes(1));
     const Var v = PickBranchVar(clauses);
     TBC_DCHECK(v != kInvalidVar);
     const size_t nv = CountVars(clauses);
@@ -65,7 +72,7 @@ class CountRun {
     for (bool sign : {false, true}) {
       Clauses sub = ConditionClauses(clauses, Lit(v, sign));
       const size_t sub_vars = CountVars(sub);
-      BigUint c = CountClauses(std::move(sub));
+      TBC_ASSIGN_OR_RETURN(BigUint c, CountClauses(std::move(sub)));
       // The branch fixes v; variables of the component absent from the
       // subproblem are free.
       c *= BigUint::PowerOfTwo(static_cast<unsigned>(nv - 1 - sub_vars));
@@ -76,16 +83,17 @@ class CountRun {
   }
 
   ModelCounter::Stats& stats_;
+  Guard& guard_;
   std::unordered_map<std::string, BigUint> cache_;
 };
 
 // Weighted variant; identical structure with per-literal weights.
 class WmcRun {
  public:
-  WmcRun(const WeightMap& weights, ModelCounter::Stats& stats)
-      : weights_(weights), stats_(stats) {}
+  WmcRun(const WeightMap& weights, ModelCounter::Stats& stats, Guard& guard)
+      : weights_(weights), stats_(stats), guard_(guard) {}
 
-  double WmcClauses(Clauses clauses) {
+  Result<double> WmcClauses(Clauses clauses) {
     Canonicalize(clauses);
     std::unordered_map<Var, int> seen_before;
     for (const auto& c : clauses) {
@@ -110,13 +118,14 @@ class WmcRun {
       result *= weights_[Pos(v)] + weights_[Neg(v)];
     }
     for (Clauses& comp : SplitComponents(remaining)) {
-      result *= WmcComponent(std::move(comp));
+      TBC_ASSIGN_OR_RETURN(const double sub, WmcComponent(std::move(comp)));
+      result *= sub;
     }
     return result;
   }
 
  private:
-  double WmcComponent(Clauses clauses) {
+  Result<double> WmcComponent(Clauses clauses) {
     Canonicalize(clauses);
     const std::string key = CacheKey(clauses);
     auto it = cache_.find(key);
@@ -125,6 +134,8 @@ class WmcRun {
       return it->second;
     }
     ++stats_.decisions;
+    TBC_RETURN_IF_ERROR(guard_.ChargeDecision());
+    TBC_RETURN_IF_ERROR(guard_.ChargeNodes(1));
     const Var v = PickBranchVar(clauses);
     TBC_DCHECK(v != kInvalidVar);
     std::unordered_map<Var, int> comp_vars;
@@ -135,7 +146,8 @@ class WmcRun {
     for (bool sign : {false, true}) {
       const Lit branch(v, sign);
       Clauses sub = ConditionClauses(clauses, branch);
-      double w = weights_[branch] * WmcClauses(sub);
+      TBC_ASSIGN_OR_RETURN(const double sub_wmc, WmcClauses(sub));
+      double w = weights_[branch] * sub_wmc;
       // Component variables absent from the subproblem are free.
       std::unordered_map<Var, int> sub_vars;
       for (const auto& c : sub) {
@@ -154,29 +166,41 @@ class WmcRun {
 
   const WeightMap& weights_;
   ModelCounter::Stats& stats_;
+  Guard& guard_;
   std::unordered_map<std::string, double> cache_;
 };
 
 }  // namespace
 
 BigUint ModelCounter::Count(const Cnf& cnf) {
-  stats_ = Stats();
-  Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
-  const size_t mentioned = CountVars(clauses);
-  CountRun run(stats_);
-  BigUint c = run.CountClauses(std::move(clauses));
-  return c * BigUint::PowerOfTwo(static_cast<unsigned>(cnf.num_vars() - mentioned));
+  return CountBounded(cnf, Guard::Unlimited()).value();
 }
 
 double ModelCounter::Wmc(const Cnf& cnf, const WeightMap& weights) {
+  return WmcBounded(cnf, weights, Guard::Unlimited()).value();
+}
+
+Result<BigUint> ModelCounter::CountBounded(const Cnf& cnf, Guard& guard) {
   stats_ = Stats();
+  TBC_RETURN_IF_ERROR(guard.Check());
+  Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
+  const size_t mentioned = CountVars(clauses);
+  CountRun run(stats_, guard);
+  TBC_ASSIGN_OR_RETURN(const BigUint c, run.CountClauses(std::move(clauses)));
+  return c * BigUint::PowerOfTwo(static_cast<unsigned>(cnf.num_vars() - mentioned));
+}
+
+Result<double> ModelCounter::WmcBounded(const Cnf& cnf, const WeightMap& weights,
+                                        Guard& guard) {
+  stats_ = Stats();
+  TBC_RETURN_IF_ERROR(guard.Check());
   Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
   std::unordered_map<Var, int> mentioned;
   for (const auto& c : clauses) {
     for (Lit l : c) mentioned[l.var()] = 1;
   }
-  WmcRun run(weights, stats_);
-  double w = run.WmcClauses(std::move(clauses));
+  WmcRun run(weights, stats_, guard);
+  TBC_ASSIGN_OR_RETURN(double w, run.WmcClauses(std::move(clauses)));
   for (Var v = 0; v < cnf.num_vars(); ++v) {
     if (mentioned.find(v) == mentioned.end()) {
       w *= weights[Pos(v)] + weights[Neg(v)];

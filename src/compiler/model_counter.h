@@ -2,6 +2,8 @@
 #define TBC_COMPILER_MODEL_COUNTER_H_
 
 #include "base/bigint.h"
+#include "base/guard.h"
+#include "base/result.h"
 #include "logic/cnf.h"
 
 namespace tbc {
@@ -18,11 +20,19 @@ class ModelCounter {
     uint64_t cache_hits = 0;
   };
 
-  /// Exact model count over cnf.num_vars() variables.
+  /// Exact model count over cnf.num_vars() variables. Unbounded.
   BigUint Count(const Cnf& cnf);
 
   /// Exact weighted model count (weights sized to cnf.num_vars()).
+  /// Unbounded.
   double Wmc(const Cnf& cnf, const WeightMap& weights);
+
+  /// Resource-governed variants: decisions, cache entries (as nodes) and
+  /// wall-clock are charged against `guard`; a trip returns the typed
+  /// refusal instead of an answer.
+  Result<BigUint> CountBounded(const Cnf& cnf, Guard& guard);
+  Result<double> WmcBounded(const Cnf& cnf, const WeightMap& weights,
+                            Guard& guard);
 
   const Stats& stats() const { return stats_; }
 

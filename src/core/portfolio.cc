@@ -1,0 +1,173 @@
+#include "core/portfolio.h"
+
+#include <array>
+#include <functional>
+#include <numeric>
+#include <utility>
+
+#include "bayes/varelim.h"
+#include "bayes/wmc_encoding.h"
+#include "compiler/ddnnf_compiler.h"
+#include "nnf/nnf.h"
+#include "nnf/queries.h"
+#include "sdd/compile.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+
+namespace {
+
+// A query is Pr(evidence) or, with `query_var` set, the pair
+// (Pr(extended evidence), Pr(evidence)) for marginals/posteriors. Each
+// engine evaluates it under its own stage guard.
+struct Query {
+  const BayesianNetwork& net;
+  const BnInstantiation& evidence;   // original evidence
+  const BnInstantiation& extended;   // evidence with v = value asserted
+  BnVar v = 0;                       // query variable (marginal/posterior)
+  int value = 0;
+  bool wants_posterior = false;      // divide by Pr(evidence)
+  bool wants_marginal = false;       // evaluate `extended` instead
+};
+
+// Evaluates the query on a compiled circuit via two linear WMC passes.
+// `wmc` maps a WeightMap to the weighted count on the compiled circuit.
+Result<double> Answer(const Query& q, const WmcEncoding& enc,
+                      const std::function<double(const WeightMap&)>& wmc) {
+  if (!q.wants_posterior) {
+    const auto& target = q.wants_marginal ? q.extended : q.evidence;
+    return wmc(enc.WeightsWithEvidence(target));
+  }
+  const double pe = wmc(enc.WeightsWithEvidence(q.evidence));
+  if (pe <= 0.0) return Status::InvalidInput("zero-probability evidence");
+  return wmc(enc.WeightsWithEvidence(q.extended)) / pe;
+}
+
+Result<double> RunSdd(const Query& q, Guard& guard) {
+  WmcEncoding enc(q.net);
+  std::vector<Var> order(enc.num_bool_vars());
+  std::iota(order.begin(), order.end(), 0);
+  SddManager mgr(Vtree::Balanced(order));
+  TBC_ASSIGN_OR_RETURN(const SddId f, CompileCnfBounded(mgr, enc.cnf(), guard));
+  return Answer(q, enc, [&](const WeightMap& w) { return mgr.Wmc(f, w); });
+}
+
+Result<double> RunDdnnf(const Query& q, Guard& guard) {
+  WmcEncoding enc(q.net);
+  NnfManager mgr;
+  DdnnfCompiler compiler;
+  TBC_ASSIGN_OR_RETURN(const NnfId root,
+                       compiler.CompileBounded(enc.cnf(), mgr, guard));
+  return Answer(q, enc,
+                [&](const WeightMap& w) { return Wmc(mgr, root, w); });
+}
+
+Result<double> RunVarElim(const Query& q, Guard& guard) {
+  VariableElimination ve(q.net);
+  if (q.wants_posterior) {
+    // PosteriorBounded re-checks the variable/value bounds (already
+    // validated by the facade) and rejects zero-probability evidence.
+    return ve.PosteriorBounded(q.v, q.value, q.evidence, guard);
+  }
+  const auto& target = q.wants_marginal ? q.extended : q.evidence;
+  return ve.ProbEvidenceBounded(target, guard);
+}
+
+Result<PortfolioAnswer> RunPortfolio(const Query& q, const Budget& budget) {
+  using Stage =
+      std::pair<PortfolioEngine, Result<double> (*)(const Query&, Guard&)>;
+  constexpr std::array<Stage, 3> kStages = {
+      Stage{PortfolioEngine::kSdd, RunSdd},
+      Stage{PortfolioEngine::kDdnnf, RunDdnnf},
+      Stage{PortfolioEngine::kVarElim, RunVarElim},
+  };
+  // Each stage gets a fresh guard with a slice of whatever deadline is
+  // left: 1/3 for the first engine, 1/2 of the remainder for the second,
+  // everything for the last. The node budget is not divided — it caps the
+  // size of any one attempt, not their sum.
+  constexpr std::array<double, 3> kDeadlineShare = {3.0, 2.0, 1.0};
+  Guard outer(budget);
+  PortfolioAnswer answer;
+  Status last_refusal = Status::DeadlineExceeded("no engine attempted");
+  for (size_t i = 0; i < kStages.size(); ++i) {
+    TBC_RETURN_IF_ERROR(outer.Check());
+    Budget stage_budget;
+    if (outer.has_deadline()) {
+      stage_budget.timeout_ms = outer.RemainingMs() / kDeadlineShare[i];
+    }
+    stage_budget.max_nodes = budget.max_nodes;
+    stage_budget.max_conflicts = budget.max_conflicts;
+    stage_budget.max_decisions = budget.max_decisions;
+    Guard stage_guard(stage_budget);
+    Result<double> r = kStages[i].second(q, stage_guard);
+    if (r.ok()) {
+      answer.value = *r;
+      answer.engine = kStages[i].first;
+      return answer;
+    }
+    if (r.error_code() == StatusCode::kInvalidInput) return r.status();
+    answer.attempts.push_back(std::string(PortfolioEngineName(kStages[i].first)) +
+                              ": " + r.status().message());
+    last_refusal = r.status();
+  }
+  return last_refusal;
+}
+
+Status ValidateQueryVar(const BayesianNetwork& net, BnVar v, int value,
+                        const BnInstantiation& evidence) {
+  if (net.num_vars() == 0) return Status::InvalidInput("empty network");
+  if (v >= net.num_vars()) {
+    return Status::InvalidInput("variable " + std::to_string(v) +
+                                " out of range");
+  }
+  if (value < 0 || value >= static_cast<int>(net.cardinality(v))) {
+    return Status::InvalidInput("value " + std::to_string(value) +
+                                " out of range for variable " +
+                                std::to_string(v));
+  }
+  if (v < evidence.size() && evidence[v] != kUnobserved &&
+      evidence[v] != value) {
+    return Status::InvalidInput("query contradicts evidence on variable " +
+                                std::to_string(v));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<PortfolioAnswer> ProbEvidenceWithFallback(const BayesianNetwork& net,
+                                                 const BnInstantiation& evidence,
+                                                 const Budget& budget) {
+  if (net.num_vars() == 0) return Status::InvalidInput("empty network");
+  Query q{net, evidence, evidence};
+  return RunPortfolio(q, budget);
+}
+
+Result<PortfolioAnswer> MarginalWithFallback(const BayesianNetwork& net,
+                                             BnVar v, int value,
+                                             const BnInstantiation& evidence,
+                                             const Budget& budget) {
+  TBC_RETURN_IF_ERROR(ValidateQueryVar(net, v, value, evidence));
+  BnInstantiation extended = evidence;
+  extended.resize(net.num_vars(), kUnobserved);
+  extended[v] = value;
+  Query q{net, evidence, extended, v, value};
+  q.wants_marginal = true;
+  return RunPortfolio(q, budget);
+}
+
+Result<PortfolioAnswer> PosteriorWithFallback(const BayesianNetwork& net,
+                                              BnVar v, int value,
+                                              const BnInstantiation& evidence,
+                                              const Budget& budget) {
+  TBC_RETURN_IF_ERROR(ValidateQueryVar(net, v, value, evidence));
+  BnInstantiation extended = evidence;
+  extended.resize(net.num_vars(), kUnobserved);
+  extended[v] = value;
+  Query q{net, evidence, extended, v, value};
+  q.wants_posterior = true;
+  return RunPortfolio(q, budget);
+}
+
+}  // namespace tbc

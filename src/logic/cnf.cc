@@ -84,36 +84,43 @@ uint64_t Cnf::CountModelsBruteForce() const {
 Result<Cnf> Cnf::ParseDimacs(const std::string& text) {
   Cnf cnf;
   bool saw_header = false;
-  size_t declared_vars = 0;
+  uint64_t declared_vars = 0;
   std::vector<int> pending;
+  size_t line_no = 0;
   for (const std::string& line : SplitChar(text, '\n')) {
+    ++line_no;
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == 'c' || stripped[0] == '%') continue;
     if (stripped[0] == 'p') {
       std::vector<std::string> tok = SplitWhitespace(stripped);
       if (tok.size() < 4 || tok[1] != "cnf") {
-        return Status::Error("bad DIMACS header: " + line);
+        return Status::InvalidInput("line " + std::to_string(line_no) +
+                                    ": bad DIMACS header: " + line);
       }
-      declared_vars = std::strtoull(tok[2].c_str(), nullptr, 10);
+      if (!ParseUint64(tok[2], &declared_vars) ||
+          declared_vars > (1u << 28)) {
+        return Status::InvalidInput("line " + std::to_string(line_no) +
+                                    ": bad variable count '" + tok[2] + "'");
+      }
       saw_header = true;
       continue;
     }
     for (const std::string& tok : SplitWhitespace(stripped)) {
-      char* end = nullptr;
-      long v = std::strtol(tok.c_str(), &end, 10);
-      if (end == tok.c_str() || *end != '\0') {
-        return Status::Error("bad DIMACS token: " + tok);
+      int v = 0;
+      if (!ParseInt(tok, &v) || v < -(1 << 28) || v > (1 << 28)) {
+        return Status::InvalidInput("line " + std::to_string(line_no) +
+                                    ": bad DIMACS token: " + tok);
       }
       if (v == 0) {
         cnf.AddClauseDimacs(pending);
         pending.clear();
       } else {
-        pending.push_back(static_cast<int>(v));
+        pending.push_back(v);
       }
     }
   }
   if (!pending.empty()) cnf.AddClauseDimacs(pending);
-  if (!saw_header) return Status::Error("missing DIMACS header");
+  if (!saw_header) return Status::InvalidInput("missing DIMACS header");
   cnf.EnsureVars(declared_vars);
   return cnf;
 }

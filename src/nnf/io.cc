@@ -48,49 +48,87 @@ std::string WriteNnf(NnfManager& mgr, NnfId root, size_t num_vars) {
          " " + std::to_string(num_vars) + "\n" + body;
 }
 
+namespace {
+
+Status BadLine(size_t line_no, const std::string& what) {
+  return Status::InvalidInput("line " + std::to_string(line_no) + ": " + what);
+}
+
+// Parses the child references of an A/O line starting at token `first`.
+Status ParseChildren(const std::vector<std::string>& tok, size_t first,
+                     size_t count, const std::vector<NnfId>& node_of_line,
+                     size_t line_no, std::vector<NnfId>* kids) {
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t ref = 0;
+    if (!ParseUint64(tok[first + i], &ref)) {
+      return BadLine(line_no, "bad child reference '" + tok[first + i] + "'");
+    }
+    if (ref >= node_of_line.size()) {
+      return BadLine(line_no,
+                     "forward or out-of-range reference " + std::to_string(ref));
+    }
+    kids->push_back(node_of_line[ref]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text) {
   std::vector<NnfId> node_of_line;
   bool saw_header = false;
+  size_t line_no = 0;
   for (const std::string& raw : SplitChar(text, '\n')) {
+    ++line_no;
     std::string_view line = StripWhitespace(raw);
     if (line.empty() || line[0] == 'c') continue;
     std::vector<std::string> tok = SplitWhitespace(line);
     if (tok[0] == "nnf") {
-      if (tok.size() < 4) return Status::Error("bad nnf header");
+      if (saw_header) return BadLine(line_no, "duplicate nnf header");
+      if (tok.size() != 4) return BadLine(line_no, "bad nnf header");
       saw_header = true;
       continue;
     }
-    if (!saw_header) return Status::Error("missing nnf header");
+    if (!saw_header) return BadLine(line_no, "missing nnf header");
     if (tok[0] == "L") {
-      if (tok.size() != 2) return Status::Error("bad L line");
-      node_of_line.push_back(mgr.Literal(Lit::FromDimacs(std::atoi(tok[1].c_str()))));
-    } else if (tok[0] == "A") {
-      if (tok.size() < 2) return Status::Error("bad A line");
-      const size_t count = std::strtoull(tok[1].c_str(), nullptr, 10);
-      if (tok.size() != 2 + count) return Status::Error("bad A arity");
-      std::vector<NnfId> kids;
-      for (size_t i = 0; i < count; ++i) {
-        const size_t ref = std::strtoull(tok[2 + i].c_str(), nullptr, 10);
-        if (ref >= node_of_line.size()) return Status::Error("forward reference");
-        kids.push_back(node_of_line[ref]);
+      if (tok.size() != 2) return BadLine(line_no, "bad L line");
+      int dimacs = 0;
+      if (!ParseInt(tok[1], &dimacs) || dimacs == 0 || dimacs < -(1 << 28) ||
+          dimacs > (1 << 28)) {
+        return BadLine(line_no, "bad literal '" + tok[1] + "'");
       }
+      node_of_line.push_back(mgr.Literal(Lit::FromDimacs(dimacs)));
+    } else if (tok[0] == "A") {
+      if (tok.size() < 2) return BadLine(line_no, "bad A line");
+      uint64_t count = 0;
+      if (!ParseUint64(tok[1], &count)) {
+        return BadLine(line_no, "bad A arity '" + tok[1] + "'");
+      }
+      if (tok.size() != 2 + count) {
+        return BadLine(line_no, "A arity does not match child count");
+      }
+      std::vector<NnfId> kids;
+      TBC_RETURN_IF_ERROR(
+          ParseChildren(tok, 2, count, node_of_line, line_no, &kids));
       node_of_line.push_back(mgr.And(std::move(kids)));
     } else if (tok[0] == "O") {
-      if (tok.size() < 3) return Status::Error("bad O line");
-      const size_t count = std::strtoull(tok[2].c_str(), nullptr, 10);
-      if (tok.size() != 3 + count) return Status::Error("bad O arity");
-      std::vector<NnfId> kids;
-      for (size_t i = 0; i < count; ++i) {
-        const size_t ref = std::strtoull(tok[3 + i].c_str(), nullptr, 10);
-        if (ref >= node_of_line.size()) return Status::Error("forward reference");
-        kids.push_back(node_of_line[ref]);
+      if (tok.size() < 3) return BadLine(line_no, "bad O line");
+      uint64_t count = 0;
+      if (!ParseUint64(tok[2], &count)) {
+        return BadLine(line_no, "bad O arity '" + tok[2] + "'");
       }
+      if (tok.size() != 3 + count) {
+        return BadLine(line_no, "O arity does not match child count");
+      }
+      std::vector<NnfId> kids;
+      TBC_RETURN_IF_ERROR(
+          ParseChildren(tok, 3, count, node_of_line, line_no, &kids));
       node_of_line.push_back(mgr.Or(std::move(kids)));
     } else {
-      return Status::Error("unknown nnf line: " + std::string(line));
+      return BadLine(line_no, "unknown nnf line: " + std::string(line));
     }
   }
-  if (node_of_line.empty()) return Status::Error("empty nnf file");
+  if (node_of_line.empty()) return Status::InvalidInput("empty nnf file");
   return node_of_line.back();
 }
 

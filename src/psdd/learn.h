@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "base/guard.h"
+#include "base/result.h"
 #include "psdd/psdd.h"
 
 namespace tbc {
@@ -28,9 +30,23 @@ struct WeightedData {
 Psdd LearnPsdd(SddManager& mgr, SddId constraint, const WeightedData& data,
                double laplace);
 
+/// Resource-governed, validating variant: rejects malformed data
+/// (example/weight length mismatch, wrong assignment width, negative or
+/// zero total weight) with kInvalidInput instead of aborting downstream,
+/// and charges the circuit traversals against `guard` (one node charge per
+/// example, approximating the linear learning pass).
+Result<Psdd> LearnPsddBounded(SddManager& mgr, SddId constraint,
+                              const WeightedData& data, double laplace,
+                              Guard& guard);
+
 /// Empirical KL divergence KL(data || psdd) over the distinct rows
 /// (test/evaluation metric; data weights are normalized internally).
+/// Aborts if the PSDD assigns zero probability to a data row.
 double EmpiricalKl(const WeightedData& data, const Psdd& psdd);
+
+/// Fallible variant: returns kInvalidInput when the data is empty or a row
+/// has zero probability under the PSDD (KL would be infinite).
+Result<double> EmpiricalKlChecked(const WeightedData& data, const Psdd& psdd);
 
 }  // namespace tbc
 

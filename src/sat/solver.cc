@@ -210,6 +210,7 @@ uint64_t SatSolver::Luby(uint64_t i) {
 }
 
 SatSolver::Outcome SatSolver::SolveAssuming(const std::vector<Lit>& assumptions) {
+  interrupt_status_ = Status::Ok();
   if (found_empty_clause_) return Outcome::kUnsat;
   Backtrack(0);
   if (Propagate() != -1) {
@@ -220,12 +221,23 @@ SatSolver::Outcome SatSolver::SolveAssuming(const std::vector<Lit>& assumptions)
   uint64_t restart_round = 0;
   uint64_t conflict_budget = 32 * Luby(restart_round);
   uint64_t conflicts_this_round = 0;
+  uint64_t decisions_since_check = 0;
 
   while (true) {
     const int32_t conflict = Propagate();
     if (conflict != -1) {
       ++conflicts_;
       ++conflicts_this_round;
+      if (guard_ != nullptr) {
+        // Conflicts are the natural unit of CDCL effort: charge each one,
+        // and bail out with a typed refusal when the budget trips.
+        Status s = guard_->ChargeConflict();
+        if (!s.ok()) {
+          interrupt_status_ = std::move(s);
+          Backtrack(0);
+          return Outcome::kUnknown;
+        }
+      }
       if (trail_lims_.size() <= assumptions.size()) {
         // Conflict at or below the assumption levels: unsat under them.
         Backtrack(0);
@@ -270,6 +282,24 @@ SatSolver::Outcome SatSolver::SolveAssuming(const std::vector<Lit>& assumptions)
       trail_lims_.push_back(trail_.size());
       if (Value(a) == kUndef) Enqueue(a, -1);
       continue;
+    }
+
+    if (guard_ != nullptr) {
+      // Satisfiable instances can run long stretches without conflicts, so
+      // cancellation is also polled per decision (cheap relaxed load) and
+      // the deadline every 1024 decisions.
+      Status s = Status::Ok();
+      if (guard_->cancelled()) {
+        s = Status::Cancelled("operation cancelled");
+      } else if (++decisions_since_check >= 1024) {
+        decisions_since_check = 0;
+        s = guard_->Check();
+      }
+      if (!s.ok()) {
+        interrupt_status_ = std::move(s);
+        Backtrack(0);
+        return Outcome::kUnknown;
+      }
     }
 
     const Var v = PickBranchVar();

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/guard.h"
+#include "base/result.h"
 #include "logic/cnf.h"
 #include "logic/lit.h"
 
@@ -19,9 +21,20 @@ namespace tbc {
 /// knowledge compilers.
 class SatSolver {
  public:
-  enum class Outcome { kSat, kUnsat };
+  /// kUnknown is only possible when a Guard is attached: it means the
+  /// search gave up (deadline, conflict budget, or cancellation) — consult
+  /// interrupt_status() for the typed reason. Without a guard the solver is
+  /// complete and never returns kUnknown.
+  enum class Outcome { kSat, kUnsat, kUnknown };
 
   SatSolver() = default;
+
+  /// Attaches a resource guard checked in the CDCL loop (borrowed, may be
+  /// null to detach). Conflicts are charged against the guard's conflict
+  /// budget; deadline and cancellation are checked at every conflict and
+  /// every decision, so cancellation from another thread stops the search
+  /// promptly even on satisfiable instances.
+  void set_guard(Guard* guard) { guard_ = guard; }
 
   /// Adds the clauses of `cnf` (callable multiple times; variables grow).
   void AddCnf(const Cnf& cnf);
@@ -43,6 +56,10 @@ class SatSolver {
 
   /// Total number of conflicts encountered (statistics).
   uint64_t num_conflicts() const { return conflicts_; }
+
+  /// After kUnknown: why the search was interrupted (deadline, budget, or
+  /// cancellation). Ok when the last solve completed.
+  const Status& interrupt_status() const { return interrupt_status_; }
 
  private:
   // Truth value codes for assign_: 0 unassigned, 1 true, 2 false.
@@ -84,6 +101,8 @@ class SatSolver {
   uint64_t conflicts_ = 0;
   bool found_empty_clause_ = false;
   Assignment model_;
+  Guard* guard_ = nullptr;  // borrowed; null = unbounded
+  Status interrupt_status_;
 };
 
 /// Convenience: decides satisfiability of a CNF.

@@ -39,6 +39,31 @@ SddId CompileCnf(SddManager& mgr, const Cnf& cnf) {
   return acc;
 }
 
+Result<SddId> CompileCnfBounded(SddManager& mgr, const Cnf& cnf, Guard& guard) {
+  if (mgr.interrupted()) {
+    return Status::Error(StatusCode::kInternal,
+                         "SddManager is interrupted; call ClearInterrupt()");
+  }
+  for (const Clause& c : cnf.clauses()) {
+    for (Lit l : c) {
+      if (l.var() >= mgr.num_vars()) {
+        return Status::InvalidInput("CNF variable " + std::to_string(l.var() + 1) +
+                                    " outside the manager's vtree");
+      }
+    }
+  }
+  TBC_RETURN_IF_ERROR(guard.Check());
+  mgr.set_guard(&guard);
+  const SddId root = CompileCnf(mgr, cnf);
+  mgr.set_guard(nullptr);
+  if (mgr.interrupted()) {
+    Status s = mgr.interrupt_status();
+    mgr.ClearInterrupt();
+    return s;
+  }
+  return root;
+}
+
 SddId CompileFormula(SddManager& mgr, const FormulaStore& store, FormulaId f) {
   std::unordered_map<FormulaId, SddId> memo;
   std::function<SddId(FormulaId)> rec = [&](FormulaId g) -> SddId {

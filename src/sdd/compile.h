@@ -1,6 +1,8 @@
 #ifndef TBC_SDD_COMPILE_H_
 #define TBC_SDD_COMPILE_H_
 
+#include "base/guard.h"
+#include "base/result.h"
 #include "logic/cnf.h"
 #include "logic/formula.h"
 #include "sdd/sdd.h"
@@ -11,7 +13,15 @@ namespace tbc {
 /// that keeps intermediate results local to the vtree (clauses sorted by
 /// the highest vtree position they touch). This is the classic compilation
 /// mode of the SDD library [Darwiche 2011; Choi & Darwiche 2013].
+/// Unbounded: intermediate SDDs are worst-case exponential.
 SddId CompileCnf(SddManager& mgr, const Cnf& cnf);
+
+/// Resource-governed compilation: attaches `guard` to the manager for the
+/// duration of the call, so node budgets and deadlines interrupt even a
+/// single blowing-up apply. On a trip the manager is restored to a clean
+/// (re-armed, guard detached) state and the typed refusal is returned;
+/// nodes created before the trip remain allocated but unreferenced.
+Result<SddId> CompileCnfBounded(SddManager& mgr, const Cnf& cnf, Guard& guard);
 
 /// Clause (disjunction of literals) and cube (conjunction of literals).
 SddId CompileClause(SddManager& mgr, const Clause& clause);

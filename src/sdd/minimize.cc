@@ -108,10 +108,20 @@ Vtree Apply(const Vtree& vt, VtreeId at, Op op) {
   return Rebuild(*root);
 }
 
-size_t SddSizeUnder(const Cnf& cnf, const Vtree& vt) {
+// Bounded recompilation for candidate evaluation: respects the outer
+// deadline/cancellation and a node cap. Returns SIZE_MAX (reject) when the
+// compile was interrupted.
+size_t SddSizeUnderBounded(const Cnf& cnf, const Vtree& vt, Guard& outer,
+                           uint64_t node_cap) {
+  Budget inner_budget;
+  inner_budget.timeout_ms = outer.has_deadline() ? outer.RemainingMs() : 0.0;
+  inner_budget.max_nodes = node_cap;
+  if (inner_budget.timeout_ms == 0.0 && outer.has_deadline()) return SIZE_MAX;
+  Guard inner(inner_budget);
   SddManager mgr(vt);
+  mgr.set_guard(&inner);
   const SddId f = CompileCnf(mgr, cnf);
-  // "+1" keeps constants comparable (⊥/⊤ have size 0).
+  if (mgr.interrupted() || outer.cancelled()) return static_cast<size_t>(-1);
   return mgr.Size(f) + 1;
 }
 
@@ -129,15 +139,44 @@ Vtree SwapChildren(const Vtree& vtree, VtreeId at) {
 
 MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
                              size_t budget, uint64_t seed) {
+  return MinimizeVtree(cnf, initial, budget, seed, Guard::Unlimited());
+}
+
+MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
+                             size_t budget, uint64_t seed, Guard& guard) {
   Rng rng(seed);
-  MinimizeResult result{initial, 0, 0, 0};
-  result.initial_size = SddSizeUnder(cnf, initial);
+  MinimizeResult result;
+  result.vtree = initial;
+  // The initial compilation runs under the full outer guard (deadline and
+  // cancellation, plus any caller-set node budget).
+  {
+    SddManager mgr(initial);
+    mgr.set_guard(&guard);
+    const SddId f = CompileCnf(mgr, cnf);
+    mgr.set_guard(nullptr);
+    if (mgr.interrupted()) {
+      result.interrupted = true;
+      result.interrupt_status = mgr.interrupt_status();
+      return result;
+    }
+    result.initial_size = mgr.Size(f) + 1;
+  }
   result.size = result.initial_size;
   for (size_t i = 0; i < budget; ++i) {
+    Status s = guard.Check();
+    if (!s.ok()) {
+      result.interrupted = true;
+      result.interrupt_status = std::move(s);
+      break;
+    }
     const VtreeId at = static_cast<VtreeId>(rng.Below(result.vtree.num_nodes()));
     const Op op = static_cast<Op>(rng.Below(3));
     Vtree candidate = Apply(result.vtree, at, op);
-    const size_t size = SddSizeUnder(cnf, candidate);
+    // A neighbor larger than the incumbent can never be accepted, so cap
+    // its recompilation at a small multiple of the incumbent size. This
+    // also keeps one pathological neighbor from eating the whole deadline.
+    const uint64_t cap = 4 * static_cast<uint64_t>(result.size) + 256;
+    const size_t size = SddSizeUnderBounded(cnf, candidate, guard, cap);
     ++result.iterations;
     if (size <= result.size) {  // accept sideways moves to escape plateaus
       result.size = size;

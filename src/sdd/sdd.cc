@@ -19,6 +19,18 @@ SddManager::SddManager(Vtree vtree) : vtree_(std::move(vtree)) {
   nodes_.push_back({kInvalidVtree, 0, {}, 0});
 }
 
+bool SddManager::ChargeAndCheck(uint64_t new_nodes) {
+  if (interrupted_) return true;
+  if (guard_ == nullptr) return false;
+  Status s = new_nodes > 0 ? guard_->ChargeNodes(new_nodes) : guard_->Poll();
+  if (!s.ok()) {
+    interrupted_ = true;
+    interrupt_status_ = std::move(s);
+    return true;
+  }
+  return false;
+}
+
 SddId SddManager::Intern(Node node) {
   uint64_t h = HashCombine(0, node.vtree);
   h = HashCombine(h, node.lit_code);
@@ -33,6 +45,9 @@ SddId SddManager::Intern(Node node) {
   const SddId id = static_cast<SddId>(nodes_.size());
   nodes_.push_back(std::move(node));
   unique_[h].push_back(id);
+  // The returned id stays valid even when this charge trips the budget;
+  // the in-flight operation notices via interrupted() and unwinds.
+  ChargeAndCheck(1);
   return id;
 }
 
@@ -48,6 +63,9 @@ SddId SddManager::MakeDecision(VtreeId v,
                                std::vector<std::pair<SddId, SddId>> elements) {
   // Drop ⊥ primes.
   std::erase_if(elements, [](const auto& e) { return e.first == 0; });
+  // Interrupted sub-applies return ⊥, so a partition can legitimately
+  // empty out mid-unwind; the result is discarded by the caller anyway.
+  if (elements.empty() && interrupted_) return False();
   TBC_CHECK_MSG(!elements.empty(), "decision node with empty partition");
   // Compress: disjoin primes that share a sub.
   std::sort(elements.begin(), elements.end(),
@@ -62,7 +80,7 @@ SddId SddManager::MakeDecision(VtreeId v,
   }
   // Trimming rule 1: {(⊤, s)} -> s.
   if (compressed.size() == 1) {
-    TBC_DCHECK(compressed[0].first == True());
+    TBC_DCHECK(compressed[0].first == True() || interrupted_);
     return compressed[0].second;
   }
   // Trimming rule 2: {(p, ⊤), (¬p, ⊥)} -> p.
@@ -89,6 +107,9 @@ SddId SddManager::Negate(SddId f) {
     for (auto& [p, s] : elements) s = Negate(s);
     result = MakeDecision(nodes_[f].vtree, std::move(elements));
   }
+  // Never cache negation links computed during an interrupted unwind (the
+  // links are permanent; a bogus one would outlive ClearInterrupt()).
+  if (interrupted_) return False();
   nodes_[f].negation = result;
   nodes_[result].negation = f;
   return result;
@@ -105,6 +126,9 @@ std::vector<std::pair<SddId, SddId>> SddManager::NormalizeTo(VtreeId v, SddId g)
 }
 
 SddId SddManager::Apply(Op op, SddId f, SddId g) {
+  // Once interrupted, unwind in constant time per frame: every pending
+  // apply collapses to ⊥ and the caller surfaces interrupt_status().
+  if (interrupted_ || ChargeAndCheck(0)) return False();
   // Terminal cases.
   if (f == g) return f;
   if (op == Op::kAnd) {
@@ -162,6 +186,9 @@ SddId SddManager::Apply(Op op, SddId f, SddId g) {
     }
     result = MakeDecision(v, std::move(elements));
   }
+  // Results computed during an interrupted unwind are meaningless; keep
+  // them out of the op cache so a cleared manager stays correct.
+  if (interrupted_) return False();
   op_cache_[key] = result;
   return result;
 }
@@ -190,6 +217,7 @@ SddId SddManager::Condition(SddId f, Lit l) {
     for (auto& [p, s] : elements) s = Condition(s, l);
   }
   const SddId result = MakeDecision(v, std::move(elements));
+  if (interrupted_) return False();
   op_cache_[key] = result;
   return result;
 }

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "base/bigint.h"
+#include "base/guard.h"
+#include "base/result.h"
 #include "logic/lit.h"
 #include "nnf/nnf.h"
 #include "vtree/vtree.h"
@@ -90,6 +92,25 @@ class SddManager {
   /// Total nodes ever created (statistics).
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Attaches a resource guard (borrowed, may be null to detach). A single
+  /// Apply is worst-case O(|f|·|g|) with |f|,|g| themselves exponential in
+  /// the input, so the check sits *inside* the apply recursion: when the
+  /// guard trips (deadline, node budget, or cancellation) the manager sets
+  /// its interrupted flag, the in-flight recursion unwinds in constant time
+  /// per frame, and every subsequent operation returns ⊥ immediately until
+  /// ClearInterrupt(). Interruption never corrupts the manager: the unique
+  /// tables stay canonical; only results produced while interrupted are
+  /// meaningless and must be discarded by the caller.
+  void set_guard(Guard* guard) { guard_ = guard; }
+  bool interrupted() const { return interrupted_; }
+  /// Why the manager was interrupted; Ok if it was not.
+  const Status& interrupt_status() const { return interrupt_status_; }
+  /// Re-arms an interrupted manager (existing nodes remain valid).
+  void ClearInterrupt() {
+    interrupted_ = false;
+    interrupt_status_ = Status::Ok();
+  }
+
   /// Builds a canonical decision node respecting vtree node v from raw
   /// elements (primes must partition ⊤ over v's left vars). Compresses
   /// equal subs, drops ⊥ primes, applies trimming rules. Exposed for the
@@ -116,6 +137,9 @@ class SddManager {
 
   SddId Intern(Node node);
   SddId Apply(Op op, SddId f, SddId g);
+  // Charges the guard and latches the interrupted flag; returns true when
+  // the current operation should unwind.
+  bool ChargeAndCheck(uint64_t new_nodes);
   // Expresses g (whose vtree is inside a subtree of v) as a decision node
   // normalized for v.
   std::vector<std::pair<SddId, SddId>> NormalizeTo(VtreeId v, SddId g);
@@ -124,6 +148,9 @@ class SddManager {
   std::vector<Node> nodes_;
   std::unordered_map<uint64_t, std::vector<SddId>> unique_;
   std::unordered_map<OpKey, SddId, OpKeyHash> op_cache_;
+  Guard* guard_ = nullptr;  // borrowed; null = unbounded
+  bool interrupted_ = false;
+  Status interrupt_status_;
 };
 
 }  // namespace tbc

@@ -8,10 +8,45 @@ ObddId CompileBruteForce(const BooleanClassifier& classifier, ObddManager& mgr) 
   const size_t n = classifier.num_features;
   TBC_CHECK_MSG(n <= 22, "brute-force compilation limited to 22 features");
   TBC_CHECK(mgr.num_vars() >= n);
+  return CompileBruteForceBounded(classifier, mgr, Guard::Unlimited()).value();
+}
+
+Result<ObddId> CompileBruteForceBounded(const BooleanClassifier& classifier,
+                                        ObddManager& mgr, Guard& guard) {
+  const size_t n = classifier.num_features;
+  if (n > 22) {
+    return Status::InvalidInput(
+        "brute-force compilation limited to 22 features, got " +
+        std::to_string(n));
+  }
+  if (mgr.num_vars() < n) {
+    return Status::InvalidInput(
+        "manager has " + std::to_string(mgr.num_vars()) +
+        " variables, classifier needs " + std::to_string(n));
+  }
+  if (!classifier.classify) {
+    return Status::InvalidInput("classifier has no classify function");
+  }
+  TBC_RETURN_IF_ERROR(guard.Check());
   // Recursive Shannon expansion in the manager's variable order; the
-  // unique table reduces the result on the way up.
+  // unique table reduces the result on the way up. The guard is checked at
+  // a fixed depth (every subtree below it is at most 2^12 leaves) so the
+  // 2^n sweep stays interruptible without paying a charge per leaf;
+  // `stopped` latches the refusal and collapses the remaining recursion to
+  // O(depth) so unwinding is immediate.
+  const size_t poll_level = n > 12 ? n - 12 : 0;
   Assignment x(n, false);
+  Status stopped;
   std::function<ObddId(size_t)> rec = [&](size_t level) -> ObddId {
+    if (!stopped.ok()) return mgr.False();
+    if (level == poll_level) {
+      Status s = guard.ChargeNodes(1);
+      if (s.ok()) s = guard.Check();
+      if (!s.ok()) {
+        stopped = std::move(s);
+        return mgr.False();
+      }
+    }
     if (level == n) return classifier.classify(x) ? mgr.True() : mgr.False();
     const Var v = mgr.order()[level];
     x[v] = false;
@@ -21,7 +56,9 @@ ObddId CompileBruteForce(const BooleanClassifier& classifier, ObddManager& mgr) 
     x[v] = false;
     return mgr.MakeNode(v, lo, hi);
   };
-  return rec(0);
+  const ObddId root = rec(0);
+  if (!stopped.ok()) return stopped;
+  return root;
 }
 
 }  // namespace tbc

@@ -3,6 +3,8 @@
 
 #include <functional>
 
+#include "base/guard.h"
+#include "base/result.h"
 #include "obdd/obdd.h"
 
 namespace tbc {
@@ -19,8 +21,15 @@ struct BooleanClassifier {
 /// Compiles any classifier into an OBDD by exhaustive evaluation
 /// (2^num_features calls; the universal baseline against which the
 /// dedicated compilers of naive_bayes.h / decision_tree.h / bnn.h are
-/// verified). Limited to 22 features.
+/// verified). Limited to 22 features; aborts beyond.
 ObddId CompileBruteForce(const BooleanClassifier& classifier, ObddManager& mgr);
+
+/// Resource-governed variant: too many features (or a manager with too few
+/// variables) is a typed kInvalidInput instead of an abort, and the
+/// 2^num_features enumeration polls the guard so deadlines and
+/// cancellation interrupt it mid-sweep.
+Result<ObddId> CompileBruteForceBounded(const BooleanClassifier& classifier,
+                                        ObddManager& mgr, Guard& guard);
 
 }  // namespace tbc
 

@@ -1,0 +1,106 @@
+// Graceful-degradation portfolio tests: the SDD -> d-DNNF -> variable
+// elimination cascade must agree with direct variable elimination on every
+// query, fall back (not fail) when an early engine's budget is too small,
+// and return a typed refusal only when every engine runs out.
+
+#include "base/guard.h"
+#include "bayes/network.h"
+#include "bayes/varelim.h"
+#include "core/portfolio.h"
+#include "gtest/gtest.h"
+
+namespace tbc {
+namespace {
+
+BayesianNetwork MedicalNetwork() {
+  BayesianNetwork net;
+  BnVar sex = net.AddBinary("sex", {}, {0.55});
+  BnVar c = net.AddBinary("c", {sex}, {0.05, 0.15});
+  BnVar t1 = net.AddBinary("T1", {c}, {0.10, 0.85});
+  BnVar t2 = net.AddBinary("T2", {c}, {0.20, 0.75});
+  net.AddBinary("AGREE", {t1, t2}, {0.95, 0.05, 0.05, 0.95});
+  return net;
+}
+
+TEST(Portfolio, MatchesVariableEliminationUnlimited) {
+  const BayesianNetwork net = MedicalNetwork();
+  const VariableElimination ve(net);
+  BnInstantiation evidence(net.num_vars(), kUnobserved);
+  evidence[2] = 1;  // T1 observed positive
+
+  auto pe = ProbEvidenceWithFallback(net, evidence, Budget::Unlimited());
+  ASSERT_TRUE(pe.ok()) << pe.status().message();
+  EXPECT_NEAR(pe->value, ve.ProbEvidence(evidence), 1e-9);
+  // With no budget pressure the first engine wins.
+  EXPECT_EQ(pe->engine, PortfolioEngine::kSdd);
+  EXPECT_TRUE(pe->attempts.empty());
+
+  for (BnVar v = 0; v < net.num_vars(); ++v) {
+    if (evidence[v] != kUnobserved) continue;
+    for (int x = 0; x < 2; ++x) {
+      auto m = MarginalWithFallback(net, v, x, evidence, Budget::Unlimited());
+      ASSERT_TRUE(m.ok()) << m.status().message();
+      EXPECT_NEAR(m->value, ve.Marginal(v, x, evidence), 1e-9);
+
+      auto p = PosteriorWithFallback(net, v, x, evidence, Budget::Unlimited());
+      ASSERT_TRUE(p.ok()) << p.status().message();
+      EXPECT_NEAR(p->value, ve.Posterior(v, x, evidence), 1e-9);
+    }
+  }
+}
+
+TEST(Portfolio, FallsBackWhenCompilationBudgetTooSmall) {
+  // Force the cascade to its last stage: the node cap kills the SDD
+  // compile (~1500 nodes on this network) and the decision cap kills the
+  // top-down d-DNNF compile (~13 decisions), while variable elimination —
+  // which charges only its factor tables (~29 entries) and makes no
+  // decisions — squeaks through.
+  const BayesianNetwork net = MedicalNetwork();
+  const VariableElimination ve(net);
+  BnInstantiation evidence(net.num_vars(), kUnobserved);
+  evidence[4] = 1;  // AGREE observed
+
+  Budget budget;
+  budget.max_nodes = 200;
+  budget.max_decisions = 5;
+  auto r = ProbEvidenceWithFallback(net, evidence, budget);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r->engine, PortfolioEngine::kVarElim);
+  EXPECT_EQ(r->attempts.size(), 2u);  // sdd and ddnnf both refused first
+  EXPECT_NEAR(r->value, ve.ProbEvidence(evidence), 1e-9);
+}
+
+TEST(Portfolio, AllEnginesExhaustedIsTypedRefusal) {
+  const BayesianNetwork net = MedicalNetwork();
+  BnInstantiation evidence(net.num_vars(), kUnobserved);
+  auto r = ProbEvidenceWithFallback(net, evidence, Budget::NodeLimit(1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsRefusal());
+}
+
+TEST(Portfolio, InvalidQueriesRejectedUpFront) {
+  const BayesianNetwork net = MedicalNetwork();
+  BnInstantiation evidence(net.num_vars(), kUnobserved);
+  EXPECT_EQ(MarginalWithFallback(net, 99, 0, evidence, Budget::Unlimited())
+                .error_code(),
+            StatusCode::kInvalidInput);
+  EXPECT_EQ(PosteriorWithFallback(net, 0, 5, evidence, Budget::Unlimited())
+                .error_code(),
+            StatusCode::kInvalidInput);
+  evidence[0] = 0;
+  EXPECT_EQ(PosteriorWithFallback(net, 0, 1, evidence, Budget::Unlimited())
+                .error_code(),
+            StatusCode::kInvalidInput);
+}
+
+TEST(Portfolio, PosteriorWithObservedQueryVariableIsOne) {
+  const BayesianNetwork net = MedicalNetwork();
+  BnInstantiation evidence(net.num_vars(), kUnobserved);
+  evidence[1] = 1;
+  auto p = PosteriorWithFallback(net, 1, 1, evidence, Budget::Unlimited());
+  ASSERT_TRUE(p.ok()) << p.status().message();
+  EXPECT_NEAR(p->value, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tbc
