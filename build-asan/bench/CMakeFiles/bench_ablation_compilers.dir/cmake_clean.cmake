@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compilers.dir/bench_ablation_compilers.cc.o"
+  "CMakeFiles/bench_ablation_compilers.dir/bench_ablation_compilers.cc.o.d"
+  "bench_ablation_compilers"
+  "bench_ablation_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_psdd_eval.dir/bench_fig14_psdd_eval.cc.o"
+  "CMakeFiles/bench_fig14_psdd_eval.dir/bench_fig14_psdd_eval.cc.o.d"
+  "bench_fig14_psdd_eval"
+  "bench_fig14_psdd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_psdd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

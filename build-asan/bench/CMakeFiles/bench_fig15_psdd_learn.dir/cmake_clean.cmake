@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_psdd_learn.dir/bench_fig15_psdd_learn.cc.o"
+  "CMakeFiles/bench_fig15_psdd_learn.dir/bench_fig15_psdd_learn.cc.o.d"
+  "bench_fig15_psdd_learn"
+  "bench_fig15_psdd_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_psdd_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

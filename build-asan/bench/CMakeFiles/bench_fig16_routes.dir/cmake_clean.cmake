@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_routes.dir/bench_fig16_routes.cc.o"
+  "CMakeFiles/bench_fig16_routes.dir/bench_fig16_routes.cc.o.d"
+  "bench_fig16_routes"
+  "bench_fig16_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

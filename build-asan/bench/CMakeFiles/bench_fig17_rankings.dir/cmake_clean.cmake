@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_rankings.dir/bench_fig17_rankings.cc.o"
+  "CMakeFiles/bench_fig17_rankings.dir/bench_fig17_rankings.cc.o.d"
+  "bench_fig17_rankings"
+  "bench_fig17_rankings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_rankings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_hierarchical.dir/bench_fig18_hierarchical.cc.o"
+  "CMakeFiles/bench_fig18_hierarchical.dir/bench_fig18_hierarchical.cc.o.d"
+  "bench_fig18_hierarchical"
+  "bench_fig18_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_nb_compile.dir/bench_fig25_nb_compile.cc.o"
+  "CMakeFiles/bench_fig25_nb_compile.dir/bench_fig25_nb_compile.cc.o.d"
+  "bench_fig25_nb_compile"
+  "bench_fig25_nb_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_nb_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

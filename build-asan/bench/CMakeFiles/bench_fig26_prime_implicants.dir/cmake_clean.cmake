@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig26_prime_implicants.dir/bench_fig26_prime_implicants.cc.o"
+  "CMakeFiles/bench_fig26_prime_implicants.dir/bench_fig26_prime_implicants.cc.o.d"
+  "bench_fig26_prime_implicants"
+  "bench_fig26_prime_implicants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_prime_implicants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

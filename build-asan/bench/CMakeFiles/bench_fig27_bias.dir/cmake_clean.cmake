@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27_bias.dir/bench_fig27_bias.cc.o"
+  "CMakeFiles/bench_fig27_bias.dir/bench_fig27_bias.cc.o.d"
+  "bench_fig27_bias"
+  "bench_fig27_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig28_nn_explain.dir/bench_fig28_nn_explain.cc.o"
+  "CMakeFiles/bench_fig28_nn_explain.dir/bench_fig28_nn_explain.cc.o.d"
+  "bench_fig28_nn_explain"
+  "bench_fig28_nn_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig28_nn_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

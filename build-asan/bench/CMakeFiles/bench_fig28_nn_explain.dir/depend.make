@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig28_nn_explain.
+# This may be replaced when dependencies are built.

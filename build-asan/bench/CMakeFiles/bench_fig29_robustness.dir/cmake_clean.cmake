@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig29_robustness.dir/bench_fig29_robustness.cc.o"
+  "CMakeFiles/bench_fig29_robustness.dir/bench_fig29_robustness.cc.o.d"
+  "bench_fig29_robustness"
+  "bench_fig29_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_bn_queries.dir/bench_fig2_bn_queries.cc.o"
+  "CMakeFiles/bench_fig2_bn_queries.dir/bench_fig2_bn_queries.cc.o.d"
+  "bench_fig2_bn_queries"
+  "bench_fig2_bn_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_bn_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

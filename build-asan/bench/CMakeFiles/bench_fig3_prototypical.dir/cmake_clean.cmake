@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_prototypical.dir/bench_fig3_prototypical.cc.o"
+  "CMakeFiles/bench_fig3_prototypical.dir/bench_fig3_prototypical.cc.o.d"
+  "bench_fig3_prototypical"
+  "bench_fig3_prototypical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_prototypical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

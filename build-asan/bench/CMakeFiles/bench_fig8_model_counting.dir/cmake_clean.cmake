@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_model_counting.dir/bench_fig8_model_counting.cc.o"
+  "CMakeFiles/bench_fig8_model_counting.dir/bench_fig8_model_counting.cc.o.d"
+  "bench_fig8_model_counting"
+  "bench_fig8_model_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_model_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

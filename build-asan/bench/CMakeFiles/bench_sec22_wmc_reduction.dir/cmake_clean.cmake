@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec22_wmc_reduction.dir/bench_sec22_wmc_reduction.cc.o"
+  "CMakeFiles/bench_sec22_wmc_reduction.dir/bench_sec22_wmc_reduction.cc.o.d"
+  "bench_sec22_wmc_reduction"
+  "bench_sec22_wmc_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec22_wmc_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_tractability.dir/bench_sec3_tractability.cc.o"
+  "CMakeFiles/bench_sec3_tractability.dir/bench_sec3_tractability.cc.o.d"
+  "bench_sec3_tractability"
+  "bench_sec3_tractability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_tractability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_preferences.dir/course_preferences.cpp.o"
+  "CMakeFiles/course_preferences.dir/course_preferences.cpp.o.d"
+  "course_preferences"
+  "course_preferences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for course_preferences.
+# This may be replaced when dependencies are built.

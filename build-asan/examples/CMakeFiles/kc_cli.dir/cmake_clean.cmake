@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kc_cli.dir/kc_cli.cpp.o"
+  "CMakeFiles/kc_cli.dir/kc_cli.cpp.o.d"
+  "kc_cli"
+  "kc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

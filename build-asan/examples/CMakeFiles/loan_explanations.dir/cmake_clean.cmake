@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loan_explanations.dir/loan_explanations.cpp.o"
+  "CMakeFiles/loan_explanations.dir/loan_explanations.cpp.o.d"
+  "loan_explanations"
+  "loan_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loan_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

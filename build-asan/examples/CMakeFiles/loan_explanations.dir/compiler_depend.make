@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for loan_explanations.
+# This may be replaced when dependencies are built.

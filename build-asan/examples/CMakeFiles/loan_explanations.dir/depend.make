@@ -1,0 +1,2 @@
+# Empty dependencies file for loan_explanations.
+# This may be replaced when dependencies are built.

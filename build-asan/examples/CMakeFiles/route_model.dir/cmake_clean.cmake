@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_model.dir/route_model.cpp.o"
+  "CMakeFiles/route_model.dir/route_model.cpp.o.d"
+  "route_model"
+  "route_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

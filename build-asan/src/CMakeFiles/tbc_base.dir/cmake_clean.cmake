@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_base.dir/base/bigint.cc.o"
+  "CMakeFiles/tbc_base.dir/base/bigint.cc.o.d"
+  "CMakeFiles/tbc_base.dir/base/strings.cc.o"
+  "CMakeFiles/tbc_base.dir/base/strings.cc.o.d"
+  "libtbc_base.a"
+  "libtbc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bayes/circuit_inference.cc" "src/CMakeFiles/tbc_bayes.dir/bayes/circuit_inference.cc.o" "gcc" "src/CMakeFiles/tbc_bayes.dir/bayes/circuit_inference.cc.o.d"
+  "/root/repo/src/bayes/factor.cc" "src/CMakeFiles/tbc_bayes.dir/bayes/factor.cc.o" "gcc" "src/CMakeFiles/tbc_bayes.dir/bayes/factor.cc.o.d"
+  "/root/repo/src/bayes/io.cc" "src/CMakeFiles/tbc_bayes.dir/bayes/io.cc.o" "gcc" "src/CMakeFiles/tbc_bayes.dir/bayes/io.cc.o.d"
+  "/root/repo/src/bayes/jointree.cc" "src/CMakeFiles/tbc_bayes.dir/bayes/jointree.cc.o" "gcc" "src/CMakeFiles/tbc_bayes.dir/bayes/jointree.cc.o.d"
+  "/root/repo/src/bayes/network.cc" "src/CMakeFiles/tbc_bayes.dir/bayes/network.cc.o" "gcc" "src/CMakeFiles/tbc_bayes.dir/bayes/network.cc.o.d"
+  "/root/repo/src/bayes/varelim.cc" "src/CMakeFiles/tbc_bayes.dir/bayes/varelim.cc.o" "gcc" "src/CMakeFiles/tbc_bayes.dir/bayes/varelim.cc.o.d"
+  "/root/repo/src/bayes/wmc_encoding.cc" "src/CMakeFiles/tbc_bayes.dir/bayes/wmc_encoding.cc.o" "gcc" "src/CMakeFiles/tbc_bayes.dir/bayes/wmc_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/tbc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_sat.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_sdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_obdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_nnf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_logic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_vtree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_bayes.dir/bayes/circuit_inference.cc.o"
+  "CMakeFiles/tbc_bayes.dir/bayes/circuit_inference.cc.o.d"
+  "CMakeFiles/tbc_bayes.dir/bayes/factor.cc.o"
+  "CMakeFiles/tbc_bayes.dir/bayes/factor.cc.o.d"
+  "CMakeFiles/tbc_bayes.dir/bayes/io.cc.o"
+  "CMakeFiles/tbc_bayes.dir/bayes/io.cc.o.d"
+  "CMakeFiles/tbc_bayes.dir/bayes/jointree.cc.o"
+  "CMakeFiles/tbc_bayes.dir/bayes/jointree.cc.o.d"
+  "CMakeFiles/tbc_bayes.dir/bayes/network.cc.o"
+  "CMakeFiles/tbc_bayes.dir/bayes/network.cc.o.d"
+  "CMakeFiles/tbc_bayes.dir/bayes/varelim.cc.o"
+  "CMakeFiles/tbc_bayes.dir/bayes/varelim.cc.o.d"
+  "CMakeFiles/tbc_bayes.dir/bayes/wmc_encoding.cc.o"
+  "CMakeFiles/tbc_bayes.dir/bayes/wmc_encoding.cc.o.d"
+  "libtbc_bayes.a"
+  "libtbc_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

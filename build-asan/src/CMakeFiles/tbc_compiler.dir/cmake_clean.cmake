@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_compiler.dir/compiler/ddnnf_compiler.cc.o"
+  "CMakeFiles/tbc_compiler.dir/compiler/ddnnf_compiler.cc.o.d"
+  "CMakeFiles/tbc_compiler.dir/compiler/model_counter.cc.o"
+  "CMakeFiles/tbc_compiler.dir/compiler/model_counter.cc.o.d"
+  "libtbc_compiler.a"
+  "libtbc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_core.dir/core/dot.cc.o"
+  "CMakeFiles/tbc_core.dir/core/dot.cc.o.d"
+  "CMakeFiles/tbc_core.dir/core/kc_map.cc.o"
+  "CMakeFiles/tbc_core.dir/core/kc_map.cc.o.d"
+  "CMakeFiles/tbc_core.dir/core/portfolio.cc.o"
+  "CMakeFiles/tbc_core.dir/core/portfolio.cc.o.d"
+  "CMakeFiles/tbc_core.dir/core/solvers.cc.o"
+  "CMakeFiles/tbc_core.dir/core/solvers.cc.o.d"
+  "libtbc_core.a"
+  "libtbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_logic.dir/logic/cnf.cc.o"
+  "CMakeFiles/tbc_logic.dir/logic/cnf.cc.o.d"
+  "CMakeFiles/tbc_logic.dir/logic/formula.cc.o"
+  "CMakeFiles/tbc_logic.dir/logic/formula.cc.o.d"
+  "CMakeFiles/tbc_logic.dir/logic/simplify.cc.o"
+  "CMakeFiles/tbc_logic.dir/logic/simplify.cc.o.d"
+  "libtbc_logic.a"
+  "libtbc_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

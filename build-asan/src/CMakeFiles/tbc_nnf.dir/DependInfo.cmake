@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nnf/io.cc" "src/CMakeFiles/tbc_nnf.dir/nnf/io.cc.o" "gcc" "src/CMakeFiles/tbc_nnf.dir/nnf/io.cc.o.d"
+  "/root/repo/src/nnf/nnf.cc" "src/CMakeFiles/tbc_nnf.dir/nnf/nnf.cc.o" "gcc" "src/CMakeFiles/tbc_nnf.dir/nnf/nnf.cc.o.d"
+  "/root/repo/src/nnf/properties.cc" "src/CMakeFiles/tbc_nnf.dir/nnf/properties.cc.o" "gcc" "src/CMakeFiles/tbc_nnf.dir/nnf/properties.cc.o.d"
+  "/root/repo/src/nnf/queries.cc" "src/CMakeFiles/tbc_nnf.dir/nnf/queries.cc.o" "gcc" "src/CMakeFiles/tbc_nnf.dir/nnf/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/tbc_logic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_nnf.dir/nnf/io.cc.o"
+  "CMakeFiles/tbc_nnf.dir/nnf/io.cc.o.d"
+  "CMakeFiles/tbc_nnf.dir/nnf/nnf.cc.o"
+  "CMakeFiles/tbc_nnf.dir/nnf/nnf.cc.o.d"
+  "CMakeFiles/tbc_nnf.dir/nnf/properties.cc.o"
+  "CMakeFiles/tbc_nnf.dir/nnf/properties.cc.o.d"
+  "CMakeFiles/tbc_nnf.dir/nnf/queries.cc.o"
+  "CMakeFiles/tbc_nnf.dir/nnf/queries.cc.o.d"
+  "libtbc_nnf.a"
+  "libtbc_nnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_nnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

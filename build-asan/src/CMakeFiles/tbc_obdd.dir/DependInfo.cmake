@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obdd/obdd.cc" "src/CMakeFiles/tbc_obdd.dir/obdd/obdd.cc.o" "gcc" "src/CMakeFiles/tbc_obdd.dir/obdd/obdd.cc.o.d"
+  "/root/repo/src/obdd/ordering.cc" "src/CMakeFiles/tbc_obdd.dir/obdd/ordering.cc.o" "gcc" "src/CMakeFiles/tbc_obdd.dir/obdd/ordering.cc.o.d"
+  "/root/repo/src/obdd/threshold.cc" "src/CMakeFiles/tbc_obdd.dir/obdd/threshold.cc.o" "gcc" "src/CMakeFiles/tbc_obdd.dir/obdd/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/tbc_logic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_nnf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_vtree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_obdd.dir/obdd/obdd.cc.o"
+  "CMakeFiles/tbc_obdd.dir/obdd/obdd.cc.o.d"
+  "CMakeFiles/tbc_obdd.dir/obdd/ordering.cc.o"
+  "CMakeFiles/tbc_obdd.dir/obdd/ordering.cc.o.d"
+  "CMakeFiles/tbc_obdd.dir/obdd/threshold.cc.o"
+  "CMakeFiles/tbc_obdd.dir/obdd/threshold.cc.o.d"
+  "libtbc_obdd.a"
+  "libtbc_obdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_obdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

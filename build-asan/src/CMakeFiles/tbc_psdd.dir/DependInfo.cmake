@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psdd/conditional.cc" "src/CMakeFiles/tbc_psdd.dir/psdd/conditional.cc.o" "gcc" "src/CMakeFiles/tbc_psdd.dir/psdd/conditional.cc.o.d"
+  "/root/repo/src/psdd/learn.cc" "src/CMakeFiles/tbc_psdd.dir/psdd/learn.cc.o" "gcc" "src/CMakeFiles/tbc_psdd.dir/psdd/learn.cc.o.d"
+  "/root/repo/src/psdd/psdd.cc" "src/CMakeFiles/tbc_psdd.dir/psdd/psdd.cc.o" "gcc" "src/CMakeFiles/tbc_psdd.dir/psdd/psdd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/tbc_sdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_obdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_nnf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_logic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_vtree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

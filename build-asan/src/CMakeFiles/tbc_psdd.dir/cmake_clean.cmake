@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_psdd.dir/psdd/conditional.cc.o"
+  "CMakeFiles/tbc_psdd.dir/psdd/conditional.cc.o.d"
+  "CMakeFiles/tbc_psdd.dir/psdd/learn.cc.o"
+  "CMakeFiles/tbc_psdd.dir/psdd/learn.cc.o.d"
+  "CMakeFiles/tbc_psdd.dir/psdd/psdd.cc.o"
+  "CMakeFiles/tbc_psdd.dir/psdd/psdd.cc.o.d"
+  "libtbc_psdd.a"
+  "libtbc_psdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_psdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

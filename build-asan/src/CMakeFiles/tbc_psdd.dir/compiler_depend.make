@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbc_psdd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/enumerate.cc" "src/CMakeFiles/tbc_sat.dir/sat/enumerate.cc.o" "gcc" "src/CMakeFiles/tbc_sat.dir/sat/enumerate.cc.o.d"
+  "/root/repo/src/sat/solver.cc" "src/CMakeFiles/tbc_sat.dir/sat/solver.cc.o" "gcc" "src/CMakeFiles/tbc_sat.dir/sat/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/tbc_logic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_sat.dir/sat/enumerate.cc.o"
+  "CMakeFiles/tbc_sat.dir/sat/enumerate.cc.o.d"
+  "CMakeFiles/tbc_sat.dir/sat/solver.cc.o"
+  "CMakeFiles/tbc_sat.dir/sat/solver.cc.o.d"
+  "libtbc_sat.a"
+  "libtbc_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

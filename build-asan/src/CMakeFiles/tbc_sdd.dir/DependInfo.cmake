@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdd/compile.cc" "src/CMakeFiles/tbc_sdd.dir/sdd/compile.cc.o" "gcc" "src/CMakeFiles/tbc_sdd.dir/sdd/compile.cc.o.d"
+  "/root/repo/src/sdd/from_obdd.cc" "src/CMakeFiles/tbc_sdd.dir/sdd/from_obdd.cc.o" "gcc" "src/CMakeFiles/tbc_sdd.dir/sdd/from_obdd.cc.o.d"
+  "/root/repo/src/sdd/io.cc" "src/CMakeFiles/tbc_sdd.dir/sdd/io.cc.o" "gcc" "src/CMakeFiles/tbc_sdd.dir/sdd/io.cc.o.d"
+  "/root/repo/src/sdd/minimize.cc" "src/CMakeFiles/tbc_sdd.dir/sdd/minimize.cc.o" "gcc" "src/CMakeFiles/tbc_sdd.dir/sdd/minimize.cc.o.d"
+  "/root/repo/src/sdd/sdd.cc" "src/CMakeFiles/tbc_sdd.dir/sdd/sdd.cc.o" "gcc" "src/CMakeFiles/tbc_sdd.dir/sdd/sdd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/tbc_logic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_nnf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_vtree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_obdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

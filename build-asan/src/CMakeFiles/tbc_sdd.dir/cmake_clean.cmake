@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_sdd.dir/sdd/compile.cc.o"
+  "CMakeFiles/tbc_sdd.dir/sdd/compile.cc.o.d"
+  "CMakeFiles/tbc_sdd.dir/sdd/from_obdd.cc.o"
+  "CMakeFiles/tbc_sdd.dir/sdd/from_obdd.cc.o.d"
+  "CMakeFiles/tbc_sdd.dir/sdd/io.cc.o"
+  "CMakeFiles/tbc_sdd.dir/sdd/io.cc.o.d"
+  "CMakeFiles/tbc_sdd.dir/sdd/minimize.cc.o"
+  "CMakeFiles/tbc_sdd.dir/sdd/minimize.cc.o.d"
+  "CMakeFiles/tbc_sdd.dir/sdd/sdd.cc.o"
+  "CMakeFiles/tbc_sdd.dir/sdd/sdd.cc.o.d"
+  "libtbc_sdd.a"
+  "libtbc_sdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_sdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbc_sdd.
+# This may be replaced when dependencies are built.

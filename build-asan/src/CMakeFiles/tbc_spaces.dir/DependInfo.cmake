@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spaces/graph.cc" "src/CMakeFiles/tbc_spaces.dir/spaces/graph.cc.o" "gcc" "src/CMakeFiles/tbc_spaces.dir/spaces/graph.cc.o.d"
+  "/root/repo/src/spaces/hierarchical.cc" "src/CMakeFiles/tbc_spaces.dir/spaces/hierarchical.cc.o" "gcc" "src/CMakeFiles/tbc_spaces.dir/spaces/hierarchical.cc.o.d"
+  "/root/repo/src/spaces/rankings.cc" "src/CMakeFiles/tbc_spaces.dir/spaces/rankings.cc.o" "gcc" "src/CMakeFiles/tbc_spaces.dir/spaces/rankings.cc.o.d"
+  "/root/repo/src/spaces/routes.cc" "src/CMakeFiles/tbc_spaces.dir/spaces/routes.cc.o" "gcc" "src/CMakeFiles/tbc_spaces.dir/spaces/routes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/tbc_sdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_obdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_psdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_nnf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_logic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_vtree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

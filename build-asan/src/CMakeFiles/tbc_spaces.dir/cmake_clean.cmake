@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_spaces.dir/spaces/graph.cc.o"
+  "CMakeFiles/tbc_spaces.dir/spaces/graph.cc.o.d"
+  "CMakeFiles/tbc_spaces.dir/spaces/hierarchical.cc.o"
+  "CMakeFiles/tbc_spaces.dir/spaces/hierarchical.cc.o.d"
+  "CMakeFiles/tbc_spaces.dir/spaces/rankings.cc.o"
+  "CMakeFiles/tbc_spaces.dir/spaces/rankings.cc.o.d"
+  "CMakeFiles/tbc_spaces.dir/spaces/routes.cc.o"
+  "CMakeFiles/tbc_spaces.dir/spaces/routes.cc.o.d"
+  "libtbc_spaces.a"
+  "libtbc_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

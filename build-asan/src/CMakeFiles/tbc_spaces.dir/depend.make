@@ -1,0 +1,2 @@
+# Empty dependencies file for tbc_spaces.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_vtree.dir/vtree/vtree.cc.o"
+  "CMakeFiles/tbc_vtree.dir/vtree/vtree.cc.o.d"
+  "libtbc_vtree.a"
+  "libtbc_vtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_vtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

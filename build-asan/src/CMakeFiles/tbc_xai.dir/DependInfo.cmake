@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xai/bn_classifier.cc" "src/CMakeFiles/tbc_xai.dir/xai/bn_classifier.cc.o" "gcc" "src/CMakeFiles/tbc_xai.dir/xai/bn_classifier.cc.o.d"
+  "/root/repo/src/xai/bnn.cc" "src/CMakeFiles/tbc_xai.dir/xai/bnn.cc.o" "gcc" "src/CMakeFiles/tbc_xai.dir/xai/bnn.cc.o.d"
+  "/root/repo/src/xai/compile.cc" "src/CMakeFiles/tbc_xai.dir/xai/compile.cc.o" "gcc" "src/CMakeFiles/tbc_xai.dir/xai/compile.cc.o.d"
+  "/root/repo/src/xai/decision_tree.cc" "src/CMakeFiles/tbc_xai.dir/xai/decision_tree.cc.o" "gcc" "src/CMakeFiles/tbc_xai.dir/xai/decision_tree.cc.o.d"
+  "/root/repo/src/xai/explain.cc" "src/CMakeFiles/tbc_xai.dir/xai/explain.cc.o" "gcc" "src/CMakeFiles/tbc_xai.dir/xai/explain.cc.o.d"
+  "/root/repo/src/xai/naive_bayes.cc" "src/CMakeFiles/tbc_xai.dir/xai/naive_bayes.cc.o" "gcc" "src/CMakeFiles/tbc_xai.dir/xai/naive_bayes.cc.o.d"
+  "/root/repo/src/xai/robustness.cc" "src/CMakeFiles/tbc_xai.dir/xai/robustness.cc.o" "gcc" "src/CMakeFiles/tbc_xai.dir/xai/robustness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/tbc_obdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_sdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_bayes.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_vtree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_nnf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_sat.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_logic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbc_xai.dir/xai/bn_classifier.cc.o"
+  "CMakeFiles/tbc_xai.dir/xai/bn_classifier.cc.o.d"
+  "CMakeFiles/tbc_xai.dir/xai/bnn.cc.o"
+  "CMakeFiles/tbc_xai.dir/xai/bnn.cc.o.d"
+  "CMakeFiles/tbc_xai.dir/xai/compile.cc.o"
+  "CMakeFiles/tbc_xai.dir/xai/compile.cc.o.d"
+  "CMakeFiles/tbc_xai.dir/xai/decision_tree.cc.o"
+  "CMakeFiles/tbc_xai.dir/xai/decision_tree.cc.o.d"
+  "CMakeFiles/tbc_xai.dir/xai/explain.cc.o"
+  "CMakeFiles/tbc_xai.dir/xai/explain.cc.o.d"
+  "CMakeFiles/tbc_xai.dir/xai/naive_bayes.cc.o"
+  "CMakeFiles/tbc_xai.dir/xai/naive_bayes.cc.o.d"
+  "CMakeFiles/tbc_xai.dir/xai/robustness.cc.o"
+  "CMakeFiles/tbc_xai.dir/xai/robustness.cc.o.d"
+  "libtbc_xai.a"
+  "libtbc_xai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbc_xai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

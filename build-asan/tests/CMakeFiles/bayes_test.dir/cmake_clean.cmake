@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayes_test.dir/bayes_test.cc.o"
+  "CMakeFiles/bayes_test.dir/bayes_test.cc.o.d"
+  "bayes_test"
+  "bayes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guard_test.dir/guard_test.cc.o"
+  "CMakeFiles/guard_test.dir/guard_test.cc.o.d"
+  "guard_test"
+  "guard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/malformed_input_test.cc" "tests/CMakeFiles/malformed_input_test.dir/malformed_input_test.cc.o" "gcc" "tests/CMakeFiles/malformed_input_test.dir/malformed_input_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/tbc_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_spaces.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_psdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_xai.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_bayes.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_sat.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_sdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_obdd.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_nnf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_logic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_vtree.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/CMakeFiles/tbc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

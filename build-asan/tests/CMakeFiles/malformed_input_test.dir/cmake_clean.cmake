@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malformed_input_test.dir/malformed_input_test.cc.o"
+  "CMakeFiles/malformed_input_test.dir/malformed_input_test.cc.o.d"
+  "malformed_input_test"
+  "malformed_input_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malformed_input_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdd_property_test.dir/psdd_property_test.cc.o"
+  "CMakeFiles/psdd_property_test.dir/psdd_property_test.cc.o.d"
+  "psdd_property_test"
+  "psdd_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdd_test.dir/psdd_test.cc.o"
+  "CMakeFiles/psdd_test.dir/psdd_test.cc.o.d"
+  "psdd_test"
+  "psdd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_test.dir/sdd_test.cc.o"
+  "CMakeFiles/sdd_test.dir/sdd_test.cc.o.d"
+  "sdd_test"
+  "sdd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaces_test.dir/spaces_test.cc.o"
+  "CMakeFiles/spaces_test.dir/spaces_test.cc.o.d"
+  "spaces_test"
+  "spaces_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaces_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

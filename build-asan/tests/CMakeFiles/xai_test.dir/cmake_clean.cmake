@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xai_test.dir/xai_test.cc.o"
+  "CMakeFiles/xai_test.dir/xai_test.cc.o.d"
+  "xai_test"
+  "xai_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xai_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
