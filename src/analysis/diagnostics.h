@@ -1,0 +1,78 @@
+#ifndef TBC_ANALYSIS_DIAGNOSTICS_H_
+#define TBC_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbc {
+
+/// How bad a finding is. Errors break a claimed tractability property (a
+/// query answer computed on the circuit may be wrong); warnings flag
+/// conditions that are legal but suspicious (e.g. a d-DNNF that is not
+/// smooth, a PSDD parameter that shrinks the support below the base).
+enum class Severity : uint8_t { kError, kWarning, kNote };
+
+const char* SeverityName(Severity s);
+
+/// One analyzer finding. `rule_id` is a stable dotted identifier from
+/// analysis/rules.h ("dnnf.decomposable", "sdd.compressed", ...); `node_id`
+/// is the offending node in whatever id space the analyzed artifact uses
+/// (NnfId, SddId, PsddId, or a file node id); `witness` is machine-checkable
+/// evidence when the rule can produce one (a shared variable, a satisfying
+/// assignment for two or-inputs, an element index).
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule_id;
+  uint64_t node_id = 0;
+  std::string witness;
+  std::string message;
+};
+
+/// Collects diagnostics from one analysis run. All analyzers append into a
+/// report instead of returning bools or aborting, so callers can render the
+/// full list (CLI), assert on specific rules (tests), or abort on the first
+/// error (TBC_VALIDATE hooks).
+class DiagnosticReport {
+ public:
+  /// Appends a diagnostic; drops it (but still counts it) past the cap.
+  void Add(Diagnostic d);
+  /// Convenience used by every rule implementation.
+  void Add(Severity severity, const char* rule_id, uint64_t node_id,
+           std::string witness, std::string message);
+
+  /// No error-severity findings (warnings/notes do not dirty a report).
+  bool clean() const { return num_errors_ == 0; }
+  size_t num_errors() const { return num_errors_; }
+  size_t num_warnings() const { return num_warnings_; }
+  size_t size() const { return diagnostics_.size(); }
+  bool empty() const { return diagnostics_.empty(); }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// True iff some retained diagnostic carries `rule_id`.
+  bool HasRule(const std::string& rule_id) const;
+  /// First retained diagnostic for `rule_id`, or nullptr.
+  const Diagnostic* FindRule(const std::string& rule_id) const;
+
+  /// At most this many diagnostics are retained (the counters keep going);
+  /// one broken invariant often fires on thousands of nodes and the first
+  /// few witnesses are what a human needs.
+  void set_max_diagnostics(size_t cap) { max_diagnostics_ = cap; }
+
+  /// Renders one line per diagnostic:
+  ///   <subject>: error[dnnf.decomposable] node 7: ... (witness: var 3)
+  std::string ToText(const std::string& subject) const;
+  /// Renders a JSON object {"subject": ..., "clean": ..., "diagnostics":
+  /// [...]} for machine consumers of tbc_lint --format=json.
+  std::string ToJson(const std::string& subject) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t num_errors_ = 0;
+  size_t num_warnings_ = 0;
+  size_t max_diagnostics_ = 64;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,52 @@
+#ifndef TBC_ANALYSIS_NNF_ANALYZER_H_
+#define TBC_ANALYSIS_NNF_ANALYZER_H_
+
+#include <cstddef>
+
+#include "analysis/diagnostics.h"
+#include "nnf/nnf.h"
+
+namespace tbc {
+
+/// Which rung of the paper's §3 property ladder a circuit claims to sit on.
+/// Each dialect fixes the set of rules AnalyzeNnf enforces and the severity
+/// of smoothness (a d-DNNF emitted by the top-down compiler is legitimately
+/// non-smooth — the counting queries apply gap factors — so smoothness is a
+/// warning there and an error only for kSmoothDdnnf).
+enum class NnfDialect {
+  kNnf,           // well-formedness only
+  kDnnf,          // + decomposability
+  kDdnnf,         // + determinism (smoothness reported as a warning)
+  kSmoothDdnnf,   // + smoothness as an error
+  kDecisionDnnf,  // decomposability + decision form (compiler output)
+  kObdd,          // decision form + global variable order + reducedness
+};
+
+const char* NnfDialectName(NnfDialect d);
+/// Parses "nnf", "dnnf", "ddnnf", "sd-dnnf", "dec-dnnf", "obdd".
+bool ParseNnfDialect(const char* name, NnfDialect* out);
+
+struct NnfAnalysisOptions {
+  NnfDialect dialect = NnfDialect::kDdnnf;
+  /// Decide or-input disjointness with the CDCL solver when the syntactic
+  /// fast path (complementary anchored literals) cannot prove it. Without
+  /// SAT, unproved pairs are reported as ddnnf.unverified warnings.
+  bool sat_determinism = true;
+  /// Cap on SolveAssuming calls per analysis; past it the analyzer adds one
+  /// ddnnf.unverified warning instead of solving further pairs.
+  size_t max_sat_checks = 4096;
+  /// Declared variable count (e.g. from a .nnf header); literal variables at
+  /// or above it are flagged. 0 = derive from the manager.
+  size_t expected_num_vars = 0;
+};
+
+/// Statically verifies the invariant ladder for the subcircuit at `root`,
+/// appending one diagnostic per offending node to `report`. No query is
+/// evaluated; determinism uses SAT-backed disjointness with a syntactic
+/// fast path, everything else is a linear structural pass.
+void AnalyzeNnf(NnfManager& mgr, NnfId root, const NnfAnalysisOptions& options,
+                DiagnosticReport& report);
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_NNF_ANALYZER_H_

@@ -1,0 +1,65 @@
+#include "analysis/obdd_analyzer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/rules.h"
+#include "base/hash.h"
+
+namespace tbc {
+
+void AnalyzeObdd(const ObddManager& mgr, ObddId root, DiagnosticReport& report) {
+  // Collect the reachable subgraph.
+  std::vector<ObddId> stack = {root};
+  std::unordered_set<ObddId> seen;
+  std::unordered_map<uint64_t, std::vector<ObddId>> by_triple;
+  while (!stack.empty()) {
+    const ObddId f = stack.back();
+    stack.pop_back();
+    if (mgr.IsTerminal(f) || !seen.insert(f).second) continue;
+    const Var v = mgr.var(f);
+    const ObddId lo = mgr.lo(f);
+    const ObddId hi = mgr.hi(f);
+    if (v >= mgr.num_vars()) {
+      report.Add(Severity::kError, rules::kObddOrdered, f,
+                 "variable " + std::to_string(v + 1),
+                 "decision variable outside the manager's order");
+    } else {
+      for (const ObddId child : {lo, hi}) {
+        if (mgr.IsTerminal(child)) continue;
+        if (mgr.LevelOf(mgr.var(child)) <= mgr.LevelOf(v)) {
+          report.Add(Severity::kError, rules::kObddOrdered, f,
+                     "variable " + std::to_string(mgr.var(child) + 1),
+                     "child tests variable " + std::to_string(mgr.var(child) + 1) +
+                         " at or above parent variable " + std::to_string(v + 1) +
+                         " in the order");
+        }
+      }
+    }
+    if (lo == hi) {
+      report.Add(Severity::kError, rules::kObddReduced, f,
+                 "variable " + std::to_string(v + 1),
+                 "decision with identical lo and hi children (node is "
+                 "redundant)");
+    }
+    by_triple[HashCombine(HashCombine(HashCombine(0, v), lo), hi)].push_back(f);
+    stack.push_back(lo);
+    stack.push_back(hi);
+  }
+  // Duplicate (var, lo, hi) triples break canonicity (unique-table bug).
+  for (const auto& [h, ids] : by_triple) {
+    (void)h;
+    for (size_t i = 1; i < ids.size(); ++i) {
+      if (mgr.var(ids[i]) == mgr.var(ids[0]) && mgr.lo(ids[i]) == mgr.lo(ids[0]) &&
+          mgr.hi(ids[i]) == mgr.hi(ids[0])) {
+        report.Add(Severity::kError, rules::kObddReduced, ids[i],
+                   "duplicate of node " + std::to_string(ids[0]),
+                   "two reachable nodes share (var, lo, hi) — unique table "
+                   "violated");
+      }
+    }
+  }
+}
+
+}  // namespace tbc

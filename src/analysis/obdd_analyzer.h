@@ -1,0 +1,19 @@
+#ifndef TBC_ANALYSIS_OBDD_ANALYZER_H_
+#define TBC_ANALYSIS_OBDD_ANALYZER_H_
+
+#include "analysis/diagnostics.h"
+#include "obdd/obdd.h"
+
+namespace tbc {
+
+/// Independently certifies that the subgraph at `root` is a reduced ordered
+/// BDD: every edge descends strictly in the manager's variable order
+/// (obdd.ordered), no decision has identical branches, and no two reachable
+/// nodes are structurally identical (obdd.reduced). The ObddManager enforces
+/// all of this by construction — the analyzer re-derives it from the node
+/// table alone so a unique-table bug cannot silently corrupt canonicity.
+void AnalyzeObdd(const ObddManager& mgr, ObddId root, DiagnosticReport& report);
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_OBDD_ANALYZER_H_

@@ -1,0 +1,191 @@
+#include "analysis/psdd_analyzer.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.h"
+#include "analysis/sdd_analyzer.h"
+#include "base/strings.h"
+
+namespace tbc {
+
+namespace {
+
+constexpr double kSumTolerance = 1e-6;
+
+std::string ThetaString(double theta) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", theta);
+  return buffer;
+}
+
+}  // namespace
+
+void AnalyzePsdd(const Psdd& psdd, DiagnosticReport& report) {
+  const Vtree& vtree = psdd.vtree();
+  for (PsddId n = 0; n < psdd.num_nodes(); ++n) {
+    const VtreeId v = psdd.vtree_node(n);
+    switch (psdd.kind(n)) {
+      case Psdd::Kind::kLiteral: {
+        if (!vtree.IsLeaf(v) || vtree.var(v) != psdd.literal(n).var()) {
+          report.Add(Severity::kError, rules::kPsddStructure, n,
+                     "variable " + std::to_string(psdd.literal(n).var() + 1),
+                     "literal node does not sit on its variable's vtree leaf");
+        }
+        break;
+      }
+      case Psdd::Kind::kTop: {
+        if (!vtree.IsLeaf(v)) {
+          report.Add(Severity::kError, rules::kPsddStructure, n, "",
+                     "top node does not sit on a vtree leaf");
+        }
+        const double theta = psdd.theta_true(n);
+        if (!(theta >= 0.0 && theta <= 1.0)) {
+          report.Add(Severity::kError, rules::kPsddNormalized, n,
+                     ThetaString(theta),
+                     "Bernoulli parameter outside [0, 1]");
+        } else if (theta == 0.0 || theta == 1.0) {
+          report.Add(Severity::kWarning, rules::kPsddSupport, n,
+                     ThetaString(theta),
+                     "degenerate Bernoulli parameter removes models from the "
+                     "base's support");
+        }
+        break;
+      }
+      case Psdd::Kind::kDecision: {
+        if (vtree.IsLeaf(v)) {
+          report.Add(Severity::kError, rules::kPsddStructure, n, "",
+                     "decision node sits on a vtree leaf");
+          break;
+        }
+        const auto& elements = psdd.elements(n);
+        if (elements.empty()) {
+          report.Add(Severity::kError, rules::kPsddStructure, n, "",
+                     "decision node with an empty partition");
+          break;
+        }
+        double total = 0.0;
+        bool bad_theta = false;
+        for (size_t i = 0; i < elements.size(); ++i) {
+          const Psdd::Element& el = elements[i];
+          // Normalized form: primes sit exactly on left(v), subs on
+          // right(v) — pass-through nodes fill any vtree gap.
+          if (psdd.vtree_node(el.prime) != vtree.left(v)) {
+            report.Add(Severity::kError, rules::kPsddStructure, n,
+                       "element " + std::to_string(i),
+                       "prime is not normalized for the left vtree of its "
+                       "decision node");
+          }
+          if (psdd.vtree_node(el.sub) != vtree.right(v)) {
+            report.Add(Severity::kError, rules::kPsddStructure, n,
+                       "element " + std::to_string(i),
+                       "sub is not normalized for the right vtree of its "
+                       "decision node");
+          }
+          if (!(el.theta >= 0.0)) {
+            bad_theta = true;
+            report.Add(Severity::kError, rules::kPsddNormalized, n,
+                       "element " + std::to_string(i) + ": " +
+                           ThetaString(el.theta),
+                       "negative element parameter");
+          } else {
+            total += el.theta;
+            if (el.theta == 0.0) {
+              report.Add(Severity::kWarning, rules::kPsddSupport, n,
+                         "element " + std::to_string(i),
+                         "zero element parameter removes the element's models "
+                         "from the base's support");
+            }
+          }
+        }
+        if (!bad_theta && std::abs(total - 1.0) > kSumTolerance) {
+          report.Add(Severity::kError, rules::kPsddNormalized, n,
+                     "sum = " + ThetaString(total),
+                     "element parameters do not sum to 1");
+        }
+        break;
+      }
+    }
+  }
+}
+
+void AnalyzePsddFile(const std::string& text, const Vtree& vtree,
+                     DiagnosticReport& report) {
+  // The SDD body carries the structural invariants.
+  SddAnalysisOptions sdd_options;
+  AnalyzeSddFile(text, vtree, sdd_options, report);
+
+  // Parameter lines are checked as distributions in isolation — the
+  // structure they attach to lives in the body above.
+  size_t line_no = 0;
+  for (const std::string& raw : SplitChar(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] != 'P') continue;
+    const std::vector<std::string> tok = SplitWhitespace(line);
+    uint64_t node_id = 0;
+    if (tok.size() < 3 || !ParseUint64(tok[1], &node_id)) {
+      report.Add(Severity::kError, rules::kPsddParse, 0,
+                 "line " + std::to_string(line_no),
+                 "bad parameter line: " + std::string(line));
+      continue;
+    }
+    std::vector<double> thetas;
+    bool parse_ok = true;
+    for (size_t i = 2; i < tok.size(); ++i) {
+      double value = 0.0;
+      if (!ParseDouble(tok[i], &value)) {
+        report.Add(Severity::kError, rules::kPsddParse, node_id,
+                   "line " + std::to_string(line_no),
+                   "unreadable parameter: " + tok[i]);
+        parse_ok = false;
+        break;
+      }
+      thetas.push_back(value);
+    }
+    if (!parse_ok) continue;
+    if (thetas.size() == 1) {
+      // Single parameter: a ⊤-leaf Bernoulli or a 1-element decision —
+      // either way it must lie in [0, 1] (and equal 1 when a decision).
+      const double theta = thetas[0];
+      if (!(theta >= 0.0 && theta <= 1.0)) {
+        report.Add(Severity::kError, rules::kPsddNormalized, node_id,
+                   ThetaString(theta), "Bernoulli parameter outside [0, 1]");
+      } else if (theta == 0.0 || theta == 1.0) {
+        report.Add(Severity::kWarning, rules::kPsddSupport, node_id,
+                   ThetaString(theta),
+                   "degenerate Bernoulli parameter removes models from the "
+                   "base's support");
+      }
+      continue;
+    }
+    double total = 0.0;
+    bool bad_theta = false;
+    for (size_t i = 0; i < thetas.size(); ++i) {
+      if (!(thetas[i] >= 0.0)) {
+        bad_theta = true;
+        report.Add(Severity::kError, rules::kPsddNormalized, node_id,
+                   "element " + std::to_string(i) + ": " +
+                       ThetaString(thetas[i]),
+                   "negative element parameter");
+      } else {
+        total += thetas[i];
+        if (thetas[i] == 0.0) {
+          report.Add(Severity::kWarning, rules::kPsddSupport, node_id,
+                     "element " + std::to_string(i),
+                     "zero element parameter removes the element's models "
+                     "from the base's support");
+        }
+      }
+    }
+    if (!bad_theta && std::abs(total - 1.0) > kSumTolerance) {
+      report.Add(Severity::kError, rules::kPsddNormalized, node_id,
+                 "sum = " + ThetaString(total),
+                 "element parameters do not sum to 1");
+    }
+  }
+}
+
+}  // namespace tbc

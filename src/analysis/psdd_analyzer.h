@@ -1,0 +1,36 @@
+#ifndef TBC_ANALYSIS_PSDD_ANALYZER_H_
+#define TBC_ANALYSIS_PSDD_ANALYZER_H_
+
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "psdd/psdd.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+
+/// Verifies PSDD invariants (paper §4, Fig 13):
+///  - psdd.structure: the circuit is *normalized* for its vtree — every
+///    decision node sits on an internal vtree node with primes normalized
+///    for the left child and subs for the right child, literal/⊤ leaves sit
+///    on their variable's vtree leaf, and partitions are non-empty.
+///  - psdd.normalized: each decision node's parameters form a distribution
+///    (non-negative, summing to 1) and each ⊤-leaf's Bernoulli parameter
+///    lies in [0, 1].
+///  - psdd.support: zero parameters (theta == 0, or Bernoulli in {0, 1})
+///    silently remove models from the base's support — reported as
+///    warnings, since pure maximum-likelihood learning legitimately
+///    produces them.
+void AnalyzePsdd(const Psdd& psdd, DiagnosticReport& report);
+
+/// Verifies a .psdd file (SDD body + "P <node_id> <theta...>" parameter
+/// lines) against `vtree` without reconstructing the structure: the SDD
+/// body gets the full AnalyzeSddFile treatment and every parameter line is
+/// checked as a distribution (psdd.normalized / psdd.support). Unreadable
+/// syntax is reported under psdd.parse.
+void AnalyzePsddFile(const std::string& text, const Vtree& vtree,
+                     DiagnosticReport& report);
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_PSDD_ANALYZER_H_

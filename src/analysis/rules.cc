@@ -1,0 +1,56 @@
+#include "analysis/rules.h"
+
+namespace tbc {
+
+namespace {
+
+constexpr RuleInfo kRules[] = {
+    {rules::kNnfParse, "file is not parseable as a c2d .nnf circuit"},
+    {rules::kNnfWellFormed,
+     "NNF well-formedness: literal variables in range, gates non-degenerate"},
+    {rules::kDnnfDecomposable,
+     "decomposability: inputs of every and-gate share no variable"},
+    {rules::kDdnnfDeterministic,
+     "determinism: inputs of every or-gate are pairwise logically disjoint"},
+    {rules::kDdnnfUnverified,
+     "determinism could not be fully verified within the SAT-check budget"},
+    {rules::kNnfSmooth,
+     "smoothness: inputs of every or-gate mention the same variables"},
+    {rules::kNnfDecision,
+     "decision form: every or-gate is a binary multiplexer on one variable"},
+    {rules::kObddOrdered,
+     "ordering: decision variables respect one global order on every path"},
+    {rules::kObddReduced,
+     "reducedness: no decision with identical branches, no duplicate nodes"},
+    {rules::kSddParse, "file is not parseable as an SDD-library .sdd circuit"},
+    {rules::kSddStructured,
+     "structure: primes/subs respect the left/right vtree of their decision"},
+    {rules::kSddPartition,
+     "strong determinism: primes are non-false, disjoint, and exhaustive"},
+    {rules::kSddCompressed, "compression: subs of a decision node are distinct"},
+    {rules::kSddTrimmed,
+     "trimming: no {(true,s)} decisions and no {(p,true),(~p,false)} decisions"},
+    {rules::kPsddParse, "file is not parseable as a .psdd (sdd + P lines)"},
+    {rules::kPsddStructure,
+     "structure: parameters attach to the normalized nodes of the base SDD"},
+    {rules::kPsddNormalized,
+     "normalization: local parameters are in [0,1] and sum to one"},
+    {rules::kPsddSupport,
+     "support: zero parameters shrink the distribution below the base SDD"},
+};
+
+}  // namespace
+
+const RuleInfo* AllRules(size_t* count) {
+  *count = sizeof(kRules) / sizeof(kRules[0]);
+  return kRules;
+}
+
+const char* RuleSummary(const std::string& rule_id) {
+  for (const RuleInfo& r : kRules) {
+    if (rule_id == r.id) return r.summary;
+  }
+  return nullptr;
+}
+
+}  // namespace tbc

@@ -1,0 +1,62 @@
+#ifndef TBC_ANALYSIS_RULES_H_
+#define TBC_ANALYSIS_RULES_H_
+
+#include <cstddef>
+#include <string>
+
+namespace tbc {
+
+/// Stable rule identifiers for the circuit-invariant analyzers. These are
+/// the contract between the analyzers, tbc_lint output, the invalid-circuit
+/// corpus tests, and TBC_VALIDATE failure messages — rename with care.
+///
+/// The ladder mirrors the paper's §3 property hierarchy: NNF well-formedness
+/// is the floor, decomposability unlocks SAT, + determinism unlocks counting,
+/// + smoothness unlocks marginals; OBDD/SDD add ordering/vtree structure on
+/// top; PSDD adds normalized local distributions over an SDD base.
+namespace rules {
+
+// --- NNF family (analysis/nnf_analyzer.h) ---
+inline constexpr char kNnfParse[] = "nnf.parse";
+inline constexpr char kNnfWellFormed[] = "nnf.well-formed";
+inline constexpr char kDnnfDecomposable[] = "dnnf.decomposable";
+inline constexpr char kDdnnfDeterministic[] = "ddnnf.deterministic";
+inline constexpr char kDdnnfUnverified[] = "ddnnf.unverified";
+inline constexpr char kNnfSmooth[] = "nnf.smooth";
+inline constexpr char kNnfDecision[] = "nnf.decision";
+
+// --- OBDD (analysis/obdd_analyzer.h; also the obdd dialect of AnalyzeNnf) ---
+inline constexpr char kObddOrdered[] = "obdd.ordered";
+inline constexpr char kObddReduced[] = "obdd.reduced";
+
+// --- SDD (analysis/sdd_analyzer.h) ---
+inline constexpr char kSddParse[] = "sdd.parse";
+inline constexpr char kSddStructured[] = "sdd.structured";
+inline constexpr char kSddPartition[] = "sdd.primes-partition";
+inline constexpr char kSddCompressed[] = "sdd.compressed";
+inline constexpr char kSddTrimmed[] = "sdd.trimmed";
+
+// --- PSDD (analysis/psdd_analyzer.h) ---
+inline constexpr char kPsddParse[] = "psdd.parse";
+inline constexpr char kPsddStructure[] = "psdd.structure";
+inline constexpr char kPsddNormalized[] = "psdd.normalized";
+inline constexpr char kPsddSupport[] = "psdd.support";
+
+}  // namespace rules
+
+/// Registry entry: the rule id plus a one-line summary (for `tbc_lint
+/// --list-rules` and docs).
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// All registered rules, in ladder order.
+const RuleInfo* AllRules(size_t* count);
+
+/// Summary for a rule id; nullptr when unknown.
+const char* RuleSummary(const std::string& rule_id);
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_RULES_H_

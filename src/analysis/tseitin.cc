@@ -1,0 +1,67 @@
+#include "analysis/tseitin.h"
+
+namespace tbc {
+
+CircuitCnf::CircuitCnf(size_t num_input_vars)
+    : num_input_vars_(num_input_vars),
+      next_var_(static_cast<Var>(num_input_vars)) {
+  cnf_.EnsureVars(num_input_vars);
+}
+
+Var CircuitCnf::FreshVar() {
+  const Var v = next_var_++;
+  cnf_.EnsureVars(v + 1);
+  return v;
+}
+
+Lit CircuitCnf::Encode(const NnfManager& mgr, NnfId root) {
+  for (NnfId n : mgr.TopologicalOrder(root)) {
+    if (lit_of_.count(n) != 0) continue;
+    switch (mgr.kind(n)) {
+      case NnfManager::Kind::kFalse: {
+        const Lit g = Pos(FreshVar());
+        cnf_.AddClause({~g});
+        lit_of_.emplace(n, g);
+        break;
+      }
+      case NnfManager::Kind::kTrue: {
+        const Lit g = Pos(FreshVar());
+        cnf_.AddClause({g});
+        lit_of_.emplace(n, g);
+        break;
+      }
+      case NnfManager::Kind::kLiteral:
+        lit_of_.emplace(n, mgr.lit(n));
+        break;
+      case NnfManager::Kind::kAnd: {
+        // g <-> c1 & ... & ck.
+        const Lit g = Pos(FreshVar());
+        Clause reverse = {g};
+        for (NnfId c : mgr.children(n)) {
+          const Lit cl = lit_of_.at(c);
+          cnf_.AddClause({~g, cl});
+          reverse.push_back(~cl);
+        }
+        cnf_.AddClause(std::move(reverse));
+        lit_of_.emplace(n, g);
+        break;
+      }
+      case NnfManager::Kind::kOr: {
+        // g <-> c1 | ... | ck.
+        const Lit g = Pos(FreshVar());
+        Clause forward = {~g};
+        for (NnfId c : mgr.children(n)) {
+          const Lit cl = lit_of_.at(c);
+          cnf_.AddClause({g, ~cl});
+          forward.push_back(cl);
+        }
+        cnf_.AddClause(std::move(forward));
+        lit_of_.emplace(n, g);
+        break;
+      }
+    }
+  }
+  return lit_of_.at(root);
+}
+
+}  // namespace tbc

@@ -1,0 +1,50 @@
+#ifndef TBC_ANALYSIS_TSEITIN_H_
+#define TBC_ANALYSIS_TSEITIN_H_
+
+#include <unordered_map>
+
+#include "logic/cnf.h"
+#include "nnf/nnf.h"
+
+namespace tbc {
+
+/// Incremental biconditional Tseitin encoding of NNF subcircuits, the CNF
+/// substrate for the analyzer's SAT-backed semantic checks (or-input
+/// disjointness for determinism, prime exhaustiveness for SDD partitions).
+///
+/// Circuit inputs keep their variable: the literal node for variable v maps
+/// to CNF variable v. Every gate gets a fresh definition variable g with
+/// full equivalence clauses (g <-> AND/OR of its inputs), so both g and ~g
+/// may be assumed: SolveAssuming({LitOf(a), LitOf(b)}) decides whether the
+/// functions of nodes a and b share a model, SolveAssuming({~LitOf(a)})
+/// decides whether a is not valid.
+class CircuitCnf {
+ public:
+  explicit CircuitCnf(size_t num_input_vars);
+
+  /// Encodes the subcircuit at `root` (memoized; cheap when nodes were
+  /// already encoded by earlier calls) and returns the CNF literal whose
+  /// truth value equals the subcircuit's value.
+  Lit Encode(const NnfManager& mgr, NnfId root);
+
+  /// CNF literal of an already-encoded node (aborts when `n` was not
+  /// reached by any Encode call).
+  Lit LitOf(NnfId n) const { return lit_of_.at(n); }
+
+  /// The accumulated clauses (definitions of every encoded gate).
+  const Cnf& cnf() const { return cnf_; }
+  /// Number of circuit input variables (CNF vars below this are inputs).
+  size_t num_input_vars() const { return num_input_vars_; }
+
+ private:
+  Var FreshVar();
+
+  size_t num_input_vars_;
+  Var next_var_;
+  Cnf cnf_;
+  std::unordered_map<NnfId, Lit> lit_of_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_TSEITIN_H_

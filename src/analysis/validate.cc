@@ -1,0 +1,54 @@
+#include "analysis/validate.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/obdd_analyzer.h"
+#include "analysis/psdd_analyzer.h"
+#include "analysis/sdd_analyzer.h"
+
+namespace tbc {
+
+namespace {
+
+void DieOnErrors(const DiagnosticReport& report, const char* where) {
+  if (report.clean()) return;
+  std::fprintf(stderr, "TBC_VALIDATE: invariant violation after %s\n%s", where,
+               report.ToText(where).c_str());
+  std::abort();
+}
+
+}  // namespace
+
+void ValidateNnfOrDie(NnfManager& mgr, NnfId root, NnfDialect dialect,
+                      size_t num_vars, const char* where) {
+  DiagnosticReport report;
+  NnfAnalysisOptions options;
+  options.dialect = dialect;
+  options.sat_determinism = false;  // hooks stay linear in circuit size
+  options.expected_num_vars = num_vars;
+  AnalyzeNnf(mgr, root, options, report);
+  DieOnErrors(report, where);
+}
+
+void ValidateObddOrDie(const ObddManager& mgr, ObddId root, const char* where) {
+  DiagnosticReport report;
+  AnalyzeObdd(mgr, root, report);
+  DieOnErrors(report, where);
+}
+
+void ValidateSddOrDie(SddManager& mgr, SddId root, const char* where) {
+  DiagnosticReport report;
+  SddAnalysisOptions options;
+  AnalyzeSdd(mgr, root, options, report);
+  DieOnErrors(report, where);
+}
+
+void ValidatePsddOrDie(const Psdd& psdd, const char* where) {
+  DiagnosticReport report;
+  AnalyzePsdd(psdd, report);
+  DieOnErrors(report, where);
+}
+
+}  // namespace tbc

@@ -1,0 +1,28 @@
+#ifndef TBC_ANALYSIS_VALIDATE_H_
+#define TBC_ANALYSIS_VALIDATE_H_
+
+#include <cstddef>
+
+#include "analysis/nnf_analyzer.h"
+#include "nnf/nnf.h"
+#include "obdd/obdd.h"
+#include "psdd/psdd.h"
+#include "sdd/sdd.h"
+
+namespace tbc {
+
+/// Debug-mode validation entry points, called from TBC_VALIDATE hooks after
+/// every compile / minimize / multiply / from_obdd step. Each runs the
+/// corresponding analyzer in syntactic-only mode (no SAT — hooks sit on hot
+/// paths) and aborts with the diagnostic dump on stderr if the freshly built
+/// artifact violates its claimed invariants. `where` names the producing
+/// step, e.g. "CompileDdnnf".
+void ValidateNnfOrDie(NnfManager& mgr, NnfId root, NnfDialect dialect,
+                      size_t num_vars, const char* where);
+void ValidateObddOrDie(const ObddManager& mgr, ObddId root, const char* where);
+void ValidateSddOrDie(SddManager& mgr, SddId root, const char* where);
+void ValidatePsddOrDie(const Psdd& psdd, const char* where);
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_VALIDATE_H_

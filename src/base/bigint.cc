@@ -7,6 +7,11 @@
 
 namespace tbc {
 
+namespace {
+// GCC/Clang extension, hidden behind __extension__ to stay -Wpedantic clean.
+__extension__ typedef unsigned __int128 u128;
+}  // namespace
+
 BigUint::BigUint(uint64_t value) {
   if (value != 0) limbs_.push_back(value);
 }
@@ -25,9 +30,9 @@ void BigUint::Trim() {
 BigUint& BigUint::operator+=(const BigUint& other) {
   const size_t n = std::max(limbs_.size(), other.limbs_.size());
   limbs_.resize(n, 0);
-  unsigned __int128 carry = 0;
+  u128 carry = 0;
   for (size_t i = 0; i < n; ++i) {
-    unsigned __int128 sum = carry + limbs_[i];
+    u128 sum = carry + limbs_[i];
     if (i < other.limbs_.size()) sum += other.limbs_[i];
     limbs_[i] = static_cast<uint64_t>(sum);
     carry = sum >> 64;
@@ -38,16 +43,16 @@ BigUint& BigUint::operator+=(const BigUint& other) {
 
 BigUint& BigUint::operator-=(const BigUint& other) {
   TBC_CHECK_MSG(*this >= other, "BigUint subtraction underflow");
-  unsigned __int128 borrow = 0;
+  u128 borrow = 0;
   for (size_t i = 0; i < limbs_.size(); ++i) {
-    unsigned __int128 sub = borrow;
+    u128 sub = borrow;
     if (i < other.limbs_.size()) sub += other.limbs_[i];
-    if (static_cast<unsigned __int128>(limbs_[i]) >= sub) {
+    if (static_cast<u128>(limbs_[i]) >= sub) {
       limbs_[i] = static_cast<uint64_t>(limbs_[i] - sub);
       borrow = 0;
     } else {
       limbs_[i] = static_cast<uint64_t>(
-          (static_cast<unsigned __int128>(1) << 64) + limbs_[i] - sub);
+          (static_cast<u128>(1) << 64) + limbs_[i] - sub);
       borrow = 1;
     }
   }
@@ -63,17 +68,17 @@ BigUint& BigUint::operator*=(const BigUint& other) {
   }
   std::vector<uint64_t> result(limbs_.size() + other.limbs_.size(), 0);
   for (size_t i = 0; i < limbs_.size(); ++i) {
-    unsigned __int128 carry = 0;
+    u128 carry = 0;
     for (size_t j = 0; j < other.limbs_.size(); ++j) {
-      unsigned __int128 cur =
-          static_cast<unsigned __int128>(limbs_[i]) * other.limbs_[j] +
+      u128 cur =
+          static_cast<u128>(limbs_[i]) * other.limbs_[j] +
           result[i + j] + carry;
       result[i + j] = static_cast<uint64_t>(cur);
       carry = cur >> 64;
     }
     size_t k = i + other.limbs_.size();
     while (carry != 0) {
-      unsigned __int128 cur = carry + result[k];
+      u128 cur = carry + result[k];
       result[k] = static_cast<uint64_t>(cur);
       carry = cur >> 64;
       ++k;
@@ -114,9 +119,9 @@ std::string BigUint::ToString() const {
   std::vector<uint64_t> digits;  // base-10^19 digits, little-endian
   std::vector<uint64_t> work = limbs_;
   while (!work.empty()) {
-    unsigned __int128 rem = 0;
+    u128 rem = 0;
     for (size_t i = work.size(); i-- > 0;) {
-      unsigned __int128 cur = (rem << 64) | work[i];
+      u128 cur = (rem << 64) | work[i];
       work[i] = static_cast<uint64_t>(cur / kChunk);
       rem = cur % kChunk;
     }

@@ -8,6 +8,10 @@
 #include "base/check.h"
 #include "compiler/subproblem.h"
 
+#ifdef TBC_VALIDATE
+#include "analysis/validate.h"
+#endif
+
 namespace tbc {
 
 namespace {
@@ -104,7 +108,14 @@ Result<NnfId> DdnnfCompiler::CompileBounded(const Cnf& cnf, NnfManager& mgr,
   TBC_RETURN_IF_ERROR(guard.Check());
   Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
   Compilation run(options_, mgr, stats_, guard);
-  return run.CompileClauses(std::move(clauses));
+  Result<NnfId> root = run.CompileClauses(std::move(clauses));
+#ifdef TBC_VALIDATE
+  if (root.ok()) {
+    ValidateNnfOrDie(mgr, *root, NnfDialect::kDecisionDnnf, cnf.num_vars(),
+                     "DdnnfCompiler::CompileBounded");
+  }
+#endif
+  return root;
 }
 
 }  // namespace tbc

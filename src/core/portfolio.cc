@@ -14,6 +14,10 @@
 #include "sdd/sdd.h"
 #include "vtree/vtree.h"
 
+#ifdef TBC_VALIDATE
+#include "analysis/validate.h"
+#endif
+
 namespace tbc {
 
 namespace {
@@ -50,6 +54,11 @@ Result<double> RunSdd(const Query& q, Guard& guard) {
   std::iota(order.begin(), order.end(), 0);
   SddManager mgr(Vtree::Balanced(order));
   TBC_ASSIGN_OR_RETURN(const SddId f, CompileCnfBounded(mgr, enc.cnf(), guard));
+#ifdef TBC_VALIDATE
+  // The answer below is only as trustworthy as the circuit it is read off
+  // of — re-verify the winning engine's artifact before evaluating.
+  ValidateSddOrDie(mgr, f, "Portfolio::RunSdd");
+#endif
   return Answer(q, enc, [&](const WeightMap& w) { return mgr.Wmc(f, w); });
 }
 
@@ -59,6 +68,10 @@ Result<double> RunDdnnf(const Query& q, Guard& guard) {
   DdnnfCompiler compiler;
   TBC_ASSIGN_OR_RETURN(const NnfId root,
                        compiler.CompileBounded(enc.cnf(), mgr, guard));
+#ifdef TBC_VALIDATE
+  ValidateNnfOrDie(mgr, root, NnfDialect::kDecisionDnnf, enc.cnf().num_vars(),
+                   "Portfolio::RunDdnnf");
+#endif
   return Answer(q, enc,
                 [&](const WeightMap& w) { return Wmc(mgr, root, w); });
 }

@@ -8,6 +8,10 @@
 
 #include "base/check.h"
 
+#ifdef TBC_VALIDATE
+#include "analysis/validate.h"
+#endif
+
 namespace tbc {
 
 namespace {
@@ -19,6 +23,9 @@ uint64_t BuildKey(VtreeId v, SddId f) {
 Psdd::Psdd(SddManager& sdd, SddId base) : sdd_(&sdd) {
   TBC_CHECK_MSG(base != sdd.False(), "PSDD base must be satisfiable");
   root_ = Build(sdd.vtree().root(), base);
+#ifdef TBC_VALIDATE
+  ValidatePsddOrDie(*this, "Psdd::Psdd");
+#endif
 }
 
 PsddId Psdd::Build(VtreeId v, SddId f) {
@@ -350,6 +357,9 @@ void Psdd::LearnParameters(const std::vector<Assignment>& data,
       }
     }
   }
+#ifdef TBC_VALIDATE
+  ValidatePsddOrDie(*this, "Psdd::LearnParameters");
+#endif
 }
 
 double Psdd::LogLikelihood(const std::vector<Assignment>& data) const {
@@ -422,6 +432,9 @@ double Psdd::LearnParametersEm(const std::vector<PsddEvidence>& data,
       }
     }
   }
+#ifdef TBC_VALIDATE
+  ValidatePsddOrDie(*this, "Psdd::LearnParametersEm");
+#endif
   return ll;
 }
 
@@ -497,6 +510,9 @@ Status Psdd::LoadParameters(const std::string& text) {
     }
   }
   if (!saw_header) return Status::Error("missing psdd-params header");
+#ifdef TBC_VALIDATE
+  ValidatePsddOrDie(*this, "Psdd::LoadParameters");
+#endif
   return Status::Ok();
 }
 
@@ -623,6 +639,9 @@ Psdd Psdd::Multiply(const Psdd& other, double* normalization_constant) const {
   TBC_CHECK_MSG(root.scale > 0.0, "PSDD product has empty support");
   out.root_ = root.node;
   if (normalization_constant != nullptr) *normalization_constant = root.scale;
+#ifdef TBC_VALIDATE
+  ValidatePsddOrDie(out, "Psdd::Multiply");
+#endif
   return out;
 }
 

@@ -4,6 +4,10 @@
 #include <functional>
 #include <unordered_map>
 
+#ifdef TBC_VALIDATE
+#include "analysis/validate.h"
+#endif
+
 namespace tbc {
 
 SddId CompileClause(SddManager& mgr, const Clause& clause) {
@@ -36,6 +40,9 @@ SddId CompileCnf(SddManager& mgr, const Cnf& cnf) {
     acc = mgr.Conjoin(acc, CompileClause(mgr, cnf.clause(i)));
     if (acc == mgr.False()) break;
   }
+#ifdef TBC_VALIDATE
+  if (mgr.guard() == nullptr) ValidateSddOrDie(mgr, acc, "CompileCnf");
+#endif
   return acc;
 }
 
@@ -61,6 +68,9 @@ Result<SddId> CompileCnfBounded(SddManager& mgr, const Cnf& cnf, Guard& guard) {
     mgr.ClearInterrupt();
     return s;
   }
+#ifdef TBC_VALIDATE
+  ValidateSddOrDie(mgr, root, "CompileCnfBounded");
+#endif
   return root;
 }
 

@@ -3,6 +3,10 @@
 #include <functional>
 #include <unordered_map>
 
+#ifdef TBC_VALIDATE
+#include "analysis/validate.h"
+#endif
+
 namespace tbc {
 
 SddId ObddToSdd(const ObddManager& obdd, ObddId f, SddManager& sdd) {
@@ -20,7 +24,12 @@ SddId ObddToSdd(const ObddManager& obdd, ObddId f, SddManager& sdd) {
     memo.emplace(g, r);
     return r;
   };
-  return rec(f);
+  const SddId root = rec(f);
+#ifdef TBC_VALIDATE
+  ValidateObddOrDie(obdd, f, "ObddToSdd (input)");
+  if (sdd.guard() == nullptr) ValidateSddOrDie(sdd, root, "ObddToSdd");
+#endif
+  return root;
 }
 
 }  // namespace tbc

@@ -7,6 +7,10 @@
 #include "sdd/compile.h"
 #include "sdd/sdd.h"
 
+#ifdef TBC_VALIDATE
+#include "analysis/validate.h"
+#endif
+
 namespace tbc {
 
 namespace {
@@ -183,6 +187,14 @@ MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
       result.vtree = std::move(candidate);
     }
   }
+#ifdef TBC_VALIDATE
+  // Re-verify the winning vtree's circuit (candidates are validated by the
+  // guard-free CompileCnf hook; the search above runs guarded and skips it).
+  if (!result.interrupted) {
+    SddManager check(result.vtree);
+    ValidateSddOrDie(check, CompileCnf(check, cnf), "MinimizeVtree");
+  }
+#endif
   return result;
 }
 

@@ -102,6 +102,7 @@ class SddManager {
   /// tables stay canonical; only results produced while interrupted are
   /// meaningless and must be discarded by the caller.
   void set_guard(Guard* guard) { guard_ = guard; }
+  Guard* guard() const { return guard_; }
   bool interrupted() const { return interrupted_; }
   /// Why the manager was interrupted; Ok if it was not.
   const Status& interrupt_status() const { return interrupt_status_; }

@@ -9,6 +9,9 @@
 #include <memory>
 #include <tuple>
 
+#include "analysis/diagnostics.h"
+#include "analysis/obdd_analyzer.h"
+#include "analysis/sdd_analyzer.h"
 #include "base/random.h"
 #include "obdd/obdd.h"
 #include "sdd/compile.h"
@@ -122,6 +125,17 @@ TEST_P(ObddAlgebraTest, CountingLaws) {
   EXPECT_EQ(cf * BigUint(2), c0 + c1);
 }
 
+TEST_P(ObddAlgebraTest, EveryAlgebraResultIsOrderedAndReduced) {
+  // Static verification: whatever the apply algebra produces must be a
+  // reduced, ordered diagram — checked structurally, not semantically.
+  for (ObddId r : {f_, g_, h_, mgr_.And(f_, g_), mgr_.Xor(g_, h_),
+                   mgr_.Ite(f_, g_, h_), mgr_.Exists(f_, 1)}) {
+    DiagnosticReport report;
+    AnalyzeObdd(mgr_, r, report);
+    EXPECT_TRUE(report.empty()) << report.ToText("obdd algebra result");
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ObddAlgebraTest,
                          ::testing::Range<uint64_t>(0, 12));
 
@@ -178,6 +192,18 @@ TEST_P(SddAlgebraTest, CountInclusionExclusion) {
   EXPECT_EQ(cf + cg, mgr_->ModelCount(mgr_->Conjoin(f_, g_)) +
                          mgr_->ModelCount(mgr_->Disjoin(f_, g_)));
   EXPECT_EQ(cf + mgr_->ModelCount(mgr_->Negate(f_)), BigUint::PowerOfTwo(kVars));
+}
+
+TEST_P(SddAlgebraTest, EveryAlgebraResultIsTrimmedCompressedStructured) {
+  // Static verification across every vtree shape: the apply algebra must
+  // only ever produce trimmed, compressed, vtree-respecting SDDs with
+  // SAT-certified partitions.
+  for (SddId r : {f_, g_, mgr_->Conjoin(f_, g_), mgr_->Disjoin(f_, g_),
+                  mgr_->Negate(f_), mgr_->Condition(f_, Pos(0))}) {
+    DiagnosticReport report;
+    AnalyzeSdd(*mgr_, r, SddAnalysisOptions{}, report);
+    EXPECT_TRUE(report.empty()) << report.ToText("sdd algebra result");
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

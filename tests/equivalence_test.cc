@@ -11,6 +11,10 @@
 #include <set>
 #include <tuple>
 
+#include "analysis/diagnostics.h"
+#include "analysis/nnf_analyzer.h"
+#include "analysis/obdd_analyzer.h"
+#include "analysis/sdd_analyzer.h"
 #include "base/random.h"
 #include "compiler/ddnnf_compiler.h"
 #include "compiler/model_counter.h"
@@ -143,6 +147,34 @@ TEST_P(CrossEngineTest, CompiledCircuitsAreDecomposableAndDeterministic) {
   const NnfId exported = sdd.ToNnf(CompileCnf(sdd, cnf), nnf2);
   EXPECT_TRUE(IsDecomposable(nnf2, exported));
   EXPECT_TRUE(IsDeterministicExhaustive(nnf2, exported, n));
+}
+
+TEST_P(CrossEngineTest, StaticAnalyzerAcceptsEveryEngineArtifact) {
+  // The invariant analyzer is an independent checker: whatever the
+  // equivalence sweep compiles must also verify clean statically.
+  const Cnf cnf = MakeCnf();
+  const size_t n = cnf.num_vars();
+
+  NnfManager nnf;
+  DdnnfCompiler compiler;
+  const NnfId root = compiler.Compile(cnf, nnf);
+  DiagnosticReport nnf_report;
+  NnfAnalysisOptions options;
+  options.dialect = NnfDialect::kDecisionDnnf;
+  options.expected_num_vars = n;
+  AnalyzeNnf(nnf, root, options, nnf_report);
+  EXPECT_TRUE(nnf_report.clean()) << nnf_report.ToText("ddnnf");
+
+  ObddManager obdd(Vtree::IdentityOrder(n));
+  DiagnosticReport obdd_report;
+  AnalyzeObdd(obdd, obdd.CompileCnf(cnf), obdd_report);
+  EXPECT_TRUE(obdd_report.empty()) << obdd_report.ToText("obdd");
+
+  SddManager sdd(Vtree::Balanced(Vtree::IdentityOrder(n)));
+  const SddId f = CompileCnf(sdd, cnf);
+  DiagnosticReport sdd_report;
+  AnalyzeSdd(sdd, f, SddAnalysisOptions{}, sdd_report);
+  EXPECT_TRUE(sdd_report.empty()) << sdd_report.ToText("sdd");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -10,6 +10,8 @@
 #include <set>
 #include <tuple>
 
+#include "analysis/diagnostics.h"
+#include "analysis/psdd_analyzer.h"
 #include "base/random.h"
 #include "psdd/psdd.h"
 #include "sdd/compile.h"
@@ -153,6 +155,20 @@ TEST_P(PsddPropertyTest, SelfMultiplyIsSquaredRenormalized) {
     const double p = psdd_->Probability(x);
     ASSERT_NEAR(squared.Probability(x), p * p / z, 1e-10);
   }
+}
+
+TEST_P(PsddPropertyTest, AnalyzerAcceptsLearnedAndMultipliedPsdds) {
+  // Static verification: learning and multiplication must preserve the
+  // normalized PSDD structure and parameter distributions.
+  DiagnosticReport learned;
+  AnalyzePsdd(*psdd_, learned);
+  EXPECT_TRUE(learned.clean()) << learned.ToText("learned psdd");
+
+  double z = 0.0;
+  const Psdd squared = psdd_->Multiply(*psdd_, &z);
+  DiagnosticReport product;
+  AnalyzePsdd(squared, product);
+  EXPECT_TRUE(product.clean()) << product.ToText("psdd product");
 }
 
 INSTANTIATE_TEST_SUITE_P(

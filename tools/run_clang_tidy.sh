@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library
+# sources using the compile database exported by CMake.
+#
+# Usage: tools/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+# The script degrades gracefully: when clang-tidy is not installed (the CI
+# container only ships gcc) it prints a notice and exits 0 so the check can
+# be wired into scripts unconditionally. A missing compile database is a
+# real error (exit 1): configure with `cmake -B build -S .` first — the
+# top-level CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+if [ "${1:-}" = "--" ]; then shift; fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: skipped: clang-tidy not found on PATH" >&2
+  exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_clang_tidy: no compile database at $db" >&2
+  echo "run_clang_tidy: configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+# Library and example sources only; tests track the same warning profile
+# through -Werror but drown tidy output in gtest macro expansions.
+files=$(find "$repo_root/src" "$repo_root/examples" \
+             -name '*.cc' -o -name '*.cpp' | sort)
+
+status=0
+for f in $files; do
+  clang-tidy -p "$build_dir" --quiet "$@" "$f" || status=1
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "run_clang_tidy: clean"
+else
+  echo "run_clang_tidy: violations found" >&2
+fi
+exit "$status"
