@@ -1,0 +1,97 @@
+#ifndef TBC_BASE_LEVELIZE_H_
+#define TBC_BASE_LEVELIZE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace tbc {
+
+/// A topological level schedule for one circuit traversal (DESIGN.md
+/// "Kernel layer").
+///
+/// Level 0 holds the leaves; a node's level is 1 + the maximum level of its
+/// children, so every node's inputs are fully computed once all earlier
+/// levels are done. Evaluation passes walk `order` level by level through
+/// contiguous per-level ranges; within a level nodes are independent, which
+/// is exactly the parallelism ThreadPool::ParallelFor exploits. Within each
+/// level nodes appear in ascending id order, so the schedule — and any pass
+/// that writes result i to slot i — is deterministic regardless of thread
+/// count.
+struct LevelSchedule {
+  static constexpr uint32_t kNoRank = static_cast<uint32_t>(-1);
+
+  /// Reachable nodes, children strictly before parents, grouped by level.
+  std::vector<uint32_t> order;
+  /// Level l occupies order[level_begin[l] .. level_begin[l+1]).
+  std::vector<uint32_t> level_begin;
+  /// rank[id] = position of id in `order`; kNoRank when unreachable.
+  /// Dense value arrays are indexed by rank, so a pass over a small
+  /// subcircuit of a large manager allocates O(reachable), not O(manager).
+  std::vector<uint32_t> rank;
+
+  size_t num_levels() const { return level_begin.size() - 1; }
+  size_t num_reachable() const { return order.size(); }
+};
+
+/// Computes the level schedule of the subgraph reachable from `root`.
+/// `for_each_child(id, fn)` must invoke fn(child_id) for every child of
+/// `id`; children must have smaller ids than their parents (true for every
+/// manager in the library — nodes are created bottom-up).
+template <typename ForEachChild>
+LevelSchedule Levelize(size_t num_nodes, uint32_t root,
+                       ForEachChild&& for_each_child) {
+  LevelSchedule s;
+  s.rank.assign(num_nodes, LevelSchedule::kNoRank);
+
+  // Reachability (iterative; rank doubles as the visited mark).
+  std::vector<uint32_t> reachable;
+  std::vector<uint32_t> stack = {root};
+  s.rank[root] = 0;
+  while (!stack.empty()) {
+    const uint32_t n = stack.back();
+    stack.pop_back();
+    reachable.push_back(n);
+    for_each_child(n, [&](uint32_t c) {
+      if (s.rank[c] == LevelSchedule::kNoRank) {
+        s.rank[c] = 0;
+        stack.push_back(c);
+      }
+    });
+  }
+  std::sort(reachable.begin(), reachable.end());
+
+  // One forward pass assigns levels (children precede parents by id).
+  std::vector<uint32_t> level(reachable.size(), 0);
+  std::vector<uint32_t> level_of_id(num_nodes, 0);  // only reachable slots used
+  uint32_t max_level = 0;
+  for (size_t i = 0; i < reachable.size(); ++i) {
+    uint32_t lvl = 0;
+    for_each_child(reachable[i], [&](uint32_t c) {
+      lvl = std::max(lvl, level_of_id[c] + 1);
+    });
+    level[i] = lvl;
+    level_of_id[reachable[i]] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+
+  // Counting sort by level; ascending id within a level (stable).
+  s.level_begin.assign(max_level + 2, 0);
+  for (uint32_t lvl : level) ++s.level_begin[lvl + 1];
+  for (size_t l = 1; l < s.level_begin.size(); ++l) {
+    s.level_begin[l] += s.level_begin[l - 1];
+  }
+  s.order.resize(reachable.size());
+  std::vector<uint32_t> cursor(s.level_begin.begin(), s.level_begin.end() - 1);
+  for (size_t i = 0; i < reachable.size(); ++i) {
+    s.order[cursor[level[i]]++] = reachable[i];
+  }
+  for (size_t i = 0; i < s.order.size(); ++i) {
+    s.rank[s.order[i]] = static_cast<uint32_t>(i);
+  }
+  return s;
+}
+
+}  // namespace tbc
+
+#endif  // TBC_BASE_LEVELIZE_H_

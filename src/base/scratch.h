@@ -1,0 +1,62 @@
+#ifndef TBC_BASE_SCRATCH_H_
+#define TBC_BASE_SCRATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace tbc {
+
+/// Epoch-stamped dense scratch map over small integer keys (variables,
+/// node ids). A `Clear()` is O(1) — it bumps the epoch instead of touching
+/// the arrays — so a recursive algorithm can reuse one allocation for
+/// thousands of short-lived key→value maps where a hash map would pay an
+/// allocation plus hashing per call. Keys seen since the last `Clear()`
+/// are recorded in `touched()` for deterministic iteration.
+class EpochMap {
+ public:
+  bool Has(uint32_t k) const {
+    return k < stamp_.size() && stamp_[k] == epoch_;
+  }
+
+  /// Value for `k`; only meaningful when `Has(k)`.
+  uint32_t Get(uint32_t k) const { return value_[k]; }
+
+  void Set(uint32_t k, uint32_t v) {
+    if (k >= stamp_.size()) Grow(k);
+    if (stamp_[k] != epoch_) {
+      stamp_[k] = epoch_;
+      touched_.push_back(k);
+    }
+    value_[k] = v;
+  }
+
+  /// Keys assigned since the last Clear(), in first-assignment order.
+  const std::vector<uint32_t>& touched() const { return touched_; }
+
+  void Clear() {
+    touched_.clear();
+    if (++epoch_ == 0) {
+      // Epoch wrap: stale stamps could alias. Reset once every 2^32 clears.
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+ private:
+  void Grow(uint32_t k) {
+    const size_t n = std::max<size_t>(static_cast<size_t>(k) + 1,
+                                      stamp_.size() * 2 + 16);
+    stamp_.resize(n, 0u);
+    value_.resize(n);
+  }
+
+  std::vector<uint32_t> stamp_;
+  std::vector<uint32_t> value_;
+  std::vector<uint32_t> touched_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_BASE_SCRATCH_H_

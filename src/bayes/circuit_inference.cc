@@ -36,6 +36,33 @@ double CompiledBayesNet::ProbEvidence(const BnInstantiation& evidence) {
   return Wmc(mgr_, root_, encoding_.WeightsWithEvidence(evidence));
 }
 
+Result<std::vector<double>> CompiledBayesNet::ProbEvidenceBatch(
+    const std::vector<BnInstantiation>& evidence, Guard& guard,
+    ThreadPool* pool) {
+  TBC_RETURN_IF_ERROR(guard.Check());
+  // Warm the var-set and schedule caches once: afterwards every WMC pass
+  // only reads the manager, so concurrent lanes are race-free.
+  mgr_.VarSet(root_);
+  mgr_.ScheduleCached(root_);
+  std::vector<double> out(evidence.size(), 0.0);
+  const std::function<void(size_t)> body = [&](size_t i) {
+    const Result<double> r =
+        WmcBounded(mgr_, root_, encoding_.WeightsWithEvidence(evidence[i]), guard);
+    // A failure implies the shared guard tripped; the final Check reports it.
+    if (r.ok()) out[i] = *r;
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && evidence.size() > 1) {
+    TBC_RETURN_IF_ERROR(pool->ParallelFor(0, evidence.size(), 1, body, &guard));
+  } else {
+    for (size_t i = 0; i < evidence.size(); ++i) {
+      TBC_RETURN_IF_ERROR(guard.Poll());
+      body(i);
+    }
+  }
+  TBC_RETURN_IF_ERROR(guard.Check());
+  return out;
+}
+
 double CompiledBayesNet::Marginal(BnVar v, int value,
                                   const BnInstantiation& evidence) {
   BnInstantiation extended = evidence;

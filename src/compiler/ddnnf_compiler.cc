@@ -1,11 +1,11 @@
 #include "compiler/ddnnf_compiler.h"
 
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "base/check.h"
+#include "base/flat_table.h"
 #include "compiler/subproblem.h"
 
 #ifdef TBC_VALIDATE
@@ -32,7 +32,9 @@ class Compilation {
       : options_(options), mgr_(mgr), stats_(stats), guard_(guard) {}
 
   Result<NnfId> CompileClauses(Clauses clauses) {
-    Canonicalize(clauses);
+    // No Canonicalize here: BCP closure and the component partition are
+    // insensitive to clause order and duplicates, and CompileComponent
+    // canonicalizes before keying the cache, so the result is identical.
     std::vector<Lit> implied;
     Clauses remaining;
     if (Propagate(std::move(clauses), &implied, &remaining) ==
@@ -43,7 +45,7 @@ class Compilation {
     for (Lit l : implied) conjuncts.push_back(mgr_.Literal(l));
     if (!remaining.empty()) {
       if (options_.use_components) {
-        std::vector<Clauses> components = SplitComponents(remaining);
+        std::vector<Clauses> components = SplitComponents(std::move(remaining));
         if (components.size() > 1) ++stats_.components_split;
         for (Clauses& comp : components) {
           TBC_ASSIGN_OR_RETURN(const NnfId sub, CompileComponent(std::move(comp)));
@@ -64,12 +66,14 @@ class Compilation {
     Canonicalize(clauses);
     std::string key;
     if (options_.use_cache) {
-      key = CacheKey(clauses);
-      auto it = cache_.find(key);
-      if (it != cache_.end()) {
+      // Probe with a reusable buffer; only a miss pays for an owned copy
+      // (the copy must survive the recursion below, which reuses probe_).
+      compiler_internal::CacheKeyInto(clauses, &probe_);
+      if (const NnfId* hit = cache_.Find(probe_)) {
         ++stats_.cache_hits;
-        return it->second;
+        return *hit;
       }
+      key = probe_;
     }
     ++stats_.decisions;
     // One decision = one created decision node (plus the two literal
@@ -84,7 +88,7 @@ class Compilation {
     TBC_ASSIGN_OR_RETURN(const NnfId lo,
                          CompileClauses(ConditionClauses(clauses, Neg(v))));
     const NnfId result = mgr_.Decision(v, hi, lo);
-    if (options_.use_cache) cache_[key] = result;
+    if (options_.use_cache) cache_.Insert(key, result);
     return result;
   }
 
@@ -92,7 +96,8 @@ class Compilation {
   NnfManager& mgr_;
   DdnnfStats& stats_;
   Guard& guard_;
-  std::unordered_map<std::string, NnfId> cache_;
+  FlatMap<std::string, NnfId> cache_;
+  std::string probe_;
 };
 
 }  // namespace
@@ -107,6 +112,7 @@ Result<NnfId> DdnnfCompiler::CompileBounded(const Cnf& cnf, NnfManager& mgr,
   stats_ = DdnnfStats();
   TBC_RETURN_IF_ERROR(guard.Check());
   Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
+  compiler_internal::SortEachClause(clauses);  // invariant for Canonicalize
   Compilation run(options_, mgr, stats_, guard);
   Result<NnfId> root = run.CompileClauses(std::move(clauses));
 #ifdef TBC_VALIDATE

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "base/check.h"
+#include "base/flat_table.h"
 #include "compiler/subproblem.h"
 
 namespace tbc {
@@ -43,7 +44,7 @@ class CountRun {
     const unsigned freed = static_cast<unsigned>(vars_before - implied.size() -
                                                  vars_after);
     BigUint result = BigUint::PowerOfTwo(freed);
-    for (Clauses& comp : SplitComponents(remaining)) {
+    for (Clauses& comp : SplitComponents(std::move(remaining))) {
       TBC_ASSIGN_OR_RETURN(const BigUint sub, CountComponent(std::move(comp)));
       result *= sub;
     }
@@ -54,10 +55,9 @@ class CountRun {
   Result<BigUint> CountComponent(Clauses clauses) {
     Canonicalize(clauses);
     const std::string key = CacheKey(clauses);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
+    if (const BigUint* hit = cache_.Find(key)) {
       ++stats_.cache_hits;
-      return it->second;
+      return *hit;
     }
     ++stats_.decisions;
     // Each decision adds one cache entry: charge it as a node so memory
@@ -78,13 +78,13 @@ class CountRun {
       c *= BigUint::PowerOfTwo(static_cast<unsigned>(nv - 1 - sub_vars));
       total += c;
     }
-    cache_.emplace(key, total);
+    cache_.Insert(key, total);
     return total;
   }
 
   ModelCounter::Stats& stats_;
   Guard& guard_;
-  std::unordered_map<std::string, BigUint> cache_;
+  FlatMap<std::string, BigUint> cache_;
 };
 
 // Weighted variant; identical structure with per-literal weights.
@@ -117,7 +117,7 @@ class WmcRun {
     for (const auto& [v, unused] : seen_before) {
       result *= weights_[Pos(v)] + weights_[Neg(v)];
     }
-    for (Clauses& comp : SplitComponents(remaining)) {
+    for (Clauses& comp : SplitComponents(std::move(remaining))) {
       TBC_ASSIGN_OR_RETURN(const double sub, WmcComponent(std::move(comp)));
       result *= sub;
     }
@@ -128,10 +128,9 @@ class WmcRun {
   Result<double> WmcComponent(Clauses clauses) {
     Canonicalize(clauses);
     const std::string key = CacheKey(clauses);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
+    if (const double* hit = cache_.Find(key)) {
       ++stats_.cache_hits;
-      return it->second;
+      return *hit;
     }
     ++stats_.decisions;
     TBC_RETURN_IF_ERROR(guard_.ChargeDecision());
@@ -160,14 +159,14 @@ class WmcRun {
       }
       total += w;
     }
-    cache_.emplace(key, total);
+    cache_.Insert(key, total);
     return total;
   }
 
   const WeightMap& weights_;
   ModelCounter::Stats& stats_;
   Guard& guard_;
-  std::unordered_map<std::string, double> cache_;
+  FlatMap<std::string, double> cache_;
 };
 
 }  // namespace
@@ -184,6 +183,7 @@ Result<BigUint> ModelCounter::CountBounded(const Cnf& cnf, Guard& guard) {
   stats_ = Stats();
   TBC_RETURN_IF_ERROR(guard.Check());
   Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
+  compiler_internal::SortEachClause(clauses);  // invariant for Canonicalize
   const size_t mentioned = CountVars(clauses);
   CountRun run(stats_, guard);
   TBC_ASSIGN_OR_RETURN(const BigUint c, run.CountClauses(std::move(clauses)));
@@ -195,6 +195,7 @@ Result<double> ModelCounter::WmcBounded(const Cnf& cnf, const WeightMap& weights
   stats_ = Stats();
   TBC_RETURN_IF_ERROR(guard.Check());
   Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
+  compiler_internal::SortEachClause(clauses);  // invariant for Canonicalize
   std::unordered_map<Var, int> mentioned;
   for (const auto& c : clauses) {
     for (Lit l : c) mentioned[l.var()] = 1;

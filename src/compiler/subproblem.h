@@ -2,12 +2,11 @@
 #define TBC_COMPILER_SUBPROBLEM_H_
 
 #include <algorithm>
-#include <functional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "base/check.h"
+#include "base/scratch.h"
 #include "logic/lit.h"
 
 namespace tbc::compiler_internal {
@@ -19,23 +18,46 @@ namespace tbc::compiler_internal {
 /// same search skeleton.
 using Clauses = std::vector<std::vector<Lit>>;
 
-inline void Canonicalize(Clauses& clauses) {
+/// Establishes the sorted-clause invariant on fresh input. Every transform
+/// below (Propagate, ConditionClauses, SplitComponents) only deletes
+/// literals or moves whole clauses, so per-clause sortedness is preserved
+/// down the entire DPLL recursion and never needs re-establishing.
+inline void SortEachClause(Clauses& clauses) {
   for (auto& c : clauses) std::sort(c.begin(), c.end());
+}
+
+/// Canonicalizes a clause set whose clauses are each already sorted: orders
+/// the clause list and drops duplicates. (Re-sorting every tiny clause at
+/// every DPLL node dominated the compile profile; the invariant makes it a
+/// one-time cost.)
+inline void Canonicalize(Clauses& clauses) {
+#ifndef NDEBUG
+  for (const auto& c : clauses) {
+    TBC_DCHECK(std::is_sorted(c.begin(), c.end()));
+  }
+#endif
   std::sort(clauses.begin(), clauses.end());
   clauses.erase(std::unique(clauses.begin(), clauses.end()), clauses.end());
 }
 
-inline std::string CacheKey(const Clauses& clauses) {
-  std::string key;
-  key.reserve(clauses.size() * 8);
+/// Serializes canonical clauses into `key` (reused buffer: cache probes on
+/// the hot DPLL path allocate nothing on a hit).
+inline void CacheKeyInto(const Clauses& clauses, std::string* key) {
+  key->clear();
+  key->reserve(clauses.size() * 8);
   for (const auto& c : clauses) {
     for (Lit l : c) {
       const uint32_t code = l.code();
-      key.append(reinterpret_cast<const char*>(&code), sizeof(code));
+      key->append(reinterpret_cast<const char*>(&code), sizeof(code));
     }
     const uint32_t sep = static_cast<uint32_t>(-1);
-    key.append(reinterpret_cast<const char*>(&sep), sizeof(sep));
+    key->append(reinterpret_cast<const char*>(&sep), sizeof(sep));
   }
+}
+
+inline std::string CacheKey(const Clauses& clauses) {
+  std::string key;
+  CacheKeyInto(clauses, &key);
   return key;
 }
 
@@ -46,30 +68,44 @@ enum class BcpOutcome { kOk, kConflict };
 inline BcpOutcome Propagate(Clauses clauses, std::vector<Lit>* implied,
                             Clauses* remaining) {
   implied->clear();
-  std::unordered_map<Var, bool> value;
+  // Propagation runs once per DPLL node; the epoch-stamped scratch turns
+  // the per-call assignment map into two array probes. Scratch use is
+  // strictly within this call, so recursion-level reuse is safe.
+  static thread_local EpochMap value;
+  value.Clear();
   bool changed = true;
   while (changed) {
     changed = false;
     Clauses next;
     next.reserve(clauses.size());
     for (auto& c : clauses) {
-      std::vector<Lit> reduced;
+      // Scan first: clauses untouched by the current assignment (the bulk
+      // of every pass) move through without rebuilding.
       bool satisfied = false;
+      bool shrinks = false;
       for (Lit l : c) {
-        auto it = value.find(l.var());
-        if (it == value.end()) {
-          reduced.push_back(l);
-        } else if (it->second == l.positive()) {
+        if (!value.Has(l.var())) continue;
+        if ((value.Get(l.var()) != 0) == l.positive()) {
           satisfied = true;
           break;
         }
+        shrinks = true;
       }
       if (satisfied) continue;
+      std::vector<Lit> reduced;
+      if (shrinks) {
+        reduced.reserve(c.size());
+        for (Lit l : c) {
+          if (!value.Has(l.var())) reduced.push_back(l);
+        }
+      } else {
+        reduced = std::move(c);
+      }
       if (reduced.empty()) return BcpOutcome::kConflict;
       if (reduced.size() == 1) {
         const Lit u = reduced[0];
-        if (value.find(u.var()) == value.end()) {
-          value[u.var()] = u.positive();
+        if (!value.Has(u.var())) {
+          value.Set(u.var(), u.positive() ? 1 : 0);
           implied->push_back(u);
           changed = true;
         }
@@ -84,31 +120,49 @@ inline BcpOutcome Propagate(Clauses clauses, std::vector<Lit>* implied,
 }
 
 /// Splits clauses into variable-connected components (union-find on vars).
-inline std::vector<Clauses> SplitComponents(const Clauses& clauses) {
-  std::unordered_map<Var, Var> parent;
-  std::function<Var(Var)> find = [&](Var v) -> Var {
-    auto it = parent.find(v);
-    if (it == parent.end() || it->second == v) {
-      parent[v] = v;
+/// Takes the clause list by value and moves each clause into its component;
+/// the single-component case (the common one) moves the whole list through.
+inline std::vector<Clauses> SplitComponents(Clauses clauses) {
+  static thread_local EpochMap parent;      // var -> union-find parent var
+  static thread_local EpochMap comp_index;  // root var -> component index
+  parent.Clear();
+  comp_index.Clear();
+  auto find = [](Var v) -> Var {
+    if (!parent.Has(v)) {
+      parent.Set(v, v);
       return v;
     }
-    return parent[v] = find(it->second);
+    Var root = v;
+    while (parent.Get(root) != root) root = parent.Get(root);
+    while (parent.Get(v) != root) {  // path compression
+      const Var next = parent.Get(v);
+      parent.Set(v, root);
+      v = next;
+    }
+    return root;
   };
   for (const auto& c : clauses) {
     for (size_t i = 1; i < c.size(); ++i) {
-      parent[find(c[0].var())] = find(c[i].var());
+      const Var ra = find(c[0].var());
+      const Var rb = find(c[i].var());
+      if (ra != rb) parent.Set(ra, rb);
     }
   }
-  std::unordered_map<Var, size_t> comp_index;
-  std::vector<Clauses> components;
+  size_t num_roots = 0;
   for (const auto& c : clauses) {
     const Var root = find(c[0].var());
-    auto it = comp_index.find(root);
-    if (it == comp_index.end()) {
-      it = comp_index.emplace(root, components.size()).first;
-      components.emplace_back();
+    if (!comp_index.Has(root)) {
+      comp_index.Set(root, static_cast<uint32_t>(num_roots++));
     }
-    components[it->second].push_back(c);
+  }
+  std::vector<Clauses> components;
+  if (num_roots <= 1) {
+    if (!clauses.empty()) components.push_back(std::move(clauses));
+    return components;
+  }
+  components.resize(num_roots);
+  for (auto& c : clauses) {
+    components[comp_index.Get(find(c[0].var()))].push_back(std::move(c));
   }
   return components;
 }
@@ -116,13 +170,18 @@ inline std::vector<Clauses> SplitComponents(const Clauses& clauses) {
 /// Most frequently occurring variable (ties broken by smaller index so the
 /// search is deterministic).
 inline Var PickBranchVar(const Clauses& clauses) {
-  std::unordered_map<Var, size_t> occurrences;
+  static thread_local EpochMap occurrences;
+  occurrences.Clear();
   for (const auto& c : clauses) {
-    for (Lit l : c) ++occurrences[l.var()];
+    for (Lit l : c) {
+      const Var v = l.var();
+      occurrences.Set(v, occurrences.Has(v) ? occurrences.Get(v) + 1 : 1);
+    }
   }
   Var best = kInvalidVar;
   size_t best_count = 0;
-  for (const auto& [v, count] : occurrences) {
+  for (const Var v : occurrences.touched()) {
+    const size_t count = occurrences.Get(v);
     if (count > best_count || (count == best_count && v < best)) {
       best = v;
       best_count = count;
@@ -131,32 +190,45 @@ inline Var PickBranchVar(const Clauses& clauses) {
   return best;
 }
 
-/// Conditions clauses on a literal (no propagation).
+/// Conditions clauses on a literal (no propagation). Scans each clause
+/// first so satisfied clauses allocate nothing and untouched clauses (the
+/// bulk) copy wholesale instead of literal-by-literal.
 inline Clauses ConditionClauses(const Clauses& clauses, Lit l) {
   Clauses out;
   out.reserve(clauses.size());
   for (const auto& c : clauses) {
-    std::vector<Lit> reduced;
     bool satisfied = false;
+    bool shrinks = false;
     for (Lit x : c) {
       if (x == l) {
         satisfied = true;
         break;
       }
+      if (x == ~l) shrinks = true;
+    }
+    if (satisfied) continue;
+    if (!shrinks) {
+      out.push_back(c);
+      continue;
+    }
+    std::vector<Lit> reduced;
+    reduced.reserve(c.size() - 1);
+    for (Lit x : c) {
       if (x != ~l) reduced.push_back(x);
     }
-    if (!satisfied) out.push_back(std::move(reduced));
+    out.push_back(std::move(reduced));
   }
   return out;
 }
 
 /// Number of distinct variables appearing in the clauses.
 inline size_t CountVars(const Clauses& clauses) {
-  std::unordered_set<Var> vars;
+  static thread_local EpochMap vars;
+  vars.Clear();
   for (const auto& c : clauses) {
-    for (Lit l : c) vars.insert(l.var());
+    for (Lit l : c) vars.Set(l.var(), 1);
   }
-  return vars.size();
+  return vars.touched().size();
 }
 
 }  // namespace tbc::compiler_internal

@@ -2,7 +2,10 @@
 
 #include <array>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "bayes/varelim.h"
@@ -87,14 +90,65 @@ Result<double> RunVarElim(const Query& q, Guard& guard) {
   return ve.ProbEvidenceBounded(target, guard);
 }
 
-Result<PortfolioAnswer> RunPortfolio(const Query& q, const Budget& budget) {
-  using Stage =
-      std::pair<PortfolioEngine, Result<double> (*)(const Query&, Guard&)>;
-  constexpr std::array<Stage, 3> kStages = {
-      Stage{PortfolioEngine::kSdd, RunSdd},
-      Stage{PortfolioEngine::kDdnnf, RunDdnnf},
-      Stage{PortfolioEngine::kVarElim, RunVarElim},
+using Stage =
+    std::pair<PortfolioEngine, Result<double> (*)(const Query&, Guard&)>;
+constexpr std::array<Stage, 3> kStages = {
+    Stage{PortfolioEngine::kSdd, RunSdd},
+    Stage{PortfolioEngine::kDdnnf, RunDdnnf},
+    Stage{PortfolioEngine::kVarElim, RunVarElim},
+};
+
+// Racing mode: every arm runs concurrently with the full budget under its
+// own pre-created guard. An arm that finishes successfully cancels all the
+// arms it outranks (they can no longer win); arms that outrank it keep
+// running, because they would take priority if they succeed. The winner is
+// then selected serially in fixed engine order, so the selection rule is
+// deterministic even though completion order is not.
+Result<PortfolioAnswer> RunPortfolioParallel(const Query& q,
+                                             const Budget& budget,
+                                             ThreadPool& pool) {
+  std::array<std::unique_ptr<Guard>, kStages.size()> guards;
+  for (auto& g : guards) g = std::make_unique<Guard>(budget);
+  std::array<std::optional<Result<double>>, kStages.size()> results;
+  std::mutex mu;
+  const std::function<void(size_t)> body = [&](size_t i) {
+    Result<double> r = kStages[i].second(q, *guards[i]);
+    std::lock_guard<std::mutex> lock(mu);
+    if (r.ok()) {
+      for (size_t j = i + 1; j < kStages.size(); ++j) guards[j]->Cancel();
+    }
+    results[i] = std::move(r);
   };
+  // No pool-level guard: each arm is already bounded by its own guard, and
+  // a late trip must not discard an earlier arm's success.
+  (void)pool.ParallelFor(0, kStages.size(), 1, body, nullptr);
+
+  PortfolioAnswer answer;
+  Status last_refusal = Status::DeadlineExceeded("no engine attempted");
+  for (size_t i = 0; i < kStages.size(); ++i) {
+    if (results[i].has_value() && results[i]->ok()) {
+      answer.value = **results[i];
+      answer.engine = kStages[i].first;
+      return answer;
+    }
+    if (results[i].has_value() &&
+        results[i]->error_code() == StatusCode::kInvalidInput) {
+      return results[i]->status();
+    }
+    const Status s = results[i].has_value() ? results[i]->status()
+                                            : Status::Cancelled("arm skipped");
+    answer.attempts.push_back(
+        std::string(PortfolioEngineName(kStages[i].first)) + ": " + s.message());
+    last_refusal = s;
+  }
+  return last_refusal;
+}
+
+Result<PortfolioAnswer> RunPortfolio(const Query& q, const Budget& budget,
+                                     ThreadPool* pool) {
+  if (pool != nullptr && pool->num_threads() > 1) {
+    return RunPortfolioParallel(q, budget, *pool);
+  }
   // Each stage gets a fresh guard with a slice of whatever deadline is
   // left: 1/3 for the first engine, 1/2 of the remainder for the second,
   // everything for the last. The node budget is not divided — it caps the
@@ -151,36 +205,39 @@ Status ValidateQueryVar(const BayesianNetwork& net, BnVar v, int value,
 
 Result<PortfolioAnswer> ProbEvidenceWithFallback(const BayesianNetwork& net,
                                                  const BnInstantiation& evidence,
-                                                 const Budget& budget) {
+                                                 const Budget& budget,
+                                                 ThreadPool* pool) {
   if (net.num_vars() == 0) return Status::InvalidInput("empty network");
   Query q{net, evidence, evidence};
-  return RunPortfolio(q, budget);
+  return RunPortfolio(q, budget, pool);
 }
 
 Result<PortfolioAnswer> MarginalWithFallback(const BayesianNetwork& net,
                                              BnVar v, int value,
                                              const BnInstantiation& evidence,
-                                             const Budget& budget) {
+                                             const Budget& budget,
+                                             ThreadPool* pool) {
   TBC_RETURN_IF_ERROR(ValidateQueryVar(net, v, value, evidence));
   BnInstantiation extended = evidence;
   extended.resize(net.num_vars(), kUnobserved);
   extended[v] = value;
   Query q{net, evidence, extended, v, value};
   q.wants_marginal = true;
-  return RunPortfolio(q, budget);
+  return RunPortfolio(q, budget, pool);
 }
 
 Result<PortfolioAnswer> PosteriorWithFallback(const BayesianNetwork& net,
                                               BnVar v, int value,
                                               const BnInstantiation& evidence,
-                                              const Budget& budget) {
+                                              const Budget& budget,
+                                              ThreadPool* pool) {
   TBC_RETURN_IF_ERROR(ValidateQueryVar(net, v, value, evidence));
   BnInstantiation extended = evidence;
   extended.resize(net.num_vars(), kUnobserved);
   extended[v] = value;
   Query q{net, evidence, extended, v, value};
   q.wants_posterior = true;
-  return RunPortfolio(q, budget);
+  return RunPortfolio(q, budget, pool);
 }
 
 }  // namespace tbc

@@ -16,16 +16,16 @@ NnfId NnfManager::Intern(Node node) {
   uint64_t h = HashCombine(0, static_cast<size_t>(node.kind));
   h = HashCombine(h, node.payload);
   for (NnfId c : node.children) h = HashCombine(h, c);
-  for (NnfId id : index_[h]) {
+  h = HashU64(h);
+  const uint32_t found = index_.Find(h, [&](uint32_t id) {
     const Node& n = nodes_[id];
-    if (n.kind == node.kind && n.payload == node.payload &&
-        n.children == node.children) {
-      return id;
-    }
-  }
+    return n.kind == node.kind && n.payload == node.payload &&
+           n.children == node.children;
+  });
+  if (found != UniqueTable::kNpos) return found;
   const NnfId id = static_cast<NnfId>(nodes_.size());
   nodes_.push_back(std::move(node));
-  index_[h].push_back(id);
+  index_.Insert(h, id);
   return id;
 }
 
@@ -96,6 +96,21 @@ std::vector<NnfId> NnfManager::TopologicalOrder(NnfId root) const {
   return order;
 }
 
+LevelSchedule NnfManager::Schedule(NnfId root) const {
+  return Levelize(nodes_.size(), root, [this](uint32_t n, auto&& visit) {
+    for (NnfId c : nodes_[n].children) visit(c);
+  });
+}
+
+const LevelSchedule& NnfManager::ScheduleCached(NnfId root) {
+  if (const uint32_t* slot = schedule_index_.Find(root)) {
+    return *schedules_[*slot];
+  }
+  schedules_.push_back(std::make_unique<LevelSchedule>(Schedule(root)));
+  schedule_index_.Insert(root, static_cast<uint32_t>(schedules_.size() - 1));
+  return *schedules_.back();
+}
+
 size_t NnfManager::CircuitSize(NnfId root) const {
   size_t edges = 0;
   for (NnfId n : TopologicalOrder(root)) edges += nodes_[n].children.size();
@@ -138,7 +153,9 @@ bool NnfManager::Evaluate(NnfId root, const Assignment& assignment) const {
 }
 
 NnfId NnfManager::Condition(NnfId root, Lit l) {
-  std::unordered_map<NnfId, NnfId> memo;
+  // Dense memo indexed by original node id; And/Or below may append nodes,
+  // but only pre-existing ids are ever looked up.
+  std::vector<NnfId> memo(nodes_.size(), kInvalidNnf);
   const std::vector<NnfId> order = TopologicalOrder(root);
   for (NnfId n : order) {
     const Node node = nodes_[n];  // copy: And/Or below may reallocate nodes_
@@ -157,14 +174,14 @@ NnfId NnfManager::Condition(NnfId root, Lit l) {
       case Kind::kOr: {
         std::vector<NnfId> kids;
         kids.reserve(node.children.size());
-        for (NnfId c : node.children) kids.push_back(memo.at(c));
+        for (NnfId c : node.children) kids.push_back(memo[c]);
         result = node.kind == Kind::kAnd ? And(std::move(kids)) : Or(std::move(kids));
         break;
       }
     }
     memo[n] = result;
   }
-  return memo.at(root);
+  return memo[root];
 }
 
 const std::vector<uint64_t>& NnfManager::VarSet(NnfId root) {

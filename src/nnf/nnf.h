@@ -2,9 +2,12 @@
 #define TBC_NNF_NNF_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "base/bigint.h"
+#include "base/flat_table.h"
+#include "base/levelize.h"
 #include "logic/lit.h"
 
 namespace tbc {
@@ -82,6 +85,37 @@ class NnfManager {
   /// Nodes reachable from root, children before parents.
   std::vector<NnfId> TopologicalOrder(NnfId root) const;
 
+  /// Topological level schedule of the subcircuit at `root`: leaves at
+  /// level 0, each gate one level above its deepest input. The evaluation
+  /// kernels in nnf/queries.cc walk the schedule's contiguous per-level
+  /// ranges with dense rank-indexed value arrays (and, optionally, a
+  /// ThreadPool over each level).
+  LevelSchedule Schedule(NnfId root) const;
+
+  /// Cached variant of Schedule(). The store is append-only and children
+  /// are immutable, so a root's schedule never invalidates; repeated
+  /// queries on the same root (the common pattern: compile once, count /
+  /// WMC many times) pay the levelization once. The reference stays valid
+  /// for the manager's lifetime. Like VarSet(), the first call per root
+  /// writes the cache: warm single-threaded before sharing the manager
+  /// across lanes.
+  const LevelSchedule& ScheduleCached(NnfId root);
+
+  /// Memoized unweighted model-count results (the classic BDD-package
+  /// count cache): a circuit's count over a fixed variable universe is a
+  /// pure function of the append-only store, so it never invalidates.
+  /// Returns nullptr on a miss; ModelCountBounded() populates it. Same
+  /// warm-before-sharing contract as VarSet()/ScheduleCached().
+  const BigUint* FindModelCount(NnfId root, size_t num_vars) const {
+    return count_cache_.Find(CountCacheKey(root, num_vars));
+  }
+  void StoreModelCount(NnfId root, size_t num_vars, const BigUint& count) {
+    count_cache_.Insert(CountCacheKey(root, num_vars), count);
+  }
+
+  /// Pre-sizes the unique table for `n` expected nodes.
+  void Reserve(size_t n) { index_.Reserve(n); }
+
  private:
   struct Node {
     Kind kind;
@@ -92,9 +126,16 @@ class NnfManager {
   NnfId Intern(Node node);
 
   std::vector<Node> nodes_;
-  std::unordered_map<uint64_t, std::vector<NnfId>> index_;
+  UniqueTable index_;
   std::vector<std::vector<uint64_t>> varset_cache_;  // parallel to nodes_
   std::vector<int8_t> varset_ready_;
+  static uint64_t CountCacheKey(NnfId root, size_t num_vars) {
+    return (uint64_t{root} << 32) | static_cast<uint32_t>(num_vars);
+  }
+
+  FlatMap<NnfId, uint32_t> schedule_index_;  // root -> schedules_ slot
+  std::vector<std::unique_ptr<LevelSchedule>> schedules_;
+  FlatMap<uint64_t, BigUint> count_cache_;
   size_t num_vars_ = 0;
 };
 

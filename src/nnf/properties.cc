@@ -147,7 +147,9 @@ bool IsDecision(NnfManager& mgr, NnfId root) {
 
 NnfId Smooth(NnfManager& mgr, NnfId root, size_t num_vars) {
   mgr.VarSet(root);
-  std::unordered_map<NnfId, NnfId> memo;
+  // Dense memo indexed by original node id; And/Or below may append nodes,
+  // but only pre-existing ids are ever looked up.
+  std::vector<NnfId> memo(mgr.num_nodes(), kInvalidNnf);
   for (NnfId n : mgr.TopologicalOrder(root)) {
     switch (mgr.kind(n)) {
       case NnfManager::Kind::kFalse:
@@ -157,7 +159,8 @@ NnfId Smooth(NnfManager& mgr, NnfId root, size_t num_vars) {
         break;
       case NnfManager::Kind::kAnd: {
         std::vector<NnfId> kids;
-        for (NnfId c : mgr.children(n)) kids.push_back(memo.at(c));
+        const std::vector<NnfId> original = mgr.children(n);  // copy
+        for (NnfId c : original) kids.push_back(memo[c]);
         memo[n] = mgr.And(std::move(kids));
         break;
       }
@@ -167,14 +170,14 @@ NnfId Smooth(NnfManager& mgr, NnfId root, size_t num_vars) {
         std::vector<NnfId> original = mgr.children(n);
         for (NnfId c : original) {
           const std::vector<Var> missing = MissingVars(full, mgr.VarSet(c));
-          kids.push_back(AttachMissing(mgr, memo.at(c), missing));
+          kids.push_back(AttachMissing(mgr, memo[c], missing));
         }
         memo[n] = mgr.Or(std::move(kids));
         break;
       }
     }
   }
-  NnfId result = memo.at(root);
+  NnfId result = memo[root];
   if (num_vars > 0) {
     std::vector<uint64_t> all((num_vars + 63) / 64, 0);
     for (size_t v = 0; v < num_vars; ++v) all[v / 64] |= 1ull << (v % 64);

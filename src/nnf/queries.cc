@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
+#include <utility>
 
 #include "base/check.h"
 #include "nnf/properties.h"
@@ -30,6 +30,45 @@ size_t PopCount(const std::vector<uint64_t>& set) {
   size_t c = 0;
   for (uint64_t w : set) c += static_cast<size_t>(__builtin_popcountll(w));
   return c;
+}
+
+// Indices per chunk claimed off the pool; also the serial poll period.
+constexpr size_t kGrain = 64;
+
+// Runs body(i) for i in [begin, end): over the pool's lanes when one is
+// given and the range is worth splitting, inline otherwise. Either way the
+// guard is polled about once per kGrain indices.
+Status ForRange(ThreadPool* pool, Guard& guard, size_t begin, size_t end,
+                const std::function<void(size_t)>& body) {
+  if (pool != nullptr && pool->num_threads() > 1 && end - begin > kGrain) {
+    return pool->ParallelFor(begin, end, kGrain, body, &guard);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    if ((i - begin) % kGrain == 0) TBC_RETURN_IF_ERROR(guard.Poll());
+    body(i);
+  }
+  return Status::Ok();
+}
+
+// Warms the manager's varset cache for the whole subcircuit (serially —
+// VarSet mutates its cache, so parallel pass bodies may only read it), then
+// snapshots the level schedule and per-rank variable counts.
+struct EvalPlan {
+  // Owned by the manager's schedule cache (valid for its lifetime), so
+  // repeated queries on one root levelize once.
+  const LevelSchedule* schedule = nullptr;
+  std::vector<uint32_t> nvars;  // |VarSet| per rank
+};
+
+EvalPlan MakePlan(NnfManager& mgr, NnfId root) {
+  mgr.VarSet(root);
+  EvalPlan plan;
+  plan.schedule = &mgr.ScheduleCached(root);
+  plan.nvars.resize(plan.schedule->order.size());
+  for (size_t i = 0; i < plan.schedule->order.size(); ++i) {
+    plan.nvars[i] = static_cast<uint32_t>(PopCount(mgr.VarSet(plan.schedule->order[i])));
+  }
+  return plan;
 }
 
 }  // namespace
@@ -62,158 +101,187 @@ bool IsSatDnnf(NnfManager& mgr, NnfId root) {
   return sat[root] == 1;
 }
 
-BigUint ModelCount(NnfManager& mgr, NnfId root, size_t num_vars) {
-  mgr.VarSet(root);
-  std::unordered_map<NnfId, BigUint> count;
-  for (NnfId n : mgr.TopologicalOrder(root)) {
-    switch (mgr.kind(n)) {
-      case NnfManager::Kind::kFalse:
-        count[n] = BigUint(0);
-        break;
-      case NnfManager::Kind::kTrue:
-      case NnfManager::Kind::kLiteral:
-        count[n] = BigUint(1);
-        break;
-      case NnfManager::Kind::kAnd: {
-        BigUint prod(1);
-        for (NnfId c : mgr.children(n)) prod *= count.at(c);
-        count[n] = std::move(prod);
-        break;
-      }
-      case NnfManager::Kind::kOr: {
-        const size_t nv = PopCount(mgr.VarSet(n));
-        BigUint sum(0);
-        for (NnfId c : mgr.children(n)) {
-          const size_t cv = PopCount(mgr.VarSet(c));
-          // Gap factor: each variable of the gate missing from this input
-          // is free, doubling the input's count.
-          sum += count.at(c) * BigUint::PowerOfTwo(static_cast<unsigned>(nv - cv));
-        }
-        count[n] = std::move(sum);
-        break;
-      }
-    }
+Result<BigUint> ModelCountBounded(NnfManager& mgr, NnfId root, size_t num_vars,
+                                  Guard& guard, ThreadPool* pool) {
+  TBC_RETURN_IF_ERROR(guard.Check());
+  // The store is append-only, so a root's count over a fixed universe never
+  // changes; repeated counts on the same root hit the manager's cache.
+  if (const BigUint* hit = mgr.FindModelCount(root, num_vars)) return *hit;
+  const EvalPlan plan = MakePlan(mgr, root);
+  const LevelSchedule& s = *plan.schedule;
+  std::vector<BigUint> count(s.order.size());
+  for (size_t l = 0; l < s.num_levels(); ++l) {
+    TBC_RETURN_IF_ERROR(ForRange(
+        pool, guard, s.level_begin[l], s.level_begin[l + 1], [&](size_t i) {
+          const NnfId n = s.order[i];
+          switch (mgr.kind(n)) {
+            case NnfManager::Kind::kFalse:
+              break;  // slots default to 0
+            case NnfManager::Kind::kTrue:
+            case NnfManager::Kind::kLiteral:
+              count[i] = BigUint(1);
+              break;
+            case NnfManager::Kind::kAnd: {
+              BigUint prod(1);
+              for (NnfId c : mgr.children(n)) prod *= count[s.rank[c]];
+              count[i] = std::move(prod);
+              break;
+            }
+            case NnfManager::Kind::kOr: {
+              BigUint sum(0);
+              for (NnfId c : mgr.children(n)) {
+                // Gap factor: each variable of the gate missing from this
+                // input is free, doubling the input's count.
+                sum += count[s.rank[c]] *
+                       BigUint::PowerOfTwo(plan.nvars[i] - plan.nvars[s.rank[c]]);
+              }
+              count[i] = std::move(sum);
+              break;
+            }
+          }
+        }));
   }
-  const size_t root_vars = PopCount(mgr.VarSet(root));
+  const size_t root_vars = plan.nvars[s.rank[root]];
   TBC_CHECK_MSG(root_vars <= num_vars, "num_vars smaller than circuit variables");
-  return count.at(root) * BigUint::PowerOfTwo(static_cast<unsigned>(num_vars - root_vars));
+  BigUint result = count[s.rank[root]] *
+                   BigUint::PowerOfTwo(static_cast<unsigned>(num_vars - root_vars));
+  mgr.StoreModelCount(root, num_vars, result);
+  return result;
 }
 
-double Wmc(NnfManager& mgr, NnfId root, const WeightMap& weights) {
-  mgr.VarSet(root);
-  std::unordered_map<NnfId, double> value;
+BigUint ModelCount(NnfManager& mgr, NnfId root, size_t num_vars) {
+  return std::move(
+      ModelCountBounded(mgr, root, num_vars, Guard::Unlimited()).value());
+}
+
+Result<double> WmcBounded(NnfManager& mgr, NnfId root, const WeightMap& weights,
+                          Guard& guard, ThreadPool* pool) {
+  TBC_RETURN_IF_ERROR(guard.Check());
+  const EvalPlan plan = MakePlan(mgr, root);
+  const LevelSchedule& s = *plan.schedule;
   auto gap_factor = [&](const std::vector<uint64_t>& big,
                         const std::vector<uint64_t>& small) {
     double f = 1.0;
     for (Var v : MissingVars(big, small)) f *= weights[Pos(v)] + weights[Neg(v)];
     return f;
   };
-  for (NnfId n : mgr.TopologicalOrder(root)) {
-    switch (mgr.kind(n)) {
-      case NnfManager::Kind::kFalse:
-        value[n] = 0.0;
-        break;
-      case NnfManager::Kind::kTrue:
-        value[n] = 1.0;
-        break;
-      case NnfManager::Kind::kLiteral:
-        value[n] = weights[mgr.lit(n)];
-        break;
-      case NnfManager::Kind::kAnd: {
-        double prod = 1.0;
-        for (NnfId c : mgr.children(n)) prod *= value.at(c);
-        value[n] = prod;
-        break;
-      }
-      case NnfManager::Kind::kOr: {
-        double sum = 0.0;
-        for (NnfId c : mgr.children(n)) {
-          sum += value.at(c) * gap_factor(mgr.VarSet(n), mgr.VarSet(c));
-        }
-        value[n] = sum;
-        break;
-      }
-    }
+  std::vector<double> value(s.order.size(), 0.0);
+  for (size_t l = 0; l < s.num_levels(); ++l) {
+    TBC_RETURN_IF_ERROR(ForRange(
+        pool, guard, s.level_begin[l], s.level_begin[l + 1], [&](size_t i) {
+          const NnfId n = s.order[i];
+          switch (mgr.kind(n)) {
+            case NnfManager::Kind::kFalse:
+              value[i] = 0.0;
+              break;
+            case NnfManager::Kind::kTrue:
+              value[i] = 1.0;
+              break;
+            case NnfManager::Kind::kLiteral:
+              value[i] = weights[mgr.lit(n)];
+              break;
+            case NnfManager::Kind::kAnd: {
+              double prod = 1.0;
+              for (NnfId c : mgr.children(n)) prod *= value[s.rank[c]];
+              value[i] = prod;
+              break;
+            }
+            case NnfManager::Kind::kOr: {
+              double sum = 0.0;
+              for (NnfId c : mgr.children(n)) {
+                sum += value[s.rank[c]] * gap_factor(mgr.VarSet(n), mgr.VarSet(c));
+              }
+              value[i] = sum;
+              break;
+            }
+          }
+        }));
   }
   // Variables outside the circuit contribute (W(x)+W(¬x)) each.
-  double result = value.at(root);
+  double result = value[s.rank[root]];
   std::vector<uint64_t> all((weights.num_vars() + 63) / 64, 0);
   for (size_t v = 0; v < weights.num_vars(); ++v) all[v / 64] |= 1ull << (v % 64);
   result *= gap_factor(all, mgr.VarSet(root));
   return result;
 }
 
+double Wmc(NnfManager& mgr, NnfId root, const WeightMap& weights) {
+  return WmcBounded(mgr, root, weights, Guard::Unlimited()).value();
+}
+
 std::vector<double> MarginalWmc(NnfManager& mgr, NnfId root,
                                 const WeightMap& weights) {
   const size_t num_vars = weights.num_vars();
   const NnfId smooth = Smooth(mgr, root, num_vars);
-  const std::vector<NnfId> order = mgr.TopologicalOrder(smooth);
+  const LevelSchedule s = mgr.Schedule(smooth);
 
   // Upward pass: WMC value of every node.
-  std::unordered_map<NnfId, double> value;
-  for (NnfId n : order) {
+  std::vector<double> value(s.order.size(), 0.0);
+  for (size_t i = 0; i < s.order.size(); ++i) {
+    const NnfId n = s.order[i];
     switch (mgr.kind(n)) {
       case NnfManager::Kind::kFalse:
-        value[n] = 0.0;
+        value[i] = 0.0;
         break;
       case NnfManager::Kind::kTrue:
-        value[n] = 1.0;
+        value[i] = 1.0;
         break;
       case NnfManager::Kind::kLiteral:
-        value[n] = weights[mgr.lit(n)];
+        value[i] = weights[mgr.lit(n)];
         break;
       case NnfManager::Kind::kAnd: {
         double prod = 1.0;
-        for (NnfId c : mgr.children(n)) prod *= value.at(c);
-        value[n] = prod;
+        for (NnfId c : mgr.children(n)) prod *= value[s.rank[c]];
+        value[i] = prod;
         break;
       }
       case NnfManager::Kind::kOr: {
         double sum = 0.0;
-        for (NnfId c : mgr.children(n)) sum += value.at(c);
-        value[n] = sum;
+        for (NnfId c : mgr.children(n)) sum += value[s.rank[c]];
+        value[i] = sum;
         break;
       }
     }
   }
 
-  // Downward pass: partial derivatives [Darwiche 2003].
-  std::unordered_map<NnfId, double> deriv;
-  for (NnfId n : order) deriv[n] = 0.0;
-  deriv[smooth] = 1.0;
-  for (size_t i = order.size(); i-- > 0;) {
-    const NnfId n = order[i];
-    const double dn = deriv.at(n);
+  // Downward pass: partial derivatives [Darwiche 2003]. Parents accumulate
+  // into shared child slots, so this pass stays serial.
+  std::vector<double> deriv(s.order.size(), 0.0);
+  deriv[s.rank[smooth]] = 1.0;
+  for (size_t i = s.order.size(); i-- > 0;) {
+    const NnfId n = s.order[i];
+    const double dn = deriv[i];
     if (dn == 0.0) continue;
     if (mgr.kind(n) == NnfManager::Kind::kOr) {
-      for (NnfId c : mgr.children(n)) deriv[c] += dn;
+      for (NnfId c : mgr.children(n)) deriv[s.rank[c]] += dn;
     } else if (mgr.kind(n) == NnfManager::Kind::kAnd) {
       // d/dc = dn * Π_{c'≠c} v(c'); handle zero factors explicitly.
       const auto& kids = mgr.children(n);
       size_t zeros = 0;
       double prod_nonzero = 1.0;
       for (NnfId c : kids) {
-        if (value.at(c) == 0.0) {
+        if (value[s.rank[c]] == 0.0) {
           ++zeros;
         } else {
-          prod_nonzero *= value.at(c);
+          prod_nonzero *= value[s.rank[c]];
         }
       }
       if (zeros == 0) {
-        for (NnfId c : kids) deriv[c] += dn * prod_nonzero / value.at(c);
+        for (NnfId c : kids) deriv[s.rank[c]] += dn * prod_nonzero / value[s.rank[c]];
       } else if (zeros == 1) {
         for (NnfId c : kids) {
-          if (value.at(c) == 0.0) deriv[c] += dn * prod_nonzero;
+          if (value[s.rank[c]] == 0.0) deriv[s.rank[c]] += dn * prod_nonzero;
         }
       }
     }
   }
 
   std::vector<double> marginal(2 * num_vars, 0.0);
-  for (NnfId n : order) {
+  for (size_t i = 0; i < s.order.size(); ++i) {
+    const NnfId n = s.order[i];
     if (mgr.kind(n) == NnfManager::Kind::kLiteral) {
       const Lit l = mgr.lit(n);
-      marginal[l.code()] += deriv.at(n) * weights[l];
+      marginal[l.code()] += deriv[i] * weights[l];
     }
   }
   return marginal;
@@ -221,7 +289,7 @@ std::vector<double> MarginalWmc(NnfManager& mgr, NnfId root,
 
 size_t MinCardinality(NnfManager& mgr, NnfId root) {
   constexpr size_t kInf = std::numeric_limits<size_t>::max();
-  std::unordered_map<NnfId, size_t> card;
+  std::vector<size_t> card(mgr.num_nodes(), 0);
   for (NnfId n : mgr.TopologicalOrder(root)) {
     switch (mgr.kind(n)) {
       case NnfManager::Kind::kFalse:
@@ -236,11 +304,11 @@ size_t MinCardinality(NnfManager& mgr, NnfId root) {
       case NnfManager::Kind::kAnd: {
         size_t sum = 0;
         for (NnfId c : mgr.children(n)) {
-          if (card.at(c) == kInf) {
+          if (card[c] == kInf) {
             sum = kInf;
             break;
           }
-          sum += card.at(c);
+          sum += card[c];
         }
         card[n] = sum;
         break;
@@ -249,18 +317,21 @@ size_t MinCardinality(NnfManager& mgr, NnfId root) {
         size_t best = kInf;
         // Missing variables can always be set false (cardinality 0), so no
         // gap correction is needed for minimization.
-        for (NnfId c : mgr.children(n)) best = std::min(best, card.at(c));
+        for (NnfId c : mgr.children(n)) best = std::min(best, card[c]);
         card[n] = best;
         break;
       }
     }
   }
-  return card.at(root);
+  return card[root];
 }
 
-MpeResult MaxWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
-                 size_t num_vars) {
-  mgr.VarSet(root);
+Result<MpeResult> MaxWmcBounded(NnfManager& mgr, NnfId root,
+                                const WeightMap& weights, size_t num_vars,
+                                Guard& guard, ThreadPool* pool) {
+  TBC_RETURN_IF_ERROR(guard.Check());
+  const EvalPlan plan = MakePlan(mgr, root);
+  const LevelSchedule& s = *plan.schedule;
   auto best_lit_weight = [&](Var v) {
     return std::max(weights[Pos(v)], weights[Neg(v)]);
   };
@@ -271,43 +342,47 @@ MpeResult MaxWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
     return f;
   };
 
-  std::unordered_map<NnfId, double> value;
-  const std::vector<NnfId> order = mgr.TopologicalOrder(root);
-  for (NnfId n : order) {
-    switch (mgr.kind(n)) {
-      case NnfManager::Kind::kFalse:
-        value[n] = -1.0;  // sentinel: unsatisfiable branch
-        break;
-      case NnfManager::Kind::kTrue:
-        value[n] = 1.0;
-        break;
-      case NnfManager::Kind::kLiteral:
-        value[n] = weights[mgr.lit(n)];
-        break;
-      case NnfManager::Kind::kAnd: {
-        double prod = 1.0;
-        for (NnfId c : mgr.children(n)) {
-          if (value.at(c) < 0.0) {
-            prod = -1.0;
-            break;
+  std::vector<double> value(s.order.size(), 0.0);
+  for (size_t l = 0; l < s.num_levels(); ++l) {
+    TBC_RETURN_IF_ERROR(ForRange(
+        pool, guard, s.level_begin[l], s.level_begin[l + 1], [&](size_t i) {
+          const NnfId n = s.order[i];
+          switch (mgr.kind(n)) {
+            case NnfManager::Kind::kFalse:
+              value[i] = -1.0;  // sentinel: unsatisfiable branch
+              break;
+            case NnfManager::Kind::kTrue:
+              value[i] = 1.0;
+              break;
+            case NnfManager::Kind::kLiteral:
+              value[i] = weights[mgr.lit(n)];
+              break;
+            case NnfManager::Kind::kAnd: {
+              double prod = 1.0;
+              for (NnfId c : mgr.children(n)) {
+                if (value[s.rank[c]] < 0.0) {
+                  prod = -1.0;
+                  break;
+                }
+                prod *= value[s.rank[c]];
+              }
+              value[i] = prod;
+              break;
+            }
+            case NnfManager::Kind::kOr: {
+              double best = -1.0;
+              for (NnfId c : mgr.children(n)) {
+                if (value[s.rank[c]] < 0.0) continue;
+                best = std::max(best, value[s.rank[c]] *
+                                          gap_max(mgr.VarSet(n), mgr.VarSet(c)));
+              }
+              value[i] = best;
+              break;
+            }
           }
-          prod *= value.at(c);
-        }
-        value[n] = prod;
-        break;
-      }
-      case NnfManager::Kind::kOr: {
-        double best = -1.0;
-        for (NnfId c : mgr.children(n)) {
-          if (value.at(c) < 0.0) continue;
-          best = std::max(best, value.at(c) * gap_max(mgr.VarSet(n), mgr.VarSet(c)));
-        }
-        value[n] = best;
-        break;
-      }
-    }
+        }));
   }
-  TBC_CHECK_MSG(value.at(root) >= 0.0, "MaxWmc on unsatisfiable circuit");
+  TBC_CHECK_MSG(value[s.rank[root]] >= 0.0, "MaxWmc on unsatisfiable circuit");
 
   MpeResult result;
   result.assignment.assign(num_vars, false);
@@ -320,7 +395,7 @@ MpeResult MaxWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
     for (Var v : vars) set_var(v, weights[Pos(v)] >= weights[Neg(v)]);
   };
 
-  // Traceback.
+  // Traceback (serial; ties break on child order, independent of threads).
   std::vector<NnfId> stack = {root};
   while (!stack.empty()) {
     const NnfId n = stack.back();
@@ -339,8 +414,9 @@ MpeResult MaxWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
         NnfId best_child = kInvalidNnf;
         double best = -1.0;
         for (NnfId c : mgr.children(n)) {
-          if (value.at(c) < 0.0) continue;
-          const double v = value.at(c) * gap_max(mgr.VarSet(n), mgr.VarSet(c));
+          if (value[s.rank[c]] < 0.0) continue;
+          const double v =
+              value[s.rank[c]] * gap_max(mgr.VarSet(n), mgr.VarSet(c));
           if (v > best) {
             best = v;
             best_child = c;
@@ -368,35 +444,41 @@ MpeResult MaxWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
   return result;
 }
 
+MpeResult MaxWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
+                 size_t num_vars) {
+  return std::move(
+      MaxWmcBounded(mgr, root, weights, num_vars, Guard::Unlimited()).value());
+}
+
 Assignment SampleModelDnnf(NnfManager& mgr, NnfId root, size_t num_vars,
                            Rng& rng) {
   TBC_CHECK_MSG(IsSatDnnf(mgr, root), "cannot sample an unsatisfiable circuit");
-  mgr.VarSet(root);
   // Counting pass (same recurrence as ModelCount).
-  std::unordered_map<NnfId, BigUint> count;
-  for (NnfId n : mgr.TopologicalOrder(root)) {
+  const EvalPlan plan = MakePlan(mgr, root);
+  const LevelSchedule& s = *plan.schedule;
+  std::vector<BigUint> count(s.order.size());
+  for (size_t i = 0; i < s.order.size(); ++i) {
+    const NnfId n = s.order[i];
     switch (mgr.kind(n)) {
       case NnfManager::Kind::kFalse:
-        count[n] = BigUint(0);
         break;
       case NnfManager::Kind::kTrue:
       case NnfManager::Kind::kLiteral:
-        count[n] = BigUint(1);
+        count[i] = BigUint(1);
         break;
       case NnfManager::Kind::kAnd: {
         BigUint prod(1);
-        for (NnfId c : mgr.children(n)) prod *= count.at(c);
-        count[n] = std::move(prod);
+        for (NnfId c : mgr.children(n)) prod *= count[s.rank[c]];
+        count[i] = std::move(prod);
         break;
       }
       case NnfManager::Kind::kOr: {
-        const size_t nv = PopCount(mgr.VarSet(n));
         BigUint sum(0);
         for (NnfId c : mgr.children(n)) {
-          sum += count.at(c) *
-                 BigUint::PowerOfTwo(static_cast<unsigned>(nv - PopCount(mgr.VarSet(c))));
+          sum += count[s.rank[c]] *
+                 BigUint::PowerOfTwo(plan.nvars[i] - plan.nvars[s.rank[c]]);
         }
-        count[n] = std::move(sum);
+        count[i] = std::move(sum);
         break;
       }
     }
@@ -430,13 +512,13 @@ Assignment SampleModelDnnf(NnfManager& mgr, NnfId root, size_t num_vars,
         for (NnfId c : mgr.children(n)) stack.push_back(c);
         break;
       case NnfManager::Kind::kOr: {
-        const size_t nv = PopCount(mgr.VarSet(n));
-        double u = rng.Uniform() * count.at(n).ToDouble();
+        const uint32_t nv = plan.nvars[s.rank[n]];
+        double u = rng.Uniform() * count[s.rank[n]].ToDouble();
         NnfId chosen = kInvalidNnf;
         for (NnfId c : mgr.children(n)) {
           const double w =
-              count.at(c).ToDouble() *
-              std::ldexp(1.0, static_cast<int>(nv - PopCount(mgr.VarSet(c))));
+              count[s.rank[c]].ToDouble() *
+              std::ldexp(1.0, static_cast<int>(nv - plan.nvars[s.rank[c]]));
           if (u < w || c == mgr.children(n).back()) {
             chosen = c;
             break;
@@ -445,9 +527,9 @@ Assignment SampleModelDnnf(NnfManager& mgr, NnfId root, size_t num_vars,
         }
         // Pick only children with nonzero count (⊥ children have w = 0 and
         // can only be reached via the fallback; skip them).
-        if (count.at(chosen).IsZero()) {
+        if (count[s.rank[chosen]].IsZero()) {
           for (NnfId c : mgr.children(n)) {
-            if (!count.at(c).IsZero()) chosen = c;
+            if (!count[s.rank[c]].IsZero()) chosen = c;
           }
         }
         set_free(MissingVars(mgr.VarSet(n), mgr.VarSet(chosen)));
@@ -475,7 +557,9 @@ bool EntailsClause(NnfManager& mgr, NnfId root, const Clause& clause) {
 NnfId Forget(NnfManager& mgr, NnfId root, const std::vector<Var>& vars) {
   std::vector<uint64_t> forget_set((mgr.num_vars() + 63) / 64, 0);
   for (Var v : vars) forget_set[v / 64] |= 1ull << (v % 64);
-  std::unordered_map<NnfId, NnfId> memo;
+  // Dense memo indexed by original node id; And/Or below may append nodes,
+  // but only pre-existing ids are ever looked up.
+  std::vector<NnfId> memo(mgr.num_nodes(), kInvalidNnf);
   for (NnfId n : mgr.TopologicalOrder(root)) {
     NnfId result = kInvalidNnf;
     switch (mgr.kind(n)) {
@@ -494,7 +578,7 @@ NnfId Forget(NnfManager& mgr, NnfId root, const std::vector<Var>& vars) {
         const std::vector<NnfId> kids_src = mgr.children(n);  // copy
         std::vector<NnfId> kids;
         kids.reserve(kids_src.size());
-        for (NnfId c : kids_src) kids.push_back(memo.at(c));
+        for (NnfId c : kids_src) kids.push_back(memo[c]);
         result = mgr.kind(n) == NnfManager::Kind::kAnd ? mgr.And(std::move(kids))
                                                        : mgr.Or(std::move(kids));
         break;
@@ -502,7 +586,7 @@ NnfId Forget(NnfManager& mgr, NnfId root, const std::vector<Var>& vars) {
     }
     memo[n] = result;
   }
-  return memo.at(root);
+  return memo[root];
 }
 
 MaxSumResult MaxSumWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
@@ -519,7 +603,7 @@ MaxSumResult MaxSumWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
   };
 
   const std::vector<NnfId> order = mgr.TopologicalOrder(root);
-  std::unordered_map<NnfId, double> value;
+  std::vector<double> value(mgr.num_nodes(), 0.0);
   for (NnfId n : order) {
     switch (mgr.kind(n)) {
       case NnfManager::Kind::kFalse:
@@ -533,7 +617,7 @@ MaxSumResult MaxSumWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
         break;
       case NnfManager::Kind::kAnd: {
         double prod = 1.0;
-        for (NnfId c : mgr.children(n)) prod *= value.at(c);
+        for (NnfId c : mgr.children(n)) prod *= value[c];
         value[n] = prod;
         break;
       }
@@ -541,9 +625,9 @@ MaxSumResult MaxSumWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
         double best = 0.0;
         if (touches_max(n)) {
           best = -1.0;
-          for (NnfId c : mgr.children(n)) best = std::max(best, value.at(c));
+          for (NnfId c : mgr.children(n)) best = std::max(best, value[c]);
         } else {
-          for (NnfId c : mgr.children(n)) best += value.at(c);
+          for (NnfId c : mgr.children(n)) best += value[c];
         }
         value[n] = best;
         break;
@@ -554,7 +638,7 @@ MaxSumResult MaxSumWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
   // Traceback: descend argmax branches of max-or gates, collecting max-var
   // literals along the chosen paths.
   MaxSumResult result;
-  result.value = value.at(root);
+  result.value = value[root];
   std::vector<NnfId> stack = {root};
   std::vector<int8_t> chosen(2 * mgr.num_vars(), 0);
   while (!stack.empty()) {
@@ -580,8 +664,8 @@ MaxSumResult MaxSumWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
         NnfId best_child = kInvalidNnf;
         double best = -1.0;
         for (NnfId c : mgr.children(n)) {
-          if (value.at(c) > best) {
-            best = value.at(c);
+          if (value[c] > best) {
+            best = value[c];
             best_child = c;
           }
         }

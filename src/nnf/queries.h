@@ -5,7 +5,10 @@
 #include <vector>
 
 #include "base/bigint.h"
+#include "base/guard.h"
 #include "base/random.h"
+#include "base/result.h"
+#include "base/thread_pool.h"
 #include "logic/cnf.h"
 #include "nnf/nnf.h"
 
@@ -31,6 +34,19 @@ BigUint ModelCount(NnfManager& mgr, NnfId root, size_t num_vars);
 /// Weighted model count with per-literal weights (paper §2.1, WMC).
 double Wmc(NnfManager& mgr, NnfId root, const WeightMap& weights);
 
+/// Resource-governed variants of the counting kernels. All three walk the
+/// circuit's level schedule over dense rank-indexed arrays; when `pool` is
+/// non-null each level's node batch is distributed over its lanes. The
+/// per-node recurrences read only completed earlier levels and iterate
+/// children in a fixed order, so results are bit-identical to the serial
+/// pass at every thread count (the determinism contract of
+/// base/thread_pool.h). The guard is polled throughout; on a trip the
+/// partial pass is discarded and the guard's typed refusal is returned.
+Result<BigUint> ModelCountBounded(NnfManager& mgr, NnfId root, size_t num_vars,
+                                  Guard& guard, ThreadPool* pool = nullptr);
+Result<double> WmcBounded(NnfManager& mgr, NnfId root, const WeightMap& weights,
+                          Guard& guard, ThreadPool* pool = nullptr);
+
 /// All marginal weighted model counts in one bottom-up + top-down pass
 /// [Darwiche 2001, 2003]: returns m with m[l.code()] = WMC(Δ ∧ l) for every
 /// literal l over 0..num_vars-1. The circuit is smoothed internally.
@@ -50,6 +66,13 @@ struct MpeResult {
 };
 MpeResult MaxWmc(NnfManager& mgr, NnfId root, const WeightMap& weights,
                  size_t num_vars);
+
+/// Resource-governed MaxWmc; see the Bounded counting kernels above. The
+/// maximizing assignment is bit-identical across thread counts: the upward
+/// max pass is order-independent per node and the traceback is serial.
+Result<MpeResult> MaxWmcBounded(NnfManager& mgr, NnfId root,
+                                const WeightMap& weights, size_t num_vars,
+                                Guard& guard, ThreadPool* pool = nullptr);
 
 /// Enumerates all models over 0..num_vars-1 (test oracle; d-DNNF).
 void EnumerateModelsDnnf(NnfManager& mgr, NnfId root, size_t num_vars,

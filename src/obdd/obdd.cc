@@ -30,14 +30,15 @@ ObddId ObddManager::MakeNode(Var v, ObddId lo, ObddId hi) {
   TBC_DCHECK(level_of_var_[v] != kTermLevel);
   TBC_DCHECK(IsTerminal(lo) || LevelOf(nodes_[lo].var) > LevelOf(v));
   TBC_DCHECK(IsTerminal(hi) || LevelOf(nodes_[hi].var) > LevelOf(v));
-  uint64_t key = HashCombine(HashCombine(HashU64(v), lo), hi);
-  for (ObddId id : unique_[key]) {
+  const uint64_t key = HashU64(HashCombine(HashCombine(HashU64(v), lo), hi));
+  const uint32_t found = unique_.Find(key, [&](uint32_t id) {
     const Node& n = nodes_[id];
-    if (n.var == v && n.lo == lo && n.hi == hi) return id;
-  }
+    return n.var == v && n.lo == lo && n.hi == hi;
+  });
+  if (found != UniqueTable::kNpos) return found;
   const ObddId id = static_cast<ObddId>(nodes_.size());
   nodes_.push_back({v, lo, hi});
-  unique_[key].push_back(id);
+  unique_.Insert(key, id);
   return id;
 }
 
@@ -70,10 +71,6 @@ bool ObddManager::TerminalCase(Op op, ObddId f, ObddId g, ObddId* out) {
   }
 }
 
-size_t ObddManager::OpKeyHash::operator()(const OpKey& k) const {
-  return HashU64(k.fg ^ (static_cast<uint64_t>(k.tag) * 0x9e3779b97f4a7c15ull));
-}
-
 ObddId ObddManager::Apply(Op op, ObddId f, ObddId g) {
   ObddId out;
   if (TerminalCase(op, f, g, &out)) return out;
@@ -81,8 +78,7 @@ ObddId ObddManager::Apply(Op op, ObddId f, ObddId g) {
   if (f > g) std::swap(f, g);
   const OpKey key{f | (static_cast<uint64_t>(g) << 32),
                   static_cast<uint32_t>(op)};
-  auto it = op_cache_.find(key);
-  if (it != op_cache_.end()) return it->second;
+  if (const ObddId* hit = op_cache_.Find(key)) return *hit;
 
   const uint32_t lf = IsTerminal(f) ? kTermLevel : LevelOf(nodes_[f].var);
   const uint32_t lg = IsTerminal(g) ? kTermLevel : LevelOf(nodes_[g].var);
@@ -93,7 +89,7 @@ ObddId ObddManager::Apply(Op op, ObddId f, ObddId g) {
   const ObddId g0 = lg == top ? nodes_[g].lo : g;
   const ObddId g1 = lg == top ? nodes_[g].hi : g;
   const ObddId r = MakeNode(v, Apply(op, f0, g0), Apply(op, f1, g1));
-  op_cache_[key] = r;
+  op_cache_.Insert(key, r);
   return r;
 }
 
@@ -105,10 +101,9 @@ ObddId ObddManager::Not(ObddId f) {
   if (f == 0) return 1;
   if (f == 1) return 0;
   const OpKey key{f, static_cast<uint32_t>(Op::kNot)};
-  auto it = op_cache_.find(key);
-  if (it != op_cache_.end()) return it->second;
+  if (const ObddId* hit = op_cache_.Find(key)) return *hit;
   const ObddId r = MakeNode(nodes_[f].var, Not(nodes_[f].lo), Not(nodes_[f].hi));
-  op_cache_[key] = r;
+  op_cache_.Insert(key, r);
   return r;
 }
 
@@ -124,11 +119,10 @@ ObddId ObddManager::Restrict(ObddId f, Var v, bool value) {
   if (lf == lv) return value ? nodes_[f].hi : nodes_[f].lo;
   // Tags 0..3 are Ops; Restrict uses 4 + literal code.
   const OpKey key{f, 4u + 2u * v + (value ? 1u : 0u)};
-  auto it = op_cache_.find(key);
-  if (it != op_cache_.end()) return it->second;
+  if (const ObddId* hit = op_cache_.Find(key)) return *hit;
   const ObddId r = MakeNode(nodes_[f].var, Restrict(nodes_[f].lo, v, value),
                             Restrict(nodes_[f].hi, v, value));
-  op_cache_[key] = r;
+  op_cache_.Insert(key, r);
   return r;
 }
 
@@ -153,30 +147,53 @@ bool ObddManager::Evaluate(ObddId f, const Assignment& assignment) const {
   return f == 1;
 }
 
+std::vector<ObddId> ObddManager::ReachableAscending(ObddId f) const {
+  // lo/hi always reference previously created nodes, so ascending id order
+  // is topological (children before parents).
+  std::vector<uint8_t> seen(nodes_.size(), 0);
+  std::vector<ObddId> order;
+  std::vector<ObddId> stack = {f};
+  seen[f] = 1;
+  while (!stack.empty()) {
+    const ObddId g = stack.back();
+    stack.pop_back();
+    order.push_back(g);
+    if (IsTerminal(g)) continue;
+    if (!seen[nodes_[g].lo]) {
+      seen[nodes_[g].lo] = 1;
+      stack.push_back(nodes_[g].lo);
+    }
+    if (!seen[nodes_[g].hi]) {
+      seen[nodes_[g].hi] = 1;
+      stack.push_back(nodes_[g].hi);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
 BigUint ObddManager::ModelCount(ObddId f) {
   // count[g] = models of g over the variables strictly below g's level;
-  // combine with level gaps on the way up.
-  std::unordered_map<ObddId, BigUint> memo;
-  std::function<BigUint(ObddId)> rec = [&](ObddId g) -> BigUint {
-    if (g == 0) return BigUint(0);
-    if (g == 1) return BigUint(1);
-    auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
+  // combine with level gaps on the way up. One iterative dense pass in
+  // ascending id order (children precede parents).
+  const std::vector<ObddId> order = ReachableAscending(f);
+  std::vector<BigUint> count(nodes_.size());
+  const uint32_t num_levels = static_cast<uint32_t>(order_.size());
+  auto level_of = [&](ObddId g) {
+    return IsTerminal(g) ? num_levels : LevelOf(nodes_[g].var);
+  };
+  for (const ObddId g : order) {
+    if (g == 0) continue;  // stays 0
+    if (g == 1) {
+      count[g] = BigUint(1);
+      continue;
+    }
     const Node& n = nodes_[g];
     const uint32_t lv = LevelOf(n.var);
-    auto child_count = [&](ObddId c) {
-      const uint32_t cl =
-          IsTerminal(c) ? static_cast<uint32_t>(order_.size()) : LevelOf(nodes_[c].var);
-      return rec(c) * BigUint::PowerOfTwo(cl - lv - 1);
-    };
-    BigUint r = child_count(n.lo) + child_count(n.hi);
-    memo.emplace(g, r);
-    return r;
-  };
-  const uint32_t root_level =
-      IsTerminal(f) ? static_cast<uint32_t>(order_.size())
-                    : LevelOf(nodes_[f].var);
-  return rec(f) * BigUint::PowerOfTwo(root_level);
+    count[g] = count[n.lo] * BigUint::PowerOfTwo(level_of(n.lo) - lv - 1) +
+               count[n.hi] * BigUint::PowerOfTwo(level_of(n.hi) - lv - 1);
+  }
+  return count[f] * BigUint::PowerOfTwo(level_of(f));
 }
 
 double ObddManager::Wmc(ObddId f, const WeightMap& weights) {
@@ -212,28 +229,25 @@ double ObddManager::Wmc(ObddId f, const WeightMap& weights) {
     return any_zero ? span_explicit(a, b) : span_factor(a, b);
   };
 
-  std::unordered_map<ObddId, double> memo;
-  std::function<double(ObddId)> rec = [&](ObddId g) -> double {
-    if (g == 0) return 0.0;
-    if (g == 1) return 1.0;
-    auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
+  const std::vector<ObddId> order = ReachableAscending(f);
+  std::vector<double> value(nodes_.size(), 0.0);
+  const uint32_t num_levels = static_cast<uint32_t>(order_.size());
+  auto level_of = [&](ObddId g) {
+    return IsTerminal(g) ? num_levels : LevelOf(nodes_[g].var);
+  };
+  for (const ObddId g : order) {
+    if (g == 0) continue;  // stays 0
+    if (g == 1) {
+      value[g] = 1.0;
+      continue;
+    }
     const Node& n = nodes_[g];
     const uint32_t lv = LevelOf(n.var);
-    auto child = [&](ObddId c, double lit_weight) {
-      const uint32_t cl =
-          IsTerminal(c) ? static_cast<uint32_t>(order_.size()) : LevelOf(nodes_[c].var);
-      return lit_weight * rec(c) * span(lv + 1, cl);
-    };
-    const double r =
-        child(n.lo, weights[Neg(n.var)]) + child(n.hi, weights[Pos(n.var)]);
-    memo.emplace(g, r);
-    return r;
-  };
-  const uint32_t root_level =
-      IsTerminal(f) ? static_cast<uint32_t>(order_.size())
-                    : LevelOf(nodes_[f].var);
-  return rec(f) * span(0, root_level);
+    value[g] =
+        weights[Neg(n.var)] * value[n.lo] * span(lv + 1, level_of(n.lo)) +
+        weights[Pos(n.var)] * value[n.hi] * span(lv + 1, level_of(n.hi));
+  }
+  return value[f] * span(0, level_of(f));
 }
 
 void ObddManager::EnumerateModels(
@@ -270,36 +284,20 @@ void ObddManager::EnumerateModels(
 }
 
 size_t ObddManager::Size(ObddId f) const {
-  std::vector<ObddId> stack = {f};
-  std::unordered_map<ObddId, bool> seen;
-  size_t count = 0;
-  while (!stack.empty()) {
-    ObddId g = stack.back();
-    stack.pop_back();
-    if (seen[g]) continue;
-    seen[g] = true;
-    ++count;
-    if (!IsTerminal(g)) {
-      stack.push_back(nodes_[g].lo);
-      stack.push_back(nodes_[g].hi);
-    }
-  }
-  return count;
+  return ReachableAscending(f).size();
 }
 
 NnfId ObddManager::ToNnf(ObddId f, NnfManager& nnf) const {
-  std::unordered_map<ObddId, NnfId> memo;
-  std::function<NnfId(ObddId)> rec = [&](ObddId g) -> NnfId {
-    if (g == 0) return nnf.False();
-    if (g == 1) return nnf.True();
-    auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
+  const std::vector<ObddId> order = ReachableAscending(f);
+  std::vector<NnfId> memo(nodes_.size(), kInvalidNnf);
+  memo[0] = nnf.False();
+  if (nodes_.size() > 1) memo[1] = nnf.True();
+  for (const ObddId g : order) {
+    if (IsTerminal(g)) continue;
     const Node& n = nodes_[g];
-    const NnfId r = nnf.Decision(n.var, rec(n.hi), rec(n.lo));
-    memo.emplace(g, r);
-    return r;
-  };
-  return rec(f);
+    memo[g] = nnf.Decision(n.var, memo[n.hi], memo[n.lo]);
+  }
+  return memo[f];
 }
 
 ObddId ObddManager::CompileCnf(const Cnf& cnf) {
@@ -324,10 +322,9 @@ ObddId ObddManager::CompileCnf(const Cnf& cnf) {
 }
 
 ObddId ObddManager::CompileFormula(const FormulaStore& store, FormulaId f) {
-  std::unordered_map<FormulaId, ObddId> memo;
+  FlatMap<FormulaId, ObddId> memo;
   std::function<ObddId(FormulaId)> rec = [&](FormulaId g) -> ObddId {
-    auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
+    if (const ObddId* hit = memo.Find(g)) return *hit;
     ObddId r = 0;
     switch (store.kind(g)) {
       case FormulaStore::Kind::kFalse:
@@ -357,7 +354,7 @@ ObddId ObddManager::CompileFormula(const FormulaStore& store, FormulaId f) {
         break;
       }
     }
-    memo.emplace(g, r);
+    memo.Insert(g, r);
     return r;
   };
   return rec(f);

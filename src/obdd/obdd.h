@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "base/bigint.h"
+#include "base/flat_table.h"
+#include "base/hash.h"
 #include "logic/cnf.h"
 #include "logic/formula.h"
 #include "logic/lit.h"
@@ -109,23 +110,26 @@ class ObddManager {
 
   ObddId Apply(Op op, ObddId f, ObddId g);
   static bool TerminalCase(Op op, ObddId f, ObddId g, ObddId* out);
+  // Reachable node ids in ascending (topological) order.
+  std::vector<ObddId> ReachableAscending(ObddId f) const;
 
   // Exact cache key: packed operands plus an operation tag (collision-free,
   // unlike keying on a hash value).
   struct OpKey {
-    uint64_t fg;   // f | (g << 32)
-    uint32_t tag;  // operation id; Restrict encodes (var, value)
+    uint64_t fg = 0;   // f | (g << 32)
+    uint32_t tag = 0;  // operation id; Restrict encodes (var, value)
     bool operator==(const OpKey& o) const { return fg == o.fg && tag == o.tag; }
-  };
-  struct OpKeyHash {
-    size_t operator()(const OpKey& k) const;
+    // Found by ADL from LossyCache; full splitmix64 mix of both fields.
+    friend uint64_t HashValue(const OpKey& k) {
+      return HashU64(k.fg) ^ HashU64(static_cast<uint64_t>(k.tag) + 0x9e3779b97f4a7c15ull);
+    }
   };
 
   std::vector<Var> order_;
   std::vector<uint32_t> level_of_var_;
   std::vector<Node> nodes_;
-  std::unordered_map<uint64_t, std::vector<ObddId>> unique_;
-  std::unordered_map<OpKey, ObddId, OpKeyHash> op_cache_;
+  UniqueTable unique_;
+  LossyCache<OpKey, ObddId> op_cache_;
 };
 
 }  // namespace tbc

@@ -23,6 +23,7 @@ uint64_t BuildKey(VtreeId v, SddId f) {
 Psdd::Psdd(SddManager& sdd, SddId base) : sdd_(&sdd) {
   TBC_CHECK_MSG(base != sdd.False(), "PSDD base must be satisfiable");
   root_ = Build(sdd.vtree().root(), base);
+  RebuildArena();
 #ifdef TBC_VALIDATE
   ValidatePsddOrDie(*this, "Psdd::Psdd");
 #endif
@@ -30,8 +31,7 @@ Psdd::Psdd(SddManager& sdd, SddId base) : sdd_(&sdd) {
 
 PsddId Psdd::Build(VtreeId v, SddId f) {
   const uint64_t key = BuildKey(v, f);
-  auto it = build_memo_.find(key);
-  if (it != build_memo_.end()) return it->second;
+  if (const PsddId* hit = build_memo_.Find(key)) return *hit;
 
   Node node;
   node.vtree = v;
@@ -74,8 +74,47 @@ PsddId Psdd::Build(VtreeId v, SddId f) {
   }
   nodes_.push_back(std::move(node));
   const PsddId id = static_cast<PsddId>(nodes_.size() - 1);
-  build_memo_.emplace(key, id);
+  build_memo_.Insert(key, id);
   return id;
+}
+
+void Psdd::RebuildArena() {
+  const size_t n = nodes_.size();
+  arena_.kind.resize(n);
+  arena_.payload.resize(n);
+  arena_.theta_true.resize(n);
+  arena_.elem_begin.assign(n + 1, 0);
+  size_t total = 0;
+  for (const Node& node : nodes_) total += node.elements.size();
+  arena_.elem_prime.clear();
+  arena_.elem_sub.clear();
+  arena_.elem_theta.clear();
+  arena_.elem_prime.reserve(total);
+  arena_.elem_sub.reserve(total);
+  arena_.elem_theta.reserve(total);
+  for (size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    arena_.kind[i] = static_cast<uint8_t>(node.kind);
+    arena_.payload[i] = node.kind == Kind::kTop
+                            ? static_cast<uint32_t>(vtree().var(node.vtree))
+                            : node.lit_code;
+    arena_.theta_true[i] = node.theta_true;
+    arena_.elem_begin[i] = static_cast<uint32_t>(arena_.elem_prime.size());
+    for (const Element& el : node.elements) {
+      arena_.elem_prime.push_back(el.prime);
+      arena_.elem_sub.push_back(el.sub);
+      arena_.elem_theta.push_back(el.theta);
+    }
+  }
+  arena_.elem_begin[n] = static_cast<uint32_t>(arena_.elem_prime.size());
+}
+
+void Psdd::SyncArenaParameters() {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    arena_.theta_true[i] = nodes_[i].theta_true;
+    uint32_t k = arena_.elem_begin[i];
+    for (const Element& el : nodes_[i].elements) arena_.elem_theta[k++] = el.theta;
+  }
 }
 
 size_t Psdd::Size() const {
@@ -84,37 +123,44 @@ size_t Psdd::Size() const {
   return size;
 }
 
-std::vector<double> Psdd::ValuePass(const PsddEvidence& e) const {
-  std::vector<double> value(nodes_.size(), 0.0);
-  // Children precede parents by construction.
-  for (PsddId n = 0; n < nodes_.size(); ++n) {
-    const Node& node = nodes_[n];
-    switch (node.kind) {
+void Psdd::ValuePassInto(const PsddEvidence& e, std::vector<double>& value) const {
+  const size_t num = nodes_.size();
+  value.resize(num);
+  // Children precede parents by construction, so ascending id order is the
+  // level schedule; the pass touches only the arena's contiguous arrays.
+  for (size_t n = 0; n < num; ++n) {
+    switch (static_cast<Kind>(arena_.kind[n])) {
       case Kind::kLiteral: {
-        const Lit l = Lit::FromCode(node.lit_code);
+        const Lit l = Lit::FromCode(arena_.payload[n]);
         const Obs o = l.var() < e.size() ? e[l.var()] : Obs::kUnknown;
         value[n] =
             (o == Obs::kUnknown || (o == Obs::kTrue) == l.positive()) ? 1.0 : 0.0;
         break;
       }
       case Kind::kTop: {
-        const Var x = vtree().var(node.vtree);
+        const Var x = arena_.payload[n];
         const Obs o = x < e.size() ? e[x] : Obs::kUnknown;
         value[n] = o == Obs::kUnknown ? 1.0
-                   : o == Obs::kTrue  ? node.theta_true
-                                      : 1.0 - node.theta_true;
+                   : o == Obs::kTrue  ? arena_.theta_true[n]
+                                      : 1.0 - arena_.theta_true[n];
         break;
       }
       case Kind::kDecision: {
         double sum = 0.0;
-        for (const Element& el : node.elements) {
-          sum += el.theta * value[el.prime] * value[el.sub];
+        for (uint32_t k = arena_.elem_begin[n]; k < arena_.elem_begin[n + 1]; ++k) {
+          sum += arena_.elem_theta[k] * value[arena_.elem_prime[k]] *
+                 value[arena_.elem_sub[k]];
         }
         value[n] = sum;
         break;
       }
     }
   }
+}
+
+std::vector<double> Psdd::ValuePass(const PsddEvidence& e) const {
+  std::vector<double> value;
+  ValuePassInto(e, value);
   return value;
 }
 
@@ -127,33 +173,63 @@ double Psdd::Probability(const Assignment& x) const {
 }
 
 double Psdd::ProbabilityEvidence(const PsddEvidence& e) const {
-  return ValuePass(e)[root_];
+  // Reuse one scratch buffer per thread across queries: ValuePassInto
+  // writes every slot, so stale contents are harmless.
+  static thread_local std::vector<double> value;
+  ValuePassInto(e, value);
+  return value[root_];
+}
+
+Result<std::vector<double>> Psdd::ProbabilityEvidenceBatch(
+    const std::vector<PsddEvidence>& evidence, Guard& guard,
+    ThreadPool* pool) const {
+  TBC_RETURN_IF_ERROR(guard.Check());
+  std::vector<double> out(evidence.size(), 0.0);
+  const std::function<void(size_t)> body = [&](size_t i) {
+    static thread_local std::vector<double> value;
+    ValuePassInto(evidence[i], value);
+    out[i] = value[root_];
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && evidence.size() > 1) {
+    TBC_RETURN_IF_ERROR(pool->ParallelFor(0, evidence.size(), 1, body, &guard));
+  } else {
+    for (size_t i = 0; i < evidence.size(); ++i) {
+      TBC_RETURN_IF_ERROR(guard.Poll());
+      body(i);
+    }
+  }
+  TBC_RETURN_IF_ERROR(guard.Check());
+  return out;
 }
 
 std::vector<double> Psdd::Marginals(const PsddEvidence& e, bool normalized) const {
-  const std::vector<double> value = ValuePass(e);
+  std::vector<double> value;
+  ValuePassInto(e, value);
   std::vector<double> deriv(nodes_.size(), 0.0);
   deriv[root_] = 1.0;
-  for (PsddId n = nodes_.size(); n-- > 0;) {
-    const Node& node = nodes_[n];
-    if (node.kind != Kind::kDecision || deriv[n] == 0.0) continue;
-    for (const Element& el : node.elements) {
-      deriv[el.prime] += deriv[n] * el.theta * value[el.sub];
-      deriv[el.sub] += deriv[n] * el.theta * value[el.prime];
+  for (size_t n = nodes_.size(); n-- > 0;) {
+    if (static_cast<Kind>(arena_.kind[n]) != Kind::kDecision || deriv[n] == 0.0) {
+      continue;
+    }
+    for (uint32_t k = arena_.elem_begin[n]; k < arena_.elem_begin[n + 1]; ++k) {
+      deriv[arena_.elem_prime[k]] +=
+          deriv[n] * arena_.elem_theta[k] * value[arena_.elem_sub[k]];
+      deriv[arena_.elem_sub[k]] +=
+          deriv[n] * arena_.elem_theta[k] * value[arena_.elem_prime[k]];
     }
   }
   std::vector<double> marginal(num_vars(), 0.0);
-  for (PsddId n = 0; n < nodes_.size(); ++n) {
-    const Node& node = nodes_[n];
-    if (node.kind == Kind::kLiteral) {
-      const Lit l = Lit::FromCode(node.lit_code);
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const Kind kind = static_cast<Kind>(arena_.kind[n]);
+    if (kind == Kind::kLiteral) {
+      const Lit l = Lit::FromCode(arena_.payload[n]);
       const Obs o = l.var() < e.size() ? e[l.var()] : Obs::kUnknown;
       const bool allows_true = o != Obs::kFalse;
       if (l.positive() && allows_true) marginal[l.var()] += deriv[n];
-    } else if (node.kind == Kind::kTop) {
-      const Var x = vtree().var(node.vtree);
+    } else if (kind == Kind::kTop) {
+      const Var x = arena_.payload[n];
       const Obs o = x < e.size() ? e[x] : Obs::kUnknown;
-      if (o != Obs::kFalse) marginal[x] += deriv[n] * node.theta_true;
+      if (o != Obs::kFalse) marginal[x] += deriv[n] * arena_.theta_true[n];
     }
   }
   if (normalized) {
@@ -165,30 +241,31 @@ std::vector<double> Psdd::Marginals(const PsddEvidence& e, bool normalized) cons
 }
 
 Psdd::Mpe Psdd::MostProbable(const PsddEvidence& e) const {
-  // Max pass.
+  // Max pass over the arena (same schedule as ValuePassInto).
   std::vector<double> best(nodes_.size(), 0.0);
-  for (PsddId n = 0; n < nodes_.size(); ++n) {
-    const Node& node = nodes_[n];
-    switch (node.kind) {
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    switch (static_cast<Kind>(arena_.kind[n])) {
       case Kind::kLiteral: {
-        const Lit l = Lit::FromCode(node.lit_code);
+        const Lit l = Lit::FromCode(arena_.payload[n]);
         const Obs o = l.var() < e.size() ? e[l.var()] : Obs::kUnknown;
         best[n] =
             (o == Obs::kUnknown || (o == Obs::kTrue) == l.positive()) ? 1.0 : 0.0;
         break;
       }
       case Kind::kTop: {
-        const Var x = vtree().var(node.vtree);
+        const Var x = arena_.payload[n];
         const Obs o = x < e.size() ? e[x] : Obs::kUnknown;
-        best[n] = o == Obs::kUnknown ? std::max(node.theta_true, 1.0 - node.theta_true)
-                  : o == Obs::kTrue  ? node.theta_true
-                                     : 1.0 - node.theta_true;
+        const double t = arena_.theta_true[n];
+        best[n] = o == Obs::kUnknown ? std::max(t, 1.0 - t)
+                  : o == Obs::kTrue  ? t
+                                     : 1.0 - t;
         break;
       }
       case Kind::kDecision: {
         double m = 0.0;
-        for (const Element& el : node.elements) {
-          m = std::max(m, el.theta * best[el.prime] * best[el.sub]);
+        for (uint32_t k = arena_.elem_begin[n]; k < arena_.elem_begin[n + 1]; ++k) {
+          m = std::max(m, arena_.elem_theta[k] * best[arena_.elem_prime[k]] *
+                              best[arena_.elem_sub[k]]);
         }
         best[n] = m;
         break;
@@ -201,39 +278,39 @@ Psdd::Mpe Psdd::MostProbable(const PsddEvidence& e) const {
   result.assignment.assign(num_vars(), false);
   if (result.probability <= 0.0) return result;
 
-  // Traceback.
+  // Traceback. Ties break on the first maximizing element in storage
+  // order, so the assignment is deterministic.
   std::vector<PsddId> stack = {root_};
   while (!stack.empty()) {
     const PsddId n = stack.back();
     stack.pop_back();
-    const Node& node = nodes_[n];
-    switch (node.kind) {
+    switch (static_cast<Kind>(arena_.kind[n])) {
       case Kind::kLiteral: {
-        const Lit l = Lit::FromCode(node.lit_code);
+        const Lit l = Lit::FromCode(arena_.payload[n]);
         result.assignment[l.var()] = l.positive();
         break;
       }
       case Kind::kTop: {
-        const Var x = vtree().var(node.vtree);
+        const Var x = arena_.payload[n];
         const Obs o = x < e.size() ? e[x] : Obs::kUnknown;
         result.assignment[x] = o == Obs::kUnknown
-                                   ? node.theta_true >= 0.5
+                                   ? arena_.theta_true[n] >= 0.5
                                    : o == Obs::kTrue;
         break;
       }
       case Kind::kDecision: {
         double m = -1.0;
-        const Element* chosen = nullptr;
-        for (const Element& el : node.elements) {
-          const double v = el.theta * best[el.prime] * best[el.sub];
+        uint32_t chosen = arena_.elem_begin[n];
+        for (uint32_t k = arena_.elem_begin[n]; k < arena_.elem_begin[n + 1]; ++k) {
+          const double v = arena_.elem_theta[k] * best[arena_.elem_prime[k]] *
+                           best[arena_.elem_sub[k]];
           if (v > m) {
             m = v;
-            chosen = &el;
+            chosen = k;
           }
         }
-        TBC_DCHECK(chosen != nullptr);
-        stack.push_back(chosen->prime);
-        stack.push_back(chosen->sub);
+        stack.push_back(arena_.elem_prime[chosen]);
+        stack.push_back(arena_.elem_sub[chosen]);
         break;
       }
     }
@@ -357,14 +434,42 @@ void Psdd::LearnParameters(const std::vector<Assignment>& data,
       }
     }
   }
+  SyncArenaParameters();
 #ifdef TBC_VALIDATE
   ValidatePsddOrDie(*this, "Psdd::LearnParameters");
 #endif
 }
 
 double Psdd::LogLikelihood(const std::vector<Assignment>& data) const {
+  return LogLikelihoodBounded(data, Guard::Unlimited()).value();
+}
+
+Result<double> Psdd::LogLikelihoodBounded(const std::vector<Assignment>& data,
+                                          Guard& guard, ThreadPool* pool) const {
+  TBC_RETURN_IF_ERROR(guard.Check());
+  std::vector<double> logp(data.size(), 0.0);
+  const std::function<void(size_t)> body = [&](size_t i) {
+    static thread_local std::vector<double> value;
+    static thread_local PsddEvidence e;
+    e.resize(num_vars());
+    for (Var v = 0; v < num_vars(); ++v) {
+      e[v] = data[i][v] ? Obs::kTrue : Obs::kFalse;
+    }
+    ValuePassInto(e, value);
+    logp[i] = std::log(value[root_]);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && data.size() > 1) {
+    TBC_RETURN_IF_ERROR(pool->ParallelFor(0, data.size(), 1, body, &guard));
+  } else {
+    for (size_t i = 0; i < data.size(); ++i) {
+      TBC_RETURN_IF_ERROR(guard.Poll());
+      body(i);
+    }
+  }
+  TBC_RETURN_IF_ERROR(guard.Check());
+  // Serial index-order reduction: bit-identical across thread counts.
   double ll = 0.0;
-  for (const Assignment& x : data) ll += std::log(Probability(x));
+  for (double lp : logp) ll += lp;
   return ll;
 }
 
@@ -431,6 +536,8 @@ double Psdd::LearnParametersEm(const std::vector<PsddEvidence>& data,
         }
       }
     }
+    // The next E-step's value passes read the arena: sync per iteration.
+    SyncArenaParameters();
   }
 #ifdef TBC_VALIDATE
   ValidatePsddOrDie(*this, "Psdd::LearnParametersEm");
@@ -510,6 +617,7 @@ Status Psdd::LoadParameters(const std::string& text) {
     }
   }
   if (!saw_header) return Status::Error("missing psdd-params header");
+  SyncArenaParameters();
 #ifdef TBC_VALIDATE
   ValidatePsddOrDie(*this, "Psdd::LoadParameters");
 #endif
@@ -567,19 +675,19 @@ Psdd Psdd::Multiply(const Psdd& other, double* normalization_constant) const {
   TBC_CHECK_MSG(sdd_ == other.sdd_, "PSDD multiply requires a shared manager");
   Psdd out(*sdd_, sdd_->True());  // seed structure; rebuilt below
   out.nodes_.clear();
-  out.build_memo_.clear();
+  out.build_memo_.Clear();
   out.root_ = kInvalidPsdd;
 
   struct PairResult {
     PsddId node = kInvalidPsdd;
     double scale = 0.0;
   };
-  std::unordered_map<uint64_t, PairResult> memo;
+  FlatMap<uint64_t, PairResult> memo;
+  memo.reserve(nodes_.size() + other.nodes_.size());
   std::function<PairResult(PsddId, PsddId)> mul = [&](PsddId a,
                                                       PsddId b) -> PairResult {
     const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
-    auto it = memo.find(key);
-    if (it != memo.end()) return it->second;
+    if (const PairResult* hit = memo.Find(key)) return *hit;
     const Node& na = nodes_[a];
     const Node& nb = other.nodes_[b];
     TBC_CHECK(na.vtree == nb.vtree);
@@ -621,7 +729,7 @@ Psdd Psdd::Multiply(const Psdd& other, double* normalization_constant) const {
         }
       }
       if (node.elements.empty()) {
-        memo.emplace(key, r);
+        memo.Insert(key, r);
         return r;  // disjoint supports
       }
       for (Element& el : node.elements) el.theta /= r.scale;
@@ -631,13 +739,14 @@ Psdd Psdd::Multiply(const Psdd& other, double* normalization_constant) const {
       out.nodes_.push_back(std::move(node));
       r.node = static_cast<PsddId>(out.nodes_.size() - 1);
     }
-    memo.emplace(key, r);
+    memo.Insert(key, r);
     return r;
   };
 
   const PairResult root = mul(root_, other.root_);
   TBC_CHECK_MSG(root.scale > 0.0, "PSDD product has empty support");
   out.root_ = root.node;
+  out.RebuildArena();
   if (normalization_constant != nullptr) *normalization_constant = root.scale;
 #ifdef TBC_VALIDATE
   ValidatePsddOrDie(out, "Psdd::Multiply");

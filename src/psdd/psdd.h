@@ -5,8 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "base/flat_table.h"
+#include "base/guard.h"
 #include "base/random.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "sdd/sdd.h"
 
 namespace tbc {
@@ -55,6 +58,15 @@ class Psdd {
   /// Pr(e) of partial evidence (MAR query; linear time).
   double ProbabilityEvidence(const PsddEvidence& e) const;
 
+  /// Pr(e) for a batch of evidence vectors. With a pool of >1 threads the
+  /// instances evaluate concurrently (one value array per lane); each
+  /// output double is computed by exactly one lane from the shared
+  /// read-only arena, so results are bit-identical across thread counts.
+  /// Refuses (without partial output) when the guard trips.
+  Result<std::vector<double>> ProbabilityEvidenceBatch(
+      const std::vector<PsddEvidence>& evidence, Guard& guard,
+      ThreadPool* pool = nullptr) const;
+
   /// Marginals Pr(X=1, e) for every variable X, in one up+down pass;
   /// normalized by Pr(e) when `normalized`.
   std::vector<double> Marginals(const PsddEvidence& e, bool normalized) const;
@@ -78,6 +90,13 @@ class Psdd {
 
   /// Log-likelihood of complete data under current parameters.
   double LogLikelihood(const std::vector<Assignment>& data) const;
+
+  /// Guard- and pool-aware log-likelihood. Per-instance log-probabilities
+  /// are independent (parallelized across pool lanes) and reduced serially
+  /// in index order, so the sum is bit-identical for 1, 2, or N threads.
+  Result<double> LogLikelihoodBounded(const std::vector<Assignment>& data,
+                                      Guard& guard,
+                                      ThreadPool* pool = nullptr) const;
 
   /// EM parameter learning from *incomplete* data (paper §4.1; [Choi, Van
   /// den Broeck & Darwiche 2015] extends Fig 15's learning to incomplete
@@ -140,10 +159,36 @@ class Psdd {
     std::vector<double> element_counts;
   };
 
+  // Structure-of-arrays mirror of nodes_ used by every evaluation pass.
+  // Node ids are already topological (children precede parents), so a
+  // single ascending sweep over these contiguous arrays *is* the level
+  // schedule; elements of all decision nodes live in one flat CSR block
+  // ([elem_begin[n], elem_begin[n+1])). nodes_ stays the source of truth
+  // for structure and learning scratch; the arena holds the evaluation
+  // view (payload pre-resolves the ⊤-leaf's variable, avoiding a vtree
+  // lookup per node per query).
+  struct EvalArena {
+    std::vector<uint8_t> kind;         // Kind
+    std::vector<uint32_t> payload;     // lit code (kLiteral) / variable (kTop)
+    std::vector<double> theta_true;    // kTop
+    std::vector<uint32_t> elem_begin;  // size num_nodes()+1 (CSR offsets)
+    std::vector<PsddId> elem_prime;
+    std::vector<PsddId> elem_sub;
+    std::vector<double> elem_theta;
+  };
+
   // Builds the normalized structure for SDD node `f` at vtree node `v`.
   PsddId Build(VtreeId v, SddId f);
 
-  // Value pass: value[n] = Pr_n(e restricted to n's vtree vars).
+  // Rebuilds the arena from nodes_ (after construction or Multiply).
+  void RebuildArena();
+  // Copies only the parameters into the arena (after learning/loading).
+  void SyncArenaParameters();
+
+  // Value pass: value[n] = Pr_n(e restricted to n's vtree vars). Writes
+  // every slot of `value` exactly once (no zeroing needed); reads only the
+  // arena, so concurrent calls with distinct `value` buffers are safe.
+  void ValuePassInto(const PsddEvidence& e, std::vector<double>& value) const;
   std::vector<double> ValuePass(const PsddEvidence& e) const;
 
   // Learning descent for one weighted example.
@@ -152,8 +197,9 @@ class Psdd {
   SddManager* sdd_;
   std::vector<Node> nodes_;
   PsddId root_ = kInvalidPsdd;
+  EvalArena arena_;
   // Memo for Build: key (vtree, sdd node).
-  std::unordered_map<uint64_t, PsddId> build_memo_;
+  FlatMap<uint64_t, PsddId> build_memo_;
 };
 
 }  // namespace tbc

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <functional>
-#include <unordered_map>
+
+#include "base/flat_table.h"
 
 #ifdef TBC_VALIDATE
 #include "analysis/validate.h"
@@ -75,10 +76,10 @@ Result<SddId> CompileCnfBounded(SddManager& mgr, const Cnf& cnf, Guard& guard) {
 }
 
 SddId CompileFormula(SddManager& mgr, const FormulaStore& store, FormulaId f) {
-  std::unordered_map<FormulaId, SddId> memo;
+  FlatMap<FormulaId, SddId> memo;
+  memo.reserve(store.num_nodes());
   std::function<SddId(FormulaId)> rec = [&](FormulaId g) -> SddId {
-    auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
+    if (const SddId* hit = memo.Find(g)) return *hit;
     SddId r = mgr.False();
     switch (store.kind(g)) {
       case FormulaStore::Kind::kFalse:
@@ -108,7 +109,7 @@ SddId CompileFormula(SddManager& mgr, const FormulaStore& store, FormulaId f) {
         break;
       }
     }
-    memo.emplace(g, r);
+    memo.Insert(g, r);
     return r;
   };
   return rec(f);

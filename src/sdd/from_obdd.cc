@@ -1,7 +1,8 @@
 #include "sdd/from_obdd.h"
 
 #include <functional>
-#include <unordered_map>
+
+#include "base/flat_table.h"
 
 #ifdef TBC_VALIDATE
 #include "analysis/validate.h"
@@ -10,18 +11,21 @@
 namespace tbc {
 
 SddId ObddToSdd(const ObddManager& obdd, ObddId f, SddManager& sdd) {
-  std::unordered_map<ObddId, SddId> memo;
+  // Every OBDD node yields at least one SDD apply, so both the memo and the
+  // manager's node pool are at least OBDD-sized: reserve up front.
+  FlatMap<ObddId, SddId> memo;
+  memo.reserve(obdd.num_nodes());
+  sdd.ReserveNodes(sdd.num_nodes() + obdd.num_nodes());
   std::function<SddId(ObddId)> rec = [&](ObddId g) -> SddId {
     if (g == obdd.False()) return sdd.False();
     if (g == obdd.True()) return sdd.True();
-    auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
+    if (const SddId* hit = memo.Find(g)) return *hit;
     const Var v = obdd.var(g);
     const SddId hi = rec(obdd.hi(g));
     const SddId lo = rec(obdd.lo(g));
     const SddId r = sdd.Disjoin(sdd.Conjoin(sdd.LiteralNode(Pos(v)), hi),
                                 sdd.Conjoin(sdd.LiteralNode(Neg(v)), lo));
-    memo.emplace(g, r);
+    memo.Insert(g, r);
     return r;
   };
   const SddId root = rec(f);

@@ -9,10 +9,6 @@
 
 namespace tbc {
 
-size_t SddManager::OpKeyHash::operator()(const OpKey& k) const {
-  return HashU64(k.fg ^ (static_cast<uint64_t>(k.tag) * 0x9e3779b97f4a7c15ull));
-}
-
 SddManager::SddManager(Vtree vtree) : vtree_(std::move(vtree)) {
   // Constants occupy ids 0 (⊥) and 1 (⊤).
   nodes_.push_back({kInvalidVtree, 0, {}, 1});
@@ -35,16 +31,16 @@ SddId SddManager::Intern(Node node) {
   uint64_t h = HashCombine(0, node.vtree);
   h = HashCombine(h, node.lit_code);
   for (const auto& [p, s] : node.elements) h = HashCombine(HashCombine(h, p), s);
-  for (SddId id : unique_[h]) {
+  h = HashU64(h);
+  const uint32_t found = unique_.Find(h, [&](uint32_t id) {
     const Node& n = nodes_[id];
-    if (n.vtree == node.vtree && n.lit_code == node.lit_code &&
-        n.elements == node.elements) {
-      return id;
-    }
-  }
+    return n.vtree == node.vtree && n.lit_code == node.lit_code &&
+           n.elements == node.elements;
+  });
+  if (found != UniqueTable::kNpos) return found;
   const SddId id = static_cast<SddId>(nodes_.size());
   nodes_.push_back(std::move(node));
-  unique_[h].push_back(id);
+  unique_.Insert(h, id);
   // The returned id stays valid even when this charge trips the budget;
   // the in-flight operation notices via interrupted() and unwinds.
   ChargeAndCheck(1);
@@ -144,8 +140,7 @@ SddId SddManager::Apply(Op op, SddId f, SddId g) {
   }
   if (f > g) std::swap(f, g);
   const OpKey key{f | (static_cast<uint64_t>(g) << 32), static_cast<uint32_t>(op)};
-  auto it = op_cache_.find(key);
-  if (it != op_cache_.end()) return it->second;
+  if (const SddId* hit = op_cache_.Find(key)) return *hit;
 
   const VtreeId vf = nodes_[f].vtree;
   const VtreeId vg = nodes_[g].vtree;
@@ -189,7 +184,7 @@ SddId SddManager::Apply(Op op, SddId f, SddId g) {
   // Results computed during an interrupted unwind are meaningless; keep
   // them out of the op cache so a cleared manager stays correct.
   if (interrupted_) return False();
-  op_cache_[key] = result;
+  op_cache_.Insert(key, result);
   return result;
 }
 
@@ -208,8 +203,7 @@ SddId SddManager::Condition(SddId f, Lit l) {
   const VtreeId leaf = vtree_.LeafOfVar(l.var());
   if (!vtree_.IsAncestorOrSelf(v, leaf)) return f;
   const OpKey key{f, 2u + l.code()};
-  auto it = op_cache_.find(key);
-  if (it != op_cache_.end()) return it->second;
+  if (const SddId* hit = op_cache_.Find(key)) return *hit;
   std::vector<std::pair<SddId, SddId>> elements = nodes_[f].elements;
   if (vtree_.IsAncestorOrSelf(vtree_.left(v), leaf)) {
     for (auto& [p, s] : elements) p = Condition(p, l);
@@ -218,45 +212,89 @@ SddId SddManager::Condition(SddId f, Lit l) {
   }
   const SddId result = MakeDecision(v, std::move(elements));
   if (interrupted_) return False();
-  op_cache_[key] = result;
+  op_cache_.Insert(key, result);
   return result;
 }
 
+namespace {
+
+// Reachable node ids in ascending order. Elements always reference
+// previously created nodes, so ascending id order is topological
+// (children before parents); the dense passes below rely on this.
+std::vector<SddId> ReachableAscending(SddId f, size_t num_nodes,
+                                      const std::function<bool(SddId)>& is_decision,
+                                      const std::function<const std::vector<std::pair<SddId, SddId>>&(SddId)>& elements) {
+  std::vector<uint8_t> seen(num_nodes, 0);
+  std::vector<SddId> order;
+  std::vector<SddId> stack = {f};
+  seen[f] = 1;
+  while (!stack.empty()) {
+    const SddId g = stack.back();
+    stack.pop_back();
+    order.push_back(g);
+    if (!is_decision(g)) continue;
+    for (const auto& [p, s] : elements(g)) {
+      if (!seen[p]) {
+        seen[p] = 1;
+        stack.push_back(p);
+      }
+      if (!seen[s]) {
+        seen[s] = 1;
+        stack.push_back(s);
+      }
+    }
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
 bool SddManager::Evaluate(SddId f, const Assignment& assignment) const {
-  std::unordered_map<SddId, bool> memo;
-  std::function<bool(SddId)> rec = [&](SddId g) -> bool {
-    if (g == False()) return false;
-    if (g == True()) return true;
-    if (IsLiteral(g)) return Eval(literal(g), assignment);
-    auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
-    bool value = false;
+  if (f == False()) return false;
+  if (f == True()) return true;
+  const std::vector<SddId> order = ReachableAscending(
+      f, nodes_.size(), [this](SddId g) { return IsDecision(g); },
+      [this](SddId g) -> const std::vector<std::pair<SddId, SddId>>& {
+        return nodes_[g].elements;
+      });
+  std::vector<int8_t> value(nodes_.size(), 0);
+  value[True()] = 1;
+  for (const SddId g : order) {
+    if (IsConstant(g)) continue;
+    if (IsLiteral(g)) {
+      value[g] = Eval(literal(g), assignment) ? 1 : 0;
+      continue;
+    }
     for (const auto& [p, s] : nodes_[g].elements) {
-      if (rec(p)) {
-        value = rec(s);  // exactly one prime is high
+      if (value[p]) {
+        value[g] = value[s];  // exactly one prime is high
         break;
       }
     }
-    memo.emplace(g, value);
-    return value;
-  };
-  return rec(f);
+  }
+  return value[f] == 1;
 }
 
 size_t SddManager::Size(SddId f) const {
   size_t size = 0;
-  std::unordered_map<SddId, bool> seen;
+  std::vector<uint8_t> seen(nodes_.size(), 0);
   std::vector<SddId> stack = {f};
+  seen[f] = 1;
   while (!stack.empty()) {
     const SddId g = stack.back();
     stack.pop_back();
-    if (seen[g]) continue;
-    seen[g] = true;
     if (!IsConstant(g) && !nodes_[g].elements.empty()) {
       size += nodes_[g].elements.size();
       for (const auto& [p, s] : nodes_[g].elements) {
-        stack.push_back(p);
-        stack.push_back(s);
+        if (!seen[p]) {
+          seen[p] = 1;
+          stack.push_back(p);
+        }
+        if (!seen[s]) {
+          seen[s] = 1;
+          stack.push_back(s);
+        }
       }
     }
   }
@@ -265,18 +303,23 @@ size_t SddManager::Size(SddId f) const {
 
 size_t SddManager::NumDecisionNodes(SddId f) const {
   size_t count = 0;
-  std::unordered_map<SddId, bool> seen;
+  std::vector<uint8_t> seen(nodes_.size(), 0);
   std::vector<SddId> stack = {f};
+  seen[f] = 1;
   while (!stack.empty()) {
     const SddId g = stack.back();
     stack.pop_back();
-    if (seen[g]) continue;
-    seen[g] = true;
     if (IsDecision(g)) {
       ++count;
       for (const auto& [p, s] : nodes_[g].elements) {
-        stack.push_back(p);
-        stack.push_back(s);
+        if (!seen[p]) {
+          seen[p] = 1;
+          stack.push_back(p);
+        }
+        if (!seen[s]) {
+          seen[s] = 1;
+          stack.push_back(s);
+        }
       }
     }
   }
@@ -284,26 +327,30 @@ size_t SddManager::NumDecisionNodes(SddId f) const {
 }
 
 NnfId SddManager::ToNnf(SddId f, NnfManager& nnf) const {
-  std::unordered_map<SddId, NnfId> memo;
-  std::function<NnfId(SddId)> rec = [&](SddId g) -> NnfId {
-    if (g == False()) return nnf.False();
-    if (g == True()) return nnf.True();
-    auto it = memo.find(g);
-    if (it != memo.end()) return it->second;
-    NnfId result;
+  if (f == False()) return nnf.False();
+  if (f == True()) return nnf.True();
+  const std::vector<SddId> order = ReachableAscending(
+      f, nodes_.size(), [this](SddId g) { return IsDecision(g); },
+      [this](SddId g) -> const std::vector<std::pair<SddId, SddId>>& {
+        return nodes_[g].elements;
+      });
+  std::vector<NnfId> memo(nodes_.size(), kInvalidNnf);
+  memo[False()] = nnf.False();
+  memo[True()] = nnf.True();
+  for (const SddId g : order) {
+    if (IsConstant(g)) continue;
     if (IsLiteral(g)) {
-      result = nnf.Literal(literal(g));
-    } else {
-      std::vector<NnfId> parts;
-      for (const auto& [p, s] : nodes_[g].elements) {
-        parts.push_back(nnf.And(rec(p), rec(s)));
-      }
-      result = nnf.Or(std::move(parts));
+      memo[g] = nnf.Literal(literal(g));
+      continue;
     }
-    memo.emplace(g, result);
-    return result;
-  };
-  return rec(f);
+    std::vector<NnfId> parts;
+    parts.reserve(nodes_[g].elements.size());
+    for (const auto& [p, s] : nodes_[g].elements) {
+      parts.push_back(nnf.And(memo[p], memo[s]));
+    }
+    memo[g] = nnf.Or(std::move(parts));
+  }
+  return memo[f];
 }
 
 BigUint SddManager::ModelCount(SddId f) {

@@ -2,12 +2,13 @@
 #define TBC_SDD_SDD_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "base/bigint.h"
+#include "base/flat_table.h"
 #include "base/guard.h"
+#include "base/hash.h"
 #include "base/result.h"
 #include "logic/lit.h"
 #include "nnf/nnf.h"
@@ -92,6 +93,13 @@ class SddManager {
   /// Total nodes ever created (statistics).
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Pre-sizes node storage and the unique table for `n` expected nodes
+  /// (e.g. an OBDD import of known size).
+  void ReserveNodes(size_t n) {
+    nodes_.reserve(n);
+    unique_.Reserve(n);
+  }
+
   /// Attaches a resource guard (borrowed, may be null to detach). A single
   /// Apply is worst-case O(|f|·|g|) with |f|,|g| themselves exponential in
   /// the input, so the check sits *inside* the apply recursion: when the
@@ -128,12 +136,15 @@ class SddManager {
   enum class Op : uint8_t { kAnd, kOr };
 
   struct OpKey {
-    uint64_t fg;
-    uint32_t tag;
+    uint64_t fg = 0;
+    uint32_t tag = 0;
     bool operator==(const OpKey& o) const { return fg == o.fg && tag == o.tag; }
-  };
-  struct OpKeyHash {
-    size_t operator()(const OpKey& k) const;
+    // Found by ADL from LossyCache. Both fields go through a full splitmix64
+    // mix; the old `fg ^ (tag * φ)` pre-mix left the low bits of fg nearly
+    // intact, which clusters direct-mapped slots for consecutive node ids.
+    friend uint64_t HashValue(const OpKey& k) {
+      return HashU64(k.fg) ^ HashU64(static_cast<uint64_t>(k.tag) + 0x9e3779b97f4a7c15ull);
+    }
   };
 
   SddId Intern(Node node);
@@ -147,8 +158,8 @@ class SddManager {
 
   Vtree vtree_;
   std::vector<Node> nodes_;
-  std::unordered_map<uint64_t, std::vector<SddId>> unique_;
-  std::unordered_map<OpKey, SddId, OpKeyHash> op_cache_;
+  UniqueTable unique_;
+  LossyCache<OpKey, SddId> op_cache_;
   Guard* guard_ = nullptr;  // borrowed; null = unbounded
   bool interrupted_ = false;
   Status interrupt_status_;

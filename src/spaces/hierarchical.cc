@@ -1,17 +1,40 @@
 #include "spaces/hierarchical.h"
 
 #include <algorithm>
-#include <functional>
 #include <map>
-#include <tuple>
 #include <set>
+#include <utility>
 
 #include "base/check.h"
+#include "base/flat_table.h"
 #include "obdd/obdd.h"
 #include "spaces/routes.h"
 #include "vtree/vtree.h"
 
 namespace tbc {
+namespace {
+
+// Memo keys for the hierarchical route count (see Compile below).
+struct SegKey {
+  uint32_t r;
+  GraphNode a, b;
+  bool operator==(const SegKey&) const = default;
+  friend uint64_t HashValue(const SegKey& k) {
+    return HashU64((uint64_t{k.r} << 42) ^ (uint64_t{k.a} << 21) ^ k.b);
+  }
+};
+
+struct CountKey {
+  uint64_t mask;
+  uint32_t r;
+  GraphNode entry;
+  bool operator==(const CountKey&) const = default;
+  friend uint64_t HashValue(const CountKey& k) {
+    return HashU64(k.mask) ^ HashU64((uint64_t{k.r} << 32) | k.entry);
+  }
+};
+
+}  // namespace
 
 HierarchicalMap::HierarchicalMap(size_t rows, size_t cols, size_t block)
     : rows_(rows),
@@ -142,44 +165,71 @@ HierarchicalMap::CompilationStats HierarchicalMap::Compile(GraphNode s,
 
   // --- Hierarchical route count: routes that enter each region at most
   // once. DFS over region sequences with concrete crossing-edge choices.
-  // Precomputed subgraphs and memoized segment counts keep the recursion
-  // cheap on larger grids.
-  const std::vector<uint32_t> crossing_edges = CrossingEdges();
+  // Kernel-layer hot loop: crossing edges are bucketed into per-region
+  // ports up front (the old scan touched every crossing edge, with two
+  // RegionOf calls each, at every DFS node), segment counts live in a
+  // flat table instead of a std::map, and — when the region count fits a
+  // 64-bit mask — whole DFS subtrees are memoized on their true state
+  // (region, entry vertex, visited set), which collapses the exponential
+  // route-sequence tree into a DP over distinct states.
+  struct Port {
+    GraphNode exit;       // crossing endpoint inside the region
+    uint32_t neighbor;    // adjacent region
+    GraphNode entry;      // crossing endpoint inside the neighbor
+  };
+  std::vector<std::vector<Port>> ports(num_regions());
+  for (uint32_t e : CrossingEdges()) {
+    const GraphNode a = grid_.edge_u(e), b = grid_.edge_v(e);
+    const uint32_t ra = static_cast<uint32_t>(RegionOf(a));
+    const uint32_t rb = static_cast<uint32_t>(RegionOf(b));
+    ports[ra].push_back({a, rb, b});
+    ports[rb].push_back({b, ra, a});
+  }
   std::vector<RegionGraph> subgraphs;
   subgraphs.reserve(num_regions());
   for (size_t r = 0; r < num_regions(); ++r) subgraphs.push_back(SubgraphOf(r));
-  std::map<std::tuple<size_t, GraphNode, GraphNode>, uint64_t> seg_memo;
+
+  FlatMap<SegKey, uint64_t> seg_memo;
   auto segment = [&](size_t r, GraphNode a, GraphNode b) -> uint64_t {
     if (a == b) return 1;
-    const auto key = std::make_tuple(r, std::min(a, b), std::max(a, b));
-    auto it = seg_memo.find(key);
-    if (it != seg_memo.end()) return it->second;
+    const SegKey key{static_cast<uint32_t>(r), std::min(a, b), std::max(a, b)};
+    if (const uint64_t* hit = seg_memo.Find(key)) return *hit;
     const RegionGraph& rg = subgraphs[r];
     const uint64_t n = rg.graph.CountSimplePaths(rg.local_of_global[a],
                                                  rg.local_of_global[b]);
-    seg_memo.emplace(key, n);
+    seg_memo.Insert(key, n);
     return n;
   };
+
+  const bool memoizable = num_regions() <= 64;
+  FlatMap<CountKey, uint64_t> count_memo;
+  uint64_t visited_mask = 0;
   std::vector<int8_t> visited(num_regions(), 0);
-  std::function<uint64_t(size_t, GraphNode)> count = [&](size_t r,
-                                                         GraphNode entry) -> uint64_t {
+  auto count = [&](auto&& self, size_t r, GraphNode entry) -> uint64_t {
+    // Key on the state *before* entering r: the result only depends on
+    // (r, entry, set of regions already on the path).
+    const CountKey key{visited_mask, static_cast<uint32_t>(r), entry};
+    if (memoizable) {
+      if (const uint64_t* hit = count_memo.Find(key)) return *hit;
+    }
     visited[r] = 1;
+    if (memoizable) visited_mask |= uint64_t{1} << r;
     uint64_t total = 0;
     if (r == rt) total += segment(r, entry, t);
-    for (uint32_t e : crossing_edges) {
-      GraphNode a = grid_.edge_u(e), b = grid_.edge_v(e);
-      if (RegionOf(b) == r) std::swap(a, b);
-      if (RegionOf(a) != r) continue;
-      const size_t nr = RegionOf(b);
-      if (visited[nr]) continue;
-      const uint64_t segs = segment(r, entry, a);
+    for (const Port& p : ports[r]) {
+      if (visited[p.neighbor]) continue;
+      const uint64_t segs = segment(r, entry, p.exit);
       if (segs == 0) continue;
-      total += segs * count(nr, b);
+      total += segs * self(self, p.neighbor, p.entry);
     }
     visited[r] = 0;
+    if (memoizable) {
+      visited_mask &= ~(uint64_t{1} << r);
+      count_memo.Insert(key, total);
+    }
     return total;
   };
-  stats.hier_routes = count(rs, s);
+  stats.hier_routes = count(count, rs, s);
   return stats;
 }
 

@@ -1,9 +1,9 @@
 #include "spaces/routes.h"
 
 #include <string>
-#include <unordered_map>
 
 #include "base/check.h"
+#include "base/flat_table.h"
 #include "sdd/from_obdd.h"
 
 namespace tbc {
@@ -56,13 +56,17 @@ class SimpathCompiler {
   }
 
  private:
-  std::string Key(uint32_t i, const Frontier& f) const {
-    std::string key;
-    key.push_back(f.done ? 1 : 0);
+  // One string, built in a reusable buffer: edge index + done flag +
+  // frontier mate entries (the canonical simpath state).
+  const std::string& Key(uint32_t i, const Frontier& f) {
+    key_scratch_.clear();
+    key_scratch_.append(reinterpret_cast<const char*>(&i), sizeof(i));
+    key_scratch_.push_back(f.done ? 1 : 0);
     for (GraphNode v : frontier_[i]) {
-      key.append(reinterpret_cast<const char*>(&f.mate[v]), sizeof(GraphNode));
+      key_scratch_.append(reinterpret_cast<const char*>(&f.mate[v]),
+                          sizeof(GraphNode));
     }
-    return key;
+    return key_scratch_;
   }
 
   // Exit checks for endpoints of edge `e` leaving the frontier.
@@ -89,10 +93,8 @@ class SimpathCompiler {
 
   ObddId Rec(uint32_t i, const Frontier& f) {
     if (i == graph_.num_edges()) return f.done ? mgr_.True() : mgr_.False();
-    const std::string key =
-        Key(i, f) + std::string(reinterpret_cast<const char*>(&i), sizeof(i));
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+    if (const ObddId* hit = memo_.Find(Key(i, f))) return *hit;
+    const std::string key = Key(i, f);  // owned copy survives the recursion
 
     const GraphNode u = graph_.edge_u(i);
     const GraphNode v = graph_.edge_v(i);
@@ -122,7 +124,7 @@ class SimpathCompiler {
     }
 
     const ObddId result = mgr_.MakeNode(static_cast<Var>(i), lo, hi);
-    memo_.emplace(key, result);
+    memo_.Insert(key, result);
     return result;
   }
 
@@ -131,7 +133,8 @@ class SimpathCompiler {
   GraphNode s_, t_;
   std::vector<uint32_t> first_edge_, last_edge_;
   std::vector<std::vector<GraphNode>> frontier_;
-  std::unordered_map<std::string, ObddId> memo_;
+  FlatMap<std::string, ObddId> memo_;
+  std::string key_scratch_;
 };
 
 }  // namespace

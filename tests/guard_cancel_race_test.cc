@@ -13,6 +13,7 @@
 #include "base/guard.h"
 #include "base/random.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "gtest/gtest.h"
 #include "logic/cnf.h"
 #include "sat/solver.h"
@@ -110,6 +111,55 @@ TEST(GuardCancelRace, CrossThreadCancelStopsSatSearch) {
   // Either way the solver must remain usable after detaching the guard.
   solver.set_guard(nullptr);
   EXPECT_NE(solver.Solve(), SatSolver::Outcome::kUnknown);
+}
+
+TEST(GuardCancelRace, CrossThreadCancelStopsParallelFor) {
+  // The thread pool polls the guard once per chunk: a cancel flipped from
+  // outside while workers are mid-batch must surface as the typed status,
+  // with no use-after-free of the stack-allocated batch (TSan-verified).
+  constexpr size_t kTotal = 1 << 22;
+  ThreadPool pool(4);
+  Guard guard;
+  std::atomic<size_t> executed{0};
+  Status status = Status::Ok();
+  std::thread worker([&] {
+    status = pool.ParallelFor(
+        0, kTotal, 64,
+        [&](size_t) { executed.fetch_add(1, std::memory_order_relaxed); },
+        &guard);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  guard.Cancel();
+  worker.join();
+
+  if (status.ok()) {
+    EXPECT_EQ(executed.load(), kTotal) << "finished before the cancel landed";
+  } else {
+    EXPECT_EQ(status.code(), StatusCode::kCancelled);
+    EXPECT_LT(executed.load(), kTotal) << "a refusal must mean skipped work";
+  }
+
+  // The pool must remain fully usable with a fresh guard.
+  Guard fresh;
+  std::atomic<size_t> count{0};
+  EXPECT_TRUE(pool
+                  .ParallelFor(
+                      0, 1000, 10,
+                      [&](size_t) { count.fetch_add(1, std::memory_order_relaxed); },
+                      &fresh)
+                  .ok());
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(GuardCancelRace, ParallelForWithoutGuardRunsEverything) {
+  ThreadPool pool(3);
+  std::vector<int> hits(5000, 0);
+  ASSERT_TRUE(
+      pool.ParallelFor(0, hits.size(), 7, [&](size_t i) { hits[i]++; }, nullptr)
+          .ok());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i << " ran a wrong number of times";
+  }
 }
 
 TEST(GuardCancelRace, CrossThreadCancelStopsSddCompile) {

@@ -1,0 +1,249 @@
+// Determinism and cancellation tests for the parallel evaluation kernels.
+// The contract under test (DESIGN.md "Kernel layer"): for every query, a
+// pool of 1, 2, or 8 threads produces *bit-identical* results — identical
+// BigUint model counts, identical WMC doubles, identical MPE assignments,
+// identical PSDD likelihood vectors — because each parallel body writes
+// only its own slot and all reductions run serially in index order. Under
+// -DTBC_SANITIZE=thread these tests double as data-race checks on the
+// shared read-only circuit state.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "base/guard.h"
+#include "base/random.h"
+#include "base/result.h"
+#include "base/thread_pool.h"
+#include "bayes/circuit_inference.h"
+#include "bayes/network.h"
+#include "compiler/ddnnf_compiler.h"
+#include "gtest/gtest.h"
+#include "logic/cnf.h"
+#include "nnf/nnf.h"
+#include "nnf/properties.h"
+#include "nnf/queries.h"
+#include "psdd/psdd.h"
+#include "sdd/compile.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+namespace {
+
+Cnf RandomCnf(size_t num_vars, size_t num_clauses, uint64_t seed) {
+  Rng rng(seed);
+  Cnf cnf(num_vars);
+  for (size_t i = 0; i < num_clauses; ++i) {
+    std::set<Var> vars;
+    while (vars.size() < 3) {
+      vars.insert(static_cast<Var>(rng.Below(num_vars)));
+    }
+    Clause c;
+    for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+    cnf.AddClause(c);
+  }
+  return cnf;
+}
+
+WeightMap RandomWeights(size_t num_vars, uint64_t seed) {
+  Rng rng(seed);
+  WeightMap w(num_vars);
+  for (Var v = 0; v < num_vars; ++v) {
+    const double p = 0.05 + 0.9 * rng.Uniform();
+    w.Set(Pos(v), p);
+    w.Set(Neg(v), 1.0 - p);
+  }
+  return w;
+}
+
+constexpr size_t kThreadSweep[] = {1, 2, 8};
+
+TEST(ParallelEvalTest, ModelCountIdenticalAcrossThreadCounts) {
+  const size_t kVars = 24;
+  const Cnf cnf = RandomCnf(kVars, 60, 11);
+  NnfManager mgr;
+  DdnnfCompiler compiler;
+  const NnfId root = compiler.Compile(cnf, mgr);
+
+  Guard unlimited;
+  const BigUint serial = ModelCount(mgr, root, kVars);
+  for (size_t threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    const Result<BigUint> parallel =
+        ModelCountBounded(mgr, root, kVars, unlimited, &pool);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(*parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEvalTest, WmcBitIdenticalAcrossThreadCounts) {
+  const size_t kVars = 24;
+  const Cnf cnf = RandomCnf(kVars, 60, 13);
+  const WeightMap w = RandomWeights(kVars, 14);
+  NnfManager mgr;
+  DdnnfCompiler compiler;
+  const NnfId root = compiler.Compile(cnf, mgr);
+
+  Guard unlimited;
+  const double serial = Wmc(mgr, root, w);
+  for (size_t threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    const Result<double> parallel = WmcBounded(mgr, root, w, unlimited, &pool);
+    ASSERT_TRUE(parallel.ok());
+    // Bit-identical, not merely close: same per-node recurrence, same
+    // child order, only slot-level parallelism.
+    EXPECT_EQ(*parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEvalTest, MpeBitIdenticalAcrossThreadCounts) {
+  const size_t kVars = 20;
+  const Cnf cnf = RandomCnf(kVars, 50, 17);
+  const WeightMap w = RandomWeights(kVars, 18);
+  NnfManager mgr;
+  DdnnfCompiler compiler;
+  const NnfId root = compiler.Compile(cnf, mgr);
+
+  Guard unlimited;
+  const MpeResult serial = MaxWmc(mgr, root, w, kVars);
+  for (size_t threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    const Result<MpeResult> parallel =
+        MaxWmcBounded(mgr, root, w, kVars, unlimited, &pool);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->weight, serial.weight) << "threads=" << threads;
+    EXPECT_EQ(parallel->assignment, serial.assignment) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEvalTest, PsddLikelihoodsIdenticalAcrossThreadCounts) {
+  // Compile a small constraint, learn parameters from sampled data, then
+  // sweep thread counts over both batch APIs.
+  const size_t kVars = 8;
+  const Cnf cnf = RandomCnf(kVars, 12, 23);
+  SddManager sdd(Vtree::Balanced(Vtree::IdentityOrder(kVars)));
+  const SddId base = CompileCnf(sdd, cnf);
+  ASSERT_NE(base, sdd.False());
+  Psdd psdd(sdd, base);
+
+  Rng rng(29);
+  std::vector<Assignment> data;
+  for (int i = 0; i < 64; ++i) data.push_back(psdd.Sample(rng));
+  psdd.LearnParameters(data, {}, 0.5);
+
+  Guard unlimited;
+  const double serial_ll = psdd.LogLikelihood(data);
+
+  std::vector<PsddEvidence> evidence;
+  for (int i = 0; i < 32; ++i) {
+    PsddEvidence e(kVars, Obs::kUnknown);
+    for (Var v = 0; v < kVars; ++v) {
+      const uint64_t r = rng.Below(3);
+      e[v] = r == 0 ? Obs::kFalse : r == 1 ? Obs::kTrue : Obs::kUnknown;
+    }
+    evidence.push_back(e);
+  }
+  const Result<std::vector<double>> serial_batch =
+      psdd.ProbabilityEvidenceBatch(evidence, unlimited);
+  ASSERT_TRUE(serial_batch.ok());
+
+  for (size_t threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    const Result<double> ll = psdd.LogLikelihoodBounded(data, unlimited, &pool);
+    ASSERT_TRUE(ll.ok());
+    EXPECT_EQ(*ll, serial_ll) << "threads=" << threads;
+
+    const Result<std::vector<double>> batch =
+        psdd.ProbabilityEvidenceBatch(evidence, unlimited, &pool);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(*batch, *serial_batch) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEvalTest, BayesBatchMarIdenticalAcrossThreadCounts) {
+  // A small chain network; the batch enumerates single-variable evidence.
+  BayesianNetwork net;
+  const BnVar a = net.AddVariable("a", 2, {}, {0.3, 0.7});
+  const BnVar b = net.AddVariable("b", 2, {a}, {0.9, 0.1, 0.2, 0.8});
+  net.AddVariable("c", 2, {b}, {0.6, 0.4, 0.25, 0.75});
+  CompiledBayesNet compiled(net);
+
+  std::vector<BnInstantiation> evidence;
+  for (BnVar v = 0; v < 3; ++v) {
+    for (int value = 0; value < 2; ++value) {
+      BnInstantiation e(3, kUnobserved);
+      e[v] = value;
+      evidence.push_back(e);
+    }
+  }
+  Guard unlimited;
+  const Result<std::vector<double>> serial =
+      compiled.ProbEvidenceBatch(evidence, unlimited);
+  ASSERT_TRUE(serial.ok());
+  for (size_t i = 0; i < evidence.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*serial)[i], compiled.ProbEvidence(evidence[i]));
+  }
+  for (size_t threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    const Result<std::vector<double>> batch =
+        compiled.ProbEvidenceBatch(evidence, unlimited, &pool);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(*batch, *serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEvalTest, PreCancelledGuardRefusesBeforeWork) {
+  const size_t kVars = 16;
+  const Cnf cnf = RandomCnf(kVars, 40, 31);
+  NnfManager mgr;
+  DdnnfCompiler compiler;
+  const NnfId root = compiler.Compile(cnf, mgr);
+
+  Guard guard;
+  guard.Cancel();
+  ThreadPool pool(4);
+  const Result<BigUint> r = ModelCountBounded(mgr, root, kVars, guard, &pool);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error_code(), StatusCode::kCancelled);
+}
+
+TEST(ParallelEvalTest, MidRunCancellationStopsBatch) {
+  // A deliberately large batch over a real circuit; a second thread flips
+  // the guard mid-run. The batch must refuse with the typed status (or
+  // have finished before the cancel landed) — never crash or deadlock.
+  const size_t kVars = 8;
+  const Cnf cnf = RandomCnf(kVars, 12, 37);
+  SddManager sdd(Vtree::Balanced(Vtree::IdentityOrder(kVars)));
+  const SddId base = CompileCnf(sdd, cnf);
+  ASSERT_NE(base, sdd.False());
+  Psdd psdd(sdd, base);
+
+  std::vector<PsddEvidence> evidence(20000, PsddEvidence(kVars, Obs::kUnknown));
+  Guard guard;
+  ThreadPool pool(4);
+  Result<std::vector<double>> result = Status::Cancelled("not started");
+  std::thread worker([&] {
+    result = psdd.ProbabilityEvidenceBatch(evidence, guard, &pool);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  guard.Cancel();
+  worker.join();
+  if (!result.ok()) {
+    EXPECT_EQ(result.error_code(), StatusCode::kCancelled);
+  } else {
+    EXPECT_EQ(result->size(), evidence.size());
+  }
+  // The pool and guard-free paths must remain usable afterwards.
+  Guard fresh;
+  const Result<std::vector<double>> again = psdd.ProbabilityEvidenceBatch(
+      {PsddEvidence(kVars, Obs::kUnknown)}, fresh, &pool);
+  ASSERT_TRUE(again.ok());
+  EXPECT_NEAR((*again)[0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tbc
