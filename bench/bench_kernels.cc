@@ -20,6 +20,16 @@
 
 #include "base/random.h"
 #include "base/timer.h"
+
+// run_bench.sh compiles this exact source against the pre-observability
+// baseline worktree, which has no base/observability.h — gate on the
+// header so both builds succeed and the report degrades to "stats": null.
+#if __has_include("base/observability.h")
+#include "base/observability.h"
+#define BENCH_HAVE_OBS 1
+#else
+#define BENCH_HAVE_OBS 0
+#endif
 #include "compiler/ddnnf_compiler.h"
 #include "nnf/nnf.h"
 #include "nnf/queries.h"
@@ -190,7 +200,20 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out, "]}%s\n", i + 1 < entries.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  // The observability registry accumulated over every run above: the same
+  // counters/gauges/histograms schema kc_cli --stats=json emits (pinned by
+  // tools/stats_schema.json), so bench reports and CLI stats are directly
+  // comparable.
+#if BENCH_HAVE_OBS
+  const std::string stats = tbc::Observability::Global().RenderJson();
+  // RenderJson ends with "}\n": trim the newline to embed as a value.
+  std::fprintf(out, "  \"stats\": %.*s\n",
+               static_cast<int>(stats.size() - 1), stats.c_str());
+#else
+  std::fprintf(out, "  \"stats\": null\n");
+#endif
+  std::fprintf(out, "}\n");
   if (out != stdout) std::fclose(out);
   std::fprintf(stderr, "sink=%.6f\n", g_sink);  // keep the work observable
   return 0;

@@ -8,10 +8,17 @@
 //          [--force-order] [--minimize=N] [--samples=N]
 //          [--timeout-ms=N] [--max-nodes=N]
 //          [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]
+//          [--wmc[=W]] [--stats[=json]]
 //
 // With --timeout-ms/--max-nodes the compilation runs under a resource
 // guard; if the budget is exhausted the tool prints the typed refusal and
 // exits with code 3 (distinct from usage errors and bad input).
+//
+// --wmc runs an exact weighted model count after compilation (every
+// literal weighted W, default 1.0) and reports the log-space rescue
+// counter. --stats dumps the observability registry (counters, peak-memory
+// gauges, timing histograms, trace spans) as text; --stats=json emits the
+// machine-readable schema pinned by tools/stats_schema.json.
 
 #include <cstdio>
 #include <cstring>
@@ -20,9 +27,11 @@
 #include <string>
 
 #include "base/guard.h"
+#include "base/observability.h"
 #include "base/strings.h"
 #include "base/timer.h"
 #include "compiler/ddnnf_compiler.h"
+#include "compiler/model_counter.h"
 #include "nnf/io.h"
 #include "nnf/queries.h"
 #include "obdd/obdd.h"
@@ -76,7 +85,8 @@ int main(int argc, char** argv) {
         "              [--vtree=balanced|right|random] [--force-order]\n"
         "              [--minimize=N] [--samples=N]\n"
         "              [--timeout-ms=N] [--max-nodes=N]\n"
-        "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n");
+        "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n"
+        "              [--wmc[=W]] [--stats[=json]]\n");
     return 2;
   }
   const std::string text = ReadFile(argv[1]);
@@ -217,6 +227,42 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "kc_cli: unknown target %s\n", target.c_str());
     return 2;
+  }
+
+  if (Flag(argc, argv, "--wmc") || Arg(argc, argv, "--wmc") != nullptr) {
+    double lit_weight = 1.0;
+    if (const char* ws = Arg(argc, argv, "--wmc")) {
+      if (!ParseDouble(ws, &lit_weight)) {
+        std::fprintf(stderr, "kc_cli: --wmc needs a number, got '%s'\n", ws);
+        return 2;
+      }
+    }
+    WeightMap weights(cnf.num_vars());
+    for (Var v = 0; v < cnf.num_vars(); ++v) {
+      weights.Set(Pos(v), lit_weight);
+      weights.Set(Neg(v), lit_weight);
+    }
+    ModelCounter counter;
+    auto wmc = counter.WmcBounded(cnf, weights, guard);
+    if (!wmc.ok()) return refuse(wmc.status());
+    std::printf("c wmc: %.12g (decisions %llu, cache hits %llu, "
+                "underflow rescues %llu)\n",
+                *wmc,
+                static_cast<unsigned long long>(counter.stats().decisions),
+                static_cast<unsigned long long>(counter.stats().cache_hits),
+                static_cast<unsigned long long>(
+                    counter.stats().underflow_rescues));
+  }
+
+  // Stats last, so the dump covers everything the invocation did.
+  if (const char* mode = Arg(argc, argv, "--stats")) {
+    if (std::strcmp(mode, "json") != 0) {
+      std::fprintf(stderr, "kc_cli: unknown stats mode '%s'\n", mode);
+      return 2;
+    }
+    std::fputs(Observability::Global().RenderJson().c_str(), stdout);
+  } else if (Flag(argc, argv, "--stats")) {
+    std::fputs(Observability::Global().RenderText().c_str(), stdout);
   }
   return 0;
 }

@@ -17,6 +17,9 @@
 //                        and partition proofs
 //     --max-sat-checks=N cap on solver calls per file (default 4096)
 //     --list-rules       print every rule id and exit
+//     --stats            dump the observability registry to stderr after
+//                        linting (counters/gauges/histograms; stderr so the
+//                        JSON diagnostic stream on stdout stays parseable)
 //
 // Exit codes: 0 = all files clean (warnings allowed), 1 = usage or I/O
 // error, 2 = at least one error-severity violation.
@@ -33,6 +36,7 @@
 #include "analysis/psdd_analyzer.h"
 #include "analysis/rules.h"
 #include "analysis/sdd_analyzer.h"
+#include "base/observability.h"
 #include "base/strings.h"
 #include "nnf/io.h"
 #include "nnf/nnf.h"
@@ -74,6 +78,7 @@ void Usage() {
       "  --no-sat           syntactic checks only\n"
       "  --max-sat-checks=N cap on solver calls per file (default 4096)\n"
       "  --list-rules       print every rule id and exit\n"
+      "  --stats            dump observability metrics to stderr\n"
       "exit: 0 clean, 1 usage/io error, 2 violations\n");
 }
 
@@ -225,5 +230,8 @@ int main(int argc, char** argv) {
   }
 
   if (json) std::printf("%s]\n", json_out.c_str());
+  if (Flag(argc, argv, "--stats")) {
+    std::fputs(Observability::Global().RenderText().c_str(), stderr);
+  }
   return any_error ? 2 : 0;
 }

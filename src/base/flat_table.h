@@ -10,8 +10,56 @@
 
 #include "base/check.h"
 #include "base/hash.h"
+#include "base/observability.h"
 
 namespace tbc {
+
+/// Footprint accounting for the flat tables: slot-array bytes are reported
+/// to the "base.flat_table.bytes" gauge (current + peak), giving every
+/// compile/count run a peak-memory figure in `--stats` output. Heap owned
+/// by the keys themselves (e.g. std::string cache keys) is not counted —
+/// this is the container footprint, not a full allocator. Compiles to
+/// nothing with TBC_OBSERVE=OFF.
+inline void AccountFlatTableBytes(int64_t delta) {
+#if TBC_OBSERVE_ON
+  if (delta == 0) return;
+  static ObsGauge& gauge =
+      Observability::Global().Gauge("base.flat_table.bytes");
+  gauge.Add(delta);
+#else
+  (void)delta;
+#endif
+}
+
+/// Tracks the bytes a table has reported so far; the value-semantics
+/// members make the accounting survive copies and moves of the owning
+/// table (a copy re-reports its bytes, a move transfers them, destruction
+/// releases them).
+class TableFootprint {
+ public:
+  TableFootprint() = default;
+  TableFootprint(const TableFootprint& o) { Set(o.bytes_); }
+  TableFootprint& operator=(const TableFootprint& o) {
+    Set(o.bytes_);
+    return *this;
+  }
+  TableFootprint(TableFootprint&& o) noexcept { std::swap(bytes_, o.bytes_); }
+  TableFootprint& operator=(TableFootprint&& o) noexcept {
+    std::swap(bytes_, o.bytes_);
+    return *this;
+  }
+  ~TableFootprint() { Set(0); }
+
+  /// Reports the delta between the previous and new footprint.
+  void Set(size_t bytes) {
+    AccountFlatTableBytes(static_cast<int64_t>(bytes) -
+                          static_cast<int64_t>(bytes_));
+    bytes_ = bytes;
+  }
+
+ private:
+  size_t bytes_ = 0;
+};
 
 /// Flat hash containers for the circuit kernels (DESIGN.md "Kernel layer").
 ///
@@ -106,6 +154,7 @@ class UniqueTable {
     hashes_.assign(new_capacity, 0);
     ids_.assign(new_capacity, kNpos);
     mask_ = new_capacity - 1;
+    footprint_.Set(new_capacity * (sizeof(uint64_t) + sizeof(uint32_t)));
     for (size_t i = 0; i < old_ids.size(); ++i) {
       if (old_ids[i] == kNpos) continue;
       size_t j = old_hashes[i] & mask_;
@@ -119,6 +168,7 @@ class UniqueTable {
   std::vector<uint32_t> ids_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  TableFootprint footprint_;
 };
 
 /// Open-addressing map with power-of-two capacity and linear probing.
@@ -250,6 +300,7 @@ class FlatMap {
     ctrl_.assign(new_capacity, kEmpty);
     mask_ = new_capacity - 1;
     tombstones_ = 0;
+    footprint_.Set(new_capacity * (sizeof(Slot) + sizeof(uint8_t)));
     for (size_t i = 0; i < old_slots.size(); ++i) {
       if (old_ctrl[i] != kFull) continue;
       size_t j = old_slots[i].hash & mask_;
@@ -264,6 +315,7 @@ class FlatMap {
   size_t mask_ = 0;
   size_t size_ = 0;
   size_t tombstones_ = 0;
+  TableFootprint footprint_;
 };
 
 /// Bounded lossy cache: direct-mapped tagged slots, overwrite-on-collision.
@@ -332,6 +384,7 @@ class LossyCache {
     slots_.assign(new_capacity, Slot());
     mask_ = new_capacity - 1;
     size_ = 0;
+    footprint_.Set(new_capacity * sizeof(Slot));
     for (Slot& s : old) {
       if (!s.full) continue;
       Slot& d = slots_[HashValue(s.key) & mask_];
@@ -345,6 +398,7 @@ class LossyCache {
   std::vector<Slot> slots_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  TableFootprint footprint_;
 };
 
 }  // namespace tbc

@@ -5,13 +5,16 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "base/guard.h"
+#include "base/observability.h"
 #include "base/result.h"
 
 namespace tbc {
@@ -39,6 +42,17 @@ namespace tbc {
 /// it trips, workers stop claiming chunks (in-flight chunks finish) and
 /// ParallelFor returns the guard's typed status. All Guard methods are
 /// thread-safe, so this is TSan-clean (guard_cancel_race_test).
+///
+/// Exceptions: if `fn` throws for some index, the exception is captured on
+/// the worker (never escapes into WorkerLoop, which would terminate),
+/// chunks that can no longer win the first-error race are skipped, and
+/// ParallelFor rethrows after all in-flight chunks retire. When several
+/// shards throw, the one from the lowest chunk index wins, and that choice
+/// is deterministic: a chunk is only skipped when its index is above an
+/// already-recorded thrower, so every chunk below the eventual winner runs
+/// its body in full — the winner is the chunk a serial run would have
+/// faulted on. A rethrown exception takes precedence over a concurrently
+/// tripped Guard.
 class ThreadPool {
  public:
   /// A pool with `num_threads` total execution lanes: `num_threads - 1`
@@ -76,15 +90,22 @@ class ThreadPool {
   Status ParallelFor(size_t begin, size_t end, size_t grain,
                      const std::function<void(size_t)>& fn,
                      Guard* guard = nullptr) {
+    TBC_COUNT("pool.parallel_for.calls");
     if (begin >= end) return guard ? guard->Check() : Status::Ok();
     if (grain == 0) grain = 1;
     const size_t n = end - begin;
     const size_t num_chunks = (n + grain - 1) / grain;
     // Small ranges or a single lane: run inline, no synchronization.
+    // Exceptions propagate to the caller directly, which trivially
+    // satisfies the first-error contract (execution is sequential).
     if (lanes_ == 1 || num_chunks == 1) {
       for (size_t i = begin; i < end; ++i) {
         if (guard != nullptr && (i - begin) % grain == 0) {
-          TBC_RETURN_IF_ERROR(guard->Poll());
+          Status s = guard->Poll();
+          if (!s.ok()) {
+            TBC_COUNT("pool.parallel_for.cancelled");
+            return s;
+          }
         }
         fn(i);
       }
@@ -118,9 +139,20 @@ class ThreadPool {
              active_workers_ == 0;
     });
     batch_ = nullptr;
+    lock.unlock();
+    // A shard exception outranks a tripped guard: the guard may have been
+    // cancelled *because* of the failure (sibling-arm teardown), and
+    // reporting the cancellation would hide the root cause.
+    if (batch.failed.load(std::memory_order_acquire)) {
+      TBC_COUNT("pool.parallel_for.exceptions");
+      std::rethrow_exception(batch.error);
+    }
     if (guard != nullptr) {
       Status s = guard->Check();
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        TBC_COUNT("pool.parallel_for.cancelled");
+        return s;
+      }
     }
     return Status::Ok();
   }
@@ -150,6 +182,14 @@ class ThreadPool {
     std::atomic<size_t> next_chunk{0};
     // Chunks not yet fully executed; the last finisher signals done_cv_.
     std::atomic<int64_t> pending{0};
+    // First-error capture: the exception kept is the one from the lowest
+    // chunk index. `err_chunk` is also read lock-free on the claim path so
+    // chunks below a known thrower still run — one of them may fault at an
+    // even lower index and must win.
+    std::atomic<bool> failed{false};
+    std::atomic<size_t> err_chunk{SIZE_MAX};
+    std::mutex err_mu;
+    std::exception_ptr error;  // guarded by err_mu until the final wait
   };
 
   void RunChunks(Batch& batch) {
@@ -159,14 +199,33 @@ class ThreadPool {
       const size_t chunk =
           batch.next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= num_chunks) break;
-      bool cancelled = false;
-      if (batch.guard != nullptr && !batch.guard->Poll().ok()) {
-        cancelled = true;  // skip the body; still retire the chunk
+      bool skip = false;
+      if (batch.failed.load(std::memory_order_acquire)) {
+        // Skip only chunks above the recorded thrower: they can no longer
+        // win the first-error race. A chunk below it may itself fault at a
+        // lower index — exactly the exception a serial run would surface —
+        // so its body must still run.
+        skip = chunk > batch.err_chunk.load(std::memory_order_acquire);
       }
-      if (!cancelled) {
+      if (!skip && batch.guard != nullptr && !batch.guard->Poll().ok()) {
+        skip = true;  // skip the body; still retire the chunk
+      }
+      if (!skip) {
         const size_t lo = batch.begin + chunk * batch.grain;
         const size_t hi = std::min(batch.end, lo + batch.grain);
-        for (size_t i = lo; i < hi; ++i) (*batch.fn)(i);
+        try {
+          for (size_t i = lo; i < hi; ++i) (*batch.fn)(i);
+        } catch (...) {
+          // Keep the exception from the lowest chunk — the same one a
+          // serial run would have surfaced, since chunks at or below the
+          // current record are never skipped.
+          std::lock_guard<std::mutex> lock(batch.err_mu);
+          if (chunk < batch.err_chunk.load(std::memory_order_relaxed)) {
+            batch.error = std::current_exception();
+            batch.err_chunk.store(chunk, std::memory_order_release);
+          }
+          batch.failed.store(true, std::memory_order_release);
+        }
       }
       if (batch.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(mu_);

@@ -6,6 +6,7 @@
 
 #include "base/check.h"
 #include "base/flat_table.h"
+#include "base/observability.h"
 #include "compiler/subproblem.h"
 
 #ifdef TBC_VALIDATE
@@ -46,7 +47,10 @@ class Compilation {
     if (!remaining.empty()) {
       if (options_.use_components) {
         std::vector<Clauses> components = SplitComponents(std::move(remaining));
-        if (components.size() > 1) ++stats_.components_split;
+        if (components.size() > 1) {
+          ++stats_.components_split;
+          TBC_COUNT("ddnnf.components_split");
+        }
         for (Clauses& comp : components) {
           TBC_ASSIGN_OR_RETURN(const NnfId sub, CompileComponent(std::move(comp)));
           conjuncts.push_back(sub);
@@ -71,11 +75,14 @@ class Compilation {
       compiler_internal::CacheKeyInto(clauses, &probe_);
       if (const NnfId* hit = cache_.Find(probe_)) {
         ++stats_.cache_hits;
+        TBC_COUNT("ddnnf.cache_hits");
         return *hit;
       }
+      TBC_COUNT("ddnnf.cache_misses");
       key = probe_;
     }
     ++stats_.decisions;
+    TBC_COUNT("ddnnf.decisions");
     // One decision = one created decision node (plus the two literal
     // nodes): charge both budgets here, at the head of the exponential
     // recursion, so a trip surfaces within one decision's work.
@@ -109,6 +116,7 @@ NnfId DdnnfCompiler::Compile(const Cnf& cnf, NnfManager& mgr) {
 
 Result<NnfId> DdnnfCompiler::CompileBounded(const Cnf& cnf, NnfManager& mgr,
                                             Guard& guard) {
+  TBC_SPAN("ddnnf.compile");
   stats_ = DdnnfStats();
   TBC_RETURN_IF_ERROR(guard.Check());
   Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());

@@ -5,6 +5,8 @@
 
 #include "base/check.h"
 #include "base/flat_table.h"
+#include "base/logspace.h"
+#include "base/observability.h"
 #include "compiler/subproblem.h"
 
 namespace tbc {
@@ -57,9 +59,12 @@ class CountRun {
     const std::string key = CacheKey(clauses);
     if (const BigUint* hit = cache_.Find(key)) {
       ++stats_.cache_hits;
+      TBC_COUNT("counter.cache_hits");
       return *hit;
     }
+    TBC_COUNT("counter.cache_misses");
     ++stats_.decisions;
+    TBC_COUNT("counter.decisions");
     // Each decision adds one cache entry: charge it as a node so memory
     // budgets bound the cache, and the decision so search budgets bound
     // the exhaustive DPLL itself.
@@ -87,13 +92,19 @@ class CountRun {
   FlatMap<std::string, BigUint> cache_;
 };
 
-// Weighted variant; identical structure with per-literal weights.
+// Weighted variant; identical structure with per-literal weights. All
+// accumulation — including the component cache — is in ScaledDouble
+// (base/logspace.h): a chain of a few thousand 1e-3 weights produces
+// intermediates around 1e-6000, which plain double flushes to 0.0 and the
+// cache would then serve as a *wrong* 0.0 to every isomorphic subproblem.
+// The explicit exponent makes those intermediates exact; the public API
+// converts back to double only at the very end.
 class WmcRun {
  public:
   WmcRun(const WeightMap& weights, ModelCounter::Stats& stats, Guard& guard)
       : weights_(weights), stats_(stats), guard_(guard) {}
 
-  Result<double> WmcClauses(Clauses clauses) {
+  Result<ScaledDouble> WmcClauses(Clauses clauses) {
     Canonicalize(clauses);
     std::unordered_map<Var, int> seen_before;
     for (const auto& c : clauses) {
@@ -103,11 +114,11 @@ class WmcRun {
     Clauses remaining;
     if (Propagate(std::move(clauses), &implied, &remaining) ==
         BcpOutcome::kConflict) {
-      return 0.0;
+      return ScaledDouble::Zero();
     }
-    double result = 1.0;
+    ScaledDouble result = ScaledDouble::One();
     for (Lit l : implied) {
-      result *= weights_[l];
+      result *= ScaledDouble::FromDouble(weights_[l]);
       seen_before.erase(l.var());
     }
     for (const auto& c : remaining) {
@@ -115,24 +126,40 @@ class WmcRun {
     }
     // Variables that vanished are free: factor (W(x)+W(¬x)).
     for (const auto& [v, unused] : seen_before) {
-      result *= weights_[Pos(v)] + weights_[Neg(v)];
+      result *= ScaledDouble::FromDouble(weights_[Pos(v)] + weights_[Neg(v)]);
     }
+    // Long implied-literal chains are where naive products die first.
+    NoteIfRescued(result);
     for (Clauses& comp : SplitComponents(std::move(remaining))) {
-      TBC_ASSIGN_OR_RETURN(const double sub, WmcComponent(std::move(comp)));
+      TBC_ASSIGN_OR_RETURN(const ScaledDouble sub,
+                           WmcComponent(std::move(comp)));
       result *= sub;
     }
+    NoteIfRescued(result);
     return result;
   }
 
  private:
-  Result<double> WmcComponent(Clauses clauses) {
+  /// A nonzero value outside the normal double range is exactly what the
+  /// pre-log-space accumulator destroyed; count each sighting.
+  void NoteIfRescued(const ScaledDouble& v) {
+    if (!v.IsZero() && !v.FitsDouble()) {
+      ++stats_.underflow_rescues;
+      TBC_COUNT("counter.wmc.rescues");
+    }
+  }
+
+  Result<ScaledDouble> WmcComponent(Clauses clauses) {
     Canonicalize(clauses);
     const std::string key = CacheKey(clauses);
-    if (const double* hit = cache_.Find(key)) {
+    if (const ScaledDouble* hit = cache_.Find(key)) {
       ++stats_.cache_hits;
+      TBC_COUNT("counter.cache_hits");
       return *hit;
     }
+    TBC_COUNT("counter.cache_misses");
     ++stats_.decisions;
+    TBC_COUNT("counter.decisions");
     TBC_RETURN_IF_ERROR(guard_.ChargeDecision());
     TBC_RETURN_IF_ERROR(guard_.ChargeNodes(1));
     const Var v = PickBranchVar(clauses);
@@ -141,12 +168,12 @@ class WmcRun {
     for (const auto& c : clauses) {
       for (Lit l : c) comp_vars[l.var()] = 1;
     }
-    double total = 0.0;
+    ScaledDouble total = ScaledDouble::Zero();
     for (bool sign : {false, true}) {
       const Lit branch(v, sign);
       Clauses sub = ConditionClauses(clauses, branch);
-      TBC_ASSIGN_OR_RETURN(const double sub_wmc, WmcClauses(sub));
-      double w = weights_[branch] * sub_wmc;
+      TBC_ASSIGN_OR_RETURN(const ScaledDouble sub_wmc, WmcClauses(sub));
+      ScaledDouble w = ScaledDouble::FromDouble(weights_[branch]) * sub_wmc;
       // Component variables absent from the subproblem are free.
       std::unordered_map<Var, int> sub_vars;
       for (const auto& c : sub) {
@@ -154,11 +181,12 @@ class WmcRun {
       }
       for (const auto& [u, unused] : comp_vars) {
         if (u != v && sub_vars.find(u) == sub_vars.end()) {
-          w *= weights_[Pos(u)] + weights_[Neg(u)];
+          w *= ScaledDouble::FromDouble(weights_[Pos(u)] + weights_[Neg(u)]);
         }
       }
       total += w;
     }
+    NoteIfRescued(total);
     cache_.Insert(key, total);
     return total;
   }
@@ -166,7 +194,7 @@ class WmcRun {
   const WeightMap& weights_;
   ModelCounter::Stats& stats_;
   Guard& guard_;
-  FlatMap<std::string, double> cache_;
+  FlatMap<std::string, ScaledDouble> cache_;
 };
 
 }  // namespace
@@ -180,6 +208,7 @@ double ModelCounter::Wmc(const Cnf& cnf, const WeightMap& weights) {
 }
 
 Result<BigUint> ModelCounter::CountBounded(const Cnf& cnf, Guard& guard) {
+  TBC_SPAN("counter.count");
   stats_ = Stats();
   TBC_RETURN_IF_ERROR(guard.Check());
   Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
@@ -192,6 +221,7 @@ Result<BigUint> ModelCounter::CountBounded(const Cnf& cnf, Guard& guard) {
 
 Result<double> ModelCounter::WmcBounded(const Cnf& cnf, const WeightMap& weights,
                                         Guard& guard) {
+  TBC_SPAN("counter.wmc");
   stats_ = Stats();
   TBC_RETURN_IF_ERROR(guard.Check());
   Clauses clauses(cnf.clauses().begin(), cnf.clauses().end());
@@ -201,13 +231,19 @@ Result<double> ModelCounter::WmcBounded(const Cnf& cnf, const WeightMap& weights
     for (Lit l : c) mentioned[l.var()] = 1;
   }
   WmcRun run(weights, stats_, guard);
-  TBC_ASSIGN_OR_RETURN(double w, run.WmcClauses(std::move(clauses)));
+  TBC_ASSIGN_OR_RETURN(ScaledDouble w, run.WmcClauses(std::move(clauses)));
   for (Var v = 0; v < cnf.num_vars(); ++v) {
     if (mentioned.find(v) == mentioned.end()) {
-      w *= weights[Pos(v)] + weights[Neg(v)];
+      w *= ScaledDouble::FromDouble(weights[Pos(v)] + weights[Neg(v)]);
     }
   }
-  return w;
+  if (!w.IsZero() && !w.FitsDouble()) {
+    // The final answer itself is not double-representable; ToDouble()
+    // saturates (0.0 / inf) as the best the public double API can do.
+    ++stats_.underflow_rescues;
+    TBC_COUNT("counter.wmc.rescues");
+  }
+  return w.ToDouble();
 }
 
 }  // namespace tbc

@@ -18,6 +18,10 @@ class ModelCounter {
   struct Stats {
     uint64_t decisions = 0;
     uint64_t cache_hits = 0;
+    /// Times a nonzero intermediate WMC value left the normal double
+    /// range and was carried by the log-space accumulator instead of
+    /// being flushed to 0.0 (see base/logspace.h).
+    uint64_t underflow_rescues = 0;
   };
 
   /// Exact model count over cnf.num_vars() variables. Unbounded.
@@ -25,6 +29,13 @@ class ModelCounter {
 
   /// Exact weighted model count (weights sized to cnf.num_vars()).
   /// Unbounded.
+  ///
+  /// Accumulation is log-space (ScaledDouble: mantissa + explicit
+  /// power-of-two exponent), so intermediate products below DBL_MIN are
+  /// carried exactly instead of flushing to 0.0; the double returned is
+  /// the correctly rounded final value whenever it is representable.
+  /// While every intermediate fits in a normal double the result is
+  /// bit-identical to the historical plain-double accumulation.
   double Wmc(const Cnf& cnf, const WeightMap& weights);
 
   /// Resource-governed variants: decisions, cache entries (as nodes) and

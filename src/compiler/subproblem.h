@@ -42,16 +42,25 @@ inline void Canonicalize(Clauses& clauses) {
 
 /// Serializes canonical clauses into `key` (reused buffer: cache probes on
 /// the hot DPLL path allocate nothing on a hit).
+///
+/// The encoding is length-prefixed — uint32 literal count, then the
+/// literal codes — which is injective for every clause set: a decoder
+/// always knows where each clause ends. The previous scheme terminated
+/// clauses with the sentinel 0xFFFFFFFF, which is itself a valid Lit code
+/// (the negative literal of var 2^31 - 1), so clause sets containing that
+/// literal could collide and the component cache would serve a wrong
+/// count. Pinned by CacheKeyIsInjectiveOnSentinelLiteral in
+/// compiler_test.
 inline void CacheKeyInto(const Clauses& clauses, std::string* key) {
   key->clear();
-  key->reserve(clauses.size() * 8);
+  key->reserve(clauses.size() * 12);
   for (const auto& c : clauses) {
+    const uint32_t len = static_cast<uint32_t>(c.size());
+    key->append(reinterpret_cast<const char*>(&len), sizeof(len));
     for (Lit l : c) {
       const uint32_t code = l.code();
       key->append(reinterpret_cast<const char*>(&code), sizeof(code));
     }
-    const uint32_t sep = static_cast<uint32_t>(-1);
-    key->append(reinterpret_cast<const char*>(&sep), sizeof(sep));
   }
 }
 

@@ -8,6 +8,8 @@
 #include <optional>
 #include <utility>
 
+#include "base/observability.h"
+#include "base/timer.h"
 #include "bayes/varelim.h"
 #include "bayes/wmc_encoding.h"
 #include "compiler/ddnnf_compiler.h"
@@ -98,6 +100,24 @@ constexpr std::array<Stage, 3> kStages = {
     Stage{PortfolioEngine::kVarElim, RunVarElim},
 };
 
+// Runs arm i and records its wall time under "portfolio.arm.<engine>.us"
+// plus a refusal counter when it fails. Dynamic-name metrics: at most
+// three registry lookups per query, far off any hot path.
+Result<double> RunStageTimed(size_t i, const Query& q, Guard& guard) {
+  const Timer timer;
+  Result<double> r = kStages[i].second(q, guard);
+  const std::string arm =
+      std::string("portfolio.arm.") + PortfolioEngineName(kStages[i].first);
+  TBC_OBSERVE_VALUE_DYN(arm + ".us", timer.Millis() * 1e3);
+  if (!r.ok()) TBC_COUNT_DYN(arm + ".refusals");
+  return r;
+}
+
+void CountWin(size_t i) {
+  TBC_COUNT_DYN(std::string("portfolio.arm.") +
+                PortfolioEngineName(kStages[i].first) + ".wins");
+}
+
 // Racing mode: every arm runs concurrently with the full budget under its
 // own pre-created guard. An arm that finishes successfully cancels all the
 // arms it outranks (they can no longer win); arms that outrank it keep
@@ -112,10 +132,13 @@ Result<PortfolioAnswer> RunPortfolioParallel(const Query& q,
   std::array<std::optional<Result<double>>, kStages.size()> results;
   std::mutex mu;
   const std::function<void(size_t)> body = [&](size_t i) {
-    Result<double> r = kStages[i].second(q, *guards[i]);
+    Result<double> r = RunStageTimed(i, q, *guards[i]);
     std::lock_guard<std::mutex> lock(mu);
     if (r.ok()) {
-      for (size_t j = i + 1; j < kStages.size(); ++j) guards[j]->Cancel();
+      for (size_t j = i + 1; j < kStages.size(); ++j) {
+        guards[j]->Cancel();
+        TBC_COUNT("portfolio.cancellations");
+      }
     }
     results[i] = std::move(r);
   };
@@ -129,6 +152,7 @@ Result<PortfolioAnswer> RunPortfolioParallel(const Query& q,
     if (results[i].has_value() && results[i]->ok()) {
       answer.value = **results[i];
       answer.engine = kStages[i].first;
+      CountWin(i);
       return answer;
     }
     if (results[i].has_value() &&
@@ -146,6 +170,7 @@ Result<PortfolioAnswer> RunPortfolioParallel(const Query& q,
 
 Result<PortfolioAnswer> RunPortfolio(const Query& q, const Budget& budget,
                                      ThreadPool* pool) {
+  TBC_SPAN("portfolio.run");
   if (pool != nullptr && pool->num_threads() > 1) {
     return RunPortfolioParallel(q, budget, *pool);
   }
@@ -167,10 +192,11 @@ Result<PortfolioAnswer> RunPortfolio(const Query& q, const Budget& budget,
     stage_budget.max_conflicts = budget.max_conflicts;
     stage_budget.max_decisions = budget.max_decisions;
     Guard stage_guard(stage_budget);
-    Result<double> r = kStages[i].second(q, stage_guard);
+    Result<double> r = RunStageTimed(i, q, stage_guard);
     if (r.ok()) {
       answer.value = *r;
       answer.engine = kStages[i].first;
+      CountWin(i);
       return answer;
     }
     if (r.error_code() == StatusCode::kInvalidInput) return r.status();

@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/hash.h"
+#include "base/observability.h"
 
 namespace tbc {
 
@@ -22,7 +23,11 @@ NnfId NnfManager::Intern(Node node) {
     return n.kind == node.kind && n.payload == node.payload &&
            n.children == node.children;
   });
-  if (found != UniqueTable::kNpos) return found;
+  if (found != UniqueTable::kNpos) {
+    TBC_COUNT("nnf.unique.hits");
+    return found;
+  }
+  TBC_COUNT("nnf.nodes.created");
   const NnfId id = static_cast<NnfId>(nodes_.size());
   nodes_.push_back(std::move(node));
   index_.Insert(h, id);

@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/hash.h"
+#include "base/observability.h"
 
 namespace tbc {
 
@@ -35,7 +36,11 @@ ObddId ObddManager::MakeNode(Var v, ObddId lo, ObddId hi) {
     const Node& n = nodes_[id];
     return n.var == v && n.lo == lo && n.hi == hi;
   });
-  if (found != UniqueTable::kNpos) return found;
+  if (found != UniqueTable::kNpos) {
+    TBC_COUNT("obdd.unique.hits");
+    return found;
+  }
+  TBC_COUNT("obdd.nodes.created");
   const ObddId id = static_cast<ObddId>(nodes_.size());
   nodes_.push_back({v, lo, hi});
   unique_.Insert(key, id);
@@ -76,9 +81,14 @@ ObddId ObddManager::Apply(Op op, ObddId f, ObddId g) {
   if (TerminalCase(op, f, g, &out)) return out;
   // Xor with terminal 1 handled by recursion; normalize commutative args.
   if (f > g) std::swap(f, g);
+  TBC_COUNT("obdd.apply.calls");
   const OpKey key{f | (static_cast<uint64_t>(g) << 32),
                   static_cast<uint32_t>(op)};
-  if (const ObddId* hit = op_cache_.Find(key)) return *hit;
+  if (const ObddId* hit = op_cache_.Find(key)) {
+    TBC_COUNT("obdd.apply.cache_hits");
+    return *hit;
+  }
+  TBC_COUNT("obdd.apply.cache_misses");
 
   const uint32_t lf = IsTerminal(f) ? kTermLevel : LevelOf(nodes_[f].var);
   const uint32_t lg = IsTerminal(g) ? kTermLevel : LevelOf(nodes_[g].var);

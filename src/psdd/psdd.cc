@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "base/check.h"
+#include "base/observability.h"
 
 #ifdef TBC_VALIDATE
 #include "analysis/validate.h"
@@ -107,6 +108,12 @@ void Psdd::RebuildArena() {
     }
   }
   arena_.elem_begin[n] = static_cast<uint32_t>(arena_.elem_prime.size());
+  TBC_COUNT("psdd.arena.rebuilds");
+  // Histogram max doubles as the peak arena footprint across rebuilds.
+  TBC_OBSERVE_VALUE("psdd.arena.bytes",
+                    n * (sizeof(uint8_t) + sizeof(uint32_t) + sizeof(double)) +
+                        (n + 1) * sizeof(uint32_t) +
+                        total * (2 * sizeof(uint32_t) + sizeof(double)));
 }
 
 void Psdd::SyncArenaParameters() {
@@ -124,6 +131,7 @@ size_t Psdd::Size() const {
 }
 
 void Psdd::ValuePassInto(const PsddEvidence& e, std::vector<double>& value) const {
+  TBC_COUNT("psdd.eval.value_passes");
   const size_t num = nodes_.size();
   value.resize(num);
   // Children precede parents by construction, so ascending id order is the
@@ -184,6 +192,7 @@ Result<std::vector<double>> Psdd::ProbabilityEvidenceBatch(
     const std::vector<PsddEvidence>& evidence, Guard& guard,
     ThreadPool* pool) const {
   TBC_RETURN_IF_ERROR(guard.Check());
+  TBC_OBSERVE_VALUE("psdd.eval.batch_size", evidence.size());
   std::vector<double> out(evidence.size(), 0.0);
   const std::function<void(size_t)> body = [&](size_t i) {
     static thread_local std::vector<double> value;

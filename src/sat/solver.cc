@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "base/observability.h"
 
 namespace tbc {
 
@@ -228,6 +229,7 @@ SatSolver::Outcome SatSolver::SolveAssuming(const std::vector<Lit>& assumptions)
     if (conflict != -1) {
       ++conflicts_;
       ++conflicts_this_round;
+      TBC_COUNT("sat.conflicts");
       if (guard_ != nullptr) {
         // Conflicts are the natural unit of CDCL effort: charge each one,
         // and bail out with a typed refusal when the budget trips.
@@ -266,6 +268,7 @@ SatSolver::Outcome SatSolver::SolveAssuming(const std::vector<Lit>& assumptions)
       // Restart (keep assumption decisions by backtracking to their level).
       Backtrack(static_cast<int>(assumptions.size()));
       ++restart_round;
+      TBC_COUNT("sat.restarts");
       conflict_budget = 32 * Luby(restart_round);
       conflicts_this_round = 0;
       continue;
@@ -310,6 +313,7 @@ SatSolver::Outcome SatSolver::SolveAssuming(const std::vector<Lit>& assumptions)
       Backtrack(0);
       return Outcome::kSat;
     }
+    TBC_COUNT("sat.decisions");
     trail_lims_.push_back(trail_.size());
     Enqueue(Lit(v, phase_[v] == kTrue), -1);
   }

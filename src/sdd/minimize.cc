@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "base/check.h"
+#include "base/observability.h"
 #include "sdd/compile.h"
 #include "sdd/sdd.h"
 
@@ -148,6 +149,7 @@ MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
 
 MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
                              size_t budget, uint64_t seed, Guard& guard) {
+  TBC_SPAN("sdd.minimize");
   Rng rng(seed);
   MinimizeResult result;
   result.vtree = initial;
@@ -182,7 +184,9 @@ MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
     const uint64_t cap = 4 * static_cast<uint64_t>(result.size) + 256;
     const size_t size = SddSizeUnderBounded(cnf, candidate, guard, cap);
     ++result.iterations;
+    TBC_COUNT("sdd.minimize.iterations");
     if (size <= result.size) {  // accept sideways moves to escape plateaus
+      if (size < result.size) TBC_COUNT("sdd.minimize.improvements");
       result.size = size;
       result.vtree = std::move(candidate);
     }

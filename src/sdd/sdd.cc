@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "base/hash.h"
+#include "base/observability.h"
 #include "nnf/queries.h"
 
 namespace tbc {
@@ -37,7 +38,11 @@ SddId SddManager::Intern(Node node) {
     return n.vtree == node.vtree && n.lit_code == node.lit_code &&
            n.elements == node.elements;
   });
-  if (found != UniqueTable::kNpos) return found;
+  if (found != UniqueTable::kNpos) {
+    TBC_COUNT("sdd.unique.hits");
+    return found;
+  }
+  TBC_COUNT("sdd.nodes.created");
   const SddId id = static_cast<SddId>(nodes_.size());
   nodes_.push_back(std::move(node));
   unique_.Insert(h, id);
@@ -139,8 +144,13 @@ SddId SddManager::Apply(Op op, SddId f, SddId g) {
     if (nodes_[f].negation == g) return True();
   }
   if (f > g) std::swap(f, g);
+  TBC_COUNT("sdd.apply.calls");
   const OpKey key{f | (static_cast<uint64_t>(g) << 32), static_cast<uint32_t>(op)};
-  if (const SddId* hit = op_cache_.Find(key)) return *hit;
+  if (const SddId* hit = op_cache_.Find(key)) {
+    TBC_COUNT("sdd.apply.cache_hits");
+    return *hit;
+  }
+  TBC_COUNT("sdd.apply.cache_misses");
 
   const VtreeId vf = nodes_[f].vtree;
   const VtreeId vg = nodes_[g].vtree;

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <set>
+#include <string>
 
+#include "base/observability.h"
 #include "base/random.h"
 #include "compiler/ddnnf_compiler.h"
 #include "compiler/model_counter.h"
+#include "compiler/subproblem.h"
 #include "nnf/properties.h"
 #include "nnf/queries.h"
 
@@ -173,6 +177,123 @@ TEST(ModelCounterTest, WmcWithUnitWeightsEqualsCount) {
   ModelCounter counter;
   WeightMap w(10);
   EXPECT_NEAR(counter.Wmc(cnf, w), counter.Count(cnf).ToDouble(), 1e-6);
+}
+
+TEST(ModelCounterTest, WmcSurvivesDeepUnderflow) {
+  // Regression for the log-space rework (ISSUE 4 headline bug): 2000
+  // variables. 1000 unit clauses of weight 1e-3 drive the running product
+  // to ~1e-3000 — thousands of orders below DBL_MIN — before 500 two-var
+  // components (value 3e6 each) bring the final count back to
+  // 3^500 ~ 3.6e238, comfortably representable. The historical
+  // plain-double accumulator flushed the intermediate to 0.0 and returned
+  // an exact, silent 0.0.
+  constexpr size_t kUnits = 1000;
+  constexpr size_t kComps = 500;
+  Cnf cnf(kUnits + 2 * kComps);
+  WeightMap w(kUnits + 2 * kComps);
+  for (Var v = 0; v < kUnits; ++v) {
+    cnf.AddClauseDimacs({static_cast<int>(v) + 1});
+    w.Set(Pos(v), 1e-3);
+  }
+  for (size_t i = 0; i < kComps; ++i) {
+    const Var a = static_cast<Var>(kUnits + 2 * i);
+    const Var b = a + 1;
+    cnf.AddClause({Pos(a), Pos(b)});
+    for (Var v : {a, b}) {
+      w.Set(Pos(v), 1e3);
+      w.Set(Neg(v), 1e3);
+    }
+  }
+  // What the naive accumulator saw: the unit-chain product alone is not
+  // representable.
+  double naive = 1.0;
+  for (size_t i = 0; i < kUnits; ++i) naive *= 1e-3;
+  ASSERT_EQ(naive, 0.0);
+
+  Observability::Global().Reset();
+  ModelCounter counter;
+  const double wmc = counter.Wmc(cnf, w);
+  // Per component (a v b): 1e3*1e3 * 3 satisfying assignments = 3e6, and
+  // (1e-3)^1000 * (3e6)^500 = 3^500 exactly.
+  const double expected = std::pow(3.0, 500.0);
+  EXPECT_GT(wmc, 0.0);
+  EXPECT_NEAR(wmc, expected, expected * 1e-9);
+  EXPECT_GE(counter.stats().underflow_rescues, 1u);
+#if TBC_OBSERVE_ON
+  // The rescue is also surfaced through the observability registry.
+  EXPECT_GE(Observability::Global().CounterValue("counter.wmc.rescues"), 1u);
+#endif
+}
+
+TEST(ModelCounterTest, WmcUnrepresentableResultSaturates) {
+  // 200 free variables each contributing (0.01 + 0.01): the true WMC is
+  // 0.02^200 ~ 1.6e-340, below even the subnormal range. The public double
+  // API can only saturate to 0.0 — but it must count the rescue so callers
+  // can tell "saturated" from "genuinely zero".
+  constexpr size_t kVars = 200;
+  Cnf cnf(kVars);
+  WeightMap w(kVars);
+  for (Var v = 0; v < kVars; ++v) {
+    w.Set(Pos(v), 0.01);
+    w.Set(Neg(v), 0.01);
+  }
+  ModelCounter counter;
+  EXPECT_EQ(counter.Wmc(cnf, w), 0.0);
+  EXPECT_GE(counter.stats().underflow_rescues, 1u);
+}
+
+TEST(SubproblemTest, CacheKeyPinnedEncoding) {
+  using compiler_internal::CacheKey;
+  using compiler_internal::Clauses;
+  // Pins the length-prefixed byte layout: uint32 literal count, then the
+  // literal codes, per clause. Changing the encoding silently invalidates
+  // nothing (the cache is per-run) but must be a conscious decision — it
+  // is the injectivity proof the component cache rests on.
+  const Clauses clauses = {{Pos(0), Neg(1)}, {Pos(2)}};
+  std::string expected;
+  const auto append_u32 = [&expected](uint32_t v) {
+    expected.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_u32(2);
+  append_u32(Pos(0).code());
+  append_u32(Neg(1).code());
+  append_u32(1);
+  append_u32(Pos(2).code());
+  EXPECT_EQ(CacheKey(clauses), expected);
+  EXPECT_EQ(CacheKey(clauses).size(), 5 * sizeof(uint32_t));
+  EXPECT_EQ(CacheKey({}), std::string());
+}
+
+TEST(SubproblemTest, CacheKeyIsInjectiveOnSentinelLiteral) {
+  using compiler_internal::CacheKey;
+  using compiler_internal::Clauses;
+  // The old encoding terminated each clause with 0xFFFFFFFF — which is
+  // also the literal code of Neg(2^31 - 1), reachable through the public
+  // Lit constructor. Under that scheme the two clause sets below
+  // serialized to identical bytes (A S S B S), so the component cache
+  // could serve one's count for the other. Length prefixes keep every
+  // distinct clause set distinct.
+  const Lit a = Pos(0);
+  const Lit b = Pos(1);
+  const Lit s = Neg(0x7FFFFFFFu);
+  ASSERT_EQ(s.code(), 0xFFFFFFFFu);
+  const Clauses lhs = {{a, s}, {b}};
+  const Clauses rhs = {{a}, {s, b}};
+  // Demonstrate the historical collision with the old sentinel scheme.
+  const auto old_key = [](const Clauses& cs) {
+    std::string key;
+    for (const auto& c : cs) {
+      for (const Lit l : c) {
+        const uint32_t code = l.code();
+        key.append(reinterpret_cast<const char*>(&code), sizeof(code));
+      }
+      const uint32_t sep = 0xFFFFFFFFu;
+      key.append(reinterpret_cast<const char*>(&sep), sizeof(sep));
+    }
+    return key;
+  };
+  EXPECT_EQ(old_key(lhs), old_key(rhs));  // the bug
+  EXPECT_NE(CacheKey(lhs), CacheKey(rhs));  // the fix
 }
 
 TEST(ModelCounterTest, CounterAgreesWithCompilerTrace) {

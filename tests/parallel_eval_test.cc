@@ -7,10 +7,13 @@
 // -DTBC_SANITIZE=thread these tests double as data-race checks on the
 // shared read-only circuit state.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -243,6 +246,93 @@ TEST(ParallelEvalTest, MidRunCancellationStopsBatch) {
       {PsddEvidence(kVars, Obs::kUnknown)}, fresh, &pool);
   ASSERT_TRUE(again.ok());
   EXPECT_NEAR((*again)[0], 1.0, 1e-12);
+}
+
+// --- ParallelFor exception contract (base/thread_pool.h) ------------------
+
+TEST(ParallelForExceptionTest, RethrowsFirstErrorDeterministically) {
+  // Every index at or above the threshold throws its own index. The
+  // exception that surfaces must be the threshold's — the one a serial
+  // run would hit first — on every repetition, at any thread count.
+  ThreadPool pool(8);
+  for (const size_t threshold : {size_t{0}, size_t{1}, size_t{7},
+                                 size_t{499}, size_t{998}, size_t{999}}) {
+    for (int round = 0; round < 8; ++round) {
+      std::string caught;
+      try {
+        (void)pool.ParallelFor(0, 1000, 1, [threshold](size_t i) {
+          if (i >= threshold) throw std::runtime_error(std::to_string(i));
+        });
+      } catch (const std::runtime_error& e) {
+        caught = e.what();
+      }
+      EXPECT_EQ(caught, std::to_string(threshold))
+          << "threshold " << threshold << " round " << round;
+    }
+  }
+}
+
+TEST(ParallelForExceptionTest, ExceptionOutranksConcurrentCancel) {
+  // A shard failure that also trips the guard (sibling-arm teardown is the
+  // real-world shape) must surface the exception, not the cancellation —
+  // reporting kCancelled would hide the root cause.
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    Guard guard;
+    bool threw = false;
+    try {
+      (void)pool.ParallelFor(
+          0, 1000, 1,
+          [&guard](size_t i) {
+            if (i == 0) {
+              guard.Cancel();
+              throw std::runtime_error("shard failure");
+            }
+          },
+          &guard);
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_STREQ(e.what(), "shard failure");
+    }
+    EXPECT_TRUE(threw) << "round " << round;
+  }
+}
+
+TEST(ParallelForExceptionTest, PoolIsReusableAfterException) {
+  // A throwing batch must not deadlock the pool or poison later batches.
+  ThreadPool pool(4);
+  bool threw = false;
+  try {
+    (void)pool.ParallelFor(0, 100, 1, [](size_t i) {
+      if (i == 57) throw std::runtime_error("57");
+    });
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  std::vector<int> out(1000, 0);
+  const Status s =
+      pool.ParallelFor(0, 1000, 8, [&out](size_t i) { out[i] = 1; });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(std::count(out.begin(), out.end(), 1), 1000);
+}
+
+TEST(ParallelForExceptionTest, SingleLaneInlinePathPropagates) {
+  // ThreadPool(1) runs inline; the exception propagates directly and
+  // execution is strictly serial up to the faulting index.
+  ThreadPool pool(1);
+  size_t ran = 0;
+  std::string caught;
+  try {
+    (void)pool.ParallelFor(0, 100, 1, [&ran](size_t i) {
+      ++ran;
+      if (i == 5) throw std::runtime_error(std::to_string(i));
+    });
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+  }
+  EXPECT_EQ(caught, "5");
+  EXPECT_EQ(ran, 6u);
 }
 
 }  // namespace

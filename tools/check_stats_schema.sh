@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Validates the machine-readable stats dump against the committed schema.
+#
+# Runs `kc_cli <cnf> --wmc --stats=json`, extracts the JSON object from the
+# output (kc_cli prints human-readable "c ..." lines first; the dump starts
+# at the first line that is exactly "{"), and checks it against
+# tools/stats_schema.json with a small stdlib-only validator (no jsonschema
+# dependency). CI runs this so the schema and RenderJson can only change
+# together, deliberately.
+#
+# Usage: tools/check_stats_schema.sh [kc_cli_binary [file.cnf]]
+#   kc_cli_binary defaults to the first of build/examples/kc_cli,
+#   build-release-bench/examples/kc_cli that exists; without a CNF a tiny
+#   satisfiable instance is generated in a temp file.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SCHEMA="$ROOT/tools/stats_schema.json"
+
+BIN="${1:-}"
+if [[ -z "$BIN" ]]; then
+  for candidate in "$ROOT/build/examples/kc_cli" \
+                   "$ROOT/build-release-bench/examples/kc_cli"; do
+    if [[ -x "$candidate" ]]; then BIN="$candidate"; break; fi
+  done
+fi
+if [[ -z "$BIN" || ! -x "$BIN" ]]; then
+  echo "check_stats_schema: kc_cli binary not found (build first)" >&2
+  exit 1
+fi
+
+CNF="${2:-}"
+TMP_CNF=""
+if [[ -z "$CNF" ]]; then
+  TMP_CNF="$(mktemp --suffix=.cnf)"
+  printf 'p cnf 4 3\n1 2 0\n-1 3 0\n2 -3 4 0\n' > "$TMP_CNF"
+  CNF="$TMP_CNF"
+fi
+OUT_FILE="$(mktemp)"
+cleanup() {
+  if [[ -n "$TMP_CNF" ]]; then rm -f "$TMP_CNF"; fi
+  rm -f "$OUT_FILE"
+}
+trap cleanup EXIT
+
+"$BIN" "$CNF" --wmc --stats=json > "$OUT_FILE"
+
+# The program arrives on stdin (heredoc), so the stats travel by file.
+python3 - "$SCHEMA" "$OUT_FILE" <<'PY'
+import json
+import sys
+
+schema = json.load(open(sys.argv[1]))
+
+# Everything before the JSON dump is human-readable "c ..." reporting; the
+# dump starts at the first line that is exactly "{".
+lines = open(sys.argv[2]).read().splitlines()
+try:
+    start = next(i for i, l in enumerate(lines) if l.strip() == "{")
+except StopIteration:
+    sys.exit("check_stats_schema: no JSON object found in kc_cli output")
+try:
+    data = json.loads("\n".join(lines[start:]))
+except json.JSONDecodeError as e:
+    sys.exit(f"check_stats_schema: stats dump is not valid JSON: {e}")
+
+
+def fail(path, msg):
+    sys.exit(f"check_stats_schema: {path or '$'}: {msg}")
+
+
+def check(schema, data, path=""):
+    """Validates the JSON-Schema subset stats_schema.json uses."""
+    t = schema.get("type")
+    if t == "integer":
+        if not isinstance(data, int) or isinstance(data, bool):
+            fail(path, f"expected integer, got {type(data).__name__}")
+        if "minimum" in schema and data < schema["minimum"]:
+            fail(path, f"{data} below minimum {schema['minimum']}")
+        if "enum" in schema and data not in schema["enum"]:
+            fail(path, f"{data} not in enum {schema['enum']}")
+    elif t == "boolean":
+        if not isinstance(data, bool):
+            fail(path, f"expected boolean, got {type(data).__name__}")
+    elif t == "string":
+        if not isinstance(data, str):
+            fail(path, f"expected string, got {type(data).__name__}")
+    elif t == "array":
+        if not isinstance(data, list):
+            fail(path, f"expected array, got {type(data).__name__}")
+        for i, item in enumerate(data):
+            check(schema.get("items", {}), item, f"{path}[{i}]")
+    elif t == "object":
+        if not isinstance(data, dict):
+            fail(path, f"expected object, got {type(data).__name__}")
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in data:
+                fail(path, f"missing required key '{key}'")
+        extra = schema.get("additionalProperties", True)
+        for key, value in data.items():
+            child = f"{path}.{key}" if path else key
+            if key in props:
+                check(props[key], value, child)
+            elif isinstance(extra, dict):
+                check(extra, value, child)
+            elif extra is False:
+                fail(path, f"unexpected key '{key}'")
+    elif t is not None:
+        fail(path, f"schema type '{t}' not supported by this validator")
+
+
+check(schema, data)
+print(
+    "check_stats_schema: OK "
+    f"({len(data['counters'])} counters, {len(data['gauges'])} gauges, "
+    f"{len(data['histograms'])} histograms, {len(data['spans'])} spans)"
+)
+PY
