@@ -30,6 +30,15 @@
 #else
 #define BENCH_HAVE_OBS 0
 #endif
+// Same deal for the certify layer: the baseline worktree predates
+// certify/trace.h, and trace emission may be configured off — in either
+// case the traced bench degrades to the plain shape (ratio reads 1.0).
+#if __has_include("certify/trace.h")
+#include "certify/trace.h"
+#define BENCH_HAVE_TRACE TBC_CERTIFY_TRACE_ON
+#else
+#define BENCH_HAVE_TRACE 0
+#endif
 #include "compiler/ddnnf_compiler.h"
 #include "nnf/nnf.h"
 #include "nnf/queries.h"
@@ -114,6 +123,37 @@ void BenchPsddEval() {
   }
 }
 
+// Certify-overhead pair: the Fig 8 compile workload with and without a
+// derivation-trace sink attached. The traced/plain ratio of the two
+// "after" medians is the price the certify layer charges for a checkable
+// compilation; the certification gate holds it at <= 1.25x.
+void BenchCertifyFig8Plain() {
+  for (size_t n : {16, 20, 24, 28}) {
+    const Cnf cnf = RandomCnf(n, n * 3, 7 + n);
+    NnfManager mgr;
+    DdnnfCompiler compiler;
+    const NnfId root = compiler.Compile(cnf, mgr);
+    g_sink += ModelCount(mgr, root, n).ToDouble();
+  }
+}
+
+void BenchCertifyFig8Traced() {
+#if BENCH_HAVE_TRACE
+  for (size_t n : {16, 20, 24, 28}) {
+    const Cnf cnf = RandomCnf(n, n * 3, 7 + n);
+    NnfManager mgr;
+    DdnnfCompiler compiler;
+    DdnnfTrace trace;
+    compiler.set_trace(&trace);
+    const NnfId root = compiler.Compile(cnf, mgr);
+    g_sink += ModelCount(mgr, root, n).ToDouble();
+    g_sink += static_cast<double>(trace.comps.size());
+  }
+#else
+  BenchCertifyFig8Plain();
+#endif
+}
+
 // Fig 22 shape: hierarchical map compilation (OBDD/SDD apply churn through
 // the unique table and apply cache).
 void BenchHierarchicalMap() {
@@ -177,6 +217,8 @@ Entry Measure(const std::string& name, Fn&& fn) {
 int main(int argc, char** argv) {
   std::vector<Entry> entries;
   entries.push_back(Measure("ddnnf_count_wmc", BenchDdnnfCountWmc));
+  entries.push_back(Measure("certify_fig8_plain", BenchCertifyFig8Plain));
+  entries.push_back(Measure("certify_fig8_traced", BenchCertifyFig8Traced));
   entries.push_back(Measure("psdd_eval", BenchPsddEval));
   entries.push_back(Measure("hierarchical_map", BenchHierarchicalMap));
   entries.push_back(Measure("sdd_apply_wmc", BenchSddApply));

@@ -19,6 +19,13 @@
 // counter. --stats dumps the observability registry (counters, peak-memory
 // gauges, timing histograms, trace spans) as text; --stats=json emits the
 // machine-readable schema pinned by tools/stats_schema.json.
+//
+// --certify verifies the compilation in-process through the independent
+// certificate checker (src/certify/) and exits 4 if the certificate is
+// rejected; --certify-out=OUT additionally writes the certificate text for
+// offline checking with tbc_certify. When the library was built without
+// TBC_CERTIFY_TRACE, certificates carry no derivation trace and the
+// checker falls back to its (slower) semantic entailment proof.
 
 #include <cstdio>
 #include <cstring>
@@ -30,6 +37,9 @@
 #include "base/observability.h"
 #include "base/strings.h"
 #include "base/timer.h"
+#include "certify/certificate.h"
+#include "certify/checker.h"
+#include "certify/emit.h"
 #include "compiler/ddnnf_compiler.h"
 #include "compiler/model_counter.h"
 #include "nnf/io.h"
@@ -86,7 +96,8 @@ int main(int argc, char** argv) {
         "              [--minimize=N] [--samples=N]\n"
         "              [--timeout-ms=N] [--max-nodes=N]\n"
         "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n"
-        "              [--wmc[=W]] [--stats[=json]]\n");
+        "              [--wmc[=W]] [--stats[=json]]\n"
+        "              [--certify] [--certify-out=OUT]\n");
     return 2;
   }
   const std::string text = ReadFile(argv[1]);
@@ -135,10 +146,46 @@ int main(int argc, char** argv) {
     return 3;
   };
 
+  const char* certify_out = Arg(argc, argv, "--certify-out");
+  const bool certifying =
+      Flag(argc, argv, "--certify") || certify_out != nullptr;
+  // Writes and/or checks a freshly built certificate; returns 0, or 4 when
+  // the checker rejects it (distinct from usage/input/refusal codes).
+  auto finish_cert = [&](const Certificate& cert) -> int {
+    const std::string cert_text = WriteCertificate(cert);
+    if (certify_out != nullptr) {
+      WriteFile(certify_out, cert_text);
+      std::printf("c wrote certificate %s\n", certify_out);
+    }
+    if (Flag(argc, argv, "--certify")) {
+      // Check what would be written, not the in-memory struct: the text
+      // round-trip is part of what is being verified.
+      auto reparsed = ParseCertificate(cert_text);
+      if (!reparsed.ok()) {
+        std::fprintf(stderr, "kc_cli: certificate does not reparse: %s\n",
+                     reparsed.status().message().c_str());
+        return 4;
+      }
+      const CertifyResult result = CheckCertificate(*reparsed);
+      if (!result.ok()) {
+        std::fputs(result.report.ToText("certificate").c_str(), stderr);
+        return 4;
+      }
+      std::printf("c certificate: verified (%s, %s models)\n",
+                  CertificateKindName(cert.kind),
+                  result.certified_count.ToString().c_str());
+    }
+    return 0;
+  };
+
   Timer timer;
   if (target == "ddnnf") {
     NnfManager mgr;
     DdnnfCompiler compiler;
+#if TBC_CERTIFY_TRACE_ON
+    DdnnfTrace trace;
+    if (certifying) compiler.set_trace(&trace);
+#endif
     NnfId root = kInvalidNnf;
     if (governed) {
       auto compiled = compiler.CompileBounded(cnf, mgr, guard);
@@ -155,6 +202,15 @@ int main(int argc, char** argv) {
     std::printf("s %s\n", IsSatDnnf(mgr, root) ? "SATISFIABLE" : "UNSATISFIABLE");
     std::printf("c models: %s\n",
                 ModelCount(mgr, root, cnf.num_vars()).ToString().c_str());
+    if (certifying) {
+      const DdnnfTrace* tp = nullptr;
+#if TBC_CERTIFY_TRACE_ON
+      tp = &trace;
+#endif
+      const int rc = finish_cert(BuildDdnnfCertificate(
+          cnf, mgr, root, tp, ModelCount(mgr, root, cnf.num_vars())));
+      if (rc != 0) return rc;
+    }
     if (const char* out = Arg(argc, argv, "--write-nnf")) {
       WriteFile(out, WriteNnf(mgr, root, cnf.num_vars()));
       std::printf("c wrote %s\n", out);
@@ -200,6 +256,13 @@ int main(int argc, char** argv) {
                 mgr.Size(f), mgr.NumDecisionNodes(f), timer.Millis());
     std::printf("s %s\n", f != mgr.False() ? "SATISFIABLE" : "UNSATISFIABLE");
     std::printf("c models: %s\n", mgr.ModelCount(f).ToString().c_str());
+    if (certifying) {
+      NnfManager scratch;
+      const NnfId nroot = mgr.ToNnf(f, scratch);
+      const int rc = finish_cert(BuildSddCertificate(
+          cnf, mgr, f, ModelCount(scratch, nroot, cnf.num_vars())));
+      if (rc != 0) return rc;
+    }
     if (const char* out = Arg(argc, argv, "--write-sdd")) {
       WriteFile(out, WriteSdd(mgr, f));
       std::printf("c wrote %s\n", out);
@@ -214,11 +277,33 @@ int main(int argc, char** argv) {
                   "into the OBDD compiler; running unbounded\n");
     }
     ObddManager mgr(order);
-    const ObddId f = mgr.CompileCnf(cnf);
+    ObddId f = 0;
+#if TBC_CERTIFY_TRACE_ON
+    ObddTrace obdd_trace;
+    f = certifying ? mgr.CompileCnfTraced(cnf, &obdd_trace)
+                   : mgr.CompileCnf(cnf);
+#else
+    f = mgr.CompileCnf(cnf);
+#endif
     std::printf("c compiled OBDD: %zu nodes in %.2f ms\n", mgr.Size(f),
                 timer.Millis());
     std::printf("s %s\n", f != mgr.False() ? "SATISFIABLE" : "UNSATISFIABLE");
     std::printf("c models: %s\n", mgr.ModelCount(f).ToString().c_str());
+    if (certifying) {
+      NnfManager scratch;
+      const NnfId nroot = mgr.ToNnf(f, scratch);
+      const BigUint claimed = ModelCount(scratch, nroot, cnf.num_vars());
+#if TBC_CERTIFY_TRACE_ON
+      const int rc =
+          finish_cert(BuildObddCertificate(cnf, std::move(obdd_trace), claimed));
+#else
+      // No apply trace available: fall back to a semantic (trace-free)
+      // certificate over the Decision-DNNF export.
+      const int rc = finish_cert(
+          BuildDdnnfCertificate(cnf, scratch, nroot, nullptr, claimed));
+#endif
+      if (rc != 0) return rc;
+    }
     if (const char* out = Arg(argc, argv, "--write-nnf")) {
       NnfManager nnf;
       WriteFile(out, WriteNnf(nnf, mgr.ToNnf(f, nnf), cnf.num_vars()));

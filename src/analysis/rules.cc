@@ -37,6 +37,26 @@ constexpr RuleInfo kRules[] = {
      "normalization: local parameters are in [0,1] and sum to one"},
     {rules::kPsddSupport,
      "support: zero parameters shrink the distribution below the base SDD"},
+    {rules::kCertifyParse,
+     "file is not parseable as a tbc-cert compilation certificate"},
+    {rules::kCertifyFormat,
+     "certificate structure: node/variable ids in range, roots consistent"},
+    {rules::kCertifyDecomposable,
+     "certified decomposability: and-gate inputs share no variable"},
+    {rules::kCertifyDeterministic,
+     "certified determinism: or-gate inputs disjoint (UP probe, then DPLL)"},
+    {rules::kCertifyObddOrdered,
+     "certified ordering: OBDD table children descend in the recorded order"},
+    {rules::kCertifyReplay,
+     "trace replay: a recorded derivation step is not RUP-derivable"},
+    {rules::kCertifyCircuitImpliesCnf,
+     "circuit |= CNF: some input clause is not entailed by the circuit"},
+    {rules::kCertifyCnfImpliesCircuit,
+     "CNF |= circuit: the CNF has a model the circuit rejects"},
+    {rules::kCertifyCount,
+     "certified model count disagrees with the compiler's claimed count"},
+    {rules::kCertifyBudget,
+     "verification incomplete: probe/solve budget exhausted"},
 };
 
 }  // namespace

@@ -42,6 +42,18 @@ inline constexpr char kPsddStructure[] = "psdd.structure";
 inline constexpr char kPsddNormalized[] = "psdd.normalized";
 inline constexpr char kPsddSupport[] = "psdd.support";
 
+// --- Certification (certify/checker.h; reported by tbc_certify) ---
+inline constexpr char kCertifyParse[] = "certify.parse";
+inline constexpr char kCertifyFormat[] = "certify.format";
+inline constexpr char kCertifyDecomposable[] = "certify.decomposable";
+inline constexpr char kCertifyDeterministic[] = "certify.deterministic";
+inline constexpr char kCertifyObddOrdered[] = "certify.obdd-ordered";
+inline constexpr char kCertifyReplay[] = "certify.replay";
+inline constexpr char kCertifyCircuitImpliesCnf[] = "certify.circuit-implies-cnf";
+inline constexpr char kCertifyCnfImpliesCircuit[] = "certify.cnf-implies-circuit";
+inline constexpr char kCertifyCount[] = "certify.count";
+inline constexpr char kCertifyBudget[] = "certify.budget";
+
 }  // namespace rules
 
 /// Registry entry: the rule id plus a one-line summary (for `tbc_lint

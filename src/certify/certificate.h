@@ -1,0 +1,61 @@
+#ifndef TBC_CERTIFY_CERTIFICATE_H_
+#define TBC_CERTIFY_CERTIFICATE_H_
+
+#include <string>
+
+#include "base/bigint.h"
+#include "base/result.h"
+#include "certify/trace.h"
+#include "logic/cnf.h"
+#include "nnf/nnf.h"
+
+namespace tbc {
+
+/// Everything one compilation claims, bundled for independent checking:
+/// the input CNF, the emitted circuit, the derivation trace, and the model
+/// count the untrusted counter reported. The checker re-establishes each
+/// claim from the CNF alone; a certificate is evidence, not ground truth.
+///
+/// The circuit travels as an explicit node table whose ids match the trace
+/// records. Parsing rebuilds the table through NnfManager in id order and
+/// rejects any node the manager would simplify differently — so a parsed
+/// certificate's circuit is guaranteed to be in canonical (constant-free,
+/// flattened, sorted, deduplicated) form with ids intact.
+struct Certificate {
+  enum class Kind : uint8_t { kDdnnf, kObdd, kSdd };
+
+  Kind kind = Kind::kDdnnf;
+  Cnf cnf;
+  /// kDdnnf/kSdd: the circuit store; ids referenced by `ddnnf`.
+  NnfManager nnf;
+  NnfId root = kInvalidNnf;
+  /// kDdnnf: the compiler's search-tree trace. Empty comps+top means "no
+  /// trace" (emission disabled); the checker then proves CNF |= circuit
+  /// semantically instead of by replay.
+  DdnnfTrace ddnnf;
+  /// kObdd: node table, order, conjunction steps and clause chain.
+  ObddTrace obdd;
+  /// The model count the producing counter reported (over cnf.num_vars()).
+  BigUint claimed_count;
+
+  Certificate() = default;
+  Certificate(Certificate&&) = default;
+  Certificate& operator=(Certificate&&) = default;
+};
+
+const char* CertificateKindName(Certificate::Kind kind);
+
+/// Versioned text serialization (`tbc-cert 1 <kind>` header).
+std::string WriteCertificate(const Certificate& cert);
+
+/// Parses WriteCertificate output. Structural damage (truncation, dangling
+/// ids, non-canonical nodes) is a line-numbered kInvalidInput status; the
+/// CLI and the checker report it under rule certify.parse.
+Result<Certificate> ParseCertificate(const std::string& text);
+
+/// Decimal string -> BigUint (digits only); false on empty/non-digit input.
+bool ParseBigUint(const std::string& text, BigUint* out);
+
+}  // namespace tbc
+
+#endif  // TBC_CERTIFY_CERTIFICATE_H_

@@ -1,0 +1,60 @@
+#ifndef TBC_CERTIFY_EMIT_H_
+#define TBC_CERTIFY_EMIT_H_
+
+#include "base/bigint.h"
+#include "certify/certificate.h"
+#include "logic/cnf.h"
+#include "nnf/nnf.h"
+#include "obdd/obdd.h"
+#include "sdd/sdd.h"
+
+namespace tbc {
+
+/// Producer-side half of certification: snapshot one finished compilation
+/// into a self-contained Certificate, serialize it, and (in TBC_CERTIFY
+/// builds) feed it straight back through the independent checker. This
+/// library depends on the compiler substrates — it is explicitly *outside*
+/// the trust boundary. Only certify/checker.h + certify/up_engine.h +
+/// analysis/tseitin.h are trusted, and they never link against this.
+
+/// Snapshots `mgr`'s node table (ids preserved) plus the optional search
+/// trace. `claimed_count` is whatever the producing counter reported over
+/// cnf.num_vars() variables. Pass trace == nullptr for traceless
+/// certificates (the checker falls back to its own DPLL for CNF |= circuit).
+Certificate BuildDdnnfCertificate(const Cnf& cnf, const NnfManager& mgr,
+                                  NnfId root, const DdnnfTrace* trace,
+                                  BigUint claimed_count);
+
+/// Wraps a complete OBDD compilation trace (table, order, apply steps and
+/// clause chain — see ObddManager::CompileCnfTraced). Order variables
+/// outside cnf's universe are dropped; the certificate is only meaningful
+/// when every node in the trace decides a CNF variable (fresh-manager
+/// compiles — the checker rejects anything else).
+Certificate BuildObddCertificate(const Cnf& cnf, ObddTrace trace,
+                                 BigUint claimed_count);
+
+/// Exports the SDD as d-DNNF into the certificate's node table. SDD apply
+/// is not trace-instrumented, so the checker proves CNF |= circuit with its
+/// trusted DPLL.
+Certificate BuildSddCertificate(const Cnf& cnf, const SddManager& mgr,
+                                SddId root, BigUint claimed_count);
+
+/// Serializes `cert`, reparses the text, and runs the independent checker
+/// on the parsed copy — the full pipeline a skeptical consumer would run.
+/// Aborts with the diagnostic report on any failure. `site` names the
+/// compile site in the report. Bumps certify.traces_emitted /
+/// certify.trace_bytes and (inside the checker) certify.check_us.
+void CertifyOrDie(const Certificate& cert, const char* site);
+
+/// Convenience hooks for the TBC_CERTIFY build mode: compute the claimed
+/// count with the corresponding untrusted counter, build, and CertifyOrDie.
+void CertifyDdnnfOrDie(const Cnf& cnf, NnfManager& mgr, NnfId root,
+                       const DdnnfTrace* trace, const char* site);
+void CertifyObddOrDie(const Cnf& cnf, ObddManager& mgr, ObddTrace trace,
+                      const char* site);
+void CertifySddOrDie(const Cnf& cnf, SddManager& mgr, SddId root,
+                     const char* site);
+
+}  // namespace tbc
+
+#endif  // TBC_CERTIFY_EMIT_H_

@@ -1,0 +1,207 @@
+#include "certify/up_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace tbc {
+
+UpEngine::UpEngine(size_t num_vars)
+    : num_vars_(num_vars),
+      watches_(2 * num_vars),
+      values_(num_vars, 0),
+      occurs_(num_vars, false) {}
+
+void UpEngine::AddPermanent(Clause clause) {
+  TBC_CHECK_MSG(scopes_.empty(), "permanent clauses only at scope 0");
+  AddClauseInternal(std::move(clause));
+}
+
+void UpEngine::AddScoped(Clause clause) { AddClauseInternal(std::move(clause)); }
+
+void UpEngine::AddClauseInternal(Clause clause) {
+  if (conflict_) return;  // nothing can be usefully added to a conflict
+  for (Lit l : clause) {
+    TBC_CHECK(l.var() < num_vars_);
+    occurs_[l.var()] = true;
+  }
+  if (clause.empty()) {
+    conflict_ = true;
+    root_conflict_ = root_conflict_ || scopes_.empty();
+    return;
+  }
+  if (clause.size() == 1) {
+    // Unit clauses are stored (for scope bookkeeping) but never watched.
+    const Lit l = clause[0];
+    clauses_.push_back(std::move(clause));
+    if (Value(l) == 0) {
+      Enqueue(l);
+      Propagate();
+    } else if (Value(l) < 0) {
+      conflict_ = true;
+      root_conflict_ = root_conflict_ || scopes_.empty();
+    }
+    return;
+  }
+  // Move two non-false literals to the watch positions when possible.
+  size_t found = 0;
+  for (size_t i = 0; i < clause.size() && found < 2; ++i) {
+    if (Value(clause[i]) >= 0) std::swap(clause[found++], clause[i]);
+  }
+  const uint32_t index = static_cast<uint32_t>(clauses_.size());
+  clauses_.push_back(std::move(clause));
+  const Clause& c = clauses_.back();
+  watches_[c[0].code()].push_back(index);
+  watches_[c[1].code()].push_back(index);
+  if (found == 0) {
+    conflict_ = true;
+    root_conflict_ = root_conflict_ || scopes_.empty();
+  } else if (found == 1 && Value(c[0]) == 0) {
+    // Unit under the current trail. (If c[0] is already true the clause is
+    // satisfied for as long as this scope lives, which is as long as the
+    // clause itself lives.)
+    Enqueue(c[0]);
+    Propagate();
+  }
+}
+
+void UpEngine::Push() {
+  scopes_.push_back({static_cast<uint32_t>(trail_.size()),
+                     static_cast<uint32_t>(clauses_.size()), conflict_});
+}
+
+void UpEngine::DetachWatches(uint32_t clause_index) {
+  const Clause& c = clauses_[clause_index];
+  if (c.size() < 2) return;  // units are not watched
+  for (size_t w = 0; w < 2; ++w) {
+    std::vector<uint32_t>& list = watches_[c[w].code()];
+    for (size_t i = list.size(); i-- > 0;) {
+      if (list[i] == clause_index) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void UpEngine::Pop() {
+  TBC_CHECK_MSG(!scopes_.empty(), "Pop without Push");
+  const Scope scope = scopes_.back();
+  scopes_.pop_back();
+  for (uint32_t i = static_cast<uint32_t>(clauses_.size()); i-- > scope.num_clauses;) {
+    DetachWatches(i);
+  }
+  clauses_.resize(scope.num_clauses);
+  for (size_t i = trail_.size(); i-- > scope.trail_size;) {
+    values_[trail_[i].var()] = 0;
+  }
+  trail_.resize(scope.trail_size);
+  qhead_ = scope.trail_size;
+  conflict_ = root_conflict_ || scope.conflict;
+}
+
+bool UpEngine::Assume(Lit l) {
+  if (conflict_) return false;
+  const int v = Value(l);
+  if (v < 0) {
+    conflict_ = true;
+    root_conflict_ = root_conflict_ || scopes_.empty();
+    return false;
+  }
+  if (v == 0) {
+    Enqueue(l);
+    return Propagate();
+  }
+  return true;
+}
+
+bool UpEngine::Propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit l = trail_[qhead_++];
+    const Lit fl = ~l;
+    std::vector<uint32_t>& list = watches_[fl.code()];
+    size_t keep = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      const uint32_t ci = list[i];
+      Clause& c = clauses_[ci];
+      if (c[0] == fl) std::swap(c[0], c[1]);
+      if (Value(c[0]) > 0) {  // satisfied by the other watch
+        list[keep++] = ci;
+        continue;
+      }
+      bool moved = false;
+      for (size_t k = 2; k < c.size(); ++k) {
+        if (Value(c[k]) >= 0) {
+          std::swap(c[1], c[k]);
+          watches_[c[1].code()].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      list[keep++] = ci;  // keep watching fl
+      if (Value(c[0]) < 0) {
+        for (++i; i < list.size(); ++i) list[keep++] = list[i];
+        list.resize(keep);
+        conflict_ = true;
+        root_conflict_ = root_conflict_ || scopes_.empty();
+        return false;
+      }
+      Enqueue(c[0]);
+    }
+    list.resize(keep);
+  }
+  return true;
+}
+
+bool UpEngine::ProbeConflict(const std::vector<Lit>& lits) {
+  if (conflict_) return true;
+  Push();
+  bool refuted = false;
+  for (Lit l : lits) {
+    if (!Assume(l)) {
+      refuted = true;
+      break;
+    }
+  }
+  Pop();
+  return refuted;
+}
+
+Var UpEngine::PickUnassigned() const {
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (occurs_[v] && values_[v] == 0) return v;
+  }
+  return kInvalidVar;
+}
+
+UpEngine::SolveResult UpEngine::Dpll(uint64_t* budget) {
+  const Var v = PickUnassigned();
+  if (v == kInvalidVar) {
+    model_.assign(values_.begin(), values_.end());
+    for (int8_t& val : model_) {
+      if (val == 0) val = -1;  // unconstrained: default false
+    }
+    return SolveResult::kSat;
+  }
+  if (*budget == 0) return SolveResult::kBudget;
+  --*budget;
+  for (const bool phase : {true, false}) {
+    Push();
+    SolveResult r =
+        Assume(Lit(v, phase)) ? Dpll(budget) : SolveResult::kUnsat;
+    Pop();
+    if (r != SolveResult::kUnsat) return r;
+  }
+  return SolveResult::kUnsat;
+}
+
+UpEngine::SolveResult UpEngine::SolveComplete(uint64_t max_decisions) {
+  if (conflict_) return SolveResult::kUnsat;
+  uint64_t budget = max_decisions;
+  return Dpll(&budget);
+}
+
+}  // namespace tbc

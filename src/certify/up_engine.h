@@ -1,0 +1,109 @@
+#ifndef TBC_CERTIFY_UP_ENGINE_H_
+#define TBC_CERTIFY_UP_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/cnf.h"
+#include "logic/lit.h"
+
+namespace tbc {
+
+/// The checker's minimal propositional engine: two-watched-literal unit
+/// propagation with an assumption trail, scope-local clause addition, and a
+/// plain recursive DPLL for the few obligations propagation alone cannot
+/// discharge. This is the trusted core of certification — deliberately
+/// small, with no sharing of compiler code paths (the CDCL solver in
+/// sat/solver.h is one of the things being checked, so it is off limits).
+///
+/// Scope discipline: Push() opens a scope; Assume() and AddScoped() attach
+/// assignments/clauses to the current scope; Pop() retracts both. Permanent
+/// clauses may only be added at scope 0. A conflict derived at scope 0 is
+/// latched forever (the clause database is unsatisfiable); a conflict in an
+/// inner scope clears on Pop.
+///
+/// The RUP pattern: `ProbeConflict({~l1, ..., ~lk})` returns true iff unit
+/// propagation refutes the negated clause, i.e. the clause (l1 ... lk) is
+/// derivable by reverse unit propagation from the current database. The
+/// checker only ever adds a lemma after such a probe succeeds (or while the
+/// database is already conflicting, when anything is entailed), so every
+/// clause in the database is entailed by the permanent clauses by induction.
+class UpEngine {
+ public:
+  explicit UpEngine(size_t num_vars);
+
+  size_t num_vars() const { return num_vars_; }
+
+  /// Adds a clause that survives every Pop. Only legal at scope 0.
+  void AddPermanent(Clause clause);
+  /// Adds a clause retracted when the current scope pops (at scope 0 this
+  /// is permanent). The caller must have justified it — see class comment.
+  void AddScoped(Clause clause);
+
+  void Push();
+  void Pop();
+  size_t depth() const { return scopes_.size(); }
+
+  /// True while the current state is conflicting.
+  bool in_conflict() const { return conflict_; }
+  /// True once a conflict was derived at scope 0 (database unsatisfiable).
+  bool root_conflict() const { return root_conflict_; }
+
+  /// Assigns l at the current scope and propagates to fixpoint. Returns
+  /// false if this (or an earlier unresolved state) is conflicting.
+  bool Assume(Lit l);
+
+  /// RUP probe: true iff assuming all of `lits` propagates to a conflict.
+  /// State is fully restored. A database already in conflict probes true.
+  bool ProbeConflict(const std::vector<Lit>& lits);
+
+  /// -1 false / 0 unassigned / +1 true under the current trail.
+  int Value(Lit l) const {
+    const int8_t v = values_[l.var()];
+    return l.positive() ? v : -v;
+  }
+
+  enum class SolveResult : uint8_t { kSat, kUnsat, kBudget };
+
+  /// Complete DPLL over every variable occurring in the database, starting
+  /// from the current trail. On kSat the model is captured in model()
+  /// (values for all variables; unconstrained ones default to false).
+  /// Decisions beyond `max_decisions` yield kBudget. State is restored.
+  SolveResult SolveComplete(uint64_t max_decisions);
+
+  /// The satisfying assignment found by the last kSat SolveComplete.
+  const std::vector<int8_t>& model() const { return model_; }
+
+ private:
+  struct Scope {
+    uint32_t trail_size = 0;
+    uint32_t num_clauses = 0;
+    bool conflict = false;
+  };
+
+  void Enqueue(Lit l) {
+    values_[l.var()] = l.positive() ? 1 : -1;
+    trail_.push_back(l);
+  }
+  bool Propagate();
+  void AddClauseInternal(Clause clause);
+  void DetachWatches(uint32_t clause_index);
+  SolveResult Dpll(uint64_t* budget);
+  Var PickUnassigned() const;
+
+  size_t num_vars_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<uint32_t>> watches_;  // by Lit::code()
+  std::vector<int8_t> values_;                  // by Var
+  std::vector<bool> occurs_;                    // by Var
+  std::vector<Lit> trail_;
+  size_t qhead_ = 0;
+  std::vector<Scope> scopes_;
+  bool conflict_ = false;
+  bool root_conflict_ = false;
+  std::vector<int8_t> model_;
+};
+
+}  // namespace tbc
+
+#endif  // TBC_CERTIFY_UP_ENGINE_H_

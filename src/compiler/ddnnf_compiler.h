@@ -5,6 +5,7 @@
 
 #include "base/guard.h"
 #include "base/result.h"
+#include "certify/trace.h"
 #include "logic/cnf.h"
 #include "nnf/nnf.h"
 
@@ -54,9 +55,21 @@ class DdnnfCompiler {
 
   const DdnnfStats& stats() const { return stats_; }
 
+#if TBC_CERTIFY_TRACE_ON
+  /// Attaches a derivation-trace sink (borrowed; nullptr detaches). While
+  /// attached, each CompileBounded clears and refills it with the search
+  /// tree — decisions, component splits, BCP conflicts — in the form the
+  /// certificate checker replays (certify/checker.h). Only available when
+  /// the library is built with TBC_CERTIFY_TRACE=ON.
+  void set_trace(DdnnfTrace* trace) { trace_ = trace; }
+#endif
+
  private:
   DdnnfOptions options_;
   DdnnfStats stats_;
+#if TBC_CERTIFY_TRACE_ON
+  DdnnfTrace* trace_ = nullptr;
+#endif
 };
 
 }  // namespace tbc

@@ -6,6 +6,10 @@
 #include "base/hash.h"
 #include "base/observability.h"
 
+#ifdef TBC_CERTIFY
+#include "certify/emit.h"
+#endif
+
 namespace tbc {
 
 namespace {
@@ -100,6 +104,13 @@ ObddId ObddManager::Apply(Op op, ObddId f, ObddId g) {
   const ObddId g1 = lg == top ? nodes_[g].hi : g;
   const ObddId r = MakeNode(v, Apply(op, f0, g0), Apply(op, f1, g1));
   op_cache_.Insert(key, r);
+#if TBC_CERTIFY_TRACE_ON
+  // Record after the recursion so a step's operands always precede it in
+  // the sink (the checker verifies steps in order). Only conjunctions are
+  // certified; CompileCnf builds clause OBDDs literal-by-literal with Or,
+  // and the checker derives those directly from the input clause instead.
+  if (trace_ != nullptr && op == Op::kAnd) trace_->steps.push_back({f, g, r});
+#endif
   return r;
 }
 
@@ -310,17 +321,33 @@ NnfId ObddManager::ToNnf(ObddId f, NnfManager& nnf) const {
   return memo[f];
 }
 
-ObddId ObddManager::CompileCnf(const Cnf& cnf) {
-  // Sort clauses by their deepest variable so conjunction grows locally.
+// Clause indices sorted by their deepest variable so conjunction grows
+// locally. Shared by the plain and traced compile paths so both conjoin in
+// the same order.
+static std::vector<size_t> SortClausesByMaxLevel(const ObddManager& mgr,
+                                                 const Cnf& cnf) {
   std::vector<size_t> idx(cnf.num_clauses());
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
   auto max_level = [&](size_t i) {
     uint32_t m = 0;
-    for (Lit l : cnf.clause(i)) m = std::max(m, LevelOf(l.var()));
+    for (Lit l : cnf.clause(i)) m = std::max(m, mgr.LevelOf(l.var()));
     return m;
   };
   std::sort(idx.begin(), idx.end(),
             [&](size_t a, size_t b) { return max_level(a) < max_level(b); });
+  return idx;
+}
+
+ObddId ObddManager::CompileCnf(const Cnf& cnf) {
+#ifdef TBC_CERTIFY
+  // Certify-every-compile mode: run the traced path and check the result
+  // before handing it back.
+  ObddTrace trace;
+  const ObddId root = CompileCnfTraced(cnf, &trace);
+  CertifyObddOrDie(cnf, *this, std::move(trace), "ObddManager::CompileCnf");
+  return root;
+#else
+  const std::vector<size_t> idx = SortClausesByMaxLevel(*this, cnf);
   ObddId acc = True();
   for (size_t i : idx) {
     ObddId clause = False();
@@ -329,7 +356,34 @@ ObddId ObddManager::CompileCnf(const Cnf& cnf) {
     if (acc == False()) break;
   }
   return acc;
+#endif
 }
+
+#if TBC_CERTIFY_TRACE_ON
+ObddId ObddManager::CompileCnfTraced(const Cnf& cnf, ObddTrace* trace) {
+  ObddTraceSink sink;
+  ObddTraceSink* const saved = trace_;
+  set_trace(&sink);
+  const std::vector<size_t> idx = SortClausesByMaxLevel(*this, cnf);
+  ObddId acc = True();
+  for (size_t i : idx) {
+    ObddId clause = False();
+    for (Lit l : cnf.clause(i)) clause = Or(clause, LiteralNode(l));
+    acc = And(acc, clause);
+    trace->chain.push_back({static_cast<uint32_t>(i), clause, acc});
+    if (acc == False()) break;
+  }
+  set_trace(saved);
+  trace->order = order_;
+  trace->nodes.resize(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    trace->nodes[n] = {nodes_[n].var, nodes_[n].lo, nodes_[n].hi};
+  }
+  trace->steps = std::move(sink.steps);
+  trace->root = acc;
+  return acc;
+}
+#endif
 
 ObddId ObddManager::CompileFormula(const FormulaStore& store, FormulaId f) {
   FlatMap<FormulaId, ObddId> memo;

@@ -9,6 +9,7 @@
 #include "base/bigint.h"
 #include "base/flat_table.h"
 #include "base/hash.h"
+#include "certify/trace.h"
 #include "logic/cnf.h"
 #include "logic/formula.h"
 #include "logic/lit.h"
@@ -101,6 +102,22 @@ class ObddManager {
   /// True iff f is monotone (non-decreasing) in variable v: f|¬v ⇒ f|v.
   bool IsMonotoneIn(ObddId f, Var v);
 
+#if TBC_CERTIFY_TRACE_ON
+  /// Attaches an apply-step sink (borrowed; nullptr detaches). While
+  /// attached, every conjunction computed by Apply is recorded. Attaching
+  /// clears the op cache, so conjunctions answered from the cache always
+  /// have a recorded step behind them.
+  void set_trace(ObddTraceSink* sink) {
+    op_cache_.Clear();
+    trace_ = sink;
+  }
+
+  /// CompileCnf that also fills `trace` with everything the certificate
+  /// checker needs: order, node-table snapshot, apply steps, and the
+  /// clause-conjunction chain ending at the returned root.
+  ObddId CompileCnfTraced(const Cnf& cnf, ObddTrace* trace);
+#endif
+
  private:
   struct Node {
     Var var;
@@ -130,6 +147,9 @@ class ObddManager {
   std::vector<Node> nodes_;
   UniqueTable unique_;
   LossyCache<OpKey, ObddId> op_cache_;
+#if TBC_CERTIFY_TRACE_ON
+  ObddTraceSink* trace_ = nullptr;
+#endif
 };
 
 }  // namespace tbc

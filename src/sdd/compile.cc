@@ -8,6 +8,9 @@
 #ifdef TBC_VALIDATE
 #include "analysis/validate.h"
 #endif
+#ifdef TBC_CERTIFY
+#include "certify/emit.h"
+#endif
 
 namespace tbc {
 
@@ -44,6 +47,13 @@ SddId CompileCnf(SddManager& mgr, const Cnf& cnf) {
 #ifdef TBC_VALIDATE
   if (mgr.guard() == nullptr) ValidateSddOrDie(mgr, acc, "CompileCnf");
 #endif
+#ifdef TBC_CERTIFY
+  // SDD certificates are semantic (no derivation trace): the apply engine
+  // has no clausal replay, so the checker re-derives both entailment
+  // directions over the NNF export. Skipped under a guard — the bounded
+  // wrapper certifies after the guard is detached.
+  if (mgr.guard() == nullptr) CertifySddOrDie(cnf, mgr, acc, "CompileCnf");
+#endif
   return acc;
 }
 
@@ -71,6 +81,9 @@ Result<SddId> CompileCnfBounded(SddManager& mgr, const Cnf& cnf, Guard& guard) {
   }
 #ifdef TBC_VALIDATE
   ValidateSddOrDie(mgr, root, "CompileCnfBounded");
+#endif
+#ifdef TBC_CERTIFY
+  CertifySddOrDie(cnf, mgr, root, "CompileCnfBounded");
 #endif
   return root;
 }

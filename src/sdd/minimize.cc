@@ -198,6 +198,14 @@ MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
     SddManager check(result.vtree);
     ValidateSddOrDie(check, CompileCnf(check, cnf), "MinimizeVtree");
   }
+#elif defined(TBC_CERTIFY)
+  // Certify the winning vtree's circuit. (With TBC_VALIDATE on, the
+  // recompile above already certifies through CompileCnf's guard-free
+  // hook, so this block only exists when that one is compiled out.)
+  if (!result.interrupted) {
+    SddManager check(result.vtree);
+    CompileCnf(check, cnf);
+  }
 #endif
   return result;
 }

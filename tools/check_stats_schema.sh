@@ -118,3 +118,27 @@ print(
     f"{len(data['histograms'])} histograms, {len(data['spans'])} spans)"
 )
 PY
+
+# Second pass: a --certify run must surface the certification metrics
+# (certify.checks / traces_emitted / trace_bytes counters and the
+# certify.check_us histogram) and still validate against the schema.
+CERT_OUT="$(mktemp)"
+trap 'cleanup; rm -f "$CERT_OUT"' EXIT
+"$BIN" "$CNF" --certify --stats=json > "$CERT_OUT"
+
+python3 - "$SCHEMA" "$CERT_OUT" <<'PY'
+import json
+import sys
+
+lines = open(sys.argv[2]).read().splitlines()
+start = next(i for i, l in enumerate(lines) if l.strip() == "{")
+data = json.loads("\n".join(lines[start:]))
+
+counters = data["counters"]
+for key in ("certify.checks", "certify.traces_emitted", "certify.trace_bytes"):
+    if counters.get(key, 0) < 1:
+        sys.exit(f"check_stats_schema: --certify run missing counter {key}")
+if "certify.check_us" not in data["histograms"]:
+    sys.exit("check_stats_schema: --certify run missing certify.check_us histogram")
+print("check_stats_schema: OK (certify metrics present)")
+PY
