@@ -14,6 +14,10 @@
 // guard; if the budget is exhausted the tool prints the typed refusal and
 // exits with code 3 (distinct from usage errors and bad input).
 //
+// Exit codes (unified across kc_cli / tbc_lint / tbc_certify, see the
+// README table): 0 = ok, 1 = usage or input/IO error, 3 = typed resource
+// refusal, 4 = certificate rejected by the checker.
+//
 // --wmc runs an exact weighted model count after compilation (every
 // literal weighted W, default 1.0) and reports the log-space rescue
 // counter. --stats dumps the observability registry (counters, peak-memory
@@ -27,6 +31,7 @@
 // TBC_CERTIFY_TRACE, certificates carry no derivation trace and the
 // checker falls back to its (slower) semantic entailment proof.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -88,6 +93,9 @@ bool Flag(int argc, char** argv, const char* name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Piping output into a closed reader (e.g. `kc_cli ... | head`) must
+  // surface as a short write, not a SIGPIPE abort.
+  std::signal(SIGPIPE, SIG_IGN);
   using namespace tbc;
   if (argc < 2) {
     std::printf(
@@ -98,7 +106,7 @@ int main(int argc, char** argv) {
         "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n"
         "              [--wmc[=W]] [--stats[=json]]\n"
         "              [--certify] [--certify-out=OUT]\n");
-    return 2;
+    return 1;
   }
   const std::string text = ReadFile(argv[1]);
   if (text.empty()) {
@@ -127,19 +135,19 @@ int main(int argc, char** argv) {
   if (const char* t = Arg(argc, argv, "--timeout-ms")) {
     if (!ParseDouble(t, &budget.timeout_ms) || budget.timeout_ms < 0.0) {
       std::fprintf(stderr, "kc_cli: --timeout-ms needs a number, got '%s'\n", t);
-      return 2;
+      return 1;
     }
   }
   if (const char* n = Arg(argc, argv, "--max-nodes")) {
     if (!ParseUint64(n, &budget.max_nodes)) {
       std::fprintf(stderr, "kc_cli: --max-nodes needs an integer, got '%s'\n", n);
-      return 2;
+      return 1;
     }
   }
   const bool governed = budget.timeout_ms > 0.0 || budget.max_nodes > 0;
   Guard guard(budget);
   // Typed refusal (deadline/budget): report and exit 3 so scripts can tell
-  // "ran out of resources" from "bad input" (1) and "bad usage" (2).
+  // "ran out of resources" from "bad input / bad usage" (1).
   auto refuse = [](const Status& s) -> int {
     std::fprintf(stderr, "kc_cli: refused [%s]: %s\n", StatusCodeName(s.code()),
                  s.message().c_str());
@@ -311,7 +319,7 @@ int main(int argc, char** argv) {
     }
   } else {
     std::fprintf(stderr, "kc_cli: unknown target %s\n", target.c_str());
-    return 2;
+    return 1;
   }
 
   if (Flag(argc, argv, "--wmc") || Arg(argc, argv, "--wmc") != nullptr) {
@@ -319,7 +327,7 @@ int main(int argc, char** argv) {
     if (const char* ws = Arg(argc, argv, "--wmc")) {
       if (!ParseDouble(ws, &lit_weight)) {
         std::fprintf(stderr, "kc_cli: --wmc needs a number, got '%s'\n", ws);
-        return 2;
+        return 1;
       }
     }
     WeightMap weights(cnf.num_vars());
@@ -343,7 +351,7 @@ int main(int argc, char** argv) {
   if (const char* mode = Arg(argc, argv, "--stats")) {
     if (std::strcmp(mode, "json") != 0) {
       std::fprintf(stderr, "kc_cli: unknown stats mode '%s'\n", mode);
-      return 2;
+      return 1;
     }
     std::fputs(Observability::Global().RenderJson().c_str(), stdout);
   } else if (Flag(argc, argv, "--stats")) {

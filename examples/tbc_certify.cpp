@@ -18,6 +18,7 @@
 // Exit codes: 0 = every certificate verified, 1 = usage or I/O error,
 // 2 = at least one certificate rejected.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -85,6 +86,9 @@ void ListRules() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Piping output into a closed reader (e.g. `tbc_certify ... | head`) must
+  // surface as a short write, not a SIGPIPE abort.
+  std::signal(SIGPIPE, SIG_IGN);
   using namespace tbc;
 
   if (Flag(argc, argv, "--list-rules")) {

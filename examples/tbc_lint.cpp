@@ -24,6 +24,7 @@
 // Exit codes: 0 = all files clean (warnings allowed), 1 = usage or I/O
 // error, 2 = at least one error-severity violation.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -101,6 +102,9 @@ size_t NnfHeaderVars(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Piping output into a closed reader (e.g. `tbc_lint ... | head`) must
+  // surface as a short write, not a SIGPIPE abort.
+  std::signal(SIGPIPE, SIG_IGN);
   using namespace tbc;
 
   if (Flag(argc, argv, "--list-rules")) {

@@ -1,0 +1,100 @@
+#include "base/fault.h"
+
+#include <cstring>
+
+#include "base/check.h"
+#include "base/hash.h"
+
+namespace tbc::fault {
+
+std::vector<std::string_view> KnownPoints() {
+  std::vector<std::string_view> out;
+  out.reserve(kNumPoints);
+  for (const char* name : kPointNames) out.emplace_back(name);
+  return out;
+}
+
+FaultPlan::FaultPlan(uint64_t seed, double probability) : seed_(seed) {
+  if (probability < 0.0) probability = 0.0;
+  if (probability > 1.0) probability = 1.0;
+  // Map probability onto the full u64 range; compare against a mixed hash.
+  const uint64_t threshold =
+      probability >= 1.0
+          ? ~uint64_t{0}
+          : static_cast<uint64_t>(probability * 18446744073709551615.0);
+  for (PointState& p : points_) p.threshold = threshold;
+}
+
+size_t FaultPlan::IndexOf(std::string_view point) {
+  for (size_t i = 0; i < kNumPoints; ++i) {
+    if (point == kPointNames[i]) return i;
+  }
+  TBC_CHECK_MSG(false, "fault point not declared in kPointNames");
+  return 0;
+}
+
+void FaultPlan::SetProbability(std::string_view point, double p) {
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  PointState& st = points_[IndexOf(point)];
+  st.fire_on_hit = 0;
+  st.threshold = p >= 1.0 ? ~uint64_t{0}
+                          : static_cast<uint64_t>(p * 18446744073709551615.0);
+}
+
+void FaultPlan::SetFireOnHit(std::string_view point, uint64_t nth) {
+  points_[IndexOf(point)].fire_on_hit = nth;
+}
+
+bool FaultPlan::ShouldFire(size_t point_index) {
+  PointState& st = points_[point_index];
+  const uint64_t hit = st.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire;
+  if (st.fire_on_hit != 0) {
+    fire = hit == st.fire_on_hit;
+  } else if (st.threshold == 0) {
+    fire = false;
+  } else {
+    // Pure function of (seed, point, hit): replayable from the seed.
+    const uint64_t mix =
+        HashU64(seed_ ^ HashU64(point_index * 0x9e3779b97f4a7c15ull + hit));
+    fire = mix < st.threshold;
+  }
+  if (fire) fired_.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+namespace internal {
+
+std::atomic<FaultPlan*> g_plan{nullptr};
+
+bool FireAt(std::string_view name, std::atomic<size_t>* cached_index) {
+  size_t index = cached_index->load(std::memory_order_relaxed);
+  if (index == ~size_t{0}) {
+    // First execution of this site: resolve (and validate) the name once.
+    // Concurrent first hits resolve to the same value.
+    for (size_t i = 0; i < kNumPoints; ++i) {
+      if (name == kPointNames[i]) {
+        index = i;
+        break;
+      }
+    }
+    TBC_CHECK_MSG(index != ~size_t{0},
+                  "TBC_FAULT_POINT name not declared in fault.h kPointNames");
+    cached_index->store(index, std::memory_order_relaxed);
+  }
+  FaultPlan* plan = g_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) return false;
+  return plan->ShouldFire(index);
+}
+
+}  // namespace internal
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan* plan)
+    : previous_(internal::g_plan.exchange(plan, std::memory_order_acq_rel)) {}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  internal::g_plan.store(previous_, std::memory_order_release);
+}
+
+}  // namespace tbc::fault

@@ -20,6 +20,29 @@ inline uint64_t HashU64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// 128-bit content hash of a byte string (FNV-1a with two independent
+/// offset bases, each splitmix-finalized). Used as the artifact-cache key
+/// for compiled circuits: identical CNF text ⇒ identical key. Cache users
+/// still compare the full text on a hit — the hash narrows, the bytes
+/// decide — so a collision can never alias two different CNFs.
+struct ContentHash {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const ContentHash& o) const { return lo == o.lo && hi == o.hi; }
+  bool operator!=(const ContentHash& o) const { return !(*this == o); }
+};
+
+inline ContentHash HashBytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t a = 0xcbf29ce484222325ull;   // FNV-1a offset basis
+  uint64_t b = 0x9ae16a3b2f90404full;   // independent basis
+  for (size_t i = 0; i < n; ++i) {
+    a = (a ^ p[i]) * 0x100000001b3ull;  // FNV prime
+    b = (b ^ p[i]) * 0x00000100000001b3ull ^ (b >> 47);
+  }
+  return ContentHash{HashU64(a), HashU64(b ^ n)};
+}
+
 }  // namespace tbc
 
 #endif  // TBC_BASE_HASH_H_

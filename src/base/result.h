@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "base/check.h"
@@ -21,6 +22,8 @@ enum class StatusCode : uint8_t {
   kDeadlineExceeded,   // wall-clock budget exhausted
   kBudgetExceeded,     // node/memory/conflict budget exhausted
   kCancelled,          // cooperative cancellation requested
+  kOverloaded,         // server admission control shed the request
+  kUnavailable,        // server draining / connection lost; retryable
   kInternal,           // everything else
 };
 
@@ -32,9 +35,38 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "kDeadlineExceeded";
     case StatusCode::kBudgetExceeded: return "kBudgetExceeded";
     case StatusCode::kCancelled: return "kCancelled";
+    case StatusCode::kOverloaded: return "kOverloaded";
+    case StatusCode::kUnavailable: return "kUnavailable";
     case StatusCode::kInternal: return "kInternal";
   }
   return "kInternal";
+}
+
+/// Parses a StatusCodeName back to its code (wire protocol; strict).
+/// Returns false on an unknown name.
+inline bool StatusCodeFromName(std::string_view name, StatusCode* out) {
+  for (StatusCode c : {StatusCode::kOk, StatusCode::kInvalidInput,
+                       StatusCode::kDeadlineExceeded, StatusCode::kBudgetExceeded,
+                       StatusCode::kCancelled, StatusCode::kOverloaded,
+                       StatusCode::kUnavailable, StatusCode::kInternal}) {
+    if (name == StatusCodeName(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True for the resource-refusal codes (deadline/budget/cancelled, plus
+/// the serving-layer load-shed and drain refusals): the operation gave up
+/// under its budget or the service shed it, and may succeed when retried
+/// with more resources / less load.
+inline bool IsRefusal(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kBudgetExceeded ||
+         code == StatusCode::kCancelled ||
+         code == StatusCode::kOverloaded ||
+         code == StatusCode::kUnavailable;
 }
 
 /// Lightweight status type for fallible operations (parsing, file IO,
@@ -71,15 +103,17 @@ class Status {
   static Status Cancelled(std::string message) {
     return Error(StatusCode::kCancelled, std::move(message));
   }
+  static Status Overloaded(std::string message) {
+    return Error(StatusCode::kOverloaded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Error(StatusCode::kUnavailable, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
-  /// True for the resource-refusal codes (deadline/budget/cancelled).
-  bool IsRefusal() const {
-    return code_ == StatusCode::kDeadlineExceeded ||
-           code_ == StatusCode::kBudgetExceeded ||
-           code_ == StatusCode::kCancelled;
-  }
+  /// True for the resource-refusal codes (see tbc::IsRefusal above).
+  bool IsRefusal() const { return ::tbc::IsRefusal(code_); }
   /// Error message; empty for OK statuses.
   const std::string& message() const { return message_; }
 

@@ -1,0 +1,165 @@
+#include "serve/artifact_cache.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "base/fault.h"
+#include "base/hash.h"
+#include "base/observability.h"
+#include "compiler/ddnnf_compiler.h"
+#include "logic/cnf.h"
+#include "nnf/properties.h"
+#include "nnf/queries.h"
+
+namespace tbc::serve {
+
+namespace {
+
+std::string KeyOf(const std::string& cnf_text) {
+  const ContentHash h = HashBytes(cnf_text.data(), cnf_text.size());
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64, h.hi, h.lo);
+  return buf;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Artifact>> ArtifactCache::Build(
+    const std::string& cnf_text, Guard& guard) {
+  TBC_SPAN("serve.compile");
+  if (TBC_FAULT_POINT("serve.request.alloc")) {
+    TBC_COUNT("serve.faults.injected");
+    return Status::Error(StatusCode::kInternal,
+                         "injected allocation failure while staging compile");
+  }
+  auto parsed = Cnf::ParseDimacs(cnf_text);
+  if (!parsed.ok()) return parsed.status();
+  const Cnf cnf = std::move(parsed).value();
+
+  auto artifact = std::make_shared<Artifact>();
+  artifact->cnf_text = cnf_text;
+  artifact->key = KeyOf(cnf_text);
+  artifact->mgr = std::make_unique<NnfManager>();
+  artifact->num_vars = cnf.num_vars();
+
+  if (TBC_FAULT_POINT("serve.compile.cancel")) {
+    TBC_COUNT("serve.faults.injected");
+    guard.Cancel();
+  }
+  DdnnfCompiler compiler;
+  auto compiled = compiler.CompileBounded(cnf, *artifact->mgr, guard);
+  if (!compiled.ok()) return compiled.status();
+  artifact->root = *compiled;
+
+  // Warm every lazily-written manager cache single-threaded, so queries on
+  // the shared artifact are pure reads (see Artifact doc comment).
+  NnfManager& mgr = *artifact->mgr;
+  mgr.VarSet(artifact->root);
+  mgr.ScheduleCached(artifact->root);
+  auto count =
+      ModelCountBounded(mgr, artifact->root, artifact->num_vars, guard);
+  if (!count.ok()) return count.status();
+  artifact->count = std::move(count).value();
+  artifact->smooth_root = Smooth(mgr, artifact->root, artifact->num_vars);
+  mgr.VarSet(artifact->smooth_root);
+  artifact->nodes = mgr.NumNodesBelow(artifact->root);
+  artifact->edges = mgr.CircuitSize(artifact->root);
+  return std::shared_ptr<const Artifact>(std::move(artifact));
+}
+
+Result<std::shared_ptr<const Artifact>> ArtifactCache::GetOrCompile(
+    const std::string& cnf_text, Guard& guard, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  const std::string key = KeyOf(cnf_text);
+
+  std::shared_ptr<Slot> slot;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      slot = std::make_shared<Slot>();
+      slots_.emplace(key, slot);
+      owner = true;
+      TBC_COUNT("serve.cache.misses");
+    } else {
+      slot = it->second;
+      if (!slot->done) TBC_COUNT("serve.cache.inflight_joins");
+    }
+    if (!owner) {
+      // Join the in-flight compile (or read the finished slot), bounded by
+      // this request's own deadline/cancellation.
+      while (!slot->done) {
+        const auto tick = std::chrono::milliseconds(20);
+        done_cv_.wait_for(lock, tick);
+        Status s = guard.Check();
+        if (!s.ok()) return s;
+      }
+      if (slot->failed) return slot->error;
+      if (slot->artifact->cnf_text != cnf_text) {
+        // 128-bit hash collision: two different CNFs, one key. Degrade to
+        // an uncached compile — never alias.
+        TBC_COUNT("serve.cache.collisions");
+        lock.unlock();
+        return Build(cnf_text, guard);
+      }
+      slot->last_use = ++use_clock_;
+      TBC_COUNT("serve.cache.hits");
+      if (cache_hit != nullptr) *cache_hit = true;
+      return slot->artifact;
+    }
+  }
+
+  // This thread owns the compile; no lock held while it runs.
+  auto built = Build(cnf_text, guard);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    slot->done = true;
+    if (!built.ok()) {
+      slot->failed = true;
+      slot->error = built.status();
+      // Not cached: the next request for this key retries the compile.
+      slots_.erase(key);
+    } else {
+      slot->artifact = *built;
+      slot->last_use = ++use_clock_;
+      EvictIfOverCapacityLocked();
+      if (TBC_FAULT_POINT("serve.cache.evict")) {
+        TBC_COUNT("serve.faults.injected");
+        TBC_COUNT("serve.cache.evictions");
+        slots_.erase(key);  // in-flight holders keep their shared_ptr
+      }
+    }
+  }
+  done_cv_.notify_all();
+  return built;
+}
+
+size_t ArtifactCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, slot] : slots_) {
+    if (slot->done && !slot->failed) ++n;
+  }
+  return n;
+}
+
+void ArtifactCache::EvictIfOverCapacityLocked() {
+  while (true) {
+    size_t done_count = 0;
+    auto lru = slots_.end();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (!it->second->done || it->second->failed) continue;
+      ++done_count;
+      if (lru == slots_.end() || it->second->last_use < lru->second->last_use) {
+        lru = it;
+      }
+    }
+    if (done_count <= capacity_ || lru == slots_.end()) return;
+    TBC_COUNT("serve.cache.evictions");
+    slots_.erase(lru);
+  }
+}
+
+}  // namespace tbc::serve

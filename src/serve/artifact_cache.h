@@ -1,0 +1,93 @@
+#ifndef TBC_SERVE_ARTIFACT_CACHE_H_
+#define TBC_SERVE_ARTIFACT_CACHE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "base/bigint.h"
+#include "base/guard.h"
+#include "base/result.h"
+#include "nnf/nnf.h"
+
+namespace tbc::serve {
+
+/// An immutable compiled circuit shared by concurrent queries.
+///
+/// Built once (single-threaded) by ArtifactCache::GetOrCompile, then only
+/// read. Build() warms every lazily-populated manager cache — varsets, the
+/// level schedule, the model-count memo, and the smoothed root used by the
+/// marginals query — so the "warm single-threaded before sharing" contract
+/// of NnfManager holds and concurrent WMC/MAR/MPE queries on one artifact
+/// are data-race-free (asserted by the serve soak test under TSan).
+struct Artifact {
+  std::string cnf_text;   // exact bytes the key was hashed from
+  std::string key;        // 32-hex content hash
+  std::unique_ptr<NnfManager> mgr;
+  NnfId root = kInvalidNnf;
+  NnfId smooth_root = kInvalidNnf;  // pre-smoothed for MarginalWmc
+  size_t num_vars = 0;
+  BigUint count;          // exact model count (warms the count memo)
+  size_t nodes = 0;       // circuit nodes below root
+  size_t edges = 0;       // circuit edges below root
+};
+
+/// Content-hash-keyed cache of compiled artifacts: the "compile once,
+/// answer unbounded linear-time queries" economics of the paper, behind a
+/// server (ROADMAP "KC-as-a-service").
+///
+/// - Keys are the 128-bit hash of the raw CNF bytes; on a hit the full
+///   text is compared, so a hash collision degrades to an uncached compile
+///   instead of aliasing two CNFs.
+/// - Single-flight: concurrent requests for one key join the in-flight
+///   compile instead of compiling twice; joiners wait under their own
+///   Guard deadline. A failed compile is not cached — joiners receive the
+///   failure, the next request retries.
+/// - Bounded: at most `capacity` artifacts, LRU-evicted. Evicted artifacts
+///   stay alive for queries already holding the shared_ptr.
+/// - The fault point "serve.cache.evict" force-evicts an artifact right
+///   after insertion, exercising the eviction race deliberately.
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The artifact for `cnf_text`, compiling under `guard` on a miss.
+  /// `cache_hit` (optional) reports whether a compiled artifact was reused
+  /// (a single-flight join counts as a hit). Typed errors: kInvalidInput
+  /// (CNF rejected), the guard's refusal codes, kInternal (injected
+  /// allocation failure).
+  Result<std::shared_ptr<const Artifact>> GetOrCompile(
+      const std::string& cnf_text, Guard& guard, bool* cache_hit);
+
+  /// Number of cached (completed) artifacts.
+  size_t size() const;
+
+  /// Builds an artifact without touching the cache (also the compile step
+  /// of GetOrCompile). Exposed for tests and the collision fallback.
+  static Result<std::shared_ptr<const Artifact>> Build(
+      const std::string& cnf_text, Guard& guard);
+
+ private:
+  struct Slot {
+    std::shared_ptr<const Artifact> artifact;  // set when done && !failed
+    Status error;                              // set when done && failed
+    bool done = false;
+    bool failed = false;
+    uint64_t last_use = 0;
+  };
+
+  void EvictIfOverCapacityLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;  // broadcast when any compile finishes
+  uint64_t use_clock_ = 0;
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+};
+
+}  // namespace tbc::serve
+
+#endif  // TBC_SERVE_ARTIFACT_CACHE_H_

@@ -1,0 +1,243 @@
+#include "serve/wire.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "base/observability.h"
+#include "base/strings.h"
+#include "serve/protocol.h"
+
+namespace tbc::serve {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+/// Polls fd for readability. 0 = ready, 1 = timeout; kUnavailable on error.
+Result<int> PollReadable(int fd, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = POLLIN;
+  p.revents = 0;
+  while (true) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return 0;
+    if (rc == 0) return 1;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Result<Address> ParseAddress(std::string_view spec) {
+  Address addr;
+  if (spec.rfind("unix:", 0) == 0) {
+    addr.uds_path = std::string(spec.substr(5));
+    if (addr.uds_path.empty()) {
+      return Status::InvalidInput("unix: address needs a path");
+    }
+    if (addr.uds_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return Status::InvalidInput("unix socket path too long");
+    }
+    return addr;
+  }
+  std::string_view rest = spec;
+  if (rest.rfind("tcp:", 0) == 0) rest.remove_prefix(4);
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidInput("address must be unix:PATH or [tcp:]HOST:PORT");
+  }
+  addr.tcp_host = std::string(rest.substr(0, colon));
+  uint64_t port = 0;
+  if (!ParseUint64(rest.substr(colon + 1), &port) || port > 65535) {
+    return Status::InvalidInput("bad port in address '" + std::string(spec) + "'");
+  }
+  addr.tcp_port = static_cast<int>(port);
+  return addr;
+}
+
+Result<Socket> Connect(const Address& addr) {
+  if (addr.is_unix()) {
+    Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!s.valid()) return Errno("socket");
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.uds_path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      return Errno("connect");
+    }
+    return s;
+  }
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(addr.tcp_port));
+  const std::string host = addr.tcp_host.empty() ? "127.0.0.1" : addr.tcp_host;
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    return Status::InvalidInput("bad IPv4 host '" + host + "'");
+  }
+  if (::connect(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    return Errno("connect");
+  }
+  return s;
+}
+
+Result<Socket> Listen(const Address& addr, int backlog, int* bound_port) {
+  if (addr.is_unix()) {
+    Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!s.valid()) return Errno("socket");
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.uds_path.c_str(), sizeof(sa.sun_path) - 1);
+    ::unlink(addr.uds_path.c_str());
+    if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      return Errno("bind");
+    }
+    if (::listen(s.fd(), backlog) != 0) return Errno("listen");
+    if (bound_port != nullptr) *bound_port = -1;
+    return s;
+  }
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(addr.tcp_port));
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(s.fd(), backlog) != 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return s;
+}
+
+Result<Socket> Accept(const Socket& listener, int poll_timeout_ms) {
+  auto ready = PollReadable(listener.fd(), poll_timeout_ms);
+  if (!ready.ok()) return ready.status();
+  if (*ready == 1) return Status::DeadlineExceeded("accept poll timeout");
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  return Socket(fd);
+}
+
+Status SendRaw(const Socket& s, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(s.fd(), bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  TBC_COUNT_N("serve.bytes.written", bytes.size());
+  return Status::Ok();
+}
+
+Status SendFrame(const Socket& s, std::string_view payload) {
+  return SendRaw(s, EncodeFrame(payload));
+}
+
+namespace {
+
+/// Reads exactly n bytes, polling with `io_timeout_ms` between chunks.
+/// `any_read` reports whether at least one byte arrived (distinguishes a
+/// clean close from a truncated frame).
+Status RecvExact(const Socket& s, unsigned char* buf, size_t n,
+                 int io_timeout_ms, bool* any_read) {
+  size_t got = 0;
+  while (got < n) {
+    auto ready = PollReadable(s.fd(), io_timeout_ms <= 0 ? -1 : io_timeout_ms);
+    if (!ready.ok()) return ready.status();
+    if (*ready == 1) {
+      return Status::DeadlineExceeded("timed out waiting for frame bytes");
+    }
+    const ssize_t r = ::recv(s.fd(), buf + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0 && !*any_read) {
+        return Status::Unavailable("connection closed");
+      }
+      return Status::InvalidInput("truncated frame (peer closed mid-frame)");
+    }
+    got += static_cast<size_t>(r);
+    *any_read = true;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RecvFrame(const Socket& s, size_t max_frame_bytes, int idle_timeout_ms,
+                 int io_timeout_ms, std::string* payload) {
+  unsigned char header[kFrameHeaderBytes];
+  bool any_read = false;
+  // The wait for the first byte uses the idle timeout (a connection is
+  // allowed to sit quietly between requests); once bytes flow, the
+  // tighter io timeout bounds a slow-loris peer.
+  {
+    auto ready = PollReadable(s.fd(), idle_timeout_ms <= 0 ? -1 : idle_timeout_ms);
+    if (!ready.ok()) return ready.status();
+    if (*ready == 1) return Status::DeadlineExceeded("idle timeout");
+  }
+  Status st = RecvExact(s, header, sizeof(header), io_timeout_ms, &any_read);
+  if (!st.ok()) return st;
+  size_t payload_len = 0;
+  TBC_RETURN_IF_ERROR(DecodeFrameHeader(header, max_frame_bytes, &payload_len));
+  payload->resize(payload_len);
+  if (payload_len > 0) {
+    st = RecvExact(s, reinterpret_cast<unsigned char*>(payload->data()),
+                   payload_len, io_timeout_ms, &any_read);
+    if (!st.ok()) return st;
+  }
+  TBC_COUNT_N("serve.bytes.read", kFrameHeaderBytes + payload_len);
+  return Status::Ok();
+}
+
+}  // namespace tbc::serve

@@ -1,0 +1,86 @@
+#ifndef TBC_SERVE_WIRE_H_
+#define TBC_SERVE_WIRE_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+
+namespace tbc::serve {
+
+/// Thin POSIX socket layer under the serve protocol: RAII fds, connect /
+/// listen over unix-domain and TCP sockets, and length-prefixed frame
+/// send/receive with short-read/short-write loops.
+///
+/// Failure mapping (all typed, never fatal):
+///   - kUnavailable      peer closed cleanly between frames, connection
+///                       reset, or connect refused — retryable
+///   - kInvalidInput     bad magic, oversized frame, or EOF mid-frame
+///                       (truncated) — the stream cannot be trusted further
+///   - kDeadlineExceeded poll timeout while waiting for frame bytes
+///
+/// Writes use MSG_NOSIGNAL, so a broken pipe surfaces as a typed
+/// kUnavailable instead of SIGPIPE killing the process.
+
+/// Move-only owning fd. Invalid when fd() < 0.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// Releases ownership without closing.
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A parsed server address: exactly one of uds_path / tcp is set.
+struct Address {
+  std::string uds_path;       // non-empty for unix-domain
+  std::string tcp_host;       // for tcp; empty host = 127.0.0.1
+  int tcp_port = -1;          // >= 0 for tcp
+
+  bool is_unix() const { return !uds_path.empty(); }
+};
+
+/// Parses "unix:/path", "tcp:host:port", "tcp::port" or ":port".
+Result<Address> ParseAddress(std::string_view spec);
+
+/// Client connect (blocking). kUnavailable when the peer is not there.
+Result<Socket> Connect(const Address& addr);
+
+/// Server listen. For TCP, port 0 picks an ephemeral port; *bound_port
+/// (optional) receives the actual one. For unix sockets a stale path is
+/// unlinked first.
+Result<Socket> Listen(const Address& addr, int backlog, int* bound_port);
+
+/// Accepts one connection; `poll_timeout_ms` bounds the wait (so callers
+/// can check a stop flag between polls). kDeadlineExceeded on timeout,
+/// kUnavailable when the listener is closed under us.
+Result<Socket> Accept(const Socket& listener, int poll_timeout_ms);
+
+/// Sends one frame (header + payload), looping over short writes.
+Status SendFrame(const Socket& s, std::string_view payload);
+
+/// Receives one frame payload. `idle_timeout_ms` bounds the wait for the
+/// first header byte (0 = wait forever); `io_timeout_ms` bounds every
+/// subsequent poll once a frame has started (slow-loris cap).
+Status RecvFrame(const Socket& s, size_t max_frame_bytes, int idle_timeout_ms,
+                 int io_timeout_ms, std::string* payload);
+
+/// Raw byte send with the same short-write handling (fault-injection
+/// helpers: deliberately truncated or garbage frames).
+Status SendRaw(const Socket& s, std::string_view bytes);
+
+}  // namespace tbc::serve
+
+#endif  // TBC_SERVE_WIRE_H_

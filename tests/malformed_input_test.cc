@@ -114,5 +114,39 @@ TEST(MalformedInput, WellFormedStillAccepted) {
   EXPECT_EQ(net->num_vars(), 1u);
 }
 
+// Files written on Windows (CRLF line endings) or truncated by tools that
+// drop the final newline are legitimate inputs, not attacks: every text
+// parser accepts both. Regression net for the lenient-line-splitting
+// behavior (tests/corpus/crlf/).
+TEST(MalformedInput, CrlfAndMissingTrailingNewlineAccepted) {
+  auto cnf = Cnf::ParseDimacs(ReadCorpusFile("crlf/crlf.cnf"));
+  ASSERT_TRUE(cnf.ok()) << cnf.status().message();
+  EXPECT_EQ(cnf->num_vars(), 3u);
+  EXPECT_EQ(cnf->num_clauses(), 2u);
+
+  auto bare = Cnf::ParseDimacs(ReadCorpusFile("crlf/no_trailing_newline.cnf"));
+  ASSERT_TRUE(bare.ok()) << bare.status().message();
+  EXPECT_EQ(bare->num_clauses(), 1u);  // the unterminated clause still lands
+
+  NnfManager mgr;
+  auto nnf = ReadNnf(mgr, ReadCorpusFile("crlf/crlf.nnf"));
+  ASSERT_TRUE(nnf.ok()) << nnf.status().message();
+
+  SddManager sdd(Vtree::Balanced({0, 1}));
+  auto circuit = ReadSdd(sdd, ReadCorpusFile("crlf/crlf.sdd"));
+  ASSERT_TRUE(circuit.ok()) << circuit.status().message();
+
+  // The same content with Unix endings must parse to the same circuit
+  // (CRLF tolerance cannot change semantics).
+  std::string unix_cnf = ReadCorpusFile("crlf/crlf.cnf");
+  std::string stripped;
+  for (char c : unix_cnf) {
+    if (c != '\r') stripped += c;
+  }
+  auto unix_parsed = Cnf::ParseDimacs(stripped);
+  ASSERT_TRUE(unix_parsed.ok());
+  EXPECT_EQ(unix_parsed->num_clauses(), cnf->num_clauses());
+}
+
 }  // namespace
 }  // namespace tbc

@@ -317,6 +317,160 @@ TEST(ParallelForExceptionTest, PoolIsReusableAfterException) {
   EXPECT_EQ(std::count(out.begin(), out.end(), 1), 1000);
 }
 
+// --- Guard deadline expiry racing normal completion -----------------------
+//
+// The ParallelFor contract: a guard trip observed at any chunk boundary
+// makes the call return the guard's typed status *even when every index
+// already ran* — the final Check() decides, not a race. These tests pin
+// that down deterministically: the trip is seed-placed inside the batch,
+// so the outcome is a pure function of the seed and must be identical at
+// every thread count in kThreadSweep. Under -DTBC_SANITIZE=thread they
+// double as data-race checks on the cancel/claim handshake.
+
+TEST(ParallelForGuardRaceTest, SeededTripRacingCompletionIsDeterministic) {
+  constexpr size_t kIndices = 512;
+  constexpr size_t kGrain = 16;
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    // Trip index in [0, 2*kIndices): the upper half never fires, so both
+    // the refusal arm and the clean-completion arm are exercised.
+    Rng rng(seed);
+    const size_t trip_at = rng.Below(2 * kIndices);
+    std::vector<StatusCode> outcomes;
+    for (size_t threads : kThreadSweep) {
+      ThreadPool pool(threads);
+      Guard guard;
+      std::vector<uint64_t> out(kIndices, 0);
+      const Status s = pool.ParallelFor(
+          0, kIndices, kGrain,
+          [&guard, trip_at, &out](size_t i) {
+            // Each body writes only its own slot; the trip lands while
+            // sibling chunks are mid-flight.
+            if (i == trip_at) guard.Cancel();
+            out[i] = i * i + 1;
+          },
+          &guard);
+      if (trip_at < kIndices) {
+        // The cancelling index always runs, so the guard is always seen
+        // tripped by the final check — a deterministic typed refusal even
+        // if every other chunk finished first.
+        ASSERT_FALSE(s.ok()) << "seed=" << seed << " threads=" << threads;
+        EXPECT_EQ(s.code(), StatusCode::kCancelled);
+        EXPECT_TRUE(s.IsRefusal());
+        // No torn slots: every index either ran to completion or never
+        // started. The cancelling index itself always completed.
+        for (size_t i = 0; i < kIndices; ++i) {
+          EXPECT_TRUE(out[i] == 0 || out[i] == i * i + 1) << "slot " << i;
+        }
+        EXPECT_EQ(out[trip_at], trip_at * trip_at + 1);
+      } else {
+        ASSERT_TRUE(s.ok()) << "seed=" << seed << " threads=" << threads
+                            << ": " << s.message();
+        for (size_t i = 0; i < kIndices; ++i) {
+          ASSERT_EQ(out[i], i * i + 1) << "slot " << i;
+        }
+      }
+      outcomes.push_back(s.code());
+    }
+    // Same seed, same outcome, at 1, 2, and 8 lanes.
+    for (size_t t = 1; t < outcomes.size(); ++t) {
+      EXPECT_EQ(outcomes[t], outcomes[0]) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(ParallelForGuardRaceTest, DeadlineExpiryRacingCompletionIsTypedOrClean) {
+  // A real wall-clock deadline armed to expire *during* the batch. Which
+  // side wins is timing-dependent by nature, so the assertion is the
+  // contract envelope: the call returns either Ok with every slot written
+  // or the typed kDeadlineExceeded — never a crash, a partial "success",
+  // or a foreign status. Both arms are forced to occur at least once via
+  // an already-expired and an effectively-unlimited control budget.
+  constexpr size_t kIndices = 256;
+  for (size_t threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    bool saw_refusal = false;
+    bool saw_success = false;
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+      // seed 1: pre-expired (refusal certain after the first chunk);
+      // seed 2: generous (completion certain); others: a genuine race.
+      const double timeout_ms = seed == 1 ? 0.001 : seed == 2 ? 10000.0
+                                : 0.2 + 0.15 * static_cast<double>(seed);
+      Guard guard(Budget::TimeLimit(timeout_ms));
+      if (seed == 1) {
+        // Burn past the deadline before the batch starts.
+        while (guard.RemainingMs() > 0.0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+      std::vector<uint32_t> out(kIndices, 0);
+      const Status s = pool.ParallelFor(
+          0, kIndices, 4,
+          [&out](size_t i) {
+            // ~tens of microseconds of real work per index so the sweep
+            // straddles the sub-millisecond deadlines above.
+            uint64_t acc = i + 1;
+            for (int k = 0; k < 400; ++k) acc = acc * 6364136223846793005ULL + 1;
+            out[i] = static_cast<uint32_t>(acc | 1);
+          },
+          &guard);
+      if (s.ok()) {
+        saw_success = true;
+        for (size_t i = 0; i < kIndices; ++i) {
+          ASSERT_NE(out[i], 0u) << "ok status with unwritten slot " << i;
+        }
+      } else {
+        saw_refusal = true;
+        EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded)
+            << "seed=" << seed << ": " << s.message();
+        EXPECT_TRUE(s.IsRefusal());
+      }
+    }
+    EXPECT_TRUE(saw_refusal) << "threads=" << threads
+                             << ": pre-expired control never refused";
+    EXPECT_TRUE(saw_success) << "threads=" << threads
+                             << ": generous control never completed";
+  }
+}
+
+TEST(ParallelForGuardRaceTest, KernelRefusalUnderSeededTripMatchesSweep) {
+  // Same determinism property one layer up: a real query kernel with a
+  // guard tripped from a sibling thread at a seed-derived delay. The
+  // result is either the bit-exact serial answer or the typed refusal —
+  // at every thread count, for every seed, with no third possibility.
+  const size_t kVars = 24;
+  const Cnf cnf = RandomCnf(kVars, 60, 41);
+  const WeightMap w = RandomWeights(kVars, 42);
+  NnfManager mgr;
+  DdnnfCompiler compiler;
+  const NnfId root = compiler.Compile(cnf, mgr);
+  Guard unlimited;
+  const double serial = Wmc(mgr, root, w);
+
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (size_t threads : kThreadSweep) {
+      ThreadPool pool(threads);
+      Guard guard;
+      std::atomic<bool> go{false};
+      std::thread canceller([&guard, &go, seed] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(seed * 37));
+        guard.Cancel();
+      });
+      go.store(true, std::memory_order_release);
+      const Result<double> r = WmcBounded(mgr, root, w, guard, &pool);
+      canceller.join();
+      if (r.ok()) {
+        EXPECT_EQ(*r, serial) << "seed=" << seed << " threads=" << threads;
+      } else {
+        EXPECT_EQ(r.error_code(), StatusCode::kCancelled)
+            << "seed=" << seed << " threads=" << threads;
+      }
+    }
+  }
+}
+
 TEST(ParallelForExceptionTest, SingleLaneInlinePathPropagates) {
   // ThreadPool(1) runs inline; the exception propagates directly and
   // execution is strictly serial up to the faulting index.

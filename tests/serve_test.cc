@@ -1,0 +1,447 @@
+// Serving-layer tests (DESIGN.md "Serving layer"): wire protocol
+// round-trips and adversarial parsing, the content-hash artifact cache
+// (single-flight, eviction, failed compiles), and the server end-to-end —
+// typed refusals for malformed input, admission control, deadline
+// propagation, and graceful drain. The fault-injection matrix and the
+// bit-identical soak live in serve_fault_test.cc.
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/guard.h"
+#include "base/random.h"
+#include "base/result.h"
+#include "gtest/gtest.h"
+#include "serve/artifact_cache.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace tbc::serve {
+namespace {
+
+constexpr const char* kSmallCnf = "p cnf 3 2\n1 2 0\n-1 3 0\n";  // 4 models
+
+ServerOptions LoopbackOptions() {
+  ServerOptions opts;
+  opts.address.tcp_host = "127.0.0.1";
+  opts.address.tcp_port = 0;  // ephemeral
+  opts.num_workers = 2;
+  return opts;
+}
+
+ClientOptions ClientFor(const Server& server) {
+  ClientOptions copts;
+  copts.address.tcp_host = "127.0.0.1";
+  copts.address.tcp_port = server.port();
+  copts.retry.initial_backoff_ms = 1.0;
+  copts.deadline_ms = 10'000.0;
+  return copts;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol round-trips.
+
+TEST(Protocol, RequestRoundTripPreservesEveryField) {
+  Request req;
+  req.op = Op::kWmc;
+  req.timeout_ms = 1234.5;
+  req.max_nodes = 77;
+  req.max_decisions = 88;
+  req.weights = {{1, 0.1}, {-2, 0x1.fffffffffffffp-2}, {3, 1e-300}};
+  req.cnf_text = kSmallCnf;
+
+  auto parsed = Request::Parse(req.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->op, Op::kWmc);
+  EXPECT_EQ(parsed->timeout_ms, 1234.5);
+  EXPECT_EQ(parsed->max_nodes, 77u);
+  EXPECT_EQ(parsed->max_decisions, 88u);
+  ASSERT_EQ(parsed->weights.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed->weights[i].first, req.weights[i].first);
+    // Hexfloat wire encoding is bit-exact, so == is the right comparison.
+    EXPECT_EQ(parsed->weights[i].second, req.weights[i].second);
+  }
+  EXPECT_EQ(parsed->cnf_text, req.cnf_text);
+}
+
+TEST(Protocol, ResponseRoundTripPreservesEveryField) {
+  Response resp;
+  resp.status = StatusCode::kOk;
+  resp.count = "123456789123456789";
+  resp.has_wmc = true;
+  resp.wmc = 0x1.921fb54442d18p+1;
+  resp.marginals = {{1, 0.25}, {-1, 0.75}};
+  resp.has_mpe = true;
+  resp.mpe_weight = 0.5;
+  resp.mpe = {1, -2, 3};
+  resp.circuit_nodes = 42;
+  resp.circuit_edges = 41;
+  resp.artifact = "00112233445566778899aabbccddeeff";
+  resp.cache_hit = true;
+  resp.stats_json = "{\"version\": 1}\n";
+
+  auto parsed = Response::Parse(resp.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->status, StatusCode::kOk);
+  EXPECT_EQ(parsed->count, resp.count);
+  EXPECT_TRUE(parsed->has_wmc);
+  EXPECT_EQ(parsed->wmc, resp.wmc);
+  EXPECT_EQ(parsed->marginals, resp.marginals);
+  EXPECT_TRUE(parsed->has_mpe);
+  EXPECT_EQ(parsed->mpe_weight, resp.mpe_weight);
+  EXPECT_EQ(parsed->mpe, resp.mpe);
+  EXPECT_EQ(parsed->circuit_nodes, 42u);
+  EXPECT_EQ(parsed->circuit_edges, 41u);
+  EXPECT_EQ(parsed->artifact, resp.artifact);
+  EXPECT_TRUE(parsed->cache_hit);
+  EXPECT_EQ(parsed->stats_json, resp.stats_json);
+}
+
+TEST(Protocol, TypedRefusalRoundTrip) {
+  Response resp;
+  resp.status = StatusCode::kOverloaded;
+  resp.message = "queue full (16 waiting)";
+  auto parsed = Response::Parse(resp.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status, StatusCode::kOverloaded);
+  EXPECT_EQ(parsed->message, resp.message);
+  EXPECT_TRUE(parsed->ToStatus().IsRefusal());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial parsing: every wire byte is hostile.
+
+TEST(Protocol, FrameHeaderRejectsBadMagicAndOversizedLength) {
+  unsigned char header[kFrameHeaderBytes] = {'t', 'b', 'c', '1', 4, 0, 0, 0};
+  size_t len = 0;
+  EXPECT_TRUE(DecodeFrameHeader(header, 1024, &len).ok());
+  EXPECT_EQ(len, 4u);
+
+  header[0] = 'X';
+  EXPECT_EQ(DecodeFrameHeader(header, 1024, &len).code(),
+            StatusCode::kInvalidInput);
+
+  unsigned char big[kFrameHeaderBytes] = {'t',  'b',  'c',  '1',
+                                          0xff, 0xff, 0xff, 0x7f};
+  EXPECT_EQ(DecodeFrameHeader(big, 1024, &len).code(),
+            StatusCode::kInvalidInput);
+}
+
+TEST(Protocol, RequestParseRejectsMalformedPayloads) {
+  const char* bad[] = {
+      "",                                      // empty
+      "tbcq 2\nop ping\n",                     // wrong version
+      "nope 1\nop ping\n",                     // wrong magic line
+      "tbcq 1\n",                              // missing op
+      "tbcq 1\nop nonsense\n",                 // unknown op
+      "tbcq 1\nop ping\nop ping\n",            // duplicate key
+      "tbcq 1\nop ping\nmystery 3\n",          // unknown key
+      "tbcq 1\nop count\n",                    // op needs cnf, none given
+      "tbcq 1\nop count\ncnf 10\nshort",       // blob shorter than declared
+      "tbcq 1\nop count\ncnf 1\nab",           // blob longer than declared
+      "tbcq 1\nop wmc\nweight 0 0x1p0\ncnf 2\nxx",   // literal 0
+      "tbcq 1\nop wmc\nweight 1 nan\ncnf 2\nxx",     // NaN weight
+      "tbcq 1\nop ping\ntimeout_ms banana\n",  // unparseable number
+  };
+  for (const char* payload : bad) {
+    auto parsed = Request::Parse(payload);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << payload;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidInput);
+  }
+}
+
+TEST(Protocol, RandomGarbageNeverCrashesTheParsers) {
+  Rng rng(20260807);
+  for (int i = 0; i < 2000; ++i) {
+    std::string junk(rng.Below(200), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.Below(256));
+    (void)Request::Parse(junk);   // must return, not crash
+    (void)Response::Parse(junk);
+  }
+  // Mutations of a valid payload: flip one byte at a time.
+  Request req;
+  req.op = Op::kCount;
+  req.cnf_text = kSmallCnf;
+  const std::string good = req.Serialize();
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string mutant = good;
+    mutant[i] = static_cast<char>(mutant[i] ^ 0x20);
+    (void)Request::Parse(mutant);
+  }
+}
+
+TEST(Protocol, DoubleWireEncodingIsBitExact) {
+  const double values[] = {0.0,     -0.0,   1.0,    0.1,
+                           1e-300,  5e-324, 1e300,  0x1.fffffffffffffp+1023,
+                           -1e-42,  3.14159265358979};
+  for (double v : values) {
+    double back = 0.0;
+    ASSERT_TRUE(DecodeDouble(EncodeDouble(v), &back));
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << v;
+  }
+  double out;
+  EXPECT_FALSE(DecodeDouble("nan", &out));
+  EXPECT_FALSE(DecodeDouble("", &out));
+  EXPECT_FALSE(DecodeDouble("0x1p0 trailing", &out));
+}
+
+// ---------------------------------------------------------------------------
+// Artifact cache.
+
+TEST(ArtifactCache, SingleFlightSharesOneCompile) {
+  ArtifactCache cache(4);
+  std::vector<std::shared_ptr<const Artifact>> results(8);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Guard guard(Budget::Unlimited());
+      auto a = cache.GetOrCompile(kSmallCnf, guard, nullptr);
+      ASSERT_TRUE(a.ok());
+      results[i] = *a;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& a : results) {
+    EXPECT_EQ(a.get(), results[0].get());  // one shared artifact
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(results[0]->count.ToString(), "4");
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedAtCapacity) {
+  ArtifactCache cache(2);
+  Guard guard(Budget::Unlimited());
+  const std::string cnfs[] = {"p cnf 1 0\n", "p cnf 2 0\n", "p cnf 3 0\n"};
+  for (const auto& text : cnfs) {
+    ASSERT_TRUE(cache.GetOrCompile(text, guard, nullptr).ok());
+    EXPECT_LE(cache.size(), 2u);
+  }
+  // The first CNF was evicted: re-requesting it is a miss.
+  bool hit = true;
+  ASSERT_TRUE(cache.GetOrCompile(cnfs[0], guard, &hit).ok());
+  EXPECT_FALSE(hit);
+  // The most recent one is still cached.
+  ASSERT_TRUE(cache.GetOrCompile(cnfs[2], guard, &hit).ok());
+  EXPECT_TRUE(hit);
+}
+
+TEST(ArtifactCache, FailedCompilesAreNotCached) {
+  ArtifactCache cache(4);
+  Guard guard(Budget::Unlimited());
+  auto bad = cache.GetOrCompile("not a cnf at all", guard, nullptr);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidInput);
+  EXPECT_EQ(cache.size(), 0u);
+  // A valid CNF under the same cache still works afterwards.
+  EXPECT_TRUE(cache.GetOrCompile(kSmallCnf, guard, nullptr).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end.
+
+TEST(Server, AnswersQueriesAndReusesArtifacts) {
+  auto server = Server::Start(LoopbackOptions());
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  Client client(ClientFor(**server));
+
+  Request ping;
+  ping.op = Op::kPing;
+  auto pong = client.Call(ping);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong->ok());
+
+  Request count;
+  count.op = Op::kCount;
+  count.cnf_text = kSmallCnf;
+  auto first = client.Call(count);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->ok()) << first->message;
+  EXPECT_EQ(first->count, "4");
+  EXPECT_FALSE(first->cache_hit);
+
+  auto second = client.Call(count);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->artifact, first->artifact);
+  EXPECT_EQ((*server)->cached_artifacts(), 1u);
+
+  Request wmc;
+  wmc.op = Op::kWmc;
+  wmc.cnf_text = kSmallCnf;
+  wmc.weights = {{1, 0.5}, {-1, 0.5}};
+  auto w = client.Call(wmc);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->ok()) << w->message;
+  EXPECT_DOUBLE_EQ(w->wmc, 2.0);
+  EXPECT_TRUE(w->cache_hit);  // same artifact serves every query op
+}
+
+TEST(Server, MalformedRequestsGetTypedRefusalsNotCrashes) {
+  auto server = Server::Start(LoopbackOptions());
+  ASSERT_TRUE(server.ok());
+  Client client(ClientFor(**server));
+
+  // Bad CNF: typed kInvalidInput from the hardened parser.
+  Request bad;
+  bad.op = Op::kCount;
+  bad.cnf_text = "p cnf -3 oops\n";
+  auto resp = client.Call(bad);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, StatusCode::kInvalidInput);
+
+  // Weight literal out of range for the CNF.
+  Request wmc;
+  wmc.op = Op::kWmc;
+  wmc.cnf_text = kSmallCnf;
+  wmc.weights = {{99, 0.5}};
+  resp = client.Call(wmc);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, StatusCode::kInvalidInput);
+
+  // MPE of an unsatisfiable CNF is a typed error, not UB.
+  Request mpe;
+  mpe.op = Op::kMpe;
+  mpe.cnf_text = "p cnf 1 2\n1 0\n-1 0\n";
+  resp = client.Call(mpe);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, StatusCode::kInvalidInput);
+
+  // Raw garbage frames: server answers what it can, then closes; it never
+  // dies. A fresh request afterwards succeeds.
+  {
+    auto conn = Connect(ClientFor(**server).address);
+    ASSERT_TRUE(conn.ok());
+    (void)SendRaw(*conn, "GET / HTTP/1.1\r\n\r\n");  // wrong protocol
+  }
+  {
+    auto conn = Connect(ClientFor(**server).address);
+    ASSERT_TRUE(conn.ok());
+    // Valid header promising 100 bytes, then hang up after 3.
+    std::string frame = EncodeFrame(std::string(100, 'x'));
+    (void)SendRaw(*conn, std::string_view(frame).substr(0, 11));
+  }
+  Request ping;
+  ping.op = Op::kPing;
+  auto pong = client.Call(ping);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong->ok());
+}
+
+TEST(Server, DeadlinePropagationRefusesHardInstancesInTime) {
+  auto server = Server::Start(LoopbackOptions());
+  ASSERT_TRUE(server.ok());
+  Client client(ClientFor(**server));
+
+  // A hard random 3-CNF at the phase transition, with a 1ms budget: the
+  // server must answer a typed refusal, not work for seconds.
+  Rng rng(7);
+  std::string cnf = "p cnf 60 256\n";
+  for (int i = 0; i < 256; ++i) {
+    int a = 1 + static_cast<int>(rng.Below(60));
+    int b = 1 + static_cast<int>(rng.Below(60));
+    int c = 1 + static_cast<int>(rng.Below(60));
+    cnf += std::to_string(rng.Flip(0.5) ? a : -a) + " " +
+           std::to_string(rng.Flip(0.5) ? b : -b) + " " +
+           std::to_string(rng.Flip(0.5) ? c : -c) + " 0\n";
+  }
+  Request req;
+  req.op = Op::kCount;
+  req.cnf_text = cnf;
+  req.timeout_ms = 1.0;
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  if (!resp->ok()) {  // tiny instances may still finish in 1ms
+    EXPECT_TRUE(IsRefusal(resp->status))
+        << StatusCodeName(resp->status) << ": " << resp->message;
+  }
+}
+
+TEST(Server, ConnectionLimitShedsWithTypedOverload) {
+  ServerOptions opts = LoopbackOptions();
+  opts.max_connections = 1;
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok());
+
+  Address addr;
+  addr.tcp_host = "127.0.0.1";
+  addr.tcp_port = (*server)->port();
+  auto first = Connect(addr);
+  ASSERT_TRUE(first.ok());
+  // Prove the first connection is established server-side before the
+  // second one arrives (the cap is on open connections).
+  ASSERT_TRUE(SendFrame(*first, Request{}.Serialize()).ok());
+  std::string payload;
+  ASSERT_TRUE(RecvFrame(*first, kDefaultMaxFrameBytes, 5000, 5000, &payload)
+                  .ok());
+
+  auto second = Connect(addr);
+  ASSERT_TRUE(second.ok());
+  Status st =
+      RecvFrame(*second, kDefaultMaxFrameBytes, 5000, 5000, &payload);
+  ASSERT_TRUE(st.ok()) << st.message();
+  auto resp = Response::Parse(payload);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, StatusCode::kOverloaded);
+}
+
+TEST(Server, GracefulShutdownDrainsAndRefusesNewWork) {
+  auto server = Server::Start(LoopbackOptions());
+  ASSERT_TRUE(server.ok());
+  const int port = (*server)->port();
+
+  Client client(ClientFor(**server));
+  Request count;
+  count.op = Op::kCount;
+  count.cnf_text = kSmallCnf;
+  ASSERT_TRUE(client.Call(count).ok());
+
+  (*server)->Shutdown();
+  EXPECT_EQ((*server)->active_connections(), 0u);
+  EXPECT_EQ((*server)->executing_requests(), 0u);
+
+  // New connections are refused outright (listener closed).
+  ClientOptions copts;
+  copts.address.tcp_host = "127.0.0.1";
+  copts.address.tcp_port = port;
+  copts.retry.max_attempts = 2;
+  copts.retry.initial_backoff_ms = 1.0;
+  copts.deadline_ms = 2'000.0;
+  Client after(copts);
+  auto resp = after.Call(count);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable);
+
+  (*server)->Shutdown();  // idempotent
+}
+
+TEST(Server, UnixSocketEndToEnd) {
+  ServerOptions opts;
+  opts.address.uds_path =
+      "/tmp/tbc_serve_test_" + std::to_string(::getpid()) + ".sock";
+  opts.num_workers = 2;
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  ClientOptions copts;
+  copts.address = opts.address;
+  Client client(copts);
+  Request count;
+  count.op = Op::kCount;
+  count.cnf_text = kSmallCnf;
+  auto resp = client.Call(count);
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp->count, "4");
+  (*server)->Shutdown();  // also unlinks the socket path
+}
+
+}  // namespace
+}  // namespace tbc::serve

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Smoke-tests the unified CLI exit-code contract (README "Exit codes"):
+#
+#   0  success
+#   1  usage error or input/IO error
+#   2  lint reject (tbc_lint) / certificate reject (tbc_certify)
+#   3  typed resource refusal (budget/deadline/overload/unavailable)
+#   4  certificate reject during an in-process kc_cli --certify run
+#
+# Usage: tools/check_exit_codes.sh [kc_cli [tbc_lint [tbc_certify [tbc_client]]]]
+#   Binaries default to build/examples/<name>.
+
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+KC="${1:-$ROOT/build/examples/kc_cli}"
+LINT="${2:-$ROOT/build/examples/tbc_lint}"
+CERTIFY="${3:-$ROOT/build/examples/tbc_certify}"
+CLIENT="${4:-$ROOT/build/examples/tbc_client}"
+
+for bin in "$KC" "$LINT" "$CERTIFY"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "check_exit_codes: $bin not found (build first)" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILED=0
+
+expect() {
+  local want="$1" label="$2"
+  shift 2
+  "$@" >/dev/null 2>&1
+  local got=$?
+  if [[ "$got" != "$want" ]]; then
+    echo "check_exit_codes: FAIL $label: want exit $want, got $got: $*" >&2
+    FAILED=1
+  else
+    echo "check_exit_codes: ok   $label (exit $got)"
+  fi
+}
+
+printf 'p cnf 3 2\n1 2 0\n-1 3 0\n' > "$TMP/good.cnf"
+# A hard random 3-CNF at the phase transition: guaranteed to blow a
+# 50-node budget, so kc_cli must answer a typed refusal (3).
+python3 - "$TMP/hard.cnf" <<'PY'
+import random, sys
+random.seed(7)
+n, m = 60, 256
+with open(sys.argv[1], "w") as f:
+    f.write(f"p cnf {n} {m}\n")
+    for _ in range(m):
+        vs = random.sample(range(1, n + 1), 3)
+        f.write(" ".join(str(v if random.random() < 0.5 else -v) for v in vs) + " 0\n")
+PY
+
+# kc_cli: 0 / 1 / 3 / (4 via --certify on a reject, not reachable from
+# well-formed input — the tamper path is covered through tbc_certify).
+expect 0 "kc_cli compiles"              "$KC" "$TMP/good.cnf"
+expect 1 "kc_cli no args"               "$KC"
+expect 1 "kc_cli missing file"          "$KC" "$TMP/nope.cnf"
+expect 1 "kc_cli bad flag value"        "$KC" "$TMP/good.cnf" --timeout-ms=banana
+expect 1 "kc_cli unknown target"        "$KC" "$TMP/good.cnf" --target=dnf
+expect 3 "kc_cli budget refusal"        "$KC" "$TMP/hard.cnf" --max-nodes=50
+expect 0 "kc_cli certify ok"            "$KC" "$TMP/good.cnf" --certify
+
+# tbc_lint: 0 / 1 / 2.
+"$KC" "$TMP/good.cnf" --write-nnf="$TMP/good.nnf" >/dev/null 2>&1
+printf 'nnf 4 3 2\nL 1\nL 2\nA 2 0 1\nO 1 2 2 1\n' > "$TMP/nondet.nnf"
+expect 0 "tbc_lint clean circuit"       "$LINT" "$TMP/good.nnf"
+expect 1 "tbc_lint no args"             "$LINT"
+expect 1 "tbc_lint missing file"        "$LINT" "$TMP/nope.nnf"
+expect 2 "tbc_lint determinism reject"  "$LINT" "$TMP/nondet.nnf"
+
+# tbc_certify: 0 / 1 / 2 (tampered certificate must be *rejected*, not
+# crash and not pass).
+"$KC" "$TMP/good.cnf" --certify-out="$TMP/cert.txt" >/dev/null 2>&1
+sed 's/^count 4$/count 5/' "$TMP/cert.txt" > "$TMP/tampered.txt"
+expect 0 "tbc_certify valid cert"       "$CERTIFY" "$TMP/cert.txt"
+expect 1 "tbc_certify no args"          "$CERTIFY"
+expect 1 "tbc_certify missing file"     "$CERTIFY" "$TMP/nope.txt"
+expect 2 "tbc_certify tampered cert"    "$CERTIFY" "$TMP/tampered.txt"
+
+# tbc_client: 0 ok / 1 usage / 3 typed refusal. A dead server is a typed
+# kUnavailable refusal after retries — scripts can tell "retry later" (3)
+# from "fix your invocation" (1).
+if [[ -x "$CLIENT" ]]; then
+  expect 1 "tbc_client no args"         "$CLIENT"
+  expect 1 "tbc_client bad op"          "$CLIENT" --connect=:1 --op=nonsense
+  expect 3 "tbc_client dead server"     "$CLIENT" --connect=tcp:127.0.0.1:1 \
+             --op=ping --retries=1 --deadline-ms=2000
+fi
+
+if [[ "$FAILED" != 0 ]]; then
+  echo "check_exit_codes: FAILED" >&2
+  exit 1
+fi
+echo "check_exit_codes: all exit codes conform"

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# SIGPIPE robustness: piping any CLI's output into a reader that exits
+# early (`head -c 1`) must not kill the tool with SIGPIPE (exit 141) — the
+# tools ignore SIGPIPE and treat broken pipes as short writes. A tool that
+# dies of SIGPIPE under `| head` silently truncates scripted pipelines.
+#
+# Usage: tools/check_sigpipe.sh [build_dir]   (default: build)
+
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+KC="$BUILD/examples/kc_cli"
+
+if [[ ! -x "$KC" ]]; then
+  echo "check_sigpipe: $KC not found (build first)" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILED=0
+
+printf 'p cnf 3 2\n1 2 0\n-1 3 0\n' > "$TMP/good.cnf"
+
+check() {
+  local label="$1"
+  shift
+  # Run the pipeline; the pipe reader quits after one byte while the tool
+  # still has output pending. PIPESTATUS[0] is the tool's own exit.
+  "$@" 2>/dev/null | head -c 1 >/dev/null
+  local rc="${PIPESTATUS[0]}"
+  if [[ "$rc" == 141 || "$rc" == 13 ]]; then
+    echo "check_sigpipe: FAIL $label: died of SIGPIPE (exit $rc)" >&2
+    FAILED=1
+  else
+    echo "check_sigpipe: ok   $label (exit $rc)"
+  fi
+}
+
+# --stats=json produces enough output to overrun the pipe buffer race
+# window; run each a few times since SIGPIPE delivery depends on timing.
+for i in 1 2 3; do
+  check "kc_cli --stats=json | head ($i)" "$KC" "$TMP/good.cnf" --wmc --stats=json
+done
+
+"$KC" "$TMP/good.cnf" --write-nnf="$TMP/good.nnf" >/dev/null 2>&1
+check "tbc_lint --stats | head" "$BUILD/examples/tbc_lint" --stats "$TMP/good.nnf"
+
+"$KC" "$TMP/good.cnf" --certify-out="$TMP/cert.txt" >/dev/null 2>&1
+check "tbc_certify -v | head" "$BUILD/examples/tbc_certify" "$TMP/cert.txt"
+
+if [[ "$FAILED" != 0 ]]; then
+  echo "check_sigpipe: FAILED" >&2
+  exit 1
+fi
+echo "check_sigpipe: no tool dies of SIGPIPE"

@@ -142,3 +142,90 @@ if "certify.check_us" not in data["histograms"]:
     sys.exit("check_stats_schema: --certify run missing certify.check_us histogram")
 print("check_stats_schema: OK (certify metrics present)")
 PY
+
+# Third pass: the serving daemon's stats endpoint speaks the same schema.
+# Boot tbc_serve on a private unix socket, issue one real compile+count so
+# the serve.* instruments fire, fetch --op=stats, and validate the dump
+# (which arrives as a bare JSON object, no "c ..." preamble).
+SERVE_BIN="$(dirname "$BIN")/tbc_serve"
+CLIENT_BIN="$(dirname "$BIN")/tbc_client"
+if [[ -x "$SERVE_BIN" && -x "$CLIENT_BIN" ]]; then
+  SOCK="$(mktemp -u /tmp/tbc_stats_XXXXXX.sock)"
+  SERVE_OUT="$(mktemp)"
+  "$SERVE_BIN" --listen="unix:$SOCK" >/dev/null 2>&1 &
+  SERVE_PID=$!
+  trap 'cleanup; rm -f "$CERT_OUT" "$SERVE_OUT" "$SOCK"; kill "$SERVE_PID" 2>/dev/null' EXIT
+  for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.05
+  done
+  "$CLIENT_BIN" --connect="unix:$SOCK" --op=count "$CNF" >/dev/null
+  "$CLIENT_BIN" --connect="unix:$SOCK" --op=stats > "$SERVE_OUT"
+  kill -TERM "$SERVE_PID" 2>/dev/null
+  wait "$SERVE_PID" 2>/dev/null || true
+
+  python3 - "$SCHEMA" "$SERVE_OUT" <<'PY'
+import json
+import sys
+
+schema = json.load(open(sys.argv[1]))
+lines = open(sys.argv[2]).read().splitlines()
+start = next(i for i, l in enumerate(lines) if l.strip() == "{")
+data = json.loads("\n".join(lines[start:]))
+
+
+def fail(path, msg):
+    sys.exit(f"check_stats_schema: serve: {path or '$'}: {msg}")
+
+
+def check(schema, data, path=""):
+    t = schema.get("type")
+    if t == "integer":
+        if not isinstance(data, int) or isinstance(data, bool):
+            fail(path, f"expected integer, got {type(data).__name__}")
+        if "minimum" in schema and data < schema["minimum"]:
+            fail(path, f"{data} below minimum {schema['minimum']}")
+        if "enum" in schema and data not in schema["enum"]:
+            fail(path, f"{data} not in enum {schema['enum']}")
+    elif t == "boolean":
+        if not isinstance(data, bool):
+            fail(path, f"expected boolean, got {type(data).__name__}")
+    elif t == "string":
+        if not isinstance(data, str):
+            fail(path, f"expected string, got {type(data).__name__}")
+    elif t == "array":
+        if not isinstance(data, list):
+            fail(path, f"expected array, got {type(data).__name__}")
+        for i, item in enumerate(data):
+            check(schema.get("items", {}), item, f"{path}[{i}]")
+    elif t == "object":
+        if not isinstance(data, dict):
+            fail(path, f"expected object, got {type(data).__name__}")
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in data:
+                fail(path, f"missing required key '{key}'")
+        extra = schema.get("additionalProperties", True)
+        for key, value in data.items():
+            child = f"{path}.{key}" if path else key
+            if key in props:
+                check(props[key], value, child)
+            elif isinstance(extra, dict):
+                check(extra, value, child)
+            elif extra is False:
+                fail(path, f"unexpected key '{key}'")
+    elif t is not None:
+        fail(path, f"schema type '{t}' not supported by this validator")
+
+
+check(schema, data)
+counters = data["counters"]
+for key in ("serve.connections.accepted", "serve.requests.accepted",
+            "serve.requests.ok"):
+    if counters.get(key, 0) < 1:
+        sys.exit(f"check_stats_schema: serve stats missing counter {key}")
+print("check_stats_schema: OK (serve.* counters present)")
+PY
+else
+  echo "check_stats_schema: note: tbc_serve/tbc_client not built, serve pass skipped"
+fi
