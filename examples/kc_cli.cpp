@@ -4,7 +4,8 @@
 // write circuit/vtree files and draw uniform samples.
 //
 // Usage:
-//   kc_cli FILE.cnf [--target=ddnnf|sdd|obdd] [--vtree=balanced|right|random]
+//   kc_cli FILE.cnf [--target=ddnnf|sdd|obdd]
+//          [--vtree=balanced|right|random|minfill]
 //          [--force-order] [--minimize=N] [--samples=N]
 //          [--timeout-ms=N] [--max-nodes=N]
 //          [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]
@@ -38,6 +39,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/structure/forecast.h"
 #include "base/guard.h"
 #include "base/observability.h"
 #include "base/strings.h"
@@ -100,7 +102,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::printf(
         "usage: kc_cli FILE.cnf [--target=ddnnf|sdd|obdd]\n"
-        "              [--vtree=balanced|right|random] [--force-order]\n"
+        "              [--vtree=balanced|right|random|minfill] [--force-order]\n"
         "              [--minimize=N] [--samples=N]\n"
         "              [--timeout-ms=N] [--max-nodes=N]\n"
         "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n"
@@ -236,9 +238,26 @@ int main(int argc, char** argv) {
     const char* shape_arg = Arg(argc, argv, "--vtree");
     const std::string shape = shape_arg != nullptr ? shape_arg : "balanced";
     Rng rng(1);
-    Vtree vt = shape == "right"    ? Vtree::RightLinear(order)
-               : shape == "random" ? Vtree::Random(order, rng)
-                                   : Vtree::Balanced(order);
+    Vtree vt;
+    if (shape == "minfill") {
+      // Structure-driven vtree: run the static analysis pass and decompose
+      // along the best elimination order found (min-fill on CNFs this
+      // size). The compile cost then tracks the reported width instead of
+      // the variable numbering.
+      const StructureReport report = AnalyzeCnfStructure(cnf);
+      std::printf("c structure: width <= %u (%s), lower bound %u\n",
+                  report.best_width(),
+                  report.candidates.empty()
+                      ? "none"
+                      : ElimHeuristicName(report.best_candidate().heuristic),
+                  report.width_lower_bound);
+      vt = report.candidates.empty() ? Vtree::Balanced(order)
+                                     : VtreeForCnf(report);
+    } else {
+      vt = shape == "right"    ? Vtree::RightLinear(order)
+           : shape == "random" ? Vtree::Random(order, rng)
+                               : Vtree::Balanced(order);
+    }
     if (const char* iters = Arg(argc, argv, "--minimize")) {
       const MinimizeResult r = MinimizeVtree(
           cnf, vt, std::strtoull(iters, nullptr, 10), 7, guard);

@@ -1,0 +1,220 @@
+// tbc_analyze: static structure analysis of DIMACS CNF files — the
+// "analyze before you compile" tool (DESIGN.md "Structure analysis & cost
+// forecasting"). Without running any compiler it reports, per file: primal
+// graph shape, connected components, unit/pure/backbone propagation facts,
+// a treewidth bracket (degeneracy lower bound, simulated elimination-order
+// upper bounds from min-degree / MCS / min-fill), the dtree width along
+// the best order, and the per-backend compile-cost envelope implied by the
+// width (nodes <= n·2^w; paper §4).
+//
+// With --max-width=N the tool doubles as an offline admission check: a
+// file whose best predicted width exceeds N exits 3 (the same typed
+// refusal tbc_serve issues online with --max-width). The forecast is
+// advisory — it routes and refuses, but resource Guards remain the
+// enforcer of record on anything actually compiled.
+//
+// Usage:
+//   tbc_analyze [options] FILE.cnf...
+//     --format=text|json   rendering (default text; json is one array with
+//                          one object per file)
+//     --max-width=N        exit 3 when a file's predicted width exceeds N
+//     --no-minfill         skip the min-fill order (the quadratic-ish one)
+//     --minfill-max-vars=N min-fill size cutoff (default 4096)
+//     --list-rules         print the structure.* rule ids and exit
+//     --stats              dump the observability registry to stderr
+//
+// Exit codes: 0 = analyzed clean, 1 = usage or I/O error, 2 = at least one
+// file is not parseable CNF (rule structure.parse), 3 = at least one file
+// exceeds --max-width (parse failures take precedence).
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/rules.h"
+#include "analysis/structure/forecast.h"
+#include "base/observability.h"
+#include "base/strings.h"
+
+namespace {
+
+std::string ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const char* Arg(int argc, char** argv, const char* name) {
+  const size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+bool Flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+// A quoted JSON string (paths can hold quotes/backslashes/control bytes).
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
+
+void Usage() {
+  std::printf(
+      "usage: tbc_analyze [options] FILE.cnf...\n"
+      "  --format=text|json\n"
+      "  --max-width=N        exit 3 when predicted width exceeds N\n"
+      "  --no-minfill         skip the min-fill elimination order\n"
+      "  --minfill-max-vars=N min-fill size cutoff (default 4096)\n"
+      "  --list-rules         print the structure.* rule ids and exit\n"
+      "  --stats              dump observability metrics to stderr\n"
+      "exit: 0 clean, 1 usage/io error, 2 unparseable CNF, 3 over width "
+      "cap\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Piping into a closed reader (`tbc_analyze ... | head`) must surface as
+  // a short write, not a SIGPIPE abort.
+  std::signal(SIGPIPE, SIG_IGN);
+  using namespace tbc;
+
+  if (Flag(argc, argv, "--list-rules")) {
+    size_t count = 0;
+    const RuleInfo* all = AllRules(&count);
+    for (size_t i = 0; i < count; ++i) {
+      if (std::strncmp(all[i].id, "structure.", 10) == 0) {
+        std::printf("%-24s %s\n", all[i].id, all[i].summary);
+      }
+    }
+    return 0;
+  }
+
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) files.push_back(argv[i]);
+  }
+  if (files.empty()) {
+    Usage();
+    return 1;
+  }
+
+  const char* format = Arg(argc, argv, "--format");
+  const bool json = format != nullptr && std::strcmp(format, "json") == 0;
+  if (format != nullptr && !json && std::strcmp(format, "text") != 0) {
+    std::fprintf(stderr, "tbc_analyze: unknown --format=%s\n", format);
+    return 1;
+  }
+  uint64_t max_width = 0;
+  if (const char* cap = Arg(argc, argv, "--max-width")) {
+    if (!ParseUint64(cap, &max_width)) {
+      std::fprintf(stderr, "tbc_analyze: --max-width needs an integer, "
+                   "got '%s'\n", cap);
+      return 1;
+    }
+  }
+  StructureOptions options;
+  if (Flag(argc, argv, "--no-minfill")) options.try_minfill = false;
+  if (const char* cap = Arg(argc, argv, "--minfill-max-vars")) {
+    uint64_t n = 0;
+    if (!ParseUint64(cap, &n)) {
+      std::fprintf(stderr, "tbc_analyze: --minfill-max-vars needs an "
+                   "integer, got '%s'\n", cap);
+      return 1;
+    }
+    options.minfill_max_vars = static_cast<uint32_t>(n);
+  }
+
+  bool any_parse_error = false;
+  bool any_over_width = false;
+  std::string json_out = "[";
+  bool first_json = true;
+
+  for (const char* path : files) {
+    const std::string text = ReadFile(path);
+    if (text.empty()) {
+      std::fprintf(stderr, "tbc_analyze: cannot read %s\n", path);
+      return 1;
+    }
+
+    DiagnosticReport diag;
+    std::string structure_json = "null";
+    std::string structure_text;
+    bool refused = false;
+    auto parsed = Cnf::ParseDimacs(text);
+    if (!parsed.ok()) {
+      any_parse_error = true;
+      diag.Add(Severity::kError, rules::kStructureParse, 0, "",
+               parsed.status().message());
+    } else {
+      const StructureReport report = AnalyzeCnfStructure(*parsed, options);
+      StructureDiagnostics(report, diag);
+      structure_json = report.ToJson();
+      structure_text = report.ToText();
+      if (max_width > 0 && report.best_width() > max_width) {
+        any_over_width = true;
+        refused = true;
+        TBC_COUNT("analysis.structure.forecast_refusals");
+        diag.Add(Severity::kError, rules::kStructureWidth, 0,
+                 "width=" + std::to_string(report.best_width()) +
+                     " cap=" + std::to_string(max_width),
+                 "predicted induced width exceeds the --max-width cap; a "
+                 "compile is forecast to be hopeless within reasonable "
+                 "budgets");
+      }
+    }
+
+    if (json) {
+      if (!first_json) json_out += ",";
+      json_out += std::string("{\"file\":") + JsonString(path) +
+                  ",\"refused\":" + (refused ? "true" : "false") +
+                  ",\"structure\":" + structure_json +
+                  ",\"diagnostics\":" + diag.ToJson(path) + "}";
+      first_json = false;
+    } else {
+      if (!structure_text.empty()) {
+        std::printf("%s:\n%s", path, structure_text.c_str());
+      }
+      if (!diag.empty()) std::fputs(diag.ToText(path).c_str(), stdout);
+      if (diag.empty() && !structure_text.empty()) {
+        std::printf("%s: clean\n", path);
+      }
+    }
+  }
+
+  if (json) std::printf("%s]\n", json_out.c_str());
+  if (Flag(argc, argv, "--stats")) {
+    std::fputs(Observability::Global().RenderText().c_str(), stderr);
+  }
+  if (any_parse_error) return 2;
+  if (any_over_width) return 3;
+  return 0;
+}

@@ -16,6 +16,10 @@
 //     --cache=N            compiled artifacts kept, LRU (default 8)
 //     --default-timeout-ms=N / --max-timeout-ms=N
 //                          per-request budget default and ceiling
+//     --max-width=N        forecast admission control: refuse compile
+//                          requests whose CNF's predicted induced width
+//                          exceeds N with typed kRefusedByForecast before
+//                          any compile budget is consumed (0 = off)
 //     --idle-timeout-ms=N  close connections idle this long (0 = keep)
 //     --port-file=PATH     write the bound TCP port (scripts + tests use
 //                          this with :0 ephemeral listening)
@@ -101,6 +105,7 @@ int main(int argc, char** argv) {
           "                 [--workers=N] [--queue=N] [--max-connections=N]\n"
           "                 [--cache=N] [--default-timeout-ms=N]\n"
           "                 [--max-timeout-ms=N] [--idle-timeout-ms=N]\n"
+          "                 [--max-width=N]\n"
           "                 [--port-file=PATH] [--fault-seed=N]\n"
           "                 [--fault-prob=P] [--stats[=json]]\n");
       return 0;
@@ -128,6 +133,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   opts.idle_timeout_ms = static_cast<int>(idle_ms);
+  size_t max_width = 0;
+  if (!ParseSizeFlag(argc, argv, "--max-width", &max_width)) return 1;
+  opts.max_forecast_width = static_cast<uint32_t>(max_width);
   if (opts.num_workers == 0) {
     std::fprintf(stderr, "tbc_serve: --workers must be >= 1\n");
     return 1;

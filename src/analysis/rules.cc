@@ -37,6 +37,18 @@ constexpr RuleInfo kRules[] = {
      "normalization: local parameters are in [0,1] and sum to one"},
     {rules::kPsddSupport,
      "support: zero parameters shrink the distribution below the base SDD"},
+    {rules::kStructureParse, "file is not parseable as DIMACS CNF"},
+    {rules::kStructureWidth,
+     "treewidth bracket: degeneracy lower bound vs best elimination-order "
+     "upper bound"},
+    {rules::kStructureForecast,
+     "compile-cost envelope: predicted node bound (n*2^w) per backend"},
+    {rules::kStructureDisconnected,
+     "the primal graph is disconnected: components compile independently"},
+    {rules::kStructureBackbone,
+     "unit propagation fixes literals (or refutes the CNF outright)"},
+    {rules::kStructurePure,
+     "pure literals: variables occurring with a single polarity"},
     {rules::kCertifyParse,
      "file is not parseable as a tbc-cert compilation certificate"},
     {rules::kCertifyFormat,

@@ -42,6 +42,14 @@ inline constexpr char kPsddStructure[] = "psdd.structure";
 inline constexpr char kPsddNormalized[] = "psdd.normalized";
 inline constexpr char kPsddSupport[] = "psdd.support";
 
+// --- CNF structure analysis (analysis/structure/; reported by tbc_analyze) ---
+inline constexpr char kStructureParse[] = "structure.parse";
+inline constexpr char kStructureWidth[] = "structure.width";
+inline constexpr char kStructureForecast[] = "structure.forecast";
+inline constexpr char kStructureDisconnected[] = "structure.disconnected";
+inline constexpr char kStructureBackbone[] = "structure.backbone";
+inline constexpr char kStructurePure[] = "structure.pure";
+
 // --- Certification (certify/checker.h; reported by tbc_certify) ---
 inline constexpr char kCertifyParse[] = "certify.parse";
 inline constexpr char kCertifyFormat[] = "certify.format";

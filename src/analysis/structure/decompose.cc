@@ -1,0 +1,203 @@
+#include "analysis/structure/decompose.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "base/check.h"
+
+namespace tbc {
+
+namespace {
+
+// Balanced pairwise reduction of a forest into one tree. `combine` merges
+// two roots and returns the new root id. Adjacent pairs merge first, so
+// the result has logarithmic depth and a platform-independent shape.
+template <typename Id, typename Combine>
+Id BalancedCombine(std::vector<Id> roots, Combine combine) {
+  TBC_CHECK(!roots.empty());
+  while (roots.size() > 1) {
+    std::vector<Id> next;
+    next.reserve((roots.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < roots.size(); i += 2) {
+      next.push_back(combine(roots[i], roots[i + 1]));
+    }
+    if (roots.size() % 2 == 1) next.push_back(roots.back());
+    roots = std::move(next);
+  }
+  return roots[0];
+}
+
+}  // namespace
+
+Vtree VtreeFromEliminationOrder(const PrimalGraph& g,
+                                const std::vector<Var>& order) {
+  const size_t n = g.num_vars();
+  TBC_CHECK_MSG(n > 0, "vtree over zero variables");
+  const EliminationTree etree = BuildEliminationTree(g, order);
+
+  // The vtree is assembled through the file format and Vtree::Parse: the
+  // construction is children-before-parents, which is exactly the format's
+  // contract, and the round-trip keeps the synthesized vtree on the same
+  // (hardened) IO path tbc_lint and the CLIs use.
+  std::string spec;
+  uint32_t next_id = 0;
+  // subtree[v]: file id of the vtree subtree rooted at variable v's node.
+  std::vector<uint32_t> subtree(n, 0);
+  std::vector<std::vector<Var>> children(n);
+  for (const Var v : order) {
+    if (etree.parent[v] != kInvalidVar) children[etree.parent[v]].push_back(v);
+  }
+
+  auto emit_leaf = [&](Var v) {
+    spec += "L " + std::to_string(next_id) + " " + std::to_string(v + 1) + "\n";
+    return next_id++;
+  };
+  auto emit_internal = [&](uint32_t l, uint32_t r) {
+    spec += "I " + std::to_string(next_id) + " " + std::to_string(l) + " " +
+            std::to_string(r) + "\n";
+    return next_id++;
+  };
+
+  // Children are eliminated before their parent, so walking the order
+  // forward sees every child subtree before it is combined under v.
+  std::vector<uint32_t> roots;
+  for (const Var v : order) {
+    const uint32_t leaf = emit_leaf(v);
+    if (children[v].empty()) {
+      subtree[v] = leaf;
+    } else {
+      std::vector<uint32_t> kids;
+      kids.reserve(children[v].size());
+      for (const Var c : children[v]) kids.push_back(subtree[c]);
+      // Leaf on the left: an SDD decision on v whose right subtree holds
+      // everything eliminated below v (the Shannon-like shape right-linear
+      // vtrees generalize).
+      subtree[v] = emit_internal(leaf, BalancedCombine(kids, emit_internal));
+    }
+    if (etree.parent[v] == kInvalidVar) roots.push_back(subtree[v]);
+  }
+  BalancedCombine(roots, emit_internal);
+
+  const std::string text = "vtree " + std::to_string(next_id) + "\n" + spec;
+  auto parsed = Vtree::Parse(text);
+  TBC_CHECK_MSG(parsed.ok(), "synthesized vtree failed to parse");
+  return *std::move(parsed);
+}
+
+std::string Dtree::ToFileString() const {
+  std::string out = "dtree " + std::to_string(nodes.size()) + "\n";
+  for (const Node& node : nodes) {
+    if (node.clause >= 0) {
+      out += "L " + std::to_string(node.clause) + "\n";
+    } else {
+      out += "I " + std::to_string(node.left) + " " +
+             std::to_string(node.right) + "\n";
+    }
+  }
+  return out;
+}
+
+Dtree DtreeFromEliminationOrder(const Cnf& cnf, const std::vector<Var>& order) {
+  Dtree t;
+  const size_t m = cnf.num_clauses();
+  if (m == 0) return t;
+
+  // varset[root]: sorted (var, #leaves-below-containing-var) pairs. The
+  // counts let the cluster computation decide "occurs outside" against the
+  // global occurrence counts without a second pass.
+  using VarCount = std::pair<Var, uint32_t>;
+  std::vector<std::vector<VarCount>> varset;
+  std::vector<uint32_t> total(cnf.num_vars(), 0);
+
+  std::vector<int32_t> roots;  // current forest, in creation order
+  for (size_t c = 0; c < m; ++c) {
+    Dtree::Node leaf;
+    leaf.clause = static_cast<int32_t>(c);
+    t.nodes.push_back(leaf);
+    roots.push_back(static_cast<int32_t>(c));
+    std::vector<VarCount> vars;
+    for (const Lit l : cnf.clause(c)) vars.push_back({l.var(), 1});
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    for (const auto& [v, cnt] : vars) total[v] += cnt;
+    varset.push_back(std::move(vars));
+  }
+
+  uint32_t max_cluster = 0;
+  auto merge_varsets = [](const std::vector<VarCount>& a,
+                          const std::vector<VarCount>& b) {
+    std::vector<VarCount> out;
+    out.reserve(a.size() + b.size());
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i].first < b[j].first) {
+        out.push_back(a[i++]);
+      } else if (b[j].first < a[i].first) {
+        out.push_back(b[j++]);
+      } else {
+        out.push_back({a[i].first, a[i].second + b[j].second});
+        ++i, ++j;
+      }
+    }
+    out.insert(out.end(), a.begin() + i, a.end());
+    out.insert(out.end(), b.begin() + j, b.end());
+    return out;
+  };
+  auto combine = [&](int32_t a, int32_t b) {
+    Dtree::Node node;
+    node.left = a;
+    node.right = b;
+    t.nodes.push_back(node);
+    const int32_t id = static_cast<int32_t>(t.nodes.size() - 1);
+    std::vector<VarCount> merged = merge_varsets(varset[a], varset[b]);
+    // cluster(t) = (vars(l) ∩ vars(r)) ∪ (vars(t) occurring outside t).
+    uint32_t cluster = 0;
+    {
+      size_t i = 0, j = 0;
+      for (const auto& [v, cnt] : merged) {
+        while (i < varset[a].size() && varset[a][i].first < v) ++i;
+        while (j < varset[b].size() && varset[b][j].first < v) ++j;
+        const bool in_both = i < varset[a].size() && j < varset[b].size() &&
+                             varset[a][i].first == v && varset[b][j].first == v;
+        if (in_both || cnt < total[v]) ++cluster;
+      }
+    }
+    max_cluster = std::max(max_cluster, cluster);
+    varset.push_back(std::move(merged));
+    return id;
+  };
+
+  for (const Var v : order) {
+    std::vector<int32_t> with_v, rest;
+    for (const int32_t root : roots) {
+      const auto& vs = varset[root];
+      const bool has =
+          std::binary_search(vs.begin(), vs.end(), VarCount{v, 0},
+                             [](const VarCount& x, const VarCount& y) {
+                               return x.first < y.first;
+                             });
+      (has ? with_v : rest).push_back(root);
+    }
+    if (with_v.size() > 1) {
+      rest.push_back(BalancedCombine(with_v, combine));
+      roots = std::move(rest);
+    } else if (with_v.size() == 1) {
+      rest.push_back(with_v[0]);
+      roots = std::move(rest);
+    }
+  }
+  if (!roots.empty()) BalancedCombine(roots, combine);
+
+  // Leaf clusters are the clause's full varset (cluster(leaf) = vars(t)).
+  // A clause is a clique of the primal graph, so induced width >= clause
+  // size - 1 and the dtree-width <= induced-width bound is preserved.
+  for (size_t c = 0; c < m; ++c) {
+    max_cluster = std::max(max_cluster, static_cast<uint32_t>(varset[c].size()));
+  }
+
+  t.width = max_cluster > 0 ? max_cluster - 1 : 0;
+  return t;
+}
+
+}  // namespace tbc

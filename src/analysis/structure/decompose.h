@@ -1,0 +1,54 @@
+#ifndef TBC_ANALYSIS_STRUCTURE_DECOMPOSE_H_
+#define TBC_ANALYSIS_STRUCTURE_DECOMPOSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/structure/elimination.h"
+#include "analysis/structure/graph.h"
+#include "logic/cnf.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+
+/// Vtree synthesized from an elimination order, making the width forecast
+/// *constructive*: compile with this vtree and the SDD respects the same
+/// decomposition the forecast priced.
+///
+/// Construction: build the elimination tree of the order (parent = the
+/// earliest-eliminated filled-graph neighbor), then map every variable v to
+/// Internal(leaf(v), balanced-combine(children's subtrees)) bottom-up;
+/// component roots are combined balanced. Variables in no clause become
+/// their own components, so the vtree always covers all of g's variables
+/// (SDD managers require every variable to appear).
+Vtree VtreeFromEliminationOrder(const PrimalGraph& g,
+                                const std::vector<Var>& order);
+
+/// A dtree (binary tree over the CNF's clauses [Darwiche 2001]) composed
+/// along an elimination order, c2d-style: clause leaves start as singleton
+/// trees; for each variable in order, every tree mentioning it is combined
+/// (balanced); leftover trees (disconnected components) combine at the end.
+struct Dtree {
+  struct Node {
+    int32_t clause = -1;  // >= 0 iff leaf (index into cnf.clauses())
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+  /// Children precede parents; the last node is the root (empty for a
+  /// clause-free CNF).
+  std::vector<Node> nodes;
+  /// Max cluster size minus one. For a dtree composed along an order this
+  /// is at most the order's induced width (the classical bound that makes
+  /// the n·2^w cost envelope constructive for the d-DNNF compiler too).
+  uint32_t width = 0;
+
+  /// c2d dtree exchange format: "dtree <n>", then "L <clause>" leaves and
+  /// "I <left> <right>" composes, ids implicit by line order.
+  std::string ToFileString() const;
+};
+Dtree DtreeFromEliminationOrder(const Cnf& cnf, const std::vector<Var>& order);
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_STRUCTURE_DECOMPOSE_H_

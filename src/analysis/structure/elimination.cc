@@ -1,0 +1,227 @@
+#include "analysis/structure/elimination.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "base/check.h"
+
+namespace tbc {
+
+namespace {
+
+// Mutable adjacency for elimination simulation: sorted neighbor vectors
+// with an alive mask. Dead entries are skipped on read rather than erased
+// (each vertex is eliminated once, so stale entries are scanned at most
+// once per surviving neighbor).
+struct DynGraph {
+  explicit DynGraph(const PrimalGraph& g) : alive(g.num_vars(), 1) {
+    adj.resize(g.num_vars());
+    for (Var v = 0; v < g.num_vars(); ++v) {
+      adj[v].assign(g.neighbors_begin(v), g.neighbors_end(v));
+    }
+  }
+
+  bool HasEdge(Var a, Var b) const {
+    const auto& n = adj[a];
+    return std::binary_search(n.begin(), n.end(), b);
+  }
+  void AddEdge(Var a, Var b) {
+    auto it = std::lower_bound(adj[a].begin(), adj[a].end(), b);
+    adj[a].insert(it, b);
+    it = std::lower_bound(adj[b].begin(), adj[b].end(), a);
+    adj[b].insert(it, a);
+  }
+  // Live neighbors of v, ascending.
+  void LiveNeighbors(Var v, std::vector<Var>* out) const {
+    out->clear();
+    for (const uint32_t u : adj[v]) {
+      if (alive[u]) out->push_back(u);
+    }
+  }
+  // Eliminates v: marks it dead and connects its live neighborhood into a
+  // clique. Returns the neighborhood size (this step's width contribution).
+  size_t Eliminate(Var v, std::vector<Var>* scratch) {
+    LiveNeighbors(v, scratch);
+    alive[v] = 0;
+    for (size_t i = 0; i < scratch->size(); ++i) {
+      for (size_t j = i + 1; j < scratch->size(); ++j) {
+        if (!HasEdge((*scratch)[i], (*scratch)[j])) {
+          AddEdge((*scratch)[i], (*scratch)[j]);
+        }
+      }
+    }
+    return scratch->size();
+  }
+
+  std::vector<std::vector<uint32_t>> adj;
+  std::vector<char> alive;
+};
+
+size_t LiveDegree(const DynGraph& g, Var v) {
+  size_t d = 0;
+  for (const uint32_t u : g.adj[v]) d += g.alive[u] != 0;
+  return d;
+}
+
+// Missing edges among the live neighbors of v (the min-fill score).
+size_t FillCount(const DynGraph& g, Var v, std::vector<Var>* scratch) {
+  g.LiveNeighbors(v, scratch);
+  size_t missing = 0;
+  for (size_t i = 0; i < scratch->size(); ++i) {
+    for (size_t j = i + 1; j < scratch->size(); ++j) {
+      missing += !g.HasEdge((*scratch)[i], (*scratch)[j]);
+    }
+  }
+  return missing;
+}
+
+// Greedy order minimizing `score` at every step. A lazy min-heap of
+// (score, var) pairs with current-score validation on pop: scores of
+// untouched vertices cannot have changed, and touched vertices are
+// re-pushed with their fresh score, so popped-and-valid means minimal.
+// Ties break on the lowest variable index via the pair ordering.
+template <typename ScoreFn, typename TouchedFn>
+std::vector<Var> GreedyOrder(DynGraph& g, ScoreFn score, TouchedFn touched) {
+  const size_t n = g.adj.size();
+  std::vector<Var> order;
+  order.reserve(n);
+  std::vector<uint64_t> current(n);
+  using Entry = std::pair<uint64_t, Var>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (Var v = 0; v < n; ++v) {
+    current[v] = score(v);
+    heap.push({current[v], v});
+  }
+  std::vector<Var> scratch, affected;
+  while (order.size() < n) {
+    const auto [s, v] = heap.top();
+    heap.pop();
+    if (!g.alive[v] || s != current[v]) continue;  // stale entry
+    g.Eliminate(v, &scratch);
+    order.push_back(v);
+    touched(v, scratch, &affected);
+    for (const Var u : affected) {
+      if (!g.alive[u]) continue;
+      const uint64_t fresh = score(u);
+      if (fresh != current[u]) {
+        current[u] = fresh;
+        heap.push({fresh, u});
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<Var> MinDegreeOrder(const PrimalGraph& pg) {
+  DynGraph g(pg);
+  return GreedyOrder(
+      g, [&](Var v) { return static_cast<uint64_t>(LiveDegree(g, v)); },
+      [&](Var /*v*/, const std::vector<Var>& nbrs, std::vector<Var>* affected) {
+        *affected = nbrs;  // only the neighborhood's degrees changed
+      });
+}
+
+std::vector<Var> MinFillOrder(const PrimalGraph& pg) {
+  DynGraph g(pg);
+  std::vector<Var> fill_scratch;
+  return GreedyOrder(
+      g,
+      [&](Var v) { return static_cast<uint64_t>(FillCount(g, v, &fill_scratch)); },
+      [&](Var /*v*/, const std::vector<Var>& nbrs, std::vector<Var>* affected) {
+        // Fill counts change for the clique members and for vertices that
+        // see a newly added edge inside their neighborhood — every such
+        // vertex is adjacent to a clique member, so rescore N(N(v)).
+        affected->clear();
+        for (const Var u : nbrs) {
+          affected->push_back(u);
+          for (const uint32_t w : g.adj[u]) {
+            if (g.alive[w]) affected->push_back(w);
+          }
+        }
+        std::sort(affected->begin(), affected->end());
+        affected->erase(std::unique(affected->begin(), affected->end()),
+                        affected->end());
+      });
+}
+
+std::vector<Var> MaxCardinalityOrder(const PrimalGraph& g) {
+  const size_t n = g.num_vars();
+  // MCS numbers vertices by descending count of already-numbered neighbors;
+  // the *elimination* order is the reverse of the visit order. Weights only
+  // grow, so a popped entry matching the current weight is maximal. The
+  // negated-index tiebreak keeps ties on the lowest variable.
+  std::vector<uint64_t> weight(n, 0);
+  std::vector<char> visited(n, 0);
+  using Entry = std::pair<uint64_t, uint64_t>;  // (weight, ~var)
+  std::priority_queue<Entry> heap;
+  for (Var v = 0; v < n; ++v) heap.push({0, ~static_cast<uint64_t>(v)});
+  std::vector<Var> visit;
+  visit.reserve(n);
+  while (visit.size() < n) {
+    const auto [w, nv] = heap.top();
+    heap.pop();
+    const Var v = static_cast<Var>(~nv);
+    if (visited[v] || w != weight[v]) continue;
+    visited[v] = 1;
+    visit.push_back(v);
+    for (const uint32_t* it = g.neighbors_begin(v); it != g.neighbors_end(v);
+         ++it) {
+      if (!visited[*it]) heap.push({++weight[*it], ~static_cast<uint64_t>(*it)});
+    }
+  }
+  std::reverse(visit.begin(), visit.end());
+  return visit;
+}
+
+}  // namespace
+
+const char* ElimHeuristicName(ElimHeuristic h) {
+  switch (h) {
+    case ElimHeuristic::kMinFill: return "min-fill";
+    case ElimHeuristic::kMinDegree: return "min-degree";
+    case ElimHeuristic::kMaxCardinality: return "max-cardinality";
+  }
+  return "unknown";
+}
+
+std::vector<Var> EliminationOrder(const PrimalGraph& g, ElimHeuristic h) {
+  switch (h) {
+    case ElimHeuristic::kMinFill: return MinFillOrder(g);
+    case ElimHeuristic::kMinDegree: return MinDegreeOrder(g);
+    case ElimHeuristic::kMaxCardinality: return MaxCardinalityOrder(g);
+  }
+  return {};
+}
+
+uint32_t InducedWidth(const PrimalGraph& g, const std::vector<Var>& order) {
+  return BuildEliminationTree(g, order).width;
+}
+
+EliminationTree BuildEliminationTree(const PrimalGraph& g,
+                                     const std::vector<Var>& order) {
+  const size_t n = g.num_vars();
+  TBC_CHECK_MSG(order.size() == n, "elimination order is not a permutation");
+  EliminationTree t;
+  t.parent.assign(n, kInvalidVar);
+
+  std::vector<uint32_t> pos(n, 0);
+  for (size_t i = 0; i < n; ++i) pos[order[i]] = static_cast<uint32_t>(i);
+
+  DynGraph dyn(g);
+  std::vector<Var> nbrs;
+  for (const Var v : order) {
+    const size_t width_here = dyn.Eliminate(v, &nbrs);
+    t.width = std::max(t.width, static_cast<uint32_t>(width_here));
+    // All surviving neighbors come later in the order; the earliest of
+    // them is v's parent in the elimination tree.
+    Var parent = kInvalidVar;
+    for (const Var u : nbrs) {
+      if (parent == kInvalidVar || pos[u] < pos[parent]) parent = u;
+    }
+    t.parent[v] = parent;
+  }
+  return t;
+}
+
+}  // namespace tbc

@@ -1,0 +1,43 @@
+#ifndef TBC_ANALYSIS_STRUCTURE_ELIMINATION_H_
+#define TBC_ANALYSIS_STRUCTURE_ELIMINATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/structure/graph.h"
+#include "logic/lit.h"
+
+namespace tbc {
+
+/// Greedy elimination-order heuristics. Min-fill is the strongest in
+/// practice (fewest fill edges first), min-degree the cheapest, and
+/// max-cardinality search (MCS) completes the classical trio; all three
+/// break ties on the lowest variable index, so the orders are bit-identical
+/// across platforms and thread counts.
+enum class ElimHeuristic : uint8_t { kMinFill, kMinDegree, kMaxCardinality };
+
+const char* ElimHeuristicName(ElimHeuristic h);
+
+/// A full elimination order over the graph's variables computed by `h`.
+std::vector<Var> EliminationOrder(const PrimalGraph& g, ElimHeuristic h);
+
+/// Exact induced width of `order` on `g`: simulate the elimination,
+/// connecting each eliminated vertex's surviving neighbors into a clique;
+/// the width is the largest neighborhood met. This is the exponent in the
+/// n·2^w compile-cost envelope and upper-bounds the treewidth.
+uint32_t InducedWidth(const PrimalGraph& g, const std::vector<Var>& order);
+
+/// Elimination tree of `order` on `g`: parent[v] is the earliest-eliminated
+/// vertex among v's neighbors in the filled graph at the moment v is
+/// eliminated (kInvalidVar for component roots). Computed by the same
+/// simulation as InducedWidth; `width` is that order's exact induced width.
+struct EliminationTree {
+  std::vector<Var> parent;  // indexed by variable
+  uint32_t width = 0;
+};
+EliminationTree BuildEliminationTree(const PrimalGraph& g,
+                                     const std::vector<Var>& order);
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_STRUCTURE_ELIMINATION_H_

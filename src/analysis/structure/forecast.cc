@@ -1,0 +1,261 @@
+#include "analysis/structure/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/rules.h"
+#include "analysis/structure/decompose.h"
+#include "base/check.h"
+#include "base/observability.h"
+
+namespace tbc {
+
+namespace {
+
+// Unit propagation over counter-based clause state: fixes every literal
+// forced from the unit clauses (a linear-time backbone subset) and detects
+// outright refutation. Pure-literal and unit counts ride along.
+void PropagationScan(const Cnf& cnf, bool compute_backbone,
+                     StructureReport& report) {
+  const size_t n = cnf.num_vars();
+  std::vector<uint32_t> polarity(2 * n, 0);  // occurrences per literal code
+  std::vector<std::vector<uint32_t>> occ(2 * n);
+  std::vector<uint32_t> unassigned(cnf.num_clauses());
+  std::vector<char> satisfied(cnf.num_clauses(), 0);
+  std::vector<char> assigned(2 * n, 0);  // literal code -> asserted
+
+  std::vector<Lit> queue;
+  for (size_t c = 0; c < cnf.num_clauses(); ++c) {
+    const Clause& clause = cnf.clause(c);
+    unassigned[c] = static_cast<uint32_t>(clause.size());
+    if (clause.empty()) report.trivially_unsat = true;
+    if (clause.size() == 1) {
+      ++report.num_unit_clauses;
+      queue.push_back(clause[0]);
+    }
+    for (const Lit l : clause) {
+      ++polarity[l.code()];
+      occ[l.code()].push_back(static_cast<uint32_t>(c));
+    }
+  }
+  for (Var v = 0; v < n; ++v) {
+    const bool pos = polarity[Pos(v).code()] > 0;
+    const bool neg = polarity[Neg(v).code()] > 0;
+    if (pos != neg) ++report.num_pure_literals;
+  }
+  if (!compute_backbone) return;
+
+  for (size_t head = 0; head < queue.size() && !report.trivially_unsat;
+       ++head) {
+    const Lit l = queue[head];
+    if (assigned[l.code()]) continue;
+    if (assigned[(~l).code()]) {
+      report.trivially_unsat = true;
+      break;
+    }
+    assigned[l.code()] = 1;
+    report.backbone.push_back(l);
+    for (const uint32_t c : occ[l.code()]) satisfied[c] = 1;
+    for (const uint32_t c : occ[(~l).code()]) {
+      if (satisfied[c]) continue;
+      if (--unassigned[c] == 0) {
+        report.trivially_unsat = true;
+        break;
+      }
+      if (unassigned[c] == 1) {
+        // The surviving literal is the clause's only unassigned one.
+        for (const Lit cand : cnf.clause(c)) {
+          if (!assigned[cand.code()] && !assigned[(~cand).code()]) {
+            queue.push_back(cand);
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::sort(report.backbone.begin(), report.backbone.end());
+}
+
+double Log2OrOne(size_t n) { return std::log2(static_cast<double>(std::max<size_t>(n, 1))); }
+
+void Forecasts(StructureReport& report) {
+  const double log2n = Log2OrOne(report.num_vars);
+  const double w = static_cast<double>(report.best_width());
+  // d-DNNF / recursive decomposition: nodes <= n * 2^w.
+  report.forecasts.push_back({"ddnnf", log2n + w});
+  // SDD under the synthesized vtree: one extra factor for primes vs subs.
+  report.forecasts.push_back({"sdd", log2n + w + 1.0});
+  // OBDD: priced through the pathwidth <= (w+1) * log2(n+1) relation,
+  // capped by the trivial 2^n envelope.
+  const double pw = (w + 1.0) * std::log2(static_cast<double>(report.num_vars) + 1.0);
+  report.forecasts.push_back(
+      {"obdd", log2n + std::min(static_cast<double>(report.num_vars), pw)});
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+StructureReport AnalyzeCnfStructure(const Cnf& cnf,
+                                    const StructureOptions& options) {
+  TBC_SPAN("analysis.structure");
+  TBC_COUNT("analysis.structure.runs");
+  StructureReport report;
+  report.num_vars = cnf.num_vars();
+  report.num_clauses = cnf.num_clauses();
+
+  report.graph = PrimalGraph::FromCnf(cnf);
+  report.num_edges = report.graph.num_edges();
+
+  const Components comps = ConnectedComponents(report.graph);
+  report.num_components = static_cast<uint32_t>(comps.sizes.size());
+  report.largest_component = comps.largest;
+
+  PropagationScan(cnf, options.compute_backbone, report);
+
+  const DegeneracyResult degen = Degeneracy(report.graph);
+  report.width_lower_bound = degen.degeneracy;
+
+  std::vector<ElimHeuristic> heuristics = {ElimHeuristic::kMinDegree,
+                                           ElimHeuristic::kMaxCardinality};
+  if (options.try_minfill && cnf.num_vars() <= options.minfill_max_vars) {
+    heuristics.push_back(ElimHeuristic::kMinFill);
+  }
+  for (const ElimHeuristic h : heuristics) {
+    OrderCandidate cand;
+    cand.heuristic = h;
+    cand.order = EliminationOrder(report.graph, h);
+    cand.width = InducedWidth(report.graph, cand.order);
+    report.candidates.push_back(std::move(cand));
+  }
+  TBC_COUNT_N("analysis.structure.orders_tried", report.candidates.size());
+  for (size_t i = 1; i < report.candidates.size(); ++i) {
+    if (report.candidates[i].width < report.candidates[report.best].width) {
+      report.best = i;
+    }
+  }
+  TBC_OBSERVE_VALUE("analysis.structure.best_width", report.best_width());
+
+  if (!report.candidates.empty()) {
+    report.dtree_width = DtreeFromEliminationOrder(cnf, report.best_order()).width;
+  }
+  Forecasts(report);
+  return report;
+}
+
+std::string StructureReport::ToText() const {
+  std::string out;
+  out += "vars " + std::to_string(num_vars) + ", clauses " +
+         std::to_string(num_clauses) + ", primal edges " +
+         std::to_string(num_edges) + "\n";
+  out += "components " + std::to_string(num_components) + " (largest " +
+         std::to_string(largest_component) + ")\n";
+  out += "units " + std::to_string(num_unit_clauses) + ", pure literals " +
+         std::to_string(num_pure_literals) + ", backbone (UP) " +
+         std::to_string(backbone.size()) +
+         (trivially_unsat ? ", UNSAT by unit propagation" : "") + "\n";
+  out += "width: lower bound " + std::to_string(width_lower_bound) +
+         " (degeneracy), upper bound " + std::to_string(best_width()) + " (" +
+         (candidates.empty() ? "none"
+                             : ElimHeuristicName(best_candidate().heuristic)) +
+         "), dtree " + std::to_string(dtree_width) + "\n";
+  for (const OrderCandidate& c : candidates) {
+    out += "  order " + std::string(ElimHeuristicName(c.heuristic)) +
+           ": width " + std::to_string(c.width) + "\n";
+  }
+  for (const BackendForecast& f : forecasts) {
+    out += "forecast " + std::string(f.backend) + ": log2(nodes) <= " +
+           FormatDouble(f.log2_nodes) + "\n";
+  }
+  return out;
+}
+
+std::string StructureReport::ToJson() const {
+  std::string out = "{\"analyzer\":\"structure\"";
+  out += ",\"num_vars\":" + std::to_string(num_vars);
+  out += ",\"num_clauses\":" + std::to_string(num_clauses);
+  out += ",\"num_edges\":" + std::to_string(num_edges);
+  out += ",\"components\":{\"count\":" + std::to_string(num_components) +
+         ",\"largest\":" + std::to_string(largest_component) + "}";
+  out += ",\"num_unit_clauses\":" + std::to_string(num_unit_clauses);
+  out += ",\"num_pure_literals\":" + std::to_string(num_pure_literals);
+  out += ",\"backbone_size\":" + std::to_string(backbone.size());
+  out += ",\"trivially_unsat\":";
+  out += trivially_unsat ? "true" : "false";
+  out += ",\"width\":{\"lower_bound\":" + std::to_string(width_lower_bound) +
+         ",\"upper_bound\":" + std::to_string(best_width()) +
+         ",\"best_heuristic\":\"" +
+         (candidates.empty() ? "none" : ElimHeuristicName(best_candidate().heuristic)) +
+         "\",\"dtree\":" + std::to_string(dtree_width) + "}";
+  out += ",\"orders\":[";
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"heuristic\":\"" +
+           std::string(ElimHeuristicName(candidates[i].heuristic)) +
+           "\",\"width\":" + std::to_string(candidates[i].width) + "}";
+  }
+  out += "],\"forecasts\":[";
+  for (size_t i = 0; i < forecasts.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"backend\":\"" + std::string(forecasts[i].backend) +
+           "\",\"log2_nodes\":" + FormatDouble(forecasts[i].log2_nodes) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void StructureDiagnostics(const StructureReport& report,
+                          DiagnosticReport& diag) {
+  diag.Add(Severity::kNote, rules::kStructureWidth, 0,
+           "lb=" + std::to_string(report.width_lower_bound) +
+               " ub=" + std::to_string(report.best_width()),
+           "induced width bracketed in [" +
+               std::to_string(report.width_lower_bound) + ", " +
+               std::to_string(report.best_width()) + "] (best heuristic: " +
+               (report.candidates.empty()
+                    ? "none"
+                    : ElimHeuristicName(report.best_candidate().heuristic)) +
+               ")");
+  for (const BackendForecast& f : report.forecasts) {
+    diag.Add(Severity::kNote, rules::kStructureForecast, 0,
+             std::string(f.backend),
+             std::string(f.backend) + " compile forecast: log2(nodes) <= " +
+                 FormatDouble(f.log2_nodes));
+  }
+  if (report.num_components > 1) {
+    diag.Add(Severity::kNote, rules::kStructureDisconnected, 0,
+             std::to_string(report.num_components),
+             "primal graph has " + std::to_string(report.num_components) +
+                 " components (largest " +
+                 std::to_string(report.largest_component) +
+                 "); they compile independently");
+  }
+  if (report.trivially_unsat) {
+    diag.Add(Severity::kWarning, rules::kStructureBackbone, 0, "",
+             "unit propagation refutes the CNF: every compile answers false");
+  } else if (!report.backbone.empty()) {
+    diag.Add(Severity::kNote, rules::kStructureBackbone, 0,
+             std::to_string(report.backbone.size()),
+             "unit propagation fixes " + std::to_string(report.backbone.size()) +
+                 " literal(s); conditioning them first shrinks every compile");
+  }
+  if (report.num_pure_literals > 0) {
+    diag.Add(Severity::kNote, rules::kStructurePure, 0,
+             std::to_string(report.num_pure_literals),
+             std::to_string(report.num_pure_literals) +
+                 " pure literal(s): single-polarity variables");
+  }
+}
+
+Vtree VtreeForCnf(const StructureReport& report) {
+  TBC_CHECK_MSG(!report.candidates.empty() && report.num_vars > 0,
+                "no elimination order to synthesize a vtree from");
+  return VtreeFromEliminationOrder(report.graph, report.best_order());
+}
+
+}  // namespace tbc

@@ -1,0 +1,103 @@
+#ifndef TBC_ANALYSIS_STRUCTURE_FORECAST_H_
+#define TBC_ANALYSIS_STRUCTURE_FORECAST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/structure/elimination.h"
+#include "analysis/structure/graph.h"
+#include "logic/cnf.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+
+/// Tuning for AnalyzeCnfStructure. Every pass stays near-linear except
+/// min-fill, which is worth its cost on anything the compilers could
+/// plausibly handle but is skipped above `minfill_max_vars`.
+struct StructureOptions {
+  bool try_minfill = true;
+  uint32_t minfill_max_vars = 4096;
+  bool compute_backbone = true;
+};
+
+/// One elimination-order candidate with its exact simulated induced width.
+struct OrderCandidate {
+  ElimHeuristic heuristic = ElimHeuristic::kMinDegree;
+  std::vector<Var> order;
+  uint32_t width = 0;
+};
+
+/// Predicted compile-cost envelope for one backend: log2 of the node-count
+/// upper bound implied by the best width (nodes <= n·2^w style; paper §4).
+struct BackendForecast {
+  const char* backend = "";
+  double log2_nodes = 0.0;
+};
+
+/// Everything the static pass learned about a CNF, priced before any
+/// compiler runs. The forecast is *advisory*: consumers route, budget, or
+/// refuse on it, but the Guard remains the enforcer of record (DESIGN.md
+/// "Structure analysis & cost forecasting").
+struct StructureReport {
+  size_t num_vars = 0;
+  size_t num_clauses = 0;
+  size_t num_edges = 0;
+
+  uint32_t num_components = 0;
+  uint32_t largest_component = 0;
+
+  size_t num_unit_clauses = 0;
+  size_t num_pure_literals = 0;
+  /// Literals fixed by unit propagation (a backbone subset, linear time).
+  std::vector<Lit> backbone;
+  /// Unit propagation derived the empty clause: the CNF is unsatisfiable
+  /// and every forecast below is moot.
+  bool trivially_unsat = false;
+
+  /// Degeneracy of the primal graph: a treewidth lower bound, bracketing
+  /// the heuristic upper bounds below.
+  uint32_t width_lower_bound = 0;
+  /// Elimination orders tried, each with its exact induced width.
+  std::vector<OrderCandidate> candidates;
+  /// Index into `candidates` of the smallest width (first on ties).
+  size_t best = 0;
+  /// Width of the dtree composed along the best order (<= best width).
+  uint32_t dtree_width = 0;
+  std::vector<BackendForecast> forecasts;
+
+  /// Primal graph, kept so consumers can synthesize vtrees/dtrees from
+  /// `best_order()` without rebuilding it.
+  PrimalGraph graph;
+
+  const OrderCandidate& best_candidate() const { return candidates[best]; }
+  const std::vector<Var>& best_order() const { return candidates[best].order; }
+  uint32_t best_width() const {
+    return candidates.empty() ? 0 : candidates[best].width;
+  }
+
+  std::string ToText() const;
+  /// One JSON object (the tbc_analyze --format=json payload).
+  std::string ToJson() const;
+};
+
+/// The static analysis pass: primal graph, components, unit/pure/backbone
+/// scans, degeneracy lower bound, elimination-order candidates (min-degree,
+/// MCS, min-fill when enabled), dtree width, and per-backend forecasts.
+StructureReport AnalyzeCnfStructure(const Cnf& cnf,
+                                    const StructureOptions& options = {});
+
+/// Renders the report as structure.* diagnostics (notes; the unsat finding
+/// is a warning). Parse failures are reported by callers under
+/// rules::kStructureParse — this function only sees parsed CNFs.
+void StructureDiagnostics(const StructureReport& report,
+                          DiagnosticReport& diag);
+
+/// Vtree over the CNF's variables synthesized from the report's best
+/// elimination order (kc_cli --vtree=minfill, portfolio SDD arm).
+Vtree VtreeForCnf(const StructureReport& report);
+
+}  // namespace tbc
+
+#endif  // TBC_ANALYSIS_STRUCTURE_FORECAST_H_

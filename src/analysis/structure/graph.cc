@@ -1,0 +1,107 @@
+#include "analysis/structure/graph.h"
+
+#include <algorithm>
+
+namespace tbc {
+
+PrimalGraph PrimalGraph::FromCnf(const Cnf& cnf) {
+  const size_t n = cnf.num_vars();
+  // Generate both directions of every clause-pair edge, then sort + unique
+  // per vertex. 64-bit packed (src, dst) pairs sort in one pass.
+  std::vector<uint64_t> edges;
+  for (const Clause& clause : cnf.clauses()) {
+    for (size_t i = 0; i < clause.size(); ++i) {
+      for (size_t j = i + 1; j < clause.size(); ++j) {
+        const uint64_t a = clause[i].var();
+        const uint64_t b = clause[j].var();
+        if (a == b) continue;  // x and ~x in one clause share a variable
+        edges.push_back((a << 32) | b);
+        edges.push_back((b << 32) | a);
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  PrimalGraph g;
+  g.adj_start_.assign(n + 1, 0);
+  g.adj_.reserve(edges.size());
+  for (const uint64_t e : edges) {
+    g.adj_start_[(e >> 32) + 1]++;
+    g.adj_.push_back(static_cast<uint32_t>(e));
+  }
+  for (size_t v = 0; v < n; ++v) g.adj_start_[v + 1] += g.adj_start_[v];
+  return g;
+}
+
+Components ConnectedComponents(const PrimalGraph& g) {
+  const size_t n = g.num_vars();
+  Components out;
+  out.component_of.assign(n, static_cast<uint32_t>(-1));
+  std::vector<uint32_t> stack;
+  for (Var root = 0; root < n; ++root) {
+    if (out.component_of[root] != static_cast<uint32_t>(-1)) continue;
+    const uint32_t id = static_cast<uint32_t>(out.sizes.size());
+    out.sizes.push_back(0);
+    stack.push_back(root);
+    out.component_of[root] = id;
+    while (!stack.empty()) {
+      const Var v = stack.back();
+      stack.pop_back();
+      out.sizes[id]++;
+      for (const uint32_t* it = g.neighbors_begin(v); it != g.neighbors_end(v);
+           ++it) {
+        if (out.component_of[*it] == static_cast<uint32_t>(-1)) {
+          out.component_of[*it] = id;
+          stack.push_back(*it);
+        }
+      }
+    }
+  }
+  for (const uint32_t s : out.sizes) out.largest = std::max(out.largest, s);
+  return out;
+}
+
+DegeneracyResult Degeneracy(const PrimalGraph& g) {
+  const size_t n = g.num_vars();
+  DegeneracyResult r;
+  r.order.reserve(n);
+  if (n == 0) return r;
+
+  std::vector<uint32_t> deg(n);
+  size_t max_deg = 0;
+  for (Var v = 0; v < n; ++v) {
+    deg[v] = static_cast<uint32_t>(g.degree(v));
+    max_deg = std::max<size_t>(max_deg, deg[v]);
+  }
+  // Bucket queue keyed by current degree, with lazy deletion: a vertex is
+  // re-pushed whenever its degree drops, and popped entries that no longer
+  // match the vertex's current degree are skipped. Buckets are filled and
+  // drained in a fixed sequence, so the order is deterministic on every
+  // platform and thread count.
+  std::vector<std::vector<Var>> buckets(max_deg + 1);
+  for (Var v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<char> removed(n, 0);
+
+  size_t cursor = 0;  // lowest possibly-nonempty bucket
+  for (size_t taken = 0; taken < n;) {
+    while (buckets[cursor].empty()) ++cursor;
+    const Var v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v] || deg[v] != cursor) continue;  // stale entry
+    removed[v] = 1;
+    ++taken;
+    r.order.push_back(v);
+    r.degeneracy = std::max(r.degeneracy, static_cast<uint32_t>(cursor));
+    for (const uint32_t* it = g.neighbors_begin(v); it != g.neighbors_end(v);
+         ++it) {
+      if (removed[*it]) continue;
+      const uint32_t d = --deg[*it];
+      buckets[d].push_back(*it);
+      if (d < cursor) cursor = d;
+    }
+  }
+  return r;
+}
+
+}  // namespace tbc

@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kCancelled,          // cooperative cancellation requested
   kOverloaded,         // server admission control shed the request
   kUnavailable,        // server draining / connection lost; retryable
+  kRefusedByForecast,  // static width forecast predicts a hopeless compile
   kInternal,           // everything else
 };
 
@@ -37,6 +38,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCancelled: return "kCancelled";
     case StatusCode::kOverloaded: return "kOverloaded";
     case StatusCode::kUnavailable: return "kUnavailable";
+    case StatusCode::kRefusedByForecast: return "kRefusedByForecast";
     case StatusCode::kInternal: return "kInternal";
   }
   return "kInternal";
@@ -48,7 +50,8 @@ inline bool StatusCodeFromName(std::string_view name, StatusCode* out) {
   for (StatusCode c : {StatusCode::kOk, StatusCode::kInvalidInput,
                        StatusCode::kDeadlineExceeded, StatusCode::kBudgetExceeded,
                        StatusCode::kCancelled, StatusCode::kOverloaded,
-                       StatusCode::kUnavailable, StatusCode::kInternal}) {
+                       StatusCode::kUnavailable, StatusCode::kRefusedByForecast,
+                       StatusCode::kInternal}) {
     if (name == StatusCodeName(c)) {
       *out = c;
       return true;
@@ -58,15 +61,19 @@ inline bool StatusCodeFromName(std::string_view name, StatusCode* out) {
 }
 
 /// True for the resource-refusal codes (deadline/budget/cancelled, plus
-/// the serving-layer load-shed and drain refusals): the operation gave up
-/// under its budget or the service shed it, and may succeed when retried
-/// with more resources / less load.
+/// the serving-layer load-shed, drain, and width-forecast refusals): the
+/// operation gave up under its budget or the service declined to start it,
+/// and may succeed when retried with more resources / less load / a
+/// higher width cap. Note clients auto-retry only kOverloaded and
+/// kUnavailable — a forecast refusal is deterministic, so retrying the
+/// same request is pointless.
 inline bool IsRefusal(StatusCode code) {
   return code == StatusCode::kDeadlineExceeded ||
          code == StatusCode::kBudgetExceeded ||
          code == StatusCode::kCancelled ||
          code == StatusCode::kOverloaded ||
-         code == StatusCode::kUnavailable;
+         code == StatusCode::kUnavailable ||
+         code == StatusCode::kRefusedByForecast;
 }
 
 /// Lightweight status type for fallible operations (parsing, file IO,
@@ -108,6 +115,9 @@ class Status {
   }
   static Status Unavailable(std::string message) {
     return Error(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status RefusedByForecast(std::string message) {
+    return Error(StatusCode::kRefusedByForecast, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,6 +8,7 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/structure/forecast.h"
 #include "base/observability.h"
 #include "base/timer.h"
 #include "bayes/varelim.h"
@@ -38,6 +39,10 @@ struct Query {
   int value = 0;
   bool wants_posterior = false;      // divide by Pr(evidence)
   bool wants_marginal = false;       // evaluate `extended` instead
+  /// Structure plan for this query's CNF encoding (set by RunPortfolio):
+  /// supplies the SDD arm's vtree and the stage routing below. May be null
+  /// (plan computation is best-effort); arms must fall back gracefully.
+  const StructureReport* plan = nullptr;
 };
 
 // Evaluates the query on a compiled circuit via two linear WMC passes.
@@ -53,11 +58,23 @@ Result<double> Answer(const Query& q, const WmcEncoding& enc,
   return wmc(enc.WeightsWithEvidence(q.extended)) / pe;
 }
 
-Result<double> RunSdd(const Query& q, Guard& guard) {
-  WmcEncoding enc(q.net);
+// The SDD arm's vtree: synthesized from the plan's best elimination order
+// when available (WmcEncoding is deterministic, so the plan's variable
+// indices — computed from an identical encoding of the same network —
+// match this one's), else the legacy balanced vtree over variable order.
+Vtree VtreeForQuery(const Query& q, const WmcEncoding& enc) {
+  if (q.plan != nullptr && !q.plan->candidates.empty() &&
+      q.plan->num_vars == enc.num_bool_vars()) {
+    return VtreeForCnf(*q.plan);
+  }
   std::vector<Var> order(enc.num_bool_vars());
   std::iota(order.begin(), order.end(), 0);
-  SddManager mgr(Vtree::Balanced(order));
+  return Vtree::Balanced(order);
+}
+
+Result<double> RunSdd(const Query& q, Guard& guard) {
+  WmcEncoding enc(q.net);
+  SddManager mgr(VtreeForQuery(q, enc));
   TBC_ASSIGN_OR_RETURN(const SddId f, CompileCnfBounded(mgr, enc.cnf(), guard));
 #ifdef TBC_VALIDATE
   // The answer below is only as trustworthy as the circuit it is read off
@@ -99,6 +116,39 @@ constexpr std::array<Stage, 3> kStages = {
     Stage{PortfolioEngine::kDdnnf, RunDdnnf},
     Stage{PortfolioEngine::kVarElim, RunVarElim},
 };
+
+// Above this predicted induced width, the compile arms are forecast to be
+// hopeless within any reasonable budget (nodes scale with 2^w), so the
+// serial portfolio runs variable elimination first — same 2^w core cost,
+// none of the circuit-construction constant factor — and demotes the
+// compilers to fallbacks. The forecast only *routes*; each arm's Guard
+// remains the enforcer (DESIGN.md "Structure analysis & cost forecasting").
+constexpr uint32_t kVarElimFirstWidth = 20;
+
+// Per-query routing decision derived from the static structure pass.
+struct StagePlan {
+  StructureReport report;
+  // Execution order as indices into kStages, and the deadline divisor for
+  // each *position* (first stage gets remaining/share[0], etc.).
+  std::array<size_t, kStages.size()> order{{0, 1, 2}};
+  std::array<double, kStages.size()> deadline_share{{3.0, 2.0, 1.0}};
+};
+
+StagePlan PlanStages(const Query& q) {
+  StagePlan plan;
+  WmcEncoding enc(q.net);
+  StructureOptions opts;
+  opts.compute_backbone = false;  // routing needs widths only
+  plan.report = AnalyzeCnfStructure(enc.cnf(), opts);
+  TBC_OBSERVE_VALUE("portfolio.plan.width", plan.report.best_width());
+  if (plan.report.best_width() > kVarElimFirstWidth) {
+    plan.order = {2, 0, 1};
+    // VE gets the first half of the deadline, SDD half the rest.
+    plan.deadline_share = {2.0, 2.0, 1.0};
+    TBC_COUNT("portfolio.plan.varelim_first");
+  }
+  return plan;
+}
 
 // Runs arm i and records its wall time under "portfolio.arm.<engine>.us"
 // plus a refusal counter when it fails. Dynamic-name metrics: at most
@@ -171,28 +221,35 @@ Result<PortfolioAnswer> RunPortfolioParallel(const Query& q,
 Result<PortfolioAnswer> RunPortfolio(const Query& q, const Budget& budget,
                                      ThreadPool* pool) {
   TBC_SPAN("portfolio.run");
+  const StagePlan plan = PlanStages(q);
+  Query planned = q;
+  planned.plan = &plan.report;
   if (pool != nullptr && pool->num_threads() > 1) {
-    return RunPortfolioParallel(q, budget, *pool);
+    // Racing mode runs every arm regardless of the forecast — the race
+    // discovers the cheapest arm empirically, and reordering would change
+    // the deterministic ranking. The plan still supplies the SDD vtree.
+    return RunPortfolioParallel(planned, budget, *pool);
   }
   // Each stage gets a fresh guard with a slice of whatever deadline is
   // left: 1/3 for the first engine, 1/2 of the remainder for the second,
-  // everything for the last. The node budget is not divided — it caps the
-  // size of any one attempt, not their sum.
-  constexpr std::array<double, 3> kDeadlineShare = {3.0, 2.0, 1.0};
+  // everything for the last (shares shift under a varelim-first plan). The
+  // node budget is not divided — it caps the size of any one attempt, not
+  // their sum.
   Guard outer(budget);
   PortfolioAnswer answer;
   Status last_refusal = Status::DeadlineExceeded("no engine attempted");
-  for (size_t i = 0; i < kStages.size(); ++i) {
+  for (size_t k = 0; k < kStages.size(); ++k) {
+    const size_t i = plan.order[k];
     TBC_RETURN_IF_ERROR(outer.Check());
     Budget stage_budget;
     if (outer.has_deadline()) {
-      stage_budget.timeout_ms = outer.RemainingMs() / kDeadlineShare[i];
+      stage_budget.timeout_ms = outer.RemainingMs() / plan.deadline_share[k];
     }
     stage_budget.max_nodes = budget.max_nodes;
     stage_budget.max_conflicts = budget.max_conflicts;
     stage_budget.max_decisions = budget.max_decisions;
     Guard stage_guard(stage_budget);
-    Result<double> r = RunStageTimed(i, q, stage_guard);
+    Result<double> r = RunStageTimed(i, planned, stage_guard);
     if (r.ok()) {
       answer.value = *r;
       answer.engine = kStages[i].first;

@@ -136,6 +136,19 @@ Result<std::shared_ptr<const Artifact>> ArtifactCache::GetOrCompile(
   return built;
 }
 
+std::shared_ptr<const Artifact> ArtifactCache::Lookup(
+    const std::string& cnf_text) {
+  const std::string key = KeyOf(cnf_text);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end() || !it->second->done || it->second->failed) {
+    return nullptr;
+  }
+  if (it->second->artifact->cnf_text != cnf_text) return nullptr;  // collision
+  it->second->last_use = ++use_clock_;
+  return it->second->artifact;
+}
+
 size_t ArtifactCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "analysis/structure/forecast.h"
 #include "base/fault.h"
 #include "base/guard.h"
 #include "base/observability.h"
@@ -267,7 +268,35 @@ Response Server::Execute(const Request& req, Guard& guard) {
   }
 
   bool cache_hit = false;
-  auto artifact = cache_.GetOrCompile(req.cnf_text, guard, &cache_hit);
+  std::shared_ptr<const Artifact> cached;
+  if (opts_.max_forecast_width > 0) {
+    // Forecast admission (rule structure.width/structure.forecast): price
+    // the compile with the near-linear static pass and refuse hopeless
+    // requests before they consume any compile Guard budget. Runs after
+    // Admit, so at most num_workers analyses execute concurrently, and
+    // only on a cache miss — a cached artifact's compile is sunk cost.
+    cached = cache_.Lookup(req.cnf_text);
+    if (cached == nullptr) {
+      auto parsed = Cnf::ParseDimacs(req.cnf_text);
+      if (!parsed.ok()) return ErrorResponse(parsed.status());
+      StructureOptions sopts;
+      sopts.compute_backbone = false;  // routing needs widths only
+      const StructureReport forecast = AnalyzeCnfStructure(*parsed, sopts);
+      if (forecast.best_width() > opts_.max_forecast_width) {
+        TBC_COUNT("serve.requests.forecast_refused");
+        return ErrorResponse(Status::RefusedByForecast(
+            "predicted induced width " +
+            std::to_string(forecast.best_width()) + " exceeds the server cap " +
+            std::to_string(opts_.max_forecast_width) +
+            " (lower bound " + std::to_string(forecast.width_lower_bound) +
+            "); compile forecast refused before any budget was consumed"));
+      }
+    }
+  }
+  auto artifact = cached != nullptr
+                      ? Result<std::shared_ptr<const Artifact>>(cached)
+                      : cache_.GetOrCompile(req.cnf_text, guard, &cache_hit);
+  if (cached != nullptr) cache_hit = true;
   if (!artifact.ok()) return ErrorResponse(artifact.status());
   const Artifact& art = **artifact;
   resp.artifact = art.key;

@@ -29,6 +29,14 @@ struct ServerOptions {
   double max_timeout_ms = 60'000.0;      // cap on client-requested budgets
   int idle_timeout_ms = 0;      // close connections idle this long (0 = keep)
   int io_timeout_ms = 5'000;    // mid-frame stall cap (slow-loris bound)
+  /// Forecast-based admission control (0 = off): compile-bearing requests
+  /// whose CNF's predicted induced width exceeds this cap are refused with
+  /// a typed kRefusedByForecast *before* any compile starts, so a hopeless
+  /// request costs the server one near-linear analysis pass instead of a
+  /// full Guard budget. Already-cached artifacts bypass the check (their
+  /// compile cost is already paid). The forecast is advisory — the Guard
+  /// still bounds everything that is admitted.
+  uint32_t max_forecast_width = 0;
 };
 
 /// The knowledge-compilation service (ROADMAP "KC-as-a-service"): a

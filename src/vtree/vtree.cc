@@ -219,24 +219,42 @@ Result<Vtree> Vtree::Parse(const std::string& text) {
     if (kind == 'v') {
       saw_header = true;
     } else if (kind == 'L') {
-      if (b < 1) return Status::Error("bad vtree leaf line: " + line);
-      last = t.AddLeaf(static_cast<Var>(b - 1));
+      if (b < 1) return Status::InvalidInput("bad vtree leaf line: " + line);
+      const Var var = static_cast<Var>(b - 1);
+      // AddLeaf aborts on a repeated variable; adversarial files must get
+      // a typed rejection instead.
+      if (var < t.leaf_of_var_.size() && t.leaf_of_var_[var] != kInvalidVtree) {
+        return Status::InvalidInput("variable appears in two vtree leaves: " +
+                                    line);
+      }
+      last = t.AddLeaf(var);
       node_of_file_id[static_cast<uint32_t>(a)] = last;
     } else if (kind == 'I') {
       auto lit = node_of_file_id.find(static_cast<uint32_t>(b));
       auto rit = node_of_file_id.find(static_cast<uint32_t>(c));
       if (lit == node_of_file_id.end() || rit == node_of_file_id.end()) {
-        return Status::Error("vtree forward reference: " + line);
+        return Status::InvalidInput("vtree forward reference: " + line);
       }
       last = t.AddInternal(lit->second, rit->second);
       node_of_file_id[static_cast<uint32_t>(a)] = last;
     } else {
-      return Status::Error("unknown vtree line: " + line);
+      return Status::InvalidInput("unknown vtree line: " + line);
     }
   }
-  if (!saw_header) return Status::Error("missing vtree header");
-  if (last == kInvalidVtree) return Status::Error("empty vtree");
+  if (!saw_header) return Status::InvalidInput("missing vtree header");
+  if (last == kInvalidVtree) return Status::InvalidInput("empty vtree");
   t.root_ = last;
+  // The last-defined node is the root only if every other node hangs off
+  // it. A file defining a forest (or reusing one node under two parents,
+  // which orphans the first parent) used to be accepted silently, with
+  // whole subtrees invisible to position/LCA queries.
+  for (VtreeId v = 0; v < t.nodes_.size(); ++v) {
+    if (v != t.root_ && t.nodes_[v].parent == kInvalidVtree) {
+      return Status::InvalidInput(
+          "vtree file defines a forest: node defined on line-order index " +
+          std::to_string(v) + " is not reachable from the root");
+    }
+  }
   t.Finalize();
   return t;
 }

@@ -167,6 +167,51 @@ TEST(ServeFaults, NoPlanMeansNoFires) {
   (*server)->Shutdown();
 }
 
+TEST(ServeFaults, ForecastCappedServerStaysTypedUnderFaults) {
+  // A width-capped server under the full fault matrix: every request —
+  // admitted, refused by forecast, or hit by an injected fault — must
+  // produce a well-formed typed response, and a width-refusal must stay
+  // kRefusedByForecast (injected faults fire after admission, never
+  // corrupt the refusal path).
+  ServerOptions opts = LoopbackOptions();
+  opts.max_forecast_width = 3;
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  std::string wide = "p cnf 12 1\n";  // 12-clique: width 11 > cap 3
+  for (int v = 1; v <= 12; ++v) wide += std::to_string(v) + " ";
+  wide += "0\n";
+
+  for (std::string_view point : fault::KnownPoints()) {
+    SCOPED_TRACE(std::string(point));
+    for (int seed = 1; seed <= 10; ++seed) {
+      fault::FaultPlan plan(static_cast<uint64_t>(seed));
+      plan.SetProbability(point, 0.5);
+      fault::ScopedFaultPlan scope(&plan);
+      Client client(ClientFor(**server));
+      // Normal traffic: typed success or typed refusal, as elsewhere.
+      RunOneRequest(client, static_cast<uint64_t>(seed) * 13 + 1);
+      // Over-width traffic: the refusal must survive injected churn.
+      Request req;
+      req.op = Op::kCount;
+      req.cnf_text = wide;
+      req.timeout_ms = 5'000.0;
+      auto resp = client.Call(req);
+      if (resp.ok()) {
+        // Injected faults may pre-empt the forecast (garbage frames parse
+        // as kInvalidInput, injected cancels as kCancelled), but the wide
+        // CNF must never compile successfully and every failure is typed.
+        EXPECT_NE(resp->status, StatusCode::kOk);
+        EXPECT_FALSE(resp->message.empty());
+      } else {
+        // Transport-level injected failure: typed, like every other path.
+        EXPECT_FALSE(resp.status().ok());
+      }
+    }
+  }
+  (*server)->Shutdown();
+}
+
 TEST(ServeFaults, DrainFinishesInFlightRequests) {
   auto server = Server::Start(LoopbackOptions());
   ASSERT_TRUE(server.ok());

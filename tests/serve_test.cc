@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "base/guard.h"
+#include "base/observability.h"
 #include "base/random.h"
 #include "base/result.h"
 #include "gtest/gtest.h"
@@ -234,6 +235,26 @@ TEST(ArtifactCache, EvictsLeastRecentlyUsedAtCapacity) {
   EXPECT_TRUE(hit);
 }
 
+TEST(ArtifactCache, LookupPeeksWithoutCompiling) {
+  ArtifactCache cache(2);
+  // Miss: Lookup never compiles, so an un-requested CNF stays absent.
+  EXPECT_EQ(cache.Lookup(kSmallCnf), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  Guard guard(Budget::Unlimited());
+  auto built = cache.GetOrCompile(kSmallCnf, guard, nullptr);
+  ASSERT_TRUE(built.ok());
+  // Hit: same shared artifact, still exactly one cached entry.
+  EXPECT_EQ(cache.Lookup(kSmallCnf).get(), built->get());
+  EXPECT_EQ(cache.size(), 1u);
+  // Lookup refreshes recency: after touching kSmallCnf, inserting two more
+  // CNFs must evict the other entry first.
+  ASSERT_TRUE(cache.GetOrCompile("p cnf 1 0\n", guard, nullptr).ok());
+  EXPECT_NE(cache.Lookup(kSmallCnf), nullptr);
+  ASSERT_TRUE(cache.GetOrCompile("p cnf 2 0\n", guard, nullptr).ok());
+  EXPECT_NE(cache.Lookup(kSmallCnf), nullptr);  // survived both evictions
+  EXPECT_EQ(cache.Lookup("p cnf 1 0\n"), nullptr);  // LRU victim
+}
+
 TEST(ArtifactCache, FailedCompilesAreNotCached) {
   ArtifactCache cache(4);
   Guard guard(Budget::Unlimited());
@@ -283,6 +304,64 @@ TEST(Server, AnswersQueriesAndReusesArtifacts) {
   ASSERT_TRUE(w->ok()) << w->message;
   EXPECT_DOUBLE_EQ(w->wmc, 2.0);
   EXPECT_TRUE(w->cache_hit);  // same artifact serves every query op
+}
+
+TEST(Server, ForecastAdmissionRefusesHighWidthWithoutCompiling) {
+  ServerOptions opts = LoopbackOptions();
+  opts.max_forecast_width = 10;
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  Client client(ClientFor(**server));
+
+  // A single 30-literal clause makes the primal graph a 30-clique:
+  // predicted induced width 29, far over the cap of 10.
+  std::string wide = "p cnf 30 1\n";
+  for (int v = 1; v <= 30; ++v) wide += std::to_string(v) + " ";
+  wide += "0\n";
+
+  const uint64_t misses_before =
+      Observability::Global().CounterValue("serve.cache.misses");
+  const uint64_t refused_before =
+      Observability::Global().CounterValue("serve.requests.forecast_refused");
+
+  Request req;
+  req.op = Op::kCount;
+  req.cnf_text = wide;
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp->status, StatusCode::kRefusedByForecast);
+  EXPECT_FALSE(resp->message.empty());
+  EXPECT_TRUE(IsRefusal(resp->status));
+
+  // The refusal happened before any compile: nothing was cached, the
+  // cache never even saw a miss, and the typed counter ticked.
+  EXPECT_EQ((*server)->cached_artifacts(), 0u);
+  EXPECT_EQ(Observability::Global().CounterValue("serve.cache.misses"),
+            misses_before);
+  EXPECT_EQ(
+      Observability::Global().CounterValue("serve.requests.forecast_refused"),
+      refused_before + 1);
+
+  // Retrying the identical request is deterministic: refused again.
+  auto again = client.Call(req);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->status, StatusCode::kRefusedByForecast);
+
+  // Low-width work on the same server is admitted and answered.
+  Request small;
+  small.op = Op::kCount;
+  small.cnf_text = kSmallCnf;
+  auto ok = client.Call(small);
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(ok->ok()) << ok->message;
+  EXPECT_EQ(ok->count, "4");
+
+  // And once an artifact is cached, repeat requests bypass the forecast
+  // path entirely (cache_hit short-circuit).
+  auto cached = client.Call(small);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->cache_hit);
+  (*server)->Shutdown();
 }
 
 TEST(Server, MalformedRequestsGetTypedRefusalsNotCrashes) {

@@ -1,0 +1,275 @@
+// Tests for the static CNF structure analyzer (src/analysis/structure/):
+// graph construction, elimination-order properties on random CNFs, width
+// bracketing, decomposition synthesis, diagnostics, and the SDD round-trip
+// of a synthesized min-fill vtree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/rules.h"
+#include "analysis/sdd_analyzer.h"
+#include "analysis/structure/decompose.h"
+#include "analysis/structure/elimination.h"
+#include "analysis/structure/forecast.h"
+#include "analysis/structure/graph.h"
+#include "base/random.h"
+#include "logic/cnf.h"
+#include "sdd/compile.h"
+#include "sdd/io.h"
+#include "sdd/sdd.h"
+#include "vtree/vtree.h"
+
+namespace tbc {
+namespace {
+
+Cnf ChainCnf(size_t n) {
+  Cnf cnf(n);
+  for (Var v = 0; v + 1 < n; ++v) cnf.AddClause({Neg(v), Pos(v + 1)});
+  return cnf;
+}
+
+Cnf GridCnf(size_t rows, size_t cols) {
+  Cnf cnf(rows * cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const Var v = static_cast<Var>(r * cols + c);
+      if (c + 1 < cols) cnf.AddClause({Neg(v), Pos(v + 1)});
+      if (r + 1 < rows) cnf.AddClause({Pos(v), Neg(v + cols)});
+    }
+  }
+  return cnf;
+}
+
+Cnf RandomCnf(size_t n, size_t m, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  Cnf cnf(n);
+  for (size_t i = 0; i < m; ++i) {
+    std::set<Var> vars;
+    while (vars.size() < k) vars.insert(static_cast<Var>(rng.Below(n)));
+    Clause c;
+    for (Var v : vars) c.push_back(Lit(v, rng.Flip(0.5)));
+    cnf.AddClause(c);
+  }
+  return cnf;
+}
+
+bool IsPermutation(const std::vector<Var>& order, size_t n) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (Var v : order) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+// --- graph ---
+
+TEST(StructureGraph, ChainIsAPath) {
+  const Cnf cnf = ChainCnf(10);
+  const PrimalGraph g = PrimalGraph::FromCnf(cnf);
+  EXPECT_EQ(g.num_vars(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(5), 2u);
+  const Components comps = ConnectedComponents(g);
+  EXPECT_EQ(comps.sizes.size(), 1u);
+  EXPECT_EQ(comps.largest, 10u);
+}
+
+TEST(StructureGraph, DuplicateEdgesCollapse) {
+  Cnf cnf(3);
+  cnf.AddClause({Pos(0), Pos(1)});
+  cnf.AddClause({Neg(0), Neg(1)});  // same primal edge, other polarity
+  cnf.AddClause({Pos(0), Pos(1), Pos(2)});
+  const PrimalGraph g = PrimalGraph::FromCnf(cnf);
+  EXPECT_EQ(g.num_edges(), 3u);  // {0,1}, {0,2}, {1,2}
+}
+
+TEST(StructureGraph, DegeneracyOfCliqueAndPath) {
+  Cnf clique(6);
+  Clause wide;
+  for (Var v = 0; v < 6; ++v) wide.push_back(Pos(v));
+  clique.AddClause(wide);
+  EXPECT_EQ(Degeneracy(PrimalGraph::FromCnf(clique)).degeneracy, 5u);
+  EXPECT_EQ(Degeneracy(PrimalGraph::FromCnf(ChainCnf(10))).degeneracy, 1u);
+}
+
+// --- elimination orders ---
+
+TEST(StructureElimination, ChainHasWidthOne) {
+  const PrimalGraph g = PrimalGraph::FromCnf(ChainCnf(16));
+  for (ElimHeuristic h : {ElimHeuristic::kMinFill, ElimHeuristic::kMinDegree,
+                          ElimHeuristic::kMaxCardinality}) {
+    const std::vector<Var> order = EliminationOrder(g, h);
+    ASSERT_TRUE(IsPermutation(order, 16));
+    EXPECT_LE(InducedWidth(g, order), 1u) << ElimHeuristicName(h);
+  }
+}
+
+TEST(StructureElimination, GridWidthIsBracketed) {
+  const PrimalGraph g = PrimalGraph::FromCnf(GridCnf(4, 5));
+  // A 4x5 grid has treewidth 4 = min(rows, cols).
+  EXPECT_GE(Degeneracy(g).degeneracy, 2u);
+  const std::vector<Var> mf =
+      EliminationOrder(g, ElimHeuristic::kMinFill);
+  EXPECT_LE(InducedWidth(g, mf), 4u);
+}
+
+TEST(StructureElimination, WidthMatchesRecomputationOnRandomCnfs) {
+  // Property: every candidate's reported width is the exact induced width
+  // of its order (re-simulated), the degeneracy lower-bounds the best
+  // width, and the dtree width never exceeds the best width.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const Cnf cnf = RandomCnf(24, 60, 3, seed);
+    const StructureReport report = AnalyzeCnfStructure(cnf);
+    ASSERT_FALSE(report.candidates.empty());
+    for (const OrderCandidate& cand : report.candidates) {
+      ASSERT_TRUE(IsPermutation(cand.order, cnf.num_vars()));
+      EXPECT_EQ(cand.width, InducedWidth(report.graph, cand.order))
+          << "seed " << seed << " " << ElimHeuristicName(cand.heuristic);
+    }
+    EXPECT_LE(report.width_lower_bound, report.best_width()) << seed;
+    EXPECT_LE(report.dtree_width, report.best_width()) << seed;
+  }
+}
+
+TEST(StructureElimination, OrdersAreDeterministic) {
+  // The same CNF must produce byte-identical orders on every run — the
+  // forecast feeds admission control, so it must not depend on hashing
+  // order, thread count, or platform tie-breaking.
+  const Cnf cnf = RandomCnf(30, 90, 3, 42);
+  const StructureReport a = AnalyzeCnfStructure(cnf);
+  const StructureReport b = AnalyzeCnfStructure(cnf);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].order, b.candidates[i].order);
+    EXPECT_EQ(a.candidates[i].width, b.candidates[i].width);
+  }
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.width_lower_bound, b.width_lower_bound);
+}
+
+// --- propagation facts ---
+
+TEST(StructureReportTest, BackboneAndUnits) {
+  Cnf cnf(4);
+  cnf.AddClause({Pos(0)});           // unit: x0
+  cnf.AddClause({Neg(0), Pos(1)});   // chain: forces x1
+  cnf.AddClause({Pos(2), Pos(3)});   // untouched
+  const StructureReport report = AnalyzeCnfStructure(cnf);
+  EXPECT_EQ(report.num_unit_clauses, 1u);
+  EXPECT_FALSE(report.trivially_unsat);
+  ASSERT_EQ(report.backbone.size(), 2u);
+  EXPECT_EQ(report.backbone[0], Pos(0));
+  EXPECT_EQ(report.backbone[1], Pos(1));
+}
+
+TEST(StructureReportTest, UnitPropagationRefutation) {
+  Cnf cnf(2);
+  cnf.AddClause({Pos(0)});
+  cnf.AddClause({Neg(0), Pos(1)});
+  cnf.AddClause({Neg(1)});
+  const StructureReport report = AnalyzeCnfStructure(cnf);
+  EXPECT_TRUE(report.trivially_unsat);
+  DiagnosticReport diag;
+  StructureDiagnostics(report, diag);
+  const Diagnostic* d = diag.FindRule(rules::kStructureBackbone);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(StructureReportTest, DisconnectedComponents) {
+  Cnf cnf(6);
+  cnf.AddClause({Pos(0), Pos(1)});
+  cnf.AddClause({Pos(2), Pos(3)});
+  cnf.AddClause({Pos(4), Pos(5)});
+  const StructureReport report = AnalyzeCnfStructure(cnf);
+  EXPECT_EQ(report.num_components, 3u);
+  EXPECT_EQ(report.largest_component, 2u);
+  DiagnosticReport diag;
+  StructureDiagnostics(report, diag);
+  EXPECT_TRUE(diag.HasRule(rules::kStructureDisconnected));
+  EXPECT_TRUE(diag.clean());  // notes only
+}
+
+TEST(StructureReportTest, EmptyCnfDoesNotCrash) {
+  const StructureReport report = AnalyzeCnfStructure(Cnf(0));
+  EXPECT_EQ(report.best_width(), 0u);
+  EXPECT_FALSE(report.ToText().empty());
+  EXPECT_FALSE(report.ToJson().empty());
+}
+
+TEST(StructureReportTest, ForecastsOrderedByStrength) {
+  const StructureReport report = AnalyzeCnfStructure(GridCnf(3, 4));
+  ASSERT_EQ(report.forecasts.size(), 3u);
+  // The d-DNNF envelope is the tightest, the SDD bound one bit looser.
+  EXPECT_LE(report.forecasts[0].log2_nodes, report.forecasts[1].log2_nodes);
+}
+
+// --- decomposition synthesis ---
+
+TEST(StructureDecompose, VtreeCoversAllVariablesAndRoundTrips) {
+  const Cnf cnf = RandomCnf(18, 44, 3, 5);
+  const StructureReport report = AnalyzeCnfStructure(cnf);
+  const Vtree vt = VtreeForCnf(report);
+  EXPECT_EQ(vt.num_vars(), cnf.num_vars());
+  // File round-trip: the synthesized vtree survives serialization and the
+  // hardened parser (satellite: Vtree::Parse fixes).
+  auto reparsed = Vtree::Parse(vt.ToFileString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  EXPECT_EQ(reparsed->ToString(), vt.ToString());
+}
+
+TEST(StructureDecompose, VtreeHandlesDisconnectedGraphs) {
+  Cnf cnf(5);
+  cnf.AddClause({Pos(0), Pos(1)});
+  cnf.AddClause({Pos(3), Pos(4)});  // var 2 is isolated
+  const StructureReport report = AnalyzeCnfStructure(cnf);
+  const Vtree vt = VtreeForCnf(report);
+  EXPECT_EQ(vt.num_vars(), 5u);
+}
+
+TEST(StructureDecompose, MinfillVtreeCompilesAndLintsClean) {
+  // End-to-end: synthesize the vtree, compile an SDD against it, and both
+  // the model count and the static SDD analyzer must agree it is sound.
+  const Cnf cnf = RandomCnf(12, 30, 3, 9);
+  const StructureReport report = AnalyzeCnfStructure(cnf);
+  const Vtree planned = VtreeForCnf(report);
+  SddManager planned_mgr(planned);
+  const SddId f = CompileCnf(planned_mgr, cnf);
+
+  SddManager balanced_mgr(Vtree::Balanced(Vtree::IdentityOrder(12)));
+  const SddId g = CompileCnf(balanced_mgr, cnf);
+  EXPECT_EQ(planned_mgr.ModelCount(f).ToString(),
+            balanced_mgr.ModelCount(g).ToString());
+
+  DiagnosticReport diag;
+  AnalyzeSddFile(WriteSdd(planned_mgr, f), planned, {}, diag);
+  EXPECT_TRUE(diag.clean()) << diag.ToText("minfill sdd");
+}
+
+TEST(StructureDecompose, DtreeWidthBoundsAndFormat) {
+  const Cnf cnf = GridCnf(3, 3);
+  const PrimalGraph g = PrimalGraph::FromCnf(cnf);
+  const std::vector<Var> order =
+      EliminationOrder(g, ElimHeuristic::kMinFill);
+  const Dtree dt = DtreeFromEliminationOrder(cnf, order);
+  EXPECT_LE(dt.width, InducedWidth(g, order));
+  const std::string text = dt.ToFileString();
+  EXPECT_EQ(text.compare(0, 5, "dtree"), 0);
+  // One leaf per clause: count 'L' lines.
+  size_t leaves = 0;
+  for (size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] == '\n' && text[i + 1] == 'L') ++leaves;
+  }
+  EXPECT_EQ(leaves, cnf.num_clauses());
+}
+
+}  // namespace
+}  // namespace tbc

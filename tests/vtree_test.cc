@@ -108,6 +108,33 @@ TEST(VtreeTest, ParseErrors) {
   EXPECT_EQ(ok.value().ToString(), "2");
 }
 
+TEST(VtreeTest, ParseRejectsDuplicateLeafVariable) {
+  // The same variable in two leaves is malformed input, and must produce a
+  // typed error instead of aborting the process.
+  auto dup = Vtree::Parse("vtree 3\nL 0 1\nL 1 1\nI 2 0 1\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST(VtreeTest, ParseRejectsForest) {
+  // Two disjoint trees in one file: the last-defined node used to be
+  // silently taken as the root, orphaning the rest. Now a typed error.
+  auto forest = Vtree::Parse(
+      "vtree 6\nL 0 1\nL 1 2\nI 2 0 1\nL 3 3\nL 4 4\nI 5 3 4\n");
+  ASSERT_FALSE(forest.ok());
+  EXPECT_EQ(forest.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST(VtreeTest, ParseErrorsAreTypedInvalidInput) {
+  for (const char* text :
+       {"", "L 0 1\n", "vtree 3\nI 0 1 2\n", "vtree 1\nL 0 0\n",
+        "vtree 1\nX 0 1\n"}) {
+    auto parsed = Vtree::Parse(text);
+    ASSERT_FALSE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidInput) << text;
+  }
+}
+
 TEST(VtreeTest, RandomVtreesAreValid) {
   Rng rng(31);
   for (int trial = 0; trial < 20; ++trial) {

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# CI gate for the structural analyzer (README "tbc_analyze").
+#
+# Runs tbc_analyze over the committed corpus and asserts the external
+# contract other tooling depends on:
+#
+#   - every tests/corpus/structure/*.cnf analyzes cleanly (exit 0) and the
+#     --format=json report is valid JSON with the expected top-level keys;
+#   - every tests/corpus/cnf_bad_*.cnf is refused with exit 2 and a
+#     diagnostic carrying the stable rule id structure.parse;
+#   - a --max-width cap below clique30's forecast width yields exit 3 and
+#     the structure.width rule id;
+#   - --list-rules prints exactly the pinned structure.* rule-id set, so a
+#     rename or deletion fails CI instead of silently breaking consumers.
+#
+# Usage: tools/check_analyze.sh [tbc_analyze_binary [corpus_dir]]
+#   Defaults: build/examples/tbc_analyze, tests/corpus.
+
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BIN="${1:-$ROOT/build/examples/tbc_analyze}"
+CORPUS="${2:-$ROOT/tests/corpus}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "check_analyze: $BIN not found (build first)" >&2
+  exit 1
+fi
+if [[ ! -d "$CORPUS/structure" ]]; then
+  echo "check_analyze: corpus dir $CORPUS/structure not found" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILED=0
+
+fail() {
+  echo "check_analyze: FAIL $1" >&2
+  FAILED=1
+}
+
+# 1. The structure corpus analyzes cleanly, in text and JSON, and the JSON
+#    report parses with the documented shape.
+for cnf in "$CORPUS"/structure/*.cnf; do
+  name="$(basename "$cnf")"
+  if ! "$BIN" "$cnf" > "$TMP/text.out" 2>&1; then
+    fail "$name: expected exit 0, got $?"
+    continue
+  fi
+  if ! "$BIN" --format=json "$cnf" > "$TMP/json.out" 2>&1; then
+    fail "$name: --format=json expected exit 0, got $?"
+    continue
+  fi
+  if ! python3 - "$TMP/json.out" "$name" <<'PY'
+import json, sys
+reports = json.load(open(sys.argv[1]))
+assert isinstance(reports, list) and len(reports) == 1, "expected 1 report"
+r = reports[0]
+for key in ("file", "refused", "structure", "diagnostics"):
+    assert key in r, f"missing key {key!r}"
+assert r["refused"] is False, "corpus file must not be refused"
+s = r["structure"]
+for key in ("num_vars", "num_clauses", "components", "width",
+            "orders", "forecasts"):
+    assert key in s, f"structure missing key {key!r}"
+for key in ("lower_bound", "upper_bound", "best_heuristic", "dtree"):
+    assert key in s["width"], f"width missing key {key!r}"
+PY
+  then
+    fail "$name: JSON report malformed"
+  fi
+done
+
+# 2. Unparseable CNFs are refused with exit 2 + the structure.parse rule.
+for cnf in "$CORPUS"/cnf_bad_*.cnf "$CORPUS"/cnf_missing_header.cnf; do
+  name="$(basename "$cnf")"
+  "$BIN" --format=json "$cnf" > "$TMP/bad.out" 2>&1
+  got=$?
+  if [[ "$got" != 2 ]]; then
+    fail "$name: expected exit 2, got $got"
+    continue
+  fi
+  if ! grep -q 'structure\.parse' "$TMP/bad.out"; then
+    fail "$name: exit-2 report missing rule id structure.parse"
+  fi
+done
+
+# 3. A width cap below clique30's forecast (29) refuses with exit 3 and
+#    the structure.width rule id.
+"$BIN" --max-width=10 --format=json "$CORPUS/structure/clique30.cnf" \
+  > "$TMP/cap.out" 2>&1
+got=$?
+if [[ "$got" != 3 ]]; then
+  fail "clique30 --max-width=10: expected exit 3, got $got"
+elif ! grep -q 'structure\.width' "$TMP/cap.out"; then
+  fail "clique30 over-cap report missing rule id structure.width"
+fi
+
+# 4. The rule-id set is pinned: consumers key off these strings.
+"$BIN" --list-rules > "$TMP/rules.out" 2>&1 || fail "--list-rules exited $?"
+for rule in structure.parse structure.width structure.forecast \
+            structure.disconnected structure.backbone structure.pure; do
+  if ! grep -q "^$rule\b" "$TMP/rules.out"; then
+    fail "--list-rules missing pinned rule id $rule"
+  fi
+done
+
+if [[ "$FAILED" != 0 ]]; then
+  echo "check_analyze: FAILED" >&2
+  exit 1
+fi
+echo "check_analyze: OK (corpus clean, bad CNFs typed, rule ids pinned)"

@@ -7,7 +7,8 @@
 #   3  typed resource refusal (budget/deadline/overload/unavailable)
 #   4  certificate reject during an in-process kc_cli --certify run
 #
-# Usage: tools/check_exit_codes.sh [kc_cli [tbc_lint [tbc_certify [tbc_client]]]]
+# Usage: tools/check_exit_codes.sh \
+#          [kc_cli [tbc_lint [tbc_certify [tbc_client [tbc_analyze]]]]]
 #   Binaries default to build/examples/<name>.
 
 set -uo pipefail
@@ -17,6 +18,7 @@ KC="${1:-$ROOT/build/examples/kc_cli}"
 LINT="${2:-$ROOT/build/examples/tbc_lint}"
 CERTIFY="${3:-$ROOT/build/examples/tbc_certify}"
 CLIENT="${4:-$ROOT/build/examples/tbc_client}"
+ANALYZE="${5:-$ROOT/build/examples/tbc_analyze}"
 
 for bin in "$KC" "$LINT" "$CERTIFY"; do
   if [[ ! -x "$bin" ]]; then
@@ -91,6 +93,21 @@ if [[ -x "$CLIENT" ]]; then
   expect 1 "tbc_client bad op"          "$CLIENT" --connect=:1 --op=nonsense
   expect 3 "tbc_client dead server"     "$CLIENT" --connect=tcp:127.0.0.1:1 \
              --op=ping --retries=1 --deadline-ms=2000
+fi
+
+# tbc_analyze: 0 clean / 1 usage-IO / 2 unparseable CNF / 3 over the
+# --max-width forecast cap. The wide clause makes the primal graph a
+# 30-clique (predicted width 29).
+if [[ -x "$ANALYZE" ]]; then
+  printf 'p cnf 30 1\n%s0\n' "$(seq -s' ' 1 30) " > "$TMP/wide.cnf"
+  printf 'p cnf oops\n' > "$TMP/bad.cnf"
+  expect 0 "tbc_analyze clean"          "$ANALYZE" "$TMP/good.cnf"
+  expect 1 "tbc_analyze no args"        "$ANALYZE"
+  expect 1 "tbc_analyze missing file"   "$ANALYZE" "$TMP/nope.cnf"
+  expect 1 "tbc_analyze bad format"     "$ANALYZE" --format=yaml "$TMP/good.cnf"
+  expect 2 "tbc_analyze bad cnf"        "$ANALYZE" "$TMP/bad.cnf"
+  expect 3 "tbc_analyze over width cap" "$ANALYZE" --max-width=10 "$TMP/wide.cnf"
+  expect 0 "tbc_analyze under width cap" "$ANALYZE" --max-width=29 "$TMP/wide.cnf"
 fi
 
 if [[ "$FAILED" != 0 ]]; then

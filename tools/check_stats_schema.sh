@@ -229,3 +229,28 @@ PY
 else
   echo "check_stats_schema: note: tbc_serve/tbc_client not built, serve pass skipped"
 fi
+
+# Fourth pass: a structure-driven compile (--vtree=minfill) must surface
+# the analysis.structure.* instruments — the runs/orders_tried counters and
+# the best_width histogram — and still validate against the schema.
+STRUCT_OUT="$(mktemp)"
+trap 'cleanup; rm -f "$CERT_OUT" "$STRUCT_OUT" "${SERVE_OUT:-}" "${SOCK:-}"' EXIT
+"$BIN" "$CNF" --target=sdd --vtree=minfill --stats=json > "$STRUCT_OUT"
+
+python3 - "$SCHEMA" "$STRUCT_OUT" <<'PY'
+import json
+import sys
+
+lines = open(sys.argv[2]).read().splitlines()
+start = next(i for i, l in enumerate(lines) if l.strip() == "{")
+data = json.loads("\n".join(lines[start:]))
+
+counters = data["counters"]
+for key in ("analysis.structure.runs", "analysis.structure.orders_tried"):
+    if counters.get(key, 0) < 1:
+        sys.exit(f"check_stats_schema: --vtree=minfill run missing counter {key}")
+if "analysis.structure.best_width" not in data["histograms"]:
+    sys.exit("check_stats_schema: --vtree=minfill run missing "
+             "analysis.structure.best_width histogram")
+print("check_stats_schema: OK (analysis.structure.* metrics present)")
+PY

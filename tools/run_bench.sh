@@ -65,6 +65,10 @@ echo "[run_bench] building baseline ($BASE_SHA) ..." >&2
 build_tree "$BASE_SRC" "$BASE_BUILD"
 echo "[run_bench] building current ($CUR_SHA) ..." >&2
 build_tree "$ROOT" "$CUR_BUILD"
+# The vtree-shape bench uses the structure-analysis API (new in this tree),
+# so it has no pre-PR baseline build: right-linear/balanced columns inside
+# its own report are the baseline.
+cmake --build "$CUR_BUILD" -j"$(nproc)" --target bench_vtree_shapes > /dev/null
 
 # Median-of-RUNS wall-clock for one binary, after one warm-up run.
 # Emits "median|run1,run2,..." in milliseconds.
@@ -98,6 +102,10 @@ echo "[run_bench] running kernel micro-benchmarks ..." >&2
 "$BASE_BUILD/bench/bench_kernels" "$BASE_BUILD/kernels.json" 2> /dev/null
 "$CUR_BUILD/bench/bench_kernels" "$CUR_BUILD/kernels.json" 2> /dev/null
 
+echo "[run_bench] running vtree-shape bench (current tree only) ..." >&2
+"$CUR_BUILD/bench/bench_vtree_shapes" "$CUR_BUILD/vtree_shapes.json" \
+  2> /dev/null
+
 SUITES_TSV="$CUR_BUILD/suites.tsv"
 : > "$SUITES_TSV"
 for b in "${FIG_BENCHES[@]}"; do
@@ -108,10 +116,11 @@ done
 
 python3 - "$BASE_SHA" "$CUR_SHA" "$SUITES_TSV" \
   "$BASE_BUILD/kernels.json" "$CUR_BUILD/kernels.json" \
-  "$ROOT/BENCH_kernels.json" <<'PY'
+  "$ROOT/BENCH_kernels.json" "$CUR_BUILD/vtree_shapes.json" <<'PY'
 import json, sys
 
 base_sha, cur_sha, suites_tsv, base_kernels, cur_kernels, out_path = sys.argv[1:7]
+vtree_shapes_path = sys.argv[7]
 suites = {}
 for line in open(suites_tsv):
     name, before, after, bruns, aruns = line.strip().split("\t")
@@ -140,6 +149,9 @@ for name in kb:
         "after_runs_ms": kc[name]["runs_ms"],
     }
 
+with open(vtree_shapes_path) as f:
+    vtree_shapes = json.load(f)
+
 report = {
     "generated_by": "tools/run_bench.sh",
     "build_type": "Release",
@@ -148,6 +160,7 @@ report = {
     "current_ref": cur_sha,
     "suites": suites,
     "kernels": kernels,
+    "vtree_shapes": vtree_shapes,
 }
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
@@ -156,4 +169,11 @@ print(f"[run_bench] wrote {out_path}")
 for name, s in {**suites, **kernels}.items():
     print(f"  {name:32s} {s['before_ms']:10.3f} -> {s['after_ms']:10.3f} ms"
           f"   x{s['speedup']}")
+print("[run_bench] vtree shapes (SDD size: right-linear -> minfill):")
+for fam in vtree_shapes["families"]:
+    r, m = fam["right"], fam["minfill"]
+    ratio = r["size"] / m["size"] if m["size"] else float("nan")
+    print(f"  {fam['family']:32s} width<={fam['forecast_width']:3d}"
+          f"  size {r['size']:7d} -> {m['size']:7d} (x{ratio:.2f})"
+          f"  ms {r['median_ms']:.3f} -> {m['median_ms']:.3f}")
 PY
