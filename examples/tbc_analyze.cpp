@@ -23,9 +23,12 @@
 //     --list-rules         print the structure.* rule ids and exit
 //     --stats              dump the observability registry to stderr
 //
-// Exit codes: 0 = analyzed clean, 1 = usage or I/O error, 2 = at least one
-// file is not parseable CNF (rule structure.parse), 3 = at least one file
-// exceeds --max-width (parse failures take precedence).
+// Exit codes: 0 = analyzed clean, 1 = usage error or at least one file is
+// unreadable (rule structure.io), 2 = at least one file is not parseable
+// CNF (rule structure.parse; an empty-but-readable file lands here), 3 =
+// at least one file exceeds --max-width. Severity wins across files:
+// 1 over 2 over 3. Every listed file is analyzed and reported even when
+// an earlier one fails, so --format=json always emits a complete array.
 
 #include <csignal>
 #include <cstdio>
@@ -43,12 +46,17 @@
 
 namespace {
 
-std::string ReadFile(const char* path) {
+// True iff `path` was read successfully; an empty (but readable) file
+// yields true with `*out` empty — it then fails CNF *parsing* (exit 2),
+// which is a different contract than an unreadable file (exit 1).
+bool ReadFile(const char* path, std::string* out) {
   std::ifstream in(path);
-  if (!in) return "";
+  if (!in) return false;
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return buffer.str();
+  if (in.bad()) return false;
+  *out = buffer.str();
+  return true;
 }
 
 const char* Arg(int argc, char** argv, const char* name) {
@@ -153,24 +161,27 @@ int main(int argc, char** argv) {
     options.minfill_max_vars = static_cast<uint32_t>(n);
   }
 
+  bool any_io_error = false;
   bool any_parse_error = false;
   bool any_over_width = false;
   std::string json_out = "[";
   bool first_json = true;
 
   for (const char* path : files) {
-    const std::string text = ReadFile(path);
-    if (text.empty()) {
-      std::fprintf(stderr, "tbc_analyze: cannot read %s\n", path);
-      return 1;
-    }
-
     DiagnosticReport diag;
     std::string structure_json = "null";
     std::string structure_text;
     bool refused = false;
-    auto parsed = Cnf::ParseDimacs(text);
-    if (!parsed.ok()) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      // Diagnose in place and keep going: every listed file gets its
+      // entry, so --format=json always emits a complete, valid array.
+      any_io_error = true;
+      std::fprintf(stderr, "tbc_analyze: cannot read %s\n", path);
+      diag.Add(Severity::kError, rules::kStructureIo, 0, "",
+               "file could not be read");
+    } else if (auto parsed = Cnf::ParseDimacs(text); !parsed.ok()) {
+      // Includes the genuinely-empty-file case: readable, but no header.
       any_parse_error = true;
       diag.Add(Severity::kError, rules::kStructureParse, 0, "",
                parsed.status().message());
@@ -214,6 +225,7 @@ int main(int argc, char** argv) {
   if (Flag(argc, argv, "--stats")) {
     std::fputs(Observability::Global().RenderText().c_str(), stderr);
   }
+  if (any_io_error) return 1;
   if (any_parse_error) return 2;
   if (any_over_width) return 3;
   return 0;

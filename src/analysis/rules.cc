@@ -37,6 +37,7 @@ constexpr RuleInfo kRules[] = {
      "normalization: local parameters are in [0,1] and sum to one"},
     {rules::kPsddSupport,
      "support: zero parameters shrink the distribution below the base SDD"},
+    {rules::kStructureIo, "file could not be read (missing or I/O error)"},
     {rules::kStructureParse, "file is not parseable as DIMACS CNF"},
     {rules::kStructureWidth,
      "treewidth bracket: degeneracy lower bound vs best elimination-order "

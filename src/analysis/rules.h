@@ -43,6 +43,7 @@ inline constexpr char kPsddNormalized[] = "psdd.normalized";
 inline constexpr char kPsddSupport[] = "psdd.support";
 
 // --- CNF structure analysis (analysis/structure/; reported by tbc_analyze) ---
+inline constexpr char kStructureIo[] = "structure.io";
 inline constexpr char kStructureParse[] = "structure.parse";
 inline constexpr char kStructureWidth[] = "structure.width";
 inline constexpr char kStructureForecast[] = "structure.forecast";

@@ -14,19 +14,33 @@ namespace {
 // with an alive mask. Dead entries are skipped on read rather than erased
 // (each vertex is eliminated once, so stale entries are scanned at most
 // once per surviving neighbor).
+//
+// Every pair inspection and (size-weighted) sorted insert is charged to
+// `work`; a nonzero `budget` lets callers abort the simulation once the
+// accumulated cost proves the graph is too dense/fill-heavy for the
+// analysis to stay cheap. Work units are a pure function of the graph and
+// the elimination order, so budgeted outcomes are deterministic across
+// platforms and thread counts (unlike a wall-clock deadline).
 struct DynGraph {
-  explicit DynGraph(const PrimalGraph& g) : alive(g.num_vars(), 1) {
+  explicit DynGraph(const PrimalGraph& g, uint64_t work_budget = 0)
+      : alive(g.num_vars(), 1), budget(work_budget) {
     adj.resize(g.num_vars());
     for (Var v = 0; v < g.num_vars(); ++v) {
       adj[v].assign(g.neighbors_begin(v), g.neighbors_end(v));
     }
   }
 
+  bool over_budget() const { return budget != 0 && work > budget; }
+
   bool HasEdge(Var a, Var b) const {
     const auto& n = adj[a];
     return std::binary_search(n.begin(), n.end(), b);
   }
   void AddEdge(Var a, Var b) {
+    // A sorted insert memmoves O(degree) entries; charging it by size
+    // keeps the budget honest on graphs whose fill-in concentrates on a
+    // few high-degree vertices.
+    work += 1 + (adj[a].size() + adj[b].size()) / 8;
     auto it = std::lower_bound(adj[a].begin(), adj[a].end(), b);
     adj[a].insert(it, b);
     it = std::lower_bound(adj[b].begin(), adj[b].end(), a);
@@ -41,11 +55,15 @@ struct DynGraph {
   }
   // Eliminates v: marks it dead and connects its live neighborhood into a
   // clique. Returns the neighborhood size (this step's width contribution).
+  // Stops filling mid-clique once over budget (the caller abandons the
+  // whole simulation, so the partially-filled graph is never read).
   size_t Eliminate(Var v, std::vector<Var>* scratch) {
     LiveNeighbors(v, scratch);
     alive[v] = 0;
     for (size_t i = 0; i < scratch->size(); ++i) {
+      if (over_budget()) break;
       for (size_t j = i + 1; j < scratch->size(); ++j) {
+        ++work;
         if (!HasEdge((*scratch)[i], (*scratch)[j])) {
           AddEdge((*scratch)[i], (*scratch)[j]);
         }
@@ -56,6 +74,8 @@ struct DynGraph {
 
   std::vector<std::vector<uint32_t>> adj;
   std::vector<char> alive;
+  uint64_t budget = 0;
+  mutable uint64_t work = 0;
 };
 
 size_t LiveDegree(const DynGraph& g, Var v) {
@@ -65,11 +85,16 @@ size_t LiveDegree(const DynGraph& g, Var v) {
 }
 
 // Missing edges among the live neighbors of v (the min-fill score).
+// Scoring alone is O(degree^2) per vertex, so it charges the same work
+// account as the elimination itself (a truncated score is fine: the
+// caller abandons the whole order once over budget).
 size_t FillCount(const DynGraph& g, Var v, std::vector<Var>* scratch) {
   g.LiveNeighbors(v, scratch);
   size_t missing = 0;
   for (size_t i = 0; i < scratch->size(); ++i) {
+    if (g.over_budget()) break;
     for (size_t j = i + 1; j < scratch->size(); ++j) {
+      ++g.work;
       missing += !g.HasEdge((*scratch)[i], (*scratch)[j]);
     }
   }
@@ -81,6 +106,7 @@ size_t FillCount(const DynGraph& g, Var v, std::vector<Var>* scratch) {
 // untouched vertices cannot have changed, and touched vertices are
 // re-pushed with their fresh score, so popped-and-valid means minimal.
 // Ties break on the lowest variable index via the pair ordering.
+// Returns an empty vector when the graph's work budget is exceeded.
 template <typename ScoreFn, typename TouchedFn>
 std::vector<Var> GreedyOrder(DynGraph& g, ScoreFn score, TouchedFn touched) {
   const size_t n = g.adj.size();
@@ -91,6 +117,7 @@ std::vector<Var> GreedyOrder(DynGraph& g, ScoreFn score, TouchedFn touched) {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
   for (Var v = 0; v < n; ++v) {
     current[v] = score(v);
+    if (g.over_budget()) return {};  // initial scoring alone can be d^2 each
     heap.push({current[v], v});
   }
   std::vector<Var> scratch, affected;
@@ -109,12 +136,13 @@ std::vector<Var> GreedyOrder(DynGraph& g, ScoreFn score, TouchedFn touched) {
         heap.push({fresh, u});
       }
     }
+    if (g.over_budget()) return {};
   }
   return order;
 }
 
-std::vector<Var> MinDegreeOrder(const PrimalGraph& pg) {
-  DynGraph g(pg);
+std::vector<Var> MinDegreeOrder(const PrimalGraph& pg, uint64_t work_budget) {
+  DynGraph g(pg, work_budget);
   return GreedyOrder(
       g, [&](Var v) { return static_cast<uint64_t>(LiveDegree(g, v)); },
       [&](Var /*v*/, const std::vector<Var>& nbrs, std::vector<Var>* affected) {
@@ -122,8 +150,8 @@ std::vector<Var> MinDegreeOrder(const PrimalGraph& pg) {
       });
 }
 
-std::vector<Var> MinFillOrder(const PrimalGraph& pg) {
-  DynGraph g(pg);
+std::vector<Var> MinFillOrder(const PrimalGraph& pg, uint64_t work_budget) {
+  DynGraph g(pg, work_budget);
   std::vector<Var> fill_scratch;
   return GreedyOrder(
       g,
@@ -185,10 +213,13 @@ const char* ElimHeuristicName(ElimHeuristic h) {
   return "unknown";
 }
 
-std::vector<Var> EliminationOrder(const PrimalGraph& g, ElimHeuristic h) {
+std::vector<Var> EliminationOrder(const PrimalGraph& g, ElimHeuristic h,
+                                  uint64_t work_budget) {
   switch (h) {
-    case ElimHeuristic::kMinFill: return MinFillOrder(g);
-    case ElimHeuristic::kMinDegree: return MinDegreeOrder(g);
+    case ElimHeuristic::kMinFill: return MinFillOrder(g, work_budget);
+    case ElimHeuristic::kMinDegree: return MinDegreeOrder(g, work_budget);
+    // MCS never touches fill edges: O((n+m) log n) regardless of density,
+    // so the budget only applies to its width simulation downstream.
     case ElimHeuristic::kMaxCardinality: return MaxCardinalityOrder(g);
   }
   return {};
@@ -199,7 +230,8 @@ uint32_t InducedWidth(const PrimalGraph& g, const std::vector<Var>& order) {
 }
 
 EliminationTree BuildEliminationTree(const PrimalGraph& g,
-                                     const std::vector<Var>& order) {
+                                     const std::vector<Var>& order,
+                                     uint64_t work_budget) {
   const size_t n = g.num_vars();
   TBC_CHECK_MSG(order.size() == n, "elimination order is not a permutation");
   EliminationTree t;
@@ -208,9 +240,13 @@ EliminationTree BuildEliminationTree(const PrimalGraph& g,
   std::vector<uint32_t> pos(n, 0);
   for (size_t i = 0; i < n; ++i) pos[order[i]] = static_cast<uint32_t>(i);
 
-  DynGraph dyn(g);
+  DynGraph dyn(g, work_budget);
   std::vector<Var> nbrs;
   for (const Var v : order) {
+    if (dyn.over_budget()) {
+      t.completed = false;
+      return t;
+    }
     const size_t width_here = dyn.Eliminate(v, &nbrs);
     t.width = std::max(t.width, static_cast<uint32_t>(width_here));
     // All surviving neighbors come later in the order; the earliest of

@@ -19,7 +19,17 @@ enum class ElimHeuristic : uint8_t { kMinFill, kMinDegree, kMaxCardinality };
 const char* ElimHeuristicName(ElimHeuristic h);
 
 /// A full elimination order over the graph's variables computed by `h`.
-std::vector<Var> EliminationOrder(const PrimalGraph& g, ElimHeuristic h);
+///
+/// `work_budget` (0 = unlimited) caps the simulation effort in
+/// deterministic work units (neighbor-pair inspections plus fill-edge
+/// insertion cost). Greedy elimination is only near-linear on sparse,
+/// low-fill graphs; on dense or fill-heavy inputs — a single wide clause
+/// is already a clique — the clique-completion cost is cubic-ish, so
+/// budgeted callers (serve admission, portfolio planning) must be able to
+/// give up instead of stalling. An exceeded budget returns an empty
+/// vector (distinguishable from success whenever the graph has vertices).
+std::vector<Var> EliminationOrder(const PrimalGraph& g, ElimHeuristic h,
+                                  uint64_t work_budget = 0);
 
 /// Exact induced width of `order` on `g`: simulate the elimination,
 /// connecting each eliminated vertex's surviving neighbors into a clique;
@@ -31,12 +41,16 @@ uint32_t InducedWidth(const PrimalGraph& g, const std::vector<Var>& order);
 /// vertex among v's neighbors in the filled graph at the moment v is
 /// eliminated (kInvalidVar for component roots). Computed by the same
 /// simulation as InducedWidth; `width` is that order's exact induced width.
+/// With a nonzero `work_budget` the simulation may abort: `completed` is
+/// false and parent/width are meaningless partial values.
 struct EliminationTree {
   std::vector<Var> parent;  // indexed by variable
   uint32_t width = 0;
+  bool completed = true;
 };
 EliminationTree BuildEliminationTree(const PrimalGraph& g,
-                                     const std::vector<Var>& order);
+                                     const std::vector<Var>& order,
+                                     uint64_t work_budget = 0);
 
 }  // namespace tbc
 

@@ -109,14 +109,26 @@ StructureReport AnalyzeCnfStructure(const Cnf& cnf,
   report.num_vars = cnf.num_vars();
   report.num_clauses = cnf.num_clauses();
 
+  // The propagation scan is genuinely linear and graph-free, so it runs
+  // even when the graph passes below are refused as over budget.
+  PropagationScan(cnf, options.compute_backbone, report);
+
+  if (options.work_budget != 0 &&
+      PrimalGraph::BuildWork(cnf) > options.work_budget) {
+    // Building the primal graph would already blow the budget (memory as
+    // much as time: edge generation is sum-of-clause-sizes squared).
+    // Report what the linear passes found and nothing width-related.
+    report.truncated = true;
+    TBC_COUNT("analysis.structure.truncated");
+    return report;
+  }
+
   report.graph = PrimalGraph::FromCnf(cnf);
   report.num_edges = report.graph.num_edges();
 
   const Components comps = ConnectedComponents(report.graph);
   report.num_components = static_cast<uint32_t>(comps.sizes.size());
   report.largest_component = comps.largest;
-
-  PropagationScan(cnf, options.compute_backbone, report);
 
   const DegeneracyResult degen = Degeneracy(report.graph);
   report.width_lower_bound = degen.degeneracy;
@@ -129,10 +141,21 @@ StructureReport AnalyzeCnfStructure(const Cnf& cnf,
   for (const ElimHeuristic h : heuristics) {
     OrderCandidate cand;
     cand.heuristic = h;
-    cand.order = EliminationOrder(report.graph, h);
-    cand.width = InducedWidth(report.graph, cand.order);
+    cand.order = EliminationOrder(report.graph, h, options.work_budget);
+    if (cand.order.empty() && report.num_vars > 0) {
+      report.truncated = true;  // order aborted over budget: drop it
+      continue;
+    }
+    const EliminationTree tree =
+        BuildEliminationTree(report.graph, cand.order, options.work_budget);
+    if (!tree.completed) {
+      report.truncated = true;
+      continue;
+    }
+    cand.width = tree.width;
     report.candidates.push_back(std::move(cand));
   }
+  if (report.truncated) TBC_COUNT("analysis.structure.truncated");
   TBC_COUNT_N("analysis.structure.orders_tried", report.candidates.size());
   for (size_t i = 1; i < report.candidates.size(); ++i) {
     if (report.candidates[i].width < report.candidates[report.best].width) {
@@ -144,7 +167,11 @@ StructureReport AnalyzeCnfStructure(const Cnf& cnf,
   if (!report.candidates.empty()) {
     report.dtree_width = DtreeFromEliminationOrder(cnf, report.best_order()).width;
   }
-  Forecasts(report);
+  if (!report.candidates.empty() || !report.truncated) {
+    // No forecasts when every order aborted: a width-0 "bound" from an
+    // analysis that could not finish would read as cheap, not unknown.
+    Forecasts(report);
+  }
   return report;
 }
 
@@ -164,6 +191,9 @@ std::string StructureReport::ToText() const {
          (candidates.empty() ? "none"
                              : ElimHeuristicName(best_candidate().heuristic)) +
          "), dtree " + std::to_string(dtree_width) + "\n";
+  if (truncated) {
+    out += "analysis truncated: work budget exceeded, report is partial\n";
+  }
   for (const OrderCandidate& c : candidates) {
     out += "  order " + std::string(ElimHeuristicName(c.heuristic)) +
            ": width " + std::to_string(c.width) + "\n";
@@ -187,6 +217,8 @@ std::string StructureReport::ToJson() const {
   out += ",\"backbone_size\":" + std::to_string(backbone.size());
   out += ",\"trivially_unsat\":";
   out += trivially_unsat ? "true" : "false";
+  out += ",\"truncated\":";
+  out += truncated ? "true" : "false";
   out += ",\"width\":{\"lower_bound\":" + std::to_string(width_lower_bound) +
          ",\"upper_bound\":" + std::to_string(best_width()) +
          ",\"best_heuristic\":\"" +

@@ -13,13 +13,25 @@
 
 namespace tbc {
 
-/// Tuning for AnalyzeCnfStructure. Every pass stays near-linear except
-/// min-fill, which is worth its cost on anything the compilers could
-/// plausibly handle but is skipped above `minfill_max_vars`.
+/// Tuning for AnalyzeCnfStructure. The graph/propagation/degeneracy passes
+/// are near-linear, but the elimination simulations are not: greedy
+/// orders and their exact width replay complete cliques, which is
+/// cubic-ish on dense primal graphs (one wide clause is already a
+/// clique). Min-fill — the strongest and costliest heuristic — is skipped
+/// above `minfill_max_vars`; `work_budget` bounds everything else.
 struct StructureOptions {
   bool try_minfill = true;
   uint32_t minfill_max_vars = 4096;
   bool compute_backbone = true;
+  /// Deterministic cap (0 = unlimited) on the simulation work the
+  /// analysis may spend, in DynGraph pair-inspection units (see
+  /// elimination.h). When exceeded the analysis degrades instead of
+  /// stalling: an over-budget primal graph skips every graph-based pass;
+  /// an over-budget elimination order is dropped, possibly leaving only
+  /// the degeneracy lower bound. Degraded reports set
+  /// StructureReport::truncated. Callers on untrusted or deadline-bearing
+  /// paths (serve admission, portfolio planning) must set this.
+  uint64_t work_budget = 0;
 };
 
 /// One elimination-order candidate with its exact simulated induced width.
@@ -55,6 +67,13 @@ struct StructureReport {
   /// Unit propagation derived the empty clause: the CNF is unsatisfiable
   /// and every forecast below is moot.
   bool trivially_unsat = false;
+
+  /// The analysis hit StructureOptions::work_budget and degraded: some or
+  /// all elimination-order candidates (and, if the primal graph itself
+  /// was over budget, the graph/degeneracy passes too) are missing. What
+  /// *is* reported remains exact — in particular a nonzero
+  /// width_lower_bound is still a sound lower bound.
+  bool truncated = false;
 
   /// Degeneracy of the primal graph: a treewidth lower bound, bracketing
   /// the heuristic upper bounds below.

@@ -4,6 +4,15 @@
 
 namespace tbc {
 
+uint64_t PrimalGraph::BuildWork(const Cnf& cnf) {
+  uint64_t work = 0;
+  for (const Clause& clause : cnf.clauses()) {
+    const uint64_t s = clause.size();
+    work += s * (s - 1);
+  }
+  return work;
+}
+
 PrimalGraph PrimalGraph::FromCnf(const Cnf& cnf) {
   const size_t n = cnf.num_vars();
   // Generate both directions of every clause-pair edge, then sort + unique

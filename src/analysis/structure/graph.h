@@ -22,7 +22,17 @@ class PrimalGraph {
  public:
   static PrimalGraph FromCnf(const Cnf& cnf);
 
-  size_t num_vars() const { return static_cast<size_t>(adj_start_.size()) - 1; }
+  /// Edge generations FromCnf would perform: sum over clauses of
+  /// |c|·(|c|−1). Callers with a work budget (serve admission, portfolio
+  /// planning) gate on this before building — a single huge clause makes
+  /// the primal graph a clique, and nothing downstream is near-linear on
+  /// cliques.
+  static uint64_t BuildWork(const Cnf& cnf);
+
+  /// 0 for a default-constructed (never-populated) graph.
+  size_t num_vars() const {
+    return adj_start_.empty() ? 0 : adj_start_.size() - 1;
+  }
   /// Undirected edge count (each edge stored twice internally).
   size_t num_edges() const { return adj_.size() / 2; }
 

@@ -125,23 +125,44 @@ constexpr std::array<Stage, 3> kStages = {
 // remains the enforcer (DESIGN.md "Structure analysis & cost forecasting").
 constexpr uint32_t kVarElimFirstWidth = 20;
 
+// Work budget for the planning analysis (DynGraph pair-inspection units,
+// see elimination.h). Planning advises — it must never cost a noticeable
+// slice of the budget it is routing, and on encodings with dense primal
+// graphs the elimination simulation is cubic-ish, so it runs under a
+// fixed deterministic cap and degrades to lower-bound-only routing.
+constexpr uint64_t kPlanWorkBudget = uint64_t{1} << 24;
+
 // Per-query routing decision derived from the static structure pass.
 struct StagePlan {
   StructureReport report;
+  bool valid = false;  // false: planning skipped, fall back to defaults
   // Execution order as indices into kStages, and the deadline divisor for
   // each *position* (first stage gets remaining/share[0], etc.).
   std::array<size_t, kStages.size()> order{{0, 1, 2}};
   std::array<double, kStages.size()> deadline_share{{3.0, 2.0, 1.0}};
 };
 
-StagePlan PlanStages(const Query& q) {
+// Plans under the caller's outer guard: the guard is armed before this
+// runs, so analysis time is charged against the query deadline like any
+// other work, and an already-expired guard skips planning outright. The
+// analysis itself is work-capped (kPlanWorkBudget), so even un-deadlined
+// budgets cannot stall here on a dense encoding.
+StagePlan PlanStages(const Query& q, const Guard& outer) {
   StagePlan plan;
+  if (!outer.Check().ok()) return plan;  // no budget left: legacy defaults
   WmcEncoding enc(q.net);
   StructureOptions opts;
   opts.compute_backbone = false;  // routing needs widths only
+  opts.work_budget = kPlanWorkBudget;
   plan.report = AnalyzeCnfStructure(enc.cnf(), opts);
+  plan.valid = true;
   TBC_OBSERVE_VALUE("portfolio.plan.width", plan.report.best_width());
-  if (plan.report.best_width() > kVarElimFirstWidth) {
+  // Route on the best information available: a completed order's width,
+  // or — when the analysis truncated with no completed order — the
+  // degeneracy lower bound (if even the lower bound is over the
+  // threshold, the compile arms are certainly in 2^w trouble).
+  if (std::max(plan.report.best_width(), plan.report.width_lower_bound) >
+      kVarElimFirstWidth) {
     plan.order = {2, 0, 1};
     // VE gets the first half of the deadline, SDD half the rest.
     plan.deadline_share = {2.0, 2.0, 1.0};
@@ -221,9 +242,13 @@ Result<PortfolioAnswer> RunPortfolioParallel(const Query& q,
 Result<PortfolioAnswer> RunPortfolio(const Query& q, const Budget& budget,
                                      ThreadPool* pool) {
   TBC_SPAN("portfolio.run");
-  const StagePlan plan = PlanStages(q);
+  // The outer guard is armed *before* planning, so the static analysis is
+  // charged to the caller's deadline like every other cost — stage guards
+  // below are derived from what remains after it.
+  Guard outer(budget);
+  const StagePlan plan = PlanStages(q, outer);
   Query planned = q;
-  planned.plan = &plan.report;
+  planned.plan = plan.valid ? &plan.report : nullptr;
   if (pool != nullptr && pool->num_threads() > 1) {
     // Racing mode runs every arm regardless of the forecast — the race
     // discovers the cheapest arm empirically, and reordering would change
@@ -235,7 +260,6 @@ Result<PortfolioAnswer> RunPortfolio(const Query& q, const Budget& budget,
   // everything for the last (shares shift under a varelim-first plan). The
   // node budget is not divided — it caps the size of any one attempt, not
   // their sum.
-  Guard outer(budget);
   PortfolioAnswer answer;
   Status last_refusal = Status::DeadlineExceeded("no engine attempted");
   for (size_t k = 0; k < kStages.size(); ++k) {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <optional>
 
 #include "base/fault.h"
 #include "base/hash.h"
@@ -26,16 +27,20 @@ std::string KeyOf(const std::string& cnf_text) {
 }  // namespace
 
 Result<std::shared_ptr<const Artifact>> ArtifactCache::Build(
-    const std::string& cnf_text, Guard& guard) {
+    const std::string& cnf_text, Guard& guard, const Cnf* parsed) {
   TBC_SPAN("serve.compile");
   if (TBC_FAULT_POINT("serve.request.alloc")) {
     TBC_COUNT("serve.faults.injected");
     return Status::Error(StatusCode::kInternal,
                          "injected allocation failure while staging compile");
   }
-  auto parsed = Cnf::ParseDimacs(cnf_text);
-  if (!parsed.ok()) return parsed.status();
-  const Cnf cnf = std::move(parsed).value();
+  std::optional<Cnf> owned;
+  if (parsed == nullptr) {
+    auto reparsed = Cnf::ParseDimacs(cnf_text);
+    if (!reparsed.ok()) return reparsed.status();
+    owned = std::move(reparsed).value();
+  }
+  const Cnf& cnf = parsed != nullptr ? *parsed : *owned;
 
   auto artifact = std::make_shared<Artifact>();
   artifact->cnf_text = cnf_text;
@@ -69,7 +74,8 @@ Result<std::shared_ptr<const Artifact>> ArtifactCache::Build(
 }
 
 Result<std::shared_ptr<const Artifact>> ArtifactCache::GetOrCompile(
-    const std::string& cnf_text, Guard& guard, bool* cache_hit) {
+    const std::string& cnf_text, Guard& guard, bool* cache_hit,
+    const Cnf* parsed) {
   if (cache_hit != nullptr) *cache_hit = false;
   const std::string key = KeyOf(cnf_text);
 
@@ -102,7 +108,7 @@ Result<std::shared_ptr<const Artifact>> ArtifactCache::GetOrCompile(
         // an uncached compile — never alias.
         TBC_COUNT("serve.cache.collisions");
         lock.unlock();
-        return Build(cnf_text, guard);
+        return Build(cnf_text, guard, parsed);
       }
       slot->last_use = ++use_clock_;
       TBC_COUNT("serve.cache.hits");
@@ -112,7 +118,7 @@ Result<std::shared_ptr<const Artifact>> ArtifactCache::GetOrCompile(
   }
 
   // This thread owns the compile; no lock held while it runs.
-  auto built = Build(cnf_text, guard);
+  auto built = Build(cnf_text, guard, parsed);
   {
     std::unique_lock<std::mutex> lock(mu_);
     slot->done = true;

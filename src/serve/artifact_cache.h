@@ -12,6 +12,10 @@
 #include "base/result.h"
 #include "nnf/nnf.h"
 
+namespace tbc {
+class Cnf;
+}
+
 namespace tbc::serve {
 
 /// An immutable compiled circuit shared by concurrent queries.
@@ -56,11 +60,15 @@ class ArtifactCache {
 
   /// The artifact for `cnf_text`, compiling under `guard` on a miss.
   /// `cache_hit` (optional) reports whether a compiled artifact was reused
-  /// (a single-flight join counts as a hit). Typed errors: kInvalidInput
-  /// (CNF rejected), the guard's refusal codes, kInternal (injected
-  /// allocation failure).
+  /// (a single-flight join counts as a hit). `parsed` (optional) is the
+  /// already-parsed form of exactly `cnf_text`, letting callers that
+  /// parsed for admission control skip the second parse on the compile
+  /// path; keys and hit checks still use the raw bytes. Typed errors:
+  /// kInvalidInput (CNF rejected), the guard's refusal codes, kInternal
+  /// (injected allocation failure).
   Result<std::shared_ptr<const Artifact>> GetOrCompile(
-      const std::string& cnf_text, Guard& guard, bool* cache_hit);
+      const std::string& cnf_text, Guard& guard, bool* cache_hit,
+      const Cnf* parsed = nullptr);
 
   /// Peek: the completed artifact for `cnf_text` if one is cached, else
   /// nullptr. Never compiles, never blocks on an in-flight compile, but
@@ -74,8 +82,9 @@ class ArtifactCache {
 
   /// Builds an artifact without touching the cache (also the compile step
   /// of GetOrCompile). Exposed for tests and the collision fallback.
+  /// `parsed`, when non-null, must be the parse of exactly `cnf_text`.
   static Result<std::shared_ptr<const Artifact>> Build(
-      const std::string& cnf_text, Guard& guard);
+      const std::string& cnf_text, Guard& guard, const Cnf* parsed = nullptr);
 
  private:
   struct Slot {

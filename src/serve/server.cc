@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <optional>
 
 #include "analysis/structure/forecast.h"
 #include "base/fault.h"
@@ -17,6 +18,15 @@ namespace tbc::serve {
 namespace {
 
 constexpr int kPollTickMs = 100;  // how often blocked loops notice stopping_
+
+// Work budget for the admission forecast (DynGraph pair-inspection units,
+// see elimination.h). Request CNFs are untrusted and elimination
+// simulation is cubic-ish on dense primal graphs, so the analysis that
+// protects workers from hopeless compiles must itself be bounded: at this
+// cap an adversarially dense CNF costs well under a second of analysis
+// before it is admitted un-forecast (the Guard still bounds its compile),
+// while every plausibly-compilable CNF completes far below it.
+constexpr uint64_t kForecastWorkBudget = uint64_t{1} << 24;
 
 Response ErrorResponse(const Status& st) {
   Response r;
@@ -269,33 +279,53 @@ Response Server::Execute(const Request& req, Guard& guard) {
 
   bool cache_hit = false;
   std::shared_ptr<const Artifact> cached;
+  std::optional<Cnf> parsed_cnf;  // reused by the compile path below
   if (opts_.max_forecast_width > 0) {
     // Forecast admission (rule structure.width/structure.forecast): price
-    // the compile with the near-linear static pass and refuse hopeless
-    // requests before they consume any compile Guard budget. Runs after
-    // Admit, so at most num_workers analyses execute concurrently, and
-    // only on a cache miss — a cached artifact's compile is sunk cost.
+    // the compile with a bounded static pass and refuse hopeless requests
+    // before they consume any compile Guard budget. Runs after Admit, so
+    // at most num_workers analyses execute concurrently, and only on a
+    // cache miss — a cached artifact's compile is sunk cost.
     cached = cache_.Lookup(req.cnf_text);
     if (cached == nullptr) {
       auto parsed = Cnf::ParseDimacs(req.cnf_text);
       if (!parsed.ok()) return ErrorResponse(parsed.status());
+      parsed_cnf = std::move(parsed).value();
+      // The analysis itself must not become the cheaper DoS vector: the
+      // CNF is untrusted, and elimination simulation is far from linear
+      // on dense primal graphs (one wide clause is already a clique). So
+      // min-fill stays off and everything else runs under a fixed
+      // deterministic work budget; an over-budget analysis degrades to
+      // the linear passes plus the degeneracy lower bound. Whatever the
+      // forecast cannot price is admitted — the Guard remains the
+      // enforcer, exactly as before admission control existed.
       StructureOptions sopts;
       sopts.compute_backbone = false;  // routing needs widths only
-      const StructureReport forecast = AnalyzeCnfStructure(*parsed, sopts);
-      if (forecast.best_width() > opts_.max_forecast_width) {
+      sopts.try_minfill = false;
+      sopts.work_budget = kForecastWorkBudget;
+      const StructureReport forecast = AnalyzeCnfStructure(*parsed_cnf, sopts);
+      // Refusal is sound from either end of the bracket: a completed
+      // order's width is achievable, and the degeneracy lower-bounds
+      // every order — if even it exceeds the cap, the true width does too.
+      if (forecast.width_lower_bound > opts_.max_forecast_width ||
+          forecast.best_width() > opts_.max_forecast_width) {
+        const uint32_t predicted =
+            std::max(forecast.best_width(), forecast.width_lower_bound);
         TBC_COUNT("serve.requests.forecast_refused");
         return ErrorResponse(Status::RefusedByForecast(
-            "predicted induced width " +
-            std::to_string(forecast.best_width()) + " exceeds the server cap " +
+            "predicted induced width " + std::to_string(predicted) +
+            " exceeds the server cap " +
             std::to_string(opts_.max_forecast_width) +
             " (lower bound " + std::to_string(forecast.width_lower_bound) +
             "); compile forecast refused before any budget was consumed"));
       }
     }
   }
-  auto artifact = cached != nullptr
-                      ? Result<std::shared_ptr<const Artifact>>(cached)
-                      : cache_.GetOrCompile(req.cnf_text, guard, &cache_hit);
+  auto artifact =
+      cached != nullptr
+          ? Result<std::shared_ptr<const Artifact>>(cached)
+          : cache_.GetOrCompile(req.cnf_text, guard, &cache_hit,
+                                parsed_cnf ? &*parsed_cnf : nullptr);
   if (cached != nullptr) cache_hit = true;
   if (!artifact.ok()) return ErrorResponse(artifact.status());
   const Artifact& art = **artifact;

@@ -32,10 +32,13 @@ struct ServerOptions {
   /// Forecast-based admission control (0 = off): compile-bearing requests
   /// whose CNF's predicted induced width exceeds this cap are refused with
   /// a typed kRefusedByForecast *before* any compile starts, so a hopeless
-  /// request costs the server one near-linear analysis pass instead of a
-  /// full Guard budget. Already-cached artifacts bypass the check (their
-  /// compile cost is already paid). The forecast is advisory — the Guard
-  /// still bounds everything that is admitted.
+  /// request costs the server one *bounded* analysis pass instead of a
+  /// full Guard budget. The pass runs min-fill-free under a fixed
+  /// deterministic work budget — on adversarially dense CNFs it degrades
+  /// to the linear scans plus a degeneracy bound rather than stalling a
+  /// worker, and requests it cannot price are admitted. Already-cached
+  /// artifacts bypass the check (their compile cost is already paid). The
+  /// forecast is advisory — the Guard still bounds everything admitted.
   uint32_t max_forecast_width = 0;
 };
 

@@ -364,6 +364,38 @@ TEST(Server, ForecastAdmissionRefusesHighWidthWithoutCompiling) {
   (*server)->Shutdown();
 }
 
+TEST(Server, ForecastAdmissionAdmitsWhenAnalysisOverBudget) {
+  ServerOptions opts = LoopbackOptions();
+  opts.max_forecast_width = 10;
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  Client client(ClientFor(**server));
+
+  // A single clause this wide makes even *building* the primal graph blow
+  // the admission work budget: the bounded forecast degrades to the
+  // linear passes, yields no width bracket, and the request must be
+  // admitted — the Guard, not the forecast, bounds whatever it costs.
+  // (The compile itself is trivial: one clause.) Before the analysis was
+  // bounded, this request's min-fill/width simulation on a 5000-clique
+  // would pin a worker far longer than the compile it was vetting.
+  const size_t n = 5000;
+  std::string wide = "p cnf " + std::to_string(n) + " 1\n";
+  for (size_t v = 1; v <= n; ++v) wide += std::to_string(v) + " ";
+  wide += "0\n";
+
+  Request req;
+  req.op = Op::kCount;
+  req.cnf_text = wide;
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  ASSERT_TRUE(resp->ok()) << resp->message;  // admitted and answered
+  EXPECT_FALSE(resp->cache_hit);
+  EXPECT_EQ((*server)->cached_artifacts(), 1u);
+  EXPECT_FALSE(resp->count.empty());  // 2^5000 - 1 models
+  EXPECT_NE(resp->count, "0");
+  (*server)->Shutdown();
+}
+
 TEST(Server, MalformedRequestsGetTypedRefusalsNotCrashes) {
   auto server = Server::Start(LoopbackOptions());
   ASSERT_TRUE(server.ok());

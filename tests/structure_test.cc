@@ -254,6 +254,84 @@ TEST(StructureDecompose, MinfillVtreeCompilesAndLintsClean) {
   EXPECT_TRUE(diag.clean()) << diag.ToText("minfill sdd");
 }
 
+// --- work budget (bounded analysis on untrusted/dense inputs) ---
+
+TEST(StructureGraph, DefaultConstructedGraphIsEmpty) {
+  // A StructureReport's graph member before AnalyzeCnfStructure populates
+  // it (or after a truncated analysis skips it) must read as empty, not
+  // wrap to SIZE_MAX.
+  const PrimalGraph g;
+  EXPECT_EQ(g.num_vars(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  const StructureReport report;
+  EXPECT_EQ(report.graph.num_vars(), 0u);
+}
+
+TEST(StructureElimination, WorkBudgetAbortsOnDenseGraphs) {
+  Cnf clique(40);
+  Clause wide;
+  for (Var v = 0; v < 40; ++v) wide.push_back(Pos(v));
+  clique.AddClause(wide);
+  const PrimalGraph g = PrimalGraph::FromCnf(clique);
+
+  // A tiny budget aborts the greedy simulations (empty order / incomplete
+  // tree); an ample one reproduces the unbudgeted result exactly.
+  EXPECT_TRUE(EliminationOrder(g, ElimHeuristic::kMinDegree, 10).empty());
+  EXPECT_TRUE(EliminationOrder(g, ElimHeuristic::kMinFill, 10).empty());
+  const std::vector<Var> order = EliminationOrder(g, ElimHeuristic::kMinDegree);
+  ASSERT_TRUE(IsPermutation(order, 40));
+  EXPECT_FALSE(BuildEliminationTree(g, order, 10).completed);
+  const EliminationTree bounded =
+      BuildEliminationTree(g, order, uint64_t{1} << 30);
+  EXPECT_TRUE(bounded.completed);
+  EXPECT_EQ(bounded.width, InducedWidth(g, order));
+}
+
+TEST(StructureForecast, WorkBudgetTruncatesInsteadOfStalling) {
+  Cnf clique(64);
+  Clause wide;
+  for (Var v = 0; v < 64; ++v) wide.push_back(Pos(v));
+  clique.AddClause(wide);
+  clique.AddClause({Pos(0)});
+
+  // Budget below even the graph build: only the linear passes survive.
+  StructureOptions tiny;
+  tiny.work_budget = 16;
+  const StructureReport graph_free = AnalyzeCnfStructure(clique, tiny);
+  EXPECT_TRUE(graph_free.truncated);
+  EXPECT_TRUE(graph_free.candidates.empty());
+  EXPECT_EQ(graph_free.best_width(), 0u);
+  EXPECT_EQ(graph_free.width_lower_bound, 0u);  // degeneracy skipped too
+  EXPECT_EQ(graph_free.num_unit_clauses, 1u);   // linear passes still ran
+  EXPECT_TRUE(graph_free.forecasts.empty());    // width 0 must not be priced
+
+  // Budget that admits the graph but not the elimination simulation: the
+  // degeneracy lower bound survives and is still exact (63 for a clique),
+  // so a consumer can still refuse soundly on it.
+  StructureOptions mid;
+  mid.work_budget = 64 * 63 + 100;
+  const StructureReport degen_only = AnalyzeCnfStructure(clique, mid);
+  EXPECT_TRUE(degen_only.truncated);
+  EXPECT_TRUE(degen_only.candidates.empty());
+  EXPECT_EQ(degen_only.width_lower_bound, 63u);
+
+  // An ample budget is bit-identical to no budget at all.
+  StructureOptions ample;
+  ample.work_budget = uint64_t{1} << 40;
+  const StructureReport bounded = AnalyzeCnfStructure(clique, ample);
+  const StructureReport unbounded = AnalyzeCnfStructure(clique);
+  EXPECT_FALSE(bounded.truncated);
+  ASSERT_EQ(bounded.candidates.size(), unbounded.candidates.size());
+  for (size_t i = 0; i < bounded.candidates.size(); ++i) {
+    EXPECT_EQ(bounded.candidates[i].order, unbounded.candidates[i].order);
+    EXPECT_EQ(bounded.candidates[i].width, unbounded.candidates[i].width);
+  }
+  EXPECT_EQ(bounded.best_width(), 63u);
+  // Truncation state is part of the rendered reports.
+  EXPECT_NE(degen_only.ToJson().find("\"truncated\":true"), std::string::npos);
+  EXPECT_NE(bounded.ToJson().find("\"truncated\":false"), std::string::npos);
+}
+
 TEST(StructureDecompose, DtreeWidthBoundsAndFormat) {
   const Cnf cnf = GridCnf(3, 3);
   const PrimalGraph g = PrimalGraph::FromCnf(cnf);

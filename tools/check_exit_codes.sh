@@ -108,6 +108,29 @@ if [[ -x "$ANALYZE" ]]; then
   expect 2 "tbc_analyze bad cnf"        "$ANALYZE" "$TMP/bad.cnf"
   expect 3 "tbc_analyze over width cap" "$ANALYZE" --max-width=10 "$TMP/wide.cnf"
   expect 0 "tbc_analyze under width cap" "$ANALYZE" --max-width=29 "$TMP/wide.cnf"
+  # An empty-but-readable file is unparseable CNF (2), not an I/O error
+  # (1); an unreadable file among good ones still exits 1 but must not
+  # truncate the JSON array mid-list.
+  : > "$TMP/empty.cnf"
+  expect 2 "tbc_analyze empty file"     "$ANALYZE" "$TMP/empty.cnf"
+  expect 1 "tbc_analyze missing among good" \
+    "$ANALYZE" --format=json "$TMP/nope.cnf" "$TMP/good.cnf"
+  # Capture first: tbc_analyze exits 1 here by design, which would trip
+  # pipefail even when the JSON itself is fine.
+  "$ANALYZE" --format=json "$TMP/nope.cnf" "$TMP/good.cnf" \
+    > "$TMP/io.json" 2>/dev/null
+  if ! python3 -c '
+import json, sys
+reports = json.load(sys.stdin)
+assert len(reports) == 2, "expected one entry per listed file"
+assert any("structure.io" in json.dumps(r["diagnostics"]) for r in reports)
+' < "$TMP/io.json"; then
+    echo "check_exit_codes: FAIL tbc_analyze json with unreadable file is" \
+         "not a complete array" >&2
+    FAILED=1
+  else
+    echo "check_exit_codes: ok   tbc_analyze json array complete on IO error"
+  fi
 fi
 
 if [[ "$FAILED" != 0 ]]; then
