@@ -45,6 +45,7 @@
 #include "obdd/obdd.h"
 #include "psdd/psdd.h"
 #include "sdd/compile.h"
+#include "sdd/minimize.h"
 #include "sdd/sdd.h"
 #include "spaces/hierarchical.h"
 #include "vtree/vtree.h"
@@ -175,6 +176,42 @@ void BenchSddApply() {
   for (int i = 0; i < 10; ++i) g_sink += mgr.Wmc(f, w);
 }
 
+// Vtree minimization through the stable MinimizeVtree entry point: the
+// baseline library recompiles the CNF for every candidate neighbor, the
+// current one rotates/swaps the live SDD in place — so the before/after
+// ratio of this kernel IS the dynamic-minimization speedup (budget and
+// seed pinned; both searches walk the same seeded neighbor sequence).
+void BenchSddMinimize() {
+  for (size_t n : {12, 16, 20}) {
+    const Cnf cnf = RandomCnf(n, n * 3, 7 + n);
+    const MinimizeResult r = MinimizeVtree(
+        cnf, Vtree::RightLinear(Vtree::IdentityOrder(n)), 60, 17);
+    g_sink += static_cast<double>(r.size + r.iterations);
+  }
+}
+
+// Minimize-enabled SDD suite variant: the sdd_apply workload compiled with
+// the size-triggered auto-minimize hook armed. Trees that predate the hook
+// (no TBC_SDD_HAS_INPLACE_MINIMIZE in sdd/minimize.h) run the plain
+// compile, so the before/after ratio prices the hook against doing nothing.
+void BenchSddCompileAutoMinimize() {
+#ifdef TBC_SDD_HAS_INPLACE_MINIMIZE
+  const SddAutoMinimizeOptions saved = SddManager::DefaultAutoMinimize();
+  SddAutoMinimizeOptions opts =
+      SddAutoMinimizeOptions::ForMode(SddMinimizeMode::kAggressive);
+  SddManager::SetDefaultAutoMinimize(opts);
+#endif
+  const size_t n = 22;
+  const Cnf cnf = RandomCnf(n, n * 2, 61);
+  SddManager mgr(Vtree::RightLinear(Vtree::IdentityOrder(n)));
+  const SddId f = CompileCnf(mgr, cnf);
+  const WeightMap w = RandomWeights(n, 62);
+  for (int i = 0; i < 10; ++i) g_sink += mgr.Wmc(f, w);
+#ifdef TBC_SDD_HAS_INPLACE_MINIMIZE
+  SddManager::SetDefaultAutoMinimize(saved);
+#endif
+}
+
 // Raw OBDD apply loop plus repeated counting passes.
 void BenchObddApply() {
   const size_t n = 24;
@@ -222,6 +259,8 @@ int main(int argc, char** argv) {
   entries.push_back(Measure("psdd_eval", BenchPsddEval));
   entries.push_back(Measure("hierarchical_map", BenchHierarchicalMap));
   entries.push_back(Measure("sdd_apply_wmc", BenchSddApply));
+  entries.push_back(Measure("sdd_minimize", BenchSddMinimize));
+  entries.push_back(Measure("sdd_compile_autominimize", BenchSddCompileAutoMinimize));
   entries.push_back(Measure("obdd_apply_count", BenchObddApply));
 
   std::FILE* out = stdout;

@@ -21,10 +21,12 @@
 #include <vector>
 
 #include "analysis/structure/forecast.h"
+#include "base/guard.h"
 #include "base/random.h"
 #include "base/timer.h"
 #include "logic/cnf.h"
 #include "sdd/compile.h"
+#include "sdd/minimize.h"
 #include "sdd/sdd.h"
 #include "vtree/vtree.h"
 
@@ -98,12 +100,57 @@ ShapeResult CompileWith(const Cnf& cnf, const Vtree& vt) {
   return r;
 }
 
+// Dynamic-minimization comparison: the same seeded local search over
+// rotate/swap neighbors, executed in place on the live SDD vs by
+// recompiling the CNF for every candidate. Equal-or-smaller size at a
+// fraction of the wall-clock is the acceptance bar for the in-place path.
+//
+// Cost models: dynamic minimization is a post-compile operation, so the
+// in-place column times only the edit search on an already compiled and
+// garbage-collected SDD (the shared setup). The recompile search's very
+// method is compilation — its timing is the candidate compiles it runs
+// (including its one incumbent compile, 1/(budget+1) of its loop).
+constexpr size_t kMinimizeBudget = 40;
+constexpr uint64_t kMinimizeSeed = 17;
+constexpr int kMinimizeRuns = 3;
+
+struct MinimizeColumn {
+  size_t size = 0;       // best SDD size found (historical +1 convention)
+  size_t iterations = 0;
+  double median_ms = 0.0;
+};
+
+struct MinimizeOutcome {
+  size_t size = 0;
+  size_t iterations = 0;
+};
+
+// `search` performs one full search, reporting the wall-clock of its
+// timed region (setup excluded) through the out-parameter.
+template <typename SearchFn>
+MinimizeColumn MeasureMinimize(SearchFn&& search) {
+  MinimizeColumn col;
+  std::vector<double> times;
+  for (int run = 0; run < kMinimizeRuns; ++run) {
+    double ms = 0.0;
+    const MinimizeOutcome r = search(ms);
+    times.push_back(ms);
+    col.size = r.size;
+    col.iterations = r.iterations;
+    g_sink += static_cast<double>(r.size);
+  }
+  std::sort(times.begin(), times.end());
+  col.median_ms = times[times.size() / 2];
+  return col;
+}
+
 struct FamilyRow {
   std::string family;
   size_t n = 0;
   uint32_t width = 0;        // forecast best width
   uint32_t width_lb = 0;     // degeneracy lower bound
   ShapeResult right, balanced, minfill;
+  MinimizeColumn min_inplace, min_recompile;
 };
 
 FamilyRow Measure(const std::string& family, const Cnf& cnf) {
@@ -117,6 +164,27 @@ FamilyRow Measure(const std::string& family, const Cnf& cnf) {
   row.width = report.best_width();
   row.width_lb = report.width_lower_bound;
   row.minfill = CompileWith(cnf, VtreeForCnf(report));
+  // Both searches start from the worst shape above (right-linear) and walk
+  // the identical seeded neighbor sequence.
+  const Vtree start = Vtree::RightLinear(identity);
+  row.min_inplace = MeasureMinimize([&](double& ms) {
+    SddManager mgr(start);
+    mgr.set_auto_minimize(SddAutoMinimizeOptions{});
+    SddId root = CompileCnf(mgr, cnf);
+    root = mgr.GarbageCollect(root);
+    const Timer timer;
+    const SddInPlaceMinimizeResult r =
+        MinimizeSddInPlace(mgr, root, kMinimizeBudget, kMinimizeSeed);
+    ms = timer.Millis();
+    return MinimizeOutcome{r.size + 1, r.iterations};
+  });
+  row.min_recompile = MeasureMinimize([&](double& ms) {
+    const Timer timer;
+    const MinimizeResult r = MinimizeVtreeByRecompile(
+        cnf, start, kMinimizeBudget, kMinimizeSeed, Guard::Unlimited());
+    ms = timer.Millis();
+    return MinimizeOutcome{r.size, r.iterations};
+  });
   return row;
 }
 
@@ -151,7 +219,12 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::fprintf(out, "{\n  \"median_of\": %d,\n  \"families\": [\n", kRuns);
+  std::fprintf(out,
+               "{\n  \"median_of\": %d,\n  \"minimize\": "
+               "{\"budget\": %zu, \"seed\": %llu, \"median_of\": %d},\n"
+               "  \"families\": [\n",
+               kRuns, kMinimizeBudget,
+               static_cast<unsigned long long>(kMinimizeSeed), kMinimizeRuns);
   for (size_t i = 0; i < rows.size(); ++i) {
     const FamilyRow& r = rows[i];
     std::fprintf(out,
@@ -160,7 +233,17 @@ int main(int argc, char** argv) {
                  r.family.c_str(), r.n, r.width, r.width_lb);
     PrintShape(out, "right", r.right, false);
     PrintShape(out, "balanced", r.balanced, false);
-    PrintShape(out, "minfill", r.minfill, true);
+    PrintShape(out, "minfill", r.minfill, false);
+    std::fprintf(out,
+                 "      \"minimize_inplace\": {\"size\": %zu, "
+                 "\"iterations\": %zu, \"median_ms\": %.3f},\n",
+                 r.min_inplace.size, r.min_inplace.iterations,
+                 r.min_inplace.median_ms);
+    std::fprintf(out,
+                 "      \"minimize_recompile\": {\"size\": %zu, "
+                 "\"iterations\": %zu, \"median_ms\": %.3f}\n",
+                 r.min_recompile.size, r.min_recompile.iterations,
+                 r.min_recompile.median_ms);
     std::fprintf(out, "    }%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

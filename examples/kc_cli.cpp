@@ -103,7 +103,9 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: kc_cli FILE.cnf [--target=ddnnf|sdd|obdd]\n"
         "              [--vtree=balanced|right|random|minfill] [--force-order]\n"
-        "              [--minimize=N] [--samples=N]\n"
+        "              [--minimize=N] [--minimize-recompile=N]\n"
+        "              [--sdd-minimize=off|auto|aggressive]\n"
+        "              [--sdd-minimize-threshold=R] [--samples=N]\n"
         "              [--timeout-ms=N] [--max-nodes=N]\n"
         "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n"
         "              [--wmc[=W]] [--stats[=json]]\n"
@@ -146,6 +148,41 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // Size-triggered in-place SDD minimization: set the process-wide default
+  // so every manager the run creates (direct compiles, portfolio arms)
+  // picks the policy up at construction.
+  if (const char* m = Arg(argc, argv, "--sdd-minimize")) {
+    SddMinimizeMode mode;
+    if (std::strcmp(m, "off") == 0) {
+      mode = SddMinimizeMode::kOff;
+    } else if (std::strcmp(m, "auto") == 0) {
+      mode = SddMinimizeMode::kAuto;
+    } else if (std::strcmp(m, "aggressive") == 0) {
+      mode = SddMinimizeMode::kAggressive;
+    } else {
+      std::fprintf(stderr,
+                   "kc_cli: --sdd-minimize must be off|auto|aggressive, "
+                   "got '%s'\n",
+                   m);
+      return 1;
+    }
+    SddAutoMinimizeOptions opts = SddAutoMinimizeOptions::ForMode(mode);
+    if (const char* t = Arg(argc, argv, "--sdd-minimize-threshold")) {
+      if (!ParseDouble(t, &opts.growth_ratio) || opts.growth_ratio < 1.0) {
+        std::fprintf(stderr,
+                     "kc_cli: --sdd-minimize-threshold needs a ratio >= 1, "
+                     "got '%s'\n",
+                     t);
+        return 1;
+      }
+    }
+    SddManager::SetDefaultAutoMinimize(opts);
+  } else if (Arg(argc, argv, "--sdd-minimize-threshold") != nullptr) {
+    std::fprintf(stderr,
+                 "kc_cli: --sdd-minimize-threshold requires --sdd-minimize\n");
+    return 1;
+  }
+
   const bool governed = budget.timeout_ms > 0.0 || budget.max_nodes > 0;
   Guard guard(budget);
   // Typed refusal (deadline/budget): report and exit 3 so scripts can tell
@@ -258,15 +295,25 @@ int main(int argc, char** argv) {
            : shape == "random" ? Vtree::Random(order, rng)
                                : Vtree::Balanced(order);
     }
-    if (const char* iters = Arg(argc, argv, "--minimize")) {
-      const MinimizeResult r = MinimizeVtree(
-          cnf, vt, std::strtoull(iters, nullptr, 10), 7, guard);
+    const char* min_inplace = Arg(argc, argv, "--minimize");
+    const char* min_recompile = Arg(argc, argv, "--minimize-recompile");
+    if (min_inplace != nullptr || min_recompile != nullptr) {
+      // --minimize searches with in-place edits on the live SDD;
+      // --minimize-recompile keeps the recompilation-based search around
+      // as the cross-check oracle.
+      const char* iters = min_inplace != nullptr ? min_inplace : min_recompile;
+      const size_t iter_budget = std::strtoull(iters, nullptr, 10);
+      const MinimizeResult r =
+          min_inplace != nullptr
+              ? MinimizeVtree(cnf, vt, iter_budget, 7, guard)
+              : MinimizeVtreeByRecompile(cnf, vt, iter_budget, 7, guard);
       if (r.interrupted && r.size == 0) return refuse(r.interrupt_status);
       if (r.interrupted) {
         std::printf("c vtree search stopped early [%s]\n",
                     StatusCodeName(r.interrupt_status.code()));
       }
-      std::printf("c vtree search: size %zu -> %zu in %zu iterations\n",
+      std::printf("c vtree search (%s): size %zu -> %zu in %zu iterations\n",
+                  min_inplace != nullptr ? "in-place" : "recompile",
                   r.initial_size, r.size, r.iterations);
       vt = r.vtree;
     }
@@ -278,6 +325,10 @@ int main(int argc, char** argv) {
       f = *compiled;
     } else {
       f = CompileCnf(mgr, cnf);
+    }
+    if (mgr.auto_minimize_fires() > 0) {
+      std::printf("c auto-minimize: fired %zu times (%zu nodes live)\n",
+                  mgr.auto_minimize_fires(), mgr.live_node_count());
     }
     std::printf("c compiled SDD: %zu elements, %zu decision nodes in %.2f ms\n",
                 mgr.Size(f), mgr.NumDecisionNodes(f), timer.Millis());

@@ -136,6 +136,37 @@ class UniqueTable {
     ++size_;
   }
 
+  /// Removes the entry mapping `hash` to `id`; returns false when absent.
+  /// Deletion is backward-shift (not tombstones): entries probing through
+  /// the freed slot are moved into it, so the table keeps the "probes stop
+  /// at the first empty slot" invariant that Find/Insert rely on. Needed by
+  /// in-place SDD vtree edits, which re-home live nodes under new hashes.
+  bool Erase(uint64_t hash, uint32_t id) {
+    size_t i = hash & mask_;
+    while (ids_[i] != kNpos) {
+      if (hashes_[i] == hash && ids_[i] == id) {
+        size_t hole = i;
+        size_t j = (i + 1) & mask_;
+        while (ids_[j] != kNpos) {
+          // Shift j into the hole iff the hole lies on j's probe path,
+          // i.e. cyclically between j's home slot and j.
+          const size_t home = hashes_[j] & mask_;
+          if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+            ids_[hole] = ids_[j];
+            hashes_[hole] = hashes_[j];
+            hole = j;
+          }
+          j = (j + 1) & mask_;
+        }
+        ids_[hole] = kNpos;
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
   void Clear() {
     size_ = 0;
     std::fill(ids_.begin(), ids_.end(), kNpos);
@@ -363,8 +394,11 @@ class LossyCache {
 
  private:
   static constexpr size_t kMinCapacity = 1024;
-  // 2^20 slots; at ~24 bytes per (OpKey, id) slot this is a ~24 MB ceiling
-  // per manager, independent of how long a compilation runs.
+  // 2^20 slots; at ~32 bytes per (OpKey, entry) slot this is a ~32 MB
+  // ceiling per manager, independent of how long a compilation runs.
+  // Deliberately no EraseIf/scan API: invalidation must be O(1) (see the
+  // SDD op cache's edit epochs) — a full-capacity scan per event is the
+  // kind of cost this cache exists to avoid.
   static constexpr size_t kDefaultMaxCapacity = size_t{1} << 20;
 
   struct Slot {

@@ -75,7 +75,11 @@ Vtree VtreeForQuery(const Query& q, const WmcEncoding& enc) {
 Result<double> RunSdd(const Query& q, Guard& guard) {
   WmcEncoding enc(q.net);
   SddManager mgr(VtreeForQuery(q, enc));
-  TBC_ASSIGN_OR_RETURN(const SddId f, CompileCnfBounded(mgr, enc.cnf(), guard));
+  TBC_ASSIGN_OR_RETURN(SddId f, CompileCnfBounded(mgr, enc.cnf(), guard));
+  // The compile loop auto-minimizes on growth (when the process-wide
+  // policy is on); one more pass at the artifact boundary catches the
+  // post-compile plateau before the repeated WMC evaluations below.
+  f = mgr.MaybeAutoMinimize(f);
 #ifdef TBC_VALIDATE
   // The answer below is only as trustworthy as the circuit it is read off
   // of — re-verify the winning engine's artifact before evaluating.

@@ -43,6 +43,9 @@ SddId CompileCnf(SddManager& mgr, const Cnf& cnf) {
   for (size_t i : idx) {
     acc = mgr.Conjoin(acc, CompileClause(mgr, cnf.clause(i)));
     if (acc == mgr.False()) break;
+    // Between clause conjoins is a safe point (no apply in flight): let the
+    // manager's size-triggered policy squeeze the partial SDD in place.
+    acc = mgr.MaybeAutoMinimize(acc);
   }
 #ifdef TBC_VALIDATE
   if (mgr.guard() == nullptr) ValidateSddOrDie(mgr, acc, "CompileCnf");

@@ -1,7 +1,6 @@
 #include "sdd/minimize.h"
 
-#include <functional>
-#include <memory>
+#include <utility>
 
 #include "base/check.h"
 #include "base/observability.h"
@@ -16,106 +15,9 @@ namespace tbc {
 
 namespace {
 
-// Mutable tree mirror used for surgery.
-struct TreeNode {
-  Var var = kInvalidVar;
-  std::unique_ptr<TreeNode> left, right;
-  bool IsLeaf() const { return var != kInvalidVar; }
-};
-
-std::unique_ptr<TreeNode> Clone(const Vtree& vt, VtreeId v) {
-  auto node = std::make_unique<TreeNode>();
-  if (vt.IsLeaf(v)) {
-    node->var = vt.var(v);
-  } else {
-    node->left = Clone(vt, vt.left(v));
-    node->right = Clone(vt, vt.right(v));
-  }
-  return node;
-}
-
-// Rebuilds a Vtree from the mutable mirror.
-Vtree Rebuild(const TreeNode& root) {
-  // Serialize to the file format and parse back — reuses the validated
-  // construction path.
-  std::string body;
-  uint32_t next = 0;
-  std::function<uint32_t(const TreeNode&)> emit = [&](const TreeNode& n) -> uint32_t {
-    if (n.IsLeaf()) {
-      const uint32_t id = next++;
-      body += "L " + std::to_string(id) + " " + std::to_string(n.var + 1) + "\n";
-      return id;
-    }
-    const uint32_t l = emit(*n.left);
-    const uint32_t r = emit(*n.right);
-    const uint32_t id = next++;
-    body += "I " + std::to_string(id) + " " + std::to_string(l) + " " +
-            std::to_string(r) + "\n";
-    return id;
-  };
-  emit(root);
-  auto parsed = Vtree::Parse("vtree " + std::to_string(next) + "\n" + body);
-  TBC_CHECK(parsed.ok());
-  return std::move(parsed).value();
-}
-
-// Finds the mirror node corresponding to a vtree node by in-order position.
-TreeNode* FindByPosition(TreeNode* node, uint32_t target, uint32_t& next) {
-  if (node->IsLeaf()) {
-    return next++ == target ? node : nullptr;
-  }
-  TreeNode* found = FindByPosition(node->left.get(), target, next);
-  if (found != nullptr) return found;
-  if (next++ == target) return node;
-  return FindByPosition(node->right.get(), target, next);
-}
-
-enum class Op { kRotateRight, kRotateLeft, kSwap };
-
-Vtree Apply(const Vtree& vt, VtreeId at, Op op) {
-  std::unique_ptr<TreeNode> root = Clone(vt, vt.root());
-  uint32_t next = 0;
-  TreeNode* node = FindByPosition(root.get(), vt.position(at), next);
-  TBC_CHECK(node != nullptr);
-  switch (op) {
-    case Op::kRotateRight: {
-      // (l=(a,b), c) -> (a, (b,c)).
-      if (node->IsLeaf() || node->left->IsLeaf()) return vt;
-      auto l = std::move(node->left);
-      auto a = std::move(l->left);
-      auto b = std::move(l->right);
-      auto c = std::move(node->right);
-      l->left = std::move(b);
-      l->right = std::move(c);
-      node->left = std::move(a);
-      node->right = std::move(l);
-      break;
-    }
-    case Op::kRotateLeft: {
-      // (a, r=(b,c)) -> ((a,b), c).
-      if (node->IsLeaf() || node->right->IsLeaf()) return vt;
-      auto r = std::move(node->right);
-      auto a = std::move(node->left);
-      auto b = std::move(r->left);
-      auto c = std::move(r->right);
-      r->left = std::move(a);
-      r->right = std::move(b);
-      node->left = std::move(r);
-      node->right = std::move(c);
-      break;
-    }
-    case Op::kSwap: {
-      if (node->IsLeaf()) return vt;
-      std::swap(node->left, node->right);
-      break;
-    }
-  }
-  return Rebuild(*root);
-}
-
-// Bounded recompilation for candidate evaluation: respects the outer
-// deadline/cancellation and a node cap. Returns SIZE_MAX (reject) when the
-// compile was interrupted.
+// Bounded recompilation for candidate evaluation (recompile oracle path):
+// respects the outer deadline/cancellation and a node cap. Returns
+// SIZE_MAX (reject) when the compile was interrupted.
 size_t SddSizeUnderBounded(const Cnf& cnf, const Vtree& vt, Guard& outer,
                            uint64_t node_cap) {
   Budget inner_budget;
@@ -124,6 +26,7 @@ size_t SddSizeUnderBounded(const Cnf& cnf, const Vtree& vt, Guard& outer,
   if (inner_budget.timeout_ms == 0.0 && outer.has_deadline()) return SIZE_MAX;
   Guard inner(inner_budget);
   SddManager mgr(vt);
+  mgr.set_auto_minimize(SddAutoMinimizeOptions{});
   mgr.set_guard(&inner);
   const SddId f = CompileCnf(mgr, cnf);
   if (mgr.interrupted() || outer.cancelled()) return static_cast<size_t>(-1);
@@ -132,14 +35,130 @@ size_t SddSizeUnderBounded(const Cnf& cnf, const Vtree& vt, Guard& outer,
 
 }  // namespace
 
-Vtree RotateRight(const Vtree& vtree, VtreeId at) {
-  return Apply(vtree, at, Op::kRotateRight);
+std::optional<Vtree> RotateRight(const Vtree& vtree, VtreeId at) {
+  Vtree copy = vtree;
+  if (!copy.RotateRightAt(at)) return std::nullopt;
+  return copy;
 }
-Vtree RotateLeft(const Vtree& vtree, VtreeId at) {
-  return Apply(vtree, at, Op::kRotateLeft);
+std::optional<Vtree> RotateLeft(const Vtree& vtree, VtreeId at) {
+  Vtree copy = vtree;
+  if (!copy.RotateLeftAt(at)) return std::nullopt;
+  return copy;
 }
-Vtree SwapChildren(const Vtree& vtree, VtreeId at) {
-  return Apply(vtree, at, Op::kSwap);
+std::optional<Vtree> SwapChildren(const Vtree& vtree, VtreeId at) {
+  Vtree copy = vtree;
+  if (!copy.SwapChildrenAt(at)) return std::nullopt;
+  return copy;
+}
+
+SddInPlaceMinimizeResult MinimizeSddInPlace(SddManager& mgr, SddId root,
+                                            size_t budget, uint64_t seed) {
+  TBC_SPAN("sdd.minimize.inplace");
+  SddInPlaceMinimizeResult result;
+  result.root = mgr.Resolve(root);
+  if (mgr.interrupted()) {
+    result.interrupted = true;
+    result.interrupt_status = mgr.interrupt_status();
+    return result;
+  }
+  result.initial_size = mgr.Size(result.root);
+  result.size = result.initial_size;
+  Guard* outer = mgr.guard();
+  Rng rng(seed);
+  const size_t num_vt = mgr.vtree().num_nodes();
+  const auto edit = [&mgr](int op, VtreeId at) {
+    switch (op) {
+      case 0:
+        return mgr.RotateRightInPlace(at);
+      case 1:
+        return mgr.RotateLeftInPlace(at);
+      default:
+        return mgr.SwapChildrenInPlace(at);
+    }
+  };
+  for (size_t i = 0; i < budget; ++i) {
+    if (outer != nullptr) {
+      Status s = outer->Check();
+      if (!s.ok()) {
+        result.interrupted = true;
+        result.interrupt_status = std::move(s);
+        break;
+      }
+    }
+    const VtreeId at = static_cast<VtreeId>(rng.Below(num_vt));
+    const int op = static_cast<int>(rng.Below(3));
+    ++result.iterations;
+    TBC_COUNT("sdd.minimize.iterations");
+    // Per-edit work cap (Choi & Darwiche's "limited" operations): a
+    // fragment rewrite that interns more than a fraction of the incumbent
+    // SDD's size is no local move at all — it is a global restructuring
+    // priced like a recompile — so it is aborted (and rolled back) early.
+    // Empirically the cap can be this tight without changing the best
+    // size found: sweeping multipliers from 4x down to 0.25x of the
+    // incumbent left every best-size result identical while cutting
+    // wall-clock several-fold on root-adjacent rotations. The outer
+    // deadline, when there is one, bounds the edit as well.
+    Budget inner_budget;
+    inner_budget.max_nodes = static_cast<uint64_t>(result.size) + 256;
+    if (outer != nullptr && outer->has_deadline()) {
+      inner_budget.timeout_ms = outer->RemainingMs();
+      if (inner_budget.timeout_ms <= 0.0) {
+        // The outer deadline expired between the Check above and here.
+        result.interrupted = true;
+        result.interrupt_status = Status::DeadlineExceeded(
+            "deadline exceeded before in-place edit");
+        break;
+      }
+    }
+    Guard inner(inner_budget);
+    mgr.set_guard(&inner);
+    const SddEditResult er = edit(op, at);
+    mgr.set_guard(outer);
+    if (er.aborted) {
+      ++result.aborted;
+      mgr.ClearInterrupt();
+      // The inner guard inherits the outer deadline; find out which budget
+      // actually tripped.
+      if (outer != nullptr) {
+        Status s = outer->Check();
+        if (!s.ok()) {
+          result.interrupted = true;
+          result.interrupt_status = std::move(s);
+          break;
+        }
+      }
+      continue;
+    }
+    if (!er.applied) continue;
+    ++result.applied;
+    root = mgr.Resolve(result.root);
+    const size_t size = mgr.Size(root);
+#ifdef TBC_VALIDATE
+    {
+      // Analyzer-clean after every committed edit (guard detached: the
+      // validation pass must not charge the search budgets).
+      Guard* held = mgr.guard();
+      mgr.set_guard(nullptr);
+      ValidateSddOrDie(mgr, root, "MinimizeSddInPlace");
+      mgr.set_guard(held);
+    }
+#endif
+    if (size <= result.size) {  // accept sideways moves to escape plateaus
+      if (size < result.size) TBC_COUNT("sdd.minimize.improvements");
+      result.size = size;
+      result.root = root;
+      continue;
+    }
+    // Reject: undo via the exact inverse at the same node. The rollback
+    // must complete to keep the incumbent, so it runs unguarded; its cost
+    // is bounded by the fragment the forward edit just rebuilt.
+    mgr.set_guard(nullptr);
+    const SddEditResult undo = edit(op == 0 ? 1 : op == 1 ? 0 : 2, at);
+    mgr.set_guard(outer);
+    TBC_CHECK_MSG(undo.applied, "inverse vtree edit must always apply");
+    result.root = mgr.Resolve(result.root);
+  }
+  return result;
 }
 
 MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
@@ -150,6 +169,65 @@ MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
 MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
                              size_t budget, uint64_t seed, Guard& guard) {
   TBC_SPAN("sdd.minimize");
+  MinimizeResult result;
+  result.vtree = initial;
+  // Compile once under the full outer guard; every subsequent step is an
+  // in-place fragment edit, not a recompilation.
+  SddManager mgr(initial);
+  // The search drives its own edits; a process-wide auto-minimize default
+  // would interleave extra edits and perturb the seeded sequence.
+  mgr.set_auto_minimize(SddAutoMinimizeOptions{});
+  mgr.set_guard(&guard);
+  SddId f = CompileCnf(mgr, cnf);
+  if (mgr.interrupted()) {
+    result.interrupted = true;
+    result.interrupt_status = mgr.interrupt_status();
+    return result;
+  }
+  // The compile leaves every intermediate apply result live, and an edit
+  // must rewrite ALL nodes at its vtree label — garbage included. The
+  // manager is ours and `f` is the only root, so collect first; edits
+  // then scale with the actual SDD instead of the compile's debris.
+  f = mgr.GarbageCollect(f);
+  const SddInPlaceMinimizeResult r = MinimizeSddInPlace(mgr, f, budget, seed);
+  mgr.set_guard(nullptr);
+  // Sizes keep the historical "+1" convention of this API (compilation
+  // size including the root count, never 0 for a successful compile).
+  result.initial_size = r.initial_size + 1;
+  result.size = r.size + 1;
+  result.iterations = r.iterations;
+  result.interrupted = r.interrupted;
+  result.interrupt_status = r.interrupt_status;
+  // The live SDD is canonical for the manager's current vtree, which the
+  // loop invariant keeps equal to the incumbent's vtree.
+  result.vtree = mgr.vtree();
+#ifdef TBC_VALIDATE
+  // Cross-check: recompiling under the winning vtree must reproduce the
+  // in-place result (the in-place path preserves canonicity).
+  if (!result.interrupted) {
+    SddManager check(result.vtree);
+    check.set_auto_minimize(SddAutoMinimizeOptions{});
+    const SddId g = CompileCnf(check, cnf);
+    ValidateSddOrDie(check, g, "MinimizeVtree");
+    TBC_CHECK_MSG(check.Size(g) + 1 == result.size,
+                  "in-place minimized SDD disagrees with recompilation");
+  }
+#elif defined(TBC_CERTIFY)
+  // Certify the winning vtree's circuit. (With TBC_VALIDATE on, the
+  // recompile above already certifies through CompileCnf's guard-free
+  // hook, so this block only exists when that one is compiled out.)
+  if (!result.interrupted) {
+    SddManager check(result.vtree);
+    CompileCnf(check, cnf);
+  }
+#endif
+  return result;
+}
+
+MinimizeResult MinimizeVtreeByRecompile(const Cnf& cnf, const Vtree& initial,
+                                        size_t budget, uint64_t seed,
+                                        Guard& guard) {
+  TBC_SPAN("sdd.minimize.recompile");
   Rng rng(seed);
   MinimizeResult result;
   result.vtree = initial;
@@ -157,6 +235,7 @@ MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
   // cancellation, plus any caller-set node budget).
   {
     SddManager mgr(initial);
+    mgr.set_auto_minimize(SddAutoMinimizeOptions{});
     mgr.set_guard(&guard);
     const SddId f = CompileCnf(mgr, cnf);
     mgr.set_guard(nullptr);
@@ -176,19 +255,23 @@ MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
       break;
     }
     const VtreeId at = static_cast<VtreeId>(rng.Below(result.vtree.num_nodes()));
-    const Op op = static_cast<Op>(rng.Below(3));
-    Vtree candidate = Apply(result.vtree, at, op);
+    const int op = static_cast<int>(rng.Below(3));
+    ++result.iterations;
+    TBC_COUNT("sdd.minimize.iterations");
+    std::optional<Vtree> candidate =
+        op == 0   ? RotateRight(result.vtree, at)
+        : op == 1 ? RotateLeft(result.vtree, at)
+                  : SwapChildren(result.vtree, at);
+    if (!candidate.has_value()) continue;  // shape did not permit the move
     // A neighbor larger than the incumbent can never be accepted, so cap
     // its recompilation at a small multiple of the incumbent size. This
     // also keeps one pathological neighbor from eating the whole deadline.
     const uint64_t cap = 4 * static_cast<uint64_t>(result.size) + 256;
-    const size_t size = SddSizeUnderBounded(cnf, candidate, guard, cap);
-    ++result.iterations;
-    TBC_COUNT("sdd.minimize.iterations");
+    const size_t size = SddSizeUnderBounded(cnf, *candidate, guard, cap);
     if (size <= result.size) {  // accept sideways moves to escape plateaus
       if (size < result.size) TBC_COUNT("sdd.minimize.improvements");
       result.size = size;
-      result.vtree = std::move(candidate);
+      result.vtree = std::move(*candidate);
     }
   }
 #ifdef TBC_VALIDATE
@@ -196,12 +279,9 @@ MinimizeResult MinimizeVtree(const Cnf& cnf, const Vtree& initial,
   // guard-free CompileCnf hook; the search above runs guarded and skips it).
   if (!result.interrupted) {
     SddManager check(result.vtree);
-    ValidateSddOrDie(check, CompileCnf(check, cnf), "MinimizeVtree");
+    ValidateSddOrDie(check, CompileCnf(check, cnf), "MinimizeVtreeByRecompile");
   }
 #elif defined(TBC_CERTIFY)
-  // Certify the winning vtree's circuit. (With TBC_VALIDATE on, the
-  // recompile above already certifies through CompileCnf's guard-free
-  // hook, so this block only exists when that one is compiled out.)
   if (!result.interrupted) {
     SddManager check(result.vtree);
     CompileCnf(check, cnf);

@@ -20,6 +20,39 @@ namespace tbc {
 using SddId = uint32_t;
 constexpr SddId kInvalidSdd = static_cast<SddId>(-1);
 
+/// Outcome of one in-place vtree edit on a live SDD.
+struct SddEditResult {
+  bool applied = false;  /// the shape permitted the move and it committed
+  bool aborted = false;  /// the guard tripped mid-edit; state rolled back
+  size_t relabeled = 0;  /// nodes moved verbatim to the new fragment root
+  size_t rewritten = 0;  /// nodes whose partitions were recomputed
+  size_t reclaimed = 0;  /// nodes retired behind forwarding pointers
+};
+
+/// Policy for the manager's size-triggered auto-minimize hook.
+enum class SddMinimizeMode : uint8_t { kOff, kAuto, kAggressive };
+
+struct SddAutoMinimizeOptions {
+  SddMinimizeMode mode = SddMinimizeMode::kOff;
+  /// Fire when live nodes exceed growth_ratio × the live count after the
+  /// previous pass (or min_live_nodes for the first pass).
+  double growth_ratio = 2.0;
+  size_t min_live_nodes = 512;
+  /// In-place edits attempted per firing.
+  size_t ops_per_pass = 96;
+
+  static SddAutoMinimizeOptions ForMode(SddMinimizeMode mode) {
+    SddAutoMinimizeOptions o;
+    o.mode = mode;
+    if (mode == SddMinimizeMode::kAggressive) {
+      o.growth_ratio = 1.25;
+      o.min_live_nodes = 128;
+      o.ops_per_pass = 192;
+    }
+    return o;
+  }
+};
+
 /// Sentential Decision Diagram package [Darwiche 2011] (paper §3, Fig 9).
 ///
 /// An SDD is structured by a vtree. A decision node respecting internal
@@ -126,14 +159,99 @@ class SddManager {
   /// structured-space compilers; most callers want Conjoin/Disjoin.
   SddId MakeDecision(VtreeId v, std::vector<std::pair<SddId, SddId>> elements);
 
+  /// ---- In-place dynamic vtree minimization [Choi & Darwiche 2013] ----
+  ///
+  /// Applies one vtree operation directly to the live SDD: the vtree is
+  /// mutated and only the SDD nodes normalized for the edited fragment —
+  /// node v and its rotated child — are touched (the textbook locality
+  /// property). Nodes at the moving child are relabeled verbatim; nodes at
+  /// v get their partitions recomputed for the new variable split; a node
+  /// whose new canonical form trims to a smaller node is *reclaimed*: it
+  /// is retired behind a forwarding pointer and references to it in
+  /// ancestor-labeled nodes are rewritten. Apply-cache entries survive as
+  /// function-level facts (node ids keep their function through every
+  /// edit); per-edit epochs hide the handful of structurally hazardous
+  /// entries in O(1) instead of scanning the cache (see OpCacheEntry).
+  ///
+  /// Guard semantics: partition recomputation charges the attached guard
+  /// like any apply. When the guard trips mid-edit, the edit rolls back
+  /// completely (vtree, unique table, node storage), `aborted` is set, and
+  /// the manager is left interrupted — consistent but mid-operation
+  /// results discarded, exactly like an interrupted Apply.
+  ///
+  /// External SddIds held across an edit must be re-homed with Resolve().
+  SddEditResult RotateRightInPlace(VtreeId v);
+  SddEditResult RotateLeftInPlace(VtreeId v);
+  SddEditResult SwapChildrenInPlace(VtreeId v);
+
+  /// Canonical survivor of `f` after in-place edits: chases forwarding
+  /// pointers left by reclaimed nodes (identity for live ids).
+  SddId Resolve(SddId f) const {
+    while (!IsConstant(f) && nodes_[f].forward != kInvalidSdd) {
+      f = nodes_[f].forward;
+    }
+    return f;
+  }
+  /// True when `f` was reclaimed by an in-place edit (use Resolve()).
+  bool IsDead(SddId f) const {
+    return !IsConstant(f) && nodes_[f].forward != kInvalidSdd;
+  }
+  /// Nodes currently alive (excludes the two constants and reclaimed
+  /// nodes) — the size signal the auto-minimize trigger watches.
+  size_t live_node_count() const { return nodes_.size() - 2 - dead_count_; }
+
+  /// Size-triggered auto-minimize. Callers at safe points (no apply in
+  /// flight) pass their current root, which must be their ONLY outstanding
+  /// SddId: when the live node count has grown past the configured
+  /// multiple of the last-minimized count, the manager garbage-collects
+  /// down to the root (invalidating every other id — see
+  /// GarbageCollect()), runs a bounded greedy pass of in-place edits, and
+  /// returns the (possibly re-homed) root. A no-op when the mode is kOff,
+  /// the manager is interrupted, or the trigger has not fired.
+  SddId MaybeAutoMinimize(SddId root);
+  void set_auto_minimize(const SddAutoMinimizeOptions& options) {
+    auto_minimize_ = options;
+  }
+  const SddAutoMinimizeOptions& auto_minimize() const { return auto_minimize_; }
+  /// Times the auto-minimize trigger fired on this manager.
+  size_t auto_minimize_fires() const { return auto_minimize_fires_; }
+
+  /// Rebuilds the manager to hold exactly the nodes reachable from `root`
+  /// (plus the constants), dropping everything else: compilation
+  /// intermediates, reclaimed husks, unique-table and op-cache ballast.
+  /// Returns the re-homed root; EVERY other SddId into this manager is
+  /// invalidated, so callers own the decision that `root` is the only
+  /// live reference. Collecting before a minimization pass is what makes
+  /// in-place edits local: an edit rewrites all nodes at its vtree label,
+  /// and after a compile most of those are dead intermediates that a
+  /// collected manager no longer carries.
+  SddId GarbageCollect(SddId root);
+
+  /// Process-wide default auto-minimize policy, copied by every manager at
+  /// construction — how `kc_cli --sdd-minimize` / `tbc_serve
+  /// --sdd-minimize` reach managers created deep inside the portfolio and
+  /// compile paths without plumbing. Set once at startup (reads are
+  /// unsynchronized by design, like other process-wide configuration).
+  static void SetDefaultAutoMinimize(const SddAutoMinimizeOptions& options);
+  static const SddAutoMinimizeOptions& DefaultAutoMinimize();
+
  private:
   struct Node {
     VtreeId vtree;
     uint32_t lit_code = static_cast<uint32_t>(-1);  // for literal nodes
     std::vector<std::pair<SddId, SddId>> elements;  // for decision nodes
     SddId negation = kInvalidSdd;                   // cached lazily
+    SddId forward = kInvalidSdd;  // set = reclaimed; chase via Resolve()
   };
   enum class Op : uint8_t { kAnd, kOr };
+  enum class EditKind : uint8_t { kRotateRight, kRotateLeft, kSwap };
+
+  /// Canonicalized decision-node content before interning: either the
+  /// trimmed replacement node, or the compressed+sorted element list.
+  struct BuiltDecision {
+    SddId trimmed = kInvalidSdd;
+    std::vector<std::pair<SddId, SddId>> elements;
+  };
 
   struct OpKey {
     uint64_t fg = 0;
@@ -147,6 +265,48 @@ class SddManager {
     }
   };
 
+  /// Op-cache value: the result id plus the edit epoch it was minted in
+  /// (0 = outside any in-place edit). Node ids are stable function
+  /// handles, so entries stay semantically valid across vtree edits; the
+  /// epoch exists for two structural hazards. During edit k, a pre-edit
+  /// result can be one of the very nodes being rewritten (its stored
+  /// partition is stale, and splicing it into a phase-1 partition would
+  /// create ill-formed or cyclic element references) — only results
+  /// living strictly below the edited vtree node, whose whole DAG closure
+  /// the rewrite cannot touch, are reusable. And entries from an aborted
+  /// edit are rejected forever (their result ids were truncated and may
+  /// be reused). This replaces the old per-edit O(cache-capacity) EraseIf
+  /// scans, which dominated minimization cost.
+  struct OpCacheEntry {
+    SddId result = kInvalidSdd;
+    uint32_t epoch = 0;
+  };
+  /// The live id to serve for a cached entry in the current context, or
+  /// kInvalidSdd if the entry is unusable here.
+  SddId UsableCacheResult(const OpCacheEntry& e) const {
+    if (e.epoch != 0 && !(in_edit_ && e.epoch == edit_epoch_) &&
+        !edit_committed_[e.epoch - 1]) {
+      return kInvalidSdd;  // minted during an edit that later aborted
+    }
+    if (!in_edit_ || e.epoch == edit_epoch_) return Resolve(e.result);
+    // Pre-edit entry read mid-edit: usable only strictly below the edit.
+    const SddId r = Resolve(e.result);
+    if (IsConstant(r) || IsLiteral(r)) return r;
+    const VtreeId w = nodes_[r].vtree;
+    return w != edit_v_ && vtree_.IsAncestorOrSelf(edit_v_, w) ? r
+                                                               : kInvalidSdd;
+  }
+  // Opens / closes the per-edit cache epoch bracketing Edit's mutations.
+  void BeginEdit(VtreeId v) {
+    edit_epoch_ = static_cast<uint32_t>(edit_committed_.size()) + 1;
+    edit_v_ = v;
+    in_edit_ = true;
+  }
+  void EndEdit(bool committed) {
+    edit_committed_.push_back(committed);
+    in_edit_ = false;
+  }
+
   SddId Intern(Node node);
   SddId Apply(Op op, SddId f, SddId g);
   // Charges the guard and latches the interrupted flag; returns true when
@@ -156,13 +316,47 @@ class SddManager {
   // normalized for v.
   std::vector<std::pair<SddId, SddId>> NormalizeTo(VtreeId v, SddId g);
 
+  // Content hash used by the unique table (needed again on erase).
+  uint64_t NodeHash(const Node& node) const;
+  // Canonicalization shared by MakeDecision and the in-place rewrites:
+  // drops ⊥ primes, compresses equal subs, applies the trimming rules and
+  // sorts — everything except interning.
+  BuiltDecision BuildDecision(std::vector<std::pair<SddId, SddId>> elements);
+  // Live decision nodes currently labeled `v` (compacts the per-label
+  // index as a side effect).
+  std::vector<SddId> CollectAt(VtreeId v);
+  // Moves a live decision node to label `v` (unique-table rehash included).
+  void Relabel(SddId id, VtreeId v);
+  // Shared implementation of the three in-place edits.
+  SddEditResult Edit(EditKind kind, VtreeId v);
+  // Rolls an interrupted edit back: strips nodes created since `mark`,
+  // restores the relabeled nodes to `child` and undoes the vtree move.
+  void AbortEdit(EditKind kind, VtreeId v, VtreeId child,
+                 const std::vector<SddId>& relabeled, size_t mark);
+  // Bounded greedy pass over in-place edits (the auto-minimize worker).
+  SddId GreedyMinimizePass(SddId root, size_t ops, uint64_t seed);
+
   Vtree vtree_;
   std::vector<Node> nodes_;
+  // Live decision-node ids per vtree label (lazily compacted): gives every
+  // edit its stale-node set in output-sensitive time instead of a full
+  // node-table scan.
+  std::vector<std::vector<SddId>> nodes_at_;
+  size_t dead_count_ = 0;
   UniqueTable unique_;
-  LossyCache<OpKey, SddId> op_cache_;
+  LossyCache<OpKey, OpCacheEntry> op_cache_;
+  // Edit epochs: one bit per completed in-place edit (committed / aborted),
+  // indexed by epoch - 1. ~1 bit of growth per edit.
+  std::vector<bool> edit_committed_;
+  uint32_t edit_epoch_ = 0;
+  VtreeId edit_v_ = kInvalidVtree;  // vtree node of the edit in progress
+  bool in_edit_ = false;
   Guard* guard_ = nullptr;  // borrowed; null = unbounded
   bool interrupted_ = false;
   Status interrupt_status_;
+  SddAutoMinimizeOptions auto_minimize_;
+  size_t auto_minimize_fires_ = 0;
+  size_t last_minimized_live_ = 0;
 };
 
 }  // namespace tbc

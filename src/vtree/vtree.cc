@@ -259,6 +259,72 @@ Result<Vtree> Vtree::Parse(const std::string& text) {
   return t;
 }
 
+bool Vtree::RotateRightAt(VtreeId v) {
+  if (IsLeaf(v) || IsLeaf(nodes_[v].left)) return false;
+  const VtreeId l = nodes_[v].left;
+  const VtreeId a = nodes_[l].left;
+  const VtreeId b = nodes_[l].right;
+  const VtreeId c = nodes_[v].right;
+  nodes_[v].left = a;
+  nodes_[v].right = l;
+  nodes_[l].left = b;
+  nodes_[l].right = c;
+  nodes_[a].parent = v;
+  nodes_[c].parent = l;  // b keeps parent l; l keeps parent v
+  nodes_[l].num_vars_below =
+      nodes_[b].num_vars_below + nodes_[c].num_vars_below;
+  // In-order [a] l [b] v [c] becomes [a] v [b] l [c]: only v and l trade
+  // positions, the a/b/c subtrees keep theirs.
+  std::swap(nodes_[v].position, nodes_[l].position);
+  return true;
+}
+
+bool Vtree::RotateLeftAt(VtreeId v) {
+  if (IsLeaf(v) || IsLeaf(nodes_[v].right)) return false;
+  const VtreeId r = nodes_[v].right;
+  const VtreeId a = nodes_[v].left;
+  const VtreeId b = nodes_[r].left;
+  const VtreeId c = nodes_[r].right;
+  nodes_[v].left = r;
+  nodes_[v].right = c;
+  nodes_[r].left = a;
+  nodes_[r].right = b;
+  nodes_[a].parent = r;
+  nodes_[c].parent = v;  // b keeps parent r; r keeps parent v
+  nodes_[r].num_vars_below =
+      nodes_[a].num_vars_below + nodes_[b].num_vars_below;
+  std::swap(nodes_[v].position, nodes_[r].position);
+  return true;
+}
+
+bool Vtree::SwapChildrenAt(VtreeId v) {
+  if (IsLeaf(v)) return false;
+  // A subtree occupies a contiguous in-order position range starting at
+  // its leftmost leaf; re-walk the swapped subtree from that base.
+  VtreeId leftmost = v;
+  while (!IsLeaf(leftmost)) leftmost = nodes_[leftmost].left;
+  uint32_t next = nodes_[leftmost].position;
+  std::swap(nodes_[v].left, nodes_[v].right);
+  std::vector<std::pair<VtreeId, int>> stack = {{v, 0}};
+  while (!stack.empty()) {
+    auto& [n, state] = stack.back();
+    if (IsLeaf(n)) {
+      nodes_[n].position = next++;
+      stack.pop_back();
+    } else if (state == 0) {
+      state = 1;
+      stack.push_back({nodes_[n].left, 0});
+    } else if (state == 1) {
+      nodes_[n].position = next++;
+      state = 2;
+      stack.push_back({nodes_[n].right, 0});
+    } else {
+      stack.pop_back();
+    }
+  }
+  return true;
+}
+
 Vtree Vtree::Random(std::vector<Var> vars, Rng& rng) {
   TBC_CHECK(!vars.empty());
   // Shuffle, then build with uniform random split points.

@@ -90,6 +90,18 @@ class Vtree {
   /// vtree search and for property tests.
   static Vtree Random(std::vector<Var> vars, Rng& rng);
 
+  /// In-place vtree surgery for dynamic SDD minimization [Choi & Darwiche
+  /// 2013]. Each returns false — leaving the tree untouched — when the
+  /// shape does not permit the move: rotations need an internal node with
+  /// an internal left (right) child, swap any internal node. Node ids are
+  /// stable across all three (only child/parent links, in-order positions
+  /// and var counts change), which is what lets SddManager relabel live
+  /// SDD nodes instead of rebuilding them. RotateRightAt(v) and
+  /// RotateLeftAt(v) are exact inverses; SwapChildrenAt is self-inverse.
+  bool RotateRightAt(VtreeId v);   // v=(l=(a,b), c) -> v=(a, l=(b,c))
+  bool RotateLeftAt(VtreeId v);    // v=(a, r=(b,c)) -> v=(r=(a,b), c)
+  bool SwapChildrenAt(VtreeId v);  // v=(a, b)       -> v=(b, a)
+
  private:
   struct Node {
     Var var = kInvalidVar;  // valid iff leaf

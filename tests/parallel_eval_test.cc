@@ -489,5 +489,43 @@ TEST(ParallelForExceptionTest, SingleLaneInlinePathPropagates) {
   EXPECT_EQ(ran, 6u);
 }
 
+TEST(ParallelEvalTest, AutoMinimizeDuringParallelCompilesIsRaceFree) {
+  // Each worker owns its manager, but all of them copy the process-wide
+  // auto-minimize default at construction and bump the shared sdd.minimize.*
+  // counters while rotating — the paths TSan must see overlap cleanly.
+  const SddAutoMinimizeOptions saved = SddManager::DefaultAutoMinimize();
+  SddAutoMinimizeOptions opts =
+      SddAutoMinimizeOptions::ForMode(SddMinimizeMode::kAggressive);
+  opts.min_live_nodes = 32;  // fire even on these small instances
+  SddManager::SetDefaultAutoMinimize(opts);
+
+  constexpr size_t kVars = 14;
+  std::vector<uint64_t> counts(8, 0);
+  std::vector<size_t> fires(counts.size(), 0);
+  {
+    ThreadPool pool(4);
+    (void)pool.ParallelFor(0, counts.size(), 1, [&](size_t i) {
+      const Cnf cnf = RandomCnf(kVars, 36, 700 + i);
+      SddManager mgr(Vtree::RightLinear(Vtree::IdentityOrder(kVars)));
+      const SddId f = CompileCnf(mgr, cnf);
+      counts[i] = mgr.ModelCount(f).ToU64();
+      fires[i] = mgr.auto_minimize_fires();
+    });
+  }
+  SddManager::SetDefaultAutoMinimize(saved);
+
+  size_t total_fires = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    // Serial reference with minimization off: same function either way.
+    SddManager ref(Vtree::RightLinear(Vtree::IdentityOrder(kVars)));
+    ref.set_auto_minimize(SddAutoMinimizeOptions{});
+    const Cnf cnf = RandomCnf(kVars, 36, 700 + i);
+    EXPECT_EQ(counts[i], ref.ModelCount(CompileCnf(ref, cnf)).ToU64())
+        << "worker " << i;
+    total_fires += fires[i];
+  }
+  EXPECT_GT(total_fires, 0u);  // the hook actually ran under contention
+}
+
 }  // namespace
 }  // namespace tbc

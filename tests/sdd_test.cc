@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
 #include <set>
 
 #include "base/random.h"
@@ -294,19 +295,29 @@ TEST(SddIoTest, ConstantsAndErrors) {
 TEST(SddMinimizeTest, VtreeOperationsPreserveVariables) {
   Vtree t = Vtree::Balanced({0, 1, 2, 3, 4});
   for (VtreeId v = 0; v < t.num_nodes(); ++v) {
-    for (Vtree changed : {RotateRight(t, v), RotateLeft(t, v), SwapChildren(t, v)}) {
-      std::vector<Var> below = changed.VarsBelow(changed.root());
+    for (const std::optional<Vtree>& changed :
+         {RotateRight(t, v), RotateLeft(t, v), SwapChildren(t, v)}) {
+      if (!changed.has_value()) continue;  // shape did not permit the move
+      std::vector<Var> below = changed->VarsBelow(changed->root());
       std::sort(below.begin(), below.end());
       EXPECT_EQ(below, Vtree::IdentityOrder(5));
     }
   }
   // Concrete shapes.
   Vtree b = Vtree::Balanced({0, 1, 2, 3});  // ((0 1) (2 3))
-  EXPECT_EQ(RotateRight(b, b.root()).ToString(), "(0 (1 (2 3)))");
-  EXPECT_EQ(RotateLeft(b, b.root()).ToString(), "(((0 1) 2) 3)");
-  EXPECT_EQ(SwapChildren(b, b.root()).ToString(), "((2 3) (0 1))");
-  // Rotations at leaves or with leaf pivot children are identity.
-  EXPECT_EQ(RotateRight(b, b.LeafOfVar(0)).ToString(), b.ToString());
+  EXPECT_EQ(RotateRight(b, b.root())->ToString(), "(0 (1 (2 3)))");
+  EXPECT_EQ(RotateLeft(b, b.root())->ToString(), "(((0 1) 2) 3)");
+  EXPECT_EQ(SwapChildren(b, b.root())->ToString(), "((2 3) (0 1))");
+  // Shape mismatches now report inapplicability instead of silently
+  // returning the unchanged vtree.
+  EXPECT_FALSE(RotateRight(b, b.LeafOfVar(0)).has_value());
+  EXPECT_FALSE(SwapChildren(b, b.LeafOfVar(0)).has_value());
+  // (0 (1 (2 3))) cannot rotate right at the root: its left child is a leaf.
+  const Vtree rl = Vtree::RightLinear(Vtree::IdentityOrder(4));
+  EXPECT_FALSE(RotateRight(rl, rl.root()).has_value());
+  // Rotations at the same node are exact inverses.
+  const Vtree rr = *RotateRight(b, b.root());
+  EXPECT_EQ(RotateLeft(rr, b.root())->ToString(), b.ToString());
 }
 
 TEST(SddMinimizeTest, SearchNeverIncreasesSizeAndPreservesSemantics) {

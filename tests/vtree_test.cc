@@ -154,5 +154,88 @@ TEST(VtreeTest, NonIdentityOrder) {
   EXPECT_EQ(t.position(t.LeafOfVar(2)), 0u);
 }
 
+// Structural invariants a vtree must satisfy after any in-place edit:
+// parent links mirror child links, in-order positions are consistent with
+// the tree shape, NumVarsBelow adds up, and the leaf-of-var map is intact.
+void ExpectWellFormed(const Vtree& t) {
+  // Round-tripping through the file format rebuilds every derived field
+  // from scratch; shape-equal means all caches were maintained correctly.
+  auto reparsed = Vtree::Parse(t.ToFileString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().ToString(), t.ToString());
+  for (VtreeId v = 0; v < t.num_nodes(); ++v) {
+    if (t.IsLeaf(v)) {
+      EXPECT_EQ(t.LeafOfVar(t.var(v)), v);
+      EXPECT_EQ(t.NumVarsBelow(v), 1u);
+      continue;
+    }
+    EXPECT_EQ(t.parent(t.left(v)), v);
+    EXPECT_EQ(t.parent(t.right(v)), v);
+    EXPECT_EQ(t.NumVarsBelow(v),
+              t.NumVarsBelow(t.left(v)) + t.NumVarsBelow(t.right(v)));
+    // In-order: everything left of v is before it, everything right after.
+    EXPECT_LT(t.position(t.left(v)), t.position(v));
+    EXPECT_GT(t.position(t.right(v)), t.position(v));
+  }
+}
+
+TEST(VtreeTest, InPlaceRotationsKeepInvariantsAndInvert) {
+  Vtree t = Vtree::Balanced(Vtree::IdentityOrder(7));
+  const std::string original = t.ToString();
+  // v=(l=(a,b),c) -> v=(a, l=(b,c)): ids stay put, only links move.
+  ASSERT_TRUE(t.RotateRightAt(t.root()));
+  EXPECT_NE(t.ToString(), original);
+  ExpectWellFormed(t);
+  ASSERT_TRUE(t.RotateLeftAt(t.root()));
+  EXPECT_EQ(t.ToString(), original);  // exact inverses
+  ExpectWellFormed(t);
+}
+
+TEST(VtreeTest, InPlaceSwapIsSelfInverse) {
+  Vtree t = Vtree::Balanced(Vtree::IdentityOrder(6));
+  const std::string original = t.ToString();
+  ASSERT_TRUE(t.SwapChildrenAt(t.root()));
+  EXPECT_NE(t.ToString(), original);
+  ExpectWellFormed(t);
+  ASSERT_TRUE(t.SwapChildrenAt(t.root()));
+  EXPECT_EQ(t.ToString(), original);
+  ExpectWellFormed(t);
+}
+
+TEST(VtreeTest, InPlaceOpsReportInapplicableWithoutMutating) {
+  Vtree t = Vtree::RightLinear(Vtree::IdentityOrder(4));
+  const std::string original = t.ToString();
+  // Leaves cannot rotate or swap.
+  EXPECT_FALSE(t.RotateRightAt(t.LeafOfVar(0)));
+  EXPECT_FALSE(t.RotateLeftAt(t.LeafOfVar(0)));
+  EXPECT_FALSE(t.SwapChildrenAt(t.LeafOfVar(0)));
+  // Right-linear internal nodes all have leaf left children: no rotate right.
+  for (VtreeId v = 0; v < t.num_nodes(); ++v) {
+    if (!t.IsLeaf(v)) EXPECT_FALSE(t.RotateRightAt(v));
+  }
+  EXPECT_EQ(t.ToString(), original);  // every refusal left the tree untouched
+  ExpectWellFormed(t);
+}
+
+TEST(VtreeTest, InPlaceRandomWalkStaysWellFormed) {
+  Rng rng(91);
+  Vtree t = Vtree::Balanced(Vtree::IdentityOrder(9));
+  size_t applied = 0;
+  for (int step = 0; step < 200; ++step) {
+    const VtreeId v = static_cast<VtreeId>(rng.Below(t.num_nodes()));
+    switch (rng.Below(3)) {
+      case 0: applied += t.RotateRightAt(v); break;
+      case 1: applied += t.RotateLeftAt(v); break;
+      default: applied += t.SwapChildrenAt(v); break;
+    }
+  }
+  EXPECT_GT(applied, 50u);
+  ExpectWellFormed(t);
+  // The walk permutes shape, never the variable set.
+  std::vector<Var> below = t.VarsBelow(t.root());
+  std::sort(below.begin(), below.end());
+  EXPECT_EQ(below, Vtree::IdentityOrder(9));
+}
+
 }  // namespace
 }  // namespace tbc

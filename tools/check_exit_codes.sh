@@ -68,6 +68,24 @@ expect 1 "kc_cli unknown target"        "$KC" "$TMP/good.cnf" --target=dnf
 expect 3 "kc_cli budget refusal"        "$KC" "$TMP/hard.cnf" --max-nodes=50
 expect 0 "kc_cli certify ok"            "$KC" "$TMP/good.cnf" --certify
 
+# In-place SDD minimization flags: bad mode / orphan threshold are usage
+# errors (1), valid modes compile fine (0), and a starved minimizing run
+# still answers with the typed budget refusal (3), not a crash.
+expect 1 "kc_cli bad sdd-minimize"      "$KC" "$TMP/good.cnf" --target=sdd \
+           --sdd-minimize=banana
+expect 1 "kc_cli orphan sdd threshold"  "$KC" "$TMP/good.cnf" --target=sdd \
+           --sdd-minimize-threshold=1.5
+expect 0 "kc_cli sdd-minimize auto"     "$KC" "$TMP/good.cnf" --target=sdd \
+           --sdd-minimize=auto
+expect 0 "kc_cli sdd-minimize aggressive" "$KC" "$TMP/good.cnf" --target=sdd \
+           --sdd-minimize=aggressive --sdd-minimize-threshold=1.25
+expect 0 "kc_cli in-place minimize"     "$KC" "$TMP/good.cnf" --target=sdd \
+           --minimize=32
+expect 0 "kc_cli recompile minimize"    "$KC" "$TMP/good.cnf" --target=sdd \
+           --minimize-recompile=32
+expect 3 "kc_cli minimize under budget" "$KC" "$TMP/hard.cnf" --target=sdd \
+           --minimize=1000 --sdd-minimize=aggressive --max-nodes=50
+
 # tbc_lint: 0 / 1 / 2.
 "$KC" "$TMP/good.cnf" --write-nnf="$TMP/good.nnf" >/dev/null 2>&1
 printf 'nnf 4 3 2\nL 1\nL 2\nA 2 0 1\nO 1 2 2 1\n' > "$TMP/nondet.nnf"
@@ -131,6 +149,16 @@ assert any("structure.io" in json.dumps(r["diagnostics"]) for r in reports)
   else
     echo "check_exit_codes: ok   tbc_analyze json array complete on IO error"
   fi
+fi
+
+# tbc_serve: minimize-flag validation happens before binding the socket —
+# a bad mode or an orphan threshold is a usage error (1), never a hang.
+SERVE="$ROOT/build/examples/tbc_serve"
+if [[ -x "$SERVE" ]]; then
+  expect 1 "tbc_serve bad sdd-minimize" "$SERVE" \
+             --listen=unix:"$TMP/serve.sock" --sdd-minimize=banana
+  expect 1 "tbc_serve orphan sdd threshold" "$SERVE" \
+             --listen=unix:"$TMP/serve.sock" --sdd-minimize-threshold=2.0
 fi
 
 if [[ "$FAILED" != 0 ]]; then

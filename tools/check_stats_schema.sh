@@ -254,3 +254,53 @@ if "analysis.structure.best_width" not in data["histograms"]:
              "analysis.structure.best_width histogram")
 print("check_stats_schema: OK (analysis.structure.* metrics present)")
 PY
+
+# Fifth pass: a minimizing SDD run must surface the sdd.minimize.*
+# instruments pinned in the schema's definitions block — the counter and
+# histogram names live in stats_schema.json so a rename fails CI here.
+# The instance is big enough (20 vars at clause density 3) that the
+# aggressive auto-trigger fires during compilation on top of the explicit
+# --minimize search.
+MIN_CNF="$(mktemp --suffix=.cnf)"
+MIN_OUT="$(mktemp)"
+trap 'cleanup; rm -f "$CERT_OUT" "$STRUCT_OUT" "$MIN_CNF" "$MIN_OUT" \
+     "${SERVE_OUT:-}" "${SOCK:-}"' EXIT
+python3 - "$MIN_CNF" <<'PY'
+import random, sys
+random.seed(3)
+n, m = 20, 60
+with open(sys.argv[1], "w") as f:
+    f.write(f"p cnf {n} {m}\n")
+    for _ in range(m):
+        vs = random.sample(range(1, n + 1), 3)
+        f.write(" ".join(str(v if random.random() < 0.5 else -v) for v in vs) + " 0\n")
+PY
+"$BIN" "$MIN_CNF" --target=sdd --minimize=200 --sdd-minimize=aggressive \
+  --sdd-minimize-threshold=1.1 --stats=json > "$MIN_OUT"
+
+python3 - "$SCHEMA" "$MIN_OUT" <<'PY'
+import json
+import sys
+
+schema = json.load(open(sys.argv[1]))
+pinned = schema["definitions"]["sddMinimizeInstruments"]
+lines = open(sys.argv[2]).read().splitlines()
+start = next(i for i, l in enumerate(lines) if l.strip() == "{")
+data = json.loads("\n".join(lines[start:]))
+
+counters = data["counters"]
+for key in pinned["requiredCounters"]:
+    if counters.get(key, 0) < 1:
+        sys.exit(f"check_stats_schema: minimizing run missing counter {key}")
+for key in pinned["requiredHistograms"]:
+    if key not in data["histograms"]:
+        sys.exit(f"check_stats_schema: minimizing run missing histogram {key}")
+# Reserved names are event-conditional; just make sure nothing minted a
+# name outside the pinned set (a rename would land here).
+known = set(pinned["requiredCounters"]) | set(pinned["reservedCounters"])
+stray = [k for k in counters
+         if k.startswith("sdd.minimize.") and k not in known]
+if stray:
+    sys.exit(f"check_stats_schema: unpinned sdd.minimize counters: {stray}")
+print("check_stats_schema: OK (sdd.minimize.* instruments present)")
+PY

@@ -176,4 +176,13 @@ for fam in vtree_shapes["families"]:
     print(f"  {fam['family']:32s} width<={fam['forecast_width']:3d}"
           f"  size {r['size']:7d} -> {m['size']:7d} (x{ratio:.2f})"
           f"  ms {r['median_ms']:.3f} -> {m['median_ms']:.3f}")
+print("[run_bench] vtree minimize (same seeded search, in-place vs recompile):")
+for fam in vtree_shapes["families"]:
+    ip, rc = fam.get("minimize_inplace"), fam.get("minimize_recompile")
+    if not ip or not rc:
+        continue
+    speedup = rc["median_ms"] / ip["median_ms"] if ip["median_ms"] else float("inf")
+    print(f"  {fam['family']:32s} size {ip['size']:7d} vs {rc['size']:7d}"
+          f"  ms {ip['median_ms']:9.3f} vs {rc['median_ms']:9.3f}"
+          f"  (x{speedup:.1f} faster in place)")
 PY
