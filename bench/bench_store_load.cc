@@ -1,0 +1,116 @@
+// Persistent circuit store: load-vs-recompile economics (DESIGN.md
+// "Persistent circuit store"). The store exists because compilation is
+// the expensive, offline phase of the paper's "compile once, query
+// forever" pipeline — so reopening a compiled circuit must cost
+// O(pages touched), not a recompile. This bench pins the claim: mapping
+// a stored circuit and answering the first query is >= 50x faster than
+// recompiling the same CNF on the largest bench circuit (smaller sizes
+// are reported for the trend; their sub-millisecond compiles bound the
+// possible ratio).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "base/random.h"
+#include "base/timer.h"
+#include "compiler/ddnnf_compiler.h"
+#include "nnf/queries.h"
+#include "store/store.h"
+
+namespace {
+
+tbc::Cnf RandomCnf(size_t n, size_t m, uint64_t seed) {
+  tbc::Rng rng(seed);
+  tbc::Cnf cnf(n);
+  for (size_t i = 0; i < m; ++i) {
+    std::set<tbc::Var> vars;
+    while (vars.size() < 3) vars.insert(static_cast<tbc::Var>(rng.Below(n)));
+    tbc::Clause c;
+    for (tbc::Var v : vars) c.push_back(tbc::Lit(v, rng.Flip(0.5)));
+    cnf.AddClause(c);
+  }
+  return cnf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tbc;
+  std::printf("=== Persistent store: load vs recompile ===\n");
+  std::printf("%-6s %-9s %-10s %-12s %-12s %-12s %-8s\n", "n", "edges",
+              "bytes", "compile(ms)", "write(ms)", "load(ms)", "speedup");
+
+  double largest_speedup = 0.0;
+  for (size_t n : {24, 32, 40, 48}) {
+    const Cnf cnf = RandomCnf(n, n * 3, 11 + n);
+
+    // Recompile cost: the best of 3 runs, to bias AGAINST the store (a
+    // warm allocator and clause cache make later compiles cheaper).
+    double compile_ms = 1e300;
+    size_t edges = 0;
+    BigUint count;
+    for (int rep = 0; rep < 3; ++rep) {
+      NnfManager mgr;
+      DdnnfCompiler compiler;
+      Timer t;
+      const NnfId root = compiler.Compile(cnf, mgr);
+      count = ModelCount(mgr, root, cnf.num_vars());
+      compile_ms = std::min(compile_ms, t.Millis());
+      edges = mgr.CircuitSize(root);
+    }
+
+    const std::string path =
+        "/tmp/bench_store_" + std::to_string(n) + ".tbc";
+    double write_ms = 0.0;
+    {
+      NnfManager mgr;
+      DdnnfCompiler compiler;
+      const NnfId root = compiler.Compile(cnf, mgr);
+      StoreWriteOptions opts;
+      opts.model_count = &count;
+      opts.num_vars = cnf.num_vars();
+      Timer t;
+      const Status st = WriteCircuitStore(mgr, root, path, opts);
+      write_ms = t.Millis();
+      if (!st.ok()) {
+        std::fprintf(stderr, "write failed: %s\n", st.message().c_str());
+        return 1;
+      }
+    }
+    const size_t bytes = std::filesystem::file_size(path);
+
+    // Load cost includes everything a cold consumer pays: open + mmap +
+    // full checksum/structural validation + the first real query.
+    double load_ms = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      Timer t;
+      auto loaded = LoadCircuitStore(path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "load failed: %s\n",
+                     loaded.status().message().c_str());
+        return 1;
+      }
+      const BigUint reloaded = loaded->store->has_model_count()
+                                   ? loaded->store->model_count()
+                                   : BigUint();
+      if (!(reloaded == count)) {
+        std::fprintf(stderr, "model count mismatch after reload\n");
+        return 1;
+      }
+      load_ms = std::min(load_ms, t.Millis());
+    }
+    std::remove(path.c_str());
+
+    const double speedup = compile_ms / load_ms;
+    largest_speedup = speedup;  // sizes ascend; the last one is the gate
+    std::printf("%-6zu %-9zu %-10zu %-12.3f %-12.3f %-12.4f %-8.0fx\n", n,
+                edges, bytes, compile_ms, write_ms, load_ms, speedup);
+  }
+
+  std::printf("\nlargest-circuit speedup: %.0fx (target >= 50x)\n",
+              largest_speedup);
+  return largest_speedup >= 50.0 ? 0 : 1;
+}

@@ -9,15 +9,27 @@
 //          [--force-order] [--minimize=N] [--samples=N]
 //          [--timeout-ms=N] [--max-nodes=N]
 //          [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]
+//          [--save-circuit=OUT.tbc]
 //          [--wmc[=W]] [--stats[=json]]
+//   kc_cli --load-circuit=STORE.tbc [--wmc[=W]] [--samples=N]
+//          [--stats[=json]]
+//
+// --save-circuit persists the compiled Decision-DNNF (with the source CNF
+// and exact model count) in the memory-mapped `.tbc` store format;
+// --load-circuit mmaps such a store and answers queries with no compile
+// and no deserialization pass (DESIGN.md "Persistent circuit store").
+// Loaded queries are bit-identical to the saving process's: `c wmc_hex:`
+// prints the WMC as a locale-independent hexfloat for exact cross-process
+// comparison.
 //
 // With --timeout-ms/--max-nodes the compilation runs under a resource
 // guard; if the budget is exhausted the tool prints the typed refusal and
 // exits with code 3 (distinct from usage errors and bad input).
 //
 // Exit codes (unified across kc_cli / tbc_lint / tbc_certify, see the
-// README table): 0 = ok, 1 = usage or input/IO error, 3 = typed resource
-// refusal, 4 = certificate rejected by the checker.
+// README table): 0 = ok, 1 = usage or input/IO error, 2 = circuit store
+// rejected (failed validation: corrupt, truncated, or foreign bytes),
+// 3 = typed resource refusal, 4 = certificate rejected by the checker.
 //
 // --wmc runs an exact weighted model count after compilation (every
 // literal weighted W, default 1.0) and reports the log-space rescue
@@ -57,6 +69,7 @@
 #include "sdd/io.h"
 #include "sdd/minimize.h"
 #include "sdd/sdd.h"
+#include "store/store.h"
 #include "vtree/vtree.h"
 
 namespace {
@@ -102,16 +115,99 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::printf(
         "usage: kc_cli FILE.cnf [--target=ddnnf|sdd|obdd]\n"
+        "       kc_cli --load-circuit=STORE.tbc [--wmc[=W]] [--samples=N]\n"
         "              [--vtree=balanced|right|random|minfill] [--force-order]\n"
         "              [--minimize=N] [--minimize-recompile=N]\n"
         "              [--sdd-minimize=off|auto|aggressive]\n"
         "              [--sdd-minimize-threshold=R] [--samples=N]\n"
         "              [--timeout-ms=N] [--max-nodes=N]\n"
         "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n"
-        "              [--wmc[=W]] [--stats[=json]]\n"
+        "              [--write-nnf=OUT] [--write-sdd=OUT] [--write-vtree=OUT]\n"
+        "              [--save-circuit=OUT.tbc] [--wmc[=W]] [--stats[=json]]\n"
         "              [--certify] [--certify-out=OUT]\n");
     return 1;
   }
+
+  // Shared by compile and load modes: uniform literal weight for --wmc.
+  auto parse_wmc_weight = [&](double* lit_weight) -> bool {
+    *lit_weight = 1.0;
+    if (const char* ws = Arg(argc, argv, "--wmc")) {
+      if (!ParseDouble(ws, lit_weight)) {
+        std::fprintf(stderr, "kc_cli: --wmc needs a number, got '%s'\n", ws);
+        return false;
+      }
+    }
+    return true;
+  };
+  auto dump_stats = [&]() -> int {
+    if (const char* mode = Arg(argc, argv, "--stats")) {
+      if (std::strcmp(mode, "json") != 0) {
+        std::fprintf(stderr, "kc_cli: unknown stats mode '%s'\n", mode);
+        return 1;
+      }
+      std::fputs(Observability::Global().RenderJson().c_str(), stdout);
+    } else if (Flag(argc, argv, "--stats")) {
+      std::fputs(Observability::Global().RenderText().c_str(), stdout);
+    }
+    return 0;
+  };
+
+  // Load mode: serve queries straight off a mapped circuit store — no CNF
+  // parse, no compile, O(pages touched) load.
+  if (std::strncmp(argv[1], "--load-circuit=", 15) == 0) {
+    const char* store_path = argv[1] + 15;
+    Timer load_timer;
+    auto loaded = LoadCircuitStore(store_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "kc_cli: %s\n", loaded.status().message().c_str());
+      // 2 = store failed validation (corrupt/truncated/foreign bytes);
+      // 1 = could not read the file at all.
+      return loaded.error_code() == StatusCode::kInvalidInput ? 2 : 1;
+    }
+    NnfManager& mgr = *loaded->mgr;
+    const NnfId root = loaded->root;
+    const size_t num_vars = mgr.num_vars();
+    std::printf("c loaded circuit store %s in %.2f ms (mmap, zero-copy)\n",
+                store_path, load_timer.Millis());
+    std::printf("c circuit: %zu edges, %zu nodes, %zu vars\n",
+                mgr.CircuitSize(root), mgr.NumNodesBelow(root), num_vars);
+    if (!loaded->store->cnf_text().empty()) {
+      std::printf("c embedded cnf: %zu bytes\n",
+                  loaded->store->cnf_text().size());
+    }
+    std::printf("s %s\n",
+                IsSatDnnf(mgr, root) ? "SATISFIABLE" : "UNSATISFIABLE");
+    const BigUint models = loaded->store->has_model_count()
+                               ? loaded->store->model_count()
+                               : ModelCount(mgr, root, num_vars);
+    std::printf("c models: %s\n", models.ToString().c_str());
+    if (Flag(argc, argv, "--wmc") || Arg(argc, argv, "--wmc") != nullptr) {
+      double lit_weight = 1.0;
+      if (!parse_wmc_weight(&lit_weight)) return 1;
+      WeightMap weights(num_vars);
+      for (Var v = 0; v < num_vars; ++v) {
+        weights.Set(Pos(v), lit_weight);
+        weights.Set(Neg(v), lit_weight);
+      }
+      const double wmc = Wmc(mgr, root, weights);
+      std::printf("c wmc: %.12g\n", wmc);
+      std::printf("c wmc_hex: %s\n", FormatDoubleHex(wmc).c_str());
+    }
+    const char* samples_arg = Arg(argc, argv, "--samples");
+    const size_t samples =
+        samples_arg != nullptr ? std::strtoull(samples_arg, nullptr, 10) : 0;
+    Rng rng(2026);
+    for (size_t i = 0; i < samples && IsSatDnnf(mgr, root); ++i) {
+      const Assignment x = SampleModelDnnf(mgr, root, num_vars, rng);
+      std::printf("v");
+      for (Var v = 0; v < num_vars; ++v) {
+        std::printf(" %d", Lit(v, x[v]).ToDimacs());
+      }
+      std::printf(" 0\n");
+    }
+    return dump_stats();
+  }
+
   const std::string text = ReadFile(argv[1]);
   if (text.empty()) {
     std::fprintf(stderr, "kc_cli: cannot read %s\n", argv[1]);
@@ -128,6 +224,12 @@ int main(int argc, char** argv) {
 
   const char* target_arg = Arg(argc, argv, "--target");
   const std::string target = target_arg != nullptr ? target_arg : "ddnnf";
+  if (Arg(argc, argv, "--save-circuit") != nullptr && target != "ddnnf") {
+    std::fprintf(stderr,
+                 "kc_cli: --save-circuit is only supported for "
+                 "--target=ddnnf\n");
+    return 1;
+  }
   const char* samples_arg = Arg(argc, argv, "--samples");
   const size_t samples = samples_arg != nullptr ? std::strtoull(samples_arg, nullptr, 10) : 0;
 
@@ -262,6 +364,33 @@ int main(int argc, char** argv) {
       WriteFile(out, WriteNnf(mgr, root, cnf.num_vars()));
       std::printf("c wrote %s\n", out);
     }
+    if (const char* out = Arg(argc, argv, "--save-circuit")) {
+      const BigUint count = ModelCount(mgr, root, cnf.num_vars());
+      StoreWriteOptions wopts;
+      wopts.cnf_text = text;
+      wopts.model_count = &count;
+      wopts.num_vars = cnf.num_vars();
+      const Status st = WriteCircuitStore(mgr, root, out, wopts);
+      if (!st.ok()) {
+        std::fprintf(stderr, "kc_cli: %s\n", st.message().c_str());
+        return 1;
+      }
+      std::printf("c wrote circuit store %s\n", out);
+    }
+    if (Flag(argc, argv, "--wmc") || Arg(argc, argv, "--wmc") != nullptr) {
+      // Circuit-evaluated WMC in exact hexfloat: the cross-process anchor
+      // a --load-circuit run of the saved store reproduces bit-identically
+      // (the store's id compaction preserves evaluation order).
+      double lit_weight = 1.0;
+      if (!parse_wmc_weight(&lit_weight)) return 1;
+      WeightMap weights(cnf.num_vars());
+      for (Var v = 0; v < cnf.num_vars(); ++v) {
+        weights.Set(Pos(v), lit_weight);
+        weights.Set(Neg(v), lit_weight);
+      }
+      std::printf("c wmc_hex: %s\n",
+                  FormatDoubleHex(Wmc(mgr, root, weights)).c_str());
+    }
     Rng rng(2026);
     for (size_t i = 0; i < samples && IsSatDnnf(mgr, root); ++i) {
       const Assignment x = SampleModelDnnf(mgr, root, cnf.num_vars(), rng);
@@ -394,12 +523,7 @@ int main(int argc, char** argv) {
 
   if (Flag(argc, argv, "--wmc") || Arg(argc, argv, "--wmc") != nullptr) {
     double lit_weight = 1.0;
-    if (const char* ws = Arg(argc, argv, "--wmc")) {
-      if (!ParseDouble(ws, &lit_weight)) {
-        std::fprintf(stderr, "kc_cli: --wmc needs a number, got '%s'\n", ws);
-        return 1;
-      }
-    }
+    if (!parse_wmc_weight(&lit_weight)) return 1;
     WeightMap weights(cnf.num_vars());
     for (Var v = 0; v < cnf.num_vars(); ++v) {
       weights.Set(Pos(v), lit_weight);
@@ -418,14 +542,5 @@ int main(int argc, char** argv) {
   }
 
   // Stats last, so the dump covers everything the invocation did.
-  if (const char* mode = Arg(argc, argv, "--stats")) {
-    if (std::strcmp(mode, "json") != 0) {
-      std::fprintf(stderr, "kc_cli: unknown stats mode '%s'\n", mode);
-      return 1;
-    }
-    std::fputs(Observability::Global().RenderJson().c_str(), stdout);
-  } else if (Flag(argc, argv, "--stats")) {
-    std::fputs(Observability::Global().RenderText().c_str(), stdout);
-  }
-  return 0;
+  return dump_stats();
 }

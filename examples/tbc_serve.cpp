@@ -14,6 +14,11 @@
 //                          kOverloaded shed (default 16)
 //     --max-connections=N  open-connection cap (default 64)
 //     --cache=N            compiled artifacts kept, LRU (default 8)
+//     --store-dir=DIR      persistent circuit store: spill each compiled
+//                          artifact to DIR/<key>.tbc and warm-start from
+//                          DIR on startup, so a restart answers previously
+//                          compiled CNFs from mmap with zero compiles
+//                          (DIR must exist)
 //     --default-timeout-ms=N / --max-timeout-ms=N
 //                          per-request budget default and ceiling
 //     --max-width=N        forecast admission control: refuse compile
@@ -110,7 +115,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: tbc_serve [--listen=unix:PATH|tcp:HOST:PORT|:PORT]\n"
           "                 [--workers=N] [--queue=N] [--max-connections=N]\n"
-          "                 [--cache=N] [--default-timeout-ms=N]\n"
+          "                 [--cache=N] [--store-dir=DIR]\n"
+          "                 [--default-timeout-ms=N]\n"
           "                 [--max-timeout-ms=N] [--idle-timeout-ms=N]\n"
           "                 [--max-width=N]\n"
           "                 [--port-file=PATH] [--fault-seed=N]\n"
@@ -142,6 +148,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   opts.idle_timeout_ms = static_cast<int>(idle_ms);
+  if (const char* dir = Arg(argc, argv, "--store-dir")) opts.store_dir = dir;
   size_t max_width = 0;
   if (!ParseSizeFlag(argc, argv, "--max-width", &max_width)) return 1;
   opts.max_forecast_width = static_cast<uint32_t>(max_width);

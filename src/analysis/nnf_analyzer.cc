@@ -96,7 +96,7 @@ struct DecisionShape {
 
 DecisionShape ExtractDecision(const NnfManager& mgr, NnfId n) {
   DecisionShape shape;
-  const std::vector<NnfId>& kids = mgr.children(n);
+  const Span<const NnfId> kids = mgr.children(n);
   if (kids.size() != 2) return shape;
   const std::vector<Lit> a = AnchoredLits(mgr, kids[0]);
   const std::vector<Lit> b = AnchoredLits(mgr, kids[1]);
@@ -222,7 +222,7 @@ class NnfAnalysis {
     bool budget_reported = false;
     for (NnfId n : order_) {
       if (mgr_.kind(n) != NnfManager::Kind::kOr) continue;
-      const std::vector<NnfId>& kids = mgr_.children(n);
+      const Span<const NnfId> kids = mgr_.children(n);
       std::vector<std::vector<Lit>> anchors;
       anchors.reserve(kids.size());
       for (NnfId c : kids) anchors.push_back(AnchoredLits(mgr_, c));
@@ -274,7 +274,7 @@ class NnfAnalysis {
   void CheckSmoothness(Severity severity) {
     for (NnfId n : order_) {
       if (mgr_.kind(n) != NnfManager::Kind::kOr) continue;
-      const std::vector<NnfId>& kids = mgr_.children(n);
+      const Span<const NnfId> kids = mgr_.children(n);
       for (size_t i = 1; i < kids.size(); ++i) {
         if (mgr_.VarSet(kids[i]) == mgr_.VarSet(kids[0])) continue;
         // Find one variable in the symmetric difference as the witness.

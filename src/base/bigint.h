@@ -68,6 +68,20 @@ class BigUint {
   /// True iff the value fits in a uint64_t.
   bool FitsU64() const { return limbs_.size() <= 1; }
 
+  /// Canonical little-endian 64-bit limbs (empty for zero, no leading
+  /// zero limb). Exposed for serialization (src/store/).
+  const std::vector<uint64_t>& limbs() const { return limbs_; }
+
+  /// Reconstructs from little-endian limbs. Returns false (and leaves
+  /// `out` untouched) if the representation is non-canonical (a leading
+  /// zero limb) — deserializers treat that as malformed input rather
+  /// than silently normalizing.
+  static bool FromLimbs(std::vector<uint64_t> limbs, BigUint* out) {
+    if (!limbs.empty() && limbs.back() == 0) return false;
+    out->limbs_ = std::move(limbs);
+    return true;
+  }
+
  private:
   void Trim();
 

@@ -1,10 +1,9 @@
 #include "base/strings.h"
 
 #include <cctype>
-#include <cerrno>
 #include <charconv>
 #include <cmath>
-#include <cstdlib>
+#include <limits>
 
 namespace tbc {
 
@@ -67,14 +66,59 @@ bool ParseInt(std::string_view token, int* out) {
 
 bool ParseDouble(std::string_view token, double* out) {
   if (token.empty()) return false;
-  // strtod needs a terminated buffer; tokens are short, copy is cheap.
-  const std::string copy(token);
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(copy.c_str(), &end);
-  if (end != copy.c_str() + copy.size() || errno == ERANGE) return false;
+  // std::from_chars: locale-independent by definition (strtod honours the
+  // run-time locale's radix character, so "1.5" fails to parse fully under
+  // a comma-decimal locale — see the LocaleIndependence tests).
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(first, last, value, std::chars_format::general);
+  if (ec != std::errc() || ptr != last) return false;
   if (!std::isfinite(value)) return false;
   *out = value;
+  return true;
+}
+
+std::string FormatDoubleHex(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v < 0.0 ? "-inf" : "inf";
+  // Shortest round-trippable hexfloat. to_chars never consults the locale
+  // (unlike "%a", whose output embeds the locale's radix character).
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::hex);
+  if (ec != std::errc()) return "nan";  // unreachable: 64 bytes suffice
+  const std::string digits(buf, ptr);
+  return digits[0] == '-' ? "-0x" + digits.substr(1) : "0x" + digits;
+}
+
+bool ParseDoubleAnyFormat(std::string_view token, double* out) {
+  if (token.empty()) return false;
+  std::string_view t = token;
+  bool negative = false;
+  if (t[0] == '+' || t[0] == '-') {
+    negative = t[0] == '-';
+    t.remove_prefix(1);
+    if (t.empty()) return false;
+  }
+  double value = 0.0;
+  if (t == "inf" || t == "infinity") {
+    value = std::numeric_limits<double>::infinity();
+  } else {
+    // from_chars hex format expects no "0x" prefix; its presence selects
+    // the format.
+    std::chars_format format = std::chars_format::general;
+    if (t.size() > 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+      t.remove_prefix(2);
+      format = std::chars_format::hex;
+    }
+    const auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value, format);
+    if (ec != std::errc() || ptr != t.data() + t.size()) return false;
+    if (std::isnan(value)) return false;
+  }
+  *out = negative ? -value : value;
   return true;
 }
 

@@ -26,6 +26,18 @@ bool ParseUint64(std::string_view token, uint64_t* out);
 bool ParseInt(std::string_view token, int* out);
 bool ParseDouble(std::string_view token, double* out);
 
+/// Shortest round-trippable hexfloat ("0x1.8p+1"; "inf"/"-inf"/"nan" for
+/// non-finite values). Locale-independent — unlike printf "%a", whose
+/// output embeds the run-time locale's radix character — so values travel
+/// bit-exactly between processes regardless of either side's locale
+/// (the wire protocol's WMC transport and kc_cli's `c wmc_hex:` line).
+std::string FormatDoubleHex(double v);
+
+/// Locale-independent inverse of FormatDoubleHex, additionally accepting
+/// plain decimal ("1.5e3") for hand-written inputs. The whole token must
+/// parse; "nan" is rejected (no wire value is NaN).
+bool ParseDoubleAnyFormat(std::string_view token, double* out);
+
 }  // namespace tbc
 
 #endif  // TBC_BASE_STRINGS_H_

@@ -59,7 +59,7 @@ void AppendNnfSection(const NnfManager& mgr, NnfId root, std::string* out) {
       case NnfManager::Kind::kAnd:
       case NnfManager::Kind::kOr: {
         out->append(mgr.kind(n) == NnfManager::Kind::kAnd ? "A " : "O ");
-        const std::vector<NnfId>& kids = mgr.children(n);
+        const Span<const NnfId> kids = mgr.children(n);
         out->append(std::to_string(kids.size()));
         for (NnfId k : kids) out->append(" ").append(std::to_string(k));
         out->append("\n");

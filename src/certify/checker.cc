@@ -412,7 +412,7 @@ class NnfCertChecker : CheckerBase {
   bool CheckDeterministic() {
     for (NnfId n : reachable_list_) {
       if (mgr_.kind(n) != NnfManager::Kind::kOr) continue;
-      const std::vector<NnfId>& kids = mgr_.children(n);
+      const Span<const NnfId> kids = mgr_.children(n);
       for (size_t i = 0; i < kids.size(); ++i) {
         for (size_t j = i + 1; j < kids.size(); ++j) {
           if (!Charge()) return false;

@@ -74,9 +74,14 @@ Status ParseChildren(const std::vector<std::string>& tok, size_t first,
 
 }  // namespace
 
-Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text) {
+Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text,
+                      size_t* num_vars_out) {
   std::vector<NnfId> node_of_line;
   bool saw_header = false;
+  uint64_t decl_nodes = 0;
+  uint64_t decl_edges = 0;
+  uint64_t decl_vars = 0;
+  uint64_t seen_edges = 0;
   size_t line_no = 0;
   for (const std::string& raw : SplitChar(text, '\n')) {
     ++line_no;
@@ -85,17 +90,28 @@ Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text) {
     std::vector<std::string> tok = SplitWhitespace(line);
     if (tok[0] == "nnf") {
       if (saw_header) return BadLine(line_no, "duplicate nnf header");
-      if (tok.size() != 4) return BadLine(line_no, "bad nnf header");
+      if (tok.size() != 4 || !ParseUint64(tok[1], &decl_nodes) ||
+          !ParseUint64(tok[2], &decl_edges) ||
+          !ParseUint64(tok[3], &decl_vars) || decl_vars > (1u << 28)) {
+        return BadLine(line_no, "bad nnf header");
+      }
       saw_header = true;
       continue;
     }
     if (!saw_header) return BadLine(line_no, "missing nnf header");
+    if (node_of_line.size() == decl_nodes) {
+      return BadLine(line_no, "more nodes than the header declares");
+    }
     if (tok[0] == "L") {
       if (tok.size() != 2) return BadLine(line_no, "bad L line");
       int dimacs = 0;
       if (!ParseInt(tok[1], &dimacs) || dimacs == 0 || dimacs < -(1 << 28) ||
           dimacs > (1 << 28)) {
         return BadLine(line_no, "bad literal '" + tok[1] + "'");
+      }
+      if (static_cast<uint64_t>(dimacs < 0 ? -dimacs : dimacs) > decl_vars) {
+        return BadLine(line_no, "literal '" + tok[1] +
+                                    "' outside the declared variable count");
       }
       node_of_line.push_back(mgr.Literal(Lit::FromDimacs(dimacs)));
     } else if (tok[0] == "A") {
@@ -110,9 +126,18 @@ Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text) {
       std::vector<NnfId> kids;
       TBC_RETURN_IF_ERROR(
           ParseChildren(tok, 2, count, node_of_line, line_no, &kids));
+      seen_edges += count;
       node_of_line.push_back(mgr.And(std::move(kids)));
     } else if (tok[0] == "O") {
       if (tok.size() < 3) return BadLine(line_no, "bad O line");
+      // tok[1] is c2d's decision variable (0 = none). It is advisory for
+      // evaluation but still part of the format: reject garbage there
+      // instead of silently skipping the token.
+      uint64_t decision_var = 0;
+      if (!ParseUint64(tok[1], &decision_var) || decision_var > decl_vars) {
+        return BadLine(line_no,
+                       "bad O decision variable '" + tok[1] + "'");
+      }
       uint64_t count = 0;
       if (!ParseUint64(tok[2], &count)) {
         return BadLine(line_no, "bad O arity '" + tok[2] + "'");
@@ -123,12 +148,27 @@ Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text) {
       std::vector<NnfId> kids;
       TBC_RETURN_IF_ERROR(
           ParseChildren(tok, 3, count, node_of_line, line_no, &kids));
+      seen_edges += count;
       node_of_line.push_back(mgr.Or(std::move(kids)));
     } else {
       return BadLine(line_no, "unknown nnf line: " + std::string(line));
     }
   }
   if (node_of_line.empty()) return Status::InvalidInput("empty nnf file");
+  if (node_of_line.size() != decl_nodes) {
+    // A file cut short still ends in a structurally valid line, and "last
+    // line is root" would silently hand back the wrong circuit. The header
+    // makes truncation detectable; use it.
+    return Status::InvalidInput(
+        "node count mismatch: header declares " + std::to_string(decl_nodes) +
+        ", body has " + std::to_string(node_of_line.size()));
+  }
+  if (seen_edges != decl_edges) {
+    return Status::InvalidInput(
+        "edge count mismatch: header declares " + std::to_string(decl_edges) +
+        ", body has " + std::to_string(seen_edges));
+  }
+  if (num_vars_out != nullptr) *num_vars_out = decl_vars;
   return node_of_line.back();
 }
 

@@ -16,8 +16,18 @@ namespace tbc {
 /// Constants are emitted as `A 0` (true) and `O 0 0` (false), as c2d does.
 std::string WriteNnf(NnfManager& mgr, NnfId root, size_t num_vars);
 
-/// Parses the c2d `.nnf` format into `mgr`; returns the root node.
-Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text);
+/// Parses the c2d `.nnf` format into `mgr`; returns the root node (the
+/// last line, as c2d defines it). The header is load-bearing, not
+/// decorative: declared node/edge counts must match the body exactly — a
+/// truncated file silently changes which line is root, so a count
+/// mismatch is a typed error rather than a wrong circuit — literal
+/// variables must fall inside the declared variable count, and an O
+/// line's decision-variable token must parse (0 = none). `num_vars_out`
+/// (optional) receives the declared variable count, which WriteNnf emits
+/// but the returned NnfId alone cannot carry — the write/read asymmetry
+/// that used to lose it across a round trip.
+Result<NnfId> ReadNnf(NnfManager& mgr, const std::string& text,
+                      size_t* num_vars_out = nullptr);
 
 }  // namespace tbc
 

@@ -13,13 +13,28 @@ NnfManager::NnfManager() {
   nodes_.push_back({Kind::kTrue, 0, {}});   // id 1
 }
 
+NnfManager::NnfManager(MappedCircuit base, int) : base_(std::move(base)) {
+  // The mapped table provides the ⊥/⊤ convention ids itself (validated by
+  // the store layer); the overlay starts empty and ids continue past the
+  // mapped range.
+  num_vars_ = base_.num_vars;
+}
+
+std::unique_ptr<NnfManager> NnfManager::FromMapped(MappedCircuit base) {
+  TBC_CHECK(base.num_nodes >= 2);
+  return std::unique_ptr<NnfManager>(new NnfManager(std::move(base), 0));
+}
+
 NnfId NnfManager::Intern(Node node) {
+  // Interning dedups against the overlay only: mapped-base nodes are never
+  // indexed (see FromMapped). A duplicate of a base node costs one overlay
+  // slot, never correctness.
   uint64_t h = HashCombine(0, static_cast<size_t>(node.kind));
   h = HashCombine(h, node.payload);
   for (NnfId c : node.children) h = HashCombine(h, c);
   h = HashU64(h);
   const uint32_t found = index_.Find(h, [&](uint32_t id) {
-    const Node& n = nodes_[id];
+    const Node& n = nodes_[id - base_.num_nodes];
     return n.kind == node.kind && n.payload == node.payload &&
            n.children == node.children;
   });
@@ -28,7 +43,7 @@ NnfId NnfManager::Intern(Node node) {
     return found;
   }
   TBC_COUNT("nnf.nodes.created");
-  const NnfId id = static_cast<NnfId>(nodes_.size());
+  const NnfId id = static_cast<NnfId>(base_.num_nodes + nodes_.size());
   nodes_.push_back(std::move(node));
   index_.Insert(h, id);
   return id;
@@ -47,7 +62,7 @@ NnfId NnfManager::And(std::vector<NnfId> children) {
     if (c == False()) return False();
     if (c == True()) continue;
     if (kind(c) == Kind::kAnd) {
-      for (NnfId g : nodes_[c].children) kids.push_back(g);
+      for (NnfId g : this->children(c)) kids.push_back(g);
     } else {
       kids.push_back(c);
     }
@@ -66,7 +81,7 @@ NnfId NnfManager::Or(std::vector<NnfId> children) {
     if (c == True()) return True();
     if (c == False()) continue;
     if (kind(c) == Kind::kOr) {
-      for (NnfId g : nodes_[c].children) kids.push_back(g);
+      for (NnfId g : this->children(c)) kids.push_back(g);
     } else {
       kids.push_back(c);
     }
@@ -87,7 +102,7 @@ std::vector<NnfId> NnfManager::TopologicalOrder(NnfId root) const {
   // Node ids grow children-before-parents by construction, so collecting
   // the reachable set and sorting by id is a topological order.
   std::vector<NnfId> order;
-  std::vector<int8_t> seen(nodes_.size(), 0);
+  std::vector<int8_t> seen(num_nodes(), 0);
   std::vector<NnfId> stack = {root};
   while (!stack.empty()) {
     NnfId cur = stack.back();
@@ -95,15 +110,15 @@ std::vector<NnfId> NnfManager::TopologicalOrder(NnfId root) const {
     if (seen[cur]) continue;
     seen[cur] = 1;
     order.push_back(cur);
-    for (NnfId c : nodes_[cur].children) stack.push_back(c);
+    for (NnfId c : children(cur)) stack.push_back(c);
   }
   std::sort(order.begin(), order.end());
   return order;
 }
 
 LevelSchedule NnfManager::Schedule(NnfId root) const {
-  return Levelize(nodes_.size(), root, [this](uint32_t n, auto&& visit) {
-    for (NnfId c : nodes_[n].children) visit(c);
+  return Levelize(num_nodes(), root, [this](uint32_t n, auto&& visit) {
+    for (NnfId c : children(n)) visit(c);
   });
 }
 
@@ -118,7 +133,7 @@ const LevelSchedule& NnfManager::ScheduleCached(NnfId root) {
 
 size_t NnfManager::CircuitSize(NnfId root) const {
   size_t edges = 0;
-  for (NnfId n : TopologicalOrder(root)) edges += nodes_[n].children.size();
+  for (NnfId n : TopologicalOrder(root)) edges += children(n).size();
   return edges;
 }
 
@@ -127,10 +142,9 @@ size_t NnfManager::NumNodesBelow(NnfId root) const {
 }
 
 bool NnfManager::Evaluate(NnfId root, const Assignment& assignment) const {
-  std::vector<int8_t> value(nodes_.size(), -1);
+  std::vector<int8_t> value(num_nodes(), -1);
   for (NnfId n : TopologicalOrder(root)) {
-    const Node& node = nodes_[n];
-    switch (node.kind) {
+    switch (kind(n)) {
       case Kind::kFalse:
         value[n] = 0;
         break;
@@ -138,17 +152,17 @@ bool NnfManager::Evaluate(NnfId root, const Assignment& assignment) const {
         value[n] = 1;
         break;
       case Kind::kLiteral:
-        value[n] = Eval(Lit::FromCode(node.payload), assignment) ? 1 : 0;
+        value[n] = Eval(lit(n), assignment) ? 1 : 0;
         break;
       case Kind::kAnd: {
         int8_t v = 1;
-        for (NnfId c : node.children) v = static_cast<int8_t>(v & value[c]);
+        for (NnfId c : children(n)) v = static_cast<int8_t>(v & value[c]);
         value[n] = v;
         break;
       }
       case Kind::kOr: {
         int8_t v = 0;
-        for (NnfId c : node.children) v = static_cast<int8_t>(v | value[c]);
+        for (NnfId c : children(n)) v = static_cast<int8_t>(v | value[c]);
         value[n] = v;
         break;
       }
@@ -160,27 +174,29 @@ bool NnfManager::Evaluate(NnfId root, const Assignment& assignment) const {
 NnfId NnfManager::Condition(NnfId root, Lit l) {
   // Dense memo indexed by original node id; And/Or below may append nodes,
   // but only pre-existing ids are ever looked up.
-  std::vector<NnfId> memo(nodes_.size(), kInvalidNnf);
+  std::vector<NnfId> memo(num_nodes(), kInvalidNnf);
   const std::vector<NnfId> order = TopologicalOrder(root);
   for (NnfId n : order) {
-    const Node node = nodes_[n];  // copy: And/Or below may reallocate nodes_
+    const Kind k = kind(n);
     NnfId result = kInvalidNnf;
-    switch (node.kind) {
+    switch (k) {
       case Kind::kFalse:
       case Kind::kTrue:
         result = n;
         break;
       case Kind::kLiteral: {
-        const Lit x = Lit::FromCode(node.payload);
+        const Lit x = lit(n);
         result = x == l ? True() : (x == ~l ? False() : n);
         break;
       }
       case Kind::kAnd:
       case Kind::kOr: {
+        // Copy: And/Or below may reallocate the overlay under the view.
+        const std::vector<NnfId> kids_src = children(n).ToVector();
         std::vector<NnfId> kids;
-        kids.reserve(node.children.size());
-        for (NnfId c : node.children) kids.push_back(memo[c]);
-        result = node.kind == Kind::kAnd ? And(std::move(kids)) : Or(std::move(kids));
+        kids.reserve(kids_src.size());
+        for (NnfId c : kids_src) kids.push_back(memo[c]);
+        result = k == Kind::kAnd ? And(std::move(kids)) : Or(std::move(kids));
         break;
       }
     }
@@ -190,9 +206,9 @@ NnfId NnfManager::Condition(NnfId root, Lit l) {
 }
 
 const std::vector<uint64_t>& NnfManager::VarSet(NnfId root) {
-  if (varset_ready_.size() < nodes_.size()) {
-    varset_ready_.resize(nodes_.size(), 0);
-    varset_cache_.resize(nodes_.size());
+  if (varset_ready_.size() < num_nodes()) {
+    varset_ready_.resize(num_nodes(), 0);
+    varset_cache_.resize(num_nodes());
   }
   const size_t words = (num_vars_ + 63) / 64;
   if (varset_ready_[root] && varset_cache_[root].size() == words) {
@@ -201,12 +217,11 @@ const std::vector<uint64_t>& NnfManager::VarSet(NnfId root) {
   for (NnfId n : TopologicalOrder(root)) {
     if (varset_ready_[n] && varset_cache_[n].size() == words) continue;
     std::vector<uint64_t> set(words, 0);
-    const Node& node = nodes_[n];
-    if (node.kind == Kind::kLiteral) {
-      const Var v = Lit::FromCode(node.payload).var();
+    if (kind(n) == Kind::kLiteral) {
+      const Var v = lit(n).var();
       set[v / 64] |= 1ull << (v % 64);
     } else {
-      for (NnfId c : node.children) {
+      for (NnfId c : children(n)) {
         const std::vector<uint64_t>& cs = varset_cache_[c];
         for (size_t w = 0; w < words; ++w) set[w] |= cs[w];
       }

@@ -8,6 +8,7 @@
 #include "base/bigint.h"
 #include "base/flat_table.h"
 #include "base/levelize.h"
+#include "base/span.h"
 #include "logic/lit.h"
 
 namespace tbc {
@@ -15,6 +16,30 @@ namespace tbc {
 /// Node index within an NnfManager.
 using NnfId = uint32_t;
 constexpr NnfId kInvalidNnf = static_cast<NnfId>(-1);
+
+/// A read-only NNF node table in CSR (struct-of-arrays) form, typically
+/// pointing straight into a memory-mapped circuit store (src/store/).
+/// NnfManager::FromMapped() adopts one as its base node store with zero
+/// deserialization — queries then read the file's pages directly.
+///
+/// Contract (the store layer validates all of it before adoption; adopting
+/// an unvalidated view is undefined behaviour):
+///   - node 0 is ⊥ and node 1 is ⊤;
+///   - kinds[n] is a valid Kind; payloads[n] is a literal code with
+///     variable < num_vars for kLiteral nodes and 0 otherwise;
+///   - child_begin has num_nodes+1 monotone entries with child_begin[0] == 0;
+///   - every child id is smaller than its parent's id (the bottom-up
+///     invariant Levelize() and TopologicalOrder() rely on);
+///   - `owner` keeps the backing memory alive for the manager's lifetime.
+struct MappedCircuit {
+  const uint8_t* kinds = nullptr;
+  const uint32_t* payloads = nullptr;
+  const uint64_t* child_begin = nullptr;
+  const uint32_t* children = nullptr;
+  uint32_t num_nodes = 0;
+  size_t num_vars = 0;
+  std::shared_ptr<const void> owner;
+};
 
 /// A store of circuits in Negation Normal Form (paper §3, Fig 5).
 ///
@@ -39,6 +64,21 @@ class NnfManager {
 
   NnfManager();
 
+  /// Adopts a validated mapped node table as the base store (zero-copy: no
+  /// pass over the nodes happens here). The returned manager answers every
+  /// query directly over the mapped arrays; lazily built side caches
+  /// (varsets, level schedules, count memos) live in anonymous memory as
+  /// usual. New nodes can still be created — they append to an overlay
+  /// whose ids continue past the mapped range. Overlay interning dedups
+  /// only against other overlay nodes (the mapped region is deliberately
+  /// never indexed — that would touch every page), so transformations over
+  /// a mapped base may duplicate a few base nodes; semantics and
+  /// determinism are unaffected.
+  static std::unique_ptr<NnfManager> FromMapped(MappedCircuit base);
+
+  /// Number of nodes in the mapped base (0 for ordinary managers).
+  uint32_t mapped_nodes() const { return base_.num_nodes; }
+
   NnfId False() const { return 0; }
   NnfId True() const { return 1; }
   NnfId Literal(Lit l);
@@ -51,15 +91,30 @@ class NnfManager {
   NnfId Or(std::vector<NnfId> children);
   NnfId And(NnfId a, NnfId b) { return And(std::vector<NnfId>{a, b}); }
   NnfId Or(NnfId a, NnfId b) { return Or(std::vector<NnfId>{a, b}); }
+  NnfId And(Span<const NnfId> children) { return And(children.ToVector()); }
+  NnfId Or(Span<const NnfId> children) { return Or(children.ToVector()); }
 
   /// Decision gate (x ∧ hi) ∨ (¬x ∧ lo): the OBDD multiplexer of Fig 11.
   NnfId Decision(Var v, NnfId hi, NnfId lo);
 
-  Kind kind(NnfId n) const { return nodes_[n].kind; }
-  Lit lit(NnfId n) const { return Lit::FromCode(nodes_[n].payload); }
-  const std::vector<NnfId>& children(NnfId n) const { return nodes_[n].children; }
+  Kind kind(NnfId n) const {
+    return n < base_.num_nodes ? static_cast<Kind>(base_.kinds[n])
+                               : nodes_[n - base_.num_nodes].kind;
+  }
+  Lit lit(NnfId n) const { return Lit::FromCode(payload(n)); }
+  /// Children of `n`. The view stays valid for the manager's lifetime for
+  /// mapped-base nodes; for overlay nodes it is invalidated by the next
+  /// node creation (copy first when interleaving reads with And/Or).
+  Span<const NnfId> children(NnfId n) const {
+    if (n < base_.num_nodes) {
+      const uint64_t b = base_.child_begin[n];
+      return Span<const NnfId>(base_.children + b,
+                               static_cast<size_t>(base_.child_begin[n + 1] - b));
+    }
+    return Span<const NnfId>(nodes_[n - base_.num_nodes].children);
+  }
 
-  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_nodes() const { return base_.num_nodes + nodes_.size(); }
   /// Number of variables (max mentioned var + 1).
   size_t num_vars() const { return num_vars_; }
 
@@ -123,8 +178,19 @@ class NnfManager {
     std::vector<NnfId> children;
   };
 
+  NnfManager(MappedCircuit base, int);  // FromMapped; tag disambiguates
+
+  uint32_t payload(NnfId n) const {
+    return n < base_.num_nodes ? base_.payloads[n]
+                               : nodes_[n - base_.num_nodes].payload;
+  }
+
   NnfId Intern(Node node);
 
+  /// Mapped base node store; num_nodes == 0 for ordinary managers, in which
+  /// case every accessor falls through to the overlay (`nodes_`, indexed
+  /// by id - base_.num_nodes).
+  MappedCircuit base_;
   std::vector<Node> nodes_;
   UniqueTable index_;
   std::vector<std::vector<uint64_t>> varset_cache_;  // parallel to nodes_

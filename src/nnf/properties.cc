@@ -159,7 +159,7 @@ NnfId Smooth(NnfManager& mgr, NnfId root, size_t num_vars) {
         break;
       case NnfManager::Kind::kAnd: {
         std::vector<NnfId> kids;
-        const std::vector<NnfId> original = mgr.children(n);  // copy
+        const std::vector<NnfId> original = mgr.children(n).ToVector();
         for (NnfId c : original) kids.push_back(memo[c]);
         memo[n] = mgr.And(std::move(kids));
         break;
@@ -167,7 +167,7 @@ NnfId Smooth(NnfManager& mgr, NnfId root, size_t num_vars) {
       case NnfManager::Kind::kOr: {
         const std::vector<uint64_t> full = mgr.VarSet(n);  // copy: mgr mutates
         std::vector<NnfId> kids;
-        std::vector<NnfId> original = mgr.children(n);
+        const std::vector<NnfId> original = mgr.children(n).ToVector();
         for (NnfId c : original) {
           const std::vector<Var> missing = MissingVars(full, mgr.VarSet(c));
           kids.push_back(AttachMissing(mgr, memo[c], missing));

@@ -575,7 +575,7 @@ NnfId Forget(NnfManager& mgr, NnfId root, const std::vector<Var>& vars) {
       }
       case NnfManager::Kind::kAnd:
       case NnfManager::Kind::kOr: {
-        const std::vector<NnfId> kids_src = mgr.children(n);  // copy
+        const std::vector<NnfId> kids_src = mgr.children(n).ToVector();
         std::vector<NnfId> kids;
         kids.reserve(kids_src.size());
         for (NnfId c : kids_src) kids.push_back(memo[c]);

@@ -1,6 +1,8 @@
 #include "psdd/psdd.h"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -596,12 +598,22 @@ Status Psdd::LoadParameters(const std::string& text) {
     if (n >= nodes_.size()) return Status::Error("node id out of range");
     Node& node = nodes_[n];
     std::vector<double> thetas;
+    const char* scan = cursor;
+    const char* line_last = line.c_str() + line.size();
     while (true) {
-      char* next = nullptr;
-      const double value = std::strtod(cursor, &next);
-      if (next == cursor) break;
+      while (scan < line_last &&
+             std::isspace(static_cast<unsigned char>(*scan))) {
+        ++scan;
+      }
+      if (scan == line_last) break;
+      // from_chars, not strtod: theta parsing must not depend on the
+      // run-time locale's radix character.
+      double value = 0.0;
+      const auto [next, ec] = std::from_chars(scan, line_last, value,
+                                              std::chars_format::general);
+      if (ec != std::errc() || next == scan) break;
       thetas.push_back(value);
-      cursor = next;
+      scan = next;
     }
     if (node.kind == Kind::kTop) {
       if (thetas.size() != 1 || thetas[0] < 0.0 || thetas[0] > 1.0) {

@@ -1,9 +1,12 @@
 #include "serve/artifact_cache.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <optional>
+#include <vector>
 
 #include "base/fault.h"
 #include "base/hash.h"
@@ -12,6 +15,7 @@
 #include "logic/cnf.h"
 #include "nnf/properties.h"
 #include "nnf/queries.h"
+#include "store/store.h"
 
 namespace tbc::serve {
 
@@ -24,7 +28,92 @@ std::string KeyOf(const std::string& cnf_text) {
   return buf;
 }
 
+/// Restores one spilled artifact from a `.tbc` file. Returns nullptr (with
+/// the reason counted) if the file fails store validation, lacks the
+/// embedded CNF, or does not hash to its own filename key. Warms the
+/// mapped manager's side caches exactly as Build() does, so the restored
+/// artifact honours the same share-after-warm contract.
+std::shared_ptr<const Artifact> RestoreFromStore(const std::string& path,
+                                                 const std::string& stem) {
+  auto loaded = LoadCircuitStore(path);
+  if (!loaded.ok()) {
+    TBC_COUNT("serve.store.checksum_failures");
+    return nullptr;
+  }
+  auto artifact = std::make_shared<Artifact>();
+  artifact->cnf_text = std::string(loaded->store->cnf_text());
+  artifact->key = KeyOf(artifact->cnf_text);
+  if (artifact->cnf_text.empty() || artifact->key != stem) {
+    // A valid store that is not the spill of the CNF its name claims —
+    // renamed, truncated-and-rewritten, or foreign. Never serve it under
+    // that key.
+    TBC_COUNT("serve.store.key_mismatches");
+    return nullptr;
+  }
+  artifact->root = loaded->root;
+  artifact->num_vars = loaded->store->num_vars();
+  artifact->from_store = true;
+  NnfManager& mgr = *loaded->mgr;
+  artifact->count = loaded->store->has_model_count()
+                        ? loaded->store->model_count()
+                        : ModelCount(mgr, artifact->root, artifact->num_vars);
+  // Same warm sequence as Build(): varsets, level schedule, count memo,
+  // smoothed root (appended to the overlay past the mapped range).
+  mgr.VarSet(artifact->root);
+  mgr.ScheduleCached(artifact->root);
+  mgr.StoreModelCount(artifact->root, artifact->num_vars, artifact->count);
+  artifact->smooth_root = Smooth(mgr, artifact->root, artifact->num_vars);
+  mgr.VarSet(artifact->smooth_root);
+  artifact->nodes = mgr.NumNodesBelow(artifact->root);
+  artifact->edges = mgr.CircuitSize(artifact->root);
+  artifact->mgr = std::move(loaded->mgr);
+  TBC_COUNT("serve.store.restores");
+  return artifact;
+}
+
 }  // namespace
+
+void ArtifactCache::Spill(const Artifact& artifact) const {
+  StoreWriteOptions options;
+  options.cnf_text = artifact.cnf_text;
+  options.model_count = &artifact.count;
+  options.num_vars = artifact.num_vars;
+  const std::string path = store_dir_ + "/" + artifact.key + ".tbc";
+  const Status st =
+      WriteCircuitStore(*artifact.mgr, artifact.root, path, options);
+  if (!st.ok()) {
+    // Best-effort: a full disk must not fail the request — the artifact
+    // still serves from memory, it just will not survive a restart.
+    TBC_COUNT("serve.store.spill_failures");
+    return;
+  }
+  TBC_COUNT("serve.store.spills");
+}
+
+size_t ArtifactCache::WarmStart() {
+  if (store_dir_.empty()) return 0;
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(store_dir_, ec)) {
+    if (entry.path().extension() == ".tbc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  size_t restored = 0;
+  for (const auto& file : files) {
+    if (restored >= capacity_) break;
+    auto artifact = RestoreFromStore(file.string(), file.stem().string());
+    if (artifact == nullptr) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto slot = std::make_shared<Slot>();
+    slot->artifact = std::move(artifact);
+    slot->done = true;
+    slot->last_use = ++use_clock_;
+    slots_.emplace(slot->artifact->key, std::move(slot));
+    ++restored;
+  }
+  return restored;
+}
 
 Result<std::shared_ptr<const Artifact>> ArtifactCache::Build(
     const std::string& cnf_text, Guard& guard, const Cnf* parsed) {
@@ -112,6 +201,7 @@ Result<std::shared_ptr<const Artifact>> ArtifactCache::GetOrCompile(
       }
       slot->last_use = ++use_clock_;
       TBC_COUNT("serve.cache.hits");
+      if (slot->artifact->from_store) TBC_COUNT("serve.store.hits");
       if (cache_hit != nullptr) *cache_hit = true;
       return slot->artifact;
     }
@@ -139,6 +229,7 @@ Result<std::shared_ptr<const Artifact>> ArtifactCache::GetOrCompile(
     }
   }
   done_cv_.notify_all();
+  if (built.ok() && !store_dir_.empty()) Spill(**built);
   return built;
 }
 

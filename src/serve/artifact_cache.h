@@ -36,6 +36,7 @@ struct Artifact {
   BigUint count;          // exact model count (warms the count memo)
   size_t nodes = 0;       // circuit nodes below root
   size_t edges = 0;       // circuit edges below root
+  bool from_store = false;  // restored from the persistent store (not compiled)
 };
 
 /// Content-hash-keyed cache of compiled artifacts: the "compile once,
@@ -53,10 +54,18 @@ struct Artifact {
 ///   stay alive for queries already holding the shared_ptr.
 /// - The fault point "serve.cache.evict" force-evicts an artifact right
 ///   after insertion, exercising the eviction race deliberately.
+/// - Optional persistence (`store_dir`): each successfully compiled
+///   artifact is spilled to `store_dir/<key>.tbc` (src/store/ arena
+///   format), and WarmStart() restores spilled artifacts on startup by
+///   mmaping them — a restarted server answers previously compiled CNFs
+///   with zero compile activity. Store files are untrusted input until
+///   the store layer's checksums pass; files that fail validation are
+///   skipped (counted), never served.
 class ArtifactCache {
  public:
-  explicit ArtifactCache(size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit ArtifactCache(size_t capacity, std::string store_dir = {})
+      : capacity_(capacity == 0 ? 1 : capacity),
+        store_dir_(std::move(store_dir)) {}
 
   /// The artifact for `cnf_text`, compiling under `guard` on a miss.
   /// `cache_hit` (optional) reports whether a compiled artifact was reused
@@ -86,6 +95,16 @@ class ArtifactCache {
   static Result<std::shared_ptr<const Artifact>> Build(
       const std::string& cnf_text, Guard& guard, const Cnf* parsed = nullptr);
 
+  /// Restores previously spilled artifacts from `store_dir` (no-op when
+  /// persistence is off). Returns the number restored (bounded by
+  /// capacity; deterministic key order). Call once before serving —
+  /// restore warms each mapped manager's caches single-threaded, same
+  /// contract as Build().
+  size_t WarmStart();
+
+  /// The spill directory ("" = persistence off).
+  const std::string& store_dir() const { return store_dir_; }
+
  private:
   struct Slot {
     std::shared_ptr<const Artifact> artifact;  // set when done && !failed
@@ -96,8 +115,12 @@ class ArtifactCache {
   };
 
   void EvictIfOverCapacityLocked();
+  /// Persists `artifact` under store_dir_/<key>.tbc (best-effort: spill
+  /// failures are counted, not surfaced — the artifact still serves).
+  void Spill(const Artifact& artifact) const;
 
   const size_t capacity_;
+  const std::string store_dir_;
   mutable std::mutex mu_;
   std::condition_variable done_cv_;  // broadcast when any compile finishes
   uint64_t use_clock_ = 0;

@@ -93,22 +93,16 @@ bool OpFromName(std::string_view name, Op* out) {
 }
 
 std::string EncodeDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
+  // Locale-independent hexfloat (base/strings.h): "%a"/strtod honour the
+  // run-time locale's radix character, so a server and client in different
+  // locales would disagree about "0x1.8p+1" — pinned by the
+  // LocaleIndependence protocol tests.
+  return FormatDoubleHex(v);
 }
 
 bool DecodeDouble(std::string_view token, double* out) {
   if (token.empty() || token.size() > 63) return false;
-  char buf[64];
-  std::memcpy(buf, token.data(), token.size());
-  buf[token.size()] = '\0';
-  char* end = nullptr;
-  const double v = std::strtod(buf, &end);
-  if (end != buf + token.size()) return false;
-  if (std::isnan(v)) return false;
-  *out = v;
-  return true;
+  return ParseDoubleAnyFormat(token, out);
 }
 
 std::string EncodeFrame(std::string_view payload) {

@@ -31,7 +31,9 @@ namespace tbc::serve {
 /// still be framed) or a closed connection — both observable, neither
 /// fatal.
 ///
-/// Doubles (weights, WMC results) travel as C hexfloats ("%a"), so a
+/// Doubles (weights, WMC results) travel as C hexfloats (emitted with
+/// std::to_chars, which unlike "%a" never embeds the run-time locale's
+/// radix character), so a
 /// value round-trips bit-exactly: the soak test's bit-identical assertion
 /// holds across the wire, not just in memory.
 

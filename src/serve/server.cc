@@ -38,7 +38,7 @@ Response ErrorResponse(const Status& st) {
 }  // namespace
 
 Server::Server(const ServerOptions& opts)
-    : opts_(opts), cache_(opts.cache_capacity) {}
+    : opts_(opts), cache_(opts.cache_capacity, opts.store_dir) {}
 
 Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& opts) {
   std::unique_ptr<Server> server(new Server(opts));
@@ -47,6 +47,10 @@ Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& opts) {
   if (!listener.ok()) return listener.status();
   server->listener_ = std::move(*listener);
   server->port_ = port;
+  // Restore spilled artifacts before the acceptor starts: warm-start runs
+  // single-threaded, so the restored managers' caches are written before
+  // any query thread can share them.
+  server->cache_.WarmStart();
   server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
 }

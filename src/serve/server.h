@@ -40,6 +40,14 @@ struct ServerOptions {
   /// artifacts bypass the check (their compile cost is already paid). The
   /// forecast is advisory — the Guard still bounds everything admitted.
   uint32_t max_forecast_width = 0;
+  /// Persistent circuit store directory ("" = off). When set, every
+  /// compiled artifact is spilled to `<store_dir>/<key>.tbc` and Start()
+  /// warm-starts the cache from the directory before accepting
+  /// connections — a restarted server answers previously compiled CNFs
+  /// from mmap with zero compile activity (DESIGN.md "Persistent circuit
+  /// store"). The directory must exist and is trusted for writes; files
+  /// in it are still checksum-validated before being served.
+  std::string store_dir;
 };
 
 /// The knowledge-compilation service (ROADMAP "KC-as-a-service"): a

@@ -1,0 +1,136 @@
+#ifndef TBC_STORE_FORMAT_H_
+#define TBC_STORE_FORMAT_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace tbc {
+
+/// On-disk layout of the `.tbc` persistent circuit store.
+///
+/// A store file is:
+///
+///   [StoreHeader    : 64 bytes ]
+///   [StoreSection[6]: 6 × 32 B ]   section table (fixed order, see SectionId)
+///   [section bytes...          ]   each section 8-byte aligned, zero-padded
+///
+/// All multi-byte fields are little-endian. The format is a direct dump of
+/// the NnfManager CSR arrays so a reader can mmap the file and serve
+/// queries over the mapped pages with no deserialization pass — load cost
+/// is O(pages touched), the Untangle `basetree.h` trick.
+///
+/// Trust boundary: a store file is UNTRUSTED INPUT until MappedStore::Open
+/// has validated the magic/version, the section table (offsets and sizes
+/// in-bounds, aligned, consistent with the header counts), every section
+/// checksum, and the structural circuit invariants (see store.cc). Nothing
+/// is allocated proportional to the file's claimed counts before those
+/// counts have been bounded by the actual file size.
+
+/// Fixed section order in the section table.
+enum SectionId : uint32_t {
+  kSectionKinds = 0,       // uint8[num_nodes]   node kinds
+  kSectionPayloads = 1,    // uint32[num_nodes]  literal codes (0 for gates)
+  kSectionChildBegin = 2,  // uint64[num_nodes+1] CSR row offsets
+  kSectionChildren = 3,    // uint32[num_edges]  CSR child ids
+  kSectionCnfText = 4,     // bytes, optional    source CNF (DIMACS text)
+  kSectionModelCount = 5,  // uint64[k], optional BigUint limbs, little-endian
+  kNumSections = 6,
+};
+
+/// Header flags.
+enum StoreFlags : uint32_t {
+  kFlagHasCnfText = 1u << 0,
+  kFlagHasModelCount = 1u << 1,
+};
+
+inline constexpr uint8_t kStoreMagic[8] = {'T', 'B', 'C', 'S', 'T', 'O', 'R', 'E'};
+inline constexpr uint32_t kStoreVersion = 1;
+
+/// One entry in the section table. `checksum_lo/hi` is HashBytes() over the
+/// section's payload bytes (excluding alignment padding).
+struct StoreSection {
+  uint64_t offset = 0;       // absolute file offset, 8-byte aligned
+  uint64_t size = 0;         // payload bytes (0 = section absent)
+  uint64_t checksum_lo = 0;  // ContentHash.lo of the payload
+  uint64_t checksum_hi = 0;  // ContentHash.hi of the payload
+};
+
+struct StoreHeader {
+  uint8_t magic[8];       // kStoreMagic
+  uint32_t version;       // kStoreVersion
+  uint32_t flags;         // StoreFlags bits
+  uint64_t num_vars;      // variable universe of the circuit
+  uint32_t num_nodes;     // >= 2 (ids 0/1 are the ⊥/⊤ constants)
+  uint32_t root;          // < num_nodes
+  uint64_t num_edges;     // total CSR children entries
+  uint32_t num_sections;  // kNumSections
+  uint32_t reserved0;     // 0
+  uint64_t header_checksum;  // HashU64-folded HashBytes over header+table
+                             // with this field zeroed
+  uint64_t reserved1;        // 0
+};
+
+// The reader overlays these structs on the mapped bytes, so their layout IS
+// the wire format: pin it. Every field is naturally aligned at these sizes,
+// so no compiler inserts padding and no #pragma pack (with its UB-adjacent
+// unaligned-access implications) is needed.
+static_assert(sizeof(StoreSection) == 32, "on-disk layout is frozen");
+static_assert(alignof(StoreSection) == 8, "on-disk layout is frozen");
+static_assert(sizeof(StoreHeader) == 64, "on-disk layout is frozen");
+static_assert(alignof(StoreHeader) == 8, "on-disk layout is frozen");
+static_assert(offsetof(StoreHeader, version) == 8);
+static_assert(offsetof(StoreHeader, num_vars) == 16);
+static_assert(offsetof(StoreHeader, num_nodes) == 24);
+static_assert(offsetof(StoreHeader, root) == 28);
+static_assert(offsetof(StoreHeader, num_edges) == 32);
+static_assert(offsetof(StoreHeader, header_checksum) == 48);
+
+inline constexpr size_t kStoreTableOffset = sizeof(StoreHeader);
+inline constexpr size_t kStoreDataOffset =
+    sizeof(StoreHeader) + kNumSections * sizeof(StoreSection);
+
+/// True iff this host can overlay the on-disk structs directly (the store
+/// is little-endian on disk). Big-endian hosts take the reject path in
+/// MappedStore::Open — a typed error, never a byte-swapped misread.
+inline constexpr bool HostIsStoreCompatible() {
+  return std::endian::native == std::endian::little;
+}
+
+/// Explicit little-endian encode/decode for the writer and for header
+/// fixups. On LE hosts these compile to plain loads/stores; they exist so
+/// the format stays well-defined (not "whatever the host does") and so a
+/// future BE port only has to flip the reader onto them.
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void StoreLe64(uint8_t* p, uint64_t v) {
+  StoreLe32(p, static_cast<uint32_t>(v));
+  StoreLe32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline uint64_t LoadLe64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLe32(p)) |
+         static_cast<uint64_t>(LoadLe32(p + 4)) << 32;
+}
+
+/// Rounds a file offset up to the section alignment (8 bytes: the widest
+/// array element in any section, so every overlaid array is aligned
+/// whenever the mapping base is page-aligned).
+inline constexpr uint64_t AlignStoreOffset(uint64_t offset) {
+  return (offset + 7) & ~uint64_t{7};
+}
+
+}  // namespace tbc
+
+#endif  // TBC_STORE_FORMAT_H_

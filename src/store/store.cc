@@ -1,0 +1,455 @@
+#include "store/store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "base/observability.h"
+#include "store/format.h"
+
+namespace tbc {
+namespace {
+
+using Kind = NnfManager::Kind;
+
+/// Folds a 128-bit content hash into the 64-bit header checksum slot.
+uint64_t FoldChecksum(const ContentHash& h) { return h.lo ^ HashU64(h.hi); }
+
+std::string Errno(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+/// Serializes the 256-byte header + section table with explicit
+/// little-endian stores (the writer is endian-portable even though the
+/// zero-copy reader requires a little-endian host).
+void EncodeHeader(const StoreHeader& hdr, const StoreSection* sections,
+                  uint8_t out[kStoreDataOffset]) {
+  std::memset(out, 0, kStoreDataOffset);
+  std::memcpy(out, hdr.magic, 8);
+  StoreLe32(out + 8, hdr.version);
+  StoreLe32(out + 12, hdr.flags);
+  StoreLe64(out + 16, hdr.num_vars);
+  StoreLe32(out + 24, hdr.num_nodes);
+  StoreLe32(out + 28, hdr.root);
+  StoreLe64(out + 32, hdr.num_edges);
+  StoreLe32(out + 40, hdr.num_sections);
+  // reserved0 (44), header_checksum (48) and reserved1 (56) stay zero; the
+  // checksum is patched in after hashing.
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    uint8_t* p = out + kStoreTableOffset + s * sizeof(StoreSection);
+    StoreLe64(p, sections[s].offset);
+    StoreLe64(p + 8, sections[s].size);
+    StoreLe64(p + 16, sections[s].checksum_lo);
+    StoreLe64(p + 24, sections[s].checksum_hi);
+  }
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t n, const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("write", path));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteCircuitStore(const NnfManager& mgr, NnfId root,
+                         const std::string& path,
+                         const StoreWriteOptions& options) {
+  if (root >= mgr.num_nodes()) {
+    return Status::InvalidInput("store write: root id out of range");
+  }
+  size_t num_vars = options.num_vars ? options.num_vars : mgr.num_vars();
+  if (num_vars < mgr.num_vars()) {
+    return Status::InvalidInput(
+        "store write: num_vars smaller than the circuit's variable range");
+  }
+
+  // Compact the reachable subcircuit. TopologicalOrder returns reachable
+  // ids ascending; prepending the (always-stored) ⊥/⊤ constants keeps the
+  // list ascending, so the remap preserves children-before-parents.
+  const std::vector<NnfId> reachable = mgr.TopologicalOrder(root);
+  std::vector<NnfId> list;
+  list.reserve(reachable.size() + 2);
+  list.push_back(0);
+  list.push_back(1);
+  for (NnfId n : reachable) {
+    if (n > 1) list.push_back(n);
+  }
+  std::vector<uint32_t> remap(mgr.num_nodes(), kInvalidNnf);
+  for (size_t i = 0; i < list.size(); ++i) remap[list[i]] = static_cast<uint32_t>(i);
+
+  const uint32_t num_nodes = static_cast<uint32_t>(list.size());
+  uint64_t num_edges = 0;
+  for (NnfId n : list) num_edges += mgr.children(n).size();
+
+  // Build the section payloads as little-endian byte arrays.
+  std::vector<uint8_t> kinds(num_nodes);
+  std::vector<uint8_t> payloads(size_t{num_nodes} * 4);
+  std::vector<uint8_t> child_begin((size_t{num_nodes} + 1) * 8);
+  std::vector<uint8_t> children(num_edges * 4);
+  uint64_t edge = 0;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    const NnfId n = list[i];
+    const Kind k = mgr.kind(n);
+    kinds[i] = static_cast<uint8_t>(k);
+    StoreLe32(&payloads[size_t{i} * 4],
+              k == Kind::kLiteral ? mgr.lit(n).code() : 0);
+    StoreLe64(&child_begin[size_t{i} * 8], edge);
+    for (NnfId c : mgr.children(n)) {
+      TBC_DCHECK(remap[c] < i);
+      StoreLe32(&children[edge * 4], remap[c]);
+      ++edge;
+    }
+  }
+  StoreLe64(&child_begin[size_t{num_nodes} * 8], edge);
+  TBC_CHECK(edge == num_edges);
+
+  std::vector<uint8_t> model_count;
+  if (options.model_count != nullptr) {
+    const std::vector<uint64_t>& limbs = options.model_count->limbs();
+    model_count.resize(limbs.size() * 8);
+    for (size_t i = 0; i < limbs.size(); ++i) {
+      StoreLe64(&model_count[i * 8], limbs[i]);
+    }
+  }
+
+  struct SectionBytes {
+    const uint8_t* data;
+    uint64_t size;
+  };
+  const SectionBytes bytes[kNumSections] = {
+      {kinds.data(), kinds.size()},
+      {payloads.data(), payloads.size()},
+      {child_begin.data(), child_begin.size()},
+      {children.data(), children.size()},
+      {reinterpret_cast<const uint8_t*>(options.cnf_text.data()),
+       options.cnf_text.size()},
+      {model_count.data(), model_count.size()},
+  };
+
+  StoreSection sections[kNumSections];
+  uint64_t offset = kStoreDataOffset;
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    if (bytes[s].size == 0) continue;
+    sections[s].offset = offset;
+    sections[s].size = bytes[s].size;
+    const ContentHash h = HashBytes(bytes[s].data, bytes[s].size);
+    sections[s].checksum_lo = h.lo;
+    sections[s].checksum_hi = h.hi;
+    offset = AlignStoreOffset(offset + bytes[s].size);
+  }
+
+  StoreHeader hdr{};
+  std::memcpy(hdr.magic, kStoreMagic, 8);
+  hdr.version = kStoreVersion;
+  hdr.flags = (options.cnf_text.empty() ? 0u : kFlagHasCnfText) |
+              (options.model_count != nullptr ? kFlagHasModelCount : 0u);
+  hdr.num_vars = num_vars;
+  hdr.num_nodes = num_nodes;
+  hdr.root = remap[root];
+  hdr.num_edges = num_edges;
+  hdr.num_sections = kNumSections;
+
+  uint8_t head[kStoreDataOffset];
+  EncodeHeader(hdr, sections, head);
+  StoreLe64(head + offsetof(StoreHeader, header_checksum),
+            FoldChecksum(HashBytes(head, kStoreDataOffset)));
+
+  // Atomic publish: fully write + fsync a same-directory temp file, then
+  // rename over the target. Readers never observe a torn store.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::Unavailable(Errno("open", tmp));
+  Status st = WriteAll(fd, head, kStoreDataOffset, tmp);
+  uint64_t written = kStoreDataOffset;
+  for (uint32_t s = 0; s < kNumSections && st.ok(); ++s) {
+    if (bytes[s].size == 0) continue;
+    // Alignment padding between sections.
+    static const uint8_t kZeros[8] = {0};
+    if (sections[s].offset > written) {
+      st = WriteAll(fd, kZeros, sections[s].offset - written, tmp);
+      if (!st.ok()) break;
+      written = sections[s].offset;
+    }
+    st = WriteAll(fd, bytes[s].data, bytes[s].size, tmp);
+    written += bytes[s].size;
+  }
+  if (st.ok() && ::fsync(fd) != 0) st = Status::Unavailable(Errno("fsync", tmp));
+  if (::close(fd) != 0 && st.ok()) st = Status::Unavailable(Errno("close", tmp));
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::Unavailable(Errno("rename", tmp));
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  TBC_COUNT("store.writes");
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const MappedStore>> MappedStore::Open(
+    const std::string& path) {
+  // Reject path for foreign byte order: the zero-copy reader overlays
+  // little-endian arrays, so a big-endian host must refuse rather than
+  // misread. (The writer, which goes through the explicit LE helpers, is
+  // portable either way.)
+  if (!HostIsStoreCompatible()) {
+    return Status::InvalidInput(
+        "store: zero-copy mapping requires a little-endian host");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::Unavailable(Errno("open", path));
+  struct stat sb;
+  if (::fstat(fd, &sb) != 0) {
+    const Status st = Status::Unavailable(Errno("fstat", path));
+    ::close(fd);
+    return st;
+  }
+  const uint64_t file_size = static_cast<uint64_t>(sb.st_size);
+
+  // ---- Validation. Until every check below passes, the mapped bytes are
+  // untrusted input: every count is bounded against the actual file size
+  // before use, and nothing is allocated proportional to a claimed count.
+  auto reject = [&](const std::string& why) {
+    TBC_COUNT("store.open.rejected");
+    return Status::InvalidInput("store " + path + ": " + why);
+  };
+
+  if (file_size < kStoreDataOffset) {
+    ::close(fd);
+    return reject("truncated header");
+  }
+  void* map = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) return Status::Unavailable(Errno("mmap", path));
+  std::shared_ptr<MappedStore> store(new MappedStore());
+  store->map_ = map;
+  store->map_size_ = file_size;
+  const uint8_t* base = static_cast<const uint8_t*>(map);
+
+  // mmap returns page-aligned memory; this is the documented reject path
+  // (rather than UB) should a future mapping source break that.
+  if ((reinterpret_cast<uintptr_t>(base) & 7u) != 0) {
+    return reject("misaligned mapping base");
+  }
+
+  if (std::memcmp(base, kStoreMagic, 8) != 0) return reject("bad magic");
+  StoreHeader hdr;
+  std::memcpy(&hdr, base, sizeof(hdr));
+  if (hdr.version != kStoreVersion) {
+    return reject("unsupported format version " + std::to_string(hdr.version));
+  }
+  if (hdr.num_sections != kNumSections) return reject("bad section count");
+  if (hdr.reserved0 != 0 || hdr.reserved1 != 0) {
+    return reject("nonzero reserved header fields");
+  }
+  if ((hdr.flags & ~(kFlagHasCnfText | kFlagHasModelCount)) != 0) {
+    return reject("unknown header flags");
+  }
+  {
+    uint8_t head[kStoreDataOffset];
+    std::memcpy(head, base, kStoreDataOffset);
+    std::memset(head + offsetof(StoreHeader, header_checksum), 0, 8);
+    if (FoldChecksum(HashBytes(head, kStoreDataOffset)) != hdr.header_checksum) {
+      TBC_COUNT("store.open.checksum_failures");
+      return reject("header checksum mismatch");
+    }
+  }
+  if (hdr.num_nodes < 2) return reject("fewer than two nodes");
+  if (hdr.root >= hdr.num_nodes) return reject("root id out of range");
+  // Each edge takes 4 bytes, so a genuine edge count is below file_size;
+  // rejecting here also keeps the size arithmetic below overflow-free.
+  if (hdr.num_edges > file_size) return reject("edge count exceeds file size");
+
+  // Section table: bounds, exact canonical offsets, exact sizes. Every
+  // size/offset is checked against file_size with overflow-safe
+  // arithmetic before any section is touched. The layout is fully
+  // canonical — each non-empty section sits at the aligned end of its
+  // predecessor, padding bytes are zero, and the file ends exactly after
+  // the last section — so every byte of an accepted file is covered by a
+  // checksum, a validated header field, or a required-zero constraint.
+  const StoreSection* table =
+      reinterpret_cast<const StoreSection*>(base + kStoreTableOffset);
+  uint64_t prev_end = kStoreDataOffset;
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    const StoreSection& sec = table[s];
+    if (sec.size == 0) {
+      if (sec.offset != 0 || sec.checksum_lo != 0 || sec.checksum_hi != 0) {
+        return reject("nonzero metadata on empty section");
+      }
+      continue;
+    }
+    if (sec.size > file_size) {
+      return reject("section " + std::to_string(s) + " out of bounds");
+    }
+    if (sec.offset != AlignStoreOffset(prev_end)) {
+      return reject("section " + std::to_string(s) + " at non-canonical offset");
+    }
+    if (sec.offset > file_size || sec.size > file_size - sec.offset) {
+      return reject("section " + std::to_string(s) + " out of bounds");
+    }
+    for (uint64_t p = prev_end; p < sec.offset; ++p) {
+      if (base[p] != 0) return reject("nonzero alignment padding");
+    }
+    prev_end = sec.offset + sec.size;
+  }
+  if (prev_end != file_size) return reject("trailing bytes after last section");
+
+  const uint64_t n64 = hdr.num_nodes;
+  if (table[kSectionKinds].size != n64) return reject("kinds section size");
+  if (table[kSectionPayloads].size != n64 * 4) {
+    return reject("payloads section size");
+  }
+  if (table[kSectionChildBegin].size != (n64 + 1) * 8) {
+    return reject("child_begin section size");
+  }
+  if (table[kSectionChildren].size != hdr.num_edges * 4 ||
+      (hdr.num_edges > 0) != (table[kSectionChildren].size > 0)) {
+    return reject("children section size");
+  }
+  if (((hdr.flags & kFlagHasCnfText) != 0) !=
+      (table[kSectionCnfText].size > 0)) {
+    return reject("cnf_text flag/section mismatch");
+  }
+  const StoreSection& mc = table[kSectionModelCount];
+  if ((hdr.flags & kFlagHasModelCount) == 0 && mc.size != 0) {
+    return reject("model_count section without flag");
+  }
+  if (mc.size % 8 != 0) return reject("model_count section size");
+
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    const StoreSection& sec = table[s];
+    if (sec.size == 0) continue;
+    const ContentHash h = HashBytes(base + sec.offset, sec.size);
+    if (h.lo != sec.checksum_lo || h.hi != sec.checksum_hi) {
+      TBC_COUNT("store.open.checksum_failures");
+      return reject("section " + std::to_string(s) + " checksum mismatch");
+    }
+  }
+
+  // Structural invariants of the circuit arrays — everything
+  // NnfManager::FromMapped's contract demands, so adopting the view is
+  // sound. O(nodes + edges) over the mapped pages, no allocation.
+  const uint8_t* kinds = base + table[kSectionKinds].offset;
+  const uint32_t* payloads =
+      reinterpret_cast<const uint32_t*>(base + table[kSectionPayloads].offset);
+  const uint64_t* child_begin =
+      reinterpret_cast<const uint64_t*>(base + table[kSectionChildBegin].offset);
+  const uint32_t* children =
+      hdr.num_edges == 0
+          ? nullptr
+          : reinterpret_cast<const uint32_t*>(base +
+                                              table[kSectionChildren].offset);
+  if (child_begin[0] != 0) return reject("child_begin[0] != 0");
+  if (child_begin[hdr.num_nodes] != hdr.num_edges) {
+    return reject("child_begin end != num_edges");
+  }
+  if (kinds[0] != static_cast<uint8_t>(Kind::kFalse) ||
+      kinds[1] != static_cast<uint8_t>(Kind::kTrue)) {
+    return reject("nodes 0/1 are not the constants");
+  }
+  for (uint64_t n = 0; n < hdr.num_nodes; ++n) {
+    if (child_begin[n + 1] < child_begin[n] ||
+        child_begin[n + 1] > hdr.num_edges) {
+      return reject("child_begin not monotone");
+    }
+    const uint64_t degree = child_begin[n + 1] - child_begin[n];
+    const uint8_t k = kinds[n];
+    switch (static_cast<Kind>(k)) {
+      case Kind::kFalse:
+      case Kind::kTrue:
+        if (n >= 2) return reject("duplicate constant node");
+        if (degree != 0 || payloads[n] != 0) return reject("malformed constant");
+        break;
+      case Kind::kLiteral: {
+        if (degree != 0) return reject("literal node with children");
+        const uint64_t var = payloads[n] >> 1;
+        if (var >= hdr.num_vars) return reject("literal variable out of range");
+        break;
+      }
+      case Kind::kAnd:
+      case Kind::kOr:
+        if (payloads[n] != 0) return reject("gate node with payload");
+        if (degree < 2) return reject("gate with fewer than two children");
+        for (uint64_t e = child_begin[n]; e < child_begin[n + 1]; ++e) {
+          if (children[e] >= n) return reject("child id not below parent");
+        }
+        break;
+      default:
+        return reject("unknown node kind " + std::to_string(k));
+    }
+  }
+
+  if (mc.size > 0 || (hdr.flags & kFlagHasModelCount) != 0) {
+    // Limb count is bounded by the (validated, in-bounds) section size.
+    const uint8_t* p = mc.size == 0 ? nullptr : base + mc.offset;
+    std::vector<uint64_t> limbs(mc.size / 8);
+    for (size_t i = 0; i < limbs.size(); ++i) limbs[i] = LoadLe64(p + i * 8);
+    if (!BigUint::FromLimbs(std::move(limbs), &store->model_count_)) {
+      return reject("non-canonical model count");
+    }
+    store->has_model_count_ = true;
+  }
+  if (table[kSectionCnfText].size > 0) {
+    store->cnf_text_ = std::string_view(
+        reinterpret_cast<const char*>(base + table[kSectionCnfText].offset),
+        table[kSectionCnfText].size);
+  }
+
+  store->kinds_ = kinds;
+  store->payloads_ = payloads;
+  store->child_begin_ = child_begin;
+  store->children_ = children;
+  store->num_nodes_ = hdr.num_nodes;
+  store->root_ = hdr.root;
+  store->num_edges_ = hdr.num_edges;
+  store->num_vars_ = hdr.num_vars;
+  TBC_COUNT("store.opens");
+  return std::shared_ptr<const MappedStore>(std::move(store));
+}
+
+MappedStore::~MappedStore() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<void*>(map_), map_size_);
+  }
+}
+
+MappedCircuit MappedStore::Circuit() const {
+  MappedCircuit view;
+  view.kinds = kinds_;
+  view.payloads = payloads_;
+  view.child_begin = child_begin_;
+  view.children = children_;
+  view.num_nodes = num_nodes_;
+  view.num_vars = num_vars_;
+  view.owner = shared_from_this();
+  return view;
+}
+
+Result<LoadedCircuit> LoadCircuitStore(const std::string& path) {
+  TBC_ASSIGN_OR_RETURN(std::shared_ptr<const MappedStore> store,
+                       MappedStore::Open(path));
+  LoadedCircuit loaded;
+  loaded.root = store->root();
+  loaded.mgr = NnfManager::FromMapped(store->Circuit());
+  loaded.store = std::move(store);
+  return loaded;
+}
+
+}  // namespace tbc

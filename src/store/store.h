@@ -1,0 +1,112 @@
+#ifndef TBC_STORE_STORE_H_
+#define TBC_STORE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/bigint.h"
+#include "base/result.h"
+#include "nnf/nnf.h"
+
+namespace tbc {
+
+/// Persistent memory-mapped circuit store (`.tbc` files; layout in
+/// store/format.h).
+///
+/// The write side serializes the subcircuit reachable from a root into a
+/// flat CSR arena; the read side mmaps the file and, after validating
+/// header, section table, checksums and structural invariants, hands the
+/// mapped arrays straight to NnfManager::FromMapped — so loading a
+/// compiled circuit costs O(pages touched) instead of a parse.
+
+struct StoreWriteOptions {
+  /// Source CNF text to embed (DIMACS). Empty = omitted. The serving
+  /// layer stores it so a warm-started cache can verify content keys
+  /// byte-for-byte.
+  std::string_view cnf_text;
+  /// Precomputed model count to embed (nullptr = omitted).
+  const BigUint* model_count = nullptr;
+  /// Variable universe to record; 0 means use mgr.num_vars(). Values
+  /// smaller than the largest variable mentioned are rejected.
+  size_t num_vars = 0;
+};
+
+/// Serializes the subcircuit of `mgr` reachable from `root` to `path`.
+/// Node ids are compacted (constants keep ids 0/1) preserving the
+/// children-before-parents order the mapped reader relies on. The write is
+/// atomic: a temp file in the same directory is fully written, fsynced and
+/// renamed over `path`, so readers never observe a torn store.
+Status WriteCircuitStore(const NnfManager& mgr, NnfId root,
+                         const std::string& path,
+                         const StoreWriteOptions& options = {});
+
+/// A validated read-only mapping of a `.tbc` file.
+///
+/// Open() refuses (StatusCode::kInvalidInput) anything that is not a
+/// well-formed store: bad magic, unknown version, truncated or overlapping
+/// sections, checksum mismatches, counts inconsistent with the actual file
+/// size, or circuit arrays violating the NnfManager invariants. Until that
+/// validation passes the file is treated as untrusted input — in
+/// particular, nothing is allocated proportional to the file's *claimed*
+/// counts, only to its actual size. On non-little-endian hosts Open()
+/// refuses outright rather than misreading the arrays.
+class MappedStore : public std::enable_shared_from_this<MappedStore> {
+ public:
+  static Result<std::shared_ptr<const MappedStore>> Open(const std::string& path);
+
+  MappedStore(const MappedStore&) = delete;
+  MappedStore& operator=(const MappedStore&) = delete;
+  ~MappedStore();
+
+  uint32_t root() const { return root_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+  size_t num_vars() const { return num_vars_; }
+
+  /// Embedded source CNF ("" if the writer omitted it). Points into the
+  /// mapping: valid while this store is alive.
+  std::string_view cnf_text() const { return cnf_text_; }
+
+  bool has_model_count() const { return has_model_count_; }
+  const BigUint& model_count() const { return model_count_; }
+
+  /// Zero-copy view for NnfManager::FromMapped. The view's `owner` keeps
+  /// this mapping alive, so the returned circuit outlives the caller's
+  /// shared_ptr.
+  MappedCircuit Circuit() const;
+
+ private:
+  MappedStore() = default;
+
+  const void* map_ = nullptr;  // mmap base (page-aligned)
+  size_t map_size_ = 0;
+
+  const uint8_t* kinds_ = nullptr;
+  const uint32_t* payloads_ = nullptr;
+  const uint64_t* child_begin_ = nullptr;
+  const uint32_t* children_ = nullptr;
+  uint32_t num_nodes_ = 0;
+  uint32_t root_ = 0;
+  uint64_t num_edges_ = 0;
+  size_t num_vars_ = 0;
+  std::string_view cnf_text_;
+  bool has_model_count_ = false;
+  BigUint model_count_;
+};
+
+/// A circuit loaded from a store: a manager serving queries directly over
+/// the mapped arrays, plus the store metadata.
+struct LoadedCircuit {
+  std::unique_ptr<NnfManager> mgr;
+  NnfId root = kInvalidNnf;
+  std::shared_ptr<const MappedStore> store;  // mapping also pinned by mgr
+};
+
+/// Opens `path` and adopts it as a read-only NnfManager (zero-copy).
+Result<LoadedCircuit> LoadCircuitStore(const std::string& path);
+
+}  // namespace tbc
+
+#endif  // TBC_STORE_STORE_H_

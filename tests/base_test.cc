@@ -8,6 +8,12 @@
 #include "base/random.h"
 #include "base/strings.h"
 
+#include <clocale>
+#include <cmath>
+#include <cstring>
+#include <locale>
+#include <sstream>
+
 namespace tbc {
 namespace {
 
@@ -130,6 +136,79 @@ TEST(StringsTest, StripAndJoin) {
   EXPECT_EQ(StripWhitespace("  hi  "), "hi");
   EXPECT_EQ(StripWhitespace(""), "");
   EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, HexFloatCodecRoundTripsBitExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           0.1,
+                           0.4375,
+                           1e-300,
+                           5e-324,  // min subnormal
+                           1e300,
+                           0x1.fffffffffffffp+1023,  // max finite
+                           -0x1.5555555555555p-2};
+  for (double v : values) {
+    const std::string hex = FormatDoubleHex(v);
+    double back = 42.0;
+    ASSERT_TRUE(ParseDoubleAnyFormat(hex, &back)) << hex;
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << hex;  // incl. -0.0
+  }
+  double out = 0.0;
+  EXPECT_TRUE(ParseDoubleAnyFormat("inf", &out));
+  EXPECT_TRUE(std::isinf(out) && out > 0.0);
+  EXPECT_TRUE(ParseDoubleAnyFormat("-infinity", &out));
+  EXPECT_TRUE(std::isinf(out) && out < 0.0);
+  EXPECT_EQ(FormatDoubleHex(out), "-inf");
+  EXPECT_TRUE(ParseDoubleAnyFormat("1.5e3", &out));  // decimal still accepted
+  EXPECT_EQ(out, 1500.0);
+  EXPECT_FALSE(ParseDoubleAnyFormat("nan", &out));
+  EXPECT_FALSE(ParseDoubleAnyFormat("0x", &out));
+  EXPECT_FALSE(ParseDoubleAnyFormat("0x1.8p+1junk", &out));
+  EXPECT_FALSE(ParseDoubleAnyFormat("", &out));
+}
+
+// A numpunct facet whose radix character is ',' — what a de_DE/fr_FR
+// locale does to locale-sensitive numeric code.
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+};
+
+// Satellite pin for the locale-independence audit: every numeric codec on
+// a serialization path (ParseDouble, the hexfloat WMC transport) must be
+// immune to the run-time locale's radix character. The container only
+// ships C/POSIX locales, so the test installs a comma-radix C++ global
+// locale directly (and opportunistically a named C locale when one
+// exists) rather than skipping.
+TEST(StringsTest, NumericCodecsIgnoreCommaDecimalLocale) {
+  const std::locale saved_cpp = std::locale::global(
+      std::locale(std::locale::classic(), new CommaNumpunct));
+  const std::string saved_c = std::setlocale(LC_ALL, nullptr);
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "de_DE", "fr_FR"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) break;
+  }
+
+  // Prove a comma locale is genuinely active for locale-sensitive code.
+  std::ostringstream sensitive;
+  sensitive.imbue(std::locale());
+  sensitive << 1.5;
+  ASSERT_EQ(sensitive.str(), "1,5");
+
+  double out = 0.0;
+  EXPECT_TRUE(ParseDouble("1.5", &out));
+  EXPECT_EQ(out, 1.5);
+  EXPECT_FALSE(ParseDouble("1,5", &out));  // comma is never a radix on disk
+  const double v = 0.4375;
+  EXPECT_EQ(FormatDoubleHex(v), "0x1.cp-2");  // no comma sneaks in
+  double back = 0.0;
+  EXPECT_TRUE(ParseDoubleAnyFormat("0x1.cp-2", &back));
+  EXPECT_EQ(back, v);
+
+  std::setlocale(LC_ALL, saved_c.c_str());
+  std::locale::global(saved_cpp);
 }
 
 }  // namespace

@@ -309,6 +309,75 @@ TEST(NnfIoTest, RoundTrip) {
   EXPECT_EQ(ModelCount(m2, root2, 4), BigUint(9));
 }
 
+// Satellite pin for the serialization bug-sweep: WriteNnf -> ReadNnf is
+// the identity on semantics AND on the declared variable count, including
+// every degenerate shape (constants, lone literals, constant-absorbing
+// gates) where the old parse/write asymmetry lost num_vars and accepted
+// truncated bodies.
+TEST(NnfIoTest, RoundTripPropertyOverDegenerateAndRandomCircuits) {
+  constexpr size_t kVars = 4;
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    NnfManager m;
+    // Pool starts with every literal plus both constants, then grows by
+    // random gates over random earlier entries — degenerate inputs
+    // (empty-ish gates, constant children, duplicate children) arise
+    // naturally and the manager may canonicalize them arbitrarily.
+    std::vector<NnfId> pool = {m.True(), m.False()};
+    for (Var v = 0; v < kVars; ++v) {
+      pool.push_back(m.Literal(Pos(v)));
+      pool.push_back(m.Literal(Neg(v)));
+    }
+    const size_t gates = rng.Below(8);
+    for (size_t g = 0; g < gates; ++g) {
+      std::vector<NnfId> kids;
+      const size_t arity = 2 + rng.Below(3);
+      for (size_t i = 0; i < arity; ++i) {
+        kids.push_back(pool[rng.Below(pool.size())]);
+      }
+      pool.push_back(rng.Below(2) == 0 ? m.And(std::move(kids))
+                                         : m.Or(std::move(kids)));
+    }
+    const NnfId root = pool[rng.Below(pool.size())];
+
+    const std::string text = WriteNnf(m, root, kVars);
+    NnfManager m2;
+    size_t num_vars = 0;
+    auto parsed = ReadNnf(m2, text, &num_vars);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message() << "\n" << text;
+    EXPECT_EQ(num_vars, kVars);  // the header round-trips, not just the DAG
+    for (int bits = 0; bits < (1 << kVars); ++bits) {
+      Assignment a;
+      for (size_t v = 0; v < kVars; ++v) a.push_back((bits >> v & 1) != 0);
+      ASSERT_EQ(m.Evaluate(root, a), m2.Evaluate(*parsed, a))
+          << "trial " << trial << " bits " << bits << "\n" << text;
+    }
+    // A second hop is byte-stable: parse of the write reproduces the write.
+    EXPECT_EQ(WriteNnf(m2, *parsed, num_vars), text);
+  }
+}
+
+TEST(NnfIoTest, HeaderCountMismatchesAreTypedErrorsNotWrongRoots) {
+  NnfManager m;
+  const std::string text = WriteNnf(m, BuildPaperCircuit(m), 4);
+  // Drop the last body line: every remaining line is still well-formed, so
+  // only the header's node/edge counts can expose the truncation.
+  std::string truncated = text;
+  truncated.pop_back();  // trailing newline
+  truncated.erase(truncated.rfind('\n') + 1);
+  NnfManager m2;
+  auto r = ReadNnf(m2, truncated);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error_code(), StatusCode::kInvalidInput);
+
+  NnfManager m3;
+  EXPECT_FALSE(ReadNnf(m3, "nnf 1 0 1\nL 2\n").ok());  // var > declared
+  NnfManager m4;
+  EXPECT_FALSE(ReadNnf(m4, "nnf 3 2 1\nL 1\nL -1\nO x 2 0 1\n").ok());
+  NnfManager m5;  // decision var beyond the declared count
+  EXPECT_FALSE(ReadNnf(m5, "nnf 3 2 1\nL 1\nL -1\nO 9 2 0 1\n").ok());
+}
+
 TEST(NnfIoTest, ParseErrors) {
   NnfManager m;
   EXPECT_FALSE(ReadNnf(m, "").ok());

@@ -10,6 +10,9 @@
 
 #include <atomic>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <locale>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +39,19 @@ ServerOptions LoopbackOptions() {
   opts.address.tcp_port = 0;  // ephemeral
   opts.num_workers = 2;
   return opts;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
 }
 
 ClientOptions ClientFor(const Server& server) {
@@ -193,6 +209,22 @@ TEST(Protocol, DoubleWireEncodingIsBitExact) {
   EXPECT_FALSE(DecodeDouble("nan", &out));
   EXPECT_FALSE(DecodeDouble("", &out));
   EXPECT_FALSE(DecodeDouble("0x1p0 trailing", &out));
+
+  // The WMC transport is locale-independent: a comma-radix locale on
+  // either end of the wire must not bend the encoding (the bug class the
+  // hexfloat codec in base/strings exists to rule out).
+  class CommaNumpunct : public std::numpunct<char> {
+   protected:
+    char do_decimal_point() const override { return ','; }
+  };
+  const std::locale saved = std::locale::global(
+      std::locale(std::locale::classic(), new CommaNumpunct));
+  for (double v : values) {
+    double back = 0.0;
+    ASSERT_TRUE(DecodeDouble(EncodeDouble(v), &back));
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << v;
+  }
+  std::locale::global(saved);
 }
 
 // ---------------------------------------------------------------------------
@@ -304,6 +336,127 @@ TEST(Server, AnswersQueriesAndReusesArtifacts) {
   ASSERT_TRUE(w->ok()) << w->message;
   EXPECT_DOUBLE_EQ(w->wmc, 2.0);
   EXPECT_TRUE(w->cache_hit);  // same artifact serves every query op
+}
+
+// The tentpole's restart contract (DESIGN.md "Persistent circuit store"):
+// a server with a store directory spills every compiled artifact, and a
+// *fresh* server pointed at the same directory answers previously
+// compiled CNFs from mmap — zero cache misses, zero compiles, and a WMC
+// bit-identical to the first process's answer.
+TEST(Server, WarmStartsFromStoreWithZeroCompileActivity) {
+  const std::string store_dir = testing::TempDir() + "warm_start_store_" +
+                                std::to_string(::getpid());
+  std::filesystem::create_directories(store_dir);
+
+  ServerOptions opts = LoopbackOptions();
+  opts.store_dir = store_dir;
+
+  Request count;
+  count.op = Op::kCount;
+  count.cnf_text = kSmallCnf;
+  Request wmc;
+  wmc.op = Op::kWmc;
+  wmc.cnf_text = kSmallCnf;
+  wmc.weights = {{1, 0.25}, {-1, 0.75}, {2, 0.5}, {-2, 0.5}};
+
+  double first_wmc = 0.0;
+  {
+    auto server = Server::Start(opts);
+    ASSERT_TRUE(server.ok()) << server.status().message();
+    Client client(ClientFor(**server));
+    auto c = client.Call(count);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c->ok()) << c->message;
+    EXPECT_EQ(c->count, "4");
+    auto w = client.Call(wmc);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->ok()) << w->message;
+    first_wmc = w->wmc;
+    (*server)->Shutdown();
+  }
+  // The compile was spilled as <store_dir>/<content-key>.tbc.
+  size_t spilled = 0;
+  for (const auto& e : std::filesystem::directory_iterator(store_dir)) {
+    if (e.path().extension() == ".tbc") ++spilled;
+  }
+  ASSERT_EQ(spilled, 1u);
+
+  const uint64_t misses_before =
+      Observability::Global().CounterValue("serve.cache.misses");
+  const uint64_t restores_before =
+      Observability::Global().CounterValue("serve.store.restores");
+  const uint64_t hits_before =
+      Observability::Global().CounterValue("serve.store.hits");
+
+  // "Restart": a brand-new server process image over the same directory.
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  EXPECT_EQ((*server)->cached_artifacts(), 1u);  // warm before accept
+  EXPECT_EQ(Observability::Global().CounterValue("serve.store.restores"),
+            restores_before + 1);
+
+  Client client(ClientFor(**server));
+  auto c = client.Call(count);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c->ok()) << c->message;
+  EXPECT_EQ(c->count, "4");
+  EXPECT_TRUE(c->cache_hit);
+  auto w = client.Call(wmc);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->ok()) << w->message;
+  EXPECT_EQ(w->wmc, first_wmc);  // bit-identical, not just approximately
+
+  // Zero compile activity after restart: no cache miss ever happened, and
+  // both queries were served off the restored (mapped) artifact.
+  EXPECT_EQ(Observability::Global().CounterValue("serve.cache.misses"),
+            misses_before);
+  EXPECT_EQ(Observability::Global().CounterValue("serve.store.hits"),
+            hits_before + 2);
+  (*server)->Shutdown();
+  std::filesystem::remove_all(store_dir);
+}
+
+TEST(Server, WarmStartSkipsCorruptAndForeignStoreFiles) {
+  const std::string store_dir = testing::TempDir() + "warm_start_bad_" +
+                                std::to_string(::getpid());
+  std::filesystem::create_directories(store_dir);
+  {
+    // One genuine spill...
+    ServerOptions opts = LoopbackOptions();
+    opts.store_dir = store_dir;
+    auto server = Server::Start(opts);
+    ASSERT_TRUE(server.ok()) << server.status().message();
+    Client client(ClientFor(**server));
+    Request count;
+    count.op = Op::kCount;
+    count.cnf_text = kSmallCnf;
+    auto c = client.Call(count);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c->ok()) << c->message;
+    (*server)->Shutdown();
+  }
+  // ...plus garbage, a truncated copy, and a renamed (key-mismatched) copy.
+  std::string real;
+  for (const auto& e : std::filesystem::directory_iterator(store_dir)) {
+    if (e.path().extension() == ".tbc") real = e.path().string();
+  }
+  ASSERT_FALSE(real.empty());
+  WriteFileOrDie(store_dir + "/" + std::string(32, '0') + ".tbc",
+                 "not a store at all");
+  std::string bytes = ReadFileOrDie(real);
+  WriteFileOrDie(store_dir + "/" + std::string(32, '1') + ".tbc",
+                 bytes.substr(0, bytes.size() / 2));
+  WriteFileOrDie(store_dir + "/" + std::string(32, '2') + ".tbc", bytes);
+
+  ServerOptions opts = LoopbackOptions();
+  opts.store_dir = store_dir;
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  // Only the genuine spill survives validation; the impostors are skipped
+  // (counted), never served.
+  EXPECT_EQ((*server)->cached_artifacts(), 1u);
+  (*server)->Shutdown();
+  std::filesystem::remove_all(store_dir);
 }
 
 TEST(Server, ForecastAdmissionRefusesHighWidthWithoutCompiling) {

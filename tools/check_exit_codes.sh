@@ -3,7 +3,8 @@
 #
 #   0  success
 #   1  usage error or input/IO error
-#   2  lint reject (tbc_lint) / certificate reject (tbc_certify)
+#   2  lint reject (tbc_lint) / certificate reject (tbc_certify) /
+#      circuit store reject (kc_cli --load-circuit on corrupt bytes)
 #   3  typed resource refusal (budget/deadline/overload/unavailable)
 #   4  certificate reject during an in-process kc_cli --certify run
 #
@@ -86,9 +87,22 @@ expect 0 "kc_cli recompile minimize"    "$KC" "$TMP/good.cnf" --target=sdd \
 expect 3 "kc_cli minimize under budget" "$KC" "$TMP/hard.cnf" --target=sdd \
            --minimize=1000 --sdd-minimize=aggressive --max-nodes=50
 
+# kc_cli circuit store: save (0), load (0), corrupt store (2, the typed
+# kInvalidInput reject — deeper coverage lives in check_store.sh),
+# missing store (1), save under a non-ddnnf target (1).
+"$KC" "$TMP/good.cnf" --save-circuit="$TMP/good.tbc" >/dev/null 2>&1
+expect 0 "kc_cli save-circuit"          "$KC" "$TMP/good.cnf" \
+           --save-circuit="$TMP/good.tbc"
+expect 0 "kc_cli load-circuit"          "$KC" --load-circuit="$TMP/good.tbc"
+head -c 100 "$TMP/good.tbc" > "$TMP/cut.tbc"
+expect 2 "kc_cli corrupt store reject"  "$KC" --load-circuit="$TMP/cut.tbc"
+expect 1 "kc_cli missing store"         "$KC" --load-circuit="$TMP/nope.tbc"
+expect 1 "kc_cli save non-ddnnf"        "$KC" "$TMP/good.cnf" --target=sdd \
+           --save-circuit="$TMP/bad.tbc"
+
 # tbc_lint: 0 / 1 / 2.
 "$KC" "$TMP/good.cnf" --write-nnf="$TMP/good.nnf" >/dev/null 2>&1
-printf 'nnf 4 3 2\nL 1\nL 2\nA 2 0 1\nO 1 2 2 1\n' > "$TMP/nondet.nnf"
+printf 'nnf 4 4 2\nL 1\nL 2\nA 2 0 1\nO 1 2 2 1\n' > "$TMP/nondet.nnf"
 expect 0 "tbc_lint clean circuit"       "$LINT" "$TMP/good.nnf"
 expect 1 "tbc_lint no args"             "$LINT"
 expect 1 "tbc_lint missing file"        "$LINT" "$TMP/nope.nnf"

@@ -304,3 +304,104 @@ if stray:
     sys.exit(f"check_stats_schema: unpinned sdd.minimize counters: {stray}")
 print("check_stats_schema: OK (sdd.minimize.* instruments present)")
 PY
+
+# Sixth pass: the persistent circuit store's instruments, pinned in the
+# schema's storeInstruments block. kc_cli --save-circuit then
+# --load-circuit must tick store.writes / store.opens; a daemon restart
+# over a shared --store-dir must tick serve.store.spills in the first
+# process and serve.store.restores / serve.store.hits — with ZERO cache
+# misses — in the second. A rename of any store counter fails here.
+STORE_TBC="$(mktemp -u --suffix=.tbc)"
+SAVE_OUT="$(mktemp)"
+LOAD_OUT="$(mktemp)"
+STORE_DIR="$(mktemp -d)"
+trap 'cleanup; rm -f "$CERT_OUT" "$STRUCT_OUT" "$MIN_CNF" "$MIN_OUT" \
+     "$STORE_TBC" "$SAVE_OUT" "$LOAD_OUT" "${SERVE_OUT:-}" "${SOCK:-}"; \
+     rm -rf "$STORE_DIR"' EXIT
+"$BIN" "$CNF" --save-circuit="$STORE_TBC" --stats=json > "$SAVE_OUT"
+"$BIN" --load-circuit="$STORE_TBC" --stats=json > "$LOAD_OUT"
+
+python3 - "$SCHEMA" "$SAVE_OUT" "$LOAD_OUT" <<'PY'
+import json
+import sys
+
+schema = json.load(open(sys.argv[1]))
+pinned = schema["definitions"]["storeInstruments"]
+
+def counters_of(path):
+    lines = open(path).read().splitlines()
+    start = next(i for i, l in enumerate(lines) if l.strip() == "{")
+    return json.loads("\n".join(lines[start:]))["counters"]
+
+save, load = counters_of(sys.argv[2]), counters_of(sys.argv[3])
+if save.get("store.writes", 0) < 1:
+    sys.exit("check_stats_schema: --save-circuit run missing store.writes")
+if load.get("store.opens", 0) < 1:
+    sys.exit("check_stats_schema: --load-circuit run missing store.opens")
+known = set()
+for group in ("cliRequiredCounters", "serveSpillCounters",
+              "serveRestoreCounters", "reservedCounters"):
+    known |= set(pinned[group])
+for name, counters in (("save", save), ("load", load)):
+    stray = [k for k in counters
+             if (k.startswith("store.") or k.startswith("serve.store."))
+             and k not in known]
+    if stray:
+        sys.exit(f"check_stats_schema: unpinned store counters in {name}: {stray}")
+print("check_stats_schema: OK (store.* cli instruments present)")
+PY
+
+if [[ -x "$SERVE_BIN" && -x "$CLIENT_BIN" ]]; then
+  SOCK2="$(mktemp -u /tmp/tbc_store_XXXXXX.sock)"
+  WARM1_OUT="$(mktemp)"
+  WARM2_OUT="$(mktemp)"
+  trap 'cleanup; rm -f "$CERT_OUT" "$STRUCT_OUT" "$MIN_CNF" "$MIN_OUT" \
+       "$STORE_TBC" "$SAVE_OUT" "$LOAD_OUT" "$WARM1_OUT" "$WARM2_OUT" \
+       "${SERVE_OUT:-}" "${SOCK:-}" "$SOCK2"; rm -rf "$STORE_DIR"' EXIT
+
+  # First daemon: compile once (spill), capture stats, terminate.
+  "$SERVE_BIN" --listen="unix:$SOCK2" --store-dir="$STORE_DIR" >/dev/null 2>&1 &
+  PID=$!
+  for _ in $(seq 1 100); do [[ -S "$SOCK2" ]] && break; sleep 0.05; done
+  "$CLIENT_BIN" --connect="unix:$SOCK2" --op=count "$CNF" >/dev/null
+  "$CLIENT_BIN" --connect="unix:$SOCK2" --op=stats > "$WARM1_OUT"
+  kill -TERM "$PID" 2>/dev/null; wait "$PID" 2>/dev/null || true
+  rm -f "$SOCK2"
+
+  # Second daemon over the same store dir: the count must be answered
+  # from the warm-started artifact, with zero compile activity.
+  "$SERVE_BIN" --listen="unix:$SOCK2" --store-dir="$STORE_DIR" >/dev/null 2>&1 &
+  PID=$!
+  for _ in $(seq 1 100); do [[ -S "$SOCK2" ]] && break; sleep 0.05; done
+  "$CLIENT_BIN" --connect="unix:$SOCK2" --op=count "$CNF" >/dev/null
+  "$CLIENT_BIN" --connect="unix:$SOCK2" --op=stats > "$WARM2_OUT"
+  kill -TERM "$PID" 2>/dev/null; wait "$PID" 2>/dev/null || true
+
+  python3 - "$SCHEMA" "$WARM1_OUT" "$WARM2_OUT" <<'PY'
+import json
+import sys
+
+schema = json.load(open(sys.argv[1]))
+pinned = schema["definitions"]["storeInstruments"]
+
+def counters_of(path):
+    lines = open(path).read().splitlines()
+    start = next(i for i, l in enumerate(lines) if l.strip() == "{")
+    return json.loads("\n".join(lines[start:]))["counters"]
+
+first, second = counters_of(sys.argv[2]), counters_of(sys.argv[3])
+for key in pinned["serveSpillCounters"]:
+    if first.get(key, 0) < 1:
+        sys.exit(f"check_stats_schema: first daemon missing counter {key}")
+for key in pinned["serveRestoreCounters"]:
+    if second.get(key, 0) < 1:
+        sys.exit(f"check_stats_schema: restarted daemon missing counter {key}")
+# The restart contract itself: the second daemon never compiled.
+if second.get("serve.cache.misses", 0) != 0:
+    sys.exit("check_stats_schema: restarted daemon saw a cache miss "
+             f"({second['serve.cache.misses']}) — warm start failed")
+print("check_stats_schema: OK (serve.store.* restart contract holds)")
+PY
+else
+  echo "check_stats_schema: note: tbc_serve/tbc_client not built, store restart pass skipped"
+fi

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Shell-level contract test for the persistent circuit store (DESIGN.md
+# "Persistent circuit store"), exercising the property no in-process test
+# can: a store written by ONE process and mapped by ANOTHER.
+#
+#   1. Cross-process durability: kc_cli --save-circuit in one invocation,
+#      --load-circuit in a fresh invocation; model count and WMC hexfloat
+#      must be byte-identical (hexfloat == bit-identical doubles).
+#   2. The committed corruption corpus is rejected with exit 2 (typed
+#      kInvalidInput), never 0 and never a crash; the committed golden
+#      store still loads.
+#   3. A missing store is an IO error (1), not a validation reject (2).
+#
+# Usage: tools/check_store.sh [kc_cli [corpus_dir]]
+#   Defaults: build/examples/kc_cli, tests/corpus/store.
+
+set -uo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+KC="${1:-$ROOT/build/examples/kc_cli}"
+CORPUS="${2:-$ROOT/tests/corpus/store}"
+
+if [[ ! -x "$KC" ]]; then
+  echo "check_store: $KC not found (build first)" >&2
+  exit 1
+fi
+if [[ ! -d "$CORPUS" ]]; then
+  echo "check_store: corpus dir $CORPUS not found" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILED=0
+
+fail() {
+  echo "check_store: FAIL $*" >&2
+  FAILED=1
+}
+ok() {
+  echo "check_store: ok   $*"
+}
+
+# --- 1. Cross-process write-then-read -------------------------------------
+
+printf 'p cnf 4 3\n1 2 0\n-1 3 0\n2 -3 4 0\n' > "$TMP/q.cnf"
+
+"$KC" "$TMP/q.cnf" --save-circuit="$TMP/q.tbc" --wmc=0.5 \
+  > "$TMP/save.out" 2>"$TMP/save.err"
+if [[ $? -ne 0 ]]; then
+  fail "save-circuit exited nonzero: $(cat "$TMP/save.err")"
+fi
+"$KC" --load-circuit="$TMP/q.tbc" --wmc=0.5 \
+  > "$TMP/load.out" 2>"$TMP/load.err"
+if [[ $? -ne 0 ]]; then
+  fail "load-circuit exited nonzero: $(cat "$TMP/load.err")"
+fi
+
+save_models="$(grep '^c models:' "$TMP/save.out")"
+load_models="$(grep '^c models:' "$TMP/load.out")"
+save_wmc="$(grep '^c wmc_hex:' "$TMP/save.out")"
+load_wmc="$(grep '^c wmc_hex:' "$TMP/load.out")"
+if [[ -z "$save_wmc" || -z "$load_wmc" ]]; then
+  fail "missing 'c wmc_hex:' line (save='$save_wmc' load='$load_wmc')"
+elif [[ "$save_wmc" != "$load_wmc" ]]; then
+  fail "WMC not bit-identical across processes: '$save_wmc' vs '$load_wmc'"
+else
+  ok "cross-process WMC bit-identical ($save_wmc)"
+fi
+if [[ -z "$save_models" || "$save_models" != "$load_models" ]]; then
+  fail "model count changed across processes: '$save_models' vs '$load_models'"
+else
+  ok "cross-process model count identical ($save_models)"
+fi
+
+# --- 2. Corruption corpus: typed rejection, golden acceptance -------------
+
+for f in "$CORPUS"/*.tbc; do
+  name="$(basename "$f")"
+  "$KC" --load-circuit="$f" > "$TMP/c.out" 2>"$TMP/c.err"
+  got=$?
+  if [[ "$name" == "valid.tbc" ]]; then
+    if [[ "$got" -ne 0 ]]; then
+      fail "golden $name: want exit 0, got $got: $(cat "$TMP/c.err")"
+    elif ! grep -q '^c models: 2$' "$TMP/c.out"; then
+      fail "golden $name: wrong model count: $(grep '^c models' "$TMP/c.out")"
+    else
+      ok "golden $name loads (models 2)"
+    fi
+  else
+    if [[ "$got" -ne 2 ]]; then
+      fail "corrupt $name: want exit 2 (typed reject), got $got"
+    elif [[ ! -s "$TMP/c.err" ]]; then
+      fail "corrupt $name: rejected without a diagnostic"
+    else
+      ok "corrupt $name rejected (exit 2)"
+    fi
+  fi
+done
+
+# --- 3. Missing store: IO error (1), not a validation reject (2) ----------
+
+"$KC" --load-circuit="$TMP/nope.tbc" >/dev/null 2>&1
+got=$?
+if [[ "$got" -ne 1 ]]; then
+  fail "missing store: want exit 1, got $got"
+else
+  ok "missing store is exit 1 (IO), not 2 (reject)"
+fi
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "check_store: FAILURES" >&2
+  exit 1
+fi
+echo "check_store: all checks passed"

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Regenerates tests/corpus/store/: a golden valid `.tbc` store plus
+adversarial corruptions of it.
+
+The corpus is committed; this script exists so the files can be rebuilt
+deterministically if the format version is ever bumped. It hand-encodes the
+format from scratch (mirroring src/store/format.h) rather than shelling out
+to kc_cli, so the corpus does not depend on compiler output stability.
+
+Usage: tools/make_store_corpus.py [output_dir]   (default tests/corpus/store)
+"""
+
+import os
+import struct
+import sys
+
+M64 = (1 << 64) - 1
+
+HEADER_SIZE = 64
+NUM_SECTIONS = 6
+TABLE_OFFSET = HEADER_SIZE
+DATA_OFFSET = HEADER_SIZE + NUM_SECTIONS * 32
+MAGIC = b"TBCSTORE"
+VERSION = 1
+CHECKSUM_FIELD_OFFSET = 48  # offsetof(StoreHeader, header_checksum)
+
+
+def hash_u64(x):
+    """splitmix64 finalizer (base/hash.h HashU64)."""
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & M64
+    return (x ^ (x >> 31)) & M64
+
+
+def hash_bytes(data):
+    """128-bit content hash (base/hash.h HashBytes): (lo, hi)."""
+    a = 0xCBF29CE484222325
+    b = 0x9AE16A3B2F90404F
+    for byte in data:
+        a = ((a ^ byte) * 0x100000001B3) & M64
+        b = ((((b ^ byte) * 0x00000100000001B3) & M64) ^ (b >> 47)) & M64
+    return hash_u64(a), hash_u64((b ^ len(data)) & M64)
+
+
+def fold(lo, hi):
+    """Header-checksum fold (store/store.cc FoldChecksum)."""
+    return (lo ^ hash_u64(hi)) & M64
+
+
+def align8(x):
+    return (x + 7) & ~7
+
+
+def build_store(num_vars, num_nodes, root, num_edges, kinds, payloads,
+                child_begin, children, cnf_text=b"", model_count_limbs=None):
+    """Serializes a store file; returns bytes."""
+    sections_payload = [
+        bytes(kinds),
+        b"".join(struct.pack("<I", p) for p in payloads),
+        b"".join(struct.pack("<Q", c) for c in child_begin),
+        b"".join(struct.pack("<I", c) for c in children),
+        cnf_text,
+        b"" if model_count_limbs is None else b"".join(
+            struct.pack("<Q", limb) for limb in model_count_limbs),
+    ]
+    flags = (1 if cnf_text else 0) | (2 if model_count_limbs is not None else 0)
+
+    table = []
+    offset = DATA_OFFSET
+    for payload in sections_payload:
+        if not payload:
+            table.append((0, 0, 0, 0))
+            continue
+        offset = align8(offset)
+        lo, hi = hash_bytes(payload)
+        table.append((offset, len(payload), lo, hi))
+        offset += len(payload)
+
+    header = struct.pack("<8sIIQIIQII QQ".replace(" ", ""), MAGIC, VERSION,
+                         flags, num_vars, num_nodes, root, num_edges,
+                         NUM_SECTIONS, 0, 0, 0)
+    assert len(header) == HEADER_SIZE
+    table_bytes = b"".join(struct.pack("<QQQQ", *entry) for entry in table)
+    head = bytearray(header + table_bytes)
+    checksum = fold(*hash_bytes(bytes(head)))
+    head[CHECKSUM_FIELD_OFFSET:CHECKSUM_FIELD_OFFSET + 8] = struct.pack(
+        "<Q", checksum)
+
+    out = bytearray(head)
+    for (off, size, _, _), payload in zip(table, sections_payload):
+        if size == 0:
+            continue
+        out.extend(b"\x00" * (off - len(out)))
+        out.extend(payload)
+    return bytes(out)
+
+
+def patch_header(store, **fields):
+    """Rewrites header fields and recomputes the header checksum (so the
+    corruption under test is reached, not masked by the checksum gate)."""
+    offsets = {"version": (8, "<I"), "flags": (12, "<I"),
+               "num_vars": (16, "<Q"), "num_nodes": (24, "<I"),
+               "root": (28, "<I"), "num_edges": (32, "<Q")}
+    out = bytearray(store)
+    for name, value in fields.items():
+        off, fmt = offsets[name]
+        out[off:off + struct.calcsize(fmt)] = struct.pack(fmt, value)
+    out[CHECKSUM_FIELD_OFFSET:CHECKSUM_FIELD_OFFSET + 8] = b"\x00" * 8
+    checksum = fold(*hash_bytes(bytes(out[:DATA_OFFSET])))
+    out[CHECKSUM_FIELD_OFFSET:CHECKSUM_FIELD_OFFSET + 8] = struct.pack(
+        "<Q", checksum)
+    return bytes(out)
+
+
+def patch_section(store, section_id, payload_offset, new_bytes):
+    """Rewrites bytes inside a section and recomputes that section's
+    checksum plus the header checksum."""
+    out = bytearray(store)
+    entry = TABLE_OFFSET + section_id * 32
+    off, size = struct.unpack_from("<QQ", out, entry)
+    out[off + payload_offset:off + payload_offset + len(new_bytes)] = new_bytes
+    lo, hi = hash_bytes(bytes(out[off:off + size]))
+    struct.pack_into("<QQ", out, entry + 16, lo, hi)
+    out[CHECKSUM_FIELD_OFFSET:CHECKSUM_FIELD_OFFSET + 8] = b"\x00" * 8
+    checksum = fold(*hash_bytes(bytes(out[:DATA_OFFSET])))
+    out[CHECKSUM_FIELD_OFFSET:CHECKSUM_FIELD_OFFSET + 8] = struct.pack(
+        "<Q", checksum)
+    return bytes(out)
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tests", "corpus", "store")
+    os.makedirs(out_dir, exist_ok=True)
+
+    # Golden store: nodes 0=⊥, 1=⊤, 2=x0, 3=¬x0, 4=Or(2,3) over 1 variable;
+    # model count 2, embedded CNF "p cnf 1 0".
+    valid = build_store(
+        num_vars=1, num_nodes=5, root=4, num_edges=2,
+        kinds=[0, 1, 2, 2, 4],          # kFalse kTrue kLiteral kLiteral kOr
+        payloads=[0, 0, 0, 1, 0],       # literal codes 2*var+sign
+        child_begin=[0, 0, 0, 0, 0, 2],
+        children=[2, 3],
+        cnf_text=b"p cnf 1 0\n",
+        model_count_limbs=[2])
+
+    corpus = {"valid.tbc": valid}
+
+    # Rejected at the magic check.
+    corpus["bad_magic.tbc"] = b"XXCSTORE" + valid[8:]
+    # Unknown format version (header checksum recomputed so the version
+    # check itself is what fires).
+    corpus["wrong_version.tbc"] = patch_header(valid, version=99)
+    # File ends mid-way through the child_begin section.
+    corpus["truncated_section.tbc"] = valid[:300]
+    # One flipped bit in the children array; checksums left stale.
+    flipped = bytearray(valid)
+    flipped[-1] ^= 0x01
+    corpus["flipped_checksum.tbc"] = bytes(flipped)
+    # Attacker-controlled counts far beyond the file: must be rejected by
+    # size arithmetic without any count-proportional allocation.
+    corpus["oversized_counts.tbc"] = patch_header(
+        valid, num_nodes=0x7FFFFFFF, num_edges=0x0000FFFFFFFFFFFF)
+    # Structurally invalid but checksum-clean: child id not below parent.
+    corpus["bad_child_order.tbc"] = patch_section(
+        valid, 3, 0, struct.pack("<I", 4))
+    # Structurally invalid but checksum-clean: a second ⊤ constant at id 2.
+    corpus["duplicate_constant.tbc"] = patch_section(
+        valid, 0, 2, bytes([1]))
+
+    for name, data in sorted(corpus.items()):
+        path = os.path.join(out_dir, name)
+        with open(path, "wb") as f:
+            f.write(data)
+        print(f"wrote {path} ({len(data)} bytes)")
+
+
+if __name__ == "__main__":
+    main()
